@@ -1,0 +1,101 @@
+// E-T1-R3 — Table 1, row "authenticated Byzantine consensus: optimal for
+// t = O(sqrt(n))". AB-Consensus takes O(t) rounds and O(t^2 + n) honest
+// messages; at t = sqrt(n) both are linear, and the honest-message ratio to
+// (t^2 + n) stays flat. The n-source Dolev-Strong baseline ([24], the t=O(1)
+// row) pays Theta(n^2) messages regardless.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "baselines/baselines.hpp"
+#include "bench_util.hpp"
+#include "byzantine/ab_consensus.hpp"
+
+namespace {
+
+using namespace lft;
+using namespace lft::bench;
+
+std::vector<std::uint64_t> binary_inputs(NodeId n) {
+  std::vector<std::uint64_t> inputs(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) inputs[static_cast<std::size_t>(v)] = v % 2;
+  return inputs;
+}
+
+std::vector<std::pair<NodeId, std::string>> byz_mix(NodeId little, std::int64_t t) {
+  std::vector<std::pair<NodeId, std::string>> byz;
+  const char* kinds[] = {"silent", "equivocate", "flood"};
+  for (std::int64_t i = 0; i < t; ++i) {
+    byz.emplace_back(static_cast<NodeId>(i * 3 % little), kinds[i % 3]);
+  }
+  // Deduplicate targets (behavior of the first claim wins).
+  std::sort(byz.begin(), byz.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  byz.erase(std::unique(byz.begin(), byz.end(),
+                        [](const auto& a, const auto& b) { return a.first == b.first; }),
+            byz.end());
+  return byz;
+}
+
+void print_table() {
+  banner("E-T1-R3: Table 1 row 6 (authenticated Byzantine consensus)",
+         "claim: O(t) rounds, O(t^2 + n) honest messages for t = O(sqrt(n))");
+  Table table({"algo", "n", "t", "rounds", "honest_msgs", "msgs/(t^2+n)", "agree"});
+  table.print_header();
+  for (NodeId n : {256, 1024, 2304}) {
+    const auto t = static_cast<std::int64_t>(std::sqrt(static_cast<double>(n)) / 2);
+    const auto params = byzantine::AbParams::practical(n, t);
+    const auto inputs = binary_inputs(n);
+    const auto byz = byz_mix(params.little_count, t);
+    const auto outcome = byzantine::run_ab_consensus(params, inputs, byz);
+    const double shape = static_cast<double>(t * t + n);
+    table.cell(std::string("AB-Consensus"));
+    table.cell(static_cast<std::int64_t>(n));
+    table.cell(t);
+    table.cell(outcome.report.rounds);
+    table.cell(outcome.report.metrics.messages_honest);
+    table.cell(static_cast<double>(outcome.report.metrics.messages_honest) / shape);
+    table.cell(std::string(outcome.agreement && outcome.termination ? "yes" : "NO"));
+    table.end_row();
+  }
+  for (NodeId n : {64, 128, 256}) {
+    const auto t = static_cast<std::int64_t>(std::sqrt(static_cast<double>(n)) / 2);
+    const auto outcome = baselines::run_full_dolev_strong(n, t, binary_inputs(n), {});
+    const double shape = static_cast<double>(t * t + n);
+    table.cell(std::string("full-DS [24]"));
+    table.cell(static_cast<std::int64_t>(n));
+    table.cell(t);
+    table.cell(outcome.report.rounds);
+    table.cell(outcome.report.metrics.messages_honest);
+    table.cell(static_cast<double>(outcome.report.metrics.messages_honest) / shape);
+    table.cell(std::string(outcome.agreement && outcome.termination ? "yes" : "NO"));
+    table.end_row();
+  }
+  std::printf(
+      "\nexpected shape: AB-Consensus msgs/(t^2+n) flat (linear communication at\n"
+      "t = sqrt(n)); the full Dolev-Strong baseline grows ~n per node (Theta(n^2)).\n");
+}
+
+void BM_AbConsensus(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const auto t = static_cast<std::int64_t>(std::sqrt(static_cast<double>(n)) / 2);
+  const auto params = byzantine::AbParams::practical(n, t);
+  const auto inputs = binary_inputs(n);
+  const auto byz = byz_mix(params.little_count, t);
+  byzantine::AbOutcome outcome;
+  for (auto _ : state) {
+    outcome = byzantine::run_ab_consensus(params, inputs, byz);
+  }
+  state.counters["rounds"] = static_cast<double>(outcome.report.rounds);
+  state.counters["honest_msgs"] = static_cast<double>(outcome.report.metrics.messages_honest);
+}
+BENCHMARK(BM_AbConsensus)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

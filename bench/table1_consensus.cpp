@@ -1,0 +1,72 @@
+// E-T1-R1 — Table 1, row "crash consensus: optimal for t = O(n / log n)".
+// Inside the range, rounds/t and bits/n must stay flat (linear time AND
+// linear communication); at t = n/5 (outside the range) bits/n grows with
+// the log factor, reproducing why the paper's optimality range stops there.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "common/math.hpp"
+#include "core/consensus.hpp"
+
+namespace {
+
+using namespace lft;
+using namespace lft::bench;
+
+void print_table() {
+  banner("E-T1-R1: Table 1 row 2 (crash consensus)",
+         "claim: deterministic consensus with O(t) rounds and O(n) bits for t = O(n/log n)");
+  Table table({"n", "t", "regime", "rounds", "rounds/t", "bits", "bits/n", "ok"});
+  table.print_header();
+  for (NodeId n : {512, 1024, 2048, 4096}) {
+    for (const char* regime : {"n/lg n", "n/5"}) {
+      const std::int64_t t = std::string(regime) == "n/lg n"
+                                 ? n / (5 * ceil_log2(static_cast<std::uint64_t>(n)))
+                                 : (n / 5 - 1);
+      const auto params = core::ConsensusParams::practical(n, t);
+      const auto inputs = random_binary_inputs(n, 17);
+      const auto outcome = core::run_few_crashes_consensus(
+          params, inputs, random_crashes(n, t, 5 * t + 10, 23));
+      table.cell(static_cast<std::int64_t>(n));
+      table.cell(t);
+      table.cell(std::string(regime));
+      table.cell(outcome.report.rounds);
+      table.cell(static_cast<double>(outcome.report.rounds) / static_cast<double>(t));
+      table.cell(outcome.report.metrics.bits_total);
+      table.cell(static_cast<double>(outcome.report.metrics.bits_total) /
+                 static_cast<double>(n));
+      table.cell(std::string(outcome.all_good() ? "yes" : "NO"));
+      table.end_row();
+    }
+  }
+  std::printf(
+      "\nexpected shape: rounds/t flat in both regimes; bits/n flat for t=n/lg n and\n"
+      "growing ~log n at t=n/5 (the optimality range boundary of Table 1).\n");
+}
+
+void BM_FewCrashesConsensus(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const std::int64_t t = n / (5 * ceil_log2(static_cast<std::uint64_t>(n)));
+  const auto params = core::ConsensusParams::practical(n, t);
+  const auto inputs = random_binary_inputs(n, 17);
+  core::ConsensusOutcome outcome;
+  for (auto _ : state) {
+    outcome = core::run_few_crashes_consensus(params, inputs,
+                                              random_crashes(n, t, 5 * t + 10, 23));
+    benchmark::DoNotOptimize(outcome.report.rounds);
+  }
+  state.counters["rounds"] = static_cast<double>(outcome.report.rounds);
+  state.counters["bits"] = static_cast<double>(outcome.report.metrics.bits_total);
+  state.counters["bits_per_node"] =
+      static_cast<double>(outcome.report.metrics.bits_total) / static_cast<double>(n);
+}
+BENCHMARK(BM_FewCrashesConsensus)->Arg(512)->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

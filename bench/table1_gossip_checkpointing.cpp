@@ -1,0 +1,107 @@
+// E-T1-R2 — Table 1, row "crash gossip/checkpointing: optimal for
+// t = O(n / log^2 n)". Inside that range both rounds and messages stay
+// linear-bounded (messages/n flat); at t = n/6 the t log n log t term takes
+// over, showing the boundary.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "common/math.hpp"
+#include "core/checkpointing.hpp"
+#include "core/gossip.hpp"
+
+namespace {
+
+using namespace lft;
+using namespace lft::bench;
+
+std::vector<std::uint64_t> rumors(NodeId n) {
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) out[static_cast<std::size_t>(v)] = 7000 + v;
+  return out;
+}
+
+void print_table() {
+  banner("E-T1-R2: Table 1 row 4 (crash gossip / checkpointing)",
+         "claim: O(t) time and O(n) messages for t = O(n/log^2 n)");
+  Table table({"problem", "n", "t", "regime", "rounds", "messages", "msgs/n", "ok"});
+  table.print_header();
+  for (NodeId n : {512, 1024, 2048}) {
+    const int logn = ceil_log2(static_cast<std::uint64_t>(n));
+    for (const char* regime : {"n/lg^2 n", "n/6"}) {
+      const std::int64_t t = std::string(regime) == "n/lg^2 n"
+                                 ? std::max<std::int64_t>(1, n / (5 * logn * logn))
+                                 : n / 6;
+      {
+        const auto params = core::GossipParams::practical(n, t);
+        const auto outcome =
+            core::run_gossip(params, rumors(n), random_crashes(n, t, 4 * t + 20, 31));
+        table.cell(std::string("gossip"));
+        table.cell(static_cast<std::int64_t>(n));
+        table.cell(t);
+        table.cell(std::string(regime));
+        table.cell(outcome.report.rounds);
+        table.cell(outcome.report.metrics.messages_total);
+        table.cell(static_cast<double>(outcome.report.metrics.messages_total) /
+                   static_cast<double>(n));
+        table.cell(std::string(outcome.all_good() ? "yes" : "NO"));
+        table.end_row();
+      }
+      {
+        const auto params = core::CheckpointParams::practical(n, t);
+        const auto outcome =
+            core::run_checkpointing(params, random_crashes(n, t, 4 * t + 20, 37));
+        table.cell(std::string("checkpoint"));
+        table.cell(static_cast<std::int64_t>(n));
+        table.cell(t);
+        table.cell(std::string(regime));
+        table.cell(outcome.report.rounds);
+        table.cell(outcome.report.metrics.messages_total);
+        table.cell(static_cast<double>(outcome.report.metrics.messages_total) /
+                   static_cast<double>(n));
+        table.cell(std::string(outcome.all_good() ? "yes" : "NO"));
+        table.end_row();
+      }
+    }
+  }
+  std::printf(
+      "\nexpected shape: msgs/n flat at t=n/lg^2 n (within the optimality range),\n"
+      "growing with the t log n log t term at t=n/6 (outside the range).\n");
+}
+
+void BM_Gossip(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const int logn = ceil_log2(static_cast<std::uint64_t>(n));
+  const std::int64_t t = std::max<std::int64_t>(1, n / (5 * logn * logn));
+  const auto params = core::GossipParams::practical(n, t);
+  const auto r = rumors(n);
+  core::GossipOutcome outcome;
+  for (auto _ : state) {
+    outcome = core::run_gossip(params, r, random_crashes(n, t, 4 * t + 20, 31));
+  }
+  state.counters["rounds"] = static_cast<double>(outcome.report.rounds);
+  state.counters["messages"] = static_cast<double>(outcome.report.metrics.messages_total);
+}
+BENCHMARK(BM_Gossip)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_Checkpointing(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const int logn = ceil_log2(static_cast<std::uint64_t>(n));
+  const std::int64_t t = std::max<std::int64_t>(1, n / (5 * logn * logn));
+  const auto params = core::CheckpointParams::practical(n, t);
+  core::CheckpointOutcome outcome;
+  for (auto _ : state) {
+    outcome = core::run_checkpointing(params, random_crashes(n, t, 4 * t + 20, 37));
+  }
+  state.counters["rounds"] = static_cast<double>(outcome.report.rounds);
+  state.counters["messages"] = static_cast<double>(outcome.report.metrics.messages_total);
+}
+BENCHMARK(BM_Checkpointing)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// E-THM11 — Theorem 11: AB-Consensus under authenticated Byzantine faults:
+// O(t) rounds and O(t^2 + n) messages from non-faulty nodes, across
+// Byzantine behaviors (silent / equivocating / flooding); Byzantine traffic
+// is excluded from the bound exactly as the paper counts it.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "byzantine/ab_consensus.hpp"
+
+namespace {
+
+using namespace lft;
+using namespace lft::bench;
+
+std::vector<std::uint64_t> inputs_of(NodeId n) {
+  std::vector<std::uint64_t> inputs(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) inputs[static_cast<std::size_t>(v)] = (v * 7 % 13) % 2;
+  return inputs;
+}
+
+std::vector<std::pair<NodeId, std::string>> byz_assign(const char* kind, NodeId little,
+                                                       std::int64_t count) {
+  std::vector<std::pair<NodeId, std::string>> byz;
+  for (std::int64_t i = 0; i < count; ++i) {
+    byz.emplace_back(static_cast<NodeId>((2 * i + 1) % little), kind);
+  }
+  std::sort(byz.begin(), byz.end());
+  byz.erase(std::unique(byz.begin(), byz.end(),
+                        [](const auto& a, const auto& b) { return a.first == b.first; }),
+            byz.end());
+  return byz;
+}
+
+void print_table() {
+  banner("E-THM11: AB-Consensus under Byzantine behaviors",
+         "claim: O(t) rounds, O(t^2 + n) honest messages; Byzantine floods don't count");
+  Table table(
+      {"behavior", "n", "t", "rounds", "honest_msgs", "total_msgs", "h/(t^2+n)", "agree"});
+  table.print_header();
+  for (auto [n, t] : std::vector<std::pair<NodeId, std::int64_t>>{
+           {200, 8}, {400, 16}, {800, 32}}) {
+    for (const char* kind : {"silent", "equivocate", "flood"}) {
+      const auto params = byzantine::AbParams::practical(n, t);
+      const auto byz = byz_assign(kind, params.little_count, t);
+      const auto outcome = byzantine::run_ab_consensus(params, inputs_of(n), byz);
+      table.cell(std::string(kind));
+      table.cell(static_cast<std::int64_t>(n));
+      table.cell(t);
+      table.cell(outcome.report.rounds);
+      table.cell(outcome.report.metrics.messages_honest);
+      table.cell(outcome.report.metrics.messages_total);
+      table.cell(static_cast<double>(outcome.report.metrics.messages_honest) /
+                 static_cast<double>(t * t + n));
+      table.cell(std::string(outcome.agreement && outcome.termination ? "yes" : "NO"));
+      table.end_row();
+    }
+  }
+  std::printf(
+      "\nexpected shape: honest/(t^2+n) flat across sizes and behaviors; total > honest\n"
+      "only for the flooding behavior (excluded by the paper's accounting).\n");
+}
+
+void BM_AbConsensusBehaviors(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const std::int64_t t = n / 25;
+  const auto params = byzantine::AbParams::practical(n, t);
+  const auto byz = byz_assign("flood", params.little_count, t);
+  const auto inputs = inputs_of(n);
+  for (auto _ : state) {
+    auto outcome = byzantine::run_ab_consensus(params, inputs, byz);
+    benchmark::DoNotOptimize(outcome.report.rounds);
+  }
+}
+BENCHMARK(BM_AbConsensusBehaviors)->Arg(200)->Arg(800)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E-THM13 — Theorem 13: the Omega(t + log n) single-port lower bound,
+// realized experimentally.
+//  (a) Port isolation: the iterative port-killing adversary keeps a victim
+//      information-free; t crashes buy >= t/2 silent sp-rounds, so no
+//      algorithm can terminate a victim with correct gossip output earlier.
+//  (b) State divergence: two executions differing in one input diverge at
+//      most by a factor 3 per round (|A[i]| <= 3^i), so differing decisions
+//      need >= log_3 n rounds.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "singleport/lower_bound.hpp"
+
+namespace {
+
+using namespace lft;
+using namespace lft::bench;
+
+void print_tables() {
+  banner("E-THM13a: port isolation (Omega(t))",
+         "claim: with budget t the adversary forces >= t/2 silent sp-rounds at a victim");
+  Table table({"n", "t", "crashes", "no-crash_rcpt", "silent_rounds", "silent/t", "starved"});
+  table.print_header();
+  for (auto [n, t] : std::vector<std::pair<NodeId, std::int64_t>>{
+           {64, 4}, {64, 8}, {64, 12}, {128, 16}, {128, 24}}) {
+    const auto result = singleport::run_port_isolation(n, t, n - 1);
+    table.cell(static_cast<std::int64_t>(n));
+    table.cell(t);
+    table.cell(result.crashes_used);
+    table.cell(result.baseline_receipt);
+    table.cell(result.isolation_rounds);
+    table.cell(static_cast<double>(result.isolation_rounds) / static_cast<double>(t));
+    table.cell(std::string(result.victim_starved ? "yes" : "no"));
+    table.end_row();
+  }
+  std::printf(
+      "\nexpected shape: silent/t >= 0.5 everywhere (the Omega(t) bound), and\n"
+      "silent_rounds > no-crash receipt (the adversary actively delays the victim).\n");
+
+  banner("E-THM13b: state divergence (Omega(log n))",
+         "claim: |A[i]| <= 3^i, so differing decisions require >= log_3 n rounds");
+  Table table2({"round", "diverged", "3^i cap", "within"});
+  table2.print_header();
+  const auto result = singleport::run_divergence_experiment(256, 16);
+  std::int64_t cap = 1;
+  std::size_t printed = 0;
+  for (std::size_t i = 0; i < result.diverged_per_round.size(); ++i) {
+    // Subsample: print every round until divergence moves, then milestones.
+    const bool moved = i == 0 || result.diverged_per_round[i] != result.diverged_per_round[i - 1];
+    if (moved && printed < 24) {
+      table2.cell(static_cast<std::int64_t>(i));
+      table2.cell(result.diverged_per_round[i]);
+      table2.cell(cap);
+      table2.cell(std::string(result.diverged_per_round[i] <= cap ? "yes" : "NO"));
+      table2.end_row();
+      ++printed;
+    }
+    if (cap < (std::int64_t{1} << 40)) cap *= 3;
+  }
+  std::printf("\ndecisions differ: %s; log_3(256) = %.2f rounds is the floor.\n",
+              result.decisions_differ ? "yes" : "no", std::log(256.0) / std::log(3.0));
+}
+
+void BM_PortIsolation(benchmark::State& state) {
+  const auto t = static_cast<std::int64_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = singleport::run_port_isolation(64, t, 63);
+    benchmark::DoNotOptimize(result.isolation_rounds);
+  }
+}
+BENCHMARK(BM_PortIsolation)->Arg(4)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_Divergence(benchmark::State& state) {
+  for (auto _ : state) {
+    auto result = singleport::run_divergence_experiment(128, 8);
+    benchmark::DoNotOptimize(result.rounds);
+  }
+}
+BENCHMARK(BM_Divergence)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

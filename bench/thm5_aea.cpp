@@ -1,0 +1,59 @@
+// E-THM5 — Theorem 5: Almost-Everywhere-Agreement solves 3/5-AEA in O(t)
+// rounds with O(n) one-bit messages (O(1) per node plus O(log t) per crash).
+// Series: rounds vs t at n = 8t (linear), messages vs n at fixed t/n.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/consensus.hpp"
+
+namespace {
+
+using namespace lft;
+using namespace lft::bench;
+
+void print_table() {
+  banner("E-THM5: Almost-Everywhere-Agreement",
+         "claim: >= 3/5 n nodes decide, O(t) rounds, O(n + t log t) one-bit messages");
+  Table table({"n", "t", "rounds", "rounds/t", "messages", "decided%", "agree"});
+  table.print_header();
+  for (std::int64_t t : {16, 32, 64, 128, 256}) {
+    const NodeId n = static_cast<NodeId>(8 * t);
+    const auto params = core::ConsensusParams::practical(n, t);
+    const auto inputs = random_binary_inputs(n, 7);
+    const auto outcome =
+        core::run_aea(params, inputs, random_crashes(n, t, 5 * t, 11));
+    table.cell(static_cast<std::int64_t>(n));
+    table.cell(t);
+    table.cell(outcome.report.rounds);
+    table.cell(static_cast<double>(outcome.report.rounds) / static_cast<double>(t));
+    table.cell(outcome.report.metrics.messages_total);
+    table.cell(100.0 * static_cast<double>(outcome.decided_or_crashed) /
+               static_cast<double>(n));
+    table.cell(std::string(outcome.agreement && outcome.validity ? "yes" : "NO"));
+    table.end_row();
+  }
+  std::printf("\nexpected shape: rounds/t flat (~5, the 5t-1 flooding part); decided%% >= 60.\n");
+}
+
+void BM_Aea(benchmark::State& state) {
+  const auto t = static_cast<std::int64_t>(state.range(0));
+  const NodeId n = static_cast<NodeId>(8 * t);
+  const auto params = core::ConsensusParams::practical(n, t);
+  const auto inputs = random_binary_inputs(n, 7);
+  core::AeaOutcome outcome;
+  for (auto _ : state) {
+    outcome = core::run_aea(params, inputs, random_crashes(n, t, 5 * t, 11));
+  }
+  state.counters["rounds"] = static_cast<double>(outcome.report.rounds);
+  state.counters["messages"] = static_cast<double>(outcome.report.metrics.messages_total);
+}
+BENCHMARK(BM_Aea)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

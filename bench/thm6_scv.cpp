@@ -1,0 +1,73 @@
+// E-THM6 — Theorem 6: Spread-Common-Value solves 3/5-SCV in O(log t) rounds
+// with O(t log t) messages. Both Part 2 branches are exercised: the
+// all-littles pull (t^2 <= n) and the inquiry phases (t^2 > n).
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "bench_util.hpp"
+#include "common/math.hpp"
+#include "core/consensus.hpp"
+
+namespace {
+
+using namespace lft;
+using namespace lft::bench;
+
+std::vector<std::optional<std::uint64_t>> seeded(NodeId n, std::uint64_t value) {
+  std::vector<std::optional<std::uint64_t>> initials(static_cast<std::size_t>(n));
+  Rng rng(59);
+  std::vector<NodeId> perm(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+  rng.shuffle(std::span<NodeId>(perm));
+  for (NodeId i = 0; i < (3 * n + 4) / 5; ++i) {
+    initials[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] = value;
+  }
+  return initials;
+}
+
+void print_table() {
+  banner("E-THM6: Spread-Common-Value",
+         "claim: every node learns the common value in O(log t) rounds, O(t log t) messages");
+  Table table({"n", "t", "branch", "rounds", "r/lg t", "messages", "ok"});
+  table.print_header();
+  for (auto [n, t] : std::vector<std::pair<NodeId, std::int64_t>>{
+           {400, 10}, {1600, 30}, {400, 60}, {1600, 250}, {3200, 600}}) {
+    const auto params = core::ConsensusParams::practical(n, t);
+    const auto outcome =
+        core::run_scv(params, seeded(n, 7), random_crashes(n, t, 2 * t, 61));
+    const double lgt = std::max(1, ceil_log2(static_cast<std::uint64_t>(t)));
+    table.cell(static_cast<std::int64_t>(n));
+    table.cell(t);
+    table.cell(std::string(params.use_little_pull ? "little-pull" : "phases"));
+    table.cell(outcome.report.rounds);
+    table.cell(static_cast<double>(outcome.report.rounds) / lgt);
+    table.cell(outcome.report.metrics.messages_total);
+    table.cell(std::string(outcome.all_decided_common ? "yes" : "NO"));
+    table.end_row();
+  }
+  std::printf("\nexpected shape: rounds/lg t bounded (logarithmic time in t).\n");
+}
+
+void BM_Scv(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const std::int64_t t = n / 6;
+  const auto params = core::ConsensusParams::practical(n, t);
+  const auto initials = seeded(n, 7);
+  core::ScvOutcome outcome;
+  for (auto _ : state) {
+    outcome = core::run_scv(params, initials, random_crashes(n, t, 2 * t, 61));
+  }
+  state.counters["rounds"] = static_cast<double>(outcome.report.rounds);
+  state.counters["messages"] = static_cast<double>(outcome.report.metrics.messages_total);
+}
+BENCHMARK(BM_Scv)->Arg(400)->Arg(1600)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

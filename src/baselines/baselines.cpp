@@ -1,0 +1,340 @@
+#include "baselines/baselines.hpp"
+
+#include <algorithm>
+
+#include "byzantine/ab_consensus.hpp"
+#include "byzantine/dolev_strong.hpp"
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "core/tags.hpp"
+
+namespace lft::baselines {
+
+namespace {
+
+enum BaselineTag : std::uint32_t {
+  kTagFlood = core::kTagBaseline + 1,
+  kTagCoord = core::kTagBaseline + 2,
+  kTagRumorX = core::kTagBaseline + 3,
+  kTagPresence = core::kTagBaseline + 4,
+  kTagMemberSet = core::kTagBaseline + 5,
+};
+
+// ---- FloodSet ------------------------------------------------------------------
+
+class FloodSetProcess final : public sim::Process {
+ public:
+  FloodSetProcess(NodeId n, std::int64_t t, int input) : n_(n), t_(t) {
+    seen_ = input == 0 ? 0b01u : 0b10u;
+  }
+
+  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override {
+    for (const auto& m : inbox) {
+      if (m.tag == kTagFlood) seen_ |= static_cast<std::uint32_t>(m.value);
+    }
+    if (ctx.round() <= t_) {
+      // Full-information exchange: broadcast the seen-set every round.
+      for (NodeId v = 0; v < n_; ++v) {
+        if (v != ctx.self()) ctx.send(v, kTagFlood, seen_, 2);
+      }
+      return;
+    }
+    // Round t+1 delivered the last exchange; decide min of the seen set.
+    ctx.decide(seen_ == 0b10u ? 1 : 0);
+    ctx.halt();
+  }
+
+ private:
+  NodeId n_;
+  std::int64_t t_;
+  std::uint32_t seen_;
+};
+
+// ---- Rotating coordinator ---------------------------------------------------------
+
+class CoordinatorProcess final : public sim::Process {
+ public:
+  CoordinatorProcess(NodeId n, std::int64_t t, int input)
+      : n_(n), t_(t), value_(static_cast<std::uint64_t>(input)) {}
+
+  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override {
+    for (const auto& m : inbox) {
+      if (m.tag == kTagCoord) value_ = m.value;
+    }
+    const Round phase = ctx.round();
+    if (phase <= t_) {
+      if (ctx.self() == static_cast<NodeId>(phase % n_)) {
+        for (NodeId v = 0; v < n_; ++v) {
+          if (v != ctx.self()) ctx.send(v, kTagCoord, value_, 1);
+        }
+      }
+      return;
+    }
+    ctx.decide(value_);
+    ctx.halt();
+  }
+
+ private:
+  NodeId n_;
+  std::int64_t t_;
+  std::uint64_t value_;
+};
+
+// ---- All-to-all gossip --------------------------------------------------------------
+
+class AllToAllGossipProcess final : public sim::Process {
+ public:
+  explicit AllToAllGossipProcess(NodeId n, NodeId self) : extant_(static_cast<std::size_t>(n)) {
+    extant_.set(static_cast<std::size_t>(self));
+  }
+
+  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override {
+    if (ctx.round() == 0) {
+      for (NodeId v = 0; v < ctx.num_nodes(); ++v) {
+        if (v != ctx.self()) ctx.send(v, kTagRumorX, 1, 64);
+      }
+      return;
+    }
+    for (const auto& m : inbox) {
+      if (m.tag == kTagRumorX) extant_.set(static_cast<std::size_t>(m.from));
+    }
+    ctx.decide(1);
+    ctx.halt();
+  }
+
+  [[nodiscard]] const DynamicBitset& extant() const noexcept { return extant_; }
+
+ private:
+  DynamicBitset extant_;
+};
+
+// ---- Naive checkpointing --------------------------------------------------------------
+
+class NaiveCheckpointProcess final : public sim::Process {
+ public:
+  NaiveCheckpointProcess(NodeId n, std::int64_t t, NodeId self)
+      : n_(n), t_(t), members_(static_cast<std::size_t>(n)) {
+    members_.set(static_cast<std::size_t>(self));
+  }
+
+  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override {
+    for (const auto& m : inbox) {
+      if (m.tag == kTagPresence) members_.set(static_cast<std::size_t>(m.from));
+      if (m.tag == kTagMemberSet) {
+        ByteReader reader(m.body);
+        if (auto set = reader.get_bitset(static_cast<std::size_t>(n_))) {
+          members_ = std::move(*set);
+        }
+      }
+    }
+    const Round r = ctx.round();
+    if (r == 0) {
+      for (NodeId v = 0; v < n_; ++v) {
+        if (v != ctx.self()) ctx.send(v, kTagPresence, 1, 1);
+      }
+      return;
+    }
+    const Round phase = r - 1;  // coordinator phases 0..t
+    if (phase <= t_) {
+      if (ctx.self() == static_cast<NodeId>(phase % n_)) {
+        ByteWriter w;
+        w.put_bitset(members_);
+        for (NodeId v = 0; v < n_; ++v) {
+          if (v != ctx.self()) {
+            ctx.send(v, kTagMemberSet, 0, static_cast<std::uint64_t>(n_), w.bytes());
+          }
+        }
+      }
+      return;
+    }
+    decided_ = true;
+    ctx.decide(hash_words(members_.words()));
+    ctx.halt();
+  }
+
+  [[nodiscard]] bool decided() const noexcept { return decided_; }
+  [[nodiscard]] const DynamicBitset& members() const noexcept { return members_; }
+
+ private:
+  NodeId n_;
+  std::int64_t t_;
+  DynamicBitset members_;
+  bool decided_ = false;
+};
+
+// ---- Full Dolev-Strong ------------------------------------------------------------------
+
+class DsFullProcess final : public sim::Process {
+ public:
+  DsFullProcess(std::shared_ptr<const crypto::KeyRegistry> registry, NodeId n, std::int64_t t,
+                NodeId self, std::uint64_t input)
+      : n_(n), ds_(registry, registry->signer_for(self), n, t) {
+    ds_.set_own_value(input);
+  }
+
+  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override {
+    if (ctx.round() < ds_.duration()) {
+      auto combined = ds_.step(ctx.round(), inbox);
+      if (!combined.empty()) {
+        const std::uint64_t bits = std::max<std::uint64_t>(1, combined.size() * 8);
+        for (NodeId v = 0; v < n_; ++v) {
+          if (v != ctx.self()) ctx.send(v, core::kTagDsRelay, 0, bits, combined);
+        }
+      }
+      return;
+    }
+    ctx.decide(ds_.result().max_value());
+    ctx.halt();
+  }
+
+ private:
+  NodeId n_;
+  byzantine::DsNode ds_;
+};
+
+}  // namespace
+
+core::ConsensusOutcome run_floodset(NodeId n, std::int64_t t, std::span<const int> inputs,
+                                    std::unique_ptr<sim::CrashAdversary> adversary) {
+  LFT_ASSERT(static_cast<NodeId>(inputs.size()) == n);
+  auto report = core::run_system(
+      n, t,
+      [&](NodeId v) {
+        return std::make_unique<FloodSetProcess>(n, t, inputs[static_cast<std::size_t>(v)]);
+      },
+      std::move(adversary));
+  return core::evaluate_consensus(std::move(report), inputs);
+}
+
+core::ConsensusOutcome run_rotating_coordinator(NodeId n, std::int64_t t,
+                                                std::span<const int> inputs,
+                                                std::unique_ptr<sim::CrashAdversary> adversary) {
+  LFT_ASSERT(static_cast<NodeId>(inputs.size()) == n);
+  auto report = core::run_system(
+      n, t,
+      [&](NodeId v) {
+        return std::make_unique<CoordinatorProcess>(n, t, inputs[static_cast<std::size_t>(v)]);
+      },
+      std::move(adversary));
+  return core::evaluate_consensus(std::move(report), inputs);
+}
+
+NaiveGossipOutcome run_all_to_all_gossip(NodeId n, std::int64_t t,
+                                         std::unique_ptr<sim::CrashAdversary> adversary) {
+  sim::EngineConfig config;
+  config.crash_budget = t;
+  sim::Engine engine(n, config);
+  for (NodeId v = 0; v < n; ++v) {
+    engine.set_process(v, std::make_unique<AllToAllGossipProcess>(n, v));
+  }
+  if (adversary != nullptr) engine.set_adversary(std::move(adversary));
+  NaiveGossipOutcome out;
+  out.report = engine.run();
+  out.condition1 = true;
+  out.condition2 = true;
+  for (NodeId v = 0; v < n; ++v) {
+    if (out.report.nodes[static_cast<std::size_t>(v)].crashed) continue;
+    const auto& extant =
+        static_cast<const AllToAllGossipProcess&>(engine.process(v)).extant();
+    for (NodeId j = 0; j < n; ++j) {
+      const auto& js = out.report.nodes[static_cast<std::size_t>(j)];
+      if (js.crashed && js.sends == 0 && j != v && extant.test(static_cast<std::size_t>(j))) {
+        out.condition1 = false;
+      }
+      if (!js.crashed && !extant.test(static_cast<std::size_t>(j))) out.condition2 = false;
+    }
+  }
+  return out;
+}
+
+NaiveCheckpointOutcome run_naive_checkpointing(NodeId n, std::int64_t t,
+                                               std::unique_ptr<sim::CrashAdversary> adversary) {
+  sim::EngineConfig config;
+  config.crash_budget = t;
+  sim::Engine engine(n, config);
+  for (NodeId v = 0; v < n; ++v) {
+    engine.set_process(v, std::make_unique<NaiveCheckpointProcess>(n, t, v));
+  }
+  if (adversary != nullptr) engine.set_adversary(std::move(adversary));
+  NaiveCheckpointOutcome out;
+  out.report = engine.run();
+  out.termination = out.report.completed;
+  out.condition1 = out.condition2 = out.condition3 = true;
+  const DynamicBitset* reference = nullptr;
+  for (NodeId v = 0; v < n; ++v) {
+    if (out.report.nodes[static_cast<std::size_t>(v)].crashed) continue;
+    const auto& proc = static_cast<const NaiveCheckpointProcess&>(engine.process(v));
+    if (!proc.decided()) {
+      out.termination = false;
+      continue;
+    }
+    const DynamicBitset& set = proc.members();
+    if (reference == nullptr) {
+      reference = &set;
+    } else if (!(*reference == set)) {
+      out.condition3 = false;
+    }
+    for (NodeId j = 0; j < n; ++j) {
+      const auto& js = out.report.nodes[static_cast<std::size_t>(j)];
+      if (js.crashed && js.sends == 0 && set.test(static_cast<std::size_t>(j))) {
+        out.condition1 = false;
+      }
+      if (!js.crashed && !set.test(static_cast<std::size_t>(j))) out.condition2 = false;
+    }
+  }
+  return out;
+}
+
+DsFullOutcome run_full_dolev_strong(NodeId n, std::int64_t t,
+                                    std::span<const std::uint64_t> inputs,
+                                    const std::vector<std::pair<NodeId, std::string>>& byzantine) {
+  LFT_ASSERT(static_cast<NodeId>(inputs.size()) == n);
+  auto registry = std::make_shared<crypto::KeyRegistry>(n, 0xD5F011);
+
+  // Reuse the AB-Consensus behavior factory for the Byzantine nodes: its
+  // relay-level attacks target exactly the DS validation logic.
+  byzantine::AbParams ab;
+  ab.n = n;
+  ab.t = t;
+  ab.little_count = n;
+  ab.cert_threshold = static_cast<NodeId>(std::max<std::int64_t>(1, n - t));
+  ab.spread_rounds = 1;
+  auto cfg = std::make_shared<byzantine::AbConfig>();
+  cfg->params = ab;
+  cfg->registry = registry;
+
+  sim::EngineConfig config;
+  config.max_rounds = t + 16;
+  sim::Engine engine(n, config);
+  std::vector<bool> is_byz(static_cast<std::size_t>(n), false);
+  for (const auto& [node, kind] : byzantine) {
+    is_byz[static_cast<std::size_t>(node)] = true;
+    engine.set_process(node,
+                       byzantine::make_byzantine_process(kind, cfg, node, make_seed(0xB, node)));
+    engine.mark_byzantine(node);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (!is_byz[static_cast<std::size_t>(v)]) {
+      engine.set_process(v, std::make_unique<DsFullProcess>(registry, n, t, v,
+                                                            inputs[static_cast<std::size_t>(v)]));
+    }
+  }
+
+  DsFullOutcome out;
+  out.report = engine.run();
+  out.termination = true;
+  out.agreement = true;
+  for (const auto& s : out.report.nodes) {
+    if (s.byzantine) continue;
+    if (!s.decided) {
+      out.termination = false;
+      continue;
+    }
+    if (out.decision && *out.decision != s.decision) out.agreement = false;
+    out.decision = s.decision;
+  }
+  return out;
+}
+
+}  // namespace lft::baselines

@@ -1,0 +1,134 @@
+#include "byzantine/acs.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+
+namespace lft::byzantine {
+
+crypto::Digest SignedRelay::payload_digest(NodeId origin, std::uint64_t value) {
+  return hash_combine(hash_combine(0x64735f7061796c64ULL,  // "ds_payld"
+                                   static_cast<std::uint64_t>(origin)),
+                      value);
+}
+
+void SignedRelay::encode(ByteWriter& w) const {
+  w.put_varint(static_cast<std::uint64_t>(origin));
+  w.put_u64(value);
+  w.put_varint(chain.size());
+  for (const auto& sig : chain) {
+    w.put_varint(static_cast<std::uint64_t>(sig.signer));
+    w.put_u64(sig.tag);
+  }
+}
+
+std::optional<SignedRelay> SignedRelay::decode(ByteReader& r, NodeId n,
+                                               std::size_t max_chain) {
+  SignedRelay relay;
+  const auto origin = r.get_varint();
+  if (!origin || *origin >= static_cast<std::uint64_t>(n)) return std::nullopt;
+  relay.origin = static_cast<NodeId>(*origin);
+  const auto value = r.get_u64();
+  if (!value) return std::nullopt;
+  relay.value = *value;
+  const auto count = r.get_varint();
+  if (!count || *count > max_chain) return std::nullopt;
+  relay.chain.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto signer = r.get_varint();
+    if (!signer || *signer >= static_cast<std::uint64_t>(n)) return std::nullopt;
+    const auto tag = r.get_u64();
+    if (!tag) return std::nullopt;
+    relay.chain.push_back(crypto::Signature{static_cast<NodeId>(*signer), *tag});
+  }
+  return relay;
+}
+
+bool SignedRelay::valid(const crypto::KeyRegistry& registry, NodeId little_count) const {
+  if (origin < 0 || origin >= little_count) return false;
+  if (chain.empty() || chain.front().signer != origin) return false;
+  const crypto::Digest digest = payload_digest(origin, value);
+  std::vector<NodeId> signers;
+  signers.reserve(chain.size());
+  for (const auto& sig : chain) {
+    if (sig.signer < 0 || sig.signer >= little_count) return false;
+    if (!registry.verify(sig, digest)) return false;
+    signers.push_back(sig.signer);
+  }
+  std::sort(signers.begin(), signers.end());
+  return std::adjacent_find(signers.begin(), signers.end()) == signers.end();
+}
+
+std::uint64_t ValueSet::max_value() const noexcept {
+  std::uint64_t best = 0;
+  for (std::uint64_t v : values_) {
+    if (v != kNullValue) best = std::max(best, v);
+  }
+  return best;
+}
+
+crypto::Digest ValueSet::digest() const noexcept {
+  std::uint64_t h = 0x6163735f64696773ULL;  // "acs_digs"
+  for (std::uint64_t v : values_) h = hash_combine(h, v);
+  return h;
+}
+
+void ValueSet::encode(ByteWriter& w) const {
+  w.put_varint(values_.size());
+  for (std::uint64_t v : values_) w.put_u64(v);
+}
+
+std::optional<ValueSet> ValueSet::decode(ByteReader& r, NodeId little_count) {
+  const auto count = r.get_varint();
+  if (!count || *count != static_cast<std::uint64_t>(little_count)) return std::nullopt;
+  ValueSet set(little_count);
+  for (NodeId i = 0; i < little_count; ++i) {
+    const auto v = r.get_u64();
+    if (!v) return std::nullopt;
+    set.set_value(i, *v);
+  }
+  return set;
+}
+
+void CertifiedSet::encode(ByteWriter& w) const {
+  values.encode(w);
+  w.put_varint(quorum.size());
+  for (const auto& sig : quorum) {
+    w.put_varint(static_cast<std::uint64_t>(sig.signer));
+    w.put_u64(sig.tag);
+  }
+}
+
+std::optional<CertifiedSet> CertifiedSet::decode(ByteReader& r, NodeId little_count) {
+  auto values = ValueSet::decode(r, little_count);
+  if (!values) return std::nullopt;
+  const auto count = r.get_varint();
+  if (!count || *count > static_cast<std::uint64_t>(little_count)) return std::nullopt;
+  CertifiedSet set{std::move(*values), {}};
+  set.quorum.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto signer = r.get_varint();
+    if (!signer) return std::nullopt;
+    const auto tag = r.get_u64();
+    if (!tag) return std::nullopt;
+    set.quorum.push_back(crypto::Signature{static_cast<NodeId>(*signer), *tag});
+  }
+  return set;
+}
+
+bool CertifiedSet::valid(const crypto::KeyRegistry& registry, NodeId little_count,
+                         NodeId threshold) const {
+  if (values.little_count() != little_count) return false;
+  const crypto::Digest digest = values.digest();
+  std::vector<NodeId> signers;
+  for (const auto& sig : quorum) {
+    if (sig.signer < 0 || sig.signer >= little_count) continue;
+    if (!registry.verify(sig, digest)) continue;
+    signers.push_back(sig.signer);
+  }
+  std::sort(signers.begin(), signers.end());
+  signers.erase(std::unique(signers.begin(), signers.end()), signers.end());
+  return static_cast<NodeId>(signers.size()) >= threshold;
+}
+
+}  // namespace lft::byzantine

@@ -1,0 +1,86 @@
+// Authenticated data structures for Section 7: signed relay chains (the
+// Dolev-Strong message format) and the "authenticated common set of values"
+// (ACS) little nodes assemble after the parallel broadcasts, certified by a
+// quorum of little-node signatures over its digest.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/codec.hpp"
+#include "common/types.hpp"
+#include "crypto/auth.hpp"
+
+namespace lft::byzantine {
+
+/// The paper's "null" outcome for an instance whose source equivocated or
+/// stayed silent.
+inline constexpr std::uint64_t kNullValue = ~std::uint64_t{0};
+
+/// One Dolev-Strong relay: (origin-instance, value, signature chain). The
+/// first signature must be the origin's; each relayer appends its own.
+struct SignedRelay {
+  NodeId origin = kNoNode;
+  std::uint64_t value = 0;
+  std::vector<crypto::Signature> chain;
+
+  /// Digest the chain signs: binds origin and value.
+  [[nodiscard]] static crypto::Digest payload_digest(NodeId origin, std::uint64_t value);
+
+  void encode(ByteWriter& w) const;
+  [[nodiscard]] static std::optional<SignedRelay> decode(ByteReader& r, NodeId n,
+                                                         std::size_t max_chain);
+
+  /// Full validity check: origin in [0, little), first signer is the origin,
+  /// signers distinct little nodes, every signature verifies the payload
+  /// digest.
+  [[nodiscard]] bool valid(const crypto::KeyRegistry& registry, NodeId little_count) const;
+};
+
+/// The set of per-origin outcomes of the parallel broadcasts.
+class ValueSet {
+ public:
+  explicit ValueSet(NodeId little_count)
+      : values_(static_cast<std::size_t>(little_count), kNullValue) {}
+
+  [[nodiscard]] NodeId little_count() const noexcept {
+    return static_cast<NodeId>(values_.size());
+  }
+  [[nodiscard]] std::uint64_t value(NodeId origin) const {
+    return values_[static_cast<std::size_t>(origin)];
+  }
+  void set_value(NodeId origin, std::uint64_t v) {
+    values_[static_cast<std::size_t>(origin)] = v;
+  }
+
+  /// The decision rule of Figure 7: the maximum non-null value (0 if all
+  /// instances resolved to null).
+  [[nodiscard]] std::uint64_t max_value() const noexcept;
+
+  [[nodiscard]] crypto::Digest digest() const noexcept;
+
+  void encode(ByteWriter& w) const;
+  [[nodiscard]] static std::optional<ValueSet> decode(ByteReader& r, NodeId little_count);
+
+  friend bool operator==(const ValueSet&, const ValueSet&) = default;
+
+ private:
+  std::vector<std::uint64_t> values_;
+};
+
+/// A ValueSet plus a quorum of little-node signatures over its digest — the
+/// paper's "authenticated common set of values".
+struct CertifiedSet {
+  ValueSet values;
+  std::vector<crypto::Signature> quorum;
+
+  void encode(ByteWriter& w) const;
+  [[nodiscard]] static std::optional<CertifiedSet> decode(ByteReader& r, NodeId little_count);
+
+  /// Verifies >= threshold distinct little-node signatures on the digest.
+  [[nodiscard]] bool valid(const crypto::KeyRegistry& registry, NodeId little_count,
+                           NodeId threshold) const;
+};
+
+}  // namespace lft::byzantine

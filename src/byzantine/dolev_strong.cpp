@@ -1,0 +1,85 @@
+#include "byzantine/dolev_strong.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "core/tags.hpp"
+
+namespace lft::byzantine {
+
+DsNode::DsNode(std::shared_ptr<const crypto::KeyRegistry> registry, crypto::Signer signer,
+               NodeId little_count, std::int64_t t)
+    : registry_(std::move(registry)),
+      signer_(signer),
+      little_count_(little_count),
+      t_(t),
+      accepted_(static_cast<std::size_t>(little_count)) {}
+
+void DsNode::set_own_value(std::uint64_t value) { own_value_ = value; }
+
+void DsNode::accept_and_maybe_relay(const SignedRelay& relay, Round k) {
+  auto& acc = accepted_[static_cast<std::size_t>(relay.origin)];
+  if (acc.size() >= 2) return;  // source already exposed as faulty
+  if (std::find(acc.begin(), acc.end(), relay.value) != acc.end()) return;
+  acc.push_back(relay.value);
+  // Relaying at engine round k arrives at k+1 and then carries >= k+1
+  // signatures; past classical round t+1 nothing more can be accepted.
+  if (k > t_) return;
+  // Do not countersign twice (we could appear in a longer chain already).
+  for (const auto& sig : relay.chain) {
+    if (sig.signer == signer_.id()) return;
+  }
+  SignedRelay out = relay;
+  out.chain.push_back(signer_.sign(SignedRelay::payload_digest(out.origin, out.value)));
+  pending_.push_back(std::move(out));
+}
+
+std::vector<std::byte> DsNode::step(Round k, std::span<const sim::Message> inbox) {
+  LFT_ASSERT(k >= 0 && k < duration());
+  if (k == 0 && own_value_.has_value()) {
+    SignedRelay relay;
+    relay.origin = signer_.id();
+    relay.value = *own_value_;
+    relay.chain.push_back(signer_.sign(SignedRelay::payload_digest(relay.origin, relay.value)));
+    accepted_[static_cast<std::size_t>(relay.origin)].push_back(relay.value);
+    pending_.push_back(std::move(relay));
+  }
+
+  for (const auto& m : inbox) {
+    if (m.tag != core::kTagDsRelay) continue;
+    ByteReader reader(m.body);
+    const auto count = reader.get_varint();
+    if (!count || *count > static_cast<std::uint64_t>(2 * little_count_)) continue;
+    for (std::uint64_t i = 0; i < *count; ++i) {
+      auto relay = SignedRelay::decode(reader, little_count_,
+                                       static_cast<std::size_t>(t_) + 2);
+      if (!relay) break;  // malformed remainder: drop
+      // Classical acceptance at round k: at least k distinct valid
+      // signatures, origin first.
+      if (static_cast<Round>(relay->chain.size()) < k) continue;
+      if (!relay->valid(*registry_, little_count_)) continue;
+      accept_and_maybe_relay(*relay, k);
+    }
+  }
+
+  std::vector<std::byte> combined;
+  if (!pending_.empty()) {
+    ByteWriter w;
+    w.put_varint(pending_.size());
+    for (const auto& relay : pending_) relay.encode(w);
+    pending_.clear();
+    combined = w.take();
+  }
+  return combined;
+}
+
+ValueSet DsNode::result() const {
+  ValueSet set(little_count_);
+  for (NodeId origin = 0; origin < little_count_; ++origin) {
+    const auto& acc = accepted_[static_cast<std::size_t>(origin)];
+    set.set_value(origin, acc.size() == 1 ? acc.front() : kNullValue);
+  }
+  return set;
+}
+
+}  // namespace lft::byzantine

@@ -1,0 +1,54 @@
+// Dolev-Strong authenticated broadcast [24], the Part 1 sub-routine of
+// AB-Consensus: t+1 relay rounds; a value is accepted at (classical) round r
+// only if it carries r distinct valid little-node signatures starting with
+// the origin's; acceptors append their signature and relay. All little
+// instances run in parallel with per-link combined messages, as Figure 7
+// prescribes. With the engine's send->next-round delivery, an instance
+// occupies t+2 engine rounds.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "byzantine/acs.hpp"
+#include "crypto/auth.hpp"
+#include "sim/engine.hpp"
+#include "sim/message.hpp"
+
+namespace lft::byzantine {
+
+/// Per-node state of the 5t parallel Dolev-Strong instances.
+class DsNode {
+ public:
+  DsNode(std::shared_ptr<const crypto::KeyRegistry> registry, crypto::Signer signer,
+         NodeId little_count, std::int64_t t);
+
+  [[nodiscard]] Round duration() const noexcept { return t_ + 2; }
+
+  /// Registers this node's own instance value (sources call before round 0).
+  void set_own_value(std::uint64_t value);
+
+  /// Processes DS round k: validates arrived relays (kTagDsRelay bodies),
+  /// accepts values per the chain-length rule, and returns the serialized
+  /// combined relays to broadcast to every little node (empty if none).
+  [[nodiscard]] std::vector<std::byte> step(Round k, std::span<const sim::Message> inbox);
+
+  /// After `duration()` rounds: the per-origin outcome (unique accepted
+  /// value, or null on silence/equivocation).
+  [[nodiscard]] ValueSet result() const;
+
+ private:
+  void accept_and_maybe_relay(const SignedRelay& relay, Round k);
+
+  std::shared_ptr<const crypto::KeyRegistry> registry_;
+  crypto::Signer signer_;
+  NodeId little_count_;
+  std::int64_t t_;
+  std::optional<std::uint64_t> own_value_;
+  std::vector<std::vector<std::uint64_t>> accepted_;  // per origin, capped at 2
+  std::vector<SignedRelay> pending_;
+};
+
+}  // namespace lft::byzantine

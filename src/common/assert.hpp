@@ -1,0 +1,28 @@
+// Always-on invariant checks. Simulation correctness depends on model
+// invariants (budgets, irrevocable decisions), so these stay enabled in
+// release builds; they guard logic errors, not recoverable conditions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lft::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "LFT_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg == nullptr ? "" : msg);
+  std::abort();
+}
+
+}  // namespace lft::detail
+
+#define LFT_ASSERT(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) ::lft::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define LFT_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) ::lft::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

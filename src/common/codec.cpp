@@ -1,0 +1,92 @@
+#include "common/codec.hpp"
+
+namespace lft {
+
+void ByteWriter::put_u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+
+void ByteWriter::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) put_u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) put_u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    put_u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  put_u8(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::put_bytes(std::span<const std::byte> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::put_bitset(const DynamicBitset& bits) {
+  put_varint(bits.size());
+  for (std::uint64_t w : bits.words()) put_u64(w);
+}
+
+std::optional<std::uint8_t> ByteReader::get_u8() noexcept {
+  if (pos_ >= data_.size()) return std::nullopt;
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::optional<std::uint32_t> ByteReader::get_u32() noexcept {
+  if (remaining() < 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+std::optional<std::uint64_t> ByteReader::get_u64() noexcept {
+  if (remaining() < 8) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+std::optional<std::uint64_t> ByteReader::get_varint() noexcept {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= data_.size() || shift > 63) return std::nullopt;
+    const auto b = static_cast<std::uint8_t>(data_[pos_++]);
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+std::optional<std::span<const std::byte>> ByteReader::get_bytes(std::size_t n) noexcept {
+  if (remaining() < n) return std::nullopt;
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::optional<DynamicBitset> ByteReader::get_bitset(std::size_t max_bits) noexcept {
+  const auto size = get_varint();
+  if (!size || *size > max_bits) return std::nullopt;
+  const std::size_t nwords = (*size + 63) / 64;
+  if (remaining() < nwords * 8) return std::nullopt;
+  DynamicBitset bits(static_cast<std::size_t>(*size));
+  for (std::size_t i = 0; i < nwords; ++i) {
+    bits.mutable_words()[i] = *get_u64();
+  }
+  // Reject payloads with garbage in padding bits (canonical form only).
+  const std::size_t tail = *size & 63;
+  if (tail != 0 && nwords > 0 &&
+      (bits.words().back() & ~((1ULL << tail) - 1)) != 0) {
+    return std::nullopt;
+  }
+  return bits;
+}
+
+}  // namespace lft

@@ -1,0 +1,59 @@
+// Compact binary serialization with bounds-checked decoding. Byzantine nodes
+// may inject arbitrary byte strings, so every read returns std::optional and
+// readers never trust lengths found in the payload beyond what remains.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bitset.hpp"
+
+namespace lft {
+
+/// Appends values to a growing byte buffer.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  /// LEB128-style variable-length unsigned integer.
+  void put_varint(std::uint64_t v);
+  void put_bytes(std::span<const std::byte> bytes);
+  /// Writes the bitset size as a varint followed by its words.
+  void put_bitset(const DynamicBitset& bits);
+
+  [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::byte> take() noexcept { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Sequential reads from a byte span; every accessor fails softly on
+/// truncated or malformed input.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::optional<std::uint8_t> get_u8() noexcept;
+  [[nodiscard]] std::optional<std::uint32_t> get_u32() noexcept;
+  [[nodiscard]] std::optional<std::uint64_t> get_u64() noexcept;
+  [[nodiscard]] std::optional<std::uint64_t> get_varint() noexcept;
+  /// Reads exactly n bytes.
+  [[nodiscard]] std::optional<std::span<const std::byte>> get_bytes(std::size_t n) noexcept;
+  /// Reads a bitset written by put_bitset; rejects sizes above max_bits.
+  [[nodiscard]] std::optional<DynamicBitset> get_bitset(std::size_t max_bits) noexcept;
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lft

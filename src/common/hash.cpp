@@ -1,0 +1,20 @@
+#include "common/hash.hpp"
+
+namespace lft {
+
+std::uint64_t hash_bytes(std::span<const std::byte> bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+std::uint64_t hash_words(std::span<const std::uint64_t> words) noexcept {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t w : words) h = hash_combine(h, w);
+  return h;
+}
+
+}  // namespace lft

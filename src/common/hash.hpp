@@ -1,0 +1,30 @@
+// Deterministic 64-bit mixing and hashing. Used for seeding PRNGs from
+// structured inputs and as the core of the simulated signature scheme.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace lft {
+
+/// SplitMix64 finalizer: a strong 64-bit mixing function (Stafford variant 13).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two 64-bit values into one, order-sensitive.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// FNV-1a over a byte span, then strengthened through mix64.
+[[nodiscard]] std::uint64_t hash_bytes(std::span<const std::byte> bytes) noexcept;
+
+/// Hashes a sequence of 64-bit words (order-sensitive).
+[[nodiscard]] std::uint64_t hash_words(std::span<const std::uint64_t> words) noexcept;
+
+}  // namespace lft

@@ -1,0 +1,135 @@
+#include "common/math.hpp"
+
+#include <bit>
+#include <initializer_list>
+
+#include "common/assert.hpp"
+
+namespace lft {
+
+int floor_log2(std::uint64_t x) noexcept {
+  LFT_ASSERT(x >= 1);
+  return 63 - std::countl_zero(x);
+}
+
+int ceil_log2(std::uint64_t x) noexcept {
+  LFT_ASSERT(x >= 1);
+  return x == 1 ? 0 : floor_log2(x - 1) + 1;
+}
+
+int lg_rounds(std::uint64_t x) noexcept {
+  const int c = ceil_log2(x < 1 ? 1 : x);
+  return c < 1 ? 1 : c;
+}
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) noexcept {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(a) * static_cast<__uint128_t>(b)) % m);
+}
+
+std::uint64_t powmod(std::uint64_t a, std::uint64_t e, std::uint64_t m) noexcept {
+  LFT_ASSERT(m > 0);
+  std::uint64_t result = 1 % m;
+  a %= m;
+  while (e > 0) {
+    if (e & 1) result = mulmod(result, a, m);
+    a = mulmod(a, a, m);
+    e >>= 1;
+  }
+  return result;
+}
+
+namespace {
+
+bool miller_rabin_witness(std::uint64_t n, std::uint64_t a, std::uint64_t d, int r) noexcept {
+  std::uint64_t x = powmod(a, d, n);
+  if (x == 1 || x == n - 1) return false;
+  for (int i = 0; i < r - 1; ++i) {
+    x = mulmod(x, x, n);
+    if (x == n - 1) return false;
+  }
+  return true;  // composite witness found
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t n) noexcept {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL,
+                          31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This base set is deterministic for all 64-bit integers.
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL,
+                          31ULL, 37ULL}) {
+    if (miller_rabin_witness(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t n) noexcept {
+  if (n <= 2) return 2;
+  std::uint64_t c = n | 1;  // first odd >= n
+  while (!is_prime(c)) c += 2;
+  return c;
+}
+
+std::uint64_t invmod(std::uint64_t a, std::uint64_t p) noexcept {
+  a %= p;
+  LFT_ASSERT(a != 0);
+  return powmod(a, p - 2, p);  // Fermat, p prime
+}
+
+int legendre(std::uint64_t a, std::uint64_t p) noexcept {
+  a %= p;
+  if (a == 0) return 0;
+  const std::uint64_t s = powmod(a, (p - 1) / 2, p);
+  return s == 1 ? 1 : -1;
+}
+
+std::uint64_t sqrtmod(std::uint64_t a, std::uint64_t p) noexcept {
+  a %= p;
+  if (a == 0) return 0;
+  LFT_ASSERT_MSG(legendre(a, p) == 1, "sqrtmod of a non-residue");
+  if (p % 4 == 3) {
+    const std::uint64_t r = powmod(a, (p + 1) / 4, p);
+    return r <= p - r ? r : p - r;
+  }
+  // Tonelli-Shanks for p == 1 (mod 4).
+  std::uint64_t q = p - 1;
+  int s = 0;
+  while ((q & 1) == 0) {
+    q >>= 1;
+    ++s;
+  }
+  std::uint64_t z = 2;
+  while (legendre(z, p) != -1) ++z;
+  std::uint64_t m = static_cast<std::uint64_t>(s);
+  std::uint64_t c = powmod(z, q, p);
+  std::uint64_t t = powmod(a, q, p);
+  std::uint64_t r = powmod(a, (q + 1) / 2, p);
+  while (t != 1) {
+    std::uint64_t i = 0;
+    std::uint64_t tt = t;
+    while (tt != 1) {
+      tt = mulmod(tt, tt, p);
+      ++i;
+      LFT_ASSERT(i < m);
+    }
+    std::uint64_t b = c;
+    for (std::uint64_t j = 0; j < m - i - 1; ++j) b = mulmod(b, b, p);
+    m = i;
+    c = mulmod(b, b, p);
+    t = mulmod(t, c, p);
+    r = mulmod(r, b, p);
+  }
+  return r <= p - r ? r : p - r;
+}
+
+}  // namespace lft

@@ -1,0 +1,44 @@
+// Integer math helpers: logs, primality, and modular arithmetic. The modular
+// kit (powmod, inverse, Legendre symbol, sqrt mod p) supports the
+// Lubotzky-Phillips-Sarnak Ramanujan graph construction in src/graph/lps.*.
+#pragma once
+
+#include <cstdint>
+
+namespace lft {
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] int floor_log2(std::uint64_t x) noexcept;
+
+/// ceil(log2(x)) for x >= 1; ceil_log2(1) == 0.
+[[nodiscard]] int ceil_log2(std::uint64_t x) noexcept;
+
+/// The paper's "lg": ceil(log2(x)) but at least 1, matching its use as a
+/// round count (e.g. local probing runs 2 + lg n rounds).
+[[nodiscard]] int lg_rounds(std::uint64_t x) noexcept;
+
+/// Deterministic primality test (Miller-Rabin with a base set that is exact
+/// for all 64-bit integers).
+[[nodiscard]] bool is_prime(std::uint64_t n) noexcept;
+
+/// Smallest prime >= n (n >= 2).
+[[nodiscard]] std::uint64_t next_prime(std::uint64_t n) noexcept;
+
+/// (a * b) mod m without overflow.
+[[nodiscard]] std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) noexcept;
+
+/// (a ^ e) mod m.
+[[nodiscard]] std::uint64_t powmod(std::uint64_t a, std::uint64_t e, std::uint64_t m) noexcept;
+
+/// Modular inverse of a mod p for prime p, a != 0 (mod p).
+[[nodiscard]] std::uint64_t invmod(std::uint64_t a, std::uint64_t p) noexcept;
+
+/// Legendre symbol (a/p) for odd prime p: 1 if a is a nonzero quadratic
+/// residue, -1 if a non-residue, 0 if a == 0 (mod p).
+[[nodiscard]] int legendre(std::uint64_t a, std::uint64_t p) noexcept;
+
+/// Square root of a modulo odd prime p (Tonelli-Shanks). Requires
+/// legendre(a, p) != -1. Returns the smaller of the two roots.
+[[nodiscard]] std::uint64_t sqrtmod(std::uint64_t a, std::uint64_t p) noexcept;
+
+}  // namespace lft

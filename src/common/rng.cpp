@@ -1,0 +1,65 @@
+#include "common/rng.hpp"
+
+namespace lft {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) noexcept {
+  LFT_ASSERT(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded draw.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  LFT_ASSERT(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+bool Rng::chance(std::uint64_t num, std::uint64_t den) noexcept {
+  LFT_ASSERT(den > 0);
+  return uniform(den) < num;
+}
+
+std::uint64_t make_seed(std::uint64_t purpose, std::uint64_t a, std::uint64_t b,
+                        std::uint64_t c) noexcept {
+  std::uint64_t h = mix64(purpose);
+  h = hash_combine(h, a);
+  h = hash_combine(h, b);
+  h = hash_combine(h, c);
+  return h;
+}
+
+}  // namespace lft

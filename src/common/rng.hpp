@@ -1,0 +1,69 @@
+// Deterministic pseudo-random generators. The library never uses
+// std::random_device or wall-clock seeds: every randomized artifact is a pure
+// function of its structured seed, so all nodes of a simulated system derive
+// identical overlay graphs (a requirement of the paper's deterministic model)
+// and every run is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+
+namespace lft {
+
+/// SplitMix64: tiny stream generator, used to seed Xoshiro and for cheap
+/// one-off draws.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the library's general-purpose PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next() noexcept;
+
+  /// Uniform draw in [0, bound), bound > 0. Unbiased (Lemire's method).
+  std::uint64_t uniform(std::uint64_t bound) noexcept;
+
+  /// Uniform draw in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli draw with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) noexcept;
+
+  /// Fisher-Yates shuffle of a span.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Builds a seed from a purpose tag and structured parameters, so different
+/// uses of randomness never collide.
+[[nodiscard]] std::uint64_t make_seed(std::uint64_t purpose, std::uint64_t a = 0,
+                                      std::uint64_t b = 0, std::uint64_t c = 0) noexcept;
+
+}  // namespace lft

@@ -1,0 +1,19 @@
+// Core identifier and round types shared across the library.
+#pragma once
+
+#include <cstdint>
+
+namespace lft {
+
+/// Identifier of a node in a network of n nodes. Nodes are numbered 0..n-1
+/// internally; the paper numbers them 1..n, which only shifts "little node"
+/// boundaries by one (a node is *little* iff id < 5t).
+using NodeId = std::int32_t;
+
+/// A synchronous round number, starting from 0.
+using Round = std::int64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = -1;
+
+}  // namespace lft

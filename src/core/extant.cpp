@@ -1,0 +1,62 @@
+#include "core/extant.hpp"
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+
+namespace lft::core {
+
+ExtantSet::ExtantSet(NodeId n)
+    : n_(n), known_(static_cast<std::size_t>(n)), rumor_(static_cast<std::size_t>(n), 0) {}
+
+std::uint64_t ExtantSet::rumor(NodeId id) const noexcept {
+  LFT_ASSERT(contains(id));
+  return rumor_[static_cast<std::size_t>(id)];
+}
+
+bool ExtantSet::add(NodeId id, std::uint64_t rumor) {
+  LFT_ASSERT(id >= 0 && id < n_);
+  const auto i = static_cast<std::size_t>(id);
+  if (known_.test(i)) return false;
+  known_.set(i);
+  rumor_[i] = rumor;
+  order_.push_back(id);
+  return true;
+}
+
+std::size_t ExtantSet::encode_delta(std::size_t from, ByteWriter& w) const {
+  LFT_ASSERT(from <= order_.size());
+  w.put_varint(order_.size() - from);
+  for (std::size_t i = from; i < order_.size(); ++i) {
+    const NodeId id = order_[i];
+    w.put_varint(static_cast<std::uint64_t>(id));
+    w.put_u64(rumor_[static_cast<std::size_t>(id)]);
+  }
+  return order_.size();
+}
+
+void ExtantSet::encode_full(ByteWriter& w) const { (void)encode_delta(0, w); }
+
+std::uint64_t ExtantSet::digest() const noexcept {
+  std::uint64_t h = 0x6578746e74736574ULL;  // "extntset"
+  known_.for_each([&](std::size_t i) {
+    h = hash_combine(h, static_cast<std::uint64_t>(i));
+    h = hash_combine(h, rumor_[i]);
+  });
+  return h;
+}
+
+bool ExtantSet::apply(ByteReader& r, bool* changed) {
+  if (changed != nullptr) *changed = false;
+  const auto count = r.get_varint();
+  if (!count || *count > static_cast<std::uint64_t>(n_)) return false;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto id = r.get_varint();
+    if (!id || *id >= static_cast<std::uint64_t>(n_)) return false;
+    const auto rum = r.get_u64();
+    if (!rum) return false;
+    if (add(static_cast<NodeId>(*id), *rum) && changed != nullptr) *changed = true;
+  }
+  return true;
+}
+
+}  // namespace lft::core

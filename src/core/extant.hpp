@@ -1,0 +1,65 @@
+// The extant set of the gossiping/checkpointing problems (Section 2): a
+// collection of (node, rumor) pairs, monotonically growing. Supports full
+// and delta serialization; deltas are safe because knowledge only grows and
+// link delivery is reliable (a crashed sender never resumes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/codec.hpp"
+#include "common/types.hpp"
+
+namespace lft::core {
+
+class ExtantSet {
+ public:
+  explicit ExtantSet(NodeId n);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept { return n_; }
+  [[nodiscard]] bool contains(NodeId id) const noexcept {
+    return known_.test(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] std::uint64_t rumor(NodeId id) const noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return known_.count(); }
+  [[nodiscard]] const DynamicBitset& known() const noexcept { return known_; }
+
+  /// Adds a pair; returns true iff it was new. Re-adding an existing id is a
+  /// no-op (first rumor wins; rumors are immutable per node).
+  bool add(NodeId id, std::uint64_t rumor);
+
+  /// Insertion log: pairs in the order they were learned. Watermarks into
+  /// this log drive delta encoding.
+  [[nodiscard]] std::size_t log_size() const noexcept { return order_.size(); }
+
+  /// Serializes pairs with log index >= from (a delta), returns new watermark.
+  std::size_t encode_delta(std::size_t from, ByteWriter& w) const;
+  /// Serializes the complete set.
+  void encode_full(ByteWriter& w) const;
+
+  /// Applies a delta or full encoding; returns false on malformed input.
+  /// Returns true (and reports via `changed`) otherwise.
+  bool apply(ByteReader& r, bool* changed = nullptr);
+
+  /// Order-independent content digest (for decision bookkeeping and tests).
+  [[nodiscard]] std::uint64_t digest() const noexcept;
+
+  friend bool operator==(const ExtantSet& a, const ExtantSet& b) noexcept {
+    if (a.n_ != b.n_ || !(a.known_ == b.known_)) return false;
+    bool equal = true;
+    a.known_.for_each([&](std::size_t i) {
+      if (a.rumor_[i] != b.rumor_[i]) equal = false;
+    });
+    return equal;
+  }
+
+ private:
+  NodeId n_;
+  DynamicBitset known_;
+  std::vector<std::uint64_t> rumor_;
+  std::vector<NodeId> order_;
+};
+
+}  // namespace lft::core

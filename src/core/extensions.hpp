@@ -1,0 +1,36 @@
+// Extensions sketched in the paper's Discussion (Section 9): "the newly
+// discovered properties of Ramanujan graphs could be applied to streamline
+// ... problems like gossip, counting, and majority consensus." Both are
+// built from the paper's own machinery: gossip the inputs, then run 2n
+// concurrent consensus instances with combined messages — instances [0, n)
+// agree on the operational member set, instances [n, 2n) agree on the
+// members that hold input 1. Every non-faulty node then derives the same
+// count and the same majority value locally.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "core/checkpointing.hpp"
+
+namespace lft::core {
+
+struct AggregateOutcome {
+  sim::Report report;
+  bool termination = false;  // every non-faulty node decided
+  bool agreement = false;    // all decided (members, ones) pairs equal
+  std::int64_t members = -1; // agreed count of operational nodes
+  std::int64_t ones = -1;    // agreed count of members with input 1
+  int majority = -1;         // 1 iff ones * 2 > members
+
+  [[nodiscard]] bool all_good() const { return termination && agreement; }
+};
+
+/// Counting + majority consensus over binary inputs, tolerating up to t
+/// crashes (t < n/5). Uses CheckpointParams for the gossip and consensus
+/// sub-protocols.
+[[nodiscard]] AggregateOutcome run_majority_consensus(
+    const CheckpointParams& params, std::span<const int> inputs,
+    std::unique_ptr<sim::CrashAdversary> adversary);
+
+}  // namespace lft::core

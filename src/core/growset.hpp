@@ -1,0 +1,76 @@
+// A monotonically growing bit set over [0, n) with an insertion log for
+// delta serialization. Used for vectorized consensus candidates (Section 6)
+// and gossip completion sets (Section 5): both only ever gain members, so
+// per-link deltas are sound under reliable delivery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bitset.hpp"
+#include "common/codec.hpp"
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace lft::core {
+
+class GrowingBitset {
+ public:
+  explicit GrowingBitset(std::size_t n) : bits_(n) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_.size(); }
+  [[nodiscard]] bool test(std::size_t i) const noexcept { return bits_.test(i); }
+  [[nodiscard]] std::size_t count() const noexcept { return bits_.count(); }
+  [[nodiscard]] const DynamicBitset& bits() const noexcept { return bits_; }
+  [[nodiscard]] std::size_t log_size() const noexcept { return order_.size(); }
+
+  bool add(std::size_t i) {
+    LFT_ASSERT(i < bits_.size());
+    if (bits_.test(i)) return false;
+    bits_.set(i);
+    order_.push_back(static_cast<std::uint32_t>(i));
+    return true;
+  }
+
+  /// Adds every set bit of `other`; returns true iff anything was new.
+  bool merge(const DynamicBitset& other) {
+    LFT_ASSERT(other.size() == bits_.size());
+    bool changed = false;
+    other.for_each([&](std::size_t i) { changed |= add(i); });
+    return changed;
+  }
+
+  /// Serializes entries with log index >= from; returns the new watermark.
+  std::size_t encode_delta(std::size_t from, ByteWriter& w) const {
+    LFT_ASSERT(from <= order_.size());
+    w.put_varint(order_.size() - from);
+    for (std::size_t i = from; i < order_.size(); ++i) w.put_varint(order_[i]);
+    return order_.size();
+  }
+
+  /// Applies an encoded delta; returns false on malformed input.
+  bool apply(ByteReader& r, bool* changed = nullptr) {
+    if (changed != nullptr) *changed = false;
+    const auto count = r.get_varint();
+    if (!count || *count > bits_.size()) return false;
+    for (std::uint64_t k = 0; k < *count; ++k) {
+      const auto i = r.get_varint();
+      if (!i || *i >= bits_.size()) return false;
+      if (add(static_cast<std::size_t>(*i)) && changed != nullptr) *changed = true;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t digest() const noexcept {
+    std::uint64_t h = 0x67726f7773657431ULL;  // "growset1"
+    bits_.for_each([&](std::size_t i) { h = hash_combine(h, static_cast<std::uint64_t>(i)); });
+    return h;
+  }
+
+ private:
+  DynamicBitset bits_;
+  std::vector<std::uint32_t> order_;
+};
+
+}  // namespace lft::core

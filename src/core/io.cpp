@@ -1,0 +1,27 @@
+#include "core/io.hpp"
+
+namespace lft::core {
+
+Round StageDriver::total_duration() const {
+  Round total = 0;
+  for (const auto& s : stages_) total += s->duration();
+  return total;
+}
+
+bool StageDriver::drive(Round round, std::span<const sim::Message> inbox, ProtocolIo& io) {
+  while (current_ < stages_.size() && round - stage_start_ >= stages_[current_]->duration()) {
+    stage_start_ += stages_[current_]->duration();
+    ++current_;
+  }
+  if (current_ >= stages_.size()) return true;
+  stages_[current_]->on_round(round - stage_start_, inbox, io);
+  return current_ + 1 == stages_.size() &&
+         round - stage_start_ + 1 >= stages_[current_]->duration();
+}
+
+void StageProcess::on_round(sim::Context& ctx, std::span<const sim::Message> inbox) {
+  ContextIo io(ctx);
+  if (driver_.drive(ctx.round(), inbox, io)) ctx.halt();
+}
+
+}  // namespace lft::core

@@ -1,0 +1,136 @@
+// Protocol/stage abstractions. The paper's algorithms are sequences of
+// time-separated parts (flooding, local probing, notification, value
+// spreading, inquiry phases); each part is a Stage driven round by round.
+// Stages are engine-agnostic: the multi-port StageProcess drives them on the
+// sim::Engine, and the single-port adapter (src/singleport) expands each
+// stage round into send/poll slots using the stage's declared link plans —
+// the Section 8 construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+#include "sim/message.hpp"
+
+namespace lft::core {
+
+/// What a stage can do to the outside world during a round.
+class ProtocolIo {
+ public:
+  virtual ~ProtocolIo() = default;
+  virtual void send(NodeId to, std::uint32_t tag, std::uint64_t value, std::uint64_t bits = 1,
+                    std::vector<std::byte> body = {}) = 0;
+  /// Irrevocable decision (forwarded to the engine's bookkeeping).
+  virtual void decide(std::uint64_t value) = 0;
+  /// Marks one activation of a certified-pull epilogue (see DESIGN.md).
+  virtual void count_fallback() = 0;
+};
+
+/// Static per-round link bounds (identical at every node), used by the
+/// single-port adapter to size its send/poll slots.
+struct LinkBudget {
+  int max_out = 0;
+  int max_in = 0;
+};
+
+/// This node's usable links at a given stage round: `out` lists targets it
+/// may send to (superset of actual sends), `in` lists sources whose messages
+/// sent this round it must poll for.
+struct LinkPlan {
+  std::vector<NodeId> out;
+  std::vector<NodeId> in;
+};
+
+/// One time-separated part of a protocol at one node.
+class Stage {
+ public:
+  virtual ~Stage() = default;
+
+  /// Number of rounds this stage occupies. Must be the same at every node.
+  [[nodiscard]] virtual Round duration() const = 0;
+
+  /// Drives local round r (0-based within the stage). `inbox` contains only
+  /// messages sent during this stage's rounds (stages own disjoint tag
+  /// ranges and are time-separated).
+  virtual void on_round(Round r, std::span<const sim::Message> inbox, ProtocolIo& io) = 0;
+
+  /// Single-port support: global per-round link bounds...
+  [[nodiscard]] virtual LinkBudget link_budget(Round /*r*/) const { return {}; }
+  /// ...and this node's link plan for round r.
+  [[nodiscard]] virtual LinkPlan link_plan(Round /*r*/) const { return {}; }
+};
+
+/// Shared per-node protocol state threaded through consecutive stages.
+struct BinaryState {
+  int candidate = 0;          // current candidate decision value (0/1)
+  bool has_value = false;     // holds the common value (has decided)
+  std::uint64_t value = 0;    // the common value once acquired
+  bool survived_probe = false;
+  bool is_little = false;
+};
+
+/// Sequences stages over engine rounds (round offsets are implicit in the
+/// stage durations). Shared by all multi-port protocol processes.
+class StageDriver {
+ public:
+  void add(std::unique_ptr<Stage> stage) { stages_.push_back(std::move(stage)); }
+
+  [[nodiscard]] Round total_duration() const;
+  [[nodiscard]] const Stage& stage(std::size_t i) const { return *stages_[i]; }
+  [[nodiscard]] std::size_t stage_count() const noexcept { return stages_.size(); }
+
+  /// Drives the stage owning `round`; returns true when this was the last
+  /// round of the last stage (the caller should halt).
+  bool drive(Round round, std::span<const sim::Message> inbox, ProtocolIo& io);
+
+ private:
+  std::vector<std::unique_ptr<Stage>> stages_;
+  std::size_t current_ = 0;
+  Round stage_start_ = 0;
+};
+
+/// Multi-port driver process for protocols whose shared state is a
+/// BinaryState (AEA, SCV, both consensus algorithms).
+class StageProcess final : public sim::Process {
+ public:
+  explicit StageProcess(NodeId self) : self_(self) {}
+
+  void add_stage(std::unique_ptr<Stage> stage) { driver_.add(std::move(stage)); }
+
+  [[nodiscard]] NodeId self() const noexcept { return self_; }
+  [[nodiscard]] Round total_duration() const { return driver_.total_duration(); }
+  [[nodiscard]] StageDriver& driver() noexcept { return driver_; }
+
+  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override;
+
+  /// Post-run inspection.
+  [[nodiscard]] const BinaryState& state() const noexcept { return state_; }
+  [[nodiscard]] BinaryState& state() noexcept { return state_; }
+  [[nodiscard]] const Stage& stage(std::size_t i) const { return driver_.stage(i); }
+
+ private:
+  NodeId self_;
+  StageDriver driver_;
+  BinaryState state_;
+};
+
+/// Adapts the engine context to ProtocolIo (shared by protocol processes).
+class ContextIo final : public ProtocolIo {
+ public:
+  explicit ContextIo(sim::Context& ctx) : ctx_(&ctx) {}
+  void send(NodeId to, std::uint32_t tag, std::uint64_t value, std::uint64_t bits,
+            std::vector<std::byte> body) override {
+    ctx_->send(to, tag, value, bits, std::move(body));
+  }
+  void decide(std::uint64_t value) override { ctx_->decide(value); }
+  void count_fallback() override { ctx_->count_fallback(); }
+
+ private:
+  sim::Context* ctx_;
+};
+
+}  // namespace lft::core

@@ -1,0 +1,156 @@
+// The paper's protocol parts as composable stages:
+//   FloodRumorStage    — Part 1 of Figures 1 and 4 (flooding rumor 1)
+//   ProbeStage         — Part 2 of Figures 1 and 4 (local probing + decide)
+//   NotifyRelatedStage — Part 3 of Figure 1 (little -> related star)
+//   SpreadFloodStage   — Part 1 of Figure 2 (flooding the common value on H)
+//   InquiryPhasesStage — Part 2 of Figure 2 / Part 3 of Figure 4
+//   PullStage          — the t^2 <= n all-littles inquiry of Figure 2, and
+//                        the certified-pull epilogue (DESIGN.md subst. 4)
+// Assemblies (AEA, SCV, Few-/Many-Crashes-Consensus) live in consensus.hpp.
+#pragma once
+
+#include <memory>
+
+#include "core/io.hpp"
+#include "core/local_probe.hpp"
+#include "core/tags.hpp"
+#include "graph/graph.hpp"
+
+namespace lft::core {
+
+/// Overlay namespace tags (combined with ConsensusParams::overlay_tag).
+enum OverlayTag : std::uint64_t {
+  kOverlayLittleG = 101,
+  kOverlayAllG = 102,
+  kOverlaySpreadH = 103,
+  kOverlayInquiryBase = 1000,  // + phase index
+  kOverlayGossipBase = 3000,   // + phase index
+};
+
+/// Part 1 flooding: members (ids < member_count) flood rumor 1 over `g` for
+/// `rounds` rounds; a member forwards the first time its candidate flips to 1.
+class FloodRumorStage final : public Stage {
+ public:
+  FloodRumorStage(NodeId self, NodeId member_count, std::shared_ptr<const graph::Graph> g,
+                  Round rounds, BinaryState& state);
+
+  [[nodiscard]] Round duration() const override { return rounds_; }
+  void on_round(Round r, std::span<const sim::Message> inbox, ProtocolIo& io) override;
+  [[nodiscard]] LinkBudget link_budget(Round r) const override;
+  [[nodiscard]] LinkPlan link_plan(Round r) const override;
+
+ private:
+  [[nodiscard]] bool is_member() const noexcept { return self_ < members_; }
+  NodeId self_;
+  NodeId members_;
+  std::shared_ptr<const graph::Graph> g_;
+  Round rounds_;
+  BinaryState* state_;
+  bool sent_ = false;
+};
+
+/// Part 2 local probing among members over `g`; survivors optionally decide
+/// on their candidate (Figures 1 and 4). Also applies the pseudocode's
+/// stipulation (b): receiving rumor 1 lifts a 0 candidate.
+class ProbeStage final : public Stage {
+ public:
+  ProbeStage(NodeId self, NodeId member_count, std::shared_ptr<const graph::Graph> g,
+             int gamma, int delta, BinaryState& state, bool decide_on_survive);
+
+  [[nodiscard]] Round duration() const override { return probe_.duration(); }
+  void on_round(Round r, std::span<const sim::Message> inbox, ProtocolIo& io) override;
+  [[nodiscard]] LinkBudget link_budget(Round r) const override;
+  [[nodiscard]] LinkPlan link_plan(Round r) const override;
+
+ private:
+  [[nodiscard]] bool is_member() const noexcept { return self_ < members_; }
+  NodeId self_;
+  NodeId members_;
+  std::shared_ptr<const graph::Graph> g_;
+  LocalProbe probe_;
+  BinaryState* state_;
+  bool decide_on_survive_;
+};
+
+/// Part 3 of Figure 1: little deciders notify their related nodes (same
+/// residue mod little_count); recipients adopt and decide.
+class NotifyRelatedStage final : public Stage {
+ public:
+  NotifyRelatedStage(NodeId self, NodeId n, NodeId little_count, BinaryState& state);
+
+  [[nodiscard]] Round duration() const override { return 2; }
+  void on_round(Round r, std::span<const sim::Message> inbox, ProtocolIo& io) override;
+  [[nodiscard]] LinkBudget link_budget(Round r) const override;
+  [[nodiscard]] LinkPlan link_plan(Round r) const override;
+
+ private:
+  NodeId self_;
+  NodeId n_;
+  NodeId little_;
+  BinaryState* state_;
+};
+
+/// Part 1 of Figure 2: nodes holding the common value flood it over H; a
+/// node adopts (and decides) on first receipt and forwards once. The final
+/// round only adopts, keeping the stage self-contained.
+class SpreadFloodStage final : public Stage {
+ public:
+  SpreadFloodStage(NodeId self, std::shared_ptr<const graph::Graph> h, Round rounds,
+                   BinaryState& state, std::uint64_t value_bits = 1);
+
+  [[nodiscard]] Round duration() const override { return rounds_ + 1; }
+  void on_round(Round r, std::span<const sim::Message> inbox, ProtocolIo& io) override;
+  [[nodiscard]] LinkBudget link_budget(Round r) const override;
+  [[nodiscard]] LinkPlan link_plan(Round r) const override;
+
+ private:
+  NodeId self_;
+  std::shared_ptr<const graph::Graph> h_;
+  Round rounds_;
+  BinaryState* state_;
+  std::uint64_t value_bits_;
+  bool forwarded_ = false;
+};
+
+/// Part 2 of Figure 2 / Part 3 of Figure 4: 2-round inquiry phases over a
+/// family of graphs G_i of geometrically growing degree; undecided nodes
+/// inquire, decided neighbors reply with the value.
+class InquiryPhasesStage final : public Stage {
+ public:
+  InquiryPhasesStage(NodeId self, std::vector<std::shared_ptr<const graph::Graph>> graphs,
+                     BinaryState& state, std::uint64_t value_bits = 1);
+
+  [[nodiscard]] Round duration() const override {
+    return 2 * static_cast<Round>(graphs_.size()) + 1;
+  }
+  void on_round(Round r, std::span<const sim::Message> inbox, ProtocolIo& io) override;
+  [[nodiscard]] LinkBudget link_budget(Round r) const override;
+  [[nodiscard]] LinkPlan link_plan(Round r) const override;
+
+ private:
+  NodeId self_;
+  std::vector<std::shared_ptr<const graph::Graph>> graphs_;
+  BinaryState* state_;
+  std::uint64_t value_bits_;
+};
+
+/// Direct pull from the first `target_count` nodes: the t^2 <= n branch of
+/// Figure 2's Part 2 (targets = little nodes, fallback_metric = false) and
+/// the certified-pull epilogue (fallback_metric = true, DESIGN.md subst. 4).
+class PullStage final : public Stage {
+ public:
+  PullStage(NodeId self, NodeId target_count, BinaryState& state, bool fallback_metric,
+            std::uint64_t value_bits = 1);
+
+  [[nodiscard]] Round duration() const override { return 3; }
+  void on_round(Round r, std::span<const sim::Message> inbox, ProtocolIo& io) override;
+
+ private:
+  NodeId self_;
+  NodeId targets_;
+  BinaryState* state_;
+  bool fallback_metric_;
+  std::uint64_t value_bits_;
+};
+
+}  // namespace lft::core

@@ -1,0 +1,46 @@
+// Message tags. Each protocol stage owns a disjoint tag set; stages are also
+// time-separated, so tags double as a safety net against cross-stage leaks.
+#pragma once
+
+#include <cstdint>
+
+namespace lft::core {
+
+enum Tag : std::uint32_t {
+  kTagRumor = 1,      // Part 1 flooding of rumor 1
+  kTagProbe = 2,      // local probing heartbeat (value = candidate)
+  kTagNotify = 3,     // AEA Part 3: little -> related nodes
+  kTagSpread = 4,     // SCV Part 1: flooding the common value
+  kTagInquiry = 5,    // inquiry about a decision
+  kTagReply = 6,      // reply carrying the decision value
+  kTagPull = 7,       // certified-pull epilogue request
+  kTagPullReply = 8,  // certified-pull epilogue response
+
+  kTagGossipInquiry = 16,  // gossip Part 1: ask an absent node for its pair
+  kTagGossipPair = 17,     // gossip: reply carrying (id, rumor)
+  kTagGossipProbe = 18,    // gossip probing heartbeat (+ extant-set delta)
+  kTagGossipSet = 19,      // gossip Part 2: certified extant set
+  kTagGossipComplete = 20, // gossip Part 2 probing (+ completion-set delta)
+  kTagGossipPull = 21,     // gossip epilogue pull
+  kTagGossipSetReply = 22, // gossip epilogue response
+
+  kTagVecRumor = 32,   // vectorized consensus flooding delta
+  kTagVecProbe = 33,   // vectorized consensus probing heartbeat (+ delta)
+  kTagVecNotify = 34,  // vectorized consensus little -> related (full vector)
+  kTagVecSpread = 35,  // vectorized value spreading
+  kTagVecInquiry = 36,
+  kTagVecReply = 37,
+  kTagVecPull = 38,
+  kTagVecPullReply = 39,
+
+  kTagDsRelay = 64,     // Dolev-Strong signed relay
+  kTagAbNotify = 65,    // AB-Consensus Part 2: little -> related
+  kTagAbSpread = 66,    // AB-Consensus Part 3: flooding common sets
+  kTagAbInquiry = 67,   // AB-Consensus Part 4: authenticated inquiry
+  kTagAbReply = 68,     // AB-Consensus Part 4: reply with common set
+  kTagAbCert = 69,      // AB-Consensus Part 1: signature over the ACS digest
+
+  kTagBaseline = 128,  // baselines use kTagBaseline + k
+};
+
+}  // namespace lft::core

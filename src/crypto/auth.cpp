@@ -1,0 +1,33 @@
+#include "crypto/auth.hpp"
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+
+namespace lft::crypto {
+
+Digest digest_bytes(std::span<const std::byte> bytes) noexcept { return hash_bytes(bytes); }
+
+Digest digest_words(std::span<const std::uint64_t> words) noexcept {
+  return hash_words(words);
+}
+
+Signature Signer::sign(Digest digest) const noexcept {
+  return Signature{id_, hash_combine(secret_, digest)};
+}
+
+std::uint64_t KeyRegistry::secret_of(NodeId v) const noexcept {
+  return hash_combine(mix64(seed_ ^ 0x5349474e4b455953ULL),  // "SIGNKEYS"
+                      static_cast<std::uint64_t>(v));
+}
+
+Signer KeyRegistry::signer_for(NodeId v) const noexcept {
+  LFT_ASSERT(v >= 0 && v < n_);
+  return Signer(v, secret_of(v));
+}
+
+bool KeyRegistry::verify(const Signature& sig, Digest digest) const noexcept {
+  if (sig.signer < 0 || sig.signer >= n_) return false;
+  return sig.tag == hash_combine(secret_of(sig.signer), digest);
+}
+
+}  // namespace lft::crypto

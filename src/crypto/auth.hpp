@@ -1,0 +1,68 @@
+// Authentication substrate for the authenticated-Byzantine model (Section 7).
+// The paper assumes unforgeable signatures: "a node faulty in the
+// authenticated Byzantine sense may undergo arbitrary state transitions but
+// it cannot forge messages claiming that they are forwarded from other
+// nodes". We realize this with a keyed-hash MAC scheme: each node's secret
+// lives only inside its Signer (handed out once by the KeyRegistry), and
+// Byzantine behaviors receive only their own Signer, so forging another
+// node's signature requires guessing a 64-bit tag — impossible by
+// construction within the simulation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace lft::crypto {
+
+/// 64-bit content digest.
+using Digest = std::uint64_t;
+
+[[nodiscard]] Digest digest_bytes(std::span<const std::byte> bytes) noexcept;
+[[nodiscard]] Digest digest_words(std::span<const std::uint64_t> words) noexcept;
+
+struct Signature {
+  NodeId signer = kNoNode;
+  std::uint64_t tag = 0;
+
+  friend bool operator==(const Signature&, const Signature&) = default;
+};
+
+class KeyRegistry;
+
+/// Signing capability of a single node. Only obtainable from the registry.
+class Signer {
+ public:
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] Signature sign(Digest digest) const noexcept;
+
+ private:
+  friend class KeyRegistry;
+  Signer(NodeId id, std::uint64_t secret) noexcept : id_(id), secret_(secret) {}
+  NodeId id_;
+  std::uint64_t secret_;
+};
+
+/// Trusted key-distribution and verification authority (the PKI the
+/// authenticated model presumes). Deterministic in (n, seed).
+class KeyRegistry {
+ public:
+  KeyRegistry(NodeId n, std::uint64_t seed) noexcept : n_(n), seed_(seed) {}
+
+  [[nodiscard]] NodeId num_nodes() const noexcept { return n_; }
+
+  /// Hands out node v's signer; call once per node when wiring processes.
+  [[nodiscard]] Signer signer_for(NodeId v) const noexcept;
+
+  /// Verifies that `sig` is node sig.signer's authentic signature on digest.
+  [[nodiscard]] bool verify(const Signature& sig, Digest digest) const noexcept;
+
+ private:
+  [[nodiscard]] std::uint64_t secret_of(NodeId v) const noexcept;
+  NodeId n_;
+  std::uint64_t seed_;
+};
+
+}  // namespace lft::crypto

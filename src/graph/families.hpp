@@ -1,0 +1,18 @@
+// Reference graph families: complete, ring, star, hypercube, grid. Complete
+// graphs serve as degenerate overlays when the requested expander degree
+// reaches n-1; the others are baselines and test fixtures.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace lft::graph {
+
+[[nodiscard]] Graph complete_graph(NodeId n);
+[[nodiscard]] Graph ring_graph(NodeId n);
+[[nodiscard]] Graph star_graph(NodeId n);  // vertex 0 is the hub
+/// Hypercube on 2^dim vertices.
+[[nodiscard]] Graph hypercube_graph(int dim);
+/// 2-D torus grid on rows*cols vertices.
+[[nodiscard]] Graph torus_graph(NodeId rows, NodeId cols);
+
+}  // namespace lft::graph

@@ -1,0 +1,58 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace lft::graph {
+
+Graph Graph::from_edges(NodeId n, std::span<const std::pair<NodeId, NodeId>> edges) {
+  LFT_ASSERT(n >= 0);
+  Graph g;
+  g.n_ = n;
+
+  // Collect both directions, drop self-loops, then sort + unique.
+  std::vector<std::pair<NodeId, NodeId>> directed;
+  directed.reserve(edges.size() * 2);
+  for (auto [u, v] : edges) {
+    LFT_ASSERT(u >= 0 && u < n && v >= 0 && v < n);
+    if (u == v) continue;
+    directed.emplace_back(u, v);
+    directed.emplace_back(v, u);
+  }
+  std::sort(directed.begin(), directed.end());
+  directed.erase(std::unique(directed.begin(), directed.end()), directed.end());
+
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (auto [u, v] : directed) {
+    (void)v;
+    ++g.offsets_[static_cast<std::size_t>(u) + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) g.offsets_[i] += g.offsets_[i - 1];
+  g.adjacency_.reserve(directed.size());
+  for (auto [u, v] : directed) {
+    (void)u;
+    g.adjacency_.push_back(v);
+  }
+  return g;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const noexcept {
+  const auto ns = neighbors(u);
+  return std::binary_search(ns.begin(), ns.end(), v);
+}
+
+int Graph::min_degree() const noexcept {
+  if (n_ == 0) return 0;
+  int m = degree(0);
+  for (NodeId v = 1; v < n_; ++v) m = std::min(m, degree(v));
+  return m;
+}
+
+int Graph::max_degree() const noexcept {
+  int m = 0;
+  for (NodeId v = 0; v < n_; ++v) m = std::max(m, degree(v));
+  return m;
+}
+
+}  // namespace lft::graph

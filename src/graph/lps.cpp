@@ -1,0 +1,169 @@
+#include "graph/lps.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace lft::graph {
+
+namespace {
+
+// 2x2 matrix over F_q.
+struct Mat {
+  std::uint64_t a, b, c, d;
+};
+
+Mat mat_mul(const Mat& x, const Mat& y, std::uint64_t q) {
+  return Mat{
+      (mulmod(x.a, y.a, q) + mulmod(x.b, y.c, q)) % q,
+      (mulmod(x.a, y.b, q) + mulmod(x.b, y.d, q)) % q,
+      (mulmod(x.c, y.a, q) + mulmod(x.d, y.c, q)) % q,
+      (mulmod(x.c, y.b, q) + mulmod(x.d, y.d, q)) % q,
+  };
+}
+
+// Canonical representative of the projective class of m: scale so the first
+// nonzero entry (scanning a, b, c, d) equals 1.
+Mat projective_canon(const Mat& m, std::uint64_t q) {
+  std::uint64_t lead = m.a != 0 ? m.a : (m.b != 0 ? m.b : (m.c != 0 ? m.c : m.d));
+  LFT_ASSERT(lead != 0);
+  const std::uint64_t inv = invmod(lead, q);
+  return Mat{mulmod(m.a, inv, q), mulmod(m.b, inv, q), mulmod(m.c, inv, q),
+             mulmod(m.d, inv, q)};
+}
+
+std::uint64_t mat_key(const Mat& m) {
+  // q < 2^16 in all catalog sizes, so 16 bits per entry are enough.
+  return (m.a << 48) | (m.b << 32) | (m.c << 16) | m.d;
+}
+
+// All integer solutions of a0^2+a1^2+a2^2+a3^2 = p with a0 > 0 odd and
+// a1, a2, a3 even. Jacobi's theorem gives exactly p + 1 of them for a prime
+// p == 1 (mod 4).
+std::vector<std::array<std::int64_t, 4>> sum_of_four_squares(std::int64_t p) {
+  std::vector<std::array<std::int64_t, 4>> out;
+  const auto r = static_cast<std::int64_t>(std::sqrt(static_cast<double>(p))) + 1;
+  const std::int64_t e = r - (r % 2);  // largest even value <= r
+  for (std::int64_t a0 = 1; a0 * a0 <= p; a0 += 2) {
+    for (std::int64_t a1 = -e; a1 <= e; a1 += 2) {
+      for (std::int64_t a2 = -e; a2 <= e; a2 += 2) {
+        const std::int64_t rest = p - a0 * a0 - a1 * a1 - a2 * a2;
+        if (rest < 0) continue;
+        const auto a3 = static_cast<std::int64_t>(
+            std::llround(std::sqrt(static_cast<double>(rest))));
+        if (a3 * a3 != rest || a3 % 2 != 0) continue;
+        out.push_back({a0, a1, a2, a3});
+        if (a3 != 0) out.push_back({a0, a1, a2, -a3});
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t to_fq(std::int64_t v, std::uint64_t q) {
+  std::int64_t m = v % static_cast<std::int64_t>(q);
+  if (m < 0) m += static_cast<std::int64_t>(q);
+  return static_cast<std::uint64_t>(m);
+}
+
+}  // namespace
+
+std::int64_t lps_vertex_count(std::uint64_t p, std::uint64_t q) {
+  const auto qq = static_cast<std::int64_t>(q);
+  const std::int64_t pgl = qq * (qq * qq - 1);
+  return legendre(p, q) == 1 ? pgl / 2 : pgl;
+}
+
+LpsResult lps_graph(std::uint64_t p, std::uint64_t q) {
+  LFT_ASSERT(is_prime(p) && is_prime(q) && p != q);
+  LFT_ASSERT(p % 4 == 1 && q % 4 == 1);
+  LFT_ASSERT_MSG(static_cast<double>(q) > 2.0 * std::sqrt(static_cast<double>(p)),
+                 "q > 2*sqrt(p) required for a simple graph");
+  LFT_ASSERT_MSG(q < (1ULL << 16), "q too large for packed matrix keys");
+
+  // i with i^2 == -1 (mod q); exists since q == 1 (mod 4).
+  const std::uint64_t iu = sqrtmod(q - 1, q);
+
+  const auto sols = sum_of_four_squares(static_cast<std::int64_t>(p));
+  LFT_ASSERT_MSG(sols.size() == p + 1, "expected exactly p+1 generator solutions");
+
+  // Generator matrices g = [[a0 + i*a1, a2 + i*a3], [-a2 + i*a3, a0 - i*a1]].
+  std::vector<Mat> gens;
+  gens.reserve(sols.size());
+  for (const auto& s : sols) {
+    const std::uint64_t a0 = to_fq(s[0], q), a1 = to_fq(s[1], q), a2 = to_fq(s[2], q),
+                        a3 = to_fq(s[3], q);
+    Mat g{
+        (a0 + mulmod(iu, a1, q)) % q,
+        (a2 + mulmod(iu, a3, q)) % q,
+        (q - a2 + mulmod(iu, a3, q)) % q,
+        (a0 + q - mulmod(iu, a1, q) % q) % q,
+    };
+    gens.push_back(projective_canon(g, q));
+  }
+
+  // BFS over the Cayley graph from the identity. When (p/q) = 1 the
+  // generators lie in PSL(2,q), so BFS explores exactly the PSL coset inside
+  // PGL(2,q); otherwise it covers all of PGL(2,q) and the graph is bipartite.
+  const bool in_psl = legendre(p, q) == 1;
+  std::unordered_map<std::uint64_t, NodeId> index;
+  std::vector<Mat> vertices;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+
+  const Mat identity{1, 0, 0, 1};
+  index.emplace(mat_key(identity), 0);
+  vertices.push_back(identity);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    const Mat mu = vertices[static_cast<std::size_t>(u)];
+    for (const Mat& g : gens) {
+      const Mat w = projective_canon(mat_mul(g, mu, q), q);
+      const std::uint64_t key = mat_key(w);
+      auto [it, inserted] = index.emplace(key, static_cast<NodeId>(vertices.size()));
+      if (inserted) {
+        vertices.push_back(w);
+        frontier.push(it->second);
+      }
+      if (u <= it->second) edges.emplace_back(u, it->second);
+    }
+  }
+
+  const std::int64_t expected = lps_vertex_count(p, q);
+  LFT_ASSERT_MSG(static_cast<std::int64_t>(vertices.size()) == expected,
+                 "LPS BFS covered an unexpected number of vertices");
+
+  LpsResult result;
+  result.graph = Graph::from_edges(static_cast<NodeId>(vertices.size()), edges);
+  result.bipartite = !in_psl;
+  result.degree = static_cast<int>(p) + 1;
+  return result;
+}
+
+std::vector<LpsParams> lps_catalog(std::int64_t max_vertices) {
+  std::vector<LpsParams> out;
+  for (std::uint64_t p : {5ULL, 13ULL, 17ULL, 29ULL, 37ULL, 41ULL}) {
+    for (std::uint64_t q : {13ULL, 17ULL, 29ULL, 37ULL, 41ULL, 53ULL, 61ULL, 73ULL, 89ULL,
+                            97ULL}) {
+      if (p == q) continue;
+      if (static_cast<double>(q) <= 2.0 * std::sqrt(static_cast<double>(p))) continue;
+      if (legendre(p, q) != 1) continue;  // catalog lists the PSL (non-bipartite) graphs
+      const std::int64_t v = lps_vertex_count(p, q);
+      if (v <= max_vertices) out.push_back({p, q, v});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LpsParams& a, const LpsParams& b) { return a.vertices < b.vertices; });
+  return out;
+}
+
+}  // namespace lft::graph

@@ -1,0 +1,40 @@
+// Lubotzky-Phillips-Sarnak Ramanujan graphs X^{p,q}: (p+1)-regular Cayley
+// graphs of PSL(2,q) (when p is a quadratic residue mod q) or PGL(2,q)
+// (otherwise), for distinct primes p, q == 1 (mod 4). These are the graphs
+// the paper's Section 3 analyzes; we construct them exactly at the vertex
+// counts where they exist and use them to validate Theorems 1-4 directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lft::graph {
+
+struct LpsResult {
+  Graph graph;
+  bool bipartite = false;  // true for the PGL (non-residue) case
+  int degree = 0;          // p + 1
+};
+
+/// Builds X^{p,q}. Requirements: p, q distinct primes, p % 4 == q % 4 == 1,
+/// q > 2 * sqrt(p) (simplicity condition).
+[[nodiscard]] LpsResult lps_graph(std::uint64_t p, std::uint64_t q);
+
+/// Vertex count of X^{p,q}: |PSL(2,q)| = q(q^2-1)/2 when (p/q) = 1, else
+/// |PGL(2,q)| = q(q^2-1).
+[[nodiscard]] std::int64_t lps_vertex_count(std::uint64_t p, std::uint64_t q);
+
+struct LpsParams {
+  std::uint64_t p = 0;
+  std::uint64_t q = 0;
+  std::int64_t vertices = 0;
+};
+
+/// Enumerates (p, q) pairs whose PSL variant has at most max_vertices
+/// vertices, sorted by vertex count. Useful for picking test/bench sizes.
+[[nodiscard]] std::vector<LpsParams> lps_catalog(std::int64_t max_vertices);
+
+}  // namespace lft::graph

@@ -1,0 +1,31 @@
+#include "graph/margulis.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace lft::graph {
+
+Graph margulis_graph(NodeId m) {
+  LFT_ASSERT(m >= 2);
+  const NodeId n = m * m;
+  auto id = [m](NodeId x, NodeId y) { return x * m + y; };
+  auto norm = [m](NodeId v) { return ((v % m) + m) % m; };
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 4);
+  for (NodeId x = 0; x < m; ++x) {
+    for (NodeId y = 0; y < m; ++y) {
+      const NodeId u = id(x, y);
+      // The four forward generators; the BFS over undirected edges supplies
+      // the four inverses.
+      edges.emplace_back(u, id(norm(x + 2 * y), y));
+      edges.emplace_back(u, id(norm(x + 2 * y + 1), y));
+      edges.emplace_back(u, id(x, norm(y + 2 * x)));
+      edges.emplace_back(u, id(x, norm(y + 2 * x + 1)));
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace lft::graph

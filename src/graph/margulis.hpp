@@ -1,0 +1,15 @@
+// Margulis-Gabber-Galil expander: an explicit 8-regular expander on the
+// torus Z_m x Z_m (second eigenvalue at most 5*sqrt(2) < 8). A fully
+// deterministic, construction-free-of-randomness alternative overlay used in
+// ablation benches and property tests.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace lft::graph {
+
+/// Builds the MGG expander on m*m vertices (m >= 2). Parallel edges are
+/// collapsed, so a few vertices can have degree slightly below 8.
+[[nodiscard]] Graph margulis_graph(NodeId m);
+
+}  // namespace lft::graph

@@ -1,0 +1,92 @@
+#include "graph/overlay.hpp"
+
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "graph/families.hpp"
+#include "graph/properties.hpp"
+#include "graph/random_regular.hpp"
+#include "graph/spectral.hpp"
+
+namespace lft::graph {
+
+namespace {
+
+constexpr std::uint64_t kOverlayPurpose = 0x4c46544f56455231ULL;  // "LFTOVER1"
+
+// Spectral certification is statistically meaningful only for graphs that
+// are not almost-complete; tiny instances are accepted on connectivity alone.
+constexpr NodeId kSpectralMinVertices = 24;
+constexpr double kSpectralSlack = 1.25;
+constexpr int kMaxAttempts = 32;
+
+std::mutex& cache_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::tuple<NodeId, int, std::uint64_t>, std::shared_ptr<const Graph>>& cache() {
+  static std::map<std::tuple<NodeId, int, std::uint64_t>, std::shared_ptr<const Graph>> c;
+  return c;
+}
+
+}  // namespace
+
+Graph make_overlay(NodeId n, int degree, std::uint64_t tag) {
+  LFT_ASSERT(n >= 1);
+  LFT_ASSERT(degree >= 1);
+  if (n == 1) return Graph::from_edges(1, {});
+  if (degree >= n - 1) return complete_graph(n);
+
+  int d = degree;
+  if ((static_cast<std::int64_t>(n) * d) % 2 != 0) {
+    ++d;
+    if (d >= n - 1) return complete_graph(n);
+  }
+
+  // Degree <= 2 graphs (matchings, cycle unions) cannot be certified as
+  // expanders; they only arise in degenerate configurations (t = 0 caps),
+  // where any simple regular graph serves.
+  if (d <= 2) {
+    return random_regular_graph(
+        n, d, make_seed(kOverlayPurpose, static_cast<std::uint64_t>(n),
+                        static_cast<std::uint64_t>(d), tag));
+  }
+
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const std::uint64_t seed =
+        make_seed(kOverlayPurpose, static_cast<std::uint64_t>(n),
+                  static_cast<std::uint64_t>(d), tag ^ static_cast<std::uint64_t>(attempt));
+    Graph g = random_regular_graph(n, d, seed);
+    if (!is_connected(g)) continue;
+    if (n >= kSpectralMinVertices && d >= 3 &&
+        second_eigenvalue_estimate(g) > ramanujan_bound(d) * kSpectralSlack) {
+      continue;
+    }
+    return g;
+  }
+  LFT_ASSERT_MSG(false, "failed to certify an expander overlay");
+  return Graph{};
+}
+
+std::shared_ptr<const Graph> shared_overlay(NodeId n, int degree, std::uint64_t tag) {
+  const auto key = std::make_tuple(n, degree, tag);
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex());
+    auto it = cache().find(key);
+    if (it != cache().end()) return it->second;
+  }
+  auto g = std::make_shared<const Graph>(make_overlay(n, degree, tag));
+  std::lock_guard<std::mutex> lock(cache_mutex());
+  return cache().emplace(key, std::move(g)).first->second;
+}
+
+void clear_overlay_cache() {
+  std::lock_guard<std::mutex> lock(cache_mutex());
+  cache().clear();
+}
+
+}  // namespace lft::graph

@@ -1,0 +1,29 @@
+// Certified deterministic expander factory. The paper's algorithms assume
+// every node can derive the same Ramanujan overlay from the public
+// parameters (n, t); this factory realizes that: the returned graph is a
+// pure function of (n, degree, tag). Instances are certified spectrally
+// (near-Ramanujan) and for connectivity, retrying seeds deterministically,
+// and cached so repeated protocol configurations share one graph.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/graph.hpp"
+
+namespace lft::graph {
+
+/// Builds (or retrieves from cache) a near-Ramanujan `degree`-regular graph
+/// on n vertices. Degree is clamped to n-1 (complete graph) and bumped by one
+/// when n*degree is odd. `tag` separates overlays used for different purposes
+/// so protocols never accidentally share topology.
+[[nodiscard]] std::shared_ptr<const Graph> shared_overlay(NodeId n, int degree,
+                                                          std::uint64_t tag);
+
+/// Non-cached variant, mainly for tests.
+[[nodiscard]] Graph make_overlay(NodeId n, int degree, std::uint64_t tag);
+
+/// Drops the overlay cache (test isolation / memory reclamation).
+void clear_overlay_cache();
+
+}  // namespace lft::graph

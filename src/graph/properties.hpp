@@ -1,0 +1,65 @@
+// The paper's Section 2-3 graph machinery, implemented as executable
+// definitions: delta-survival subsets (the fixed-point operator F of
+// Theorem 2 is exactly iterated low-degree peeling), (gamma, delta)-dense
+// neighborhoods, generalized neighborhoods N^i, edge counts between sets,
+// and sampled ell-expansion checks. Protocol tests use these to verify, per
+// instance, the properties the complexity proofs rely on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "graph/graph.hpp"
+
+namespace lft::graph {
+
+/// The largest subset C of B in which every vertex has at least delta
+/// neighbors inside C (the delta-core of G|B). This is the complement of the
+/// fixed point B* of the paper's operator F_B (Theorem 2): C = B \ B*.
+/// Returned as a bitset over all vertices.
+[[nodiscard]] DynamicBitset survival_subset(const Graph& g, const DynamicBitset& b, int delta);
+
+/// True iff vertex v has a (gamma, delta)-dense-neighborhood inside the
+/// vertex set `alive`: a maximal S within N^gamma(v) | alive such that every
+/// vertex of S within distance gamma-1 of v keeps >= delta neighbors in S,
+/// still containing v after peeling.
+[[nodiscard]] bool has_dense_neighborhood(const Graph& g, NodeId v, int gamma, int delta,
+                                          const DynamicBitset& alive);
+
+/// Size of the maximal (gamma, delta)-dense candidate set around v (0 if v
+/// itself is peeled away). Used to validate Theorem 3's growth claim.
+[[nodiscard]] std::size_t dense_neighborhood_size(const Graph& g, NodeId v, int gamma,
+                                                  int delta, const DynamicBitset& alive);
+
+/// Generalized neighborhood N^radius(seed) within `alive` (seed included if
+/// alive), as a bitset.
+[[nodiscard]] DynamicBitset neighborhood_ball(const Graph& g, NodeId seed, int radius,
+                                              const DynamicBitset& alive);
+
+/// Number of edges with one endpoint in a and the other in b (a, b disjoint).
+[[nodiscard]] std::int64_t edges_between(const Graph& g, const DynamicBitset& a,
+                                         const DynamicBitset& b);
+
+/// Number of edges inside s (the paper's vol(S)).
+[[nodiscard]] std::int64_t volume(const Graph& g, const DynamicBitset& s);
+
+/// Number of edges leaving s (the edge boundary).
+[[nodiscard]] std::int64_t edge_boundary(const Graph& g, const DynamicBitset& s);
+
+/// Number of vertices outside s adjacent to some vertex of s.
+[[nodiscard]] std::int64_t external_neighbor_count(const Graph& g, const DynamicBitset& s);
+
+/// Connected-component labels of the subgraph induced by `alive`; vertices
+/// outside `alive` get label -1. Labels are 0-based and contiguous.
+[[nodiscard]] std::vector<int> connected_components(const Graph& g, const DynamicBitset& alive);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Randomized check of the ell-expansion property (any two disjoint
+/// ell-subsets joined by an edge): draws `samples` disjoint pairs and
+/// reports whether all were connected. Deterministic in seed.
+[[nodiscard]] bool sampled_ell_expansion(const Graph& g, std::int64_t ell, int samples,
+                                         std::uint64_t seed);
+
+}  // namespace lft::graph

@@ -1,0 +1,85 @@
+#include "graph/random_regular.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace lft::graph {
+
+namespace {
+
+std::uint64_t edge_key(NodeId u, NodeId v) noexcept {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+         static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+Graph random_regular_graph(NodeId n, int d, std::uint64_t seed) {
+  LFT_ASSERT(n > 0 && d > 0 && d < n);
+  LFT_ASSERT_MSG((static_cast<std::int64_t>(n) * d) % 2 == 0, "n*d must be even");
+
+  Rng rng(seed);
+
+  // Configuration model: pair up n*d stubs, then repair self-loops and
+  // duplicate edges with random edge switches until the multigraph is simple.
+  const std::size_t stubs_count = static_cast<std::size_t>(n) * static_cast<std::size_t>(d);
+  std::vector<NodeId> stubs(stubs_count);
+  for (std::size_t i = 0; i < stubs_count; ++i) {
+    stubs[i] = static_cast<NodeId>(i / static_cast<std::size_t>(d));
+  }
+  rng.shuffle(std::span<NodeId>(stubs));
+
+  const std::size_t m = stubs_count / 2;
+  std::vector<std::pair<NodeId, NodeId>> pairs(m);
+  for (std::size_t i = 0; i < m; ++i) pairs[i] = {stubs[2 * i], stubs[2 * i + 1]};
+
+  std::unordered_set<std::uint64_t> present;
+  present.reserve(m * 2);
+  std::vector<char> good(m, 0);
+
+  // First pass: register conflict-free edges, queue the rest for repair.
+  std::vector<std::size_t> bad;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto [u, v] = pairs[i];
+    const bool conflict = (u == v) || present.contains(edge_key(u, v));
+    if (conflict) {
+      bad.push_back(i);
+    } else {
+      present.insert(edge_key(u, v));
+      good[i] = 1;
+    }
+  }
+
+  // Repair: switch each bad pair with a random good pair so both end valid.
+  std::uint64_t guard = 0;
+  const std::uint64_t guard_limit = stubs_count * 1000ULL + 100000ULL;
+  while (!bad.empty()) {
+    LFT_ASSERT_MSG(++guard < guard_limit, "edge-switch repair did not converge");
+    const std::size_t i = bad.back();
+    const std::size_t j = static_cast<std::size_t>(rng.uniform(m));
+    if (j == i || good[j] == 0) continue;
+    auto [a, b] = pairs[i];
+    auto [c, e] = pairs[j];
+    // Proposed switch: (a,c) and (b,e).
+    if (a == c || b == e) continue;
+    const std::uint64_t k1 = edge_key(a, c);
+    const std::uint64_t k2 = edge_key(b, e);
+    if (k1 == k2 || present.contains(k1) || present.contains(k2)) continue;
+    present.erase(edge_key(c, e));
+    pairs[i] = {a, c};
+    pairs[j] = {b, e};
+    present.insert(k1);
+    present.insert(k2);
+    good[i] = 1;
+    bad.pop_back();
+  }
+
+  return Graph::from_edges(n, pairs);
+}
+
+}  // namespace lft::graph

@@ -1,0 +1,19 @@
+// Deterministic seeded random d-regular graphs (configuration model with
+// conflict-repairing edge switches). Random regular graphs are
+// near-Ramanujan with overwhelming probability (Friedman's theorem); the
+// overlay provider certifies each instance spectrally, so the combination is
+// a deterministic function of (n, d, seed) that stands in for the paper's
+// Ramanujan graphs G(n, d) at degrees that are actually instantiable.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace lft::graph {
+
+/// Builds a simple d-regular graph on n vertices. Requires 0 < d < n and
+/// n * d even. Deterministic in (n, d, seed).
+[[nodiscard]] Graph random_regular_graph(NodeId n, int d, std::uint64_t seed);
+
+}  // namespace lft::graph

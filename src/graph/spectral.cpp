@@ -1,0 +1,75 @@
+#include "graph/spectral.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace lft::graph {
+
+namespace {
+
+// Removes the component along the all-ones direction and normalizes.
+void deflate_and_normalize(std::vector<double>& x) {
+  const auto n = static_cast<double>(x.size());
+  double mean = 0;
+  for (double v : x) mean += v;
+  mean /= n;
+  double norm = 0;
+  for (double& v : x) {
+    v -= mean;
+    norm += v * v;
+  }
+  norm = std::sqrt(norm);
+  if (norm > 0) {
+    for (double& v : x) v /= norm;
+  }
+}
+
+}  // namespace
+
+double second_eigenvalue_estimate(const Graph& g, int iters, std::uint64_t seed) {
+  const NodeId n = g.num_vertices();
+  LFT_ASSERT(n >= 2);
+  Rng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (double& v : x) v = static_cast<double>(rng.uniform(1u << 20)) / (1u << 20) - 0.5;
+  deflate_and_normalize(x);
+
+  std::vector<double> y(static_cast<std::size_t>(n));
+  double lambda = 0;
+  for (int it = 0; it < iters; ++it) {
+    for (NodeId v = 0; v < n; ++v) {
+      double acc = 0;
+      for (NodeId w : g.neighbors(v)) acc += x[static_cast<std::size_t>(w)];
+      y[static_cast<std::size_t>(v)] = acc;
+    }
+    double norm = 0;
+    for (double v : y) norm += v * v;
+    lambda = std::sqrt(norm);  // ||A x|| with ||x|| = 1
+    x.swap(y);
+    deflate_and_normalize(x);
+  }
+  return lambda;
+}
+
+double ramanujan_bound(int degree) {
+  LFT_ASSERT(degree >= 2);
+  return 2.0 * std::sqrt(static_cast<double>(degree - 1));
+}
+
+bool is_near_ramanujan(const Graph& g, double slack_factor) {
+  const int d = g.max_degree();
+  if (d <= 1) return false;
+  return second_eigenvalue_estimate(g) <= ramanujan_bound(d) * slack_factor;
+}
+
+double edge_expansion_lower_bound(const Graph& g) {
+  const double lambda = second_eigenvalue_estimate(g);
+  const double d = g.max_degree();
+  const double bound = (d - lambda) / 2.0;
+  return bound > 0 ? bound : 0.0;
+}
+
+}  // namespace lft::graph

@@ -1,0 +1,31 @@
+// Spectral certification of expanders. For a d-regular graph the paper's
+// Ramanujan condition is lambda = max(|lambda_2|, |lambda_n|) <= 2*sqrt(d-1);
+// we estimate lambda with power iteration on the adjacency operator after
+// deflating the all-ones top eigenvector.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace lft::graph {
+
+/// Estimate of lambda = max(|lambda_2|, |lambda_n|). Deterministic in seed.
+/// The estimate converges from below; `iters` around 150 gives ~1% accuracy
+/// on well-separated spectra.
+[[nodiscard]] double second_eigenvalue_estimate(const Graph& g, int iters = 150,
+                                                std::uint64_t seed = 0x5eed);
+
+/// Ramanujan bound 2*sqrt(d-1) for degree d.
+[[nodiscard]] double ramanujan_bound(int degree);
+
+/// True iff the estimated lambda is within `slack_factor` of the Ramanujan
+/// bound (slack_factor = 1.0 tests the exact bound; certification uses a
+/// small tolerance because random regular graphs are *near*-Ramanujan).
+[[nodiscard]] bool is_near_ramanujan(const Graph& g, double slack_factor = 1.15);
+
+/// Cheeger-style lower bound on the edge expansion of a d-regular graph:
+/// h(G) >= (d - lambda_2) / 2 >= (d - lambda) / 2.
+[[nodiscard]] double edge_expansion_lower_bound(const Graph& g);
+
+}  // namespace lft::graph

@@ -1,0 +1,262 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace lft::sim {
+
+// ---- Context ---------------------------------------------------------------
+
+NodeId Context::num_nodes() const noexcept { return engine_->n_; }
+Round Context::round() const noexcept { return engine_->round_; }
+
+void Context::send(NodeId to, std::uint32_t tag, std::uint64_t value, std::uint64_t bits,
+                   std::vector<std::byte> body) {
+  engine_->do_send(self_, to, tag, value, bits, std::move(body));
+}
+
+void Context::decide(std::uint64_t value) { engine_->do_decide(self_, value); }
+
+bool Context::has_decided() const noexcept {
+  return engine_->status_[static_cast<std::size_t>(self_)].decided;
+}
+
+std::uint64_t Context::decision() const noexcept {
+  return engine_->status_[static_cast<std::size_t>(self_)].decision;
+}
+
+void Context::halt() { engine_->status_[static_cast<std::size_t>(self_)].halted = true; }
+
+void Context::count_fallback() { ++engine_->metrics_.fallback_pulls; }
+
+// ---- EngineView ------------------------------------------------------------
+
+NodeId EngineView::num_nodes() const noexcept { return engine_->n_; }
+Round EngineView::round() const noexcept { return engine_->round_; }
+
+bool EngineView::alive(NodeId v) const noexcept {
+  return !engine_->status_[static_cast<std::size_t>(v)].crashed;
+}
+
+bool EngineView::halted(NodeId v) const noexcept {
+  return engine_->status_[static_cast<std::size_t>(v)].halted;
+}
+
+bool EngineView::decided(NodeId v) const noexcept {
+  return engine_->status_[static_cast<std::size_t>(v)].decided;
+}
+
+std::int64_t EngineView::crashes_used() const noexcept { return engine_->crashes_used_; }
+std::int64_t EngineView::crash_budget() const noexcept { return engine_->config_.crash_budget; }
+
+std::span<const Message> EngineView::pending_sends() const noexcept {
+  return engine_->outbox_;
+}
+
+const Process* EngineView::process(NodeId v) const noexcept {
+  return engine_->processes_[static_cast<std::size_t>(v)].get();
+}
+
+// ---- CrashController -------------------------------------------------------
+
+void CrashController::crash(NodeId v) { engine_->do_crash(v, nullptr); }
+
+void CrashController::crash_partial(NodeId v, std::function<bool(const Message&)> keep) {
+  engine_->do_crash(v, std::move(keep));
+}
+
+// ---- Report ----------------------------------------------------------------
+
+std::int64_t Report::decided_count() const noexcept {
+  std::int64_t c = 0;
+  for (const auto& s : nodes) c += s.decided ? 1 : 0;
+  return c;
+}
+
+std::int64_t Report::crashed_count() const noexcept {
+  std::int64_t c = 0;
+  for (const auto& s : nodes) c += s.crashed ? 1 : 0;
+  return c;
+}
+
+std::optional<std::uint64_t> Report::agreed_value() const noexcept {
+  std::optional<std::uint64_t> value;
+  for (const auto& s : nodes) {
+    if (s.crashed || s.byzantine || !s.decided) continue;
+    if (!value) {
+      value = s.decision;
+    } else if (*value != s.decision) {
+      return std::nullopt;
+    }
+  }
+  return value;
+}
+
+bool Report::all_nonfaulty_decided() const noexcept {
+  return std::all_of(nodes.begin(), nodes.end(), [](const NodeStatus& s) {
+    return s.crashed || s.byzantine || s.decided;
+  });
+}
+
+// ---- Engine ----------------------------------------------------------------
+
+Engine::Engine(NodeId n, EngineConfig config)
+    : n_(n),
+      config_(config),
+      processes_(static_cast<std::size_t>(n)),
+      status_(static_cast<std::size_t>(n)),
+      crash_keep_(static_cast<std::size_t>(n)),
+      crashed_this_round_(static_cast<std::size_t>(n), 0),
+      inbox_(static_cast<std::size_t>(n)) {
+  LFT_ASSERT(n > 0);
+}
+
+Engine::~Engine() = default;
+
+void Engine::set_process(NodeId v, std::unique_ptr<Process> process) {
+  LFT_ASSERT(v >= 0 && v < n_);
+  processes_[static_cast<std::size_t>(v)] = std::move(process);
+}
+
+void Engine::set_adversary(std::unique_ptr<CrashAdversary> adversary) {
+  adversary_ = std::move(adversary);
+}
+
+void Engine::mark_byzantine(NodeId v) {
+  LFT_ASSERT(v >= 0 && v < n_);
+  status_[static_cast<std::size_t>(v)].byzantine = true;
+}
+
+Process& Engine::process(NodeId v) {
+  LFT_ASSERT(v >= 0 && v < n_);
+  LFT_ASSERT(processes_[static_cast<std::size_t>(v)] != nullptr);
+  return *processes_[static_cast<std::size_t>(v)];
+}
+
+const Process& Engine::process(NodeId v) const {
+  LFT_ASSERT(v >= 0 && v < n_);
+  LFT_ASSERT(processes_[static_cast<std::size_t>(v)] != nullptr);
+  return *processes_[static_cast<std::size_t>(v)];
+}
+
+void Engine::do_send(NodeId from, NodeId to, std::uint32_t tag, std::uint64_t value,
+                     std::uint64_t bits, std::vector<std::byte> body) {
+  LFT_ASSERT(to >= 0 && to < n_);
+  LFT_ASSERT(bits >= 1);
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.tag = tag;
+  m.value = value;
+  m.bits = bits;
+  m.body = std::move(body);
+  outbox_.push_back(std::move(m));
+}
+
+void Engine::do_decide(NodeId v, std::uint64_t value) {
+  auto& s = status_[static_cast<std::size_t>(v)];
+  if (s.decided) {
+    LFT_ASSERT_MSG(s.decision == value, "decision is irrevocable");
+    return;
+  }
+  s.decided = true;
+  s.decision = value;
+}
+
+void Engine::do_crash(NodeId v, std::function<bool(const Message&)> keep) {
+  LFT_ASSERT(v >= 0 && v < n_);
+  auto& s = status_[static_cast<std::size_t>(v)];
+  LFT_ASSERT_MSG(!s.crashed, "node already crashed");
+  // Crashing an already-halted node is a no-op for the execution; the paper
+  // disregards such crashes, so we do not charge the budget for them.
+  if (s.halted) return;
+  ++crashes_used_;
+  LFT_ASSERT_MSG(crashes_used_ <= config_.crash_budget, "crash budget exceeded");
+  s.crashed = true;
+  s.crash_round = round_;
+  crashed_this_round_[static_cast<std::size_t>(v)] = 1;
+  if (keep) {
+    keep_filters_.push_back(std::move(keep));
+    crash_keep_[static_cast<std::size_t>(v)] = keep_filters_.size() - 1;
+  }
+}
+
+Report Engine::run() {
+  for (NodeId v = 0; v < n_; ++v) {
+    LFT_ASSERT_MSG(processes_[static_cast<std::size_t>(v)] != nullptr,
+                   "every node needs a Process before run()");
+  }
+
+  Report report;
+  bool completed = false;
+
+  for (round_ = 0; round_ < config_.max_rounds; ++round_) {
+    outbox_.clear();
+    keep_filters_.clear();
+    std::fill(crash_keep_.begin(), crash_keep_.end(), std::nullopt);
+    std::fill(crashed_this_round_.begin(), crashed_this_round_.end(), 0);
+
+    // 1. Step every alive, non-halted node in id order.
+    for (NodeId v = 0; v < n_; ++v) {
+      auto& s = status_[static_cast<std::size_t>(v)];
+      if (s.crashed || s.halted) continue;
+      Context ctx(*this, v);
+      processes_[static_cast<std::size_t>(v)]->on_round(ctx, inbox_[static_cast<std::size_t>(v)]);
+    }
+
+    // 2. Adversary inspects pending sends and may crash nodes.
+    if (adversary_ != nullptr) {
+      EngineView view(*this);
+      CrashController control(*this);
+      adversary_->on_round(view, control);
+    }
+
+    // 3. Filter crashed senders, account metrics, deliver.
+    for (auto& ib : inbox_) ib.clear();
+    for (auto& m : outbox_) {
+      const auto from = static_cast<std::size_t>(m.from);
+      if (crashed_this_round_[from] != 0) {
+        const auto& keep_idx = crash_keep_[from];
+        const bool kept = keep_idx.has_value() && keep_filters_[*keep_idx](m);
+        if (!kept) continue;  // lost in the crash
+      }
+      metrics_.messages_total += 1;
+      metrics_.bits_total += static_cast<std::int64_t>(m.bits);
+      auto& sender = status_[from];
+      if (!sender.byzantine) {
+        metrics_.messages_honest += 1;
+        metrics_.bits_honest += static_cast<std::int64_t>(m.bits);
+      }
+      sender.sends += 1;
+      const auto to = static_cast<std::size_t>(m.to);
+      if (status_[to].crashed || status_[to].halted) continue;  // never received
+      inbox_[to].push_back(std::move(m));
+    }
+
+    // 4. Done when every node has crashed or halted.
+    bool all_done = true;
+    for (const auto& s : status_) {
+      if (!s.crashed && !s.halted) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) {
+      completed = true;
+      ++round_;  // this round still counts
+      break;
+    }
+  }
+
+  for (const auto& s : status_) {
+    metrics_.max_sends_per_node = std::max(metrics_.max_sends_per_node, s.sends);
+  }
+  report.rounds = round_;
+  report.completed = completed;
+  report.metrics = metrics_;
+  report.nodes = status_;
+  return report;
+}
+
+}  // namespace lft::sim

@@ -1,0 +1,188 @@
+// Synchronous multi-port message-passing engine (the paper's base model,
+// Section 2): n nodes, lock-step rounds, any-to-any messaging, reliable
+// same-round delivery, crashes controlled by an adaptive adversary with
+// budget t. Delivery normal form: sends produced in on_round(r) appear in
+// the recipients' inboxes at on_round(r+1); round counts match the paper's.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/message.hpp"
+#include "sim/metrics.hpp"
+
+namespace lft::sim {
+
+class Engine;
+
+/// Per-node handle the engine passes to Process::on_round.
+class Context {
+ public:
+  [[nodiscard]] NodeId self() const noexcept { return self_; }
+  [[nodiscard]] NodeId num_nodes() const noexcept;
+  [[nodiscard]] Round round() const noexcept;
+
+  /// Queues a message for delivery at the start of the next round.
+  void send(NodeId to, std::uint32_t tag, std::uint64_t value, std::uint64_t bits = 1,
+            std::vector<std::byte> body = {});
+
+  /// Irrevocably decides on a value; deciding twice on different values is a
+  /// protocol bug and aborts.
+  void decide(std::uint64_t value);
+  [[nodiscard]] bool has_decided() const noexcept;
+  [[nodiscard]] std::uint64_t decision() const noexcept;
+
+  /// Voluntarily stops participating from the next round on.
+  void halt();
+
+  /// Records one activation of the certified-pull epilogue (DESIGN.md
+  /// substitution 4); tests assert this stays zero.
+  void count_fallback();
+
+ private:
+  friend class Engine;
+  Context(Engine& engine, NodeId self) : engine_(&engine), self_(self) {}
+  Engine* engine_;
+  NodeId self_;
+};
+
+/// Protocol logic for one node. Implementations are installed per node and
+/// driven once per round while the node is alive and not halted.
+class Process {
+ public:
+  virtual ~Process() = default;
+  /// `inbox` holds the messages delivered this round, sorted by sender id.
+  virtual void on_round(Context& ctx, std::span<const Message> inbox) = 0;
+};
+
+/// Read-only view of the execution the adversary may inspect (a strong,
+/// adaptive adversary: it sees this round's pending sends and node states).
+class EngineView {
+ public:
+  explicit EngineView(const Engine& engine) : engine_(&engine) {}
+  [[nodiscard]] NodeId num_nodes() const noexcept;
+  [[nodiscard]] Round round() const noexcept;
+  [[nodiscard]] bool alive(NodeId v) const noexcept;
+  [[nodiscard]] bool halted(NodeId v) const noexcept;
+  [[nodiscard]] bool decided(NodeId v) const noexcept;
+  [[nodiscard]] std::int64_t crashes_used() const noexcept;
+  [[nodiscard]] std::int64_t crash_budget() const noexcept;
+  /// All messages produced this round, before crash filtering.
+  [[nodiscard]] std::span<const Message> pending_sends() const noexcept;
+  /// The protocol object of node v (adversaries may downcast for
+  /// protocol-aware attacks).
+  [[nodiscard]] const Process* process(NodeId v) const noexcept;
+
+ private:
+  const Engine* engine_;
+};
+
+/// Applies crash decisions for the current round.
+class CrashController {
+ public:
+  /// Crashes v this round; all of v's pending sends this round are dropped.
+  void crash(NodeId v);
+  /// Crashes v this round; of v's pending sends this round, those matching
+  /// `keep` are still delivered (the classical partial-send crash).
+  void crash_partial(NodeId v, std::function<bool(const Message&)> keep);
+
+ private:
+  friend class Engine;
+  explicit CrashController(Engine& engine) : engine_(&engine) {}
+  Engine* engine_;
+};
+
+/// Adaptive crash adversary, invoked once per round after sends are
+/// collected. Must respect the budget (the engine aborts on overdraft).
+class CrashAdversary {
+ public:
+  virtual ~CrashAdversary() = default;
+  virtual void on_round(const EngineView& view, CrashController& control) = 0;
+};
+
+struct NodeStatus {
+  bool crashed = false;
+  Round crash_round = -1;
+  bool halted = false;
+  bool decided = false;
+  std::uint64_t decision = 0;
+  bool byzantine = false;
+  std::int64_t sends = 0;
+};
+
+/// Result of an execution.
+struct Report {
+  Round rounds = 0;       // rounds executed until every non-faulty node halted
+  bool completed = false; // false iff the max_rounds safety cap was hit
+  Metrics metrics;
+  std::vector<NodeStatus> nodes;
+
+  [[nodiscard]] std::int64_t decided_count() const noexcept;
+  [[nodiscard]] std::int64_t crashed_count() const noexcept;
+  /// The common decision of non-faulty decided nodes, or nullopt if none
+  /// decided or two of them disagree.
+  [[nodiscard]] std::optional<std::uint64_t> agreed_value() const noexcept;
+  /// True iff every non-crashed, non-Byzantine node decided.
+  [[nodiscard]] bool all_nonfaulty_decided() const noexcept;
+};
+
+struct EngineConfig {
+  Round max_rounds = Round{1} << 22;
+  std::int64_t crash_budget = 0;  // the paper's t (for the crash model)
+};
+
+class Engine {
+ public:
+  Engine(NodeId n, EngineConfig config);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  void set_process(NodeId v, std::unique_ptr<Process> process);
+  void set_adversary(std::unique_ptr<CrashAdversary> adversary);
+  /// Marks v Byzantine for accounting (its sends are excluded from the
+  /// honest counters). The Byzantine behavior itself is the installed
+  /// Process.
+  void mark_byzantine(NodeId v);
+
+  /// Runs to completion (all non-faulty nodes halted) or the round cap.
+  Report run();
+
+  /// Post-run (or mid-run, from adversaries) introspection.
+  [[nodiscard]] Process& process(NodeId v);
+  [[nodiscard]] const Process& process(NodeId v) const;
+
+ private:
+  friend class Context;
+  friend class EngineView;
+  friend class CrashController;
+
+  void do_send(NodeId from, NodeId to, std::uint32_t tag, std::uint64_t value,
+               std::uint64_t bits, std::vector<std::byte> body);
+  void do_decide(NodeId v, std::uint64_t value);
+  void do_crash(NodeId v, std::function<bool(const Message&)> keep);
+
+  NodeId n_;
+  EngineConfig config_;
+  Round round_ = 0;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::unique_ptr<CrashAdversary> adversary_;
+
+  std::vector<NodeStatus> status_;
+  std::int64_t crashes_used_ = 0;
+
+  std::vector<Message> outbox_;                        // current round's sends
+  std::vector<std::optional<std::size_t>> crash_keep_; // index into keep_filters_, per node
+  std::vector<std::function<bool(const Message&)>> keep_filters_;
+  std::vector<char> crashed_this_round_;
+  std::vector<std::vector<Message>> inbox_;
+
+  Metrics metrics_;
+};
+
+}  // namespace lft::sim

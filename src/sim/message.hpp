@@ -1,0 +1,25 @@
+// The unit of communication in the synchronous model. Most of the paper's
+// messages carry a single bit (`value` with bits == 1); gossiping, Byzantine
+// broadcast and checkpointing serialize structured payloads into `body`.
+// The `bits` field is the accounted size, which is what the paper's
+// communication bounds count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lft::sim {
+
+struct Message {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::uint32_t tag = 0;        // protocol-defined discriminator
+  std::uint64_t value = 0;      // inline small payload (e.g. the rumor bit)
+  std::uint64_t bits = 1;       // accounted size in bits
+  std::vector<std::byte> body;  // optional serialized payload
+};
+
+}  // namespace lft::sim

@@ -1,0 +1,20 @@
+// Communication accounting, matching the paper's metrics: number of
+// point-to-point messages and total bits, with separate counters for
+// messages sent by non-faulty nodes (the quantity Theorem 11 bounds for the
+// Byzantine model).
+#pragma once
+
+#include <cstdint>
+
+namespace lft::sim {
+
+struct Metrics {
+  std::int64_t messages_total = 0;
+  std::int64_t bits_total = 0;
+  std::int64_t messages_honest = 0;  // sent by non-Byzantine nodes
+  std::int64_t bits_honest = 0;
+  std::int64_t max_sends_per_node = 0;
+  std::int64_t fallback_pulls = 0;  // activations of the certified-pull epilogue
+};
+
+}  // namespace lft::sim

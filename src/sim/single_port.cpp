@@ -1,0 +1,201 @@
+#include "sim/single_port.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace lft::sim {
+
+namespace {
+std::uint64_t link_key(NodeId from, NodeId to) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+         static_cast<std::uint32_t>(to);
+}
+}  // namespace
+
+// ---- SpContext -------------------------------------------------------------
+
+NodeId SpContext::num_nodes() const noexcept { return engine_->n_; }
+Round SpContext::round() const noexcept { return engine_->round_; }
+
+void SpContext::decide(std::uint64_t value) {
+  auto& s = engine_->status_[static_cast<std::size_t>(self_)];
+  if (s.decided) {
+    LFT_ASSERT_MSG(s.decision == value, "decision is irrevocable");
+    return;
+  }
+  s.decided = true;
+  s.decision = value;
+}
+
+bool SpContext::has_decided() const noexcept {
+  return engine_->status_[static_cast<std::size_t>(self_)].decided;
+}
+
+std::uint64_t SpContext::decision() const noexcept {
+  return engine_->status_[static_cast<std::size_t>(self_)].decision;
+}
+
+void SpContext::halt() { engine_->status_[static_cast<std::size_t>(self_)].halted = true; }
+
+void SpContext::count_fallback() { ++engine_->metrics_.fallback_pulls; }
+
+// ---- SpView ----------------------------------------------------------------
+
+NodeId SpView::num_nodes() const noexcept { return engine_->n_; }
+Round SpView::round() const noexcept { return engine_->round_; }
+
+bool SpView::alive(NodeId v) const noexcept {
+  return !engine_->status_[static_cast<std::size_t>(v)].crashed;
+}
+
+bool SpView::halted(NodeId v) const noexcept {
+  return engine_->status_[static_cast<std::size_t>(v)].halted;
+}
+
+bool SpView::decided(NodeId v) const noexcept {
+  return engine_->status_[static_cast<std::size_t>(v)].decided;
+}
+
+std::int64_t SpView::crashes_used() const noexcept { return engine_->crashes_used_; }
+std::int64_t SpView::crash_budget() const noexcept { return engine_->config_.crash_budget; }
+
+const SpAction& SpView::action(NodeId v) const noexcept {
+  return engine_->actions_[static_cast<std::size_t>(v)];
+}
+
+// ---- SinglePortEngine ------------------------------------------------------
+
+SinglePortEngine::SinglePortEngine(NodeId n, SinglePortConfig config)
+    : n_(n),
+      config_(config),
+      processes_(static_cast<std::size_t>(n)),
+      status_(static_cast<std::size_t>(n)),
+      actions_(static_cast<std::size_t>(n)),
+      fetched_(static_cast<std::size_t>(n)) {
+  LFT_ASSERT(n > 0);
+}
+
+SinglePortEngine::~SinglePortEngine() = default;
+
+void SinglePortEngine::set_process(NodeId v, std::unique_ptr<SinglePortProcess> process) {
+  LFT_ASSERT(v >= 0 && v < n_);
+  processes_[static_cast<std::size_t>(v)] = std::move(process);
+}
+
+void SinglePortEngine::set_adversary(std::unique_ptr<SpAdversary> adversary) {
+  adversary_ = std::move(adversary);
+}
+
+SinglePortProcess& SinglePortEngine::process(NodeId v) {
+  LFT_ASSERT(v >= 0 && v < n_);
+  LFT_ASSERT(processes_[static_cast<std::size_t>(v)] != nullptr);
+  return *processes_[static_cast<std::size_t>(v)];
+}
+
+Report SinglePortEngine::run() {
+  for (NodeId v = 0; v < n_; ++v) {
+    LFT_ASSERT_MSG(processes_[static_cast<std::size_t>(v)] != nullptr,
+                   "every node needs a SinglePortProcess before run()");
+  }
+
+  Report report;
+  bool completed = false;
+  std::vector<char> crashed_now(static_cast<std::size_t>(n_), 0);
+
+  for (round_ = 0; round_ < config_.max_rounds; ++round_) {
+    std::fill(crashed_now.begin(), crashed_now.end(), 0);
+
+    // 1. Collect actions from alive, non-halted nodes.
+    for (NodeId v = 0; v < n_; ++v) {
+      auto& s = status_[static_cast<std::size_t>(v)];
+      actions_[static_cast<std::size_t>(v)] = SpAction{};
+      if (s.crashed || s.halted) continue;
+      SpContext ctx(*this, v);
+      actions_[static_cast<std::size_t>(v)] =
+          processes_[static_cast<std::size_t>(v)]->on_round(
+              ctx, fetched_[static_cast<std::size_t>(v)]);
+      fetched_[static_cast<std::size_t>(v)].reset();
+    }
+
+    // 2. Adversary.
+    if (adversary_ != nullptr) {
+      SpView view(*this);
+      std::vector<NodeId> crash_list;
+      adversary_->on_round(view, crash_list);
+      for (NodeId v : crash_list) {
+        LFT_ASSERT(v >= 0 && v < n_);
+        auto& s = status_[static_cast<std::size_t>(v)];
+        if (s.crashed || s.halted) continue;
+        ++crashes_used_;
+        LFT_ASSERT_MSG(crashes_used_ <= config_.crash_budget, "crash budget exceeded");
+        s.crashed = true;
+        s.crash_round = round_;
+        crashed_now[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+
+    // 3. Enqueue surviving sends into port queues.
+    for (NodeId v = 0; v < n_; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      auto& s = status_[vi];
+      if (s.crashed || s.halted || !actions_[vi].send.has_value()) continue;
+      SpSend& send = *actions_[vi].send;
+      LFT_ASSERT(send.to >= 0 && send.to < n_);
+      metrics_.messages_total += 1;
+      metrics_.bits_total += static_cast<std::int64_t>(send.bits);
+      metrics_.messages_honest += 1;
+      metrics_.bits_honest += static_cast<std::int64_t>(send.bits);
+      s.sends += 1;
+      const auto ti = static_cast<std::size_t>(send.to);
+      if (status_[ti].crashed || status_[ti].halted) continue;  // never retrievable
+      Message m;
+      m.from = v;
+      m.to = send.to;
+      m.tag = send.tag;
+      m.value = send.value;
+      m.bits = send.bits;
+      m.body = std::move(send.body);
+      ports_[link_key(v, send.to)].push_back(std::move(m));
+    }
+
+    // 4. Resolve polls (a poll may pick up a message sent this round).
+    for (NodeId v = 0; v < n_; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      const auto& s = status_[vi];
+      if (s.crashed || s.halted) continue;
+      const NodeId src = actions_[vi].poll;
+      if (src == kNoNode) continue;
+      LFT_ASSERT(src >= 0 && src < n_);
+      auto it = ports_.find(link_key(src, v));
+      if (it == ports_.end() || it->second.empty()) continue;
+      fetched_[vi] = std::move(it->second.front());
+      it->second.pop_front();
+    }
+
+    // 5. Termination.
+    bool all_done = true;
+    for (const auto& s : status_) {
+      if (!s.crashed && !s.halted) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) {
+      completed = true;
+      ++round_;
+      break;
+    }
+  }
+
+  for (const auto& s : status_) {
+    metrics_.max_sends_per_node = std::max(metrics_.max_sends_per_node, s.sends);
+  }
+  report.rounds = round_;
+  report.completed = completed;
+  report.metrics = metrics_;
+  report.nodes = status_;
+  return report;
+}
+
+}  // namespace lft::sim

@@ -1,0 +1,127 @@
+// Single-port synchronous engine (Section 8 model): per round a node may
+// enqueue at most one message to one chosen target and poll at most one
+// inbound port. Each directed link is a FIFO queue; polls dequeue one
+// message; nodes get no signal that messages are waiting on a port. Crashes
+// are controlled by an adversary with budget t, as in the multi-port engine.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/engine.hpp"  // reuses Report / NodeStatus / Metrics
+#include "sim/message.hpp"
+
+namespace lft::sim {
+
+struct SpSend {
+  NodeId to = kNoNode;
+  std::uint32_t tag = 0;
+  std::uint64_t value = 0;
+  std::uint64_t bits = 1;
+  std::vector<std::byte> body;
+};
+
+/// A node's move for one round: optionally send one message and/or poll one
+/// inbound port (poll == kNoNode means no poll).
+struct SpAction {
+  std::optional<SpSend> send;
+  NodeId poll = kNoNode;
+};
+
+class SinglePortEngine;
+
+class SpContext {
+ public:
+  [[nodiscard]] NodeId self() const noexcept { return self_; }
+  [[nodiscard]] NodeId num_nodes() const noexcept;
+  [[nodiscard]] Round round() const noexcept;
+  void decide(std::uint64_t value);
+  [[nodiscard]] bool has_decided() const noexcept;
+  [[nodiscard]] std::uint64_t decision() const noexcept;
+  void halt();
+  void count_fallback();
+
+ private:
+  friend class SinglePortEngine;
+  SpContext(SinglePortEngine& engine, NodeId self) : engine_(&engine), self_(self) {}
+  SinglePortEngine* engine_;
+  NodeId self_;
+};
+
+class SinglePortProcess {
+ public:
+  virtual ~SinglePortProcess() = default;
+  /// `received` is the message dequeued by this node's poll in the previous
+  /// round, if any.
+  virtual SpAction on_round(SpContext& ctx, const std::optional<Message>& received) = 0;
+};
+
+/// Adversary-facing view; exposes this round's actions so the Theorem 13
+/// constructions can pre-empt a victim's ports.
+class SpView {
+ public:
+  explicit SpView(const SinglePortEngine& engine) : engine_(&engine) {}
+  [[nodiscard]] NodeId num_nodes() const noexcept;
+  [[nodiscard]] Round round() const noexcept;
+  [[nodiscard]] bool alive(NodeId v) const noexcept;
+  [[nodiscard]] bool halted(NodeId v) const noexcept;
+  [[nodiscard]] bool decided(NodeId v) const noexcept;
+  [[nodiscard]] std::int64_t crashes_used() const noexcept;
+  [[nodiscard]] std::int64_t crash_budget() const noexcept;
+  /// The action node v returned this round (valid for alive, non-halted v).
+  [[nodiscard]] const SpAction& action(NodeId v) const noexcept;
+
+ private:
+  const SinglePortEngine* engine_;
+};
+
+class SpAdversary {
+ public:
+  virtual ~SpAdversary() = default;
+  /// Appends nodes to crash this round to `crash_out`; their sends this
+  /// round are dropped.
+  virtual void on_round(const SpView& view, std::vector<NodeId>& crash_out) = 0;
+};
+
+struct SinglePortConfig {
+  Round max_rounds = Round{1} << 22;
+  std::int64_t crash_budget = 0;
+};
+
+class SinglePortEngine {
+ public:
+  SinglePortEngine(NodeId n, SinglePortConfig config);
+  ~SinglePortEngine();
+  SinglePortEngine(const SinglePortEngine&) = delete;
+  SinglePortEngine& operator=(const SinglePortEngine&) = delete;
+
+  void set_process(NodeId v, std::unique_ptr<SinglePortProcess> process);
+  void set_adversary(std::unique_ptr<SpAdversary> adversary);
+
+  Report run();
+
+  [[nodiscard]] SinglePortProcess& process(NodeId v);
+
+ private:
+  friend class SpContext;
+  friend class SpView;
+
+  NodeId n_;
+  SinglePortConfig config_;
+  Round round_ = 0;
+  std::vector<std::unique_ptr<SinglePortProcess>> processes_;
+  std::unique_ptr<SpAdversary> adversary_;
+  std::vector<NodeStatus> status_;
+  std::int64_t crashes_used_ = 0;
+  std::vector<SpAction> actions_;
+  std::vector<std::optional<Message>> fetched_;
+  std::unordered_map<std::uint64_t, std::deque<Message>> ports_;
+  Metrics metrics_;
+};
+
+}  // namespace lft::sim

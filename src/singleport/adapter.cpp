@@ -1,0 +1,94 @@
+#include "singleport/adapter.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace lft::singleport {
+
+void SinglePortStageProcess::QueueIo::send(NodeId to, std::uint32_t tag, std::uint64_t value,
+                                           std::uint64_t bits, std::vector<std::byte> body) {
+  auto [it, inserted] = queue_->try_emplace(to);
+  LFT_ASSERT_MSG(inserted, "stage queued two messages on one link in one round");
+  it->second = QueuedSend{tag, value, bits, std::move(body)};
+}
+
+Round SinglePortStageProcess::total_sp_duration() const {
+  Round total = 0;
+  for (const auto& stage : stages_) {
+    for (Round r = 0; r < stage->duration(); ++r) {
+      const core::LinkBudget b = stage->link_budget(r);
+      total += std::max<Round>(1, static_cast<Round>(b.max_out) + b.max_in);
+    }
+  }
+  return total;
+}
+
+void SinglePortStageProcess::advance_mp_round() {
+  ++stage_round_;
+  slot_ = 0;
+  queued_.clear();
+  while (stage_index_ < stages_.size() &&
+         stage_round_ >= stages_[stage_index_]->duration()) {
+    stage_round_ = 0;
+    ++stage_index_;
+  }
+  if (stage_index_ >= stages_.size()) done_ = true;
+}
+
+sim::SpAction SinglePortStageProcess::on_round(sim::SpContext& ctx,
+                                               const std::optional<sim::Message>& received) {
+  if (received.has_value()) inbox_accumulator_.push_back(*received);
+  if (done_) {
+    ctx.halt();
+    return {};
+  }
+
+  core::Stage& stage = *stages_[stage_index_];
+
+  if (slot_ == 0) {
+    // Drive the wrapped stage with everything polled since its last round.
+    std::sort(inbox_accumulator_.begin(), inbox_accumulator_.end(),
+              [](const sim::Message& a, const sim::Message& b) { return a.from < b.from; });
+    QueueIo io(queued_, ctx);
+    stage.on_round(stage_round_, inbox_accumulator_, io);
+    inbox_accumulator_.clear();
+    budget_ = stage.link_budget(stage_round_);
+    plan_ = stage.link_plan(stage_round_);
+    LFT_ASSERT(static_cast<int>(plan_.out.size()) <= std::max(1, budget_.max_out));
+    LFT_ASSERT(static_cast<int>(plan_.in.size()) <= std::max(1, budget_.max_in));
+  }
+
+  sim::SpAction action;
+  const Round out_slots = budget_.max_out;
+  const Round in_slots = budget_.max_in;
+  if (slot_ < out_slots) {
+    if (slot_ < static_cast<Round>(plan_.out.size())) {
+      const NodeId target = plan_.out[static_cast<std::size_t>(slot_)];
+      auto it = queued_.find(target);
+      if (it != queued_.end()) {
+        action.send = sim::SpSend{target, it->second.tag, it->second.value, it->second.bits,
+                                  std::move(it->second.body)};
+        queued_.erase(it);
+      }
+    }
+  } else if (slot_ < out_slots + in_slots) {
+    const Round in_index = slot_ - out_slots;
+    if (in_index < static_cast<Round>(plan_.in.size())) {
+      action.poll = plan_.in[static_cast<std::size_t>(in_index)];
+    }
+  }
+
+  ++slot_;
+  const Round block = std::max<Round>(1, out_slots + in_slots);
+  if (slot_ >= block) {
+    LFT_ASSERT_MSG(queued_.empty(), "stage sent outside its declared link plan");
+    advance_mp_round();
+    if (done_) {
+      // Halt next round (after the engine processes this action).
+    }
+  }
+  return action;
+}
+
+}  // namespace lft::singleport

@@ -1,0 +1,75 @@
+// The Section 8 construction, generalized: any stage-based protocol whose
+// stages declare per-round link budgets and link plans can be executed in
+// the single-port model. Each multi-port round r expands into a block of
+// max_out(r) + max_in(r) sp-rounds: the node first pushes its queued sends
+// one link at a time, then polls each potential in-link once. Budgets are
+// node-independent, so all nodes stay block-aligned; every send of a block
+// happens in a slot strictly before every poll of that block, so polls pick
+// up exactly the block's messages (FIFO queues never accumulate).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/io.hpp"
+#include "sim/single_port.hpp"
+
+namespace lft::singleport {
+
+class SinglePortStageProcess final : public sim::SinglePortProcess {
+ public:
+  explicit SinglePortStageProcess(NodeId self) : self_(self) {}
+
+  void add_stage(std::unique_ptr<core::Stage> stage) { stages_.push_back(std::move(stage)); }
+
+  [[nodiscard]] NodeId self() const noexcept { return self_; }
+  [[nodiscard]] core::BinaryState& state() noexcept { return state_; }
+  [[nodiscard]] const core::BinaryState& state() const noexcept { return state_; }
+
+  /// Total sp-rounds the protocol occupies (sum of block lengths).
+  [[nodiscard]] Round total_sp_duration() const;
+
+  sim::SpAction on_round(sim::SpContext& ctx, const std::optional<sim::Message>& received) override;
+
+ private:
+  struct QueuedSend {
+    std::uint32_t tag = 0;
+    std::uint64_t value = 0;
+    std::uint64_t bits = 1;
+    std::vector<std::byte> body;
+  };
+
+  /// Collects the wrapped stage's sends for slot-by-slot emission.
+  class QueueIo final : public core::ProtocolIo {
+   public:
+    QueueIo(std::map<NodeId, QueuedSend>& queue, sim::SpContext& ctx)
+        : queue_(&queue), ctx_(&ctx) {}
+    void send(NodeId to, std::uint32_t tag, std::uint64_t value, std::uint64_t bits,
+              std::vector<std::byte> body) override;
+    void decide(std::uint64_t value) override { ctx_->decide(value); }
+    void count_fallback() override { ctx_->count_fallback(); }
+
+   private:
+    std::map<NodeId, QueuedSend>* queue_;
+    sim::SpContext* ctx_;
+  };
+
+  void advance_mp_round();
+
+  NodeId self_;
+  std::vector<std::unique_ptr<core::Stage>> stages_;
+  core::BinaryState state_;
+
+  std::size_t stage_index_ = 0;
+  Round stage_round_ = 0;  // mp-round within the current stage
+  Round slot_ = 0;         // sp-slot within the current block
+  bool done_ = false;
+
+  core::LinkBudget budget_;
+  core::LinkPlan plan_;
+  std::map<NodeId, QueuedSend> queued_;          // this block's sends by target
+  std::vector<sim::Message> inbox_accumulator_;  // polled messages for next mp-round
+};
+
+}  // namespace lft::singleport

@@ -1,0 +1,77 @@
+#include "singleport/linear_consensus.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "core/stages.hpp"
+#include "graph/overlay.hpp"
+
+namespace lft::singleport {
+
+std::unique_ptr<SinglePortStageProcess> make_linear_consensus_process(
+    const core::ConsensusParams& p, NodeId self, int input) {
+  LFT_ASSERT(input == 0 || input == 1);
+  LFT_ASSERT_MSG(5 * p.t < p.n, "Linear-Consensus requires t < n/5");
+  LFT_ASSERT_MSG(!p.use_little_pull && !p.guarantee_termination,
+                 "use core::ConsensusParams::single_port for the single-port model");
+
+  auto proc = std::make_unique<SinglePortStageProcess>(self);
+  proc->state().candidate = input;
+  proc->state().is_little = self < p.little_count;
+
+  const int little_degree =
+      std::max(1, std::min<int>(p.probe_degree_little, p.little_count - 1));
+  auto g = graph::shared_overlay(p.little_count, little_degree,
+                                 p.overlay_tag ^ core::kOverlayLittleG);
+  proc->add_stage(std::make_unique<core::FloodRumorStage>(self, p.little_count, g,
+                                                          p.flood_rounds_little, proc->state()));
+  proc->add_stage(std::make_unique<core::ProbeStage>(self, p.little_count, g,
+                                                     p.probe_gamma_little, p.probe_delta_little,
+                                                     proc->state(), /*decide_on_survive=*/true));
+  // Section 8: the star notification costs ceil(n/5t) slots per little node,
+  // which is O(t) only when t >= sqrt(n); below that, longer SCV flooding
+  // seeded by the little deciders replaces it.
+  if (p.t * p.t >= static_cast<std::int64_t>(p.n)) {
+    proc->add_stage(
+        std::make_unique<core::NotifyRelatedStage>(self, p.n, p.little_count, proc->state()));
+  }
+  const int spread_degree = std::max(1, std::min<int>(p.spread_degree, p.n - 1));
+  auto h = graph::shared_overlay(p.n, spread_degree, p.overlay_tag ^ core::kOverlaySpreadH);
+  proc->add_stage(
+      std::make_unique<core::SpreadFloodStage>(self, h, p.spread_rounds, proc->state()));
+  proc->add_stage(std::make_unique<core::InquiryPhasesStage>(
+      self, core::inquiry_graphs(p, p.scv_phases, p.overlay_tag ^ core::kOverlayInquiryBase),
+      proc->state()));
+  return proc;
+}
+
+ScheduledSpAdversary::ScheduledSpAdversary(std::vector<sim::CrashEvent> events)
+    : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const sim::CrashEvent& a, const sim::CrashEvent& b) {
+                     return a.round < b.round;
+                   });
+}
+
+void ScheduledSpAdversary::on_round(const sim::SpView& view, std::vector<NodeId>& crash_out) {
+  while (next_ < events_.size() && events_[next_].round <= view.round()) {
+    crash_out.push_back(events_[next_++].node);
+  }
+}
+
+core::ConsensusOutcome run_linear_consensus(const core::ConsensusParams& params,
+                                            std::span<const int> inputs,
+                                            std::unique_ptr<sim::SpAdversary> adversary) {
+  LFT_ASSERT(static_cast<NodeId>(inputs.size()) == params.n);
+  sim::SinglePortConfig config;
+  config.crash_budget = params.t;
+  sim::SinglePortEngine engine(params.n, config);
+  for (NodeId v = 0; v < params.n; ++v) {
+    engine.set_process(
+        v, make_linear_consensus_process(params, v, inputs[static_cast<std::size_t>(v)]));
+  }
+  if (adversary != nullptr) engine.set_adversary(std::move(adversary));
+  return core::evaluate_consensus(engine.run(), inputs);
+}
+
+}  // namespace lft::singleport

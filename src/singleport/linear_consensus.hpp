@@ -1,0 +1,40 @@
+// Linear-Consensus (Theorem 12): the single-port adaptation of
+// Few-Crashes-Consensus. Parts 1-2 of AEA expand into 2d-slot blocks on the
+// constant-degree overlay G; the related-node star is scheduled link by link
+// when t >= sqrt(n) (n/5t <= t slots) and replaced by longer SCV Part 1
+// flooding otherwise, per the Section 8 prose; SCV Part 2 uses inquiry
+// graphs capped at degree 3t+1. Runs in O(t + log n) sp-rounds with
+// O(n + t log n) message bits.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "core/consensus.hpp"
+#include "core/params.hpp"
+#include "sim/single_port.hpp"
+#include "singleport/adapter.hpp"
+
+namespace lft::singleport {
+
+/// Builds the Linear-Consensus process for one node. `params` should come
+/// from core::ConsensusParams::single_port.
+[[nodiscard]] std::unique_ptr<SinglePortStageProcess> make_linear_consensus_process(
+    const core::ConsensusParams& params, NodeId self, int input);
+
+/// Scheduled crash adversary for the single-port engine (clean crashes).
+class ScheduledSpAdversary final : public sim::SpAdversary {
+ public:
+  explicit ScheduledSpAdversary(std::vector<sim::CrashEvent> events);
+  void on_round(const sim::SpView& view, std::vector<NodeId>& crash_out) override;
+
+ private:
+  std::vector<sim::CrashEvent> events_;
+  std::size_t next_ = 0;
+};
+
+[[nodiscard]] core::ConsensusOutcome run_linear_consensus(
+    const core::ConsensusParams& params, std::span<const int> inputs,
+    std::unique_ptr<sim::SpAdversary> adversary);
+
+}  // namespace lft::singleport

@@ -1,0 +1,51 @@
+// Experimental realizations of the Theorem 13 lower-bound constructions:
+//
+//  * Port isolation (the Omega(t) argument): the adversary pre-computes,
+//    round by round, which sources would deliver to a chosen victim and
+//    crashes them at round 0 (at most t), keeping the victim information-
+//    free. By construction every crash extends the victim's silence, so t
+//    crashes buy >= t/2 silent sp-rounds — no algorithm can let the victim
+//    decide correct gossip output earlier.
+//
+//  * State divergence (the Omega(log n) argument): two executions from
+//    initial configurations differing at one node are traced; the set A[i]
+//    of nodes whose observable history differs after round i can grow by at
+//    most a factor 3 per round (each diverged node contacts at most one
+//    other per execution), so agreement on differing decisions needs
+//    >= log_3 n rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/params.hpp"
+
+namespace lft::singleport {
+
+struct IsolationResult {
+  Round isolation_rounds = 0;      // sp-rounds before the victim's first receipt
+  Round baseline_receipt = 0;      // first receipt with no crashes at all
+  std::int64_t crashes_used = 0;   // crash budget consumed by the adversary
+  bool victim_starved = false;     // victim never received anything at all
+  Round protocol_rounds = 0;       // total sp-rounds of the final execution
+};
+
+/// Runs Linear-Consensus with the iterative port-killing adversary against
+/// `victim`. Deterministic.
+[[nodiscard]] IsolationResult run_port_isolation(NodeId n, std::int64_t t, NodeId victim);
+
+struct DivergenceResult {
+  /// diverged_per_round[i] = |A[i]|: nodes whose observable trace differs
+  /// between the two executions within the first i+1 sp-rounds.
+  std::vector<std::int64_t> diverged_per_round;
+  Round rounds = 0;             // sp-rounds of the executions
+  bool decisions_differ = false;  // the two runs decided differently
+};
+
+/// Traces two Linear-Consensus executions from configurations that differ
+/// only in node 0's input (all-zeros vs. single one), and measures the
+/// divergence growth.
+[[nodiscard]] DivergenceResult run_divergence_experiment(NodeId n, std::int64_t t);
+
+}  // namespace lft::singleport

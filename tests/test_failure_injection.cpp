@@ -1,0 +1,227 @@
+// Failure-injection tests: crash bursts aimed at each protocol stage
+// boundary, per-seed randomized sweeps, targeted isolation attacks, and the
+// "one crash per round" stagger — the adversarial coverage beyond the main
+// protocol test grids.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "core/checkpointing.hpp"
+#include "core/consensus.hpp"
+#include "core/gossip.hpp"
+#include "graph/overlay.hpp"
+#include "core/stages.hpp"
+#include "sim/adversary.hpp"
+
+namespace lft::core {
+namespace {
+
+std::vector<int> random_inputs(NodeId n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> inputs(static_cast<std::size_t>(n));
+  for (auto& b : inputs) b = static_cast<int>(rng.uniform(2));
+  return inputs;
+}
+
+// ---- crash bursts aimed at each stage window -------------------------------------
+
+struct WindowCase {
+  const char* stage;
+  double frac;  // position of the burst within the protocol schedule [0, 1]
+};
+
+class StageWindowSweep : public ::testing::TestWithParam<WindowCase> {};
+
+TEST_P(StageWindowSweep, FewCrashesSurvivesBurstInEveryStage) {
+  const auto& c = GetParam();
+  const NodeId n = 200;
+  const std::int64_t t = 30;
+  const auto params = ConsensusParams::practical(n, t);
+  // Schedule length: flood (5t-1) + probe (gamma+2) + notify 2 + spread + phases.
+  const Round total = params.flood_rounds_little + params.probe_gamma_little + 3 +
+                      params.spread_rounds + 2 * params.scv_phases + 4;
+  const Round when = static_cast<Round>(c.frac * static_cast<double>(total));
+  const auto inputs = random_inputs(n, 71);
+  const auto outcome = run_few_crashes_consensus(
+      params, inputs, sim::make_scheduled(sim::burst_crash_schedule(n, t, when, 73)));
+  EXPECT_TRUE(outcome.termination) << c.stage;
+  EXPECT_TRUE(outcome.agreement) << c.stage;
+  EXPECT_TRUE(outcome.validity) << c.stage;
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, StageWindowSweep,
+                         ::testing::Values(WindowCase{"flood_start", 0.0},
+                                           WindowCase{"flood_mid", 0.4},
+                                           WindowCase{"probe", 0.88},
+                                           WindowCase{"notify", 0.93},
+                                           WindowCase{"spread", 0.96},
+                                           WindowCase{"inquiry", 0.99}),
+                         [](const auto& info) { return info.param.stage; });
+
+TEST(StageWindow, CheckpointingSurvivesBurstAtGossipConsensusBoundary) {
+  const NodeId n = 150;
+  const std::int64_t t = 20;
+  const auto params = CheckpointParams::practical(n, t);
+  // Gossip occupies 2 * phases * (gamma + 3) + 3 rounds; burst right there.
+  const Round boundary =
+      2 * params.gossip.phases * (params.gossip.probe_gamma + 3) + 3;
+  const auto outcome = run_checkpointing(
+      params, sim::make_scheduled(sim::burst_crash_schedule(n, t, boundary, 79)));
+  EXPECT_TRUE(outcome.all_good());
+}
+
+TEST(StageWindow, GossipSurvivesBurstBetweenParts) {
+  const NodeId n = 150;
+  const std::int64_t t = 20;
+  const auto params = GossipParams::practical(n, t);
+  std::vector<std::uint64_t> rumors(static_cast<std::size_t>(n), 1);
+  const Round part1 = params.phases * (params.probe_gamma + 3);
+  const auto outcome = run_gossip(
+      params, rumors, sim::make_scheduled(sim::burst_crash_schedule(n, t, part1, 83)));
+  EXPECT_TRUE(outcome.termination);
+  EXPECT_TRUE(outcome.condition1);
+  EXPECT_TRUE(outcome.condition2);
+}
+
+// ---- randomized seed sweeps ---------------------------------------------------------
+
+class SeedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeedSweep, FewCrashesAcrossSeeds) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const NodeId n = 120;
+  const std::int64_t t = 20;
+  const auto params = ConsensusParams::practical(n, t);
+  const auto inputs = random_inputs(n, seed);
+  const auto outcome = run_few_crashes_consensus(
+      params, inputs,
+      sim::make_scheduled(sim::random_crash_schedule(n, t, 0, 5 * t, 0.5, seed * 31 + 7)));
+  EXPECT_TRUE(outcome.all_good()) << "seed " << seed;
+  EXPECT_EQ(outcome.report.metrics.fallback_pulls, 0) << "seed " << seed;
+}
+
+TEST_P(SeedSweep, ManyCrashesAcrossSeeds) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const NodeId n = 96;
+  const std::int64_t t = 60;
+  const auto params = ConsensusParams::practical(n, t);
+  const auto inputs = random_inputs(n, seed + 100);
+  const auto outcome = run_many_crashes_consensus(
+      params, inputs,
+      sim::make_scheduled(sim::random_crash_schedule(n, t, 0, n / 2, 0.3, seed * 37 + 11)));
+  EXPECT_TRUE(outcome.all_good()) << "seed " << seed;
+}
+
+TEST_P(SeedSweep, GossipAcrossSeeds) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const NodeId n = 110;
+  const std::int64_t t = 14;
+  const auto params = GossipParams::practical(n, t);
+  std::vector<std::uint64_t> rumors(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) rumors[static_cast<std::size_t>(v)] = seed * 1000 + v;
+  const auto outcome = run_gossip(
+      params, rumors,
+      sim::make_scheduled(sim::random_crash_schedule(n, t, 0, 4 * t, 0.0, seed * 41 + 13)));
+  EXPECT_TRUE(outcome.all_good()) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Range(1, 11),
+                         [](const auto& info) { return "seed" + std::to_string(info.param); });
+
+// ---- targeted isolation --------------------------------------------------------------
+
+TEST(Isolation, LittleNodeCutFromProbeOverlayStillDecides) {
+  // Crash every little-overlay neighbor of little node 1: it cannot survive
+  // probing, but the SCV inquiry phases run on *different* graphs, so it
+  // still learns the decision — phase-graph diversity is load-bearing.
+  const NodeId n = 200;
+  const std::int64_t t = 30;
+  const auto params = ConsensusParams::practical(n, t);
+  const auto little_g = graph::shared_overlay(
+      params.little_count, std::min<int>(params.probe_degree_little, params.little_count - 1),
+      params.overlay_tag ^ kOverlayLittleG);
+  auto schedule = sim::isolation_crash_schedule(*little_g, 1, t);
+  ASSERT_LE(static_cast<std::int64_t>(schedule.size()), t);
+  const auto inputs = random_inputs(n, 3);
+  const auto outcome =
+      run_few_crashes_consensus(params, inputs, sim::make_scheduled(std::move(schedule)));
+  EXPECT_TRUE(outcome.termination);
+  EXPECT_TRUE(outcome.agreement);
+  EXPECT_TRUE(outcome.validity);
+  EXPECT_FALSE(outcome.report.nodes[1].crashed);
+  EXPECT_TRUE(outcome.report.nodes[1].decided) << "isolated little node must still decide";
+}
+
+TEST(Isolation, SpreadOverlayCutVictimRecoversThroughInquiries) {
+  const NodeId n = 200;
+  const std::int64_t t = 30;
+  const auto params = ConsensusParams::practical(n, t);
+  const auto h = graph::shared_overlay(n, params.spread_degree,
+                                       params.overlay_tag ^ kOverlaySpreadH);
+  const NodeId victim = n - 1;
+  auto schedule = sim::isolation_crash_schedule(*h, victim, t);
+  const auto inputs = random_inputs(n, 5);
+  const auto outcome =
+      run_few_crashes_consensus(params, inputs, sim::make_scheduled(std::move(schedule)));
+  EXPECT_TRUE(outcome.all_good());
+  EXPECT_TRUE(outcome.report.nodes[static_cast<std::size_t>(victim)].decided);
+}
+
+// ---- stagger: one crash per round ------------------------------------------------------
+
+TEST(Stagger, OneCrashPerRoundThroughTheWholeExecution) {
+  // The paper's efficiency framing: one crash delays termination by O(1)
+  // rounds. Our schedules are fixed-length, so the stronger check is that a
+  // crash in *every* round of the critical window never breaks safety.
+  const NodeId n = 160;
+  const std::int64_t t = 31;
+  const auto params = ConsensusParams::practical(n, t);
+  const auto inputs = random_inputs(n, 7);
+  const auto outcome = run_few_crashes_consensus(
+      params, inputs,
+      sim::make_scheduled(sim::staggered_crash_schedule(n, t, 0, 5, 17)));
+  EXPECT_TRUE(outcome.all_good());
+}
+
+TEST(Stagger, RoundsIndependentOfCrashCount) {
+  // Deterministic schedules: the round count is a function of (n, t), not of
+  // how many crashes actually happen (early-stopping is out of scope, as in
+  // the paper's algorithms).
+  const NodeId n = 120;
+  const std::int64_t t = 20;
+  const auto params = ConsensusParams::practical(n, t);
+  const auto inputs = random_inputs(n, 9);
+  const auto quiet = run_few_crashes_consensus(params, inputs, nullptr);
+  const auto noisy = run_few_crashes_consensus(
+      params, inputs, sim::make_scheduled(sim::burst_crash_schedule(n, t, 0, 21)));
+  EXPECT_TRUE(quiet.all_good());
+  EXPECT_TRUE(noisy.all_good());
+  EXPECT_EQ(quiet.report.rounds, noisy.report.rounds);
+}
+
+// ---- partial-send torture ---------------------------------------------------------------
+
+TEST(PartialSend, EveryCrashKeepsHalfItsMessages) {
+  const NodeId n = 150;
+  const std::int64_t t = 25;
+  const auto params = ConsensusParams::practical(n, t);
+  const auto inputs = random_inputs(n, 11);
+  const auto outcome = run_few_crashes_consensus(
+      params, inputs,
+      sim::make_scheduled(sim::random_crash_schedule(n, t, 0, 5 * t, 0.5, 23)));
+  EXPECT_TRUE(outcome.all_good());
+}
+
+TEST(PartialSend, CheckpointingWithPartialCrashes) {
+  const auto params = CheckpointParams::practical(120, 15);
+  const auto outcome = run_checkpointing(
+      params, sim::make_scheduled(sim::random_crash_schedule(120, 15, 0, 80, 0.7, 29)));
+  EXPECT_TRUE(outcome.all_good());
+}
+
+}  // namespace
+}  // namespace lft::core

@@ -1,0 +1,258 @@
+// Unit tests for the graph substrate: CSR core, reference families,
+// deterministic random-regular construction, LPS Ramanujan graphs, Margulis
+// expanders, spectral estimation, and the certified overlay factory.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/math.hpp"
+#include "graph/families.hpp"
+#include "graph/graph.hpp"
+#include "graph/lps.hpp"
+#include "graph/margulis.hpp"
+#include "graph/overlay.hpp"
+#include "graph/properties.hpp"
+#include "graph/random_regular.hpp"
+#include "graph/spectral.hpp"
+
+namespace lft::graph {
+namespace {
+
+// ---- Graph core --------------------------------------------------------------
+
+TEST(GraphCore, FromEdgesDedupsAndSorts) {
+  std::vector<std::pair<NodeId, NodeId>> edges{{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}};
+  const Graph g = Graph::from_edges(3, edges);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);  // (0,1) and (1,2); self-loop dropped
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 2);
+  const auto ns = g.neighbors(1);
+  EXPECT_EQ(ns[0], 0);
+  EXPECT_EQ(ns[1], 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(GraphCore, EmptyGraph) {
+  const Graph g = Graph::from_edges(4, {});
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.degree(2), 0);
+  EXPECT_EQ(g.min_degree(), 0);
+}
+
+// ---- families ------------------------------------------------------------------
+
+TEST(Families, CompleteGraph) {
+  const Graph g = complete_graph(6);
+  EXPECT_EQ(g.num_edges(), 15);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), 5);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Families, RingGraph) {
+  const Graph g = ring_graph(10);
+  EXPECT_EQ(g.num_edges(), 10);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), 2);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Families, StarGraph) {
+  const Graph g = star_graph(8);
+  EXPECT_EQ(g.degree(0), 7);
+  EXPECT_EQ(g.degree(3), 1);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Families, Hypercube) {
+  const Graph g = hypercube_graph(5);
+  EXPECT_EQ(g.num_vertices(), 32);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), 5);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Families, Torus) {
+  const Graph g = torus_graph(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), 4);
+  EXPECT_TRUE(is_connected(g));
+}
+
+// ---- random regular ---------------------------------------------------------------
+
+TEST(RandomRegular, ProducesSimpleRegularGraph) {
+  for (auto [n, d] : std::vector<std::pair<NodeId, int>>{{50, 4}, {101, 8}, {256, 16}}) {
+    const Graph g = random_regular_graph(n, d, 1234);
+    EXPECT_EQ(g.num_vertices(), n);
+    EXPECT_TRUE(g.is_regular()) << "n=" << n << " d=" << d;
+    EXPECT_EQ(g.max_degree(), d);
+    EXPECT_EQ(g.num_edges(), static_cast<std::int64_t>(n) * d / 2);
+  }
+}
+
+TEST(RandomRegular, DeterministicInSeed) {
+  const Graph a = random_regular_graph(128, 6, 99);
+  const Graph b = random_regular_graph(128, 6, 99);
+  const Graph c = random_regular_graph(128, 6, 100);
+  for (NodeId v = 0; v < 128; ++v) {
+    const auto na = a.neighbors(v), nb = b.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+  bool any_diff = false;
+  for (NodeId v = 0; v < 128 && !any_diff; ++v) {
+    const auto na = a.neighbors(v), nc = c.neighbors(v);
+    if (na.size() != nc.size()) {
+      any_diff = true;
+      break;
+    }
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      if (na[i] != nc[i]) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomRegular, TypicallyConnectedAndExpanding) {
+  const Graph g = random_regular_graph(500, 8, 7);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_LT(second_eigenvalue_estimate(g), 8.0 * 0.8);
+}
+
+// ---- LPS Ramanujan -----------------------------------------------------------------
+
+TEST(Lps, SmallPslInstanceIsRamanujan) {
+  // p=5, q=13: legendre(5,13)=-1? squares mod 13 are {1,3,4,9,10,12}; 5 is
+  // not among them, so this is the bipartite PGL case with q(q^2-1)=2184
+  // vertices. Use p=13? Instead pick from the catalog.
+  const auto catalog = lps_catalog(3000);
+  ASSERT_FALSE(catalog.empty());
+  const auto params = catalog.front();
+  const auto result = lps_graph(params.p, params.q);
+  EXPECT_FALSE(result.bipartite);
+  EXPECT_EQ(result.graph.num_vertices(), params.vertices);
+  EXPECT_TRUE(result.graph.is_regular());
+  EXPECT_EQ(result.graph.max_degree(), result.degree);
+  EXPECT_TRUE(is_connected(result.graph));
+  // The genuine Ramanujan bound, no slack.
+  EXPECT_LE(second_eigenvalue_estimate(result.graph, 300),
+            ramanujan_bound(result.degree) * 1.001);
+}
+
+TEST(Lps, BipartitePglInstance) {
+  // p=5, q=13 has legendre(5,13) == -1 -> PGL, bipartite, 2184 vertices.
+  ASSERT_EQ(lft::legendre(5, 13), -1);
+  const auto result = lps_graph(5, 13);
+  EXPECT_TRUE(result.bipartite);
+  EXPECT_EQ(result.graph.num_vertices(), 13 * (13 * 13 - 1));
+  EXPECT_TRUE(result.graph.is_regular());
+  EXPECT_EQ(result.graph.max_degree(), 6);
+  EXPECT_TRUE(is_connected(result.graph));
+}
+
+TEST(Lps, CatalogSorted) {
+  const auto catalog = lps_catalog(30000);
+  EXPECT_GE(catalog.size(), 2u);
+  for (std::size_t i = 1; i < catalog.size(); ++i) {
+    EXPECT_LE(catalog[i - 1].vertices, catalog[i].vertices);
+  }
+}
+
+// ---- Margulis -----------------------------------------------------------------------
+
+TEST(Margulis, SizeAndConnectivity) {
+  const Graph g = margulis_graph(16);
+  EXPECT_EQ(g.num_vertices(), 256);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_LE(g.max_degree(), 8);
+  EXPECT_GE(g.min_degree(), 4);
+}
+
+TEST(Margulis, IsAnExpander) {
+  const Graph g = margulis_graph(20);
+  // Margulis bound: lambda <= 5*sqrt(2) ~ 7.07 < 8.
+  EXPECT_LT(second_eigenvalue_estimate(g), 7.3);
+  EXPECT_GT(edge_expansion_lower_bound(g), 0.2);
+}
+
+// ---- spectral ------------------------------------------------------------------------
+
+TEST(Spectral, CompleteGraphLambdaIsOne) {
+  // K_n spectrum: {n-1, -1, ..., -1}.
+  const Graph g = complete_graph(40);
+  EXPECT_NEAR(second_eigenvalue_estimate(g, 200), 1.0, 0.05);
+}
+
+TEST(Spectral, RingLambdaNearTwo) {
+  const Graph g = ring_graph(64);
+  EXPECT_NEAR(second_eigenvalue_estimate(g, 400), 2.0 * std::cos(2 * M_PI / 64), 0.05);
+}
+
+TEST(Spectral, HypercubeLambdaSeesBipartiteness) {
+  // Q_d spectrum: d - 2k, including -d (bipartite), so
+  // max(|lambda_2|, |lambda_n|) = d. The estimator must find it.
+  const Graph g = hypercube_graph(6);
+  EXPECT_NEAR(second_eigenvalue_estimate(g, 300), 6.0, 0.1);
+}
+
+TEST(Spectral, RamanujanBoundValue) {
+  EXPECT_NEAR(ramanujan_bound(6), 2.0 * std::sqrt(5.0), 1e-12);
+}
+
+// ---- overlay provider -----------------------------------------------------------------
+
+TEST(Overlay, FallsBackToCompleteForHighDegree) {
+  const Graph g = make_overlay(10, 20, 1);
+  EXPECT_EQ(g.num_edges(), 45);
+  EXPECT_EQ(g.max_degree(), 9);
+}
+
+TEST(Overlay, ProducesCertifiedExpander) {
+  const Graph g = make_overlay(300, 10, 7);
+  EXPECT_EQ(g.num_vertices(), 300);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_LE(second_eigenvalue_estimate(g), ramanujan_bound(10) * 1.25 + 1e-9);
+}
+
+TEST(Overlay, BumpsOddParity) {
+  // n and degree both odd -> n*d odd -> degree bumped to 6.
+  const Graph g = make_overlay(101, 5, 3);
+  EXPECT_EQ(g.max_degree(), 6);
+  EXPECT_TRUE(g.is_regular());
+}
+
+TEST(Overlay, SharedOverlayCachesByKey) {
+  clear_overlay_cache();
+  const auto a = shared_overlay(200, 8, 42);
+  const auto b = shared_overlay(200, 8, 42);
+  const auto c = shared_overlay(200, 8, 43);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+}
+
+TEST(Overlay, DeterministicAcrossCacheClears) {
+  clear_overlay_cache();
+  const auto a = shared_overlay(150, 6, 5);
+  clear_overlay_cache();
+  const auto b = shared_overlay(150, 6, 5);
+  for (NodeId v = 0; v < 150; ++v) {
+    const auto na = a->neighbors(v), nb = b->neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+}
+
+}  // namespace
+}  // namespace lft::graph

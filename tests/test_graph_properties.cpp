@@ -1,0 +1,289 @@
+// Tests for the paper's Section 2-3 machinery: survival subsets (Theorem 2's
+// fixed-point operator), dense neighborhoods (Proposition 1 / Theorem 3),
+// expansion (Theorems 1 and 4), and the quantitative behaviour of these
+// properties on genuine Ramanujan (LPS), Margulis and certified
+// random-regular overlays — the per-instance validation that justifies
+// DESIGN.md substitution 1.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/families.hpp"
+#include "graph/lps.hpp"
+#include "graph/margulis.hpp"
+#include "graph/overlay.hpp"
+#include "graph/properties.hpp"
+#include "graph/spectral.hpp"
+
+namespace lft::graph {
+namespace {
+
+DynamicBitset full_set(NodeId n) {
+  DynamicBitset b(static_cast<std::size_t>(n));
+  b.set_all();
+  return b;
+}
+
+DynamicBitset random_subset(NodeId n, NodeId keep, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NodeId> perm(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+  rng.shuffle(std::span<NodeId>(perm));
+  DynamicBitset b(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < keep; ++i) b.set(static_cast<std::size_t>(perm[i]));
+  return b;
+}
+
+// ---- survival subsets (delta-core) --------------------------------------------
+
+TEST(SurvivalSubset, CompleteGraphKeepsEverything) {
+  const Graph g = complete_graph(20);
+  const auto core = survival_subset(g, full_set(20), 10);
+  EXPECT_EQ(core.count(), 20u);
+}
+
+TEST(SurvivalSubset, PathPeelsEntirelyForDelta2) {
+  // A path has endpoints of degree 1; delta=2 peeling cascades end to end.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v + 1 < 10; ++v) edges.emplace_back(v, v + 1);
+  const Graph g = Graph::from_edges(10, edges);
+  const auto core = survival_subset(g, full_set(10), 2);
+  EXPECT_EQ(core.count(), 0u);
+}
+
+TEST(SurvivalSubset, RingSurvivesDelta2) {
+  const Graph g = ring_graph(12);
+  const auto core = survival_subset(g, full_set(12), 2);
+  EXPECT_EQ(core.count(), 12u);
+}
+
+TEST(SurvivalSubset, RestrictsToGivenSet) {
+  const Graph g = ring_graph(12);
+  DynamicBitset b = full_set(12);
+  b.set(0, false);  // break the ring: remaining path peels away at delta=2
+  const auto core = survival_subset(g, b, 2);
+  EXPECT_EQ(core.count(), 0u);
+  EXPECT_TRUE(core.is_subset_of(b));
+}
+
+TEST(SurvivalSubset, CoreMembersHaveDeltaDegreesInCore) {
+  const Graph g = make_overlay(400, 12, 21);
+  const auto b = random_subset(400, 320, 5);
+  const int delta = 4;
+  const auto core = survival_subset(g, b, delta);
+  EXPECT_TRUE(core.is_subset_of(b));
+  core.for_each([&](std::size_t v) {
+    int deg = 0;
+    for (NodeId w : g.neighbors(static_cast<NodeId>(v))) {
+      if (core.test(static_cast<std::size_t>(w))) ++deg;
+    }
+    EXPECT_GE(deg, delta);
+  });
+}
+
+// Theorem 2's quantitative claim, practical-parameter edition: on a certified
+// expander, removing up to 20% of vertices leaves a delta-core covering at
+// least 3/4 of the survivors (the paper's (ell, 3/4, delta)-compactness).
+TEST(SurvivalSubset, CompactnessOnCertifiedExpander) {
+  const NodeId n = 600;
+  const int d = 16;
+  const Graph g = make_overlay(n, d, 33);
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const auto b = random_subset(n, n - n / 5, seed);
+    const auto core = survival_subset(g, b, d / 4);
+    EXPECT_GE(core.count() * 4, b.count() * 3)
+        << "seed " << seed << ": core " << core.count() << " of " << b.count();
+  }
+}
+
+TEST(SurvivalSubset, CompactnessOnLps) {
+  const auto catalog = lps_catalog(2000);
+  ASSERT_FALSE(catalog.empty());
+  const auto res = lps_graph(catalog.front().p, catalog.front().q);
+  const NodeId n = res.graph.num_vertices();
+  const auto b = random_subset(n, n - n / 5, 9);
+  const auto core = survival_subset(res.graph, b, res.degree / 4);
+  EXPECT_GE(core.count() * 4, b.count() * 3);
+}
+
+// ---- dense neighborhoods -------------------------------------------------------
+
+TEST(DenseNeighborhood, CompleteGraphIsDense) {
+  const Graph g = complete_graph(16);
+  EXPECT_TRUE(has_dense_neighborhood(g, 0, 2, 10, full_set(16)));
+  EXPECT_FALSE(has_dense_neighborhood(g, 0, 2, 16, full_set(16)));  // delta > degree
+}
+
+TEST(DenseNeighborhood, DeadVertexHasNone) {
+  const Graph g = complete_graph(16);
+  DynamicBitset alive = full_set(16);
+  alive.set(0, false);
+  EXPECT_FALSE(has_dense_neighborhood(g, 0, 2, 3, alive));
+}
+
+TEST(DenseNeighborhood, SizeGrowsWithRadius) {
+  // Theorem 3's doubling: on an expander the dense neighborhood of radius
+  // 2 + lg n reaches a constant fraction of vertices.
+  const NodeId n = 512;
+  const Graph g = make_overlay(n, 16, 8);
+  const int gamma = 2 + 9;  // 2 + lg 512
+  const auto size = dense_neighborhood_size(g, 0, gamma, 4, full_set(n));
+  EXPECT_GE(size, static_cast<std::size_t>(n) / 2);
+  const auto small = dense_neighborhood_size(g, 0, 1, 4, full_set(n));
+  EXPECT_LT(small, size);
+}
+
+TEST(DenseNeighborhood, SurvivesModerateCrashes) {
+  const NodeId n = 512;
+  const Graph g = make_overlay(n, 16, 8);
+  const auto alive = random_subset(n, n - n / 5, 4);
+  const int gamma = 2 + 9;
+  std::size_t with = 0, total = 0;
+  alive.for_each([&](std::size_t v) {
+    ++total;
+    if (has_dense_neighborhood(g, static_cast<NodeId>(v), gamma, 4, alive)) ++with;
+  });
+  EXPECT_GE(with * 4, total * 3);  // at least 3/4 of survivors are dense
+}
+
+// ---- neighborhood balls ----------------------------------------------------------
+
+TEST(NeighborhoodBall, RadiusZeroIsSeed) {
+  const Graph g = ring_graph(10);
+  const auto ball = neighborhood_ball(g, 3, 0, full_set(10));
+  EXPECT_EQ(ball.count(), 1u);
+  EXPECT_TRUE(ball.test(3));
+}
+
+TEST(NeighborhoodBall, RingBallGrowsLinearly) {
+  const Graph g = ring_graph(20);
+  EXPECT_EQ(neighborhood_ball(g, 0, 1, full_set(20)).count(), 3u);
+  EXPECT_EQ(neighborhood_ball(g, 0, 3, full_set(20)).count(), 7u);
+}
+
+TEST(NeighborhoodBall, RespectsAliveMask) {
+  const Graph g = ring_graph(10);
+  DynamicBitset alive = full_set(10);
+  alive.set(1, false);  // block clockwise direction
+  const auto ball = neighborhood_ball(g, 0, 3, alive);
+  EXPECT_TRUE(ball.test(9));
+  EXPECT_TRUE(ball.test(7));
+  EXPECT_FALSE(ball.test(1));
+  EXPECT_FALSE(ball.test(2));
+}
+
+// ---- edge counting -----------------------------------------------------------------
+
+TEST(EdgeCounts, BetweenVolumeBoundary) {
+  const Graph g = complete_graph(6);
+  DynamicBitset a(6), b(6);
+  a.set(0);
+  a.set(1);
+  b.set(2);
+  b.set(3);
+  EXPECT_EQ(edges_between(g, a, b), 4);
+  EXPECT_EQ(volume(g, a), 1);
+  EXPECT_EQ(edge_boundary(g, a), 8);  // 2 vertices x 4 outside neighbors
+  EXPECT_EQ(external_neighbor_count(g, a), 4);
+}
+
+TEST(EdgeCounts, HandshakeConsistency) {
+  const Graph g = make_overlay(200, 8, 77);
+  const auto s = random_subset(200, 80, 3);
+  // vol(S) counted via degrees: sum deg_S(v) = 2 vol(S).
+  std::int64_t twice = 0;
+  s.for_each([&](std::size_t v) {
+    for (NodeId w : g.neighbors(static_cast<NodeId>(v))) {
+      if (s.test(static_cast<std::size_t>(w))) ++twice;
+    }
+  });
+  EXPECT_EQ(twice, 2 * volume(g, s));
+  // Total degree of S = 2 vol(S) + boundary.
+  std::int64_t total_deg = 0;
+  s.for_each([&](std::size_t v) { total_deg += g.degree(static_cast<NodeId>(v)); });
+  EXPECT_EQ(total_deg, 2 * volume(g, s) + edge_boundary(g, s));
+}
+
+// ---- components ---------------------------------------------------------------------
+
+TEST(Components, SplitRing) {
+  const Graph g = ring_graph(10);
+  DynamicBitset alive = full_set(10);
+  alive.set(0, false);
+  alive.set(5, false);
+  const auto labels = connected_components(g, alive);
+  EXPECT_EQ(labels[0], -1);
+  EXPECT_EQ(labels[5], -1);
+  EXPECT_EQ(labels[1], labels[4]);
+  EXPECT_EQ(labels[6], labels[9]);
+  EXPECT_NE(labels[1], labels[6]);
+}
+
+TEST(Components, IsConnectedHelpers) {
+  EXPECT_TRUE(is_connected(ring_graph(5)));
+  const Graph two = Graph::from_edges(4, std::vector<std::pair<NodeId, NodeId>>{{0, 1}, {2, 3}});
+  EXPECT_FALSE(is_connected(two));
+}
+
+// ---- expansion (Theorems 1 and 4) ----------------------------------------------------
+
+TEST(Expansion, LpsIsEllExpanding) {
+  // Theorem 1: X^{p,q} is ell(n,d)-expanding with ell = 4 n d^{-1/8}. At
+  // LPS-feasible degrees that formula exceeds n, so we check the operative
+  // statement: two disjoint linear-size sets are always joined by an edge.
+  const auto catalog = lps_catalog(2000);
+  ASSERT_FALSE(catalog.empty());
+  const auto res = lps_graph(catalog.front().p, catalog.front().q);
+  const NodeId n = res.graph.num_vertices();
+  EXPECT_TRUE(sampled_ell_expansion(res.graph, n / 6, 50, 11));
+}
+
+TEST(Expansion, RingIsNotExpanding) {
+  const Graph g = ring_graph(200);
+  EXPECT_FALSE(sampled_ell_expansion(g, 20, 50, 11));
+}
+
+TEST(Expansion, Theorem4CrossEdges) {
+  // Theorem 4: for |A| = eps*n and |B| > 4n/(d*eps), disjoint A and B are
+  // joined by an edge. At d = 16 the bound is non-vacuous only for eps
+  // close to 1/2 (|B| > n/2), so test at the boundary: A of size n/2 and B
+  // covering (almost) the rest.
+  const NodeId n = 800;
+  const Graph g = make_overlay(n, 16, 55);
+  Rng rng(13);
+  std::vector<NodeId> perm(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+  const NodeId a_size = n / 2;
+  const NodeId b_size = n / 2 - 4;
+  for (int trial = 0; trial < 20; ++trial) {
+    rng.shuffle(std::span<NodeId>(perm));
+    DynamicBitset a(static_cast<std::size_t>(n)), b(static_cast<std::size_t>(n));
+    for (NodeId i = 0; i < a_size; ++i) a.set(static_cast<std::size_t>(perm[i]));
+    for (NodeId i = 0; i < b_size; ++i) {
+      b.set(static_cast<std::size_t>(perm[a_size + i]));
+    }
+    EXPECT_GT(edges_between(g, a, b), 0);
+  }
+}
+
+TEST(Expansion, SpectralExpansionMatchesCheegerBound) {
+  const Graph g = margulis_graph(18);
+  const double h_lower = edge_expansion_lower_bound(g);
+  // Sample a few balanced cuts and confirm none violates the bound.
+  Rng rng(3);
+  const NodeId n = g.num_vertices();
+  std::vector<NodeId> perm(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+  for (int trial = 0; trial < 10; ++trial) {
+    rng.shuffle(std::span<NodeId>(perm));
+    DynamicBitset s(static_cast<std::size_t>(n));
+    for (NodeId i = 0; i < n / 2; ++i) s.set(static_cast<std::size_t>(perm[i]));
+    const double ratio =
+        static_cast<double>(edge_boundary(g, s)) / static_cast<double>(s.count());
+    EXPECT_GE(ratio, h_lower - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace lft::graph

@@ -1,0 +1,64 @@
+// Compile-and-run smoke test of the umbrella header: the whole public API is
+// reachable through a single include, and a minimal instance of every
+// problem family solves correctly.
+#include "lft.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace lft;
+
+TEST(PublicApi, EveryProblemFamilySolvesAMinimalInstance) {
+  const NodeId n = 60;
+  const std::int64_t t = 5;
+  std::vector<int> inputs(static_cast<std::size_t>(n), 0);
+  inputs[1] = 1;
+
+  // Crash consensus.
+  const auto consensus = core::run_few_crashes_consensus(
+      core::ConsensusParams::practical(n, t), inputs,
+      sim::make_scheduled(sim::burst_crash_schedule(n, t, 0, 1)));
+  EXPECT_TRUE(consensus.all_good());
+
+  // Gossip.
+  std::vector<std::uint64_t> rumors(static_cast<std::size_t>(n), 3);
+  const auto gossip = core::run_gossip(core::GossipParams::practical(n, t), rumors, nullptr);
+  EXPECT_TRUE(gossip.all_good());
+
+  // Checkpointing.
+  const auto checkpoint =
+      core::run_checkpointing(core::CheckpointParams::practical(n, t), nullptr);
+  EXPECT_TRUE(checkpoint.all_good());
+
+  // Counting + majority.
+  const auto majority = core::run_majority_consensus(
+      core::CheckpointParams::practical(n, t), inputs, nullptr);
+  EXPECT_TRUE(majority.all_good());
+  EXPECT_EQ(majority.members, static_cast<std::int64_t>(n));
+  EXPECT_EQ(majority.ones, 1);
+
+  // Authenticated Byzantine consensus.
+  std::vector<std::uint64_t> byz_inputs(static_cast<std::size_t>(n), 1);
+  const auto ab = byzantine::run_ab_consensus(byzantine::AbParams::practical(n, t),
+                                              byz_inputs, {{1, "silent"}});
+  EXPECT_TRUE(ab.termination && ab.agreement);
+
+  // Single-port consensus.
+  const auto sp = singleport::run_linear_consensus(
+      core::ConsensusParams::single_port(n, t), inputs, nullptr);
+  EXPECT_TRUE(sp.all_good());
+
+  // A baseline for comparison.
+  const auto baseline = baselines::run_floodset(n, t, inputs, nullptr);
+  EXPECT_TRUE(baseline.all_good());
+}
+
+TEST(PublicApi, GraphToolingReachable) {
+  const auto g = graph::make_overlay(128, 8, 1);
+  EXPECT_TRUE(graph::is_connected(g));
+  EXPECT_LT(graph::second_eigenvalue_estimate(g), 8.0);
+  EXPECT_FALSE(graph::lps_catalog(3000).empty());
+}
+
+}  // namespace

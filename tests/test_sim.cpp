@@ -1,0 +1,350 @@
+// Tests for the multi-port synchronous engine: delivery semantics, halting,
+// decisions, crash semantics (clean and partial), metrics accounting,
+// Byzantine accounting, and the adversary strategy constructors.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "graph/families.hpp"
+#include "sim/adversary.hpp"
+#include "sim/engine.hpp"
+
+namespace lft::sim {
+namespace {
+
+/// Scriptable process: runs a user lambda each round.
+class LambdaProcess final : public Process {
+ public:
+  using Fn = std::function<void(Context&, std::span<const Message>)>;
+  explicit LambdaProcess(Fn fn) : fn_(std::move(fn)) {}
+  void on_round(Context& ctx, std::span<const Message> inbox) override { fn_(ctx, inbox); }
+
+ private:
+  Fn fn_;
+};
+
+std::unique_ptr<Process> lambda_process(LambdaProcess::Fn fn) {
+  return std::make_unique<LambdaProcess>(std::move(fn));
+}
+
+/// Does nothing and halts immediately.
+std::unique_ptr<Process> idle_process() {
+  return lambda_process([](Context& ctx, std::span<const Message>) { ctx.halt(); });
+}
+
+TEST(Engine, MessageSentAtRoundRArrivesAtRPlusOne) {
+  Engine engine(2, {});
+  std::vector<Round> arrivals;
+  engine.set_process(0, lambda_process([](Context& ctx, std::span<const Message>) {
+                       if (ctx.round() == 0) ctx.send(1, 7, 42);
+                       if (ctx.round() >= 1) ctx.halt();
+                     }));
+  engine.set_process(1, lambda_process([&](Context& ctx, std::span<const Message> inbox) {
+                       for (const auto& m : inbox) {
+                         arrivals.push_back(ctx.round());
+                         EXPECT_EQ(m.from, 0);
+                         EXPECT_EQ(m.tag, 7u);
+                         EXPECT_EQ(m.value, 42u);
+                       }
+                       if (ctx.round() >= 1) ctx.halt();
+                     }));
+  const Report report = engine.run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0], 1);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.rounds, 2);
+}
+
+TEST(Engine, InboxSortedBySender) {
+  Engine engine(4, {});
+  std::vector<NodeId> senders;
+  for (NodeId v = 1; v < 4; ++v) {
+    engine.set_process(v, lambda_process([](Context& ctx, std::span<const Message>) {
+                         if (ctx.round() == 0) ctx.send(0, 0, 0);
+                         ctx.halt();
+                       }));
+  }
+  engine.set_process(0, lambda_process([&](Context& ctx, std::span<const Message> inbox) {
+                       for (const auto& m : inbox) senders.push_back(m.from);
+                       if (ctx.round() >= 1) ctx.halt();
+                     }));
+  engine.run();
+  ASSERT_EQ(senders.size(), 3u);
+  EXPECT_EQ(senders, (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(Engine, HaltedNodeStopsActingButFinalSendsDeliver) {
+  Engine engine(2, {});
+  int rounds_acted = 0;
+  int received = 0;
+  engine.set_process(0, lambda_process([&](Context& ctx, std::span<const Message>) {
+                       ++rounds_acted;
+                       ctx.send(1, 0, 1);
+                       ctx.halt();  // halt in the same round as the send
+                     }));
+  engine.set_process(1, lambda_process([&](Context& ctx, std::span<const Message> inbox) {
+                       received += static_cast<int>(inbox.size());
+                       if (ctx.round() >= 1) ctx.halt();
+                     }));
+  engine.run();
+  EXPECT_EQ(rounds_acted, 1);
+  EXPECT_EQ(received, 1);  // the send from the halting round was delivered
+}
+
+TEST(Engine, HaltedNodeDoesNotReceive) {
+  Engine engine(2, {});
+  engine.set_process(0, lambda_process([](Context& ctx, std::span<const Message>) {
+                       ctx.halt();  // halts at round 0
+                     }));
+  engine.set_process(1, lambda_process([](Context& ctx, std::span<const Message>) {
+                       if (ctx.round() == 1) ctx.send(0, 0, 1);
+                       if (ctx.round() >= 1) ctx.halt();
+                     }));
+  const Report report = engine.run();
+  // Message to a halted node is dropped, not queued: metrics count the send,
+  // node 0 never reactivates.
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.metrics.messages_total, 1);
+}
+
+TEST(Engine, DecisionIsRecordedAndIrrevocableSameValueOk) {
+  Engine engine(1, {});
+  engine.set_process(0, lambda_process([](Context& ctx, std::span<const Message>) {
+                       ctx.decide(5);
+                       ctx.decide(5);  // same value: fine
+                       EXPECT_TRUE(ctx.has_decided());
+                       EXPECT_EQ(ctx.decision(), 5u);
+                       ctx.halt();
+                     }));
+  const Report report = engine.run();
+  EXPECT_TRUE(report.nodes[0].decided);
+  EXPECT_EQ(report.nodes[0].decision, 5u);
+  EXPECT_EQ(report.decided_count(), 1);
+  EXPECT_EQ(report.agreed_value(), 5u);
+}
+
+TEST(Engine, CleanCrashDropsAllSendsAndFutureActivity) {
+  EngineConfig config;
+  config.crash_budget = 1;
+  Engine engine(3, config);
+  int acted = 0;
+  engine.set_process(0, lambda_process([&](Context& ctx, std::span<const Message>) {
+                       ++acted;
+                       ctx.send(1, 0, 1);
+                       ctx.send(2, 0, 1);
+                     }));
+  for (NodeId v : {NodeId{1}, NodeId{2}}) {
+    engine.set_process(v, lambda_process([](Context& ctx, std::span<const Message> inbox) {
+                         EXPECT_TRUE(inbox.empty());
+                         if (ctx.round() >= 2) ctx.halt();
+                       }));
+  }
+  engine.set_adversary(make_scheduled({CrashEvent{0, 0, 0.0}}));
+  const Report report = engine.run();
+  EXPECT_EQ(acted, 1);  // acted only in round 0
+  EXPECT_TRUE(report.nodes[0].crashed);
+  EXPECT_EQ(report.nodes[0].crash_round, 0);
+  EXPECT_EQ(report.metrics.messages_total, 0);
+  EXPECT_EQ(report.crashed_count(), 1);
+}
+
+TEST(Engine, PartialCrashKeepsSelectedSends) {
+  EngineConfig config;
+  config.crash_budget = 1;
+  Engine engine(3, config);
+  engine.set_process(0, lambda_process([](Context& ctx, std::span<const Message>) {
+                       ctx.send(1, 0, 1);
+                       ctx.send(2, 0, 1);
+                     }));
+  std::vector<NodeId> receivers;
+  for (NodeId v : {NodeId{1}, NodeId{2}}) {
+    engine.set_process(v, lambda_process([&, v](Context& ctx, std::span<const Message> inbox) {
+                         if (!inbox.empty()) receivers.push_back(v);
+                         if (ctx.round() >= 1) ctx.halt();
+                       }));
+  }
+
+  class KeepToOne final : public CrashAdversary {
+   public:
+    void on_round(const EngineView& view, CrashController& control) override {
+      if (view.round() == 0) {
+        control.crash_partial(0, [](const Message& m) { return m.to == 1; });
+      }
+    }
+  };
+  engine.set_adversary(std::make_unique<KeepToOne>());
+  const Report report = engine.run();
+  EXPECT_EQ(receivers, (std::vector<NodeId>{1}));
+  EXPECT_EQ(report.metrics.messages_total, 1);  // only the kept message counts
+}
+
+TEST(Engine, CrashedNodeDoesNotReceive) {
+  EngineConfig config;
+  config.crash_budget = 1;
+  Engine engine(2, config);
+  engine.set_process(0, lambda_process([](Context& ctx, std::span<const Message>) {
+                       if (ctx.round() == 0) ctx.send(1, 0, 1);
+                       if (ctx.round() >= 1) ctx.halt();
+                     }));
+  int received = 0;
+  engine.set_process(1, lambda_process([&](Context&, std::span<const Message> inbox) {
+                       received += static_cast<int>(inbox.size());
+                     }));
+  // Node 1 crashes in round 0, before delivery of node 0's round-0 send.
+  engine.set_adversary(make_scheduled({CrashEvent{0, 1, 0.0}}));
+  const Report report = engine.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_TRUE(report.completed);
+}
+
+TEST(Engine, MetricsCountMessagesAndBits) {
+  Engine engine(2, {});
+  engine.set_process(0, lambda_process([](Context& ctx, std::span<const Message>) {
+                       ctx.send(1, 0, 1, 1);
+                       ctx.send(1, 0, 2, 10);
+                       ctx.halt();
+                     }));
+  engine.set_process(1, idle_process());
+  const Report report = engine.run();
+  EXPECT_EQ(report.metrics.messages_total, 2);
+  EXPECT_EQ(report.metrics.bits_total, 11);
+  EXPECT_EQ(report.metrics.max_sends_per_node, 2);
+}
+
+TEST(Engine, ByzantineAccountingSeparatesHonestTraffic) {
+  Engine engine(3, {});
+  engine.mark_byzantine(2);
+  engine.set_process(0, lambda_process([](Context& ctx, std::span<const Message>) {
+                       ctx.send(1, 0, 0, 4);
+                       ctx.halt();
+                     }));
+  engine.set_process(1, idle_process());
+  engine.set_process(2, lambda_process([](Context& ctx, std::span<const Message>) {
+                       for (int i = 0; i < 10; ++i) ctx.send(1, 0, 0, 100);
+                       ctx.halt();
+                     }));
+  const Report report = engine.run();
+  EXPECT_EQ(report.metrics.messages_total, 11);
+  EXPECT_EQ(report.metrics.messages_honest, 1);
+  EXPECT_EQ(report.metrics.bits_honest, 4);
+  EXPECT_TRUE(report.nodes[2].byzantine);
+}
+
+TEST(Engine, MaxRoundsCapReportsIncomplete) {
+  EngineConfig config;
+  config.max_rounds = 5;
+  Engine engine(1, config);
+  engine.set_process(0, lambda_process([](Context&, std::span<const Message>) {
+                       // never halts
+                     }));
+  const Report report = engine.run();
+  EXPECT_FALSE(report.completed);
+  EXPECT_EQ(report.rounds, 5);
+}
+
+TEST(Engine, AgreementHelperDetectsDisagreement) {
+  Engine engine(2, {});
+  engine.set_process(0, lambda_process([](Context& ctx, std::span<const Message>) {
+                       ctx.decide(0);
+                       ctx.halt();
+                     }));
+  engine.set_process(1, lambda_process([](Context& ctx, std::span<const Message>) {
+                       ctx.decide(1);
+                       ctx.halt();
+                     }));
+  const Report report = engine.run();
+  EXPECT_EQ(report.agreed_value(), std::nullopt);
+  EXPECT_TRUE(report.all_nonfaulty_decided());
+}
+
+// ---- adversary constructors -----------------------------------------------------
+
+TEST(Adversary, RandomScheduleHasDistinctVictimsInWindow) {
+  const auto events = random_crash_schedule(100, 20, 5, 15, 0.0, 77);
+  ASSERT_EQ(events.size(), 20u);
+  std::vector<bool> seen(100, false);
+  for (const auto& ev : events) {
+    EXPECT_GE(ev.round, 5);
+    EXPECT_LE(ev.round, 15);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(ev.node)]) << "duplicate victim";
+    seen[static_cast<std::size_t>(ev.node)] = true;
+  }
+}
+
+TEST(Adversary, BurstScheduleCrashesAllAtOnce) {
+  const auto events = burst_crash_schedule(50, 10, 3, 1);
+  for (const auto& ev : events) EXPECT_EQ(ev.round, 3);
+}
+
+TEST(Adversary, StaggeredScheduleSpacesCrashes) {
+  const auto events = staggered_crash_schedule(50, 5, 2, 4, 1);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].round, 2 + 4 * static_cast<Round>(i));
+  }
+}
+
+TEST(Adversary, IsolationTargetsNeighbors) {
+  const auto g = graph::star_graph(6);  // vertex 0 is the hub
+  const auto events = isolation_crash_schedule(g, 1, 10);
+  ASSERT_EQ(events.size(), 1u);  // leaf 1's only neighbor is the hub
+  EXPECT_EQ(events[0].node, 0);
+}
+
+TEST(Adversary, BudgetOverdraftAborts) {
+  EngineConfig config;
+  config.crash_budget = 1;
+  Engine engine(3, config);
+  for (NodeId v = 0; v < 3; ++v) {
+    engine.set_process(v, lambda_process([](Context& ctx, std::span<const Message>) {
+                         if (ctx.round() >= 3) ctx.halt();
+                       }));
+  }
+  engine.set_adversary(make_scheduled({CrashEvent{0, 0, 0.0}, CrashEvent{0, 1, 0.0}}));
+  EXPECT_DEATH(engine.run(), "crash budget exceeded");
+}
+
+TEST(Adversary, CrashingHaltedNodeIsFreeNoOp) {
+  // The paper disregards crashes of nodes that already halted; the engine
+  // must not charge the budget for them.
+  EngineConfig config;
+  config.crash_budget = 1;
+  Engine engine(2, config);
+  engine.set_process(0, idle_process());  // halts at round 0
+  engine.set_process(1, lambda_process([](Context& ctx, std::span<const Message>) {
+                       if (ctx.round() >= 2) ctx.halt();
+                     }));
+  // Round 1: try to crash the halted node 0 and then node 1; only node 1's
+  // crash should consume budget, so no overdraft occurs.
+  engine.set_adversary(make_scheduled({CrashEvent{1, 0, 0.0}, CrashEvent{1, 1, 0.0}}));
+  const Report report = engine.run();
+  EXPECT_FALSE(report.nodes[0].crashed);
+  EXPECT_TRUE(report.nodes[0].halted);
+  EXPECT_TRUE(report.nodes[1].crashed);
+}
+
+TEST(Adversary, ProbeDisruptorCrashesBusiestSender) {
+  EngineConfig config;
+  config.crash_budget = 1;
+  Engine engine(3, config);
+  // Node 0 sends 2 messages, node 1 sends 1; disruptor should kill node 0.
+  engine.set_process(0, lambda_process([](Context& ctx, std::span<const Message>) {
+                       ctx.send(1, 0, 0);
+                       ctx.send(2, 0, 0);
+                     }));
+  engine.set_process(1, lambda_process([](Context& ctx, std::span<const Message>) {
+                       if (ctx.round() == 0) ctx.send(2, 0, 0);
+                       if (ctx.round() >= 1) ctx.halt();
+                     }));
+  engine.set_process(2, lambda_process([](Context& ctx, std::span<const Message>) {
+                       if (ctx.round() >= 1) ctx.halt();
+                     }));
+  engine.set_adversary(std::make_unique<ProbeDisruptorAdversary>(1, 1));
+  const Report report = engine.run();
+  EXPECT_TRUE(report.nodes[0].crashed);
+  EXPECT_FALSE(report.nodes[1].crashed);
+}
+
+}  // namespace
+}  // namespace lft::sim

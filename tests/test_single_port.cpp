@@ -1,0 +1,259 @@
+// Tests for the single-port engine (Section 8 model): one send and one poll
+// per round, FIFO port queues, no delivery signals, crash semantics.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/single_port.hpp"
+
+namespace lft::sim {
+namespace {
+
+class SpLambdaProcess final : public SinglePortProcess {
+ public:
+  using Fn = std::function<SpAction(SpContext&, const std::optional<Message>&)>;
+  explicit SpLambdaProcess(Fn fn) : fn_(std::move(fn)) {}
+  SpAction on_round(SpContext& ctx, const std::optional<Message>& received) override {
+    return fn_(ctx, received);
+  }
+
+ private:
+  Fn fn_;
+};
+
+std::unique_ptr<SinglePortProcess> sp_lambda(SpLambdaProcess::Fn fn) {
+  return std::make_unique<SpLambdaProcess>(std::move(fn));
+}
+
+std::unique_ptr<SinglePortProcess> sp_idle() {
+  return sp_lambda([](SpContext& ctx, const std::optional<Message>&) {
+    ctx.halt();
+    return SpAction{};
+  });
+}
+
+SpAction send_to(NodeId to, std::uint64_t value) {
+  SpAction a;
+  a.send = SpSend{to, 0, value, 1, {}};
+  return a;
+}
+
+SpAction poll_from(NodeId src) {
+  SpAction a;
+  a.poll = src;
+  return a;
+}
+
+TEST(SinglePort, SameRoundPickupAndFifoOrder) {
+  SinglePortEngine engine(2, {});
+  std::vector<std::uint64_t> got;
+  engine.set_process(0, sp_lambda([](SpContext& ctx, const std::optional<Message>&) {
+                       if (ctx.round() <= 2) return send_to(1, 10 + ctx.round());
+                       ctx.halt();
+                       return SpAction{};
+                     }));
+  engine.set_process(1, sp_lambda([&](SpContext& ctx, const std::optional<Message>& received) {
+                       if (received) got.push_back(received->value);
+                       if (ctx.round() >= 6) {
+                         ctx.halt();
+                         return SpAction{};
+                       }
+                       return poll_from(0);
+                     }));
+  const Report report = engine.run();
+  EXPECT_TRUE(report.completed);
+  // Sends at rounds 0,1,2 carry values 10,11,12 and are polled in FIFO order
+  // (pickup possible in the sending round, delivered to the next on_round).
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{10, 11, 12}));
+}
+
+TEST(SinglePort, OneMessagePerPollEvenIfMoreQueued) {
+  SinglePortEngine engine(3, {});
+  // Nodes 0 and 1 each send once to node 2 in round 0; node 2 polls port 0
+  // twice: gets one message the first time, nothing new from port 0 after.
+  engine.set_process(0, sp_lambda([](SpContext& ctx, const std::optional<Message>&) {
+                       if (ctx.round() == 0) return send_to(2, 100);
+                       ctx.halt();
+                       return SpAction{};
+                     }));
+  engine.set_process(1, sp_lambda([](SpContext& ctx, const std::optional<Message>&) {
+                       if (ctx.round() == 0) return send_to(2, 200);
+                       ctx.halt();
+                       return SpAction{};
+                     }));
+  std::vector<std::uint64_t> got;
+  engine.set_process(2, sp_lambda([&](SpContext& ctx, const std::optional<Message>& received) {
+                       if (received) got.push_back(received->value);
+                       if (ctx.round() == 0 || ctx.round() == 1) return poll_from(0);
+                       if (ctx.round() == 2) return poll_from(1);
+                       ctx.halt();
+                       return SpAction{};
+                     }));
+  engine.run();
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{100, 200}));
+}
+
+TEST(SinglePort, PollWrongPortGetsNothing) {
+  SinglePortEngine engine(3, {});
+  engine.set_process(0, sp_lambda([](SpContext& ctx, const std::optional<Message>&) {
+                       if (ctx.round() == 0) return send_to(2, 1);
+                       ctx.halt();
+                       return SpAction{};
+                     }));
+  engine.set_process(1, sp_idle());
+  int received = 0;
+  engine.set_process(2, sp_lambda([&](SpContext& ctx, const std::optional<Message>& r) {
+                       received += r.has_value() ? 1 : 0;
+                       if (ctx.round() >= 3) {
+                         ctx.halt();
+                         return SpAction{};
+                       }
+                       return poll_from(1);  // wrong port: 0 sent, not 1
+                     }));
+  engine.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(SinglePort, CrashedSenderSendIsDropped) {
+  SinglePortConfig config;
+  config.crash_budget = 1;
+  SinglePortEngine engine(2, config);
+  engine.set_process(0, sp_lambda([](SpContext&, const std::optional<Message>&) {
+                       return send_to(1, 7);
+                     }));
+  int received = 0;
+  engine.set_process(1, sp_lambda([&](SpContext& ctx, const std::optional<Message>& r) {
+                       received += r.has_value() ? 1 : 0;
+                       if (ctx.round() >= 3) {
+                         ctx.halt();
+                         return SpAction{};
+                       }
+                       return poll_from(0);
+                     }));
+
+  class CrashZeroAtRoundZero final : public SpAdversary {
+   public:
+    void on_round(const SpView& view, std::vector<NodeId>& crash_out) override {
+      if (view.round() == 0) crash_out.push_back(0);
+    }
+  };
+  engine.set_adversary(std::make_unique<CrashZeroAtRoundZero>());
+  const Report report = engine.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(report.metrics.messages_total, 0);
+  EXPECT_TRUE(report.nodes[0].crashed);
+}
+
+TEST(SinglePort, QueuedMessagesSurviveSenderCrash) {
+  // A message already enqueued (sent in an earlier round) remains
+  // retrievable after the sender crashes: it was already "delivered to the
+  // port" in the paper's model.
+  SinglePortConfig config;
+  config.crash_budget = 1;
+  SinglePortEngine engine(2, config);
+  engine.set_process(0, sp_lambda([](SpContext& ctx, const std::optional<Message>&) {
+                       if (ctx.round() == 0) return send_to(1, 9);
+                       return SpAction{};  // stays alive doing nothing
+                     }));
+  std::vector<std::uint64_t> got;
+  engine.set_process(1, sp_lambda([&](SpContext& ctx, const std::optional<Message>& r) {
+                       if (r) got.push_back(r->value);
+                       if (ctx.round() >= 4) {
+                         ctx.halt();
+                         return SpAction{};
+                       }
+                       if (ctx.round() >= 2) return poll_from(0);  // poll after the crash
+                       return SpAction{};
+                     }));
+
+  class CrashZeroAtRoundOne final : public SpAdversary {
+   public:
+    void on_round(const SpView& view, std::vector<NodeId>& crash_out) override {
+      if (view.round() == 1) crash_out.push_back(0);
+    }
+  };
+  engine.set_adversary(std::make_unique<CrashZeroAtRoundOne>());
+  engine.run();
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{9}));
+}
+
+TEST(SinglePort, AdversarySeesActions) {
+  // The Theorem 13 adversary must observe where the victim polls/sends.
+  SinglePortConfig config;
+  config.crash_budget = 2;
+  SinglePortEngine engine(3, config);
+  engine.set_process(0, sp_lambda([](SpContext& ctx, const std::optional<Message>&) {
+                       if (ctx.round() == 0) {
+                         SpAction a = send_to(1, 5);
+                         a.poll = 2;
+                         return a;
+                       }
+                       ctx.halt();
+                       return SpAction{};
+                     }));
+  engine.set_process(1, sp_idle());
+  engine.set_process(2, sp_idle());
+
+  class Observer final : public SpAdversary {
+   public:
+    explicit Observer(std::vector<NodeId>& log) : log_(&log) {}
+    void on_round(const SpView& view, std::vector<NodeId>&) override {
+      if (view.round() == 0) {
+        const SpAction& a = view.action(0);
+        if (a.send) log_->push_back(a.send->to);
+        log_->push_back(a.poll);
+      }
+    }
+    std::vector<NodeId>* log_;
+  };
+  std::vector<NodeId> log;
+  engine.set_adversary(std::make_unique<Observer>(log));
+  engine.run();
+  EXPECT_EQ(log, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(SinglePort, MetricsAndDecisions) {
+  SinglePortEngine engine(2, {});
+  engine.set_process(0, sp_lambda([](SpContext& ctx, const std::optional<Message>&) {
+                       if (ctx.round() == 0) {
+                         SpAction a;
+                         a.send = SpSend{1, 3, 77, 32, {}};
+                         return a;
+                       }
+                       ctx.decide(1);
+                       ctx.halt();
+                       return SpAction{};
+                     }));
+  engine.set_process(1, sp_lambda([](SpContext& ctx, const std::optional<Message>& r) {
+                       if (r) {
+                         ctx.decide(r->value);
+                         ctx.halt();
+                         return SpAction{};
+                       }
+                       return poll_from(0);
+                     }));
+  const Report report = engine.run();
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.metrics.messages_total, 1);
+  EXPECT_EQ(report.metrics.bits_total, 32);
+  EXPECT_TRUE(report.nodes[1].decided);
+  EXPECT_EQ(report.nodes[1].decision, 77u);
+}
+
+TEST(SinglePort, MaxRoundsCap) {
+  SinglePortConfig config;
+  config.max_rounds = 4;
+  SinglePortEngine engine(1, config);
+  engine.set_process(0, sp_lambda([](SpContext&, const std::optional<Message>&) {
+                       return SpAction{};  // never halts
+                     }));
+  const Report report = engine.run();
+  EXPECT_FALSE(report.completed);
+  EXPECT_EQ(report.rounds, 4);
+}
+
+}  // namespace
+}  // namespace lft::sim
