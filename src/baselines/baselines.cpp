@@ -29,7 +29,7 @@ class FloodSetProcess final : public sim::Process {
     seen_ = input == 0 ? 0b01u : 0b10u;
   }
 
-  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override {
+  void on_round(sim::Context& ctx, const sim::Inbox& inbox) override {
     for (const auto& m : inbox) {
       if (m.tag == kTagFlood) seen_ |= static_cast<std::uint32_t>(m.value);
     }
@@ -58,7 +58,7 @@ class CoordinatorProcess final : public sim::Process {
   CoordinatorProcess(NodeId n, std::int64_t t, int input)
       : n_(n), t_(t), value_(static_cast<std::uint64_t>(input)) {}
 
-  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override {
+  void on_round(sim::Context& ctx, const sim::Inbox& inbox) override {
     for (const auto& m : inbox) {
       if (m.tag == kTagCoord) value_ = m.value;
     }
@@ -89,7 +89,7 @@ class AllToAllGossipProcess final : public sim::Process {
     extant_.set(static_cast<std::size_t>(self));
   }
 
-  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override {
+  void on_round(sim::Context& ctx, const sim::Inbox& inbox) override {
     if (ctx.round() == 0) {
       for (NodeId v = 0; v < ctx.num_nodes(); ++v) {
         if (v != ctx.self()) ctx.send(v, kTagRumorX, 1, 64);
@@ -118,7 +118,7 @@ class NaiveCheckpointProcess final : public sim::Process {
     members_.set(static_cast<std::size_t>(self));
   }
 
-  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override {
+  void on_round(sim::Context& ctx, const sim::Inbox& inbox) override {
     for (const auto& m : inbox) {
       if (m.tag == kTagPresence) members_.set(static_cast<std::size_t>(m.from));
       if (m.tag == kTagMemberSet) {
@@ -173,9 +173,9 @@ class DsFullProcess final : public sim::Process {
     ds_.set_own_value(input);
   }
 
-  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override {
+  void on_round(sim::Context& ctx, const sim::Inbox& inbox) override {
     if (ctx.round() < ds_.duration()) {
-      auto combined = ds_.step(ctx.round(), inbox);
+      auto combined = ds_.step(ctx.round(), inbox.all());
       if (!combined.empty()) {
         const std::uint64_t bits = std::max<std::uint64_t>(1, combined.size() * 8);
         for (NodeId v = 0; v < n_; ++v) {

@@ -92,7 +92,7 @@ void AbConsensusProcess::forward_certified(sim::Context& ctx) {
   }
 }
 
-void AbConsensusProcess::on_round(sim::Context& ctx, std::span<const sim::Message> inbox) {
+void AbConsensusProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
   const Round r = ctx.round();
   const auto& p = cfg_->params;
   const Round ds_end = p.t + 2;              // rounds [0, ds_end): DS
@@ -108,7 +108,7 @@ void AbConsensusProcess::on_round(sim::Context& ctx, std::span<const sim::Messag
 
   if (r < ds_end) {
     if (is_little()) {
-      auto combined = ds_.step(r, inbox);
+      auto combined = ds_.step(r, inbox.all());
       if (!combined.empty()) {
         for (NodeId w = 0; w < p.little_count; ++w) {
           if (w != self_) {
@@ -238,7 +238,7 @@ namespace {
 /// Sends nothing, ever.
 class SilentByz final : public sim::Process {
  public:
-  void on_round(sim::Context& ctx, std::span<const sim::Message>) override {
+  void on_round(sim::Context& ctx, const sim::Inbox&) override {
     if (ctx.round() > 64) ctx.halt();
   }
 };
@@ -251,7 +251,7 @@ class EquivocatorByz final : public sim::Process {
   EquivocatorByz(std::shared_ptr<const AbConfig> cfg, NodeId self)
       : cfg_(std::move(cfg)), self_(self), signer_(cfg_->registry->signer_for(self)) {}
 
-  void on_round(sim::Context& ctx, std::span<const sim::Message>) override {
+  void on_round(sim::Context& ctx, const sim::Inbox&) override {
     const auto& p = cfg_->params;
     if (ctx.round() == 0 && self_ < p.little_count) {
       for (NodeId w = 0; w < p.little_count; ++w) {
@@ -288,7 +288,7 @@ class FloodByz final : public sim::Process {
         signer_(cfg_->registry->signer_for(self)),
         rng_(seed) {}
 
-  void on_round(sim::Context& ctx, std::span<const sim::Message>) override {
+  void on_round(sim::Context& ctx, const sim::Inbox&) override {
     const auto& p = cfg_->params;
     if (ctx.round() > cfg_->duration()) {
       ctx.halt();

@@ -51,7 +51,7 @@ struct AbConfig {
 class AbConsensusProcess final : public sim::Process {
  public:
   AbConsensusProcess(std::shared_ptr<const AbConfig> cfg, NodeId self, std::uint64_t input);
-  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override;
+  void on_round(sim::Context& ctx, const sim::Inbox& inbox) override;
 
   [[nodiscard]] bool has_certified() const noexcept { return certified_.has_value(); }
   [[nodiscard]] const CertifiedSet& certified() const { return *certified_; }

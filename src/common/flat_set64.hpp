@@ -1,0 +1,111 @@
+// Open-addressing hash set of 64-bit keys with linear probing and
+// backward-shift deletion. Purpose-built for the hot edge-dedup loops in
+// graph construction, where std::unordered_set's node allocations dominate
+// the profile. Keys are hashed through mix64; the all-ones key is reserved
+// as the empty sentinel (edge keys pack two non-negative 32-bit node ids, so
+// the sentinel can never collide with a real key).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+
+namespace lft {
+
+class FlatSet64 {
+ public:
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  FlatSet64() = default;
+  explicit FlatSet64(std::size_t expected) { reserve(expected); }
+
+  void reserve(std::size_t expected) {
+    std::size_t wanted = 16;
+    // Size for a max load factor of 1/2.
+    while (wanted < expected * 2) wanted *= 2;
+    if (wanted > slots_.size()) rehash(wanted);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] bool contains(std::uint64_t key) const noexcept {
+    if (slots_.empty()) return false;
+    for (std::size_t i = slot_of(key);; i = (i + 1) & mask_) {
+      if (slots_[i] == key) return true;
+      if (slots_[i] == kEmpty) return false;
+    }
+  }
+
+  /// Returns true iff the key was newly inserted.
+  bool insert(std::uint64_t key) {
+    LFT_ASSERT(key != kEmpty);
+    if (slots_.size() < 2 * (size_ + 1)) rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    for (std::size_t i = slot_of(key);; i = (i + 1) & mask_) {
+      if (slots_[i] == key) return false;
+      if (slots_[i] == kEmpty) {
+        slots_[i] = key;
+        ++size_;
+        return true;
+      }
+    }
+  }
+
+  /// Returns true iff the key was present. Backward-shift deletion keeps
+  /// probe chains intact without tombstones.
+  bool erase(std::uint64_t key) noexcept {
+    if (slots_.empty()) return false;
+    std::size_t i = slot_of(key);
+    while (slots_[i] != key) {
+      if (slots_[i] == kEmpty) return false;
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = kEmpty;
+    --size_;
+    for (std::size_t j = (i + 1) & mask_; slots_[j] != kEmpty; j = (j + 1) & mask_) {
+      const std::size_t ideal = slot_of(slots_[j]);
+      // The element at j may fill the hole at i iff i lies on j's probe path,
+      // i.e. within the cyclic interval [ideal, j].
+      if (((i - ideal) & mask_) <= ((j - ideal) & mask_)) {
+        slots_[i] = slots_[j];
+        slots_[j] = kEmpty;
+        i = j;
+      }
+    }
+    return true;
+  }
+
+  void clear() noexcept {
+    for (auto& s : slots_) s = kEmpty;
+    size_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t slot_of(std::uint64_t key) const noexcept {
+    return static_cast<std::size_t>(mix64(key)) & mask_;
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(new_capacity, kEmpty);
+    mask_ = new_capacity - 1;
+    for (const std::uint64_t key : old) {
+      if (key == kEmpty) continue;
+      for (std::size_t i = slot_of(key);; i = (i + 1) & mask_) {
+        if (slots_[i] == kEmpty) {
+          slots_[i] = key;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lft

@@ -31,9 +31,9 @@ CheckpointProcess::CheckpointProcess(std::shared_ptr<const GossipConfig> gossip_
                               [this]() { return gossip_state_.extant.known(); });
 }
 
-void CheckpointProcess::on_round(sim::Context& ctx, std::span<const sim::Message> inbox) {
+void CheckpointProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
   ContextIo io(ctx);
-  if (driver_.drive(ctx.round(), inbox, io)) ctx.halt();
+  if (driver_.drive(ctx.round(), inbox.all(), io)) ctx.halt();
 }
 
 const DynamicBitset& CheckpointProcess::decided_set() const {

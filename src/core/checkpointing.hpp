@@ -24,7 +24,7 @@ class CheckpointProcess final : public sim::Process {
   CheckpointProcess(std::shared_ptr<const GossipConfig> gossip_cfg,
                     std::shared_ptr<const VectorConsensusConfig> vec_cfg, NodeId self);
 
-  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override;
+  void on_round(sim::Context& ctx, const sim::Inbox& inbox) override;
 
   [[nodiscard]] const GossipState& gossip_state() const noexcept { return gossip_state_; }
   [[nodiscard]] const VectorState& vector_state() const noexcept { return vector_state_; }

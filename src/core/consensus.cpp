@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/rng.hpp"
 #include "core/stages.hpp"
 #include "graph/overlay.hpp"
 
@@ -55,18 +56,30 @@ void add_scv_stages(StageProcess& proc, const ConsensusParams& p, NodeId self) {
 
 }  // namespace
 
-std::vector<std::shared_ptr<const graph::Graph>> inquiry_graphs(const ConsensusParams& p,
-                                                                int phases,
-                                                                std::uint64_t tag_base) {
+std::vector<graph::PhaseGraph> inquiry_graphs(const ConsensusParams& p, int phases,
+                                              std::uint64_t tag_base) {
   LFT_ASSERT(phases >= 1);
-  std::vector<std::shared_ptr<const graph::Graph>> graphs;
+  // Materialized (spectrally certified) overlays are capped at this many CSR
+  // entries; beyond it a phase switches to an implicit representation whose
+  // construction and storage are O(degree) instead of O(n * degree).
+  constexpr std::int64_t kMaterializedEntryBudget = std::int64_t{1} << 22;
+  std::vector<graph::PhaseGraph> graphs;
   graphs.reserve(static_cast<std::size_t>(phases));
   for (int i = 0; i < phases; ++i) {
     const std::int64_t wanted = static_cast<std::int64_t>(p.inquiry_base) << (i + 1);
     const int degree = static_cast<int>(std::clamp<std::int64_t>(
         wanted, 1, std::min<std::int64_t>(p.inquiry_cap, p.n - 1)));
-    graphs.push_back(graph::shared_overlay(p.n, std::max(1, degree),
-                                           tag_base + static_cast<std::uint64_t>(i)));
+    const std::uint64_t tag = tag_base + static_cast<std::uint64_t>(i);
+    if (static_cast<std::int64_t>(p.n) * degree <= kMaterializedEntryBudget) {
+      graphs.push_back(graph::shared_overlay(p.n, std::max(1, degree), tag));
+    } else if (degree >= p.n - 1) {
+      graphs.push_back(graph::PhaseGraph::complete(p.n));
+    } else {
+      graphs.push_back(graph::PhaseGraph::circulant(
+          p.n, degree, make_seed(0x4c4654494e515547ULL /* "LFTINQUG" */,
+                                 static_cast<std::uint64_t>(p.n),
+                                 static_cast<std::uint64_t>(degree), tag)));
+    }
   }
   return graphs;
 }

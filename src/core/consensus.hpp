@@ -15,6 +15,7 @@
 #include "core/io.hpp"
 #include "core/params.hpp"
 #include "graph/graph.hpp"
+#include "graph/phase_graph.hpp"
 #include "sim/adversary.hpp"
 #include "sim/engine.hpp"
 
@@ -22,7 +23,7 @@ namespace lft::core {
 
 /// The inquiry graph family G_i (Lemma 5): degree inquiry_base * 2^(i+1)
 /// capped at inquiry_cap, each phase on its own certified overlay.
-[[nodiscard]] std::vector<std::shared_ptr<const graph::Graph>> inquiry_graphs(
+[[nodiscard]] std::vector<graph::PhaseGraph> inquiry_graphs(
     const ConsensusParams& params, int phases, std::uint64_t tag_base);
 
 /// Figure 1. `input` is the node's binary input.

@@ -32,9 +32,9 @@ class AggregateProcess final : public sim::Process {
     });
   }
 
-  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override {
+  void on_round(sim::Context& ctx, const sim::Inbox& inbox) override {
     ContextIo io(ctx);
-    if (driver_.drive(ctx.round(), inbox, io)) ctx.halt();
+    if (driver_.drive(ctx.round(), inbox.all(), io)) ctx.halt();
   }
 
   [[nodiscard]] const VectorState& vector_state() const noexcept { return vector_state_; }

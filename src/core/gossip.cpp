@@ -321,9 +321,9 @@ GossipProcess::GossipProcess(std::shared_ptr<const GossipConfig> cfg, NodeId sel
   driver_.add(std::make_unique<GossipFinishStage>(cfg, self, state_, /*decide_at_end=*/true));
 }
 
-void GossipProcess::on_round(sim::Context& ctx, std::span<const sim::Message> inbox) {
+void GossipProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
   ContextIo io(ctx);
-  if (driver_.drive(ctx.round(), inbox, io)) ctx.halt();
+  if (driver_.drive(ctx.round(), inbox.all(), io)) ctx.halt();
 }
 
 // ---- runner -------------------------------------------------------------------------

@@ -125,7 +125,7 @@ class GossipFinishStage final : public Stage {
 class GossipProcess final : public sim::Process {
  public:
   GossipProcess(std::shared_ptr<const GossipConfig> cfg, NodeId self, std::uint64_t rumor);
-  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override;
+  void on_round(sim::Context& ctx, const sim::Inbox& inbox) override;
   [[nodiscard]] const GossipState& state() const noexcept { return state_; }
   [[nodiscard]] Round duration() const { return driver_.total_duration(); }
 

@@ -1,11 +1,23 @@
 #include "core/io.hpp"
 
+#include <algorithm>
+
 namespace lft::core {
 
 Round StageDriver::total_duration() const {
-  Round total = 0;
-  for (const auto& s : stages_) total += s->duration();
-  return total;
+  if (total_cached_ < 0) {
+    Round total = 0;
+    for (const auto& s : stages_) total += s->duration();
+    total_cached_ = total;
+  }
+  return total_cached_;
+}
+
+Round StageDriver::quiescent_until(Round round) const {
+  if (current_ >= stages_.size()) return round + 1;
+  const Round wake =
+      stage_start_ + stages_[current_]->quiescent_until(round - stage_start_);
+  return std::min(wake, total_duration() - 1);
 }
 
 bool StageDriver::drive(Round round, std::span<const sim::Message> inbox, ProtocolIo& io) {
@@ -19,9 +31,14 @@ bool StageDriver::drive(Round round, std::span<const sim::Message> inbox, Protoc
          round - stage_start_ + 1 >= stages_[current_]->duration();
 }
 
-void StageProcess::on_round(sim::Context& ctx, std::span<const sim::Message> inbox) {
+void StageProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
   ContextIo io(ctx);
-  if (driver_.drive(ctx.round(), inbox, io)) ctx.halt();
+  if (driver_.drive(ctx.round(), inbox.all(), io)) {
+    ctx.halt();
+    return;
+  }
+  const Round wake = driver_.quiescent_until(ctx.round());
+  if (wake > ctx.round() + 1) ctx.sleep_until(wake);
 }
 
 }  // namespace lft::core

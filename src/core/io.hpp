@@ -62,6 +62,15 @@ class Stage {
   [[nodiscard]] virtual LinkBudget link_budget(Round /*r*/) const { return {}; }
   /// ...and this node's link plan for round r.
   [[nodiscard]] virtual LinkPlan link_plan(Round /*r*/) const { return {}; }
+
+  /// Event-driven support: called after on_round(r), returns the earliest
+  /// stage-local round at which this node must be activated again absent
+  /// incoming messages (message delivery always reactivates a node). The
+  /// default r + 1 keeps the node stepped every round; returning duration()
+  /// parks it for the rest of the stage. Only override when skipped rounds
+  /// provably have no spontaneous action AND the stage's on_round tolerates
+  /// round jumps.
+  [[nodiscard]] virtual Round quiescent_until(Round r) const { return r + 1; }
 };
 
 /// Shared per-node protocol state threaded through consecutive stages.
@@ -77,7 +86,10 @@ struct BinaryState {
 /// stage durations). Shared by all multi-port protocol processes.
 class StageDriver {
  public:
-  void add(std::unique_ptr<Stage> stage) { stages_.push_back(std::move(stage)); }
+  void add(std::unique_ptr<Stage> stage) {
+    stages_.push_back(std::move(stage));
+    total_cached_ = -1;
+  }
 
   [[nodiscard]] Round total_duration() const;
   [[nodiscard]] const Stage& stage(std::size_t i) const { return *stages_[i]; }
@@ -87,10 +99,17 @@ class StageDriver {
   /// round of the last stage (the caller should halt).
   bool drive(Round round, std::span<const sim::Message> inbox, ProtocolIo& io);
 
+  /// Absolute round before which the node driven at `round` needs no further
+  /// activation absent messages (see Stage::quiescent_until). Capped at the
+  /// final protocol round so halting rounds match the always-stepped
+  /// execution.
+  [[nodiscard]] Round quiescent_until(Round round) const;
+
  private:
   std::vector<std::unique_ptr<Stage>> stages_;
   std::size_t current_ = 0;
   Round stage_start_ = 0;
+  mutable Round total_cached_ = -1;
 };
 
 /// Multi-port driver process for protocols whose shared state is a
@@ -105,7 +124,7 @@ class StageProcess final : public sim::Process {
   [[nodiscard]] Round total_duration() const { return driver_.total_duration(); }
   [[nodiscard]] StageDriver& driver() noexcept { return driver_; }
 
-  void on_round(sim::Context& ctx, std::span<const sim::Message> inbox) override;
+  void on_round(sim::Context& ctx, const sim::Inbox& inbox) override;
 
   /// Post-run inspection.
   [[nodiscard]] const BinaryState& state() const noexcept { return state_; }

@@ -184,8 +184,7 @@ LinkPlan SpreadFloodStage::link_plan(Round r) const {
 
 // ---- InquiryPhasesStage --------------------------------------------------------------
 
-InquiryPhasesStage::InquiryPhasesStage(NodeId self,
-                                       std::vector<std::shared_ptr<const graph::Graph>> graphs,
+InquiryPhasesStage::InquiryPhasesStage(NodeId self, std::vector<graph::PhaseGraph> graphs,
                                        BinaryState& state, std::uint64_t value_bits)
     : self_(self), graphs_(std::move(graphs)), state_(&state), value_bits_(value_bits) {
   LFT_ASSERT(!graphs_.empty());
@@ -205,10 +204,10 @@ void InquiryPhasesStage::on_round(Round r, std::span<const sim::Message> inbox,
   }
   if (r == 2 * static_cast<Round>(graphs_.size())) return;  // absorb-only
   const auto phase = static_cast<std::size_t>(r / 2);
-  const graph::Graph& gi = *graphs_[phase];
+  const graph::PhaseGraph& gi = graphs_[phase];
   if (r % 2 == 0) {
     if (!state_->has_value) {
-      for (NodeId nb : gi.neighbors(self_)) io.send(nb, kTagInquiry, 0, 1);
+      gi.for_each_neighbor(self_, [&io](NodeId nb) { io.send(nb, kTagInquiry, 0, 1); });
     }
   } else {
     if (state_->has_value) {
@@ -222,14 +221,24 @@ void InquiryPhasesStage::on_round(Round r, std::span<const sim::Message> inbox,
 LinkBudget InquiryPhasesStage::link_budget(Round r) const {
   if (r == 2 * static_cast<Round>(graphs_.size())) return {};
   const auto phase = static_cast<std::size_t>(r / 2);
-  const int d = graphs_[phase]->max_degree();
+  const int d = graphs_[phase].max_degree();
   return LinkBudget{d, d};
+}
+
+Round InquiryPhasesStage::quiescent_until(Round r) const {
+  if (state_->has_value) return duration();
+  // Clamped so the absorb-only final round (even) cannot overshoot the stage
+  // boundary and skip the next stage's round 0.
+  return std::min(r % 2 == 0 ? r + 2 : r + 1, duration());
 }
 
 LinkPlan InquiryPhasesStage::link_plan(Round r) const {
   if (r == 2 * static_cast<Round>(graphs_.size())) return {};
   const auto phase = static_cast<std::size_t>(r / 2);
-  return graph_plan(*graphs_[phase], self_, true);
+  LinkPlan plan;
+  graphs_[phase].append_neighbors(self_, plan.out);
+  plan.in = plan.out;
+  return plan;
 }
 
 // ---- PullStage -----------------------------------------------------------------------

@@ -15,6 +15,7 @@
 #include "core/local_probe.hpp"
 #include "core/tags.hpp"
 #include "graph/graph.hpp"
+#include "graph/phase_graph.hpp"
 
 namespace lft::core {
 
@@ -38,6 +39,8 @@ class FloodRumorStage final : public Stage {
   void on_round(Round r, std::span<const sim::Message> inbox, ProtocolIo& io) override;
   [[nodiscard]] LinkBudget link_budget(Round r) const override;
   [[nodiscard]] LinkPlan link_plan(Round r) const override;
+  /// Flooding acts only on receipt (message wake) or at round 0.
+  [[nodiscard]] Round quiescent_until(Round /*r*/) const override { return duration(); }
 
  private:
   [[nodiscard]] bool is_member() const noexcept { return self_ < members_; }
@@ -61,6 +64,11 @@ class ProbeStage final : public Stage {
   void on_round(Round r, std::span<const sim::Message> inbox, ProtocolIo& io) override;
   [[nodiscard]] LinkBudget link_budget(Round r) const override;
   [[nodiscard]] LinkPlan link_plan(Round r) const override;
+  /// The probe automaton counts rounds, so members step every round;
+  /// non-members are inert for the whole stage.
+  [[nodiscard]] Round quiescent_until(Round r) const override {
+    return is_member() ? r + 1 : duration();
+  }
 
  private:
   [[nodiscard]] bool is_member() const noexcept { return self_ < members_; }
@@ -82,6 +90,8 @@ class NotifyRelatedStage final : public Stage {
   void on_round(Round r, std::span<const sim::Message> inbox, ProtocolIo& io) override;
   [[nodiscard]] LinkBudget link_budget(Round r) const override;
   [[nodiscard]] LinkPlan link_plan(Round r) const override;
+  /// Notifications go out at round 0 only; adoption rides the message wake.
+  [[nodiscard]] Round quiescent_until(Round /*r*/) const override { return duration(); }
 
  private:
   NodeId self_;
@@ -102,6 +112,8 @@ class SpreadFloodStage final : public Stage {
   void on_round(Round r, std::span<const sim::Message> inbox, ProtocolIo& io) override;
   [[nodiscard]] LinkBudget link_budget(Round r) const override;
   [[nodiscard]] LinkPlan link_plan(Round r) const override;
+  /// Spreads only on acquiring the value (message wake) or at round 0.
+  [[nodiscard]] Round quiescent_until(Round /*r*/) const override { return duration(); }
 
  private:
   NodeId self_;
@@ -117,7 +129,7 @@ class SpreadFloodStage final : public Stage {
 /// inquire, decided neighbors reply with the value.
 class InquiryPhasesStage final : public Stage {
  public:
-  InquiryPhasesStage(NodeId self, std::vector<std::shared_ptr<const graph::Graph>> graphs,
+  InquiryPhasesStage(NodeId self, std::vector<graph::PhaseGraph> graphs,
                      BinaryState& state, std::uint64_t value_bits = 1);
 
   [[nodiscard]] Round duration() const override {
@@ -126,10 +138,13 @@ class InquiryPhasesStage final : public Stage {
   void on_round(Round r, std::span<const sim::Message> inbox, ProtocolIo& io) override;
   [[nodiscard]] LinkBudget link_budget(Round r) const override;
   [[nodiscard]] LinkPlan link_plan(Round r) const override;
+  /// Undecided nodes inquire at every even round; decided nodes only answer
+  /// inquiries, which arrive as message wakes.
+  [[nodiscard]] Round quiescent_until(Round r) const override;
 
  private:
   NodeId self_;
-  std::vector<std::shared_ptr<const graph::Graph>> graphs_;
+  std::vector<graph::PhaseGraph> graphs_;
   BinaryState* state_;
   std::uint64_t value_bits_;
 };
@@ -144,6 +159,8 @@ class PullStage final : public Stage {
 
   [[nodiscard]] Round duration() const override { return 3; }
   void on_round(Round r, std::span<const sim::Message> inbox, ProtocolIo& io) override;
+  /// Pulls go out at round 0; replies and adoption ride the message wakes.
+  [[nodiscard]] Round quiescent_until(Round /*r*/) const override { return duration(); }
 
  private:
   NodeId self_;

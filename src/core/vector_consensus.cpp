@@ -214,10 +214,10 @@ void VecInquiryStage::on_round(Round r, std::span<const sim::Message> inbox, Pro
   if (mode_ == 0) {
     if (r == 2 * static_cast<Round>(cfg_->inquiry.size())) return;
     const auto phase = static_cast<std::size_t>(r / 2);
-    const graph::Graph& gi = *cfg_->inquiry[phase];
+    const graph::PhaseGraph& gi = cfg_->inquiry[phase];
     if (r % 2 == 0) {
       if (!state_->has_value) {
-        for (NodeId nb : gi.neighbors(self_)) io.send(nb, kTagVecInquiry, 0, 1);
+        gi.for_each_neighbor(self_, [&io](NodeId nb) { io.send(nb, kTagVecInquiry, 0, 1); });
       }
     } else if (state_->has_value) {
       for (const auto& m : inbox) {

@@ -17,6 +17,7 @@
 #include "core/local_probe.hpp"
 #include "core/params.hpp"
 #include "graph/graph.hpp"
+#include "graph/phase_graph.hpp"
 
 namespace lft::core {
 
@@ -38,7 +39,7 @@ struct VectorConsensusConfig {
   NodeId instances = 0;
   std::shared_ptr<const graph::Graph> little_g;
   std::shared_ptr<const graph::Graph> spread_h;
-  std::vector<std::shared_ptr<const graph::Graph>> inquiry;
+  std::vector<graph::PhaseGraph> inquiry;
 
   [[nodiscard]] static std::shared_ptr<const VectorConsensusConfig> build(
       const ConsensusParams& params, NodeId instances = 0);

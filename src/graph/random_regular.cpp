@@ -1,10 +1,10 @@
 #include "graph/random_regular.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/flat_set64.hpp"
 #include "common/rng.hpp"
 
 namespace lft::graph {
@@ -38,8 +38,7 @@ Graph random_regular_graph(NodeId n, int d, std::uint64_t seed) {
   std::vector<std::pair<NodeId, NodeId>> pairs(m);
   for (std::size_t i = 0; i < m; ++i) pairs[i] = {stubs[2 * i], stubs[2 * i + 1]};
 
-  std::unordered_set<std::uint64_t> present;
-  present.reserve(m * 2);
+  FlatSet64 present(m);
   std::vector<char> good(m, 0);
 
   // First pass: register conflict-free edges, queue the rest for repair.

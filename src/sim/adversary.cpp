@@ -87,26 +87,30 @@ ProbeDisruptorAdversary::ProbeDisruptorAdversary(std::int64_t budget, int per_ro
 void ProbeDisruptorAdversary::on_round(const EngineView& view, CrashController& control) {
   if (view.round() < first_round_ || budget_ <= 0) return;
 
-  std::vector<std::int64_t> pending(static_cast<std::size_t>(view.num_nodes()), 0);
+  pending_.resize(static_cast<std::size_t>(view.num_nodes()), 0);
   for (const Message& m : view.pending_sends()) {
-    ++pending[static_cast<std::size_t>(m.from)];
+    const auto from = static_cast<std::size_t>(m.from);
+    if (pending_[from] == 0) touched_.push_back(m.from);
+    ++pending_[from];
   }
-  std::vector<NodeId> candidates;
-  for (NodeId v = 0; v < view.num_nodes(); ++v) {
-    if (view.alive(v) && !view.halted(v) && pending[static_cast<std::size_t>(v)] > 0) {
-      candidates.push_back(v);
-    }
-  }
-  std::sort(candidates.begin(), candidates.end(), [&](NodeId a, NodeId b) {
-    const auto pa = pending[static_cast<std::size_t>(a)];
-    const auto pb = pending[static_cast<std::size_t>(b)];
+  // `touched_` doubles as the candidate list: crashable senders first (the
+  // partition keeps dead senders around so their counters still get reset),
+  // busiest first within the candidates.
+  const auto candidates_end = std::partition(touched_.begin(), touched_.end(), [&](NodeId v) {
+    return view.alive(v) && !view.halted(v);
+  });
+  std::sort(touched_.begin(), candidates_end, [&](NodeId a, NodeId b) {
+    const auto pa = pending_[static_cast<std::size_t>(a)];
+    const auto pb = pending_[static_cast<std::size_t>(b)];
     return pa != pb ? pa > pb : a < b;
   });
-  for (int i = 0; i < per_round_ && i < static_cast<int>(candidates.size()) && budget_ > 0;
-       ++i) {
-    control.crash(candidates[static_cast<std::size_t>(i)]);
+  const auto num_candidates = static_cast<int>(candidates_end - touched_.begin());
+  for (int i = 0; i < per_round_ && i < num_candidates && budget_ > 0; ++i) {
+    control.crash(touched_[static_cast<std::size_t>(i)]);
     --budget_;
   }
+  for (const NodeId v : touched_) pending_[static_cast<std::size_t>(v)] = 0;
+  touched_.clear();
 }
 
 std::unique_ptr<CrashAdversary> make_scheduled(std::vector<CrashEvent> events,

@@ -73,6 +73,10 @@ class ProbeDisruptorAdversary final : public CrashAdversary {
   std::int64_t budget_;
   int per_round_;
   Round first_round_;
+  // Scratch reused across rounds; only the entries touched by a round's
+  // pending sends are reset, so per-round cost tracks the batch size, not n.
+  std::vector<std::int64_t> pending_;
+  std::vector<NodeId> touched_;
 };
 
 /// Convenience: wraps a schedule in an adversary.

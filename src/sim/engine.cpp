@@ -6,6 +6,22 @@
 
 namespace lft::sim {
 
+namespace {
+constexpr std::int32_t kNotCrashedThisRound = -2;
+constexpr std::int32_t kCleanCrash = -1;
+}  // namespace
+
+// ---- Inbox -----------------------------------------------------------------
+
+std::span<const Message> Inbox::with_tag(std::uint32_t tag) const noexcept {
+  const auto lo = std::partition_point(
+      messages_.begin(), messages_.end(), [tag](const Message& m) { return m.tag < tag; });
+  const auto hi = std::partition_point(
+      lo, messages_.end(), [tag](const Message& m) { return m.tag <= tag; });
+  return messages_.subspan(static_cast<std::size_t>(lo - messages_.begin()),
+                           static_cast<std::size_t>(hi - lo));
+}
+
 // ---- Context ---------------------------------------------------------------
 
 NodeId Context::num_nodes() const noexcept { return engine_->n_; }
@@ -27,6 +43,8 @@ std::uint64_t Context::decision() const noexcept {
 }
 
 void Context::halt() { engine_->status_[static_cast<std::size_t>(self_)].halted = true; }
+
+void Context::sleep_until(Round wake_round) { engine_->do_sleep(self_, wake_round); }
 
 void Context::count_fallback() { ++engine_->metrics_.fallback_pulls; }
 
@@ -106,10 +124,12 @@ Engine::Engine(NodeId n, EngineConfig config)
       config_(config),
       processes_(static_cast<std::size_t>(n)),
       status_(static_cast<std::size_t>(n)),
-      crash_keep_(static_cast<std::size_t>(n)),
-      crashed_this_round_(static_cast<std::size_t>(n), 0),
-      inbox_(static_cast<std::size_t>(n)) {
+      wake_at_(static_cast<std::size_t>(n), 0),
+      sleeping_(static_cast<std::size_t>(n), 0),
+      crash_filter_(static_cast<std::size_t>(n), kNotCrashedThisRound) {
   LFT_ASSERT(n > 0);
+  active_.reserve(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) active_.push_back(v);
 }
 
 Engine::~Engine() = default;
@@ -164,6 +184,19 @@ void Engine::do_decide(NodeId v, std::uint64_t value) {
   s.decision = value;
 }
 
+void Engine::do_sleep(NodeId v, Round wake_round) {
+  // Applied during the node's own on_round; the move out of the active set
+  // happens in the end-of-round compaction.
+  wake_at_[static_cast<std::size_t>(v)] = wake_round;
+}
+
+void Engine::wake_by(NodeId v, Round round) {
+  auto& wake = wake_at_[static_cast<std::size_t>(v)];
+  if (wake <= round) return;
+  wake = round;
+  if (sleeping_[static_cast<std::size_t>(v)] != 0) sleep_heap_.emplace(round, v);
+}
+
 void Engine::do_crash(NodeId v, std::function<bool(const Message&)> keep) {
   LFT_ASSERT(v >= 0 && v < n_);
   auto& s = status_[static_cast<std::size_t>(v)];
@@ -171,15 +204,66 @@ void Engine::do_crash(NodeId v, std::function<bool(const Message&)> keep) {
   // Crashing an already-halted node is a no-op for the execution; the paper
   // disregards such crashes, so we do not charge the budget for them.
   if (s.halted) return;
+  if (sleeping_[static_cast<std::size_t>(v)] != 0) {
+    sleeping_[static_cast<std::size_t>(v)] = 0;
+    --sleeping_count_;
+  }
   ++crashes_used_;
   LFT_ASSERT_MSG(crashes_used_ <= config_.crash_budget, "crash budget exceeded");
   s.crashed = true;
   s.crash_round = round_;
-  crashed_this_round_[static_cast<std::size_t>(v)] = 1;
+  crashed_this_round_.push_back(v);
   if (keep) {
     keep_filters_.push_back(std::move(keep));
-    crash_keep_[static_cast<std::size_t>(v)] = keep_filters_.size() - 1;
+    crash_filter_[static_cast<std::size_t>(v)] =
+        static_cast<std::int32_t>(keep_filters_.size()) - 1;
+  } else {
+    crash_filter_[static_cast<std::size_t>(v)] = kCleanCrash;
   }
+}
+
+void Engine::deliver_batch() {
+  // One compaction pass over the arena: drop crashed senders' messages (minus
+  // the ones their keep-filter saves), account the survivors, and drop
+  // messages whose receiver can no longer accept them. Survivors shift left
+  // in place, so the steady state allocates nothing.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < outbox_.size(); ++i) {
+    Message& m = outbox_[i];
+    const auto from = static_cast<std::size_t>(m.from);
+    const std::int32_t filter = crash_filter_[from];
+    if (filter != kNotCrashedThisRound) {
+      const bool saved =
+          filter >= 0 && keep_filters_[static_cast<std::size_t>(filter)](m);
+      if (!saved) continue;  // lost in the crash
+    }
+    metrics_.messages_total += 1;
+    metrics_.bits_total += static_cast<std::int64_t>(m.bits);
+    auto& sender = status_[from];
+    if (!sender.byzantine) {
+      metrics_.messages_honest += 1;
+      metrics_.bits_honest += static_cast<std::int64_t>(m.bits);
+    }
+    sender.sends += 1;
+    const auto to = static_cast<std::size_t>(m.to);
+    if (status_[to].crashed || status_[to].halted) continue;  // never received
+    wake_by(m.to, round_ + 1);  // delivery always wakes the recipient
+    if (kept != i) outbox_[kept] = std::move(m);
+    ++kept;
+  }
+  outbox_.resize(kept);
+  metrics_.peak_round_messages =
+      std::max(metrics_.peak_round_messages, static_cast<std::int64_t>(kept));
+
+  // Single sorted sweep into delivery normal form: group by (receiver, tag).
+  // The arena is appended in ascending sender order, so a stable sort keeps
+  // each (receiver, tag) run sorted by sender and preserves per-sender send
+  // order.
+  std::stable_sort(outbox_.begin(), outbox_.end(), [](const Message& a, const Message& b) {
+    return a.to != b.to ? a.to < b.to : a.tag < b.tag;
+  });
+  inbox_.swap(outbox_);
+  outbox_.clear();
 }
 
 Report Engine::run() {
@@ -192,17 +276,41 @@ Report Engine::run() {
   bool completed = false;
 
   for (round_ = 0; round_ < config_.max_rounds; ++round_) {
-    outbox_.clear();
-    keep_filters_.clear();
-    std::fill(crash_keep_.begin(), crash_keep_.end(), std::nullopt);
-    std::fill(crashed_this_round_.begin(), crashed_this_round_.end(), 0);
+    // 0. Wake sleepers whose timer (or a message) is due. Heap entries are
+    //    lazily invalidated: only nodes still marked sleeping with a due wake
+    //    round count.
+    woken_.clear();
+    while (!sleep_heap_.empty() && sleep_heap_.top().first <= round_) {
+      const NodeId v = sleep_heap_.top().second;
+      sleep_heap_.pop();
+      const auto vi = static_cast<std::size_t>(v);
+      if (sleeping_[vi] == 0 || wake_at_[vi] > round_) continue;
+      sleeping_[vi] = 0;
+      --sleeping_count_;
+      woken_.push_back(v);
+    }
+    if (!woken_.empty()) {
+      std::sort(woken_.begin(), woken_.end());
+      const auto old_size = active_.size();
+      active_.insert(active_.end(), woken_.begin(), woken_.end());
+      std::inplace_merge(active_.begin(),
+                         active_.begin() + static_cast<std::ptrdiff_t>(old_size),
+                         active_.end());
+    }
 
-    // 1. Step every alive, non-halted node in id order.
-    for (NodeId v = 0; v < n_; ++v) {
-      auto& s = status_[static_cast<std::size_t>(v)];
-      if (s.crashed || s.halted) continue;
+    // 1. Step every active node in id order, handing each its slice of the
+    //    sorted batch. Both active_ and inbox_ ascend by node id, so a single
+    //    cursor pairs them up.
+    std::size_t cursor = 0;
+    for (const NodeId v : active_) {
+      std::size_t begin = cursor;
+      while (begin < inbox_.size() && inbox_[begin].to < v) ++begin;
+      std::size_t end = begin;
+      while (end < inbox_.size() && inbox_[end].to == v) ++end;
+      cursor = end;
       Context ctx(*this, v);
-      processes_[static_cast<std::size_t>(v)]->on_round(ctx, inbox_[static_cast<std::size_t>(v)]);
+      const Inbox inbox(std::span<const Message>(inbox_.data() + begin, end - begin));
+      processes_[static_cast<std::size_t>(v)]->on_round(ctx, inbox);
     }
 
     // 2. Adversary inspects pending sends and may crash nodes.
@@ -212,37 +320,31 @@ Report Engine::run() {
       adversary_->on_round(view, control);
     }
 
-    // 3. Filter crashed senders, account metrics, deliver.
-    for (auto& ib : inbox_) ib.clear();
-    for (auto& m : outbox_) {
-      const auto from = static_cast<std::size_t>(m.from);
-      if (crashed_this_round_[from] != 0) {
-        const auto& keep_idx = crash_keep_[from];
-        const bool kept = keep_idx.has_value() && keep_filters_[*keep_idx](m);
-        if (!kept) continue;  // lost in the crash
-      }
-      metrics_.messages_total += 1;
-      metrics_.bits_total += static_cast<std::int64_t>(m.bits);
-      auto& sender = status_[from];
-      if (!sender.byzantine) {
-        metrics_.messages_honest += 1;
-        metrics_.bits_honest += static_cast<std::int64_t>(m.bits);
-      }
-      sender.sends += 1;
-      const auto to = static_cast<std::size_t>(m.to);
-      if (status_[to].crashed || status_[to].halted) continue;  // never received
-      inbox_[to].push_back(std::move(m));
-    }
+    // 3. Filter, account, and sort this round's batch for delivery.
+    deliver_batch();
 
-    // 4. Done when every node has crashed or halted.
-    bool all_done = true;
-    for (const auto& s : status_) {
-      if (!s.crashed && !s.halted) {
-        all_done = false;
-        break;
-      }
+    // Reset only the crash slots touched this round.
+    for (const NodeId v : crashed_this_round_) {
+      crash_filter_[static_cast<std::size_t>(v)] = kNotCrashedThisRound;
     }
-    if (all_done) {
+    crashed_this_round_.clear();
+    keep_filters_.clear();
+
+    // 4. Drop crashed/halted nodes from the active set and park sleepers;
+    //    done when nobody is active or sleeping.
+    std::erase_if(active_, [this](NodeId v) {
+      const auto vi = static_cast<std::size_t>(v);
+      const auto& s = status_[vi];
+      if (s.crashed || s.halted) return true;
+      if (wake_at_[vi] > round_ + 1) {
+        sleeping_[vi] = 1;
+        ++sleeping_count_;
+        sleep_heap_.emplace(wake_at_[vi], v);
+        return true;
+      }
+      return false;
+    });
+    if (active_.empty() && sleeping_count_ == 0) {
       completed = true;
       ++round_;  // this round still counts
       break;
@@ -252,6 +354,7 @@ Report Engine::run() {
   for (const auto& s : status_) {
     metrics_.max_sends_per_node = std::max(metrics_.max_sends_per_node, s.sends);
   }
+  metrics_.rounds = round_;
   report.rounds = round_;
   report.completed = completed;
   report.metrics = metrics_;

@@ -3,13 +3,23 @@
 // same-round delivery, crashes controlled by an adaptive adversary with
 // budget t. Delivery normal form: sends produced in on_round(r) appear in
 // the recipients' inboxes at on_round(r+1); round counts match the paper's.
+//
+// The engine is batched and event-driven: each round's sends are appended to
+// one contiguous arena (reused across rounds, so the steady state performs no
+// allocation), delivery is a single sorted sweep that groups the arena by
+// (receiver, tag), and each receiver gets a zero-copy Inbox view into its
+// slice of the sorted batch. Only nodes that are alive and not halted are
+// stepped (the active set shrinks as the execution winds down), so per-round
+// cost is O(active + messages), not O(n).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <queue>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -19,6 +29,32 @@
 namespace lft::sim {
 
 class Engine;
+
+/// Zero-copy view of one node's delivered batch for the current round.
+/// Messages are grouped by tag (ascending) and sorted by sender id within
+/// each tag group; per-sender send order is preserved.
+class Inbox {
+ public:
+  Inbox() = default;
+  /// Wraps a span that is already grouped by tag / sorted by sender (the
+  /// engine's delivery normal form). Public so tests and adapters can build
+  /// inboxes without an engine.
+  explicit Inbox(std::span<const Message> sorted) : messages_(sorted) {}
+
+  [[nodiscard]] std::span<const Message> all() const noexcept { return messages_; }
+  /// The contiguous run of messages carrying `tag` (binary search).
+  [[nodiscard]] std::span<const Message> with_tag(std::uint32_t tag) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return messages_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return messages_.empty(); }
+  [[nodiscard]] const Message* begin() const noexcept { return messages_.data(); }
+  [[nodiscard]] const Message* end() const noexcept {
+    return messages_.data() + messages_.size();
+  }
+
+ private:
+  std::span<const Message> messages_;
+};
 
 /// Per-node handle the engine passes to Process::on_round.
 class Context {
@@ -40,6 +76,14 @@ class Context {
   /// Voluntarily stops participating from the next round on.
   void halt();
 
+  /// Event-driven activation: requests that this node not be stepped again
+  /// before round `wake_round`, unless a message addressed to it is
+  /// delivered first (delivery always wakes the recipient for the round the
+  /// message is readable). A protocol may only sleep through rounds in which
+  /// it would provably take no spontaneous action; the engine still ticks
+  /// every round, so adversary schedules are unaffected.
+  void sleep_until(Round wake_round);
+
   /// Records one activation of the certified-pull epilogue (DESIGN.md
   /// substitution 4); tests assert this stays zero.
   void count_fallback();
@@ -56,8 +100,8 @@ class Context {
 class Process {
  public:
   virtual ~Process() = default;
-  /// `inbox` holds the messages delivered this round, sorted by sender id.
-  virtual void on_round(Context& ctx, std::span<const Message> inbox) = 0;
+  /// `inbox` views the messages delivered this round (see Inbox for order).
+  virtual void on_round(Context& ctx, const Inbox& inbox) = 0;
 };
 
 /// Read-only view of the execution the adversary may inspect (a strong,
@@ -72,7 +116,8 @@ class EngineView {
   [[nodiscard]] bool decided(NodeId v) const noexcept;
   [[nodiscard]] std::int64_t crashes_used() const noexcept;
   [[nodiscard]] std::int64_t crash_budget() const noexcept;
-  /// All messages produced this round, before crash filtering.
+  /// All messages produced this round, before crash filtering (arena order:
+  /// ascending sender id, per-sender send order preserved).
   [[nodiscard]] std::span<const Message> pending_sends() const noexcept;
   /// The protocol object of node v (adversaries may downcast for
   /// protocol-aware attacks).
@@ -165,7 +210,13 @@ class Engine {
   void do_send(NodeId from, NodeId to, std::uint32_t tag, std::uint64_t value,
                std::uint64_t bits, std::vector<std::byte> body);
   void do_decide(NodeId v, std::uint64_t value);
+  void do_sleep(NodeId v, Round wake_round);
+  /// Ensures a sleeping node is stepped at `round` (message wake).
+  void wake_by(NodeId v, Round round);
   void do_crash(NodeId v, std::function<bool(const Message&)> keep);
+  /// Filters crashed senders / dead receivers out of the arena, accounts
+  /// metrics, and sorts the survivors into delivery normal form.
+  void deliver_batch();
 
   NodeId n_;
   EngineConfig config_;
@@ -176,11 +227,32 @@ class Engine {
   std::vector<NodeStatus> status_;
   std::int64_t crashes_used_ = 0;
 
-  std::vector<Message> outbox_;                        // current round's sends
-  std::vector<std::optional<std::size_t>> crash_keep_; // index into keep_filters_, per node
+  // Nodes stepped each round (alive, not halted, not sleeping), ascending
+  // id; compacted in place after each round.
+  std::vector<NodeId> active_;
+
+  // Sleeping nodes, woken by timer (min-heap, lazily invalidated) or by
+  // message delivery. sleeping_[v] is authoritative; heap entries whose node
+  // is no longer sleeping or whose round is stale are skipped on pop.
+  std::vector<Round> wake_at_;
+  std::vector<char> sleeping_;
+  std::int64_t sleeping_count_ = 0;
+  std::priority_queue<std::pair<Round, NodeId>, std::vector<std::pair<Round, NodeId>>,
+                      std::greater<>>
+      sleep_heap_;
+  std::vector<NodeId> woken_;  // per-round scratch
+
+  // Double-buffered contiguous message arenas, reused across rounds.
+  std::vector<Message> outbox_;  // current round's sends, arena order
+  std::vector<Message> inbox_;   // delivered batch, sorted by (receiver, tag)
+
+  // Per-round crash bookkeeping. `crash_filter_` maps a node crashed this
+  // round to its keep-filter (or -1 for a clean crash); only the entries
+  // named in `crashed_this_round_` are live, and only those are reset at the
+  // end of the round, keeping per-round cost independent of n.
+  std::vector<std::int32_t> crash_filter_;  // n-sized, -2 = not crashed this round
+  std::vector<NodeId> crashed_this_round_;
   std::vector<std::function<bool(const Message&)>> keep_filters_;
-  std::vector<char> crashed_this_round_;
-  std::vector<std::vector<Message>> inbox_;
 
   Metrics metrics_;
 };

@@ -15,6 +15,8 @@ struct Metrics {
   std::int64_t bits_honest = 0;
   std::int64_t max_sends_per_node = 0;
   std::int64_t fallback_pulls = 0;  // activations of the certified-pull epilogue
+  std::int64_t rounds = 0;          // rounds executed (mirrors Report::rounds)
+  std::int64_t peak_round_messages = 0;  // largest delivered batch in one round
 };
 
 }  // namespace lft::sim

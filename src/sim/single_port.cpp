@@ -13,6 +13,29 @@ std::uint64_t link_key(NodeId from, NodeId to) noexcept {
 }
 }  // namespace
 
+// ---- PortQueue -------------------------------------------------------------
+
+void SinglePortEngine::PortQueue::push(Message m) {
+  // Compact the consumed prefix before growing past it: keeps the buffer
+  // bounded by the live backlog while staying amortized O(1) per operation.
+  if (head > 0 && head >= buf.size() / 2 && buf.size() >= 8) {
+    buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(head));
+    head = 0;
+  }
+  buf.push_back(std::move(m));
+}
+
+sim::Message SinglePortEngine::PortQueue::pop() {
+  LFT_ASSERT(!empty());
+  Message m = std::move(buf[head]);
+  ++head;
+  if (head >= buf.size()) {
+    buf.clear();
+    head = 0;
+  }
+  return m;
+}
+
 // ---- SpContext -------------------------------------------------------------
 
 NodeId SpContext::num_nodes() const noexcept { return engine_->n_; }
@@ -136,6 +159,7 @@ Report SinglePortEngine::run() {
     }
 
     // 3. Enqueue surviving sends into port queues.
+    std::int64_t round_messages = 0;
     for (NodeId v = 0; v < n_; ++v) {
       const auto vi = static_cast<std::size_t>(v);
       auto& s = status_[vi];
@@ -149,6 +173,7 @@ Report SinglePortEngine::run() {
       s.sends += 1;
       const auto ti = static_cast<std::size_t>(send.to);
       if (status_[ti].crashed || status_[ti].halted) continue;  // never retrievable
+      ++round_messages;
       Message m;
       m.from = v;
       m.to = send.to;
@@ -156,8 +181,9 @@ Report SinglePortEngine::run() {
       m.value = send.value;
       m.bits = send.bits;
       m.body = std::move(send.body);
-      ports_[link_key(v, send.to)].push_back(std::move(m));
+      ports_[link_key(v, send.to)].push(std::move(m));
     }
+    metrics_.peak_round_messages = std::max(metrics_.peak_round_messages, round_messages);
 
     // 4. Resolve polls (a poll may pick up a message sent this round).
     for (NodeId v = 0; v < n_; ++v) {
@@ -169,8 +195,7 @@ Report SinglePortEngine::run() {
       LFT_ASSERT(src >= 0 && src < n_);
       auto it = ports_.find(link_key(src, v));
       if (it == ports_.end() || it->second.empty()) continue;
-      fetched_[vi] = std::move(it->second.front());
-      it->second.pop_front();
+      fetched_[vi] = it->second.pop();
     }
 
     // 5. Termination.
@@ -191,6 +216,7 @@ Report SinglePortEngine::run() {
   for (const auto& s : status_) {
     metrics_.max_sends_per_node = std::max(metrics_.max_sends_per_node, s.sends);
   }
+  metrics_.rounds = round_;
   report.rounds = round_;
   report.completed = completed;
   report.metrics = metrics_;

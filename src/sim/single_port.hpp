@@ -6,7 +6,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -120,7 +119,19 @@ class SinglePortEngine {
   std::int64_t crashes_used_ = 0;
   std::vector<SpAction> actions_;
   std::vector<std::optional<Message>> fetched_;
-  std::unordered_map<std::uint64_t, std::deque<Message>> ports_;
+
+  /// FIFO link queue backed by a flat buffer: pops advance `head`, and the
+  /// dead prefix is compacted once it dominates the buffer, so steady-state
+  /// traffic on a link reuses its capacity instead of churning deque blocks.
+  struct PortQueue {
+    std::vector<Message> buf;
+    std::size_t head = 0;
+
+    [[nodiscard]] bool empty() const noexcept { return head >= buf.size(); }
+    void push(Message m);
+    Message pop();
+  };
+  std::unordered_map<std::uint64_t, PortQueue> ports_;
   Metrics metrics_;
 };
 

@@ -47,9 +47,13 @@ sim::SpAction SinglePortStageProcess::on_round(sim::SpContext& ctx,
   core::Stage& stage = *stages_[stage_index_];
 
   if (slot_ == 0) {
-    // Drive the wrapped stage with everything polled since its last round.
-    std::sort(inbox_accumulator_.begin(), inbox_accumulator_.end(),
-              [](const sim::Message& a, const sim::Message& b) { return a.from < b.from; });
+    // Drive the wrapped stage with everything polled since its last round,
+    // in the multi-port engine's delivery normal form: grouped by tag,
+    // sender-sorted within each tag group.
+    std::stable_sort(inbox_accumulator_.begin(), inbox_accumulator_.end(),
+                     [](const sim::Message& a, const sim::Message& b) {
+                       return a.tag != b.tag ? a.tag < b.tag : a.from < b.from;
+                     });
     QueueIo io(queued_, ctx);
     stage.on_round(stage_round_, inbox_accumulator_, io);
     inbox_accumulator_.clear();

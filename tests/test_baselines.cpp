@@ -10,6 +10,7 @@
 #include "baselines/baselines.hpp"
 #include "common/rng.hpp"
 #include "sim/adversary.hpp"
+#include "test_util.hpp"
 
 namespace lft::baselines {
 namespace {
@@ -61,7 +62,7 @@ INSTANTIATE_TEST_SUITE_P(
                       BaselineCase{60, 20, "random"}),
     [](const auto& info) {
       const auto& c = info.param;
-      return "n" + std::to_string(c.n) + "t" + std::to_string(c.t) + "_" + c.adversary;
+      return test::case_name("n", c.n, "t", c.t, "_", c.adversary);
     });
 
 TEST(FloodSet, QuadraticMessages) {
@@ -94,7 +95,7 @@ INSTANTIATE_TEST_SUITE_P(
                       BaselineCase{100, 30, "random"}),
     [](const auto& info) {
       const auto& c = info.param;
-      return "n" + std::to_string(c.n) + "t" + std::to_string(c.t) + "_" + c.adversary;
+      return test::case_name("n", c.n, "t", c.t, "_", c.adversary);
     });
 
 TEST(RotatingCoordinator, LinearTimesNMessages) {

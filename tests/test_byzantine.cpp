@@ -12,6 +12,7 @@
 #include "byzantine/dolev_strong.hpp"
 #include "common/math.hpp"
 #include "core/tags.hpp"
+#include "test_util.hpp"
 
 namespace lft::byzantine {
 namespace {
@@ -225,8 +226,8 @@ INSTANTIATE_TEST_SUITE_P(
                       AbCase{64, 0, "silent", 0, 0}),
     [](const auto& info) {
       const auto& c = info.param;
-      return "n" + std::to_string(c.n) + "t" + std::to_string(c.t) + "_" + c.behavior + "_l" +
-             std::to_string(c.byz_little) + "b" + std::to_string(c.byz_big);
+      return test::case_name("n", c.n, "t", c.t, "_", c.behavior, "_l", c.byz_little, "b",
+                             c.byz_big);
     });
 
 TEST(AbConsensus, MaxRuleWithAllHonest) {

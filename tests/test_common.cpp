@@ -10,6 +10,7 @@
 
 #include "common/bitset.hpp"
 #include "common/codec.hpp"
+#include "common/flat_set64.hpp"
 #include "common/hash.hpp"
 #include "common/math.hpp"
 #include "common/rng.hpp"
@@ -331,6 +332,52 @@ TEST(Codec, GetBytesExactLength) {
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(got->size(), 2u);
   EXPECT_FALSE(r.get_bytes(2).has_value());  // only 1 byte left
+}
+
+// ---- FlatSet64 -----------------------------------------------------------------
+
+TEST(FlatSet64, InsertContainsErase) {
+  FlatSet64 set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.contains(7));
+  EXPECT_TRUE(set.insert(7));
+  EXPECT_FALSE(set.insert(7));  // duplicate
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.erase(7));
+  EXPECT_FALSE(set.erase(7));
+  EXPECT_FALSE(set.contains(7));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(FlatSet64, SurvivesGrowthAndChurn) {
+  // Insert/erase churn across several growths; mirror against std::set.
+  FlatSet64 set;
+  std::set<std::uint64_t> mirror;
+  Rng rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = rng.uniform(4096);
+    if (rng.uniform(3) == 0) {
+      EXPECT_EQ(set.erase(key), mirror.erase(key) > 0);
+    } else {
+      EXPECT_EQ(set.insert(key), mirror.insert(key).second);
+    }
+  }
+  EXPECT_EQ(set.size(), mirror.size());
+  for (std::uint64_t key = 0; key < 4096; ++key) {
+    EXPECT_EQ(set.contains(key), mirror.count(key) > 0) << key;
+  }
+}
+
+TEST(FlatSet64, BackwardShiftKeepsProbeChainsIntact) {
+  // Colliding keys probe linearly; erasing from the middle of a chain must
+  // not orphan later entries.
+  FlatSet64 set(8);
+  for (std::uint64_t k = 1; k <= 64; ++k) set.insert(k);
+  for (std::uint64_t k = 1; k <= 64; k += 2) EXPECT_TRUE(set.erase(k));
+  for (std::uint64_t k = 1; k <= 64; ++k) {
+    EXPECT_EQ(set.contains(k), k % 2 == 0) << k;
+  }
 }
 
 }  // namespace

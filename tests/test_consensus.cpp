@@ -16,6 +16,7 @@
 #include "core/consensus.hpp"
 #include "core/params.hpp"
 #include "sim/adversary.hpp"
+#include "test_util.hpp"
 
 namespace lft::core {
 namespace {
@@ -93,8 +94,7 @@ INSTANTIATE_TEST_SUITE_P(
                       AeaCase{50, 0, "random", "none"}),
     [](const auto& info) {
       const auto& c = info.param;
-      return "n" + std::to_string(c.n) + "t" + std::to_string(c.t) + "_" + c.pattern + "_" +
-             c.adversary;
+      return test::case_name("n", c.n, "t", c.t, "_", c.pattern, "_", c.adversary);
     });
 
 TEST(Aea, RoundsLinearInT) {
@@ -184,7 +184,7 @@ INSTANTIATE_TEST_SUITE_P(
                       ScvCase{512, 100, "disruptor"}),
     [](const auto& info) {
       const auto& c = info.param;
-      return "n" + std::to_string(c.n) + "t" + std::to_string(c.t) + "_" + c.adversary;
+      return test::case_name("n", c.n, "t", c.t, "_", c.adversary);
     });
 
 TEST(Scv, RoundsLogarithmicInT) {
@@ -236,8 +236,7 @@ INSTANTIATE_TEST_SUITE_P(
         ConsensusCase{512, 100, "random", "random"}, ConsensusCase{512, 100, "all0", "burst0"}),
     [](const auto& info) {
       const auto& c = info.param;
-      return "n" + std::to_string(c.n) + "t" + std::to_string(c.t) + "_" + c.pattern + "_" +
-             c.adversary;
+      return test::case_name("n", c.n, "t", c.t, "_", c.pattern, "_", c.adversary);
     });
 
 TEST(FewCrashes, DeterministicAcrossRuns) {
@@ -307,8 +306,7 @@ INSTANTIATE_TEST_SUITE_P(
                       ConsensusCase{200, 199, "random", "random"}),
     [](const auto& info) {
       const auto& c = info.param;
-      return "n" + std::to_string(c.n) + "t" + std::to_string(c.t) + "_" + c.pattern + "_" +
-             c.adversary;
+      return test::case_name("n", c.n, "t", c.t, "_", c.pattern, "_", c.adversary);
     });
 
 TEST(ManyCrashes, SurvivesTotalWipeoutButOne) {

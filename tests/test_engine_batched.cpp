@@ -1,0 +1,255 @@
+// Tests for the batched event-driven engine: bitwise determinism of Metrics
+// across reruns, message conservation under the crash adversary, the
+// (receiver, tag) delivery normal form exposed by Inbox, and the
+// sleep_until/wake-on-message activation contract.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/consensus.hpp"
+#include "sim/adversary.hpp"
+#include "sim/engine.hpp"
+#include "test_util.hpp"
+
+namespace lft::sim {
+namespace {
+
+using test::LambdaProcess;
+using test::lambda_process;
+
+// ---- determinism ---------------------------------------------------------------
+
+void expect_metrics_equal(const Metrics& a, const Metrics& b) {
+  EXPECT_EQ(a.messages_total, b.messages_total);
+  EXPECT_EQ(a.bits_total, b.bits_total);
+  EXPECT_EQ(a.messages_honest, b.messages_honest);
+  EXPECT_EQ(a.bits_honest, b.bits_honest);
+  EXPECT_EQ(a.max_sends_per_node, b.max_sends_per_node);
+  EXPECT_EQ(a.fallback_pulls, b.fallback_pulls);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.peak_round_messages, b.peak_round_messages);
+}
+
+TEST(BatchedEngine, SameSeedGivesIdenticalMetrics) {
+  const NodeId n = 128;
+  const std::int64_t t = 20;
+  const auto params = core::ConsensusParams::practical(n, t);
+  std::vector<int> inputs(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) inputs[static_cast<std::size_t>(v)] = (v * 5 + 1) % 2;
+
+  auto adversary = [&] {
+    return make_scheduled(random_crash_schedule(n, t, 0, 4 * t, 0.5, 91));
+  };
+  const auto a = core::run_few_crashes_consensus(params, inputs, adversary());
+  const auto b = core::run_few_crashes_consensus(params, inputs, adversary());
+
+  ASSERT_TRUE(a.termination);
+  EXPECT_EQ(a.report.rounds, b.report.rounds);
+  EXPECT_EQ(a.decision, b.decision);
+  expect_metrics_equal(a.report.metrics, b.report.metrics);
+  ASSERT_EQ(a.report.nodes.size(), b.report.nodes.size());
+  for (std::size_t v = 0; v < a.report.nodes.size(); ++v) {
+    EXPECT_EQ(a.report.nodes[v].crashed, b.report.nodes[v].crashed);
+    EXPECT_EQ(a.report.nodes[v].decided, b.report.nodes[v].decided);
+    EXPECT_EQ(a.report.nodes[v].decision, b.report.nodes[v].decision);
+    EXPECT_EQ(a.report.nodes[v].sends, b.report.nodes[v].sends);
+  }
+}
+
+TEST(BatchedEngine, MetricsRoundsMirrorsReport) {
+  Engine engine(2, {});
+  for (NodeId v = 0; v < 2; ++v) {
+    engine.set_process(v, lambda_process([](Context& ctx, const Inbox&) {
+                         if (ctx.round() >= 3) ctx.halt();
+                       }));
+  }
+  const Report report = engine.run();
+  EXPECT_EQ(report.metrics.rounds, report.rounds);
+}
+
+// ---- message conservation ------------------------------------------------------
+
+TEST(BatchedEngine, MessageConservationUnderCrashAdversary) {
+  // Every node sends 3 messages per round for 20 rounds while the adversary
+  // crashes t nodes (half of them partially). Every accounted message must
+  // trace back to a sender send-count, and nothing can be received that was
+  // not accounted.
+  const NodeId n = 50;
+  const std::int64_t t = 12;
+  EngineConfig config;
+  config.crash_budget = t;
+  Engine engine(n, config);
+  std::int64_t received_total = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    engine.set_process(v, lambda_process([&received_total, n](Context& ctx, const Inbox& inbox) {
+                         received_total += static_cast<std::int64_t>(inbox.size());
+                         if (ctx.round() >= 20) {
+                           ctx.halt();
+                           return;
+                         }
+                         for (int i = 1; i <= 3; ++i) {
+                           const auto to = static_cast<NodeId>(
+                               (ctx.self() + i * 7 + ctx.round()) % n);
+                           if (to != ctx.self()) ctx.send(to, 0, 1);
+                         }
+                       }));
+  }
+  engine.set_adversary(make_scheduled(random_crash_schedule(n, t, 1, 15, 0.5, 7)));
+  const Report report = engine.run();
+
+  std::int64_t sends_sum = 0;
+  for (const auto& s : report.nodes) sends_sum += s.sends;
+  EXPECT_EQ(report.metrics.messages_total, sends_sum);
+  EXPECT_EQ(report.metrics.messages_honest, report.metrics.messages_total);
+  EXPECT_LE(received_total, report.metrics.messages_total);
+  EXPECT_GT(received_total, 0);
+  EXPECT_EQ(report.crashed_count(), t);
+  EXPECT_LE(report.metrics.peak_round_messages, 3 * static_cast<std::int64_t>(n));
+}
+
+TEST(BatchedEngine, ConservationIsExactWithoutFaults) {
+  const NodeId n = 20;
+  Engine engine(n, {});
+  std::int64_t received_total = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    engine.set_process(v, lambda_process([&received_total, n](Context& ctx, const Inbox& inbox) {
+                         received_total += static_cast<std::int64_t>(inbox.size());
+                         if (ctx.round() == 0) {
+                           ctx.send((ctx.self() + 1) % n, 0, 1);
+                           ctx.send((ctx.self() + 2) % n, 1, 1);
+                         }
+                         if (ctx.round() >= 1) ctx.halt();
+                       }));
+  }
+  const Report report = engine.run();
+  EXPECT_EQ(report.metrics.messages_total, 2 * static_cast<std::int64_t>(n));
+  EXPECT_EQ(received_total, report.metrics.messages_total);
+}
+
+// ---- delivery normal form ------------------------------------------------------
+
+TEST(BatchedEngine, InboxGroupsByTagThenSender) {
+  Engine engine(4, {});
+  std::vector<std::pair<std::uint32_t, NodeId>> order;
+  for (NodeId v = 1; v < 4; ++v) {
+    engine.set_process(v, lambda_process([](Context& ctx, const Inbox&) {
+                         if (ctx.round() == 0) {
+                           // Higher tag sent first: delivery must regroup.
+                           ctx.send(0, 9, 1);
+                           ctx.send(0, 2, 1);
+                         }
+                         ctx.halt();
+                       }));
+  }
+  engine.set_process(0, lambda_process([&order](Context& ctx, const Inbox& inbox) {
+                       for (const auto& m : inbox) order.emplace_back(m.tag, m.from);
+                       const auto low = inbox.with_tag(2);
+                       const auto high = inbox.with_tag(9);
+                       const auto none = inbox.with_tag(5);
+                       if (ctx.round() == 1) {
+                         EXPECT_EQ(low.size(), 3u);
+                         EXPECT_EQ(high.size(), 3u);
+                         EXPECT_TRUE(none.empty());
+                       }
+                       if (ctx.round() >= 1) ctx.halt();
+                     }));
+  engine.run();
+  const std::vector<std::pair<std::uint32_t, NodeId>> expected{
+      {2, 1}, {2, 2}, {2, 3}, {9, 1}, {9, 2}, {9, 3}};
+  EXPECT_EQ(order, expected);
+}
+
+// ---- sleep/wake ----------------------------------------------------------------
+
+TEST(BatchedEngine, SleepingNodeSkipsRounds) {
+  Engine engine(2, {});
+  std::vector<Round> activations;
+  engine.set_process(0, lambda_process([&activations](Context& ctx, const Inbox&) {
+                       activations.push_back(ctx.round());
+                       if (ctx.round() == 0) {
+                         ctx.sleep_until(5);
+                         return;
+                       }
+                       ctx.halt();
+                     }));
+  engine.set_process(1, lambda_process([](Context& ctx, const Inbox&) {
+                       if (ctx.round() >= 6) ctx.halt();
+                     }));
+  const Report report = engine.run();
+  EXPECT_EQ(activations, (std::vector<Round>{0, 5}));
+  EXPECT_TRUE(report.completed);
+}
+
+TEST(BatchedEngine, MessageWakesSleeperEarly) {
+  Engine engine(2, {});
+  std::vector<Round> activations;
+  engine.set_process(0, lambda_process([&activations](Context& ctx, const Inbox& inbox) {
+                       activations.push_back(ctx.round());
+                       if (ctx.round() == 0) {
+                         ctx.sleep_until(100);
+                         return;
+                       }
+                       EXPECT_EQ(inbox.size(), 1u);
+                       ctx.halt();
+                     }));
+  engine.set_process(1, lambda_process([](Context& ctx, const Inbox&) {
+                       if (ctx.round() == 2) ctx.send(0, 0, 1);
+                       if (ctx.round() >= 2) ctx.halt();
+                     }));
+  const Report report = engine.run();
+  // The message sent at round 2 is readable at round 3; the sleeper must be
+  // activated exactly then, not at its round-100 timer.
+  EXPECT_EQ(activations, (std::vector<Round>{0, 3}));
+  EXPECT_TRUE(report.completed);
+  EXPECT_LT(report.rounds, 100);
+}
+
+TEST(BatchedEngine, SleepingNodeCanBeCrashed) {
+  EngineConfig config;
+  config.crash_budget = 1;
+  Engine engine(2, config);
+  int activations = 0;
+  engine.set_process(0, lambda_process([&activations](Context& ctx, const Inbox&) {
+                       ++activations;
+                       ctx.sleep_until(50);
+                     }));
+  engine.set_process(1, lambda_process([](Context& ctx, const Inbox&) {
+                       if (ctx.round() >= 3) ctx.halt();
+                     }));
+  engine.set_adversary(make_scheduled({CrashEvent{2, 0, 0.0}}));
+  const Report report = engine.run();
+  EXPECT_EQ(activations, 1);
+  EXPECT_TRUE(report.nodes[0].crashed);
+  EXPECT_EQ(report.nodes[0].crash_round, 2);
+  // The engine must not wait for the dead sleeper's round-50 timer.
+  EXPECT_TRUE(report.completed);
+  EXPECT_LT(report.rounds, 50);
+}
+
+TEST(BatchedEngine, AllAsleepStillTicksAdversarySchedule) {
+  // Both nodes sleep through the adversary's crash round; the crash must
+  // still happen at its scheduled round.
+  EngineConfig config;
+  config.crash_budget = 1;
+  Engine engine(2, config);
+  for (NodeId v = 0; v < 2; ++v) {
+    engine.set_process(v, lambda_process([](Context& ctx, const Inbox&) {
+                         if (ctx.round() == 0) {
+                           ctx.sleep_until(10);
+                           return;
+                         }
+                         ctx.halt();
+                       }));
+  }
+  engine.set_adversary(make_scheduled({CrashEvent{4, 1, 0.0}}));
+  const Report report = engine.run();
+  EXPECT_TRUE(report.nodes[1].crashed);
+  EXPECT_EQ(report.nodes[1].crash_round, 4);
+  EXPECT_FALSE(report.nodes[0].crashed);
+  EXPECT_TRUE(report.completed);
+}
+
+}  // namespace
+}  // namespace lft::sim

@@ -10,6 +10,7 @@
 #include "common/rng.hpp"
 #include "core/extensions.hpp"
 #include "sim/adversary.hpp"
+#include "test_util.hpp"
 
 namespace lft::core {
 namespace {
@@ -84,8 +85,7 @@ INSTANTIATE_TEST_SUITE_P(
                       AggCase{200, 30, 110, "random"}, AggCase{64, 0, 32, "none"}),
     [](const auto& info) {
       const auto& c = info.param;
-      return "n" + std::to_string(c.n) + "t" + std::to_string(c.t) + "_ones" +
-             std::to_string(c.ones) + "_" + c.adversary;
+      return test::case_name("n", c.n, "t", c.t, "_ones", c.ones, "_", c.adversary);
     });
 
 TEST(MajorityConsensus, DeterministicAcrossRuns) {

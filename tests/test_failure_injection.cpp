@@ -16,6 +16,7 @@
 #include "graph/overlay.hpp"
 #include "core/stages.hpp"
 #include "sim/adversary.hpp"
+#include "test_util.hpp"
 
 namespace lft::core {
 namespace {
@@ -130,7 +131,7 @@ TEST_P(SeedSweep, GossipAcrossSeeds) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Range(1, 11),
-                         [](const auto& info) { return "seed" + std::to_string(info.param); });
+                         [](const auto& info) { return test::case_name("seed", info.param); });
 
 // ---- targeted isolation --------------------------------------------------------------
 

@@ -16,6 +16,7 @@
 #include "core/gossip.hpp"
 #include "core/growset.hpp"
 #include "sim/adversary.hpp"
+#include "test_util.hpp"
 
 namespace lft::core {
 namespace {
@@ -156,7 +157,7 @@ INSTANTIATE_TEST_SUITE_P(
                       GossipCase{300, 50, "burst0"}, GossipCase{64, 0, "none"}),
     [](const auto& info) {
       const auto& c = info.param;
-      return "n" + std::to_string(c.n) + "t" + std::to_string(c.t) + "_" + c.adversary;
+      return test::case_name("n", c.n, "t", c.t, "_", c.adversary);
     });
 
 TEST(Gossip, RoundsPolylog) {
@@ -235,7 +236,7 @@ INSTANTIATE_TEST_SUITE_P(
                       GossipCase{64, 0, "none"}),
     [](const auto& info) {
       const auto& c = info.param;
-      return "n" + std::to_string(c.n) + "t" + std::to_string(c.t) + "_" + c.adversary;
+      return test::case_name("n", c.n, "t", c.t, "_", c.adversary);
     });
 
 TEST(Checkpointing, RoundsLinearPlusPolylog) {

@@ -13,6 +13,7 @@
 #include "sim/adversary.hpp"
 #include "singleport/linear_consensus.hpp"
 #include "singleport/lower_bound.hpp"
+#include "test_util.hpp"
 
 namespace lft::singleport {
 namespace {
@@ -79,8 +80,7 @@ INSTANTIATE_TEST_SUITE_P(
                       LinearCase{400, 60, "random", "random"}),
     [](const auto& info) {
       const auto& c = info.param;
-      return "n" + std::to_string(c.n) + "t" + std::to_string(c.t) + "_" + c.pattern + "_" +
-             c.adversary;
+      return test::case_name("n", c.n, "t", c.t, "_", c.pattern, "_", c.adversary);
     });
 
 TEST(LinearConsensus, DeterministicAcrossRuns) {

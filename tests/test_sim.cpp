@@ -1,4 +1,4 @@
-// Tests for the multi-port synchronous engine: delivery semantics, halting,
+// Tests for the batched multi-port synchronous engine: delivery semantics, halting,
 // decisions, crash semantics (clean and partial), metrics accounting,
 // Byzantine accounting, and the adversary strategy constructors.
 #include <gtest/gtest.h>
@@ -10,38 +10,22 @@
 #include "graph/families.hpp"
 #include "sim/adversary.hpp"
 #include "sim/engine.hpp"
+#include "test_util.hpp"
 
 namespace lft::sim {
 namespace {
 
-/// Scriptable process: runs a user lambda each round.
-class LambdaProcess final : public Process {
- public:
-  using Fn = std::function<void(Context&, std::span<const Message>)>;
-  explicit LambdaProcess(Fn fn) : fn_(std::move(fn)) {}
-  void on_round(Context& ctx, std::span<const Message> inbox) override { fn_(ctx, inbox); }
-
- private:
-  Fn fn_;
-};
-
-std::unique_ptr<Process> lambda_process(LambdaProcess::Fn fn) {
-  return std::make_unique<LambdaProcess>(std::move(fn));
-}
-
-/// Does nothing and halts immediately.
-std::unique_ptr<Process> idle_process() {
-  return lambda_process([](Context& ctx, std::span<const Message>) { ctx.halt(); });
-}
+using test::idle_process;
+using test::lambda_process;
 
 TEST(Engine, MessageSentAtRoundRArrivesAtRPlusOne) {
   Engine engine(2, {});
   std::vector<Round> arrivals;
-  engine.set_process(0, lambda_process([](Context& ctx, std::span<const Message>) {
+  engine.set_process(0, lambda_process([](Context& ctx, const Inbox&) {
                        if (ctx.round() == 0) ctx.send(1, 7, 42);
                        if (ctx.round() >= 1) ctx.halt();
                      }));
-  engine.set_process(1, lambda_process([&](Context& ctx, std::span<const Message> inbox) {
+  engine.set_process(1, lambda_process([&](Context& ctx, const Inbox& inbox) {
                        for (const auto& m : inbox) {
                          arrivals.push_back(ctx.round());
                          EXPECT_EQ(m.from, 0);
@@ -61,12 +45,12 @@ TEST(Engine, InboxSortedBySender) {
   Engine engine(4, {});
   std::vector<NodeId> senders;
   for (NodeId v = 1; v < 4; ++v) {
-    engine.set_process(v, lambda_process([](Context& ctx, std::span<const Message>) {
+    engine.set_process(v, lambda_process([](Context& ctx, const Inbox&) {
                          if (ctx.round() == 0) ctx.send(0, 0, 0);
                          ctx.halt();
                        }));
   }
-  engine.set_process(0, lambda_process([&](Context& ctx, std::span<const Message> inbox) {
+  engine.set_process(0, lambda_process([&](Context& ctx, const Inbox& inbox) {
                        for (const auto& m : inbox) senders.push_back(m.from);
                        if (ctx.round() >= 1) ctx.halt();
                      }));
@@ -79,12 +63,12 @@ TEST(Engine, HaltedNodeStopsActingButFinalSendsDeliver) {
   Engine engine(2, {});
   int rounds_acted = 0;
   int received = 0;
-  engine.set_process(0, lambda_process([&](Context& ctx, std::span<const Message>) {
+  engine.set_process(0, lambda_process([&](Context& ctx, const Inbox&) {
                        ++rounds_acted;
                        ctx.send(1, 0, 1);
                        ctx.halt();  // halt in the same round as the send
                      }));
-  engine.set_process(1, lambda_process([&](Context& ctx, std::span<const Message> inbox) {
+  engine.set_process(1, lambda_process([&](Context& ctx, const Inbox& inbox) {
                        received += static_cast<int>(inbox.size());
                        if (ctx.round() >= 1) ctx.halt();
                      }));
@@ -95,10 +79,10 @@ TEST(Engine, HaltedNodeStopsActingButFinalSendsDeliver) {
 
 TEST(Engine, HaltedNodeDoesNotReceive) {
   Engine engine(2, {});
-  engine.set_process(0, lambda_process([](Context& ctx, std::span<const Message>) {
+  engine.set_process(0, lambda_process([](Context& ctx, const Inbox&) {
                        ctx.halt();  // halts at round 0
                      }));
-  engine.set_process(1, lambda_process([](Context& ctx, std::span<const Message>) {
+  engine.set_process(1, lambda_process([](Context& ctx, const Inbox&) {
                        if (ctx.round() == 1) ctx.send(0, 0, 1);
                        if (ctx.round() >= 1) ctx.halt();
                      }));
@@ -111,7 +95,7 @@ TEST(Engine, HaltedNodeDoesNotReceive) {
 
 TEST(Engine, DecisionIsRecordedAndIrrevocableSameValueOk) {
   Engine engine(1, {});
-  engine.set_process(0, lambda_process([](Context& ctx, std::span<const Message>) {
+  engine.set_process(0, lambda_process([](Context& ctx, const Inbox&) {
                        ctx.decide(5);
                        ctx.decide(5);  // same value: fine
                        EXPECT_TRUE(ctx.has_decided());
@@ -130,13 +114,13 @@ TEST(Engine, CleanCrashDropsAllSendsAndFutureActivity) {
   config.crash_budget = 1;
   Engine engine(3, config);
   int acted = 0;
-  engine.set_process(0, lambda_process([&](Context& ctx, std::span<const Message>) {
+  engine.set_process(0, lambda_process([&](Context& ctx, const Inbox&) {
                        ++acted;
                        ctx.send(1, 0, 1);
                        ctx.send(2, 0, 1);
                      }));
   for (NodeId v : {NodeId{1}, NodeId{2}}) {
-    engine.set_process(v, lambda_process([](Context& ctx, std::span<const Message> inbox) {
+    engine.set_process(v, lambda_process([](Context& ctx, const Inbox& inbox) {
                          EXPECT_TRUE(inbox.empty());
                          if (ctx.round() >= 2) ctx.halt();
                        }));
@@ -154,13 +138,13 @@ TEST(Engine, PartialCrashKeepsSelectedSends) {
   EngineConfig config;
   config.crash_budget = 1;
   Engine engine(3, config);
-  engine.set_process(0, lambda_process([](Context& ctx, std::span<const Message>) {
+  engine.set_process(0, lambda_process([](Context& ctx, const Inbox&) {
                        ctx.send(1, 0, 1);
                        ctx.send(2, 0, 1);
                      }));
   std::vector<NodeId> receivers;
   for (NodeId v : {NodeId{1}, NodeId{2}}) {
-    engine.set_process(v, lambda_process([&, v](Context& ctx, std::span<const Message> inbox) {
+    engine.set_process(v, lambda_process([&, v](Context& ctx, const Inbox& inbox) {
                          if (!inbox.empty()) receivers.push_back(v);
                          if (ctx.round() >= 1) ctx.halt();
                        }));
@@ -184,12 +168,12 @@ TEST(Engine, CrashedNodeDoesNotReceive) {
   EngineConfig config;
   config.crash_budget = 1;
   Engine engine(2, config);
-  engine.set_process(0, lambda_process([](Context& ctx, std::span<const Message>) {
+  engine.set_process(0, lambda_process([](Context& ctx, const Inbox&) {
                        if (ctx.round() == 0) ctx.send(1, 0, 1);
                        if (ctx.round() >= 1) ctx.halt();
                      }));
   int received = 0;
-  engine.set_process(1, lambda_process([&](Context&, std::span<const Message> inbox) {
+  engine.set_process(1, lambda_process([&](Context&, const Inbox& inbox) {
                        received += static_cast<int>(inbox.size());
                      }));
   // Node 1 crashes in round 0, before delivery of node 0's round-0 send.
@@ -201,7 +185,7 @@ TEST(Engine, CrashedNodeDoesNotReceive) {
 
 TEST(Engine, MetricsCountMessagesAndBits) {
   Engine engine(2, {});
-  engine.set_process(0, lambda_process([](Context& ctx, std::span<const Message>) {
+  engine.set_process(0, lambda_process([](Context& ctx, const Inbox&) {
                        ctx.send(1, 0, 1, 1);
                        ctx.send(1, 0, 2, 10);
                        ctx.halt();
@@ -216,12 +200,12 @@ TEST(Engine, MetricsCountMessagesAndBits) {
 TEST(Engine, ByzantineAccountingSeparatesHonestTraffic) {
   Engine engine(3, {});
   engine.mark_byzantine(2);
-  engine.set_process(0, lambda_process([](Context& ctx, std::span<const Message>) {
+  engine.set_process(0, lambda_process([](Context& ctx, const Inbox&) {
                        ctx.send(1, 0, 0, 4);
                        ctx.halt();
                      }));
   engine.set_process(1, idle_process());
-  engine.set_process(2, lambda_process([](Context& ctx, std::span<const Message>) {
+  engine.set_process(2, lambda_process([](Context& ctx, const Inbox&) {
                        for (int i = 0; i < 10; ++i) ctx.send(1, 0, 0, 100);
                        ctx.halt();
                      }));
@@ -236,7 +220,7 @@ TEST(Engine, MaxRoundsCapReportsIncomplete) {
   EngineConfig config;
   config.max_rounds = 5;
   Engine engine(1, config);
-  engine.set_process(0, lambda_process([](Context&, std::span<const Message>) {
+  engine.set_process(0, lambda_process([](Context&, const Inbox&) {
                        // never halts
                      }));
   const Report report = engine.run();
@@ -246,11 +230,11 @@ TEST(Engine, MaxRoundsCapReportsIncomplete) {
 
 TEST(Engine, AgreementHelperDetectsDisagreement) {
   Engine engine(2, {});
-  engine.set_process(0, lambda_process([](Context& ctx, std::span<const Message>) {
+  engine.set_process(0, lambda_process([](Context& ctx, const Inbox&) {
                        ctx.decide(0);
                        ctx.halt();
                      }));
-  engine.set_process(1, lambda_process([](Context& ctx, std::span<const Message>) {
+  engine.set_process(1, lambda_process([](Context& ctx, const Inbox&) {
                        ctx.decide(1);
                        ctx.halt();
                      }));
@@ -297,7 +281,7 @@ TEST(Adversary, BudgetOverdraftAborts) {
   config.crash_budget = 1;
   Engine engine(3, config);
   for (NodeId v = 0; v < 3; ++v) {
-    engine.set_process(v, lambda_process([](Context& ctx, std::span<const Message>) {
+    engine.set_process(v, lambda_process([](Context& ctx, const Inbox&) {
                          if (ctx.round() >= 3) ctx.halt();
                        }));
   }
@@ -312,7 +296,7 @@ TEST(Adversary, CrashingHaltedNodeIsFreeNoOp) {
   config.crash_budget = 1;
   Engine engine(2, config);
   engine.set_process(0, idle_process());  // halts at round 0
-  engine.set_process(1, lambda_process([](Context& ctx, std::span<const Message>) {
+  engine.set_process(1, lambda_process([](Context& ctx, const Inbox&) {
                        if (ctx.round() >= 2) ctx.halt();
                      }));
   // Round 1: try to crash the halted node 0 and then node 1; only node 1's
@@ -329,15 +313,15 @@ TEST(Adversary, ProbeDisruptorCrashesBusiestSender) {
   config.crash_budget = 1;
   Engine engine(3, config);
   // Node 0 sends 2 messages, node 1 sends 1; disruptor should kill node 0.
-  engine.set_process(0, lambda_process([](Context& ctx, std::span<const Message>) {
+  engine.set_process(0, lambda_process([](Context& ctx, const Inbox&) {
                        ctx.send(1, 0, 0);
                        ctx.send(2, 0, 0);
                      }));
-  engine.set_process(1, lambda_process([](Context& ctx, std::span<const Message>) {
+  engine.set_process(1, lambda_process([](Context& ctx, const Inbox&) {
                        if (ctx.round() == 0) ctx.send(2, 0, 0);
                        if (ctx.round() >= 1) ctx.halt();
                      }));
-  engine.set_process(2, lambda_process([](Context& ctx, std::span<const Message>) {
+  engine.set_process(2, lambda_process([](Context& ctx, const Inbox&) {
                        if (ctx.round() >= 1) ctx.halt();
                      }));
   engine.set_adversary(std::make_unique<ProbeDisruptorAdversary>(1, 1));

@@ -314,7 +314,7 @@ TEST(SpreadFloodStage, ForwardsOnlyOnce) {
 
 TEST(InquiryPhasesStage, UndecidedAdoptFromDecidedNeighbors) {
   const NodeId n = 40;
-  std::vector<std::shared_ptr<const graph::Graph>> graphs{
+  std::vector<graph::PhaseGraph> graphs{
       std::make_shared<const graph::Graph>(graph::complete_graph(n))};
   sim::Engine engine(n, {});
   std::vector<StageProcess*> procs;
@@ -337,7 +337,7 @@ TEST(InquiryPhasesStage, UndecidedAdoptFromDecidedNeighbors) {
 
 TEST(InquiryPhasesStage, NobodyDecidedMeansNoReplies) {
   const NodeId n = 10;
-  std::vector<std::shared_ptr<const graph::Graph>> graphs{
+  std::vector<graph::PhaseGraph> graphs{
       std::make_shared<const graph::Graph>(graph::complete_graph(n))};
   sim::Engine engine(n, {});
   for (NodeId v = 0; v < n; ++v) {

@@ -1,0 +1,58 @@
+// Shared helpers for the test suite. `case_name` builds parameterized test
+// names by appending pieces with += — gcc 12 at -O3 flags the equivalent
+// std::string operator+ chains with a spurious -Wrestrict (GCC PR105329),
+// which -Werror turns fatal. `LambdaProcess` scripts an engine node with a
+// per-round lambda.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace lft::test {
+
+/// Scriptable multi-port process: runs a user lambda each round.
+class LambdaProcess final : public sim::Process {
+ public:
+  using Fn = std::function<void(sim::Context&, const sim::Inbox&)>;
+  explicit LambdaProcess(Fn fn) : fn_(std::move(fn)) {}
+  void on_round(sim::Context& ctx, const sim::Inbox& inbox) override { fn_(ctx, inbox); }
+
+ private:
+  Fn fn_;
+};
+
+inline std::unique_ptr<sim::Process> lambda_process(LambdaProcess::Fn fn) {
+  return std::make_unique<LambdaProcess>(std::move(fn));
+}
+
+/// Does nothing and halts immediately.
+inline std::unique_ptr<sim::Process> idle_process() {
+  return lambda_process([](sim::Context& ctx, const sim::Inbox&) { ctx.halt(); });
+}
+
+namespace detail {
+
+inline void append_piece(std::string& out, const std::string& s) { out += s; }
+inline void append_piece(std::string& out, const char* s) { out += s; }
+
+template <class T, class = std::enable_if_t<std::is_integral_v<T>>>
+void append_piece(std::string& out, T v) {
+  out += std::to_string(v);
+}
+
+}  // namespace detail
+
+/// Concatenates strings, C strings, and integers into one test-case name.
+template <class... Parts>
+[[nodiscard]] std::string case_name(Parts&&... parts) {
+  std::string out;
+  (detail::append_piece(out, std::forward<Parts>(parts)), ...);
+  return out;
+}
+
+}  // namespace lft::test
