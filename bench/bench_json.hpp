@@ -1,0 +1,138 @@
+// Machine-readable bench output: each table row the bench prints is also
+// recorded as a flat JSON object, and `--json=PATH` (parsed before
+// google-benchmark sees argv) writes the rows as a JSON array so CI can
+// archive the perf trajectory (BENCH_*.json artifacts). No dependencies —
+// values are integers, doubles, or plain strings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lft::bench {
+
+/// Collects rows of key/value fields and serializes them as a JSON array of
+/// flat objects.
+class JsonRows {
+ public:
+  void begin_row() { rows_.emplace_back(); }
+  void field(const std::string& key, std::int64_t v) { rows_.back().emplace_back(key, v); }
+  void field(const std::string& key, double v) { rows_.back().emplace_back(key, v); }
+  void field(const std::string& key, const std::string& v) {
+    rows_.back().emplace_back(key, v);
+  }
+
+  /// Writes the collected rows to `path`; returns false on IO failure.
+  [[nodiscard]] bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "[\n");
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "  {");
+      for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+        const auto& [key, value] = rows_[r][i];
+        std::fprintf(f, "%s\"%s\": ", i == 0 ? "" : ", ", escaped(key).c_str());
+        if (std::holds_alternative<std::int64_t>(value)) {
+          std::fprintf(f, "%lld", static_cast<long long>(std::get<std::int64_t>(value)));
+        } else if (std::holds_alternative<double>(value)) {
+          std::fprintf(f, "%.6g", std::get<double>(value));
+        } else {
+          std::fprintf(f, "\"%s\"", escaped(std::get<std::string>(value)).c_str());
+        }
+      }
+      std::fprintf(f, "}%s\n", r + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  using Value = std::variant<std::int64_t, double, std::string>;
+  std::vector<std::vector<std::pair<std::string, Value>>> rows_;
+};
+
+/// Returns the PATH of a `--json=PATH` argument, or "" if absent. Leaves
+/// argv untouched (google-benchmark ignores flags it does not recognize
+/// when ReportUnrecognizedArguments is not called).
+inline std::string json_flag(int argc, char** argv) {
+  const std::string prefix = "--json=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return {};
+}
+
+/// Appends one table1-style row: any leading label fields, then the common
+/// (n, t, rounds, messages, bits, wall_ms, ok) columns every BENCH_*.json
+/// artifact shares — keeping the four table benches' schemas from
+/// diverging. No-op when json is null (no --json flag).
+inline void record_table_row(JsonRows* json,
+                             std::initializer_list<std::pair<const char*, const char*>> labels,
+                             NodeId n, std::int64_t t, std::int64_t rounds,
+                             std::int64_t messages, std::int64_t bits, double wall_ms,
+                             bool ok) {
+  if (json == nullptr) return;
+  json->begin_row();
+  for (const auto& [key, value] : labels) json->field(key, std::string(value));
+  json->field("n", static_cast<std::int64_t>(n));
+  json->field("t", t);
+  json->field("rounds", rounds);
+  json->field("messages", messages);
+  json->field("bits", bits);
+  json->field("wall_ms", wall_ms);
+  json->field("ok", std::string(ok ? "yes" : "NO"));
+}
+
+/// Shared main body for the table benches: parses `--json=PATH`, runs
+/// `print` (with a JsonRows sink or nullptr), writes the file, then hands
+/// the remaining argv to google-benchmark. Returns the process exit code.
+template <class PrintFn>
+int table_main(int argc, char** argv, PrintFn&& print) {
+  const std::string json_path = json_flag(argc, argv);
+  JsonRows rows;
+  JsonRows* json = json_path.empty() ? nullptr : &rows;
+  print(json);
+  if (json != nullptr && !rows.write_file(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}
+
+/// Wall-clock stopwatch for per-row timings.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace lft::bench

@@ -1,0 +1,86 @@
+// Microbenchmarks for the engine's message plane: raw send/deliver
+// throughput with and without payload bodies, at batch sizes m spanning
+// 10^5..10^7 messages. This isolates the per-message constant factor the
+// paper's O(n) communication bounds make the whole ballgame — protocol logic
+// is a trivial fan-out so the measured time is arena append + crash filter +
+// delivery sweep into (receiver, tag) normal form.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace lft;
+using namespace lft::sim;
+
+constexpr NodeId kNodes = 1024;
+constexpr Round kRounds = 4;
+
+/// Every node sends `fan` messages per round to a fixed pseudo-random set of
+/// receivers, cycling through 7 tags, then halts after kRounds.
+class FanoutProcess final : public Process {
+ public:
+  FanoutProcess(NodeId self, int fan, std::size_t body_bytes)
+      : self_(self), fan_(fan), body_(body_bytes, std::byte{0x5A}) {}
+
+  void on_round(Context& ctx, const Inbox& inbox) override {
+    benchmark::DoNotOptimize(inbox.size());
+    if (ctx.round() >= kRounds) {
+      ctx.halt();
+      return;
+    }
+    for (int i = 0; i < fan_; ++i) {
+      const auto to = static_cast<NodeId>(
+          (static_cast<std::int64_t>(self_) * 31 + i * 17 + ctx.round()) % kNodes);
+      const auto tag = static_cast<std::uint32_t>(i % 7);
+      if (body_.empty()) {
+        ctx.send(to, tag, static_cast<std::uint64_t>(i));
+      } else {
+        ctx.send(to, tag, static_cast<std::uint64_t>(i), 1 + body_.size() * 8, body_);
+      }
+    }
+  }
+
+ private:
+  NodeId self_;
+  int fan_;
+  std::vector<std::byte> body_;
+};
+
+void run_fanout(benchmark::State& state, std::size_t body_bytes) {
+  const auto messages = static_cast<std::int64_t>(state.range(0));
+  const int fan = static_cast<int>(messages / kNodes);
+  std::int64_t delivered = 0;
+  for (auto _ : state) {
+    Engine engine(kNodes, {});
+    for (NodeId v = 0; v < kNodes; ++v) {
+      engine.set_process(v, std::make_unique<FanoutProcess>(v, fan, body_bytes));
+    }
+    const Report report = engine.run();
+    delivered = report.metrics.messages_total;
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * delivered);
+  state.counters["msgs_per_round"] = static_cast<double>(fan) * kNodes;
+}
+
+void BM_SendDeliver(benchmark::State& state) { run_fanout(state, 0); }
+BENCHMARK(BM_SendDeliver)
+    ->Arg(100'000)
+    ->Arg(1'000'000)
+    ->Arg(10'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SendDeliverBody(benchmark::State& state) { run_fanout(state, 32); }
+BENCHMARK(BM_SendDeliverBody)
+    ->Arg(100'000)
+    ->Arg(1'000'000)
+    ->Arg(10'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

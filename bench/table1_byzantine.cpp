@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "baselines/baselines.hpp"
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "byzantine/ab_consensus.hpp"
 
@@ -37,7 +38,12 @@ std::vector<std::pair<NodeId, std::string>> byz_mix(NodeId little, std::int64_t 
   return byz;
 }
 
-void print_table() {
+void record_row(JsonRows* json, const char* algo, NodeId n, std::int64_t t, Round rounds,
+                std::int64_t honest_msgs, std::int64_t bits, double wall_ms, bool ok) {
+  record_table_row(json, {{"algo", algo}}, n, t, rounds, honest_msgs, bits, wall_ms, ok);
+}
+
+void print_table(JsonRows* json) {
   banner("E-T1-R3: Table 1 row 6 (authenticated Byzantine consensus)",
          "claim: O(t) rounds, O(t^2 + n) honest messages for t = O(sqrt(n))");
   Table table({"algo", "n", "t", "rounds", "honest_msgs", "msgs/(t^2+n)", "agree"});
@@ -47,7 +53,11 @@ void print_table() {
     const auto params = byzantine::AbParams::practical(n, t);
     const auto inputs = binary_inputs(n);
     const auto byz = byz_mix(params.little_count, t);
+    const WallTimer timer;
     const auto outcome = byzantine::run_ab_consensus(params, inputs, byz);
+    record_row(json, "ab_consensus", n, t, outcome.report.rounds,
+               outcome.report.metrics.messages_honest, outcome.report.metrics.bits_honest,
+               timer.ms(), outcome.agreement && outcome.termination);
     const double shape = static_cast<double>(t * t + n);
     table.cell(std::string("AB-Consensus"));
     table.cell(static_cast<std::int64_t>(n));
@@ -60,7 +70,11 @@ void print_table() {
   }
   for (NodeId n : {64, 128, 256}) {
     const auto t = static_cast<std::int64_t>(std::sqrt(static_cast<double>(n)) / 2);
+    const WallTimer timer;
     const auto outcome = baselines::run_full_dolev_strong(n, t, binary_inputs(n), {});
+    record_row(json, "full_dolev_strong", n, t, outcome.report.rounds,
+               outcome.report.metrics.messages_honest, outcome.report.metrics.bits_honest,
+               timer.ms(), outcome.agreement && outcome.termination);
     const double shape = static_cast<double>(t * t + n);
     table.cell(std::string("full-DS [24]"));
     table.cell(static_cast<std::int64_t>(n));
@@ -94,8 +108,6 @@ BENCHMARK(BM_AbConsensus)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return lft::bench::table_main(argc, argv, [](lft::bench::JsonRows* json) { print_table(json); });
 }
+

@@ -2,8 +2,13 @@
 // Inside the range, rounds/t and bits/n must stay flat (linear time AND
 // linear communication); at t = n/5 (outside the range) bits/n grows with
 // the log factor, reproducing why the paper's optimality range stops there.
+//
+// `--json=PATH` additionally writes every table row (n, t, regime, rounds,
+// messages, bits, wall_ms, ok) as a JSON array — CI archives it as
+// BENCH_table1_consensus.json so the perf trajectory is machine-readable.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "common/math.hpp"
 #include "core/consensus.hpp"
@@ -13,7 +18,14 @@ namespace {
 using namespace lft;
 using namespace lft::bench;
 
-void print_table() {
+void record_row(JsonRows* json, const char* sweep, NodeId n, std::int64_t t,
+                const char* regime, const core::ConsensusOutcome& outcome, double wall_ms) {
+  record_table_row(json, {{"sweep", sweep}, {"regime", regime}}, n, t,
+                   outcome.report.rounds, outcome.report.metrics.messages_total,
+                   outcome.report.metrics.bits_total, wall_ms, outcome.all_good());
+}
+
+void print_table(JsonRows* json) {
   banner("E-T1-R1: Table 1 row 2 (crash consensus)",
          "claim: deterministic consensus with O(t) rounds and O(n) bits for t = O(n/log n)");
   Table table({"n", "t", "regime", "rounds", "rounds/t", "bits", "bits/n", "ok"});
@@ -25,8 +37,10 @@ void print_table() {
                                  : (n / 5 - 1);
       const auto params = core::ConsensusParams::practical(n, t);
       const auto inputs = random_binary_inputs(n, 17);
+      const WallTimer timer;
       const auto outcome = core::run_few_crashes_consensus(
           params, inputs, random_crashes(n, t, 5 * t + 10, 23));
+      record_row(json, "table1", n, t, regime, outcome, timer.ms());
       table.cell(static_cast<std::int64_t>(n));
       table.cell(t);
       table.cell(std::string(regime));
@@ -46,7 +60,7 @@ void print_table() {
 
 // Large-n crash-failure sweep in the optimal regime; exercises the batched
 // event-driven engine and the implicit inquiry overlays at production scale.
-void print_big_sweep() {
+void print_big_sweep(JsonRows* json) {
   banner("E-T1-R1b: large-n crash sweep (t = n/(5 lg n))",
          "claim: the engine sustains n = 100000 node executions in seconds");
   Table table({"n", "t", "rounds", "msgs", "bits/n", "ok"});
@@ -55,8 +69,10 @@ void print_big_sweep() {
     const std::int64_t t = n / (5 * ceil_log2(static_cast<std::uint64_t>(n)));
     const auto params = core::ConsensusParams::practical(n, t);
     const auto inputs = random_binary_inputs(n, 17);
+    const WallTimer timer;
     const auto outcome = core::run_few_crashes_consensus(
         params, inputs, random_crashes(n, t, 5 * t + 10, 23));
+    record_row(json, "big_sweep", n, t, "n/lg n", outcome, timer.ms());
     table.cell(static_cast<std::int64_t>(n));
     table.cell(t);
     table.cell(outcome.report.rounds);
@@ -89,9 +105,9 @@ BENCHMARK(BM_FewCrashesConsensus)->Arg(512)->Arg(1024)->Arg(2048)->Unit(benchmar
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
-  print_big_sweep();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return lft::bench::table_main(argc, argv, [](lft::bench::JsonRows* json) {
+    print_table(json);
+    print_big_sweep(json);
+  });
 }
+

@@ -4,6 +4,7 @@
 // over, showing the boundary.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "common/math.hpp"
 #include "core/checkpointing.hpp"
@@ -20,7 +21,15 @@ std::vector<std::uint64_t> rumors(NodeId n) {
   return out;
 }
 
-void print_table() {
+template <class Outcome>
+void record_row(JsonRows* json, const char* problem, NodeId n, std::int64_t t,
+                const char* regime, const Outcome& outcome, double wall_ms) {
+  record_table_row(json, {{"problem", problem}, {"regime", regime}}, n, t,
+                   outcome.report.rounds, outcome.report.metrics.messages_total,
+                   outcome.report.metrics.bits_total, wall_ms, outcome.all_good());
+}
+
+void print_table(JsonRows* json) {
   banner("E-T1-R2: Table 1 row 4 (crash gossip / checkpointing)",
          "claim: O(t) time and O(n) messages for t = O(n/log^2 n)");
   Table table({"problem", "n", "t", "regime", "rounds", "messages", "msgs/n", "ok"});
@@ -33,8 +42,10 @@ void print_table() {
                                  : n / 6;
       {
         const auto params = core::GossipParams::practical(n, t);
+        const WallTimer timer;
         const auto outcome =
             core::run_gossip(params, rumors(n), random_crashes(n, t, 4 * t + 20, 31));
+        record_row(json, "gossip", n, t, regime, outcome, timer.ms());
         table.cell(std::string("gossip"));
         table.cell(static_cast<std::int64_t>(n));
         table.cell(t);
@@ -48,8 +59,10 @@ void print_table() {
       }
       {
         const auto params = core::CheckpointParams::practical(n, t);
+        const WallTimer timer;
         const auto outcome =
             core::run_checkpointing(params, random_crashes(n, t, 4 * t + 20, 37));
+        record_row(json, "checkpoint", n, t, regime, outcome, timer.ms());
         table.cell(std::string("checkpoint"));
         table.cell(static_cast<std::int64_t>(n));
         table.cell(t);
@@ -100,8 +113,6 @@ BENCHMARK(BM_Checkpointing)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return lft::bench::table_main(argc, argv, [](lft::bench::JsonRows* json) { print_table(json); });
 }
+

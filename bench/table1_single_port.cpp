@@ -4,6 +4,7 @@
 // term necessary).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "common/math.hpp"
 #include "singleport/linear_consensus.hpp"
@@ -13,7 +14,7 @@ namespace {
 using namespace lft;
 using namespace lft::bench;
 
-void print_table() {
+void print_table(JsonRows* json) {
   banner("E-T1-R4: Table 1 single-port column",
          "claim: single-port consensus in O(t + log n) rounds with O(n + t log n) bits");
   Table table({"n", "t", "sp_rounds", "r/(t+lgn)", "bits", "bits/n", "ok"});
@@ -25,7 +26,11 @@ void print_table() {
     auto adversary = t == 0 ? nullptr
                             : std::make_unique<singleport::ScheduledSpAdversary>(
                                   sim::random_crash_schedule(n, t, 0, 40 * t, 0.0, 43));
+    const WallTimer timer;
     const auto outcome = singleport::run_linear_consensus(params, inputs, std::move(adversary));
+    record_table_row(json, {}, n, t, outcome.report.rounds,
+                     outcome.report.metrics.messages_total,
+                     outcome.report.metrics.bits_total, timer.ms(), outcome.all_good());
     const double shape =
         static_cast<double>(t) + ceil_log2(static_cast<std::uint64_t>(n));
     table.cell(static_cast<std::int64_t>(n));
@@ -58,8 +63,6 @@ BENCHMARK(BM_LinearConsensus)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return lft::bench::table_main(argc, argv, [](lft::bench::JsonRows* json) { print_table(json); });
 }
+

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the engine hot path.
+
+Compares a google-benchmark JSON output file (--benchmark_out) against the
+checked-in baseline (bench/hotpath_baseline.json) and fails when any
+benchmark's items_per_second drops more than 2x below its baseline value.
+Benchmarks present in only one of the two files are reported but ignored, so
+the gate keeps working while the bench suite grows.
+
+Usage: check_hotpath_regression.py RESULTS_JSON BASELINE_JSON [--factor 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", help="google-benchmark --benchmark_out JSON")
+    parser.add_argument("baseline", help="baseline JSON (name -> items_per_second)")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="fail when measured < baseline / factor (default 2)")
+    args = parser.parse_args()
+
+    with open(args.results, encoding="utf-8") as f:
+        results = json.load(f)
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    measured = {}
+    for bench in results.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+        if bench.get("run_type") == "aggregate":
+            continue
+        ips = bench.get("items_per_second")
+        if ips is not None:
+            measured[bench["name"]] = ips
+
+    failures = []
+    checked = 0
+    for name, floor_source in sorted(baseline.items()):
+        if name.startswith("_"):
+            continue  # comment keys
+        if name not in measured:
+            print(f"note: baseline entry {name!r} not in results, skipped")
+            continue
+        checked += 1
+        floor = floor_source / args.factor
+        got = measured[name]
+        ratio = got / floor_source
+        status = "OK " if got >= floor else "FAIL"
+        print(f"{status} {name}: {got:,.0f} items/s "
+              f"(baseline {floor_source:,.0f}, ratio {ratio:.2f}, floor {floor:,.0f})")
+        if got < floor:
+            failures.append(name)
+
+    if checked == 0:
+        print("error: no baseline benchmarks matched the results", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"perf regression: {', '.join(failures)} dropped >"
+              f"{args.factor:.1f}x below baseline", file=sys.stderr)
+        return 1
+    print(f"perf gate passed ({checked} benchmarks within {args.factor:.1f}x of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

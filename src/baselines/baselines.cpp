@@ -122,7 +122,7 @@ class NaiveCheckpointProcess final : public sim::Process {
     for (const auto& m : inbox) {
       if (m.tag == kTagPresence) members_.set(static_cast<std::size_t>(m.from));
       if (m.tag == kTagMemberSet) {
-        ByteReader reader(m.body);
+        ByteReader reader(m.body());
         if (auto set = reader.get_bitset(static_cast<std::size_t>(n_))) {
           members_ = std::move(*set);
         }
@@ -142,7 +142,7 @@ class NaiveCheckpointProcess final : public sim::Process {
         w.put_bitset(members_);
         for (NodeId v = 0; v < n_; ++v) {
           if (v != ctx.self()) {
-            ctx.send(v, kTagMemberSet, 0, static_cast<std::uint64_t>(n_), w.bytes());
+            ctx.send(v, kTagMemberSet, 0, static_cast<std::uint64_t>(n_), w.view());
           }
         }
       }
@@ -175,7 +175,7 @@ class DsFullProcess final : public sim::Process {
 
   void on_round(sim::Context& ctx, const sim::Inbox& inbox) override {
     if (ctx.round() < ds_.duration()) {
-      auto combined = ds_.step(ctx.round(), inbox.all());
+      const auto combined = ds_.step(ctx.round(), inbox.all());
       if (!combined.empty()) {
         const std::uint64_t bits = std::max<std::uint64_t>(1, combined.size() * 8);
         for (NodeId v = 0; v < n_; ++v) {

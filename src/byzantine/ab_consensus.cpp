@@ -71,7 +71,7 @@ bool AbConsensusProcess::is_little() const noexcept {
 
 void AbConsensusProcess::adopt(const sim::Message& m, sim::Context& ctx, bool forward) {
   if (certified_.has_value()) return;
-  ByteReader reader(m.body);
+  ByteReader reader(m.body());
   auto set = CertifiedSet::decode(reader, cfg_->params.little_count);
   if (!set ||
       !set->valid(*cfg_->registry, cfg_->params.little_count, cfg_->params.cert_threshold)) {
@@ -88,7 +88,7 @@ void AbConsensusProcess::forward_certified(sim::Context& ctx) {
   ByteWriter w;
   certified_->encode(w);
   for (NodeId nb : cfg_->spread_h->neighbors(self_)) {
-    ctx.send(nb, kTagAbSpread, 0, std::max<std::uint64_t>(1, w.size() * 8), w.bytes());
+    ctx.send(nb, kTagAbSpread, 0, std::max<std::uint64_t>(1, w.size() * 8), w.view());
   }
 }
 
@@ -130,7 +130,7 @@ void AbConsensusProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
       w.put_varint(static_cast<std::uint64_t>(sig.signer));
       w.put_u64(sig.tag);
       for (NodeId v = 0; v < p.little_count; ++v) {
-        if (v != self_) ctx.send(v, kTagAbCert, 0, 128, w.bytes());
+        if (v != self_) ctx.send(v, kTagAbCert, 0, 128, w.view());
       }
     }
     return;
@@ -141,7 +141,7 @@ void AbConsensusProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
       const crypto::Digest digest = acs_->digest();
       for (const auto& m : inbox) {
         if (m.tag != kTagAbCert) continue;
-        ByteReader reader(m.body);
+        ByteReader reader(m.body());
         const auto signer = reader.get_varint();
         const auto tag = reader.get_u64();
         if (!signer || !tag) continue;
@@ -167,7 +167,7 @@ void AbConsensusProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
       ByteWriter w;
       certified_->encode(w);
       for (NodeId j = self_ + p.little_count; j < p.n; j += p.little_count) {
-        ctx.send(j, kTagAbNotify, 0, std::max<std::uint64_t>(1, w.size() * 8), w.bytes());
+        ctx.send(j, kTagAbNotify, 0, std::max<std::uint64_t>(1, w.size() * 8), w.view());
       }
     }
     return;
@@ -195,7 +195,7 @@ void AbConsensusProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
       w.put_varint(static_cast<std::uint64_t>(sig.signer));
       w.put_u64(sig.tag);
       for (NodeId v = 0; v < p.little_count; ++v) {
-        if (v != self_) ctx.send(v, kTagAbInquiry, 0, 128, w.bytes());
+        if (v != self_) ctx.send(v, kTagAbInquiry, 0, 128, w.view());
       }
     }
     return;
@@ -207,7 +207,7 @@ void AbConsensusProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
       certified_->encode(set_bytes);
       for (const auto& m : inbox) {
         if (m.tag != kTagAbInquiry) continue;
-        ByteReader reader(m.body);
+        ByteReader reader(m.body());
         const auto signer = reader.get_varint();
         const auto tag = reader.get_u64();
         if (!signer || !tag) continue;
@@ -217,7 +217,7 @@ void AbConsensusProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
           continue;
         }
         ctx.send(m.from, kTagAbReply, 0,
-                 std::max<std::uint64_t>(1, set_bytes.size() * 8), set_bytes.bytes());
+                 std::max<std::uint64_t>(1, set_bytes.size() * 8), set_bytes.view());
       }
     }
     return;
@@ -265,7 +265,7 @@ class EquivocatorByz final : public sim::Process {
         writer.put_varint(1);
         relay.encode(writer);
         ctx.send(w, kTagDsRelay, 0, std::max<std::uint64_t>(1, writer.size() * 8),
-                 writer.bytes());
+                 writer.view());
       }
     }
     if (ctx.round() > cfg_->duration()) ctx.halt();
@@ -302,7 +302,7 @@ class FloodByz final : public sim::Process {
           std::vector<std::byte> junk(rng_.uniform(40) + 1);
           for (auto& b : junk) b = static_cast<std::byte>(rng_.next());
           const std::uint64_t junk_bits = junk.size() * 8;
-          ctx.send(target, kTagDsRelay, 0, junk_bits, std::move(junk));
+          ctx.send(target, kTagDsRelay, 0, junk_bits, junk);
           break;
         }
         case 1: {  // forged chain: random tags claiming other signers
@@ -319,7 +319,7 @@ class FloodByz final : public sim::Process {
           ByteWriter w;
           w.put_varint(1);
           relay.encode(w);
-          ctx.send(target, kTagDsRelay, 0, w.size() * 8, w.bytes());
+          ctx.send(target, kTagDsRelay, 0, w.size() * 8, w.view());
           break;
         }
         default: {  // fake certified set with a bogus quorum
@@ -331,7 +331,7 @@ class FloodByz final : public sim::Process {
           }
           ByteWriter w;
           set.encode(w);
-          ctx.send(target, kTagAbSpread, 0, w.size() * 8, w.bytes());
+          ctx.send(target, kTagAbSpread, 0, w.size() * 8, w.view());
           break;
         }
       }

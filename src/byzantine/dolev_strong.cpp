@@ -34,7 +34,7 @@ void DsNode::accept_and_maybe_relay(const SignedRelay& relay, Round k) {
   pending_.push_back(std::move(out));
 }
 
-std::vector<std::byte> DsNode::step(Round k, std::span<const sim::Message> inbox) {
+sim::PayloadView DsNode::step(Round k, std::span<const sim::Message> inbox) {
   LFT_ASSERT(k >= 0 && k < duration());
   if (k == 0 && own_value_.has_value()) {
     SignedRelay relay;
@@ -47,7 +47,7 @@ std::vector<std::byte> DsNode::step(Round k, std::span<const sim::Message> inbox
 
   for (const auto& m : inbox) {
     if (m.tag != core::kTagDsRelay) continue;
-    ByteReader reader(m.body);
+    ByteReader reader(m.body());
     const auto count = reader.get_varint();
     if (!count || *count > static_cast<std::uint64_t>(2 * little_count_)) continue;
     for (std::uint64_t i = 0; i < *count; ++i) {
@@ -62,15 +62,14 @@ std::vector<std::byte> DsNode::step(Round k, std::span<const sim::Message> inbox
     }
   }
 
-  std::vector<std::byte> combined;
+  out_buf_.clear();
   if (!pending_.empty()) {
-    ByteWriter w;
+    ByteWriter w(out_buf_);
     w.put_varint(pending_.size());
     for (const auto& relay : pending_) relay.encode(w);
     pending_.clear();
-    combined = w.take();
   }
-  return combined;
+  return sim::PayloadView(out_buf_.data(), out_buf_.size());
 }
 
 ValueSet DsNode::result() const {

@@ -32,8 +32,10 @@ class DsNode {
 
   /// Processes DS round k: validates arrived relays (kTagDsRelay bodies),
   /// accepts values per the chain-length rule, and returns the serialized
-  /// combined relays to broadcast to every little node (empty if none).
-  [[nodiscard]] std::vector<std::byte> step(Round k, std::span<const sim::Message> inbox);
+  /// combined relays to broadcast to every little node (empty if none). The
+  /// view references a buffer owned by this node, valid until the next
+  /// step() call — senders copy it out immediately.
+  [[nodiscard]] sim::PayloadView step(Round k, std::span<const sim::Message> inbox);
 
   /// After `duration()` rounds: the per-origin outcome (unique accepted
   /// value, or null on silence/equivocation).
@@ -49,6 +51,7 @@ class DsNode {
   std::optional<std::uint64_t> own_value_;
   std::vector<std::vector<std::uint64_t>> accepted_;  // per origin, capped at 2
   std::vector<SignedRelay> pending_;
+  std::vector<std::byte> out_buf_;  // combined-relay build buffer, reused per step
 };
 
 }  // namespace lft::byzantine

@@ -2,7 +2,7 @@
 
 namespace lft {
 
-void ByteWriter::put_u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+void ByteWriter::put_u8(std::uint8_t v) { buf_->push_back(static_cast<std::byte>(v)); }
 
 void ByteWriter::put_u32(std::uint32_t v) {
   for (int i = 0; i < 4; ++i) put_u8(static_cast<std::uint8_t>(v >> (8 * i)));
@@ -21,7 +21,7 @@ void ByteWriter::put_varint(std::uint64_t v) {
 }
 
 void ByteWriter::put_bytes(std::span<const std::byte> bytes) {
-  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  buf_->insert(buf_->end(), bytes.begin(), bytes.end());
 }
 
 void ByteWriter::put_bitset(const DynamicBitset& bits) {

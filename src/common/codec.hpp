@@ -9,13 +9,24 @@
 #include <span>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/bitset.hpp"
 
 namespace lft {
 
-/// Appends values to a growing byte buffer.
+/// Appends values to a growing byte buffer. Default-constructed writers own
+/// their buffer; the borrowing constructor builds into caller-provided
+/// scratch (cleared on construction), so hot paths can reuse one buffer
+/// across rounds and hand the engine a view() instead of a fresh vector.
 class ByteWriter {
  public:
+  ByteWriter() noexcept : buf_(&own_) {}
+  explicit ByteWriter(std::vector<std::byte>& scratch) noexcept : buf_(&scratch) {
+    scratch.clear();
+  }
+  ByteWriter(const ByteWriter&) = delete;
+  ByteWriter& operator=(const ByteWriter&) = delete;
+
   void put_u8(std::uint8_t v);
   void put_u32(std::uint32_t v);
   void put_u64(std::uint64_t v);
@@ -25,12 +36,22 @@ class ByteWriter {
   /// Writes the bitset size as a varint followed by its words.
   void put_bitset(const DynamicBitset& bits);
 
-  [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept { return buf_; }
-  [[nodiscard]] std::vector<std::byte> take() noexcept { return std::move(buf_); }
-  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept { return *buf_; }
+  /// Transfers the buffer out; owning mode only (taking borrowed scratch
+  /// would gut the caller's reusable buffer).
+  [[nodiscard]] std::vector<std::byte> take() noexcept {
+    LFT_ASSERT(buf_ == &own_);
+    return std::move(own_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_->size(); }
+  /// View of the written bytes; valid until the next write or buffer reuse.
+  [[nodiscard]] std::span<const std::byte> view() const noexcept {
+    return std::span<const std::byte>(buf_->data(), buf_->size());
+  }
 
  private:
-  std::vector<std::byte> buf_;
+  std::vector<std::byte> own_;
+  std::vector<std::byte>* buf_;
 };
 
 /// Sequential reads from a byte span; every accessor fails softly on

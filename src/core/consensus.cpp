@@ -141,10 +141,12 @@ std::unique_ptr<StageProcess> make_many_crashes_process(const ConsensusParams& p
 }
 
 sim::Report run_system(NodeId n, std::int64_t crash_budget, const ProcessFactory& factory,
-                       std::unique_ptr<sim::CrashAdversary> adversary, Round max_rounds) {
+                       std::unique_ptr<sim::CrashAdversary> adversary, Round max_rounds,
+                       int threads) {
   sim::EngineConfig config;
   config.crash_budget = crash_budget;
   config.max_rounds = max_rounds;
+  config.threads = threads;
   sim::Engine engine(n, config);
   for (NodeId v = 0; v < n; ++v) engine.set_process(v, factory(v));
   if (adversary != nullptr) engine.set_adversary(std::move(adversary));

@@ -60,10 +60,12 @@ struct ConsensusOutcome {
 /// Builds the engine, installs processes from `factory(self)`, runs, and
 /// evaluates. The adversary may be null.
 using ProcessFactory = std::function<std::unique_ptr<sim::Process>(NodeId)>;
+/// `threads` > 1 opts into the engine's deterministic parallel stepper
+/// (bit-identical Reports for every value).
 [[nodiscard]] sim::Report run_system(NodeId n, std::int64_t crash_budget,
                                      const ProcessFactory& factory,
                                      std::unique_ptr<sim::CrashAdversary> adversary,
-                                     Round max_rounds = Round{1} << 22);
+                                     Round max_rounds = Round{1} << 22, int threads = 1);
 
 [[nodiscard]] ConsensusOutcome run_few_crashes_consensus(
     const ConsensusParams& params, std::span<const int> inputs,

@@ -77,8 +77,8 @@ void GossipBuildStage::on_round(Round r, std::span<const sim::Message> inbox, Pr
         break;
       case kTagGossipProbe: {
         ++probe_heartbeats;
-        if (!m.body.empty()) {
-          ByteReader reader(m.body);
+        if (m.has_body()) {
+          ByteReader reader(m.body());
           (void)state_->extant.apply(reader);
         }
         break;
@@ -113,11 +113,11 @@ void GossipBuildStage::on_round(Round r, std::span<const sim::Message> inbox, Pr
   if (k == 2) probe_.emplace(cfg_->params.probe_gamma, cfg_->params.probe_delta);
   if (probe_->step(probe_heartbeats)) {
     for (NodeId nb : cfg_->little_g->neighbors(self_)) {
-      ByteWriter w;
+      ByteWriter w(scratch_);
       auto [it, inserted] = watermark_.try_emplace(nb, 0);
       it->second = state_->extant.encode_delta(it->second, w);
       const std::uint64_t bits = std::max<std::uint64_t>(1, w.size() * 8);
-      io.send(nb, kTagGossipProbe, 0, bits, w.take());
+      io.send(nb, kTagGossipProbe, 0, bits, w.view());
     }
   }
   if (k == b - 1) {
@@ -182,14 +182,14 @@ void GossipShareStage::on_round(Round r, std::span<const sim::Message> inbox, Pr
   for (const auto& m : inbox) {
     switch (m.tag) {
       case kTagGossipSet: {
-        ByteReader reader(m.body);
+        ByteReader reader(m.body());
         if (state_->extant.apply(reader)) state_->has_certified = true;
         break;
       }
       case kTagGossipComplete: {
         ++probe_heartbeats;
-        if (!m.body.empty()) {
-          ByteReader reader(m.body);
+        if (m.has_body()) {
+          ByteReader reader(m.body());
           (void)state_->completion.apply(reader);
         }
         break;
@@ -201,12 +201,18 @@ void GossipShareStage::on_round(Round r, std::span<const sim::Message> inbox, Pr
 
   if (k == 0) {
     if (is_little() && state_->certified && (phase == 0 || state_->survived_last)) {
+      // The certified set is identical for every recipient: encode it at
+      // most once per round, lazily (most rounds complete no new neighbor).
+      std::uint64_t bits = 0;
       for (NodeId nb : gi.neighbors(self_)) {
         if (state_->completion.test(static_cast<std::size_t>(nb))) continue;
         state_->completion.add(static_cast<std::size_t>(nb));
-        ByteWriter w;
-        state_->extant.encode_full(w);
-        io.send(nb, kTagGossipSet, 0, std::max<std::uint64_t>(1, w.size() * 8), w.take());
+        if (bits == 0) {
+          ByteWriter w(scratch_);
+          state_->extant.encode_full(w);
+          bits = std::max<std::uint64_t>(1, w.size() * 8);
+        }
+        io.send(nb, kTagGossipSet, 0, bits, sim::PayloadView(scratch_));
       }
     }
     return;
@@ -217,11 +223,11 @@ void GossipShareStage::on_round(Round r, std::span<const sim::Message> inbox, Pr
   if (k == 2) probe_.emplace(cfg_->params.probe_gamma, cfg_->params.probe_delta);
   if (probe_->step(probe_heartbeats)) {
     for (NodeId nb : cfg_->little_g->neighbors(self_)) {
-      ByteWriter w;
+      ByteWriter w(scratch_);
       auto [it, inserted] = watermark_.try_emplace(nb, 0);
       it->second = state_->completion.encode_delta(it->second, w);
       const std::uint64_t bits = std::max<std::uint64_t>(1, w.size() * 8);
-      io.send(nb, kTagGossipComplete, 0, bits, w.take());
+      io.send(nb, kTagGossipComplete, 0, bits, w.view());
     }
   }
   if (k == b - 1) state_->survived_last = probe_->survived();
@@ -286,12 +292,16 @@ void GossipFinishStage::on_round(Round r, std::span<const sim::Message> inbox, P
       break;
     case 1:
       if (self_ < cfg_->params.little_count && state_->certified) {
+        // The reply payload is recipient-independent: encode at most once.
+        ByteWriter w;
+        std::uint64_t bits = 0;
         for (const auto& m : inbox) {
           if (m.tag == kTagGossipPull) {
-            ByteWriter w;
-            state_->extant.encode_full(w);
-            io.send(m.from, kTagGossipSetReply, 0, std::max<std::uint64_t>(1, w.size() * 8),
-                    w.take());
+            if (bits == 0) {
+              state_->extant.encode_full(w);
+              bits = std::max<std::uint64_t>(1, w.size() * 8);
+            }
+            io.send(m.from, kTagGossipSetReply, 0, bits, w.view());
           }
         }
       }
@@ -299,7 +309,7 @@ void GossipFinishStage::on_round(Round r, std::span<const sim::Message> inbox, P
     default:
       for (const auto& m : inbox) {
         if (m.tag == kTagGossipSetReply) {
-          ByteReader reader(m.body);
+          ByteReader reader(m.body());
           if (state_->extant.apply(reader)) state_->has_certified = true;
         }
       }
@@ -329,12 +339,13 @@ void GossipProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
 // ---- runner -------------------------------------------------------------------------
 
 GossipOutcome run_gossip(const GossipParams& params, std::span<const std::uint64_t> rumors,
-                         std::unique_ptr<sim::CrashAdversary> adversary) {
+                         std::unique_ptr<sim::CrashAdversary> adversary, int engine_threads) {
   LFT_ASSERT(static_cast<NodeId>(rumors.size()) == params.n);
   auto cfg = GossipConfig::build(params);
 
   sim::EngineConfig engine_config;
   engine_config.crash_budget = params.t;
+  engine_config.threads = engine_threads;
   sim::Engine engine(params.n, engine_config);
   for (NodeId v = 0; v < params.n; ++v) {
     engine.set_process(

@@ -79,6 +79,7 @@ class GossipBuildStage final : public Stage {
   GossipState* state_;
   std::optional<LocalProbe> probe_;
   std::map<NodeId, std::size_t> watermark_;  // per-G-neighbor extant log index
+  std::vector<std::byte> scratch_;           // payload build buffer, reused per send
 };
 
 /// Part 2 of Figure 5 (spread certified sets + completion bookkeeping).
@@ -98,6 +99,7 @@ class GossipShareStage final : public Stage {
   GossipState* state_;
   std::optional<LocalProbe> probe_;
   std::map<NodeId, std::size_t> watermark_;  // per-G-neighbor completion log index
+  std::vector<std::byte> scratch_;           // payload build buffer, reused per send
 };
 
 /// Epilogue: nodes without a certified set pull one from the little group,
@@ -150,8 +152,11 @@ struct GossipOutcome {
   }
 };
 
+/// `engine_threads` > 1 opts into the engine's deterministic parallel
+/// stepper (bit-identical Reports for every value).
 [[nodiscard]] GossipOutcome run_gossip(const GossipParams& params,
                                        std::span<const std::uint64_t> rumors,
-                                       std::unique_ptr<sim::CrashAdversary> adversary);
+                                       std::unique_ptr<sim::CrashAdversary> adversary,
+                                       int engine_threads = 1);
 
 }  // namespace lft::core

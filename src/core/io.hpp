@@ -22,8 +22,11 @@ namespace lft::core {
 class ProtocolIo {
  public:
   virtual ~ProtocolIo() = default;
+  /// Payload bytes are copied out before send returns (into the engine's
+  /// round arena or the adapter's block pool), so `body` may view scratch
+  /// storage that is reused right after the call.
   virtual void send(NodeId to, std::uint32_t tag, std::uint64_t value, std::uint64_t bits = 1,
-                    std::vector<std::byte> body = {}) = 0;
+                    sim::PayloadView body = {}) = 0;
   /// Irrevocable decision (forwarded to the engine's bookkeeping).
   virtual void decide(std::uint64_t value) = 0;
   /// Marks one activation of a certified-pull epilogue (see DESIGN.md).
@@ -142,8 +145,8 @@ class ContextIo final : public ProtocolIo {
  public:
   explicit ContextIo(sim::Context& ctx) : ctx_(&ctx) {}
   void send(NodeId to, std::uint32_t tag, std::uint64_t value, std::uint64_t bits,
-            std::vector<std::byte> body) override {
-    ctx_->send(to, tag, value, bits, std::move(body));
+            sim::PayloadView body) override {
+    ctx_->send(to, tag, value, bits, body);
   }
   void decide(std::uint64_t value) override { ctx_->decide(value); }
   void count_fallback() override { ctx_->count_fallback(); }

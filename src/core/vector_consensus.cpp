@@ -16,14 +16,16 @@ std::uint64_t bitset_bits(const DynamicBitset& b) {
   return std::max<std::uint64_t>(1, b.size());
 }
 
-std::vector<std::byte> encode_bitset(const DynamicBitset& b) {
-  ByteWriter w;
+/// Serializes `b` into `scratch` and returns a view of it (valid until the
+/// scratch buffer is reused — the engine copies it out during send).
+sim::PayloadView encode_bitset(const DynamicBitset& b, std::vector<std::byte>& scratch) {
+  ByteWriter w(scratch);
   w.put_bitset(b);
-  return w.take();
+  return w.view();
 }
 
 std::optional<DynamicBitset> decode_bitset(const sim::Message& m, NodeId n) {
-  ByteReader r(m.body);
+  ByteReader r(m.body());
   return r.get_bitset(static_cast<std::size_t>(n));
 }
 
@@ -61,15 +63,16 @@ void VecFloodStage::on_round(Round r, std::span<const sim::Message> inbox, Proto
   if (r == 0 && init_) state_->candidate.merge(init_());
   for (const auto& m : inbox) {
     if (m.tag == kTagVecRumor) {
-      ByteReader reader(m.body);
+      ByteReader reader(m.body());
       (void)state_->candidate.apply(reader);
     }
   }
   if (state_->candidate.log_size() > state_->broadcast_mark) {
+    // One delta per round, broadcast to every neighbor: encode once.
+    ByteWriter w(scratch_);
+    (void)state_->candidate.encode_delta(state_->broadcast_mark, w);
     for (NodeId nb : cfg_->little_g->neighbors(self_)) {
-      ByteWriter w;
-      (void)state_->candidate.encode_delta(state_->broadcast_mark, w);
-      io.send(nb, kTagVecRumor, 0, std::max<std::uint64_t>(1, w.size() * 8), w.take());
+      io.send(nb, kTagVecRumor, 0, std::max<std::uint64_t>(1, w.size() * 8), w.view());
     }
     state_->broadcast_mark = state_->candidate.log_size();
   }
@@ -92,20 +95,20 @@ void VecProbeStage::on_round(Round r, std::span<const sim::Message> inbox, Proto
   for (const auto& m : inbox) {
     if (m.tag == kTagVecProbe) {
       ++heartbeats;
-      if (!m.body.empty()) {
-        ByteReader reader(m.body);
+      if (m.has_body()) {
+        ByteReader reader(m.body());
         (void)state_->candidate.apply(reader);
       }
     } else if (m.tag == kTagVecRumor) {
-      ByteReader reader(m.body);
+      ByteReader reader(m.body());
       (void)state_->candidate.apply(reader);
     }
   }
   if (probe_.step(heartbeats)) {
+    ByteWriter w(scratch_);
+    (void)state_->candidate.encode_delta(state_->broadcast_mark, w);
     for (NodeId nb : cfg_->little_g->neighbors(self_)) {
-      ByteWriter w;
-      (void)state_->candidate.encode_delta(state_->broadcast_mark, w);
-      io.send(nb, kTagVecProbe, 0, std::max<std::uint64_t>(1, w.size() * 8), w.take());
+      io.send(nb, kTagVecProbe, 0, std::max<std::uint64_t>(1, w.size() * 8), w.view());
     }
     state_->broadcast_mark = state_->candidate.log_size();
   }
@@ -128,9 +131,9 @@ void VecNotifyStage::on_round(Round r, std::span<const sim::Message> inbox, Prot
   const NodeId little = cfg_->params.little_count;
   if (r == 0) {
     if (self_ < little && state_->has_value) {
+      const sim::PayloadView body = encode_bitset(*state_->value, scratch_);
       for (NodeId j = self_ + little; j < cfg_->params.n; j += little) {
-        io.send(j, kTagVecNotify, 0, bitset_bits(*state_->value),
-                encode_bitset(*state_->value));
+        io.send(j, kTagVecNotify, 0, bitset_bits(*state_->value), body);
       }
     }
     return;
@@ -176,8 +179,9 @@ void VecSpreadStage::on_round(Round r, std::span<const sim::Message> inbox, Prot
   const bool start = (r == 0 && state_->has_value);
   if ((start || adopted) && !forwarded_ && r < cfg_->params.spread_rounds) {
     forwarded_ = true;
+    const sim::PayloadView body = encode_bitset(*state_->value, scratch_);
     for (NodeId nb : cfg_->spread_h->neighbors(self_)) {
-      io.send(nb, kTagVecSpread, 0, bitset_bits(*state_->value), encode_bitset(*state_->value));
+      io.send(nb, kTagVecSpread, 0, bitset_bits(*state_->value), body);
     }
   }
 }
@@ -220,10 +224,10 @@ void VecInquiryStage::on_round(Round r, std::span<const sim::Message> inbox, Pro
         gi.for_each_neighbor(self_, [&io](NodeId nb) { io.send(nb, kTagVecInquiry, 0, 1); });
       }
     } else if (state_->has_value) {
+      const sim::PayloadView body = encode_bitset(*state_->value, scratch_);
       for (const auto& m : inbox) {
         if (m.tag == kTagVecInquiry) {
-          io.send(m.from, kTagVecReply, 0, bitset_bits(*state_->value),
-                  encode_bitset(*state_->value));
+          io.send(m.from, kTagVecReply, 0, bitset_bits(*state_->value), body);
         }
       }
     }
@@ -241,10 +245,10 @@ void VecInquiryStage::on_round(Round r, std::span<const sim::Message> inbox, Pro
       break;
     case 1:
       if (state_->has_value) {
+        const sim::PayloadView body = encode_bitset(*state_->value, scratch_);
         for (const auto& m : inbox) {
           if (m.tag == kTagVecPull) {
-            io.send(m.from, kTagVecPullReply, 0, bitset_bits(*state_->value),
-                    encode_bitset(*state_->value));
+            io.send(m.from, kTagVecPullReply, 0, bitset_bits(*state_->value), body);
           }
         }
       }

@@ -62,6 +62,7 @@ class VecFloodStage final : public Stage {
   NodeId self_;
   VectorState* state_;
   VectorInit init_;
+  std::vector<std::byte> scratch_;  // payload build buffer, reused per send
 };
 
 /// Part 2: local probing; survivors decide on their candidate vector.
@@ -77,6 +78,7 @@ class VecProbeStage final : public Stage {
   NodeId self_;
   VectorState* state_;
   LocalProbe probe_;
+  std::vector<std::byte> scratch_;  // payload build buffer, reused per send
 };
 
 /// Part 3: little deciders notify related nodes with the full vector.
@@ -91,6 +93,7 @@ class VecNotifyStage final : public Stage {
   std::shared_ptr<const VectorConsensusConfig> cfg_;
   NodeId self_;
   VectorState* state_;
+  std::vector<std::byte> scratch_;  // payload build buffer, reused per send
 };
 
 /// SCV Part 1 analogue: holders flood the decided vector over H once.
@@ -106,6 +109,7 @@ class VecSpreadStage final : public Stage {
   NodeId self_;
   VectorState* state_;
   bool forwarded_ = false;
+  std::vector<std::byte> scratch_;  // payload build buffer, reused per send
 };
 
 /// SCV Part 2 analogue: inquiry phases (or the all-littles pull when
@@ -125,6 +129,7 @@ class VecInquiryStage final : public Stage {
   NodeId self_;
   VectorState* state_;
   int mode_;
+  std::vector<std::byte> scratch_;  // payload build buffer, reused per send
 };
 
 /// Appends the full vectorized-consensus pipeline to a driver.

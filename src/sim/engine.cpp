@@ -1,6 +1,9 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 
 #include "common/assert.hpp"
 
@@ -9,6 +12,13 @@ namespace lft::sim {
 namespace {
 constexpr std::int32_t kNotCrashedThisRound = -2;
 constexpr std::int32_t kCleanCrash = -1;
+// Tag values are small enumerators; anything past this is degenerate and
+// falls back to a comparison sort (same normal form, so still deterministic).
+constexpr std::uint32_t kMaxCountingTag = 1u << 16;
+// Below this many active nodes a round is stepped serially even with a
+// worker pool: the barrier handshake would dominate. Purely a latency knob —
+// results are bit-identical either way.
+constexpr std::size_t kParallelMinActive = 256;
 }  // namespace
 
 // ---- Inbox -----------------------------------------------------------------
@@ -28,8 +38,8 @@ NodeId Context::num_nodes() const noexcept { return engine_->n_; }
 Round Context::round() const noexcept { return engine_->round_; }
 
 void Context::send(NodeId to, std::uint32_t tag, std::uint64_t value, std::uint64_t bits,
-                   std::vector<std::byte> body) {
-  engine_->do_send(self_, to, tag, value, bits, std::move(body));
+                   PayloadView body) {
+  engine_->do_send(*sink_, self_, to, tag, value, bits, body);
 }
 
 void Context::decide(std::uint64_t value) { engine_->do_decide(self_, value); }
@@ -46,7 +56,7 @@ void Context::halt() { engine_->status_[static_cast<std::size_t>(self_)].halted 
 
 void Context::sleep_until(Round wake_round) { engine_->do_sleep(self_, wake_round); }
 
-void Context::count_fallback() { ++engine_->metrics_.fallback_pulls; }
+void Context::count_fallback() { ++sink_->fallback_pulls; }
 
 // ---- EngineView ------------------------------------------------------------
 
@@ -117,6 +127,72 @@ bool Report::all_nonfaulty_decided() const noexcept {
   });
 }
 
+// ---- Engine::Pool ----------------------------------------------------------
+
+/// Persistent worker pool for the deterministic parallel stepper. Workers
+/// park on a condition variable between rounds; the coordinating thread runs
+/// shard 0 itself, so a pool of W sinks spawns W-1 threads. The mutex
+/// handshake orders every worker's writes before the coordinator resumes.
+struct Engine::Pool {
+  Pool(Engine& engine, int workers) : engine_(&engine) {
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (int k = 0; k < workers; ++k) {
+      threads_.emplace_back([this, k] { worker_loop(static_cast<std::size_t>(k) + 1); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  /// Dispatches shards 1..W-1 to the pool, runs shard 0 inline, and returns
+  /// once every shard finished.
+  void step_round() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++generation_;
+      pending_ = static_cast<int>(threads_.size());
+    }
+    cv_start_.notify_all();
+    engine_->step_shard(0);
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+ private:
+  void worker_loop(std::size_t shard) {
+    std::uint64_t seen = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+      }
+      engine_->step_shard(shard);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --pending_;
+      }
+      cv_done_.notify_one();
+    }
+  }
+
+  Engine* engine_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
 // ---- Engine ----------------------------------------------------------------
 
 Engine::Engine(NodeId n, EngineConfig config)
@@ -126,10 +202,20 @@ Engine::Engine(NodeId n, EngineConfig config)
       status_(static_cast<std::size_t>(n)),
       wake_at_(static_cast<std::size_t>(n), 0),
       sleeping_(static_cast<std::size_t>(n), 0),
+      recv_count_(static_cast<std::size_t>(n), 0),
       crash_filter_(static_cast<std::size_t>(n), kNotCrashedThisRound) {
   LFT_ASSERT(n > 0);
   active_.reserve(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) active_.push_back(v);
+  const int workers = std::clamp(config_.threads, 1, 64);
+  config_.threads = workers;
+  sinks_.resize(static_cast<std::size_t>(workers));
+  shard_begin_.assign(static_cast<std::size_t>(workers) + 1, 0);
+  // The active set never exceeds n, so a small engine can never engage the
+  // pool — skip creating threads it would only park and join.
+  if (workers > 1 && static_cast<std::size_t>(n_) >= kParallelMinActive) {
+    pool_ = std::make_unique<Pool>(*this, workers - 1);
+  }
 }
 
 Engine::~Engine() = default;
@@ -160,8 +246,8 @@ const Process& Engine::process(NodeId v) const {
   return *processes_[static_cast<std::size_t>(v)];
 }
 
-void Engine::do_send(NodeId from, NodeId to, std::uint32_t tag, std::uint64_t value,
-                     std::uint64_t bits, std::vector<std::byte> body) {
+void Engine::do_send(StepSink& sink, NodeId from, NodeId to, std::uint32_t tag,
+                     std::uint64_t value, std::uint64_t bits, PayloadView body) {
   LFT_ASSERT(to >= 0 && to < n_);
   LFT_ASSERT(bits >= 1);
   Message m;
@@ -170,8 +256,10 @@ void Engine::do_send(NodeId from, NodeId to, std::uint32_t tag, std::uint64_t va
   m.tag = tag;
   m.value = value;
   m.bits = bits;
-  m.body = std::move(body);
-  outbox_.push_back(std::move(m));
+  if (!body.empty()) {
+    m.set_body(sink.arena[static_cast<std::size_t>(round_) & 1].store(body));
+  }
+  sink.msgs.push_back(m);
 }
 
 void Engine::do_decide(NodeId v, std::uint64_t value) {
@@ -214,12 +302,142 @@ void Engine::do_crash(NodeId v, std::function<bool(const Message&)> keep) {
   s.crash_round = round_;
   crashed_this_round_.push_back(v);
   if (keep) {
-    keep_filters_.push_back(std::move(keep));
-    crash_filter_[static_cast<std::size_t>(v)] =
-        static_cast<std::int32_t>(keep_filters_.size()) - 1;
+    // Reuse a high-water slot instead of growing/clearing the vector each
+    // round: live slots are [0, keep_filters_used_).
+    const auto slot = keep_filters_used_++;
+    if (slot < keep_filters_.size()) {
+      keep_filters_[slot] = std::move(keep);
+    } else {
+      keep_filters_.push_back(std::move(keep));
+    }
+    crash_filter_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(slot);
   } else {
     crash_filter_[static_cast<std::size_t>(v)] = kCleanCrash;
   }
+}
+
+void Engine::step_shard(std::size_t k) {
+  const std::size_t begin = shard_begin_[k];
+  const std::size_t end = shard_begin_[k + 1];
+  if (begin >= end) return;
+  StepSink& sink = sinks_[k];
+  // First delivered message of this shard's first node: inbox_ ascends by
+  // receiver, active_ ascends by id, so one cursor pairs them up.
+  const NodeId first = active_[begin];
+  std::size_t cursor = static_cast<std::size_t>(
+      std::partition_point(inbox_.begin(), inbox_.end(),
+                           [first](const Message& m) { return m.to < first; }) -
+      inbox_.begin());
+  for (std::size_t i = begin; i < end; ++i) {
+    const NodeId v = active_[i];
+    std::size_t lo = cursor;
+    while (lo < inbox_.size() && inbox_[lo].to < v) ++lo;
+    std::size_t hi = lo;
+    while (hi < inbox_.size() && inbox_[hi].to == v) ++hi;
+    cursor = hi;
+    Context ctx(*this, v, sink);
+    const Inbox inbox(std::span<const Message>(inbox_.data() + lo, hi - lo));
+    processes_[static_cast<std::size_t>(v)]->on_round(ctx, inbox);
+  }
+}
+
+void Engine::step_active() {
+  // Reset the arenas of the parity this round writes; the other parity backs
+  // the inbox being read and is reset two rounds from now.
+  const std::size_t parity = static_cast<std::size_t>(round_) & 1;
+  for (auto& sink : sinks_) {
+    sink.arena[parity].clear();
+    sink.msgs.clear();
+  }
+
+  const auto workers = sinks_.size();
+  if (pool_ == nullptr || active_.size() < kParallelMinActive) {
+    shard_begin_[0] = 0;
+    for (std::size_t k = 1; k <= workers; ++k) shard_begin_[k] = active_.size();
+    step_shard(0);
+    outbox_.swap(sinks_[0].msgs);
+  } else {
+    for (std::size_t k = 0; k < workers; ++k) {
+      shard_begin_[k] = k * active_.size() / workers;
+    }
+    shard_begin_[workers] = active_.size();
+    pool_->step_round();
+    // Concatenate in shard order = ascending sender order: the batch is
+    // byte-identical to what the serial path appends.
+    std::size_t total = 0;
+    for (const auto& sink : sinks_) total += sink.msgs.size();
+    outbox_.reserve(total);
+    for (auto& sink : sinks_) {
+      outbox_.insert(outbox_.end(), sink.msgs.begin(), sink.msgs.end());
+    }
+  }
+
+  for (auto& sink : sinks_) {
+    metrics_.fallback_pulls += sink.fallback_pulls;
+    sink.fallback_pulls = 0;
+  }
+}
+
+void Engine::sort_batch_normal_form() {
+  const std::size_t m = outbox_.size();
+  if (m <= 1) return;
+
+  std::uint32_t max_tag = 0;
+  for (const Message& msg : outbox_) max_tag = std::max(max_tag, msg.tag);
+  if (max_tag >= kMaxCountingTag || m >= static_cast<std::size_t>(UINT32_MAX)) {
+    std::stable_sort(outbox_.begin(), outbox_.end(), [](const Message& a, const Message& b) {
+      return a.to != b.to ? a.to < b.to : a.tag < b.tag;
+    });
+    return;
+  }
+
+  // Pass 1 (LSD): stable counting sort by tag, outbox_ -> inbox_. The tag
+  // domain is tiny (protocol enumerators), so a dense count array is cheap.
+  tag_count_.assign(static_cast<std::size_t>(max_tag) + 1, 0);
+  for (const Message& msg : outbox_) ++tag_count_[msg.tag];
+  std::uint32_t sum = 0;
+  for (auto& c : tag_count_) {
+    const std::uint32_t count = c;
+    c = sum;
+    sum += count;
+  }
+  inbox_.resize(m);
+  for (const Message& msg : outbox_) inbox_[tag_count_[msg.tag]++] = msg;
+
+  // Pass 2: stable counting sort by receiver, inbox_ -> outbox_. Counts are
+  // kept in an n-sized array that is all-zero between rounds; only the
+  // entries actually touched are visited for the prefix sum (sorted distinct
+  // receivers) when the batch is sparse, and only they are re-zeroed.
+  touched_receivers_.clear();
+  for (const Message& msg : inbox_) {
+    auto& c = recv_count_[static_cast<std::size_t>(msg.to)];
+    if (c++ == 0) touched_receivers_.push_back(msg.to);
+  }
+  const std::size_t distinct = touched_receivers_.size();
+  sum = 0;
+  if (distinct < static_cast<std::size_t>(n_) / 16) {
+    std::sort(touched_receivers_.begin(), touched_receivers_.end());
+    for (const NodeId r : touched_receivers_) {
+      auto& c = recv_count_[static_cast<std::size_t>(r)];
+      const std::uint32_t count = c;
+      c = sum;
+      sum += count;
+    }
+  } else {
+    for (NodeId r = 0; r < n_; ++r) {
+      auto& c = recv_count_[static_cast<std::size_t>(r)];
+      if (c != 0) {  // untouched entries must stay zero
+        const std::uint32_t count = c;
+        c = sum;
+        sum += count;
+      }
+    }
+  }
+  for (const Message& msg : inbox_) {
+    outbox_[recv_count_[static_cast<std::size_t>(msg.to)]++] = msg;
+  }
+  // Restore the all-zero invariant by visiting only touched entries.
+  for (const NodeId r : touched_receivers_) recv_count_[static_cast<std::size_t>(r)] = 0;
 }
 
 void Engine::deliver_batch() {
@@ -229,7 +447,7 @@ void Engine::deliver_batch() {
   // in place, so the steady state allocates nothing.
   std::size_t kept = 0;
   for (std::size_t i = 0; i < outbox_.size(); ++i) {
-    Message& m = outbox_[i];
+    const Message& m = outbox_[i];
     const auto from = static_cast<std::size_t>(m.from);
     const std::int32_t filter = crash_filter_[from];
     if (filter != kNotCrashedThisRound) {
@@ -248,20 +466,18 @@ void Engine::deliver_batch() {
     const auto to = static_cast<std::size_t>(m.to);
     if (status_[to].crashed || status_[to].halted) continue;  // never received
     wake_by(m.to, round_ + 1);  // delivery always wakes the recipient
-    if (kept != i) outbox_[kept] = std::move(m);
+    if (kept != i) outbox_[kept] = m;
     ++kept;
   }
   outbox_.resize(kept);
   metrics_.peak_round_messages =
       std::max(metrics_.peak_round_messages, static_cast<std::int64_t>(kept));
 
-  // Single sorted sweep into delivery normal form: group by (receiver, tag).
-  // The arena is appended in ascending sender order, so a stable sort keeps
-  // each (receiver, tag) run sorted by sender and preserves per-sender send
-  // order.
-  std::stable_sort(outbox_.begin(), outbox_.end(), [](const Message& a, const Message& b) {
-    return a.to != b.to ? a.to < b.to : a.tag < b.tag;
-  });
+  // Two-pass counting/radix sweep into delivery normal form: group by
+  // (receiver, tag). The arena is appended in ascending sender order and
+  // both passes are stable, so each (receiver, tag) run stays sorted by
+  // sender with per-sender send order preserved.
+  sort_batch_normal_form();
   inbox_.swap(outbox_);
   outbox_.clear();
 }
@@ -298,20 +514,10 @@ Report Engine::run() {
                          active_.end());
     }
 
-    // 1. Step every active node in id order, handing each its slice of the
-    //    sorted batch. Both active_ and inbox_ ascend by node id, so a single
-    //    cursor pairs them up.
-    std::size_t cursor = 0;
-    for (const NodeId v : active_) {
-      std::size_t begin = cursor;
-      while (begin < inbox_.size() && inbox_[begin].to < v) ++begin;
-      std::size_t end = begin;
-      while (end < inbox_.size() && inbox_[end].to == v) ++end;
-      cursor = end;
-      Context ctx(*this, v);
-      const Inbox inbox(std::span<const Message>(inbox_.data() + begin, end - begin));
-      processes_[static_cast<std::size_t>(v)]->on_round(ctx, inbox);
-    }
+    // 1. Step every active node in id order (serially or sharded across the
+    //    worker pool — bit-identical either way), filling outbox_ with the
+    //    round's sends in ascending sender order.
+    step_active();
 
     // 2. Adversary inspects pending sends and may crash nodes.
     if (adversary_ != nullptr) {
@@ -323,12 +529,14 @@ Report Engine::run() {
     // 3. Filter, account, and sort this round's batch for delivery.
     deliver_batch();
 
-    // Reset only the crash slots touched this round.
+    // Reset only the crash slots touched this round; keep-filter slots are
+    // released (captured state freed) but their storage is reused.
     for (const NodeId v : crashed_this_round_) {
       crash_filter_[static_cast<std::size_t>(v)] = kNotCrashedThisRound;
     }
     crashed_this_round_.clear();
-    keep_filters_.clear();
+    for (std::size_t i = 0; i < keep_filters_used_; ++i) keep_filters_[i] = nullptr;
+    keep_filters_used_ = 0;
 
     // 4. Drop crashed/halted nodes from the active set and park sleepers;
     //    done when nobody is active or sleeping.

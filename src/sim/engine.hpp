@@ -4,13 +4,22 @@
 // budget t. Delivery normal form: sends produced in on_round(r) appear in
 // the recipients' inboxes at on_round(r+1); round counts match the paper's.
 //
-// The engine is batched and event-driven: each round's sends are appended to
-// one contiguous arena (reused across rounds, so the steady state performs no
-// allocation), delivery is a single sorted sweep that groups the arena by
-// (receiver, tag), and each receiver gets a zero-copy Inbox view into its
-// slice of the sorted batch. Only nodes that are alive and not halted are
-// stepped (the active set shrinks as the execution winds down), so per-round
-// cost is O(active + messages), not O(n).
+// The engine is batched and event-driven with a zero-copy message plane:
+// sim::Message is a trivially-copyable POD whose body is a view into a
+// round-scoped, double-buffered PayloadArena, so each round's sends append
+// PODs to a contiguous arena (reused across rounds — the steady state
+// performs no per-message allocation), delivery is a two-pass counting/radix
+// sweep that groups the batch by (receiver, tag) in O(m + min(n, d log d))
+// for d distinct receivers, and each receiver gets a zero-copy Inbox view
+// into its slice. Only nodes that are alive and not halted are stepped (the
+// active set shrinks as the execution winds down), so per-round cost is
+// O(active + messages), not O(n).
+//
+// Opt-in deterministic parallel stepping (EngineConfig::threads > 1): the
+// active set is sharded across a small persistent worker pool; each worker
+// appends sends to its own outbox arena, and the shards are concatenated in
+// ascending sender order after the barrier, so the delivered batch — and
+// with it every Report field — is bit-identical to the serial engine.
 #pragma once
 
 #include <cstdint>
@@ -25,10 +34,21 @@
 #include "common/types.hpp"
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
+#include "sim/payload.hpp"
 
 namespace lft::sim {
 
 class Engine;
+
+/// Per-shard send collector (engine internal): a message vector plus the
+/// double-buffered payload arenas its bodies point into. The serial engine
+/// uses sink 0; the parallel stepper gives each worker its own, then
+/// concatenates in shard (= ascending sender) order.
+struct StepSink {
+  std::vector<Message> msgs;
+  PayloadArena arena[2];  // indexed by round parity
+  std::int64_t fallback_pulls = 0;
+};
 
 /// Zero-copy view of one node's delivered batch for the current round.
 /// Messages are grouped by tag (ascending) and sorted by sender id within
@@ -63,9 +83,11 @@ class Context {
   [[nodiscard]] NodeId num_nodes() const noexcept;
   [[nodiscard]] Round round() const noexcept;
 
-  /// Queues a message for delivery at the start of the next round.
+  /// Queues a message for delivery at the start of the next round. The
+  /// payload bytes are copied into the engine's round arena immediately, so
+  /// `body` may reference any storage that outlives the call.
   void send(NodeId to, std::uint32_t tag, std::uint64_t value, std::uint64_t bits = 1,
-            std::vector<std::byte> body = {});
+            PayloadView body = {});
 
   /// Irrevocably decides on a value; deciding twice on different values is a
   /// protocol bug and aborts.
@@ -90,13 +112,18 @@ class Context {
 
  private:
   friend class Engine;
-  Context(Engine& engine, NodeId self) : engine_(&engine), self_(self) {}
+  Context(Engine& engine, NodeId self, StepSink& sink)
+      : engine_(&engine), self_(self), sink_(&sink) {}
   Engine* engine_;
   NodeId self_;
+  StepSink* sink_;
 };
 
 /// Protocol logic for one node. Implementations are installed per node and
-/// driven once per round while the node is alive and not halted.
+/// driven once per round while the node is alive and not halted. With
+/// parallel stepping enabled, on_round may run on a worker thread; a process
+/// must only touch its own state and shared *read-only* configuration
+/// (which every shipped protocol already satisfies).
 class Process {
  public:
   virtual ~Process() = default;
@@ -179,6 +206,9 @@ struct Report {
 struct EngineConfig {
   Round max_rounds = Round{1} << 22;
   std::int64_t crash_budget = 0;  // the paper's t (for the crash model)
+  /// Worker threads for the deterministic parallel stepper; 1 = serial.
+  /// Results are bit-identical for every value (see the file comment).
+  int threads = 1;
 };
 
 class Engine {
@@ -207,16 +237,25 @@ class Engine {
   friend class EngineView;
   friend class CrashController;
 
-  void do_send(NodeId from, NodeId to, std::uint32_t tag, std::uint64_t value,
-               std::uint64_t bits, std::vector<std::byte> body);
+  void do_send(StepSink& sink, NodeId from, NodeId to, std::uint32_t tag,
+               std::uint64_t value, std::uint64_t bits, PayloadView body);
   void do_decide(NodeId v, std::uint64_t value);
   void do_sleep(NodeId v, Round wake_round);
   /// Ensures a sleeping node is stepped at `round` (message wake).
   void wake_by(NodeId v, Round round);
   void do_crash(NodeId v, std::function<bool(const Message&)> keep);
+  /// Steps active_[k-th shard] (bounds in shard_begin_) into sinks_[k].
+  void step_shard(std::size_t k);
+  /// Steps every active node (serial or sharded) and fills outbox_.
+  void step_active();
   /// Filters crashed senders / dead receivers out of the arena, accounts
   /// metrics, and sorts the survivors into delivery normal form.
   void deliver_batch();
+  /// Two-pass counting/radix sort of outbox_ by (receiver, tag): stable by
+  /// construction, O(m + tag_domain + min(n, d log d)) with inbox_ as the
+  /// intermediate buffer. Falls back to a comparison sort for degenerate
+  /// (huge) tag values.
+  void sort_batch_normal_form();
 
   NodeId n_;
   EngineConfig config_;
@@ -246,13 +285,31 @@ class Engine {
   std::vector<Message> outbox_;  // current round's sends, arena order
   std::vector<Message> inbox_;   // delivered batch, sorted by (receiver, tag)
 
+  // Send collection: sinks_[0] serves the serial path; sinks_[1..] belong to
+  // the worker pool. shard_begin_ holds the active_-index bounds of each
+  // shard for the current round.
+  std::vector<StepSink> sinks_;
+  std::vector<std::size_t> shard_begin_;
+  struct Pool;
+  std::unique_ptr<Pool> pool_;
+
+  // Radix-sweep scratch, sized once and cleared via touch lists so per-round
+  // cost stays proportional to the batch.
+  std::vector<std::uint32_t> tag_count_;
+  std::vector<std::uint32_t> recv_count_;  // n entries, all zero between rounds
+  std::vector<NodeId> touched_receivers_;
+
   // Per-round crash bookkeeping. `crash_filter_` maps a node crashed this
-  // round to its keep-filter (or -1 for a clean crash); only the entries
+  // round to its keep-filter slot (or -1 for a clean crash); only the entries
   // named in `crashed_this_round_` are live, and only those are reset at the
-  // end of the round, keeping per-round cost independent of n.
+  // end of the round, keeping per-round cost independent of n. Keep-filter
+  // slots are reused across rounds (high-water storage + per-round counter)
+  // instead of cleared, avoiding std::function churn on adversary-heavy
+  // runs.
   std::vector<std::int32_t> crash_filter_;  // n-sized, -2 = not crashed this round
   std::vector<NodeId> crashed_this_round_;
   std::vector<std::function<bool(const Message&)>> keep_filters_;
+  std::size_t keep_filters_used_ = 0;
 
   Metrics metrics_;
 };

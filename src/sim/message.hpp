@@ -1,25 +1,45 @@
 // The unit of communication in the synchronous model. Most of the paper's
 // messages carry a single bit (`value` with bits == 1); gossiping, Byzantine
-// broadcast and checkpointing serialize structured payloads into `body`.
+// broadcast and checkpointing serialize structured payloads into the body.
 // The `bits` field is the accounted size, which is what the paper's
 // communication bounds count.
+//
+// Message is a trivially-copyable POD: the body is a (pointer, length) view
+// into a round-scoped PayloadArena owned by whoever produced the message
+// (the engine for delivered batches), valid for the round the message is
+// readable in. This is what lets the delivery sweep relocate messages with
+// raw copies and the parallel stepper concatenate per-thread outboxes.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <type_traits>
 
 #include "common/types.hpp"
+#include "sim/payload.hpp"
 
 namespace lft::sim {
 
 struct Message {
   NodeId from = kNoNode;
   NodeId to = kNoNode;
-  std::uint32_t tag = 0;        // protocol-defined discriminator
-  std::uint64_t value = 0;      // inline small payload (e.g. the rumor bit)
-  std::uint64_t bits = 1;       // accounted size in bits
-  std::vector<std::byte> body;  // optional serialized payload
+  std::uint32_t tag = 0;       // protocol-defined discriminator
+  std::uint32_t body_len = 0;  // length of the serialized payload, in bytes
+  std::uint64_t value = 0;     // inline small payload (e.g. the rumor bit)
+  std::uint64_t bits = 1;      // accounted size in bits
+  const std::byte* body_ptr = nullptr;  // arena-backed payload, round-scoped
+
+  [[nodiscard]] PayloadView body() const noexcept { return PayloadView(body_ptr, body_len); }
+  [[nodiscard]] bool has_body() const noexcept { return body_len != 0; }
+
+  void set_body(PayloadView view) noexcept {
+    body_ptr = view.data();
+    body_len = static_cast<std::uint32_t>(view.size());
+  }
 };
+
+static_assert(std::is_trivially_copyable_v<Message>,
+              "the delivery sweep and parallel stepper rely on raw relocation");
+static_assert(sizeof(Message) == 40, "keep the hot delivery path cache-friendly");
 
 }  // namespace lft::sim

@@ -15,23 +15,35 @@ std::uint64_t link_key(NodeId from, NodeId to) noexcept {
 
 // ---- PortQueue -------------------------------------------------------------
 
-void SinglePortEngine::PortQueue::push(Message m) {
-  // Compact the consumed prefix before growing past it: keeps the buffer
-  // bounded by the live backlog while staying amortized O(1) per operation.
+void SinglePortEngine::PortQueue::push(const Message& m, PayloadView body) {
+  // Compact the consumed prefixes before growing past them: keeps the
+  // buffers bounded by the live backlog while staying amortized O(1).
   if (head > 0 && head >= buf.size() / 2 && buf.size() >= 8) {
     buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(head));
     head = 0;
+    bytes.erase(bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(bytes_head));
+    bytes_head = 0;
   }
-  buf.push_back(std::move(m));
+  Message queued = m;
+  queued.body_ptr = nullptr;  // implicit FIFO offset; rebound on pop
+  queued.body_len = static_cast<std::uint32_t>(body.size());
+  buf.push_back(queued);
+  bytes.insert(bytes.end(), body.begin(), body.end());
 }
 
-sim::Message SinglePortEngine::PortQueue::pop() {
+sim::Message SinglePortEngine::PortQueue::pop(std::vector<std::byte>& payload_out) {
   LFT_ASSERT(!empty());
-  Message m = std::move(buf[head]);
+  Message m = buf[head];
   ++head;
+  payload_out.assign(bytes.begin() + static_cast<std::ptrdiff_t>(bytes_head),
+                     bytes.begin() + static_cast<std::ptrdiff_t>(bytes_head + m.body_len));
+  bytes_head += m.body_len;
+  if (m.body_len != 0) m.set_body(payload_out);
   if (head >= buf.size()) {
     buf.clear();
     head = 0;
+    bytes.clear();
+    bytes_head = 0;
   }
   return m;
 }
@@ -95,7 +107,8 @@ SinglePortEngine::SinglePortEngine(NodeId n, SinglePortConfig config)
       processes_(static_cast<std::size_t>(n)),
       status_(static_cast<std::size_t>(n)),
       actions_(static_cast<std::size_t>(n)),
-      fetched_(static_cast<std::size_t>(n)) {
+      fetched_(static_cast<std::size_t>(n)),
+      fetched_bytes_(static_cast<std::size_t>(n)) {
   LFT_ASSERT(n > 0);
 }
 
@@ -180,8 +193,7 @@ Report SinglePortEngine::run() {
       m.tag = send.tag;
       m.value = send.value;
       m.bits = send.bits;
-      m.body = std::move(send.body);
-      ports_[link_key(v, send.to)].push(std::move(m));
+      ports_[link_key(v, send.to)].push(m, send.body);
     }
     metrics_.peak_round_messages = std::max(metrics_.peak_round_messages, round_messages);
 
@@ -195,7 +207,7 @@ Report SinglePortEngine::run() {
       LFT_ASSERT(src >= 0 && src < n_);
       auto it = ports_.find(link_key(src, v));
       if (it == ports_.end() || it->second.empty()) continue;
-      fetched_[vi] = it->second.pop();
+      fetched_[vi] = it->second.pop(fetched_bytes_[vi]);
     }
 
     // 5. Termination.

@@ -22,7 +22,10 @@ struct SpSend {
   std::uint32_t tag = 0;
   std::uint64_t value = 0;
   std::uint64_t bits = 1;
-  std::vector<std::byte> body;
+  /// Payload view; must reference storage that stays valid until the engine
+  /// finishes the round (it is copied into the link's pooled byte buffer
+  /// after the adversary step). Process-owned scratch satisfies this.
+  PayloadView body{};
 };
 
 /// A node's move for one round: optionally send one message and/or poll one
@@ -56,7 +59,8 @@ class SinglePortProcess {
  public:
   virtual ~SinglePortProcess() = default;
   /// `received` is the message dequeued by this node's poll in the previous
-  /// round, if any.
+  /// round, if any. Its body views a per-node scratch buffer that is valid
+  /// only for the duration of this call — copy the bytes out to keep them.
   virtual SpAction on_round(SpContext& ctx, const std::optional<Message>& received) = 0;
 };
 
@@ -120,18 +124,26 @@ class SinglePortEngine {
   std::vector<SpAction> actions_;
   std::vector<std::optional<Message>> fetched_;
 
-  /// FIFO link queue backed by a flat buffer: pops advance `head`, and the
-  /// dead prefix is compacted once it dominates the buffer, so steady-state
-  /// traffic on a link reuses its capacity instead of churning deque blocks.
+  /// FIFO link queue backed by flat buffers: POD messages plus a pooled byte
+  /// buffer holding their payloads in the same FIFO order (strict FIFO means
+  /// the payload of buf[head] always starts at bytes_head — no offsets
+  /// stored). Pops advance the heads, and the dead prefixes are compacted
+  /// once they dominate, so steady-state traffic on a link reuses its
+  /// capacity instead of churning per-message allocations.
   struct PortQueue {
     std::vector<Message> buf;
+    std::vector<std::byte> bytes;
     std::size_t head = 0;
+    std::size_t bytes_head = 0;
 
     [[nodiscard]] bool empty() const noexcept { return head >= buf.size(); }
-    void push(Message m);
-    Message pop();
+    void push(const Message& m, PayloadView body);
+    /// Copies the payload into `payload_out` and returns the message with
+    /// its body viewing that buffer.
+    Message pop(std::vector<std::byte>& payload_out);
   };
   std::unordered_map<std::uint64_t, PortQueue> ports_;
+  std::vector<std::vector<std::byte>> fetched_bytes_;  // per-node payload scratch
   Metrics metrics_;
 };
 

@@ -7,10 +7,12 @@
 namespace lft::singleport {
 
 void SinglePortStageProcess::QueueIo::send(NodeId to, std::uint32_t tag, std::uint64_t value,
-                                           std::uint64_t bits, std::vector<std::byte> body) {
+                                           std::uint64_t bits, sim::PayloadView body) {
   auto [it, inserted] = queue_->try_emplace(to);
   LFT_ASSERT_MSG(inserted, "stage queued two messages on one link in one round");
-  it->second = QueuedSend{tag, value, bits, std::move(body)};
+  const std::size_t offset = bytes_->size();
+  bytes_->insert(bytes_->end(), body.begin(), body.end());
+  it->second = QueuedSend{tag, value, bits, offset, body.size()};
 }
 
 Round SinglePortStageProcess::total_sp_duration() const {
@@ -38,7 +40,14 @@ void SinglePortStageProcess::advance_mp_round() {
 
 sim::SpAction SinglePortStageProcess::on_round(sim::SpContext& ctx,
                                                const std::optional<sim::Message>& received) {
-  if (received.has_value()) inbox_accumulator_.push_back(*received);
+  if (received.has_value()) {
+    // The engine-side payload scratch is only valid for this call: pool the
+    // bytes and record the offset (acc_bytes_ may still reallocate while the
+    // block accumulates, so pointers are rebound at slot 0).
+    acc_offsets_.push_back(acc_bytes_.size());
+    acc_bytes_.insert(acc_bytes_.end(), received->body().begin(), received->body().end());
+    inbox_accumulator_.push_back(*received);
+  }
   if (done_) {
     ctx.halt();
     return {};
@@ -50,13 +59,21 @@ sim::SpAction SinglePortStageProcess::on_round(sim::SpContext& ctx,
     // Drive the wrapped stage with everything polled since its last round,
     // in the multi-port engine's delivery normal form: grouped by tag,
     // sender-sorted within each tag group.
+    for (std::size_t i = 0; i < inbox_accumulator_.size(); ++i) {
+      inbox_accumulator_[i].set_body(
+          sim::PayloadView(acc_bytes_.data() + acc_offsets_[i],
+                           inbox_accumulator_[i].body_len));
+    }
     std::stable_sort(inbox_accumulator_.begin(), inbox_accumulator_.end(),
                      [](const sim::Message& a, const sim::Message& b) {
                        return a.tag != b.tag ? a.tag < b.tag : a.from < b.from;
                      });
-    QueueIo io(queued_, ctx);
+    queued_bytes_.clear();
+    QueueIo io(queued_, queued_bytes_, ctx);
     stage.on_round(stage_round_, inbox_accumulator_, io);
     inbox_accumulator_.clear();
+    acc_offsets_.clear();
+    acc_bytes_.clear();
     budget_ = stage.link_budget(stage_round_);
     plan_ = stage.link_plan(stage_round_);
     LFT_ASSERT(static_cast<int>(plan_.out.size()) <= std::max(1, budget_.max_out));
@@ -71,8 +88,12 @@ sim::SpAction SinglePortStageProcess::on_round(sim::SpContext& ctx,
       const NodeId target = plan_.out[static_cast<std::size_t>(slot_)];
       auto it = queued_.find(target);
       if (it != queued_.end()) {
-        action.send = sim::SpSend{target, it->second.tag, it->second.value, it->second.bits,
-                                  std::move(it->second.body)};
+        // The view into queued_bytes_ stays valid until the next block's
+        // slot 0 — past the engine's enqueue step this round.
+        action.send = sim::SpSend{
+            target, it->second.tag, it->second.value, it->second.bits,
+            sim::PayloadView(queued_bytes_.data() + it->second.body_offset,
+                             it->second.body_len)};
         queued_.erase(it);
       }
     }

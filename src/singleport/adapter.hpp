@@ -33,25 +33,32 @@ class SinglePortStageProcess final : public sim::SinglePortProcess {
   sim::SpAction on_round(sim::SpContext& ctx, const std::optional<sim::Message>& received) override;
 
  private:
+  /// Queued payloads live as (offset, length) slices of queued_bytes_, the
+  /// per-block pool filled while the wrapped stage runs at slot 0 and stable
+  /// until the next block starts — so the SpSend emitted for a slot can view
+  /// it directly.
   struct QueuedSend {
     std::uint32_t tag = 0;
     std::uint64_t value = 0;
     std::uint64_t bits = 1;
-    std::vector<std::byte> body;
+    std::size_t body_offset = 0;
+    std::size_t body_len = 0;
   };
 
   /// Collects the wrapped stage's sends for slot-by-slot emission.
   class QueueIo final : public core::ProtocolIo {
    public:
-    QueueIo(std::map<NodeId, QueuedSend>& queue, sim::SpContext& ctx)
-        : queue_(&queue), ctx_(&ctx) {}
+    QueueIo(std::map<NodeId, QueuedSend>& queue, std::vector<std::byte>& bytes,
+            sim::SpContext& ctx)
+        : queue_(&queue), bytes_(&bytes), ctx_(&ctx) {}
     void send(NodeId to, std::uint32_t tag, std::uint64_t value, std::uint64_t bits,
-              std::vector<std::byte> body) override;
+              sim::PayloadView body) override;
     void decide(std::uint64_t value) override { ctx_->decide(value); }
     void count_fallback() override { ctx_->count_fallback(); }
 
    private:
     std::map<NodeId, QueuedSend>* queue_;
+    std::vector<std::byte>* bytes_;
     sim::SpContext* ctx_;
   };
 
@@ -68,8 +75,16 @@ class SinglePortStageProcess final : public sim::SinglePortProcess {
 
   core::LinkBudget budget_;
   core::LinkPlan plan_;
-  std::map<NodeId, QueuedSend> queued_;          // this block's sends by target
-  std::vector<sim::Message> inbox_accumulator_;  // polled messages for next mp-round
+  std::map<NodeId, QueuedSend> queued_;  // this block's sends by target
+  std::vector<std::byte> queued_bytes_;  // this block's payload pool
+
+  // Polled messages for the next mp-round. Poll payloads are copied into
+  // acc_bytes_ (their engine-side scratch is call-scoped); the messages
+  // record offsets and are rebound to pointers once the block is complete
+  // and acc_bytes_ stops growing.
+  std::vector<sim::Message> inbox_accumulator_;
+  std::vector<std::size_t> acc_offsets_;
+  std::vector<std::byte> acc_bytes_;
 };
 
 }  // namespace lft::singleport

@@ -30,7 +30,7 @@ class RecordingProcess final : public sim::SinglePortProcess {
     if (received.has_value()) {
       h = hash_combine(h, static_cast<std::uint64_t>(received->from));
       h = hash_combine(h, received->value);
-      h = hash_combine(h, hash_bytes(received->body));
+      h = hash_combine(h, hash_bytes(received->body()));
     } else {
       h = hash_combine(h, 0x6e6f6e65ULL);
     }

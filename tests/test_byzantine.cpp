@@ -111,15 +111,21 @@ TEST(CertifiedSet, QuorumVerification) {
 
 // ---- DsNode --------------------------------------------------------------------
 
-sim::Message relay_message(NodeId from, NodeId to, const SignedRelay& relay) {
+// Messages are POD views: the caller owns the payload bytes and must keep
+// them alive while the message is in use.
+std::vector<std::byte> relay_bytes(const SignedRelay& relay) {
   ByteWriter w;
   w.put_varint(1);
   relay.encode(w);
+  return w.take();
+}
+
+sim::Message relay_message(NodeId from, NodeId to, const std::vector<std::byte>& body) {
   sim::Message m;
   m.from = from;
   m.to = to;
   m.tag = core::kTagDsRelay;
-  m.body = w.take();
+  m.set_body(body);
   return m;
 }
 
@@ -140,7 +146,8 @@ TEST(DsNode, AcceptsValidChainAndRelays) {
   auto registry = std::make_shared<crypto::KeyRegistry>(4, 7);
   DsNode node(registry, registry->signer_for(1), 4, 1);
   SignedRelay relay{0, 1, {registry->signer_for(0).sign(SignedRelay::payload_digest(0, 1))}};
-  std::vector<sim::Message> inbox{relay_message(0, 1, relay)};
+  const auto body = relay_bytes(relay);
+  std::vector<sim::Message> inbox{relay_message(0, 1, body)};
   (void)node.step(0, {});
   const auto out = node.step(1, inbox);
   EXPECT_FALSE(out.empty()) << "must countersign and relay";
@@ -151,7 +158,8 @@ TEST(DsNode, RejectsShortChainAtLateRound) {
   auto registry = std::make_shared<crypto::KeyRegistry>(4, 7);
   DsNode node(registry, registry->signer_for(1), 4, 2);
   SignedRelay relay{0, 1, {registry->signer_for(0).sign(SignedRelay::payload_digest(0, 1))}};
-  std::vector<sim::Message> inbox{relay_message(0, 1, relay)};
+  const auto body = relay_bytes(relay);
+  std::vector<sim::Message> inbox{relay_message(0, 1, body)};
   (void)node.step(0, {});
   (void)node.step(1, {});
   (void)node.step(2, inbox);  // 1 signature < round 2: reject
@@ -163,7 +171,9 @@ TEST(DsNode, EquivocationYieldsNull) {
   DsNode node(registry, registry->signer_for(1), 4, 1);
   SignedRelay r0{0, 0, {registry->signer_for(0).sign(SignedRelay::payload_digest(0, 0))}};
   SignedRelay r1{0, 1, {registry->signer_for(0).sign(SignedRelay::payload_digest(0, 1))}};
-  std::vector<sim::Message> inbox{relay_message(0, 1, r0), relay_message(0, 1, r1)};
+  const auto b0 = relay_bytes(r0);
+  const auto b1 = relay_bytes(r1);
+  std::vector<sim::Message> inbox{relay_message(0, 1, b0), relay_message(0, 1, b1)};
   (void)node.step(0, {});
   (void)node.step(1, inbox);
   EXPECT_EQ(node.result().value(0), kNullValue);
@@ -176,7 +186,8 @@ TEST(DsNode, IgnoresGarbageBodies) {
   junk.from = 2;
   junk.to = 1;
   junk.tag = core::kTagDsRelay;
-  junk.body = {std::byte{0xFF}, std::byte{0x03}, std::byte{0x42}};
+  const std::vector<std::byte> junk_bytes{std::byte{0xFF}, std::byte{0x03}, std::byte{0x42}};
+  junk.set_body(junk_bytes);
   std::vector<sim::Message> inbox{junk};
   (void)node.step(0, {});
   (void)node.step(1, inbox);

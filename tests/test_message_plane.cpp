@@ -1,0 +1,340 @@
+// Tests for the zero-copy message plane: POD Message invariants, payload
+// arena integrity across rounds and chunk boundaries, Inbox::with_tag
+// boundary cases, the radix delivery sweep's normal form under duplicate
+// (receiver, tag, sender) triples, pooled single-port payloads, and the
+// bit-identity of serial vs parallel stepping on the crash-consensus and
+// gossip workloads.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "core/consensus.hpp"
+#include "core/gossip.hpp"
+#include "sim/adversary.hpp"
+#include "sim/engine.hpp"
+#include "sim/single_port.hpp"
+#include "test_util.hpp"
+
+namespace lft::sim {
+namespace {
+
+using test::lambda_process;
+
+// ---- POD invariants --------------------------------------------------------
+
+TEST(MessagePlane, MessageIsTriviallyCopyable) {
+  static_assert(std::is_trivially_copyable_v<Message>);
+  static_assert(sizeof(Message) == 40);
+  Message m;
+  m.from = 3;
+  m.to = 4;
+  m.tag = 7;
+  m.value = 42;
+  Message copy;
+  std::memcpy(&copy, &m, sizeof(Message));  // raw relocation must be legal
+  EXPECT_EQ(copy.from, 3);
+  EXPECT_EQ(copy.value, 42u);
+  EXPECT_FALSE(copy.has_body());
+  EXPECT_TRUE(copy.body().empty());
+}
+
+TEST(MessagePlane, PayloadArenaStableAcrossChunks) {
+  PayloadArena arena;
+  // Force several chunks, including an oversize allocation.
+  std::vector<std::byte> small(100, std::byte{0x11});
+  std::vector<std::byte> huge(PayloadArena::kChunkBytes + 123, std::byte{0x22});
+  const PayloadView a = arena.store(small);
+  const PayloadView b = arena.store(huge);
+  const PayloadView c = arena.store(small);
+  EXPECT_EQ(a.size(), small.size());
+  EXPECT_EQ(b.size(), huge.size());
+  EXPECT_EQ(a[0], std::byte{0x11});
+  EXPECT_EQ(b[b.size() - 1], std::byte{0x22});
+  EXPECT_EQ(c[99], std::byte{0x11});
+  EXPECT_EQ(arena.bytes_stored(), 2 * small.size() + huge.size());
+  arena.clear();
+  EXPECT_EQ(arena.bytes_stored(), 0u);
+  // Reuse after clear returns the same storage (no growth).
+  const PayloadView a2 = arena.store(small);
+  EXPECT_EQ(a2.data(), a.data());
+}
+
+// ---- Inbox::with_tag boundary cases ---------------------------------------
+
+Message make_msg(NodeId from, std::uint32_t tag) {
+  Message m;
+  m.from = from;
+  m.to = 0;
+  m.tag = tag;
+  return m;
+}
+
+TEST(MessagePlane, WithTagBoundaries) {
+  // Normal form: grouped by tag ascending.
+  const std::vector<Message> batch{make_msg(1, 2), make_msg(2, 2), make_msg(1, 5),
+                                   make_msg(3, 9)};
+  const Inbox inbox{std::span<const Message>(batch)};
+  EXPECT_EQ(inbox.with_tag(2).size(), 2u);   // first tag
+  EXPECT_EQ(inbox.with_tag(5).size(), 1u);   // middle tag
+  EXPECT_EQ(inbox.with_tag(9).size(), 1u);   // last tag
+  EXPECT_TRUE(inbox.with_tag(0).empty());    // below the first tag
+  EXPECT_TRUE(inbox.with_tag(4).empty());    // between tags
+  EXPECT_TRUE(inbox.with_tag(10).empty());   // above the last tag
+}
+
+TEST(MessagePlane, WithTagSingleMessageInbox) {
+  const std::vector<Message> batch{make_msg(7, 3)};
+  const Inbox inbox{std::span<const Message>(batch)};
+  EXPECT_EQ(inbox.with_tag(3).size(), 1u);
+  EXPECT_EQ(inbox.with_tag(3)[0].from, 7);
+  EXPECT_TRUE(inbox.with_tag(2).empty());
+  EXPECT_TRUE(inbox.with_tag(4).empty());
+}
+
+TEST(MessagePlane, WithTagEmptyInbox) {
+  const Inbox inbox;
+  EXPECT_TRUE(inbox.with_tag(0).empty());
+  EXPECT_TRUE(inbox.empty());
+}
+
+// ---- delivery normal form under the radix sweep ---------------------------
+
+TEST(MessagePlane, DuplicateTriplesPreserveSendOrder) {
+  // Two senders each send three messages with the *same* (receiver, tag)
+  // and one with a second tag, interleaved with sends to another receiver.
+  // The radix sweep must produce receiver-then-tag groups, sender-ascending
+  // within a group, send-order within a sender.
+  Engine engine(3, {});
+  std::vector<std::uint64_t> seen;
+  for (NodeId v = 1; v < 3; ++v) {
+    engine.set_process(v, lambda_process([](Context& ctx, const Inbox&) {
+                         if (ctx.round() == 0) {
+                           const auto base = static_cast<std::uint64_t>(ctx.self()) * 100;
+                           ctx.send(0, 8, base + 1);  // higher tag first
+                           ctx.send(0, 4, base + 2);
+                           ctx.send(0, 4, base + 3);  // duplicate triple of ^
+                           ctx.send(0, 4, base + 4);  // and again
+                         }
+                         ctx.halt();
+                       }));
+  }
+  engine.set_process(0, lambda_process([&seen](Context& ctx, const Inbox& inbox) {
+                       for (const auto& m : inbox) seen.push_back(m.value);
+                       if (ctx.round() >= 1) ctx.halt();
+                     }));
+  engine.run();
+  const std::vector<std::uint64_t> expected{102, 103, 104, 202, 203, 204, 101, 201};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(MessagePlane, DegenerateTagsStillNormalForm) {
+  // Tags past the counting-sort domain fall back to a comparison sort; the
+  // normal form must be unchanged.
+  Engine engine(2, {});
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> seen;
+  engine.set_process(1, lambda_process([](Context& ctx, const Inbox&) {
+                       if (ctx.round() == 0) {
+                         ctx.send(0, 0xFFFFFFFFu, 1);
+                         ctx.send(0, 3, 2);
+                         ctx.send(0, 0x10000u, 3);
+                         ctx.send(0, 3, 4);
+                       }
+                       ctx.halt();
+                     }));
+  engine.set_process(0, lambda_process([&seen](Context& ctx, const Inbox& inbox) {
+                       for (const auto& m : inbox) seen.emplace_back(m.tag, m.value);
+                       if (ctx.round() >= 1) ctx.halt();
+                     }));
+  engine.run();
+  const std::vector<std::pair<std::uint32_t, std::uint64_t>> expected{
+      {3, 2}, {3, 4}, {0x10000u, 3}, {0xFFFFFFFFu, 1}};
+  EXPECT_EQ(seen, expected);
+}
+
+// ---- payload integrity across the double-buffered arenas -------------------
+
+TEST(MessagePlane, PayloadBytesSurviveDelivery) {
+  // Bodies of many sizes (including > one arena chunk) sent every round for
+  // several rounds: each receipt must read back exactly the sent pattern,
+  // exercising arena reuse across the double buffer.
+  const NodeId n = 4;
+  const Round rounds = 6;
+  Engine engine(n, {});
+  std::int64_t checked = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    engine.set_process(v, lambda_process([&checked, n, rounds](Context& ctx,
+                                                               const Inbox& inbox) {
+                         for (const auto& m : inbox) {
+                           const auto body = m.body();
+                           ASSERT_EQ(body.size(), m.value);
+                           const auto fill = static_cast<std::byte>(m.from * 16 + 1);
+                           for (const std::byte b : body) ASSERT_EQ(b, fill);
+                           ++checked;
+                         }
+                         if (ctx.round() >= rounds) {
+                           ctx.halt();
+                           return;
+                         }
+                         const std::size_t len =
+                             ctx.round() % 2 == 0
+                                 ? 64u * static_cast<std::size_t>(ctx.self() + 1)
+                                 : PayloadArena::kChunkBytes + 7;
+                         const std::vector<std::byte> body(
+                             len, static_cast<std::byte>(ctx.self() * 16 + 1));
+                         ctx.send((ctx.self() + 1) % n, 1, len, 1 + 8 * len, body);
+                       }));
+  }
+  const Report report = engine.run();
+  EXPECT_EQ(checked, static_cast<std::int64_t>(n) * rounds);
+  EXPECT_TRUE(report.completed);
+}
+
+// ---- single-port pooled payloads -------------------------------------------
+
+TEST(MessagePlane, SinglePortQueuePoolsPayloads) {
+  // Node 0 pushes a payload every round; node 1 polls only every other
+  // round, building a backlog that crosses the queue-compaction threshold.
+  // Every dequeued payload must match its message's value-encoded pattern.
+  SinglePortConfig config;
+  SinglePortEngine engine(2, config);
+  std::int64_t received = 0;
+  engine.set_process(
+      0, test::sp_lambda([scratch = std::vector<std::byte>()](
+                             SpContext& ctx, const std::optional<Message>&) mutable {
+        SpAction action;
+        if (ctx.round() < 24) {
+          // Process-owned scratch: valid until the engine enqueues the send.
+          scratch.assign(static_cast<std::size_t>(ctx.round()) + 1,
+                         static_cast<std::byte>(ctx.round() + 1));
+          action.send = SpSend{1, 2, static_cast<std::uint64_t>(ctx.round()), 1,
+                               PayloadView(scratch)};
+        } else {
+          ctx.halt();
+        }
+        return action;
+      }));
+  engine.set_process(1, test::sp_lambda([&received](SpContext& ctx,
+                                                    const std::optional<Message>& r) {
+                       if (r.has_value()) {
+                         const auto body = r->body();
+                         EXPECT_EQ(body.size(), r->value + 1);
+                         for (const std::byte b : body) {
+                           EXPECT_EQ(b, static_cast<std::byte>(r->value + 1));
+                         }
+                         ++received;
+                       }
+                       SpAction action;
+                       if (ctx.round() % 2 == 0) action.poll = 0;
+                       if (ctx.round() >= 60) ctx.halt();
+                       return action;
+                     }));
+  const Report report = engine.run();
+  EXPECT_TRUE(report.completed);
+  EXPECT_GE(received, 20);
+}
+
+// ---- serial vs parallel bit-identity ---------------------------------------
+
+void expect_reports_identical(const Report& a, const Report& b) {
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.metrics.messages_total, b.metrics.messages_total);
+  EXPECT_EQ(a.metrics.bits_total, b.metrics.bits_total);
+  EXPECT_EQ(a.metrics.messages_honest, b.metrics.messages_honest);
+  EXPECT_EQ(a.metrics.bits_honest, b.metrics.bits_honest);
+  EXPECT_EQ(a.metrics.max_sends_per_node, b.metrics.max_sends_per_node);
+  EXPECT_EQ(a.metrics.fallback_pulls, b.metrics.fallback_pulls);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+  EXPECT_EQ(a.metrics.peak_round_messages, b.metrics.peak_round_messages);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t v = 0; v < a.nodes.size(); ++v) {
+    EXPECT_EQ(a.nodes[v].crashed, b.nodes[v].crashed) << "node " << v;
+    EXPECT_EQ(a.nodes[v].crash_round, b.nodes[v].crash_round) << "node " << v;
+    EXPECT_EQ(a.nodes[v].halted, b.nodes[v].halted) << "node " << v;
+    EXPECT_EQ(a.nodes[v].decided, b.nodes[v].decided) << "node " << v;
+    EXPECT_EQ(a.nodes[v].decision, b.nodes[v].decision) << "node " << v;
+    EXPECT_EQ(a.nodes[v].sends, b.nodes[v].sends) << "node " << v;
+  }
+}
+
+TEST(MessagePlane, ParallelSteppingBitIdenticalFanout) {
+  // Raw engine workload with payloads: enough active nodes to engage the
+  // worker pool (the parallel threshold is 256 active).
+  const NodeId n = 512;
+  auto build_and_run = [n](int threads) {
+    EngineConfig config;
+    config.threads = threads;
+    Engine engine(n, config);
+    for (NodeId v = 0; v < n; ++v) {
+      engine.set_process(v, lambda_process([n](Context& ctx, const Inbox& inbox) {
+                           std::uint64_t acc = 0;
+                           for (const auto& m : inbox) {
+                             for (const std::byte b : m.body()) {
+                               acc += static_cast<std::uint64_t>(b);
+                             }
+                           }
+                           if (ctx.round() >= 5) {
+                             ctx.halt();
+                             return;
+                           }
+                           const std::vector<std::byte> body(
+                               static_cast<std::size_t>(ctx.self() % 50),
+                               static_cast<std::byte>(ctx.self()));
+                           for (int i = 0; i < 3; ++i) {
+                             const auto to = static_cast<NodeId>(
+                                 (ctx.self() * 13 + i * 7 + acc) % n);
+                             ctx.send(to, static_cast<std::uint32_t>(i), acc, 1, body);
+                           }
+                         }));
+    }
+    return engine.run();
+  };
+  const Report serial = build_and_run(1);
+  const Report parallel = build_and_run(4);
+  expect_reports_identical(serial, parallel);
+}
+
+TEST(MessagePlane, ParallelSteppingBitIdenticalCrashConsensus) {
+  const NodeId n = 512;
+  const std::int64_t t = 40;
+  const auto params = core::ConsensusParams::practical(n, t);
+  std::vector<int> inputs(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) inputs[static_cast<std::size_t>(v)] = (v * 3 + 1) % 2;
+  auto run_with_threads = [&](int threads) {
+    return core::run_system(
+        n, t,
+        [&](NodeId v) {
+          return core::make_few_crashes_process(params, v,
+                                                inputs[static_cast<std::size_t>(v)]);
+        },
+        make_scheduled(random_crash_schedule(n, t, 0, 4 * t, 0.5, 99)),
+        Round{1} << 22, threads);
+  };
+  const Report serial = run_with_threads(1);
+  const Report parallel = run_with_threads(3);
+  EXPECT_TRUE(serial.completed);
+  expect_reports_identical(serial, parallel);
+}
+
+TEST(MessagePlane, ParallelSteppingBitIdenticalGossip) {
+  const NodeId n = 400;
+  const std::int64_t t = 30;
+  const auto params = core::GossipParams::practical(n, t);
+  std::vector<std::uint64_t> rumors(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) rumors[static_cast<std::size_t>(v)] = 1000u + v;
+  auto run_with_threads = [&](int threads) {
+    return core::run_gossip(params, rumors,
+                            make_scheduled(random_crash_schedule(n, t, 0, 40, 0.5, 7)),
+                            threads);
+  };
+  const auto serial = run_with_threads(1);
+  const auto parallel = run_with_threads(4);
+  EXPECT_TRUE(serial.termination);
+  expect_reports_identical(serial.report, parallel.report);
+}
+
+}  // namespace
+}  // namespace lft::sim

@@ -11,7 +11,10 @@
 #include <type_traits>
 #include <utility>
 
+#include <optional>
+
 #include "sim/engine.hpp"
+#include "sim/single_port.hpp"
 
 namespace lft::test {
 
@@ -33,6 +36,25 @@ inline std::unique_ptr<sim::Process> lambda_process(LambdaProcess::Fn fn) {
 /// Does nothing and halts immediately.
 inline std::unique_ptr<sim::Process> idle_process() {
   return lambda_process([](sim::Context& ctx, const sim::Inbox&) { ctx.halt(); });
+}
+
+/// Scriptable single-port process: runs a user lambda each round.
+class SpLambdaProcess final : public sim::SinglePortProcess {
+ public:
+  using Fn =
+      std::function<sim::SpAction(sim::SpContext&, const std::optional<sim::Message>&)>;
+  explicit SpLambdaProcess(Fn fn) : fn_(std::move(fn)) {}
+  sim::SpAction on_round(sim::SpContext& ctx,
+                         const std::optional<sim::Message>& received) override {
+    return fn_(ctx, received);
+  }
+
+ private:
+  Fn fn_;
+};
+
+inline std::unique_ptr<sim::SinglePortProcess> sp_lambda(SpLambdaProcess::Fn fn) {
+  return std::make_unique<SpLambdaProcess>(std::move(fn));
 }
 
 namespace detail {
