@@ -56,7 +56,7 @@ AeaRun run_aea_with(std::shared_ptr<const graph::Graph> little_g, NodeId n, Node
     procs.push_back(proc.get());
     engine.set_process(v, std::move(proc));
   }
-  engine.set_adversary(sim::make_scheduled(sim::burst_crash_schedule(n, t, 1, seed + 1)));
+  engine.add_fault_injector(sim::make_scheduled(sim::burst_crash_schedule(n, t, 1, seed + 1)));
   const auto report = engine.run();
 
   AeaRun out;
@@ -155,7 +155,7 @@ void overlay_family_table() {
       procs.push_back(proc.get());
       engine.set_process(v, std::move(proc));
     }
-    engine.set_adversary(sim::make_scheduled(attack.crashes));
+    engine.add_fault_injector(sim::make_scheduled(attack.crashes));
     const auto report = engine.run();
 
     std::int64_t decided_or_crashed = 0;

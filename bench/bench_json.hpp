@@ -1,11 +1,10 @@
 // Machine-readable bench output: each table row the bench prints is also
-// recorded as a flat JSON object, and `--json=PATH` (parsed before
-// google-benchmark sees argv) writes the rows as a JSON array so CI can
-// archive the perf trajectory (BENCH_*.json artifacts). No dependencies —
-// values are integers, doubles, or plain strings.
+// recorded as a flat JSON object, and `--json=PATH` writes the rows as a
+// JSON array so CI can archive the perf trajectory (BENCH_*.json artifacts).
+// No dependencies — values are integers, doubles, or plain strings; the
+// scenario runner reuses this without linking Google Benchmark (the
+// benchmark-aware table_main lives in table_main.hpp).
 #pragma once
-
-#include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdint>
@@ -101,24 +100,6 @@ inline void record_table_row(JsonRows* json,
   json->field("bits", bits);
   json->field("wall_ms", wall_ms);
   json->field("ok", std::string(ok ? "yes" : "NO"));
-}
-
-/// Shared main body for the table benches: parses `--json=PATH`, runs
-/// `print` (with a JsonRows sink or nullptr), writes the file, then hands
-/// the remaining argv to google-benchmark. Returns the process exit code.
-template <class PrintFn>
-int table_main(int argc, char** argv, PrintFn&& print) {
-  const std::string json_path = json_flag(argc, argv);
-  JsonRows rows;
-  JsonRows* json = json_path.empty() ? nullptr : &rows;
-  print(json);
-  if (json != nullptr && !rows.write_file(json_path)) {
-    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
-    return 1;
-  }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
 }
 
 /// Wall-clock stopwatch for per-row timings.

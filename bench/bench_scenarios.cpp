@@ -1,0 +1,64 @@
+// Scenario-harness bench: replays every registered fault scenario once as a
+// table (with --json=PATH capture for the BENCH_scenarios trajectory) and
+// times representative scenarios from each fault class under
+// google-benchmark — engine overhead of the fault plane shows up here first.
+#include <string>
+
+#include "bench_util.hpp"
+#include "scenarios/scenarios.hpp"
+#include "table_main.hpp"
+
+namespace lft::bench {
+namespace {
+
+void print_scenario_table(JsonRows* json) {
+  banner("fault scenarios", "every registered (protocol x fault plan x size) scenario, seed 1");
+  Table table({"fault", "n", "t", "rounds", "messages", "wall_ms", "ok"});
+  std::printf("%-28s", "scenario");
+  table.print_header();
+  for (const auto& s : scenarios::all_scenarios()) {
+    const WallTimer timer;
+    const auto result = s.run(/*seed=*/1, /*threads=*/1);
+    const double wall_ms = timer.ms();
+    std::printf("%-28s", s.name.c_str());
+    table.cell(s.fault_kind);
+    table.cell(static_cast<std::int64_t>(s.n));
+    table.cell(s.t);
+    table.cell(static_cast<std::int64_t>(result.report.rounds));
+    table.cell(result.report.metrics.messages_total);
+    table.cell(wall_ms);
+    table.cell(result.ok ? "yes" : "NO");
+    table.end_row();
+    record_table_row(json, {{"scenario", s.name.c_str()}, {"fault", s.fault_kind.c_str()}},
+                     s.n, s.t, result.report.rounds, result.report.metrics.messages_total,
+                     result.report.metrics.bits_total, wall_ms, result.ok);
+  }
+}
+
+void bm_scenario(benchmark::State& state, const char* name) {
+  const auto* scenario = scenarios::find_scenario(name);
+  if (scenario == nullptr) {
+    state.SkipWithError("unknown scenario");
+    return;
+  }
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto result = scenario->run(seed++, /*threads=*/1);
+    benchmark::DoNotOptimize(result.report.rounds);
+  }
+}
+
+BENCHMARK_CAPTURE(bm_scenario, crash_burst_flood, "crash_burst_flood")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_scenario, omission_send_quorum, "omission_send_quorum")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_scenario, partition_split_heal, "partition_split_heal")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_scenario, byz_flooders, "byz_flooders")->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lft::bench
+
+int main(int argc, char** argv) {
+  return lft::bench::table_main(argc, argv, lft::bench::print_scenario_table);
+}

@@ -50,7 +50,7 @@ inline std::vector<int> random_binary_inputs(NodeId n, std::uint64_t seed) {
   return inputs;
 }
 
-inline std::unique_ptr<sim::CrashAdversary> random_crashes(NodeId n, std::int64_t t,
+inline std::unique_ptr<sim::FaultInjector> random_crashes(NodeId n, std::int64_t t,
                                                            Round window, std::uint64_t seed) {
   if (t == 0) return nullptr;
   return sim::make_scheduled(sim::random_crash_schedule(n, t, 0, window, 0.0, seed));

@@ -8,7 +8,7 @@
 #include <cmath>
 
 #include "baselines/baselines.hpp"
-#include "bench_json.hpp"
+#include "table_main.hpp"
 #include "bench_util.hpp"
 #include "byzantine/ab_consensus.hpp"
 

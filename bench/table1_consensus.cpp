@@ -8,7 +8,7 @@
 // BENCH_table1_consensus.json so the perf trajectory is machine-readable.
 #include <benchmark/benchmark.h>
 
-#include "bench_json.hpp"
+#include "table_main.hpp"
 #include "bench_util.hpp"
 #include "common/math.hpp"
 #include "core/consensus.hpp"

@@ -4,7 +4,7 @@
 // over, showing the boundary.
 #include <benchmark/benchmark.h>
 
-#include "bench_json.hpp"
+#include "table_main.hpp"
 #include "bench_util.hpp"
 #include "common/math.hpp"
 #include "core/checkpointing.hpp"

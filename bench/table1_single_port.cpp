@@ -4,7 +4,7 @@
 // term necessary).
 #include <benchmark/benchmark.h>
 
-#include "bench_json.hpp"
+#include "table_main.hpp"
 #include "bench_util.hpp"
 #include "common/math.hpp"
 #include "singleport/linear_consensus.hpp"

@@ -1,0 +1,33 @@
+// Shared main body for the table benches (split from bench_json.hpp so
+// non-benchmark binaries — e.g. the scenario runner — can use the JSON
+// helpers without linking Google Benchmark).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench_json.hpp"
+
+namespace lft::bench {
+
+/// Parses `--json=PATH`, runs `print` (with a JsonRows sink or nullptr),
+/// writes the file, then hands the remaining argv to google-benchmark.
+/// Returns the process exit code.
+template <class PrintFn>
+int table_main(int argc, char** argv, PrintFn&& print) {
+  const std::string json_path = json_flag(argc, argv);
+  JsonRows rows;
+  JsonRows* json = json_path.empty() ? nullptr : &rows;
+  print(json);
+  if (json != nullptr && !rows.write_file(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}
+
+}  // namespace lft::bench

@@ -1,0 +1,171 @@
+// Scenario runner CLI: executes named (protocol × fault plan × size)
+// scenarios from the registry in src/scenarios/.
+//
+//   lft_scenarios --list
+//   lft_scenarios --all [--seed=N] [--threads=N] [--verify-determinism] [--json=PATH]
+//   lft_scenarios --run=name[,name...] [...]
+//
+// --verify-determinism re-runs every scenario with the same seed (serial and
+// with the parallel stepper) and fails unless the Report fingerprints are
+// bit-identical. --json=PATH writes one row per scenario in the BENCH_*.json
+// artifact schema (bench/bench_json.hpp). Exit code is nonzero if any
+// scenario's invariant (or the determinism check) fails.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace {
+
+using lft::bench::JsonRows;
+using lft::bench::WallTimer;
+using lft::scenarios::all_scenarios;
+using lft::scenarios::Scenario;
+using lft::scenarios::ScenarioResult;
+
+void print_usage() {
+  std::printf(
+      "usage: lft_scenarios --list\n"
+      "       lft_scenarios (--all | --run=name[,name...])\n"
+      "                     [--seed=N] [--threads=N] [--verify-determinism] [--json=PATH]\n");
+}
+
+void list_scenarios() {
+  std::printf("%-28s %-14s %-10s %6s %5s  %s\n", "name", "protocol", "fault", "n", "t",
+              "description");
+  for (const auto& s : all_scenarios()) {
+    std::printf("%-28s %-14s %-10s %6d %5lld  %s\n", s.name.c_str(), s.protocol.c_str(),
+                s.fault_kind.c_str(), s.n, static_cast<long long>(s.t),
+                s.description.c_str());
+  }
+}
+
+struct Options {
+  bool list = false;
+  bool all = false;
+  bool verify_determinism = false;
+  std::uint64_t seed = 1;
+  int threads = 1;
+  std::vector<std::string> names;
+  std::string json_path;
+};
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg == "--list") {
+      opt.list = true;
+    } else if (arg == "--all") {
+      opt.all = true;
+    } else if (arg == "--verify-determinism") {
+      opt.verify_determinism = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = std::strtoull(value_of("--seed=").c_str(), nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opt.threads = static_cast<int>(std::strtol(value_of("--threads=").c_str(), nullptr, 10));
+      if (opt.threads < 1) opt.threads = 1;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opt.json_path = value_of("--json=");
+    } else if (arg.rfind("--run=", 0) == 0) {
+      std::string rest = value_of("--run=");
+      std::size_t pos = 0;
+      while (pos <= rest.size()) {
+        const std::size_t comma = rest.find(',', pos);
+        const std::string name =
+            rest.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (!name.empty()) opt.names.push_back(name);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    print_usage();
+    return 2;
+  }
+  if (opt.list) {
+    list_scenarios();
+    return 0;
+  }
+  std::vector<const Scenario*> selected;
+  if (opt.all) {
+    for (const auto& s : all_scenarios()) selected.push_back(&s);
+  } else {
+    for (const auto& name : opt.names) {
+      const Scenario* s = lft::scenarios::find_scenario(name);
+      if (s == nullptr) {
+        std::fprintf(stderr, "unknown scenario: %s (see --list)\n", name.c_str());
+        return 2;
+      }
+      selected.push_back(s);
+    }
+  }
+  if (selected.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  JsonRows rows;
+  bool all_ok = true;
+  std::printf("%-28s %-10s %8s %12s %6s %10s  %s\n", "name", "fault", "rounds", "messages",
+              "ok", "wall_ms", "detail");
+  for (const Scenario* s : selected) {
+    const WallTimer timer;
+    ScenarioResult result = s->run(opt.seed, opt.threads);
+    const double wall_ms = timer.ms();
+    const std::uint64_t digest = lft::scenarios::fingerprint(result.report);
+
+    bool deterministic = true;
+    if (opt.verify_determinism) {
+      // Same seed, serial: must be bit-identical. Same seed, parallel
+      // stepper: must also be bit-identical (the engine guarantees it).
+      deterministic =
+          lft::scenarios::fingerprint(s->run(opt.seed, 1).report) == digest &&
+          lft::scenarios::fingerprint(s->run(opt.seed, 4).report) == digest;
+      if (!deterministic) result.detail += " DETERMINISM-MISMATCH";
+    }
+
+    const bool ok = result.ok && deterministic;
+    all_ok = all_ok && ok;
+    std::printf("%-28s %-10s %8lld %12lld %6s %10.1f  %s\n", s->name.c_str(),
+                s->fault_kind.c_str(), static_cast<long long>(result.report.rounds),
+                static_cast<long long>(result.report.metrics.messages_total),
+                ok ? "yes" : "NO", wall_ms, result.detail.c_str());
+
+    rows.begin_row();
+    rows.field("scenario", s->name);
+    rows.field("protocol", s->protocol);
+    rows.field("fault", s->fault_kind);
+    rows.field("n", static_cast<std::int64_t>(s->n));
+    rows.field("t", s->t);
+    rows.field("seed", static_cast<std::int64_t>(opt.seed));
+    rows.field("rounds", static_cast<std::int64_t>(result.report.rounds));
+    rows.field("messages", result.report.metrics.messages_total);
+    rows.field("bits", result.report.metrics.bits_total);
+    rows.field("wall_ms", wall_ms);
+    rows.field("fingerprint", static_cast<std::int64_t>(digest));
+    rows.field("ok", std::string(ok ? "yes" : "NO"));
+  }
+
+  if (!opt.json_path.empty() && !rows.write_file(opt.json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", opt.json_path.c_str());
+    return 1;
+  }
+  return all_ok ? 0 : 1;
+}

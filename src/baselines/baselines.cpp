@@ -196,7 +196,7 @@ class DsFullProcess final : public sim::Process {
 }  // namespace
 
 core::ConsensusOutcome run_floodset(NodeId n, std::int64_t t, std::span<const int> inputs,
-                                    std::unique_ptr<sim::CrashAdversary> adversary) {
+                                    std::unique_ptr<sim::FaultInjector> adversary) {
   LFT_ASSERT(static_cast<NodeId>(inputs.size()) == n);
   auto report = core::run_system(
       n, t,
@@ -209,7 +209,7 @@ core::ConsensusOutcome run_floodset(NodeId n, std::int64_t t, std::span<const in
 
 core::ConsensusOutcome run_rotating_coordinator(NodeId n, std::int64_t t,
                                                 std::span<const int> inputs,
-                                                std::unique_ptr<sim::CrashAdversary> adversary) {
+                                                std::unique_ptr<sim::FaultInjector> adversary) {
   LFT_ASSERT(static_cast<NodeId>(inputs.size()) == n);
   auto report = core::run_system(
       n, t,
@@ -221,20 +221,22 @@ core::ConsensusOutcome run_rotating_coordinator(NodeId n, std::int64_t t,
 }
 
 NaiveGossipOutcome run_all_to_all_gossip(NodeId n, std::int64_t t,
-                                         std::unique_ptr<sim::CrashAdversary> adversary) {
+                                         std::unique_ptr<sim::FaultInjector> adversary) {
   sim::EngineConfig config;
   config.crash_budget = t;
+  config.omission_budget = t;
   sim::Engine engine(n, config);
   for (NodeId v = 0; v < n; ++v) {
     engine.set_process(v, std::make_unique<AllToAllGossipProcess>(n, v));
   }
-  if (adversary != nullptr) engine.set_adversary(std::move(adversary));
+  if (adversary != nullptr) engine.add_fault_injector(std::move(adversary));
   NaiveGossipOutcome out;
   out.report = engine.run();
   out.condition1 = true;
   out.condition2 = true;
   for (NodeId v = 0; v < n; ++v) {
-    if (out.report.nodes[static_cast<std::size_t>(v)].crashed) continue;
+    const auto& vs = out.report.nodes[static_cast<std::size_t>(v)];
+    if (vs.crashed || vs.omission) continue;  // faulty nodes are exempt
     const auto& extant =
         static_cast<const AllToAllGossipProcess&>(engine.process(v)).extant();
     for (NodeId j = 0; j < n; ++j) {
@@ -242,28 +244,32 @@ NaiveGossipOutcome run_all_to_all_gossip(NodeId n, std::int64_t t,
       if (js.crashed && js.sends == 0 && j != v && extant.test(static_cast<std::size_t>(j))) {
         out.condition1 = false;
       }
-      if (!js.crashed && !extant.test(static_cast<std::size_t>(j))) out.condition2 = false;
+      if (!js.crashed && !js.omission && !extant.test(static_cast<std::size_t>(j))) {
+        out.condition2 = false;
+      }
     }
   }
   return out;
 }
 
 NaiveCheckpointOutcome run_naive_checkpointing(NodeId n, std::int64_t t,
-                                               std::unique_ptr<sim::CrashAdversary> adversary) {
+                                               std::unique_ptr<sim::FaultInjector> adversary) {
   sim::EngineConfig config;
   config.crash_budget = t;
+  config.omission_budget = t;
   sim::Engine engine(n, config);
   for (NodeId v = 0; v < n; ++v) {
     engine.set_process(v, std::make_unique<NaiveCheckpointProcess>(n, t, v));
   }
-  if (adversary != nullptr) engine.set_adversary(std::move(adversary));
+  if (adversary != nullptr) engine.add_fault_injector(std::move(adversary));
   NaiveCheckpointOutcome out;
   out.report = engine.run();
   out.termination = out.report.completed;
   out.condition1 = out.condition2 = out.condition3 = true;
   const DynamicBitset* reference = nullptr;
   for (NodeId v = 0; v < n; ++v) {
-    if (out.report.nodes[static_cast<std::size_t>(v)].crashed) continue;
+    const auto& vs = out.report.nodes[static_cast<std::size_t>(v)];
+    if (vs.crashed || vs.omission) continue;  // faulty nodes are exempt
     const auto& proc = static_cast<const NaiveCheckpointProcess&>(engine.process(v));
     if (!proc.decided()) {
       out.termination = false;
@@ -280,7 +286,9 @@ NaiveCheckpointOutcome run_naive_checkpointing(NodeId n, std::int64_t t,
       if (js.crashed && js.sends == 0 && set.test(static_cast<std::size_t>(j))) {
         out.condition1 = false;
       }
-      if (!js.crashed && !set.test(static_cast<std::size_t>(j))) out.condition2 = false;
+      if (!js.crashed && !js.omission && !set.test(static_cast<std::size_t>(j))) {
+        out.condition2 = false;
+      }
     }
   }
   return out;

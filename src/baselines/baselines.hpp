@@ -30,12 +30,12 @@ namespace lft::baselines {
 /// FloodSet binary consensus (crash model).
 [[nodiscard]] core::ConsensusOutcome run_floodset(NodeId n, std::int64_t t,
                                                   std::span<const int> inputs,
-                                                  std::unique_ptr<sim::CrashAdversary> adversary);
+                                                  std::unique_ptr<sim::FaultInjector> adversary);
 
 /// Rotating-coordinator binary consensus (crash model).
 [[nodiscard]] core::ConsensusOutcome run_rotating_coordinator(
     NodeId n, std::int64_t t, std::span<const int> inputs,
-    std::unique_ptr<sim::CrashAdversary> adversary);
+    std::unique_ptr<sim::FaultInjector> adversary);
 
 /// One-shot all-to-all gossip. Returns per-node extant bitsets via the
 /// outcome's process inspection; the report carries the cost metrics.
@@ -45,7 +45,7 @@ struct NaiveGossipOutcome {
   bool condition2 = false;
 };
 [[nodiscard]] NaiveGossipOutcome run_all_to_all_gossip(
-    NodeId n, std::int64_t t, std::unique_ptr<sim::CrashAdversary> adversary);
+    NodeId n, std::int64_t t, std::unique_ptr<sim::FaultInjector> adversary);
 
 /// All-to-all presence exchange followed by t+1 coordinator set-broadcast
 /// phases; all non-faulty nodes decide the same member set.
@@ -60,7 +60,7 @@ struct NaiveCheckpointOutcome {
   }
 };
 [[nodiscard]] NaiveCheckpointOutcome run_naive_checkpointing(
-    NodeId n, std::int64_t t, std::unique_ptr<sim::CrashAdversary> adversary);
+    NodeId n, std::int64_t t, std::unique_ptr<sim::FaultInjector> adversary);
 
 /// n parallel Dolev-Strong broadcasts over all n nodes; decision is the
 /// maximum resolved value. `byzantine` assigns behaviors as in

@@ -359,26 +359,37 @@ std::unique_ptr<sim::Process> make_byzantine_process(const std::string& kind,
 
 AbOutcome run_ab_consensus(const AbParams& params, std::span<const std::uint64_t> inputs,
                            const std::vector<std::pair<NodeId, std::string>>& byzantine) {
-  LFT_ASSERT(static_cast<NodeId>(inputs.size()) == params.n);
   LFT_ASSERT(static_cast<std::int64_t>(byzantine.size()) <= params.t);
+  // The static byzantine set is the degenerate fault plan: every takeover
+  // fires in the pre-round phase of round 0, before any honest send.
+  sim::FaultPlan plan;
+  for (const auto& [node, kind] : byzantine) plan.takeover(node, 0, kind);
+  return run_ab_consensus_plan(params, inputs, std::move(plan));
+}
+
+AbOutcome run_ab_consensus_plan(const AbParams& params, std::span<const std::uint64_t> inputs,
+                                sim::FaultPlan plan, int threads) {
+  LFT_ASSERT(static_cast<NodeId>(inputs.size()) == params.n);
   auto cfg = AbConfig::build(params);
 
   sim::EngineConfig engine_config;
   engine_config.max_rounds = cfg->duration() + 8;
+  engine_config.crash_budget = params.t;
+  engine_config.omission_budget = params.t;
+  engine_config.byzantine_budget = params.t;
+  engine_config.threads = threads;
   sim::Engine engine(params.n, engine_config);
 
-  std::vector<bool> is_byz(static_cast<std::size_t>(params.n), false);
-  for (const auto& [node, kind] : byzantine) {
-    is_byz[static_cast<std::size_t>(node)] = true;
-    engine.set_process(node, make_byzantine_process(kind, cfg, node,
-                                                    make_seed(0xBAD, node)));
-    engine.mark_byzantine(node);
-  }
   for (NodeId v = 0; v < params.n; ++v) {
-    if (!is_byz[static_cast<std::size_t>(v)]) {
-      engine.set_process(
-          v, std::make_unique<AbConsensusProcess>(cfg, v, inputs[static_cast<std::size_t>(v)]));
-    }
+    engine.set_process(
+        v, std::make_unique<AbConsensusProcess>(cfg, v, inputs[static_cast<std::size_t>(v)]));
+  }
+  if (!plan.crashes.empty() || !plan.omissions.empty() || !plan.links.empty() ||
+      !plan.partitions.empty() || !plan.takeovers.empty()) {
+    engine.add_fault_injector(sim::make_plan_injector(
+        std::move(plan), [&cfg](NodeId node, const std::string& kind) {
+          return make_byzantine_process(kind, cfg, node, make_seed(0xBAD, node));
+        }));
   }
 
   AbOutcome out;
@@ -387,7 +398,7 @@ AbOutcome run_ab_consensus(const AbParams& params, std::span<const std::uint64_t
   out.agreement = true;
   for (NodeId v = 0; v < params.n; ++v) {
     const auto& s = out.report.nodes[static_cast<std::size_t>(v)];
-    if (s.byzantine) continue;
+    if (s.byzantine || s.crashed || s.omission) continue;  // faulty nodes are exempt
     if (!s.decided) {
       out.termination = false;
       continue;
@@ -396,13 +407,14 @@ AbOutcome run_ab_consensus(const AbParams& params, std::span<const std::uint64_t
     out.decision = s.decision;
   }
   // The Figure 7 max rule, checkable when every little node is honest.
-  bool any_little_byz = false;
+  bool any_little_faulty = false;
   std::uint64_t max_input = 0;
   for (NodeId v = 0; v < params.little_count; ++v) {
-    if (is_byz[static_cast<std::size_t>(v)]) any_little_byz = true;
+    const auto& s = out.report.nodes[static_cast<std::size_t>(v)];
+    if (s.byzantine || s.crashed || s.omission) any_little_faulty = true;
     max_input = std::max(max_input, inputs[static_cast<std::size_t>(v)]);
   }
-  if (!any_little_byz && out.decision) {
+  if (!any_little_faulty && out.decision) {
     out.max_rule_holds = (*out.decision == max_input);
   }
   return out;

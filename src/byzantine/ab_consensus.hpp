@@ -88,9 +88,19 @@ struct AbOutcome {
 };
 
 /// Runs AB-Consensus: inputs[v] is node v's binary input; byzantine maps
-/// node id -> behavior kind for the faulty nodes (size <= t).
+/// node id -> behavior kind for the faulty nodes (size <= t). Implemented as
+/// a fault plan whose takeovers fire at round 0.
 [[nodiscard]] AbOutcome run_ab_consensus(
     const AbParams& params, std::span<const std::uint64_t> inputs,
     const std::vector<std::pair<NodeId, std::string>>& byzantine);
+
+/// Runs AB-Consensus against a declarative fault plan. Takeover kinds in the
+/// plan are resolved through make_byzantine_process ("silent", "equivocate",
+/// "flood"); crash/omission/partition/link events apply as scheduled, each
+/// fault class budgeted at t. `threads` opts into the engine's deterministic
+/// parallel stepper (bit-identical Reports for every value).
+[[nodiscard]] AbOutcome run_ab_consensus_plan(const AbParams& params,
+                                              std::span<const std::uint64_t> inputs,
+                                              sim::FaultPlan plan, int threads = 1);
 
 }  // namespace lft::byzantine

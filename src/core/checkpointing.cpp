@@ -42,17 +42,20 @@ const DynamicBitset& CheckpointProcess::decided_set() const {
 }
 
 CheckpointOutcome run_checkpointing(const CheckpointParams& params,
-                                    std::unique_ptr<sim::CrashAdversary> adversary) {
+                                    std::unique_ptr<sim::FaultInjector> adversary,
+                                    int threads) {
   auto gossip_cfg = GossipConfig::build(params.gossip);
   auto vec_cfg = VectorConsensusConfig::build(params.consensus);
 
   sim::EngineConfig engine_config;
   engine_config.crash_budget = params.consensus.t;
+  engine_config.omission_budget = params.consensus.t;
+  engine_config.threads = threads;
   sim::Engine engine(params.consensus.n, engine_config);
   for (NodeId v = 0; v < params.consensus.n; ++v) {
     engine.set_process(v, std::make_unique<CheckpointProcess>(gossip_cfg, vec_cfg, v));
   }
-  if (adversary != nullptr) engine.set_adversary(std::move(adversary));
+  if (adversary != nullptr) engine.add_fault_injector(std::move(adversary));
 
   CheckpointOutcome out;
   out.report = engine.run();
@@ -64,7 +67,9 @@ CheckpointOutcome run_checkpointing(const CheckpointParams& params,
   const DynamicBitset* reference = nullptr;
   for (NodeId v = 0; v < params.consensus.n; ++v) {
     const auto& status = out.report.nodes[static_cast<std::size_t>(v)];
-    if (status.crashed) continue;
+    // Omission-faulty holders are exempt, as in gossip: their decided sets
+    // may legitimately be incomplete.
+    if (status.crashed || status.omission) continue;
     const auto& proc = static_cast<const CheckpointProcess&>(engine.process(v));
     if (!proc.vector_state().decided) {
       out.termination = false;
@@ -81,7 +86,11 @@ CheckpointOutcome run_checkpointing(const CheckpointParams& params,
       if (js.crashed && js.sends == 0 && set.test(static_cast<std::size_t>(j))) {
         out.condition1 = false;
       }
-      if (!js.crashed && !set.test(static_cast<std::size_t>(j))) out.condition2 = false;
+      // Condition (2) exempts omission-faulty nodes, as in gossip: their
+      // checkpoints may have been lost in transit.
+      if (!js.crashed && !js.omission && !set.test(static_cast<std::size_t>(j))) {
+        out.condition2 = false;
+      }
     }
   }
   return out;

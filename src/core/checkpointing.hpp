@@ -56,7 +56,10 @@ struct CheckpointOutcome {
   }
 };
 
+/// `threads` > 1 opts into the engine's deterministic parallel stepper
+/// (bit-identical Reports for every value).
 [[nodiscard]] CheckpointOutcome run_checkpointing(const CheckpointParams& params,
-                                                  std::unique_ptr<sim::CrashAdversary> adversary);
+                                                  std::unique_ptr<sim::FaultInjector> adversary,
+                                                  int threads = 1);
 
 }  // namespace lft::core

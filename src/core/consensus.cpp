@@ -141,15 +141,18 @@ std::unique_ptr<StageProcess> make_many_crashes_process(const ConsensusParams& p
 }
 
 sim::Report run_system(NodeId n, std::int64_t crash_budget, const ProcessFactory& factory,
-                       std::unique_ptr<sim::CrashAdversary> adversary, Round max_rounds,
+                       std::unique_ptr<sim::FaultInjector> adversary, Round max_rounds,
                        int threads) {
   sim::EngineConfig config;
   config.crash_budget = crash_budget;
+  // Each fault class gets the same budget t: omission faults are node faults
+  // in the same adversary model (Dwork-Halpern-Waarts).
+  config.omission_budget = crash_budget;
   config.max_rounds = max_rounds;
   config.threads = threads;
   sim::Engine engine(n, config);
   for (NodeId v = 0; v < n; ++v) engine.set_process(v, factory(v));
-  if (adversary != nullptr) engine.set_adversary(std::move(adversary));
+  if (adversary != nullptr) engine.add_fault_injector(std::move(adversary));
   return engine.run();
 }
 
@@ -161,7 +164,7 @@ ConsensusOutcome evaluate_consensus(sim::Report report, std::span<const int> inp
   bool everyone_decided = true;
   for (std::size_t v = 0; v < report.nodes.size(); ++v) {
     const auto& s = report.nodes[v];
-    if (s.crashed || s.byzantine) continue;
+    if (s.crashed || s.byzantine || s.omission) continue;
     if (!s.decided) {
       everyone_decided = false;
       continue;
@@ -187,7 +190,7 @@ ConsensusOutcome evaluate_consensus(sim::Report report, std::span<const int> inp
 
 ConsensusOutcome run_few_crashes_consensus(const ConsensusParams& params,
                                            std::span<const int> inputs,
-                                           std::unique_ptr<sim::CrashAdversary> adversary) {
+                                           std::unique_ptr<sim::FaultInjector> adversary) {
   LFT_ASSERT(static_cast<NodeId>(inputs.size()) == params.n);
   auto report = run_system(
       params.n, params.t,
@@ -198,7 +201,7 @@ ConsensusOutcome run_few_crashes_consensus(const ConsensusParams& params,
 
 ConsensusOutcome run_many_crashes_consensus(const ConsensusParams& params,
                                             std::span<const int> inputs,
-                                            std::unique_ptr<sim::CrashAdversary> adversary) {
+                                            std::unique_ptr<sim::FaultInjector> adversary) {
   LFT_ASSERT(static_cast<NodeId>(inputs.size()) == params.n);
   auto report = run_system(
       params.n, params.t,
@@ -208,7 +211,7 @@ ConsensusOutcome run_many_crashes_consensus(const ConsensusParams& params,
 }
 
 AeaOutcome run_aea(const ConsensusParams& params, std::span<const int> inputs,
-                   std::unique_ptr<sim::CrashAdversary> adversary) {
+                   std::unique_ptr<sim::FaultInjector> adversary) {
   LFT_ASSERT(static_cast<NodeId>(inputs.size()) == params.n);
   AeaOutcome out;
   out.report = run_system(
@@ -237,7 +240,7 @@ AeaOutcome run_aea(const ConsensusParams& params, std::span<const int> inputs,
 
 ScvOutcome run_scv(const ConsensusParams& params,
                    std::span<const std::optional<std::uint64_t>> initials,
-                   std::unique_ptr<sim::CrashAdversary> adversary) {
+                   std::unique_ptr<sim::FaultInjector> adversary) {
   LFT_ASSERT(static_cast<NodeId>(initials.size()) == params.n);
   std::optional<std::uint64_t> common;
   for (const auto& i : initials) {

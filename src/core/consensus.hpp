@@ -64,16 +64,16 @@ using ProcessFactory = std::function<std::unique_ptr<sim::Process>(NodeId)>;
 /// (bit-identical Reports for every value).
 [[nodiscard]] sim::Report run_system(NodeId n, std::int64_t crash_budget,
                                      const ProcessFactory& factory,
-                                     std::unique_ptr<sim::CrashAdversary> adversary,
+                                     std::unique_ptr<sim::FaultInjector> adversary,
                                      Round max_rounds = Round{1} << 22, int threads = 1);
 
 [[nodiscard]] ConsensusOutcome run_few_crashes_consensus(
     const ConsensusParams& params, std::span<const int> inputs,
-    std::unique_ptr<sim::CrashAdversary> adversary);
+    std::unique_ptr<sim::FaultInjector> adversary);
 
 [[nodiscard]] ConsensusOutcome run_many_crashes_consensus(
     const ConsensusParams& params, std::span<const int> inputs,
-    std::unique_ptr<sim::CrashAdversary> adversary);
+    std::unique_ptr<sim::FaultInjector> adversary);
 
 /// Runs AEA alone and reports: decided-or-crashed count (the 3/5 n bound of
 /// Theorem 5), agreement and validity over the decided nodes.
@@ -84,7 +84,7 @@ struct AeaOutcome {
   bool validity = false;
 };
 [[nodiscard]] AeaOutcome run_aea(const ConsensusParams& params, std::span<const int> inputs,
-                                 std::unique_ptr<sim::CrashAdversary> adversary);
+                                 std::unique_ptr<sim::FaultInjector> adversary);
 
 /// Runs SCV alone from an initialization mask and checks every non-faulty
 /// node decided on the common value.
@@ -94,6 +94,6 @@ struct ScvOutcome {
 };
 [[nodiscard]] ScvOutcome run_scv(const ConsensusParams& params,
                                  std::span<const std::optional<std::uint64_t>> initials,
-                                 std::unique_ptr<sim::CrashAdversary> adversary);
+                                 std::unique_ptr<sim::FaultInjector> adversary);
 
 }  // namespace lft::core

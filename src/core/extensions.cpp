@@ -66,7 +66,7 @@ class AggregateProcess final : public sim::Process {
 
 AggregateOutcome run_majority_consensus(const CheckpointParams& params,
                                         std::span<const int> inputs,
-                                        std::unique_ptr<sim::CrashAdversary> adversary) {
+                                        std::unique_ptr<sim::FaultInjector> adversary) {
   const NodeId n = params.consensus.n;
   LFT_ASSERT(static_cast<NodeId>(inputs.size()) == n);
   auto gossip_cfg = GossipConfig::build(params.gossip);
@@ -74,19 +74,21 @@ AggregateOutcome run_majority_consensus(const CheckpointParams& params,
 
   sim::EngineConfig engine_config;
   engine_config.crash_budget = params.consensus.t;
+  engine_config.omission_budget = params.consensus.t;
   sim::Engine engine(n, engine_config);
   for (NodeId v = 0; v < n; ++v) {
     engine.set_process(v, std::make_unique<AggregateProcess>(gossip_cfg, vec_cfg, v,
                                                              inputs[static_cast<std::size_t>(v)]));
   }
-  if (adversary != nullptr) engine.set_adversary(std::move(adversary));
+  if (adversary != nullptr) engine.add_fault_injector(std::move(adversary));
 
   AggregateOutcome out;
   out.report = engine.run();
   out.termination = out.report.completed;
   out.agreement = true;
   for (NodeId v = 0; v < n; ++v) {
-    if (out.report.nodes[static_cast<std::size_t>(v)].crashed) continue;
+    const auto& vs = out.report.nodes[static_cast<std::size_t>(v)];
+    if (vs.crashed || vs.omission) continue;  // faulty nodes are exempt
     const auto& proc = static_cast<const AggregateProcess&>(engine.process(v));
     if (!proc.vector_state().decided) {
       out.termination = false;

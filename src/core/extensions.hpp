@@ -31,6 +31,6 @@ struct AggregateOutcome {
 /// sub-protocols.
 [[nodiscard]] AggregateOutcome run_majority_consensus(
     const CheckpointParams& params, std::span<const int> inputs,
-    std::unique_ptr<sim::CrashAdversary> adversary);
+    std::unique_ptr<sim::FaultInjector> adversary);
 
 }  // namespace lft::core

@@ -339,19 +339,20 @@ void GossipProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
 // ---- runner -------------------------------------------------------------------------
 
 GossipOutcome run_gossip(const GossipParams& params, std::span<const std::uint64_t> rumors,
-                         std::unique_ptr<sim::CrashAdversary> adversary, int engine_threads) {
+                         std::unique_ptr<sim::FaultInjector> adversary, int engine_threads) {
   LFT_ASSERT(static_cast<NodeId>(rumors.size()) == params.n);
   auto cfg = GossipConfig::build(params);
 
   sim::EngineConfig engine_config;
   engine_config.crash_budget = params.t;
+  engine_config.omission_budget = params.t;
   engine_config.threads = engine_threads;
   sim::Engine engine(params.n, engine_config);
   for (NodeId v = 0; v < params.n; ++v) {
     engine.set_process(
         v, std::make_unique<GossipProcess>(cfg, v, rumors[static_cast<std::size_t>(v)]));
   }
-  if (adversary != nullptr) engine.set_adversary(std::move(adversary));
+  if (adversary != nullptr) engine.add_fault_injector(std::move(adversary));
 
   GossipOutcome out;
   out.report = engine.run();
@@ -363,7 +364,9 @@ GossipOutcome run_gossip(const GossipParams& params, std::span<const std::uint64
   for (NodeId v = 0; v < params.n; ++v) {
     const auto& status = out.report.nodes[static_cast<std::size_t>(v)];
     const auto& proc = static_cast<const GossipProcess&>(engine.process(v));
-    if (status.crashed) continue;
+    // Faulty nodes are exempt on the holder side too: an omission-faulty
+    // node's own decision and extant set carry no guarantee.
+    if (status.crashed || status.omission) continue;
     if (!proc.state().decided) {
       out.termination = false;
       continue;
@@ -372,7 +375,10 @@ GossipOutcome run_gossip(const GossipParams& params, std::span<const std::uint64
     for (NodeId j = 0; j < params.n; ++j) {
       const auto& js = out.report.nodes[static_cast<std::size_t>(j)];
       const bool never_sent = js.crashed && js.sends == 0;
-      const bool halted_operational = !js.crashed;
+      // Condition (2) applies to non-faulty nodes: an omission-faulty node's
+      // pairs may legitimately be missing from decided sets (its sends were
+      // lost in transit), exactly like a crashed node's.
+      const bool halted_operational = !js.crashed && !js.omission;
       if (never_sent && j != v && set.contains(j)) out.condition1 = false;
       if (halted_operational && !set.contains(j)) out.condition2 = false;
       if (set.contains(j) && set.rumor(j) != rumors[static_cast<std::size_t>(j)]) {

@@ -156,7 +156,7 @@ struct GossipOutcome {
 /// stepper (bit-identical Reports for every value).
 [[nodiscard]] GossipOutcome run_gossip(const GossipParams& params,
                                        std::span<const std::uint64_t> rumors,
-                                       std::unique_ptr<sim::CrashAdversary> adversary,
+                                       std::unique_ptr<sim::FaultInjector> adversary,
                                        int engine_threads = 1);
 
 }  // namespace lft::core

@@ -15,8 +15,11 @@
 //   lower-bound experiments .... singleport::run_port_isolation,
 //                                singleport::run_divergence_experiment
 //   baselines .................. baselines::run_floodset, ...
+//   fault scenarios ............ scenarios::all_scenarios, find_scenario
 // Parameters come from the *Params::practical / ::single_port factories;
-// adversaries from sim/adversary.hpp.
+// fault plans and injectors from sim/faults.hpp (declarative FaultPlan,
+// ScheduledAdversary) and sim/adversary.hpp (graph-aware / adaptive
+// strategies).
 #pragma once
 
 #include "baselines/baselines.hpp"
@@ -29,8 +32,10 @@
 #include "graph/overlay.hpp"
 #include "graph/properties.hpp"
 #include "graph/spectral.hpp"
+#include "scenarios/scenarios.hpp"
 #include "sim/adversary.hpp"
 #include "sim/engine.hpp"
+#include "sim/faults.hpp"
 #include "sim/single_port.hpp"
 #include "singleport/gossip_sp.hpp"
 #include "singleport/linear_consensus.hpp"

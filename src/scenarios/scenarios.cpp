@@ -1,0 +1,522 @@
+#include "scenarios/scenarios.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "byzantine/ab_consensus.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "core/checkpointing.hpp"
+#include "core/consensus.hpp"
+#include "core/gossip.hpp"
+#include "core/stages.hpp"
+#include "graph/overlay.hpp"
+#include "sim/adversary.hpp"
+#include "sim/faults.hpp"
+
+namespace lft::scenarios {
+
+namespace {
+
+using core::ConsensusParams;
+
+std::vector<int> random_inputs(NodeId n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> inputs(static_cast<std::size_t>(n));
+  for (auto& b : inputs) b = static_cast<int>(rng.uniform(2));
+  return inputs;
+}
+
+std::string yn(bool b) { return b ? "yes" : "NO"; }
+
+// ---- consensus harness -----------------------------------------------------
+
+/// Which invariants a consensus scenario demands. Crash-model scenarios
+/// demand everything (the theorems); fault regimes beyond the paper's model
+/// drop termination when faulty-but-running nodes legitimately fail to
+/// decide.
+struct Expect {
+  bool termination = true;
+  bool agreement = true;
+  bool validity = true;
+};
+
+ScenarioResult eval_consensus(core::ConsensusOutcome outcome, const Expect& expect) {
+  ScenarioResult result;
+  result.ok = (!expect.termination || outcome.termination) &&
+              (!expect.agreement || outcome.agreement) &&
+              (!expect.validity || outcome.validity);
+  result.detail = "termination=" + yn(outcome.termination) +
+                  " agreement=" + yn(outcome.agreement) +
+                  " validity=" + yn(outcome.validity);
+  result.report = std::move(outcome.report);
+  return result;
+}
+
+/// Runs Few- or Many-Crashes-Consensus under `plan` with random inputs.
+ScenarioResult run_consensus(const ConsensusParams& params, bool many, sim::FaultPlan plan,
+                             std::uint64_t seed, int threads, const Expect& expect) {
+  const auto inputs = random_inputs(params.n, seed);
+  auto factory = [&](NodeId v) {
+    const int input = inputs[static_cast<std::size_t>(v)];
+    return many ? core::make_many_crashes_process(params, v, input)
+                : core::make_few_crashes_process(params, v, input);
+  };
+  auto report = core::run_system(params.n, params.t, factory,
+                                 sim::make_plan_injector(std::move(plan)),
+                                 Round{1} << 22, threads);
+  return eval_consensus(core::evaluate_consensus(std::move(report), inputs), expect);
+}
+
+ScenarioResult eval_gossip(core::GossipOutcome outcome) {
+  ScenarioResult result;
+  result.ok = outcome.all_good();
+  result.detail = "termination=" + yn(outcome.termination) +
+                  " cond1=" + yn(outcome.condition1) + " cond2=" + yn(outcome.condition2) +
+                  " rumors=" + yn(outcome.rumors_intact);
+  result.report = std::move(outcome.report);
+  return result;
+}
+
+ScenarioResult eval_checkpointing(core::CheckpointOutcome outcome) {
+  ScenarioResult result;
+  result.ok = outcome.all_good();
+  result.detail = "termination=" + yn(outcome.termination) +
+                  " cond1=" + yn(outcome.condition1) + " cond2=" + yn(outcome.condition2) +
+                  " cond3=" + yn(outcome.condition3);
+  result.report = std::move(outcome.report);
+  return result;
+}
+
+ScenarioResult eval_ab(byzantine::AbOutcome outcome, bool expect_max_rule) {
+  ScenarioResult result;
+  result.ok = outcome.termination && outcome.agreement &&
+              (!expect_max_rule || outcome.max_rule_holds);
+  result.detail = "termination=" + yn(outcome.termination) +
+                  " agreement=" + yn(outcome.agreement) +
+                  " max_rule=" + yn(outcome.max_rule_holds);
+  result.report = std::move(outcome.report);
+  return result;
+}
+
+std::vector<std::uint64_t> ab_inputs(NodeId n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> inputs(static_cast<std::size_t>(n));
+  for (auto& b : inputs) b = rng.uniform(2);
+  return inputs;
+}
+
+std::vector<Scenario> build_registry() {
+  std::vector<Scenario> list;
+
+  // ---- crash plans (the paper's model: full theorem guarantees) ------------
+
+  list.push_back(Scenario{
+      "crash_burst_flood", "few_crashes", "crash", 600, 100,
+      "all t crash in one burst at flood start; n=600 engages the parallel stepper",
+      [](std::uint64_t seed, int threads) {
+        const NodeId n = 600;
+        const std::int64_t t = 100;
+        sim::FaultPlan plan;
+        plan.burst_crashes(n, t, 1, seed * 31 + 1);
+        return run_consensus(ConsensusParams::practical(n, t), false, std::move(plan), seed,
+                             threads, Expect{});
+      }});
+
+  list.push_back(Scenario{
+      "crash_staggered_drip", "few_crashes", "crash", 160, 31,
+      "one crash every 5 rounds through the whole execution",
+      [](std::uint64_t seed, int threads) {
+        const NodeId n = 160;
+        const std::int64_t t = 31;
+        sim::FaultPlan plan;
+        plan.staggered_crashes(n, t, 0, 5, seed * 31 + 2);
+        return run_consensus(ConsensusParams::practical(n, t), false, std::move(plan), seed,
+                             threads, Expect{});
+      }});
+
+  list.push_back(Scenario{
+      "crash_partial_sends", "many_crashes", "crash", 96, 60,
+      "many-crashes regime (t near n); every victim keeps ~30% of its last sends",
+      [](std::uint64_t seed, int threads) {
+        const NodeId n = 96;
+        const std::int64_t t = 60;
+        sim::FaultPlan plan;
+        plan.random_crashes(n, t, 0, n / 2, 0.3, seed * 31 + 3);
+        return run_consensus(ConsensusParams::practical(n, t), true, std::move(plan), seed,
+                             threads, Expect{});
+      }});
+
+  list.push_back(Scenario{
+      "crash_isolate_little", "few_crashes", "crash", 200, 30,
+      "crashes every little-overlay neighbor of little node 1 at round 0 "
+      "(phase-graph diversity keeps the victim deciding)",
+      [](std::uint64_t seed, int threads) {
+        const NodeId n = 200;
+        const std::int64_t t = 30;
+        const auto params = ConsensusParams::practical(n, t);
+        const auto little_g = graph::shared_overlay(
+            params.little_count,
+            std::min<int>(params.probe_degree_little, params.little_count - 1),
+            params.overlay_tag ^ core::kOverlayLittleG);
+        sim::FaultPlan plan;
+        plan.crash(sim::isolation_crash_schedule(*little_g, 1, t));
+        auto result = run_consensus(params, false, std::move(plan), seed, threads, Expect{});
+        const auto& victim = result.report.nodes[1];
+        result.ok = result.ok && !victim.crashed && victim.decided;
+        result.detail += " victim_decided=" + yn(victim.decided);
+        return result;
+      }});
+
+  list.push_back(Scenario{
+      "crash_probe_hubs", "few_crashes", "crash", 200, 30,
+      "adaptive ProbeDisruptor: crashes the 2 busiest senders per round until the budget",
+      [](std::uint64_t seed, int threads) {
+        const NodeId n = 200;
+        const std::int64_t t = 30;
+        const auto params = ConsensusParams::practical(n, t);
+        const auto inputs = random_inputs(n, seed);
+        auto factory = [&](NodeId v) {
+          return core::make_few_crashes_process(params, v,
+                                                inputs[static_cast<std::size_t>(v)]);
+        };
+        auto report = core::run_system(n, t, factory,
+                                       std::make_unique<sim::ProbeDisruptorAdversary>(t, 2),
+                                       Round{1} << 22, threads);
+        return eval_consensus(core::evaluate_consensus(std::move(report), inputs), Expect{});
+      }});
+
+  list.push_back(Scenario{
+      "crash_gossip_window", "gossip", "crash", 110, 14,
+      "gossip with t partial-send crashes inside the first probing window",
+      [](std::uint64_t seed, int threads) {
+        const NodeId n = 110;
+        const std::int64_t t = 14;
+        const auto params = core::GossipParams::practical(n, t);
+        std::vector<std::uint64_t> rumors(static_cast<std::size_t>(n));
+        for (NodeId v = 0; v < n; ++v) rumors[static_cast<std::size_t>(v)] = seed * 1000 + v;
+        sim::FaultPlan plan;
+        plan.random_crashes(n, t, 0, 4 * t, 0.5, seed * 31 + 4);
+        return eval_gossip(core::run_gossip(params, rumors,
+                                            sim::make_plan_injector(std::move(plan)), threads));
+      }});
+
+  // ---- omission plans (Dwork-Halpern-Waarts regimes) -----------------------
+
+  list.push_back(Scenario{
+      "omission_send_quorum", "few_crashes", "omission", 200, 30,
+      "t nodes are send-omission faulty for the whole run: to everyone else they look "
+      "crashed, but they keep receiving, so even the faulty nodes decide the common value",
+      [](std::uint64_t seed, int threads) {
+        const NodeId n = 200;
+        const std::int64_t t = 30;
+        sim::FaultPlan plan;
+        plan.random_omissions(n, t, 0, sim::kRoundForever, /*send=*/true, /*recv=*/false,
+                              seed * 31 + 5);
+        auto result = run_consensus(ConsensusParams::practical(n, t), false, std::move(plan),
+                                    seed, threads, Expect{});
+        // Stronger than the crash theorem: every node decided, faulty included.
+        const bool everyone = result.report.decided_count() == 200;
+        result.ok = result.ok && everyone;
+        result.detail += " all_200_decided=" + yn(everyone);
+        return result;
+      }});
+
+  list.push_back(Scenario{
+      "omission_recv_blackout", "few_crashes", "omission", 200, 30,
+      "t nodes are receive-omission faulty for the whole run; safety (agreement + "
+      "validity) must survive even though the deaf nodes may not decide",
+      [](std::uint64_t seed, int threads) {
+        const NodeId n = 200;
+        const std::int64_t t = 30;
+        sim::FaultPlan plan;
+        plan.random_omissions(n, t, 0, sim::kRoundForever, /*send=*/false, /*recv=*/true,
+                              seed * 31 + 6);
+        Expect expect;
+        expect.termination = true;  // non-faulty nodes must all decide
+        return run_consensus(ConsensusParams::practical(n, t), false, std::move(plan), seed,
+                             threads, expect);
+      }});
+
+  list.push_back(Scenario{
+      "omission_flood_window", "few_crashes", "omission", 200, 30,
+      "t nodes lose both directions during the first half of the flood window, then "
+      "recover; the protocol must absorb the re-merge and deliver full guarantees",
+      [](std::uint64_t seed, int threads) {
+        const NodeId n = 200;
+        const std::int64_t t = 30;
+        const auto params = ConsensusParams::practical(n, t);
+        sim::FaultPlan plan;
+        plan.random_omissions(n, t, 0, params.flood_rounds_little / 2, /*send=*/true,
+                              /*recv=*/true, seed * 31 + 7);
+        auto result = run_consensus(params, false, std::move(plan), seed, threads, Expect{});
+        const bool everyone = result.report.decided_count() == 200;
+        result.ok = result.ok && everyone;
+        result.detail += " all_200_decided=" + yn(everyone);
+        return result;
+      }});
+
+  list.push_back(Scenario{
+      "omission_gossip_mixed", "gossip", "omission", 110, 14,
+      "gossip with t/2 send-omission and t/2 receive-omission nodes during part 1",
+      [](std::uint64_t seed, int threads) {
+        const NodeId n = 110;
+        const std::int64_t t = 14;
+        const auto params = core::GossipParams::practical(n, t);
+        std::vector<std::uint64_t> rumors(static_cast<std::size_t>(n));
+        for (NodeId v = 0; v < n; ++v) rumors[static_cast<std::size_t>(v)] = seed * 1000 + v;
+        const Round part1 = params.phases * (params.probe_gamma + 3);
+        sim::FaultPlan plan;
+        plan.random_omissions(n, t / 2, 0, part1, /*send=*/true, /*recv=*/false,
+                              seed * 31 + 8);
+        plan.random_omissions(n, t - t / 2, 0, part1, /*send=*/false, /*recv=*/true,
+                              seed * 31 + 9);
+        auto outcome = core::run_gossip(params, rumors,
+                                        sim::make_plan_injector(std::move(plan)), threads);
+        return eval_gossip(std::move(outcome));
+      }});
+
+  // ---- partitions and link faults ------------------------------------------
+
+  list.push_back(Scenario{
+      "partition_split_heal", "few_crashes", "partition", 200, 30,
+      "an eighth of the nodes are split off during early flood rounds [1, 9), then the "
+      "partition heals; the re-merged nodes must catch up to full guarantees",
+      [](std::uint64_t seed, int threads) {
+        const NodeId n = 200;
+        const std::int64_t t = 30;
+        sim::FaultPlan plan;
+        plan.split_at(n - n / 8, n, 1, 9);
+        auto result = run_consensus(ConsensusParams::practical(n, t), false, std::move(plan),
+                                    seed, threads, Expect{});
+        const bool everyone = result.report.decided_count() == 200;
+        result.ok = result.ok && everyone;
+        result.detail += " all_200_decided=" + yn(everyone);
+        return result;
+      }});
+
+  list.push_back(Scenario{
+      "partition_little_halves", "few_crashes", "partition", 200, 30,
+      "the little group is split into halves for 6 flood rounds (cross-half floods are "
+      "dropped), then re-merged",
+      [](std::uint64_t seed, int threads) {
+        const NodeId n = 200;
+        const std::int64_t t = 30;
+        const auto params = ConsensusParams::practical(n, t);
+        std::vector<std::uint32_t> groups(static_cast<std::size_t>(n), 0);
+        for (NodeId v = 0; v < params.little_count / 2; ++v) {
+          groups[static_cast<std::size_t>(v)] = 1;
+        }
+        sim::FaultPlan plan;
+        plan.split(std::move(groups), 2, 8);
+        return run_consensus(params, false, std::move(plan), seed, threads, Expect{});
+      }});
+
+  list.push_back(Scenario{
+      "link_flaky_mesh", "few_crashes", "link", 200, 30,
+      "60 random node pairs lose their (symmetric) links for the first 20 rounds",
+      [](std::uint64_t seed, int threads) {
+        const NodeId n = 200;
+        const std::int64_t t = 30;
+        sim::FaultPlan plan;
+        Rng rng(seed * 31 + 10);
+        for (int i = 0; i < 60; ++i) {
+          const auto a = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n)));
+          const auto b = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n)));
+          if (a == b) continue;
+          plan.cut_link(a, b, 0, 20);
+        }
+        return run_consensus(ConsensusParams::practical(n, t), false, std::move(plan), seed,
+                             threads, Expect{});
+      }});
+
+  // ---- Byzantine takeovers (Theorem 11 model) ------------------------------
+
+  list.push_back(Scenario{
+      "byz_silent_little", "ab_consensus", "byzantine", 120, 11,
+      "t little nodes are taken over with the silent behavior at round 0",
+      [](std::uint64_t seed, int threads) {
+        const NodeId n = 120;
+        const std::int64_t t = 11;
+        const auto params = byzantine::AbParams::practical(n, t);
+        sim::FaultPlan plan;
+        Rng rng(seed * 31 + 11);
+        std::vector<NodeId> little(static_cast<std::size_t>(params.little_count));
+        for (NodeId v = 0; v < params.little_count; ++v) little[static_cast<std::size_t>(v)] = v;
+        rng.shuffle(std::span<NodeId>(little));
+        for (std::int64_t i = 0; i < t; ++i) {
+          plan.takeover(little[static_cast<std::size_t>(i)], 0, "silent");
+        }
+        return eval_ab(byzantine::run_ab_consensus_plan(params, ab_inputs(n, seed),
+                                                        std::move(plan), threads),
+                       /*expect_max_rule=*/false);
+      }});
+
+  list.push_back(Scenario{
+      "byz_equivocators", "ab_consensus", "byzantine", 120, 11,
+      "t little nodes equivocate (sign 0 to odd peers, 1 to even) in DS round 0",
+      [](std::uint64_t seed, int threads) {
+        const NodeId n = 120;
+        const std::int64_t t = 11;
+        const auto params = byzantine::AbParams::practical(n, t);
+        sim::FaultPlan plan;
+        for (std::int64_t i = 0; i < t; ++i) {
+          plan.takeover(static_cast<NodeId>(i * 3 % params.little_count), 0, "equivocate");
+        }
+        return eval_ab(byzantine::run_ab_consensus_plan(params, ab_inputs(n, seed),
+                                                        std::move(plan), threads),
+                       /*expect_max_rule=*/false);
+      }});
+
+  list.push_back(Scenario{
+      "byz_flooders", "ab_consensus", "byzantine", 120, 11,
+      "t nodes flood forged chains, bogus certificates, and garbage bodies",
+      [](std::uint64_t seed, int threads) {
+        const NodeId n = 120;
+        const std::int64_t t = 11;
+        const auto params = byzantine::AbParams::practical(n, t);
+        sim::FaultPlan plan;
+        for (std::int64_t i = 0; i < t; ++i) {
+          plan.takeover(static_cast<NodeId>((i * 7 + 1) % n), 0, "flood");
+        }
+        return eval_ab(byzantine::run_ab_consensus_plan(params, ab_inputs(n, seed),
+                                                        std::move(plan), threads),
+                       /*expect_max_rule=*/false);
+      }});
+
+  list.push_back(Scenario{
+      "byz_midrun_takeover", "ab_consensus", "byzantine", 120, 11,
+      "the adversary adaptively takes over t honest little nodes mid-Dolev-Strong "
+      "(round 3): their earlier honest relays are already in flight",
+      [](std::uint64_t seed, int threads) {
+        const NodeId n = 120;
+        const std::int64_t t = 11;
+        const auto params = byzantine::AbParams::practical(n, t);
+        sim::FaultPlan plan;
+        for (std::int64_t i = 0; i < t; ++i) {
+          plan.takeover(static_cast<NodeId>(i * 2 % params.little_count), 3, "silent");
+        }
+        return eval_ab(byzantine::run_ab_consensus_plan(params, ab_inputs(n, seed),
+                                                        std::move(plan), threads),
+                       /*expect_max_rule=*/false);
+      }});
+
+  // ---- mixed regimes -------------------------------------------------------
+
+  list.push_back(Scenario{
+      "mixed_crash_omission_split", "few_crashes", "mixed", 200, 30,
+      "one plan composes all crash-model-compatible fault classes: a third of t crashes "
+      "in a burst, a third gets omission windows, plus an early partition",
+      [](std::uint64_t seed, int threads) {
+        const NodeId n = 200;
+        const std::int64_t t = 30;
+        const auto params = ConsensusParams::practical(n, t);
+        sim::FaultPlan plan;
+        // Disjoint victim pools: crashes among [0, n/2), omissions among [n/2, n).
+        plan.burst_crashes(n / 2, t / 3, 2, seed * 31 + 12);
+        for (std::int64_t i = 0; i < t / 3; ++i) {
+          plan.omission(static_cast<NodeId>(n / 2 + i * 3), 0, params.flood_rounds_little / 3,
+                        /*send=*/true, /*recv=*/true);
+        }
+        plan.split_at(n - n / 10, n, 4, 10);
+        return run_consensus(params, false, std::move(plan), seed, threads, Expect{});
+      }});
+
+  list.push_back(Scenario{
+      "mixed_byz_crash_ab", "ab_consensus", "mixed", 120, 11,
+      "authenticated consensus under a Byzantine + crash mixture: t/2 takeovers at "
+      "round 0 and t/2 crashes during Dolev-Strong",
+      [](std::uint64_t seed, int threads) {
+        const NodeId n = 120;
+        const std::int64_t t = 11;
+        const auto params = byzantine::AbParams::practical(n, t);
+        sim::FaultPlan plan;
+        for (std::int64_t i = 0; i < t / 2; ++i) {
+          plan.takeover(static_cast<NodeId>(i), 0, "flood");
+        }
+        for (std::int64_t i = 0; i < t - t / 2; ++i) {
+          plan.crash_at(static_cast<NodeId>(params.little_count + i), 2 + i, 0.5);
+        }
+        return eval_ab(byzantine::run_ab_consensus_plan(params, ab_inputs(n, seed),
+                                                        std::move(plan), threads),
+                       /*expect_max_rule=*/false);
+      }});
+
+  list.push_back(Scenario{
+      "checkpoint_crash_boundary", "checkpointing", "crash", 150, 20,
+      "checkpointing with a crash burst at the gossip/consensus boundary",
+      [](std::uint64_t seed, int threads) {
+        const NodeId n = 150;
+        const std::int64_t t = 20;
+        const auto params = core::CheckpointParams::practical(n, t);
+        const Round boundary =
+            2 * params.gossip.phases * (params.gossip.probe_gamma + 3) + 3;
+        sim::FaultPlan plan;
+        plan.burst_crashes(n, t, boundary, seed * 31 + 13);
+        return eval_checkpointing(
+            core::run_checkpointing(params, sim::make_plan_injector(std::move(plan)), threads));
+      }});
+
+  list.push_back(Scenario{
+      "checkpoint_omission_gossip", "checkpointing", "omission", 150, 20,
+      "checkpointing with t send-omission nodes during the gossip part",
+      [](std::uint64_t seed, int threads) {
+        const NodeId n = 150;
+        const std::int64_t t = 20;
+        const auto params = core::CheckpointParams::practical(n, t);
+        const Round gossip_end =
+            2 * params.gossip.phases * (params.gossip.probe_gamma + 3) + 3;
+        sim::FaultPlan plan;
+        plan.random_omissions(n, t, 0, gossip_end, /*send=*/true, /*recv=*/false,
+                              seed * 31 + 14);
+        return eval_checkpointing(
+            core::run_checkpointing(params, sim::make_plan_injector(std::move(plan)), threads));
+      }});
+
+  return list;
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const sim::Report& report) {
+  std::uint64_t h = 0x4c46545343454e41ULL;  // "LFTSCENA"
+  h = hash_combine(h, static_cast<std::uint64_t>(report.rounds));
+  h = hash_combine(h, report.completed ? 1 : 0);
+  const auto& m = report.metrics;
+  h = hash_combine(h, static_cast<std::uint64_t>(m.messages_total));
+  h = hash_combine(h, static_cast<std::uint64_t>(m.bits_total));
+  h = hash_combine(h, static_cast<std::uint64_t>(m.messages_honest));
+  h = hash_combine(h, static_cast<std::uint64_t>(m.bits_honest));
+  h = hash_combine(h, static_cast<std::uint64_t>(m.max_sends_per_node));
+  h = hash_combine(h, static_cast<std::uint64_t>(m.fallback_pulls));
+  h = hash_combine(h, static_cast<std::uint64_t>(m.rounds));
+  h = hash_combine(h, static_cast<std::uint64_t>(m.peak_round_messages));
+  for (const auto& s : report.nodes) {
+    std::uint64_t bits = 0;
+    bits |= s.crashed ? 1u : 0u;
+    bits |= s.halted ? 2u : 0u;
+    bits |= s.decided ? 4u : 0u;
+    bits |= s.byzantine ? 8u : 0u;
+    bits |= s.omission ? 16u : 0u;
+    h = hash_combine(h, bits);
+    h = hash_combine(h, static_cast<std::uint64_t>(s.crash_round));
+    h = hash_combine(h, s.decision);
+    h = hash_combine(h, static_cast<std::uint64_t>(s.sends));
+  }
+  return h;
+}
+
+const std::vector<Scenario>& all_scenarios() {
+  static const std::vector<Scenario> registry = build_registry();
+  return registry;
+}
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const auto& s : all_scenarios()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace lft::scenarios

@@ -1,0 +1,54 @@
+// Named fault scenarios: (protocol × fault plan × size) triples registered
+// in one place and reused by tests (determinism + invariant coverage),
+// benches, CI (scenario-smoke), and the `lft_scenarios` CLI runner.
+//
+// Every scenario is a deterministic function of (seed, threads): same seed
+// gives a bit-identical sim::Report — including with the engine's parallel
+// stepper enabled — which `fingerprint` certifies with one 64-bit digest.
+// Each scenario also states the invariant it checks. Scenarios in the
+// paper's crash model assert the full theorem guarantees (termination,
+// agreement, validity / the gossip and checkpointing conditions); scenarios
+// in regimes beyond the theorems (omission, partition, Byzantine mixtures)
+// assert the strongest invariant that provably-or-empirically holds, and say
+// so in their description.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+
+namespace lft::scenarios {
+
+struct ScenarioResult {
+  sim::Report report;
+  bool ok = false;     // the scenario's stated invariant held
+  std::string detail;  // human-readable invariant summary (shown by the CLI)
+};
+
+struct Scenario {
+  std::string name;
+  std::string protocol;    // few_crashes | many_crashes | gossip | checkpointing | ab_consensus
+  std::string fault_kind;  // crash | omission | partition | link | byzantine | mixed
+  NodeId n = 0;
+  std::int64_t t = 0;
+  std::string description;
+  std::function<ScenarioResult(std::uint64_t seed, int threads)> run;
+};
+
+/// Stable 64-bit digest over every Report field (rounds, completion, all
+/// metrics, per-node status). Equal fingerprints across repeated runs and
+/// thread counts certify bit-identical executions.
+[[nodiscard]] std::uint64_t fingerprint(const sim::Report& report);
+
+/// The registry, in a fixed presentation order (crash, omission, partition,
+/// link, byzantine, mixed).
+[[nodiscard]] const std::vector<Scenario>& all_scenarios();
+
+/// Looks a scenario up by name; nullptr if unknown.
+[[nodiscard]] const Scenario* find_scenario(const std::string& name);
+
+}  // namespace lft::scenarios

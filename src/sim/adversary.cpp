@@ -6,70 +6,6 @@
 
 namespace lft::sim {
 
-ScheduledAdversary::ScheduledAdversary(std::vector<CrashEvent> events, std::uint64_t seed)
-    : events_(std::move(events)), rng_(seed) {
-  std::stable_sort(events_.begin(), events_.end(),
-                   [](const CrashEvent& a, const CrashEvent& b) { return a.round < b.round; });
-}
-
-void ScheduledAdversary::on_round(const EngineView& view, CrashController& control) {
-  while (next_ < events_.size() && events_[next_].round <= view.round()) {
-    const CrashEvent& ev = events_[next_++];
-    if (!view.alive(ev.node)) continue;
-    if (ev.keep_fraction <= 0.0) {
-      control.crash(ev.node);
-    } else {
-      // Deterministic per-message coin with the configured bias.
-      const auto threshold = static_cast<std::uint64_t>(ev.keep_fraction * 1e9);
-      const std::uint64_t salt = rng_.next();
-      control.crash_partial(ev.node, [threshold, salt](const Message& m) {
-        const std::uint64_t coin =
-            mix64(salt ^ (static_cast<std::uint64_t>(m.to) << 32) ^
-                  static_cast<std::uint64_t>(m.tag));
-        return coin % 1000000000ULL < threshold;
-      });
-    }
-  }
-}
-
-std::vector<CrashEvent> random_crash_schedule(NodeId n, std::int64_t t, Round first_round,
-                                              Round last_round, double keep_fraction,
-                                              std::uint64_t seed) {
-  LFT_ASSERT(t <= n);
-  LFT_ASSERT(first_round <= last_round);
-  Rng rng(seed);
-  std::vector<NodeId> perm(static_cast<std::size_t>(n));
-  for (NodeId v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
-  rng.shuffle(std::span<NodeId>(perm));
-
-  std::vector<CrashEvent> events;
-  events.reserve(static_cast<std::size_t>(t));
-  for (std::int64_t i = 0; i < t; ++i) {
-    CrashEvent ev;
-    ev.node = perm[static_cast<std::size_t>(i)];
-    ev.round = rng.uniform_int(first_round, last_round);
-    ev.keep_fraction = keep_fraction;
-    events.push_back(ev);
-  }
-  return events;
-}
-
-std::vector<CrashEvent> burst_crash_schedule(NodeId n, std::int64_t t, Round round,
-                                             std::uint64_t seed) {
-  return random_crash_schedule(n, t, round, round, 0.0, seed);
-}
-
-std::vector<CrashEvent> staggered_crash_schedule(NodeId n, std::int64_t t, Round first_round,
-                                                 Round period, std::uint64_t seed) {
-  auto events = random_crash_schedule(n, t, 0, 0, 0.0, seed);
-  Round r = first_round;
-  for (auto& ev : events) {
-    ev.round = r;
-    r += period;
-  }
-  return events;
-}
-
 std::vector<CrashEvent> isolation_crash_schedule(const graph::Graph& overlay, NodeId victim,
                                                  std::int64_t t) {
   std::vector<CrashEvent> events;
@@ -84,7 +20,7 @@ ProbeDisruptorAdversary::ProbeDisruptorAdversary(std::int64_t budget, int per_ro
                                                  Round first_round)
     : budget_(budget), per_round_(per_round), first_round_(first_round) {}
 
-void ProbeDisruptorAdversary::on_round(const EngineView& view, CrashController& control) {
+void ProbeDisruptorAdversary::on_round(const EngineView& view, FaultController& control) {
   if (view.round() < first_round_ || budget_ <= 0) return;
 
   pending_.resize(static_cast<std::size_t>(view.num_nodes()), 0);
@@ -111,11 +47,6 @@ void ProbeDisruptorAdversary::on_round(const EngineView& view, CrashController& 
   }
   for (const NodeId v : touched_) pending_[static_cast<std::size_t>(v)] = 0;
   touched_.clear();
-}
-
-std::unique_ptr<CrashAdversary> make_scheduled(std::vector<CrashEvent> events,
-                                               std::uint64_t seed) {
-  return std::make_unique<ScheduledAdversary>(std::move(events), seed);
 }
 
 }  // namespace lft::sim

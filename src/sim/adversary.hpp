@@ -1,60 +1,22 @@
-// Crash-adversary strategies. The model grants the adversary full
-// adaptivity: each round it inspects node states and this round's pending
-// sends, then crashes nodes (cleanly, or keeping an arbitrary subset of the
-// victim's in-flight messages). All strategies are deterministic in their
-// seeds and respect the engine-enforced budget t.
+// Adaptive fault strategies beyond declarative plans. The model grants the
+// adversary full adaptivity: each round it inspects node states and this
+// round's pending sends through EngineView, then applies typed actions
+// through FaultController. The declarative layer (CrashEvent, FaultPlan,
+// ScheduledAdversary, the random/burst/staggered schedules) lives in
+// sim/faults.hpp, which this header re-exports; here are the strategies that
+// need a graph or genuine adaptivity.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
-#include "common/rng.hpp"
 #include "common/types.hpp"
 #include "graph/graph.hpp"
 #include "sim/engine.hpp"
+#include "sim/faults.hpp"
 
 namespace lft::sim {
-
-/// One planned crash: node `node` crashes at round `round`; each of its
-/// pending sends that round survives with probability keep_fraction
-/// (0 = clean crash, 1 = all of that round's sends still delivered).
-struct CrashEvent {
-  Round round = 0;
-  NodeId node = kNoNode;
-  double keep_fraction = 0.0;
-};
-
-/// Executes a fixed schedule of crash events.
-class ScheduledAdversary final : public CrashAdversary {
- public:
-  ScheduledAdversary(std::vector<CrashEvent> events, std::uint64_t seed);
-  void on_round(const EngineView& view, CrashController& control) override;
-
- private:
-  std::vector<CrashEvent> events_;  // sorted by round
-  std::size_t next_ = 0;
-  Rng rng_;
-};
-
-/// t distinct victims crash at uniform random rounds within
-/// [first_round, last_round], each with the given partial-send fraction.
-[[nodiscard]] std::vector<CrashEvent> random_crash_schedule(NodeId n, std::int64_t t,
-                                                            Round first_round,
-                                                            Round last_round,
-                                                            double keep_fraction,
-                                                            std::uint64_t seed);
-
-/// All t victims crash at round `round` (an early burst is the classic
-/// worst case for flooding protocols).
-[[nodiscard]] std::vector<CrashEvent> burst_crash_schedule(NodeId n, std::int64_t t,
-                                                           Round round, std::uint64_t seed);
-
-/// One victim crashes every `period` rounds starting at `first_round`
-/// (exercises the paper's "one crash delays termination by O(1) rounds").
-[[nodiscard]] std::vector<CrashEvent> staggered_crash_schedule(NodeId n, std::int64_t t,
-                                                               Round first_round, Round period,
-                                                               std::uint64_t seed);
 
 /// Crashes the overlay neighbors of `victim` at round 0 (up to the budget),
 /// trying to cut the victim off from the overlay.
@@ -64,10 +26,10 @@ class ScheduledAdversary final : public CrashAdversary {
 /// Adaptive strategy: each round it crashes the (up to) `per_round` alive
 /// nodes with the most pending sends — a direct attack on probing/flooding
 /// hubs. Stops at the budget.
-class ProbeDisruptorAdversary final : public CrashAdversary {
+class ProbeDisruptorAdversary final : public FaultInjector {
  public:
   ProbeDisruptorAdversary(std::int64_t budget, int per_round, Round first_round = 0);
-  void on_round(const EngineView& view, CrashController& control) override;
+  void on_round(const EngineView& view, FaultController& control) override;
 
  private:
   std::int64_t budget_;
@@ -78,9 +40,5 @@ class ProbeDisruptorAdversary final : public CrashAdversary {
   std::vector<std::int64_t> pending_;
   std::vector<NodeId> touched_;
 };
-
-/// Convenience: wraps a schedule in an adversary.
-[[nodiscard]] std::unique_ptr<CrashAdversary> make_scheduled(std::vector<CrashEvent> events,
-                                                             std::uint64_t seed = 0);
 
 }  // namespace lft::sim

@@ -75,8 +75,30 @@ bool EngineView::decided(NodeId v) const noexcept {
   return engine_->status_[static_cast<std::size_t>(v)].decided;
 }
 
+bool EngineView::byzantine(NodeId v) const noexcept {
+  return engine_->status_[static_cast<std::size_t>(v)].byzantine;
+}
+
+bool EngineView::send_omission(NodeId v) const noexcept {
+  const auto& omit = engine_->omit_state_;
+  return !omit.empty() && (omit[static_cast<std::size_t>(v)] & Engine::kOmitSend) != 0;
+}
+
+bool EngineView::recv_omission(NodeId v) const noexcept {
+  const auto& omit = engine_->omit_state_;
+  return !omit.empty() && (omit[static_cast<std::size_t>(v)] & Engine::kOmitRecv) != 0;
+}
+
 std::int64_t EngineView::crashes_used() const noexcept { return engine_->crashes_used_; }
 std::int64_t EngineView::crash_budget() const noexcept { return engine_->config_.crash_budget; }
+std::int64_t EngineView::omissions_used() const noexcept { return engine_->omissions_used_; }
+std::int64_t EngineView::omission_budget() const noexcept {
+  return engine_->config_.omission_budget;
+}
+std::int64_t EngineView::takeovers_used() const noexcept { return engine_->takeovers_used_; }
+std::int64_t EngineView::byzantine_budget() const noexcept {
+  return engine_->config_.byzantine_budget;
+}
 
 std::span<const Message> EngineView::pending_sends() const noexcept {
   return engine_->outbox_;
@@ -84,14 +106,6 @@ std::span<const Message> EngineView::pending_sends() const noexcept {
 
 const Process* EngineView::process(NodeId v) const noexcept {
   return engine_->processes_[static_cast<std::size_t>(v)].get();
-}
-
-// ---- CrashController -------------------------------------------------------
-
-void CrashController::crash(NodeId v) { engine_->do_crash(v, nullptr); }
-
-void CrashController::crash_partial(NodeId v, std::function<bool(const Message&)> keep) {
-  engine_->do_crash(v, std::move(keep));
 }
 
 // ---- Report ----------------------------------------------------------------
@@ -111,7 +125,7 @@ std::int64_t Report::crashed_count() const noexcept {
 std::optional<std::uint64_t> Report::agreed_value() const noexcept {
   std::optional<std::uint64_t> value;
   for (const auto& s : nodes) {
-    if (s.crashed || s.byzantine || !s.decided) continue;
+    if (s.crashed || s.byzantine || s.omission || !s.decided) continue;
     if (!value) {
       value = s.decision;
     } else if (*value != s.decision) {
@@ -123,7 +137,7 @@ std::optional<std::uint64_t> Report::agreed_value() const noexcept {
 
 bool Report::all_nonfaulty_decided() const noexcept {
   return std::all_of(nodes.begin(), nodes.end(), [](const NodeStatus& s) {
-    return s.crashed || s.byzantine || s.decided;
+    return s.crashed || s.byzantine || s.omission || s.decided;
   });
 }
 
@@ -225,8 +239,8 @@ void Engine::set_process(NodeId v, std::unique_ptr<Process> process) {
   processes_[static_cast<std::size_t>(v)] = std::move(process);
 }
 
-void Engine::set_adversary(std::unique_ptr<CrashAdversary> adversary) {
-  adversary_ = std::move(adversary);
+void Engine::add_fault_injector(std::unique_ptr<FaultInjector> injector) {
+  fault_plane_.add(std::move(injector));
 }
 
 void Engine::mark_byzantine(NodeId v) {
@@ -313,6 +327,132 @@ void Engine::do_crash(NodeId v, std::function<bool(const Message&)> keep) {
     crash_filter_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(slot);
   } else {
     crash_filter_[static_cast<std::size_t>(v)] = kCleanCrash;
+  }
+}
+
+void Engine::do_set_omission(NodeId v, std::uint8_t flag, bool enabled) {
+  LFT_ASSERT(v >= 0 && v < n_);
+  LFT_ASSERT_MSG(!status_[static_cast<std::size_t>(v)].crashed,
+                 "omission faults target running nodes");
+  // Giving a halted node an omission fault has no effect on the execution;
+  // as with crashing a halted node, it is a free no-op (no budget charge, no
+  // faulty mark — the node's decisions were made while it was non-faulty).
+  // Disabling still proceeds so windowed plans keep their counters balanced.
+  if (enabled && status_[static_cast<std::size_t>(v)].halted) return;
+  if (omit_state_.empty()) omit_state_.assign(static_cast<std::size_t>(n_), 0);
+  auto& state = omit_state_[static_cast<std::size_t>(v)];
+  const std::uint8_t before = state;
+  if (enabled) {
+    if (before == 0) {
+      // First omission flag this node ever receives: it becomes a faulty
+      // node and is charged against the omission budget.
+      if (!status_[static_cast<std::size_t>(v)].omission) {
+        status_[static_cast<std::size_t>(v)].omission = true;
+        ++omissions_used_;
+        LFT_ASSERT_MSG(omissions_used_ <= config_.omission_budget, "omission budget exceeded");
+      }
+    }
+    state = static_cast<std::uint8_t>(before | flag);
+  } else {
+    state = static_cast<std::uint8_t>(before & ~flag);
+  }
+  if (before == 0 && state != 0) ++omit_active_count_;
+  if (before != 0 && state == 0) --omit_active_count_;
+  rearm_fault_filters();
+}
+
+void Engine::do_set_link(NodeId a, NodeId b, bool cut) {
+  LFT_ASSERT(a >= 0 && a < n_ && b >= 0 && b < n_);
+  const std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+                            static_cast<std::uint32_t>(b);
+  if (cut) {
+    link_cuts_.insert(key);
+  } else {
+    link_cuts_.erase(key);
+  }
+  rearm_fault_filters();
+}
+
+void Engine::do_set_partition(std::span<const std::uint32_t> group_of) {
+  LFT_ASSERT_MSG(static_cast<NodeId>(group_of.size()) == n_,
+                 "partition group map must cover every node");
+  partition_group_.assign(group_of.begin(), group_of.end());
+  partition_active_ = true;
+  rearm_fault_filters();
+}
+
+void Engine::do_clear_partition() {
+  partition_active_ = false;
+  rearm_fault_filters();
+}
+
+void Engine::do_takeover(NodeId v, std::unique_ptr<Process> behavior) {
+  LFT_ASSERT(v >= 0 && v < n_);
+  LFT_ASSERT(behavior != nullptr);
+  LFT_ASSERT_MSG(in_pre_round_, "Byzantine takeover must happen in the pre-round phase");
+  auto& s = status_[static_cast<std::size_t>(v)];
+  LFT_ASSERT_MSG(!s.crashed, "cannot take over a crashed node");
+  if (!s.byzantine) {
+    ++takeovers_used_;
+    LFT_ASSERT_MSG(takeovers_used_ <= config_.byzantine_budget, "Byzantine budget exceeded");
+    s.byzantine = true;
+  }
+  processes_[static_cast<std::size_t>(v)] = std::move(behavior);
+  // Reactivate a parked victim: the behavior runs from this round on. A node
+  // is in the active set iff it is neither halted nor sleeping.
+  const auto vi = static_cast<std::size_t>(v);
+  if (s.halted || sleeping_[vi] != 0) {
+    if (sleeping_[vi] != 0) {
+      sleeping_[vi] = 0;
+      --sleeping_count_;
+    }
+    s.halted = false;
+    reactivated_.push_back(v);
+  }
+  wake_at_[vi] = round_;
+}
+
+void Engine::rearm_fault_filters() noexcept {
+  fault_filters_armed_ =
+      omit_active_count_ > 0 || partition_active_ || !link_cuts_.empty();
+}
+
+bool Engine::fault_dropped(const Message& m) const noexcept {
+  const auto from = static_cast<std::size_t>(m.from);
+  const auto to = static_cast<std::size_t>(m.to);
+  if (!omit_state_.empty() && ((omit_state_[from] & kOmitSend) != 0 ||
+                               (omit_state_[to] & kOmitRecv) != 0)) {
+    return true;
+  }
+  if (partition_active_ && partition_group_[from] != partition_group_[to]) return true;
+  if (!link_cuts_.empty()) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.from)) << 32) |
+        static_cast<std::uint32_t>(m.to);
+    if (link_cuts_.contains(key)) return true;
+  }
+  return false;
+}
+
+void Engine::run_fault_phase(bool pre_round) {
+  EngineView view(*this);
+  FaultController control(*this);
+  if (pre_round) {
+    in_pre_round_ = true;
+    fault_plane_.pre_round(view, control);
+    in_pre_round_ = false;
+    if (!reactivated_.empty()) {
+      // Merge takeover victims back into the (sorted) active set.
+      std::sort(reactivated_.begin(), reactivated_.end());
+      const auto old_size = active_.size();
+      active_.insert(active_.end(), reactivated_.begin(), reactivated_.end());
+      std::inplace_merge(active_.begin(),
+                         active_.begin() + static_cast<std::ptrdiff_t>(old_size),
+                         active_.end());
+      reactivated_.clear();
+    }
+  } else {
+    fault_plane_.on_round(view, control);
   }
 }
 
@@ -446,6 +586,7 @@ void Engine::deliver_batch() {
   // messages whose receiver can no longer accept them. Survivors shift left
   // in place, so the steady state allocates nothing.
   std::size_t kept = 0;
+  const bool fault_filters = fault_filters_armed_;
   for (std::size_t i = 0; i < outbox_.size(); ++i) {
     const Message& m = outbox_[i];
     const auto from = static_cast<std::size_t>(m.from);
@@ -463,6 +604,9 @@ void Engine::deliver_batch() {
       metrics_.bits_honest += static_cast<std::int64_t>(m.bits);
     }
     sender.sends += 1;
+    // Omission / partition / link faults lose the message in transit: the
+    // sender paid for it (accounted above), the receiver never sees it.
+    if (fault_filters && fault_dropped(m)) continue;
     const auto to = static_cast<std::size_t>(m.to);
     if (status_[to].crashed || status_[to].halted) continue;  // never received
     wake_by(m.to, round_ + 1);  // delivery always wakes the recipient
@@ -492,7 +636,11 @@ Report Engine::run() {
   bool completed = false;
 
   for (round_ = 0; round_ < config_.max_rounds; ++round_) {
-    // 0. Wake sleepers whose timer (or a message) is due. Heap entries are
+    // 0a. Fault plane, pre-round phase: omission/partition/link windows and
+    //     Byzantine takeovers that affect this round's sends.
+    if (!fault_plane_.empty()) run_fault_phase(/*pre_round=*/true);
+
+    // 0b. Wake sleepers whose timer (or a message) is due. Heap entries are
     //    lazily invalidated: only nodes still marked sleeping with a due wake
     //    round count.
     woken_.clear();
@@ -519,12 +667,10 @@ Report Engine::run() {
     //    round's sends in ascending sender order.
     step_active();
 
-    // 2. Adversary inspects pending sends and may crash nodes.
-    if (adversary_ != nullptr) {
-      EngineView view(*this);
-      CrashController control(*this);
-      adversary_->on_round(view, control);
-    }
+    // 2. Fault plane, post-step phase: the adaptive adversary inspects this
+    //    round's pending sends and node states (crashes classically land
+    //    here).
+    if (!fault_plane_.empty()) run_fault_phase(/*pre_round=*/false);
 
     // 3. Filter, account, and sort this round's batch for delivery.
     deliver_batch();

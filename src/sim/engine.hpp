@@ -1,7 +1,9 @@
 // Synchronous multi-port message-passing engine (the paper's base model,
 // Section 2): n nodes, lock-step rounds, any-to-any messaging, reliable
-// same-round delivery, crashes controlled by an adaptive adversary with
-// budget t. Delivery normal form: sends produced in on_round(r) appear in
+// same-round delivery, faults controlled by an adaptive adversary through
+// the unified fault plane (sim/faults.hpp): crashes with budget t, plus
+// send/receive omission, link cuts, partitions, and Byzantine takeover.
+// Delivery normal form: sends produced in on_round(r) appear in
 // the recipients' inboxes at on_round(r+1); round counts match the paper's.
 //
 // The engine is batched and event-driven with a zero-copy message plane:
@@ -31,7 +33,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/flat_set64.hpp"
 #include "common/types.hpp"
+#include "sim/faults.hpp"
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
 #include "sim/payload.hpp"
@@ -141,10 +145,18 @@ class EngineView {
   [[nodiscard]] bool alive(NodeId v) const noexcept;
   [[nodiscard]] bool halted(NodeId v) const noexcept;
   [[nodiscard]] bool decided(NodeId v) const noexcept;
+  [[nodiscard]] bool byzantine(NodeId v) const noexcept;
+  [[nodiscard]] bool send_omission(NodeId v) const noexcept;
+  [[nodiscard]] bool recv_omission(NodeId v) const noexcept;
   [[nodiscard]] std::int64_t crashes_used() const noexcept;
   [[nodiscard]] std::int64_t crash_budget() const noexcept;
+  [[nodiscard]] std::int64_t omissions_used() const noexcept;
+  [[nodiscard]] std::int64_t omission_budget() const noexcept;
+  [[nodiscard]] std::int64_t takeovers_used() const noexcept;
+  [[nodiscard]] std::int64_t byzantine_budget() const noexcept;
   /// All messages produced this round, before crash filtering (arena order:
-  /// ascending sender id, per-sender send order preserved).
+  /// ascending sender id, per-sender send order preserved). Empty in the
+  /// pre-round phase.
   [[nodiscard]] std::span<const Message> pending_sends() const noexcept;
   /// The protocol object of node v (adversaries may downcast for
   /// protocol-aware attacks).
@@ -154,28 +166,11 @@ class EngineView {
   const Engine* engine_;
 };
 
-/// Applies crash decisions for the current round.
-class CrashController {
- public:
-  /// Crashes v this round; all of v's pending sends this round are dropped.
-  void crash(NodeId v);
-  /// Crashes v this round; of v's pending sends this round, those matching
-  /// `keep` are still delivered (the classical partial-send crash).
-  void crash_partial(NodeId v, std::function<bool(const Message&)> keep);
-
- private:
-  friend class Engine;
-  explicit CrashController(Engine& engine) : engine_(&engine) {}
-  Engine* engine_;
-};
-
-/// Adaptive crash adversary, invoked once per round after sends are
-/// collected. Must respect the budget (the engine aborts on overdraft).
-class CrashAdversary {
- public:
-  virtual ~CrashAdversary() = default;
-  virtual void on_round(const EngineView& view, CrashController& control) = 0;
-};
+/// Transitional aliases from the crash-only adversary API. The fault plane
+/// subsumes them: FaultInjector::on_round has the exact signature
+/// CrashAdversary::on_round had, so downstream subclasses keep compiling.
+using CrashAdversary [[deprecated("use sim::FaultInjector")]] = FaultInjector;
+using CrashController [[deprecated("use sim::FaultController")]] = FaultController;
 
 struct NodeStatus {
   bool crashed = false;
@@ -184,6 +179,7 @@ struct NodeStatus {
   bool decided = false;
   std::uint64_t decision = 0;
   bool byzantine = false;
+  bool omission = false;  // ever given a send/receive-omission fault
   std::int64_t sends = 0;
 };
 
@@ -197,15 +193,23 @@ struct Report {
   [[nodiscard]] std::int64_t decided_count() const noexcept;
   [[nodiscard]] std::int64_t crashed_count() const noexcept;
   /// The common decision of non-faulty decided nodes, or nullopt if none
-  /// decided or two of them disagree.
+  /// decided or two of them disagree. Crashed, Byzantine, and
+  /// omission-faulty nodes are exempt.
   [[nodiscard]] std::optional<std::uint64_t> agreed_value() const noexcept;
-  /// True iff every non-crashed, non-Byzantine node decided.
+  /// True iff every non-faulty (non-crashed, non-Byzantine, non-omission)
+  /// node decided.
   [[nodiscard]] bool all_nonfaulty_decided() const noexcept;
 };
 
 struct EngineConfig {
   Round max_rounds = Round{1} << 22;
   std::int64_t crash_budget = 0;  // the paper's t (for the crash model)
+  /// Nodes the fault plane may give send/receive-omission faults (charged
+  /// once per node, on the first flag it receives).
+  std::int64_t omission_budget = 0;
+  /// Nodes the fault plane may take over as Byzantine mid-run. Pre-run
+  /// mark_byzantine is setup, not an adversary move, and is not charged.
+  std::int64_t byzantine_budget = 0;
   /// Worker threads for the deterministic parallel stepper; 1 = serial.
   /// Results are bit-identical for every value (see the file comment).
   int threads = 1;
@@ -219,7 +223,14 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   void set_process(NodeId v, std::unique_ptr<Process> process);
-  void set_adversary(std::unique_ptr<CrashAdversary> adversary);
+  /// Appends an injector to the fault plane (injectors fire in insertion
+  /// order within each phase).
+  void add_fault_injector(std::unique_ptr<FaultInjector> injector);
+  [[nodiscard]] FaultPlane& faults() noexcept { return fault_plane_; }
+  [[deprecated("use add_fault_injector")]] void set_adversary(
+      std::unique_ptr<FaultInjector> adversary) {
+    add_fault_injector(std::move(adversary));
+  }
   /// Marks v Byzantine for accounting (its sends are excluded from the
   /// honest counters). The Byzantine behavior itself is the installed
   /// Process.
@@ -235,7 +246,11 @@ class Engine {
  private:
   friend class Context;
   friend class EngineView;
-  friend class CrashController;
+  friend class FaultController;
+
+  // Omission flag bits in omit_state_.
+  static constexpr std::uint8_t kOmitSend = 1;
+  static constexpr std::uint8_t kOmitRecv = 2;
 
   void do_send(StepSink& sink, NodeId from, NodeId to, std::uint32_t tag,
                std::uint64_t value, std::uint64_t bits, PayloadView body);
@@ -244,6 +259,18 @@ class Engine {
   /// Ensures a sleeping node is stepped at `round` (message wake).
   void wake_by(NodeId v, Round round);
   void do_crash(NodeId v, std::function<bool(const Message&)> keep);
+  void do_set_omission(NodeId v, std::uint8_t flag, bool enabled);
+  void do_set_link(NodeId a, NodeId b, bool cut);
+  void do_set_partition(std::span<const std::uint32_t> group_of);
+  void do_clear_partition();
+  void do_takeover(NodeId v, std::unique_ptr<Process> behavior);
+  /// Recomputes fault_filters_armed_ after a fault-state change.
+  void rearm_fault_filters() noexcept;
+  /// True iff the armed fault filters (omission / partition / link cuts)
+  /// lose message m in transit.
+  [[nodiscard]] bool fault_dropped(const Message& m) const noexcept;
+  /// Runs one fault-plane phase (pre-round or post-step).
+  void run_fault_phase(bool pre_round);
   /// Steps active_[k-th shard] (bounds in shard_begin_) into sinks_[k].
   void step_shard(std::size_t k);
   /// Steps every active node (serial or sharded) and fills outbox_.
@@ -261,10 +288,24 @@ class Engine {
   EngineConfig config_;
   Round round_ = 0;
   std::vector<std::unique_ptr<Process>> processes_;
-  std::unique_ptr<CrashAdversary> adversary_;
+  FaultPlane fault_plane_;
 
   std::vector<NodeStatus> status_;
   std::int64_t crashes_used_ = 0;
+
+  // Fault-plane state beyond crashes. All containers are empty (and the
+  // armed flag false) until an injector uses the corresponding action, so
+  // fault-free runs pay one predictable branch per delivered message.
+  std::vector<std::uint8_t> omit_state_;  // lazily sized n; kOmitSend|kOmitRecv
+  std::int64_t omissions_used_ = 0;       // distinct nodes ever given a flag
+  std::vector<std::uint32_t> partition_group_;  // lazily sized n
+  bool partition_active_ = false;
+  FlatSet64 link_cuts_;                 // keys pack (from, to)
+  bool fault_filters_armed_ = false;    // any of the three filters active
+  std::int64_t omit_active_count_ = 0;  // nodes with a nonzero omit flag
+  std::int64_t takeovers_used_ = 0;
+  bool in_pre_round_ = false;           // gates takeover to the pre phase
+  std::vector<NodeId> reactivated_;     // takeover scratch (halted/sleeping victims)
 
   // Nodes stepped each round (alive, not halted, not sleeping), ascending
   // id; compacted in place after each round.

@@ -1,0 +1,385 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.hpp"
+#include "sim/engine.hpp"
+
+namespace lft::sim {
+
+// ---- FaultController -------------------------------------------------------
+
+void FaultController::crash(NodeId v) { engine_->do_crash(v, nullptr); }
+
+void FaultController::crash_partial(NodeId v, std::function<bool(const Message&)> keep) {
+  engine_->do_crash(v, std::move(keep));
+}
+
+void FaultController::set_send_omission(NodeId v, bool enabled) {
+  engine_->do_set_omission(v, Engine::kOmitSend, enabled);
+}
+
+void FaultController::set_recv_omission(NodeId v, bool enabled) {
+  engine_->do_set_omission(v, Engine::kOmitRecv, enabled);
+}
+
+void FaultController::cut_link(NodeId a, NodeId b) { engine_->do_set_link(a, b, true); }
+
+void FaultController::heal_link(NodeId a, NodeId b) { engine_->do_set_link(a, b, false); }
+
+void FaultController::set_partition(std::span<const std::uint32_t> group_of) {
+  engine_->do_set_partition(group_of);
+}
+
+void FaultController::clear_partition() { engine_->do_clear_partition(); }
+
+void FaultController::takeover(NodeId v, std::unique_ptr<Process> behavior) {
+  engine_->do_takeover(v, std::move(behavior));
+}
+
+// ---- FaultPlane ------------------------------------------------------------
+
+FaultPlane& FaultPlane::add(std::unique_ptr<FaultInjector> injector) {
+  LFT_ASSERT(injector != nullptr);
+  injectors_.push_back(std::move(injector));
+  return *this;
+}
+
+void FaultPlane::pre_round(const EngineView& view, FaultController& control) {
+  for (auto& injector : injectors_) injector->pre_round(view, control);
+}
+
+void FaultPlane::on_round(const EngineView& view, FaultController& control) {
+  for (auto& injector : injectors_) injector->on_round(view, control);
+}
+
+// ---- crash schedules -------------------------------------------------------
+
+std::vector<CrashEvent> random_crash_schedule(NodeId n, std::int64_t t, Round first_round,
+                                              Round last_round, double keep_fraction,
+                                              std::uint64_t seed) {
+  LFT_ASSERT(t <= n);
+  LFT_ASSERT(first_round <= last_round);
+  Rng rng(seed);
+  std::vector<NodeId> perm(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+  rng.shuffle(std::span<NodeId>(perm));
+
+  std::vector<CrashEvent> events;
+  events.reserve(static_cast<std::size_t>(t));
+  for (std::int64_t i = 0; i < t; ++i) {
+    CrashEvent ev;
+    ev.node = perm[static_cast<std::size_t>(i)];
+    ev.round = rng.uniform_int(first_round, last_round);
+    ev.keep_fraction = keep_fraction;
+    events.push_back(ev);
+  }
+  return events;
+}
+
+std::vector<CrashEvent> burst_crash_schedule(NodeId n, std::int64_t t, Round round,
+                                             std::uint64_t seed) {
+  return random_crash_schedule(n, t, round, round, 0.0, seed);
+}
+
+std::vector<CrashEvent> staggered_crash_schedule(NodeId n, std::int64_t t, Round first_round,
+                                                 Round period, std::uint64_t seed) {
+  auto events = random_crash_schedule(n, t, 0, 0, 0.0, seed);
+  Round r = first_round;
+  for (auto& ev : events) {
+    ev.round = r;
+    r += period;
+  }
+  return events;
+}
+
+// ---- shared crash-application helper ---------------------------------------
+
+namespace {
+
+/// Applies every due crash event from `events[next...]`, drawing one
+/// partial-send coin salt per partial crash — the exact semantics (and rng
+/// consumption) of the original ScheduledAdversary, shared with PlanInjector
+/// so crash-only plans stay bit-identical to the legacy strategy.
+void apply_due_crashes(const std::vector<CrashEvent>& events, std::size_t& next, Rng& rng,
+                       const EngineView& view, FaultController& control) {
+  while (next < events.size() && events[next].round <= view.round()) {
+    const CrashEvent& ev = events[next++];
+    if (!view.alive(ev.node)) continue;
+    if (ev.keep_fraction <= 0.0) {
+      control.crash(ev.node);
+    } else {
+      // Deterministic per-message coin with the configured bias.
+      const auto threshold = static_cast<std::uint64_t>(ev.keep_fraction * 1e9);
+      const std::uint64_t salt = rng.next();
+      control.crash_partial(ev.node, [threshold, salt](const Message& m) {
+        const std::uint64_t coin =
+            mix64(salt ^ (static_cast<std::uint64_t>(m.to) << 32) ^
+                  static_cast<std::uint64_t>(m.tag));
+        return coin % 1000000000ULL < threshold;
+      });
+    }
+  }
+}
+
+void sort_by_round(std::vector<CrashEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const CrashEvent& a, const CrashEvent& b) { return a.round < b.round; });
+}
+
+}  // namespace
+
+// ---- ScheduledAdversary ----------------------------------------------------
+
+ScheduledAdversary::ScheduledAdversary(std::vector<CrashEvent> events, std::uint64_t seed)
+    : events_(std::move(events)), rng_(seed) {
+  sort_by_round(events_);
+}
+
+void ScheduledAdversary::on_round(const EngineView& view, FaultController& control) {
+  apply_due_crashes(events_, next_, rng_, view, control);
+}
+
+std::unique_ptr<FaultInjector> make_scheduled(std::vector<CrashEvent> events,
+                                              std::uint64_t seed) {
+  return std::make_unique<ScheduledAdversary>(std::move(events), seed);
+}
+
+// ---- FaultPlan builders ----------------------------------------------------
+
+FaultPlan& FaultPlan::with_seed(std::uint64_t s) {
+  seed = s;
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash(std::vector<CrashEvent> events) {
+  crashes.insert(crashes.end(), events.begin(), events.end());
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_at(NodeId node, Round round, double keep_fraction) {
+  crashes.push_back(CrashEvent{round, node, keep_fraction});
+  return *this;
+}
+
+FaultPlan& FaultPlan::random_crashes(NodeId n, std::int64_t t, Round first_round,
+                                     Round last_round, double keep_fraction,
+                                     std::uint64_t schedule_seed) {
+  return crash(random_crash_schedule(n, t, first_round, last_round, keep_fraction,
+                                     schedule_seed));
+}
+
+FaultPlan& FaultPlan::burst_crashes(NodeId n, std::int64_t t, Round round,
+                                    std::uint64_t schedule_seed) {
+  return crash(burst_crash_schedule(n, t, round, schedule_seed));
+}
+
+FaultPlan& FaultPlan::staggered_crashes(NodeId n, std::int64_t t, Round first_round,
+                                        Round period, std::uint64_t schedule_seed) {
+  return crash(staggered_crash_schedule(n, t, first_round, period, schedule_seed));
+}
+
+FaultPlan& FaultPlan::omission(NodeId node, Round from, Round until, bool send, bool recv) {
+  LFT_ASSERT(send || recv);
+  omissions.push_back(OmissionEvent{node, from, until, send, recv});
+  return *this;
+}
+
+FaultPlan& FaultPlan::random_omissions(NodeId n, std::int64_t count, Round from, Round until,
+                                       bool send, bool recv, std::uint64_t schedule_seed) {
+  LFT_ASSERT(count <= n);
+  Rng rng(schedule_seed);
+  std::vector<NodeId> perm(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+  rng.shuffle(std::span<NodeId>(perm));
+  for (std::int64_t i = 0; i < count; ++i) {
+    omission(perm[static_cast<std::size_t>(i)], from, until, send, recv);
+  }
+  return *this;
+}
+
+FaultPlan& FaultPlan::cut_link(NodeId a, NodeId b, Round from, Round until, bool symmetric) {
+  links.push_back(LinkEvent{a, b, from, until, symmetric});
+  return *this;
+}
+
+FaultPlan& FaultPlan::split_at(NodeId boundary, NodeId n, Round from, Round until) {
+  LFT_ASSERT(boundary >= 0 && boundary <= n);
+  std::vector<std::uint32_t> group_of(static_cast<std::size_t>(n), 0);
+  for (NodeId v = boundary; v < n; ++v) group_of[static_cast<std::size_t>(v)] = 1;
+  return split(std::move(group_of), from, until);
+}
+
+FaultPlan& FaultPlan::split(std::vector<std::uint32_t> group_of, Round from, Round until) {
+  partitions.push_back(PartitionSpec{from, until, std::move(group_of)});
+  return *this;
+}
+
+FaultPlan& FaultPlan::takeover(NodeId node, Round round, std::string kind) {
+  takeovers.push_back(ByzantineEvent{round, node, std::move(kind)});
+  return *this;
+}
+
+std::int64_t FaultPlan::faulty_nodes() const {
+  std::vector<NodeId> nodes;
+  for (const auto& ev : crashes) nodes.push_back(ev.node);
+  for (const auto& ev : omissions) nodes.push_back(ev.node);
+  for (const auto& ev : takeovers) nodes.push_back(ev.node);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return static_cast<std::int64_t>(nodes.size());
+}
+
+// ---- PlanInjector ----------------------------------------------------------
+
+namespace {
+
+/// Executes a FaultPlan. The plan's window events are pre-compiled into a
+/// single round-sorted op list applied in the pre-round phase; crashes run
+/// in the post-step phase through the shared helper above.
+class PlanInjector final : public FaultInjector {
+ public:
+  PlanInjector(FaultPlan plan, BehaviorFactory byz)
+      : plan_(std::move(plan)), byz_(std::move(byz)), rng_(plan_.seed) {
+    LFT_ASSERT_MSG(plan_.takeovers.empty() || byz_ != nullptr,
+                   "a plan with Byzantine takeovers needs a BehaviorFactory");
+    sort_by_round(plan_.crashes);
+    // Expand windowed events into (round, op) toggles. Ties are broken by
+    // insertion order (stable sort), so plans are deterministic programs.
+    for (std::size_t i = 0; i < plan_.omissions.size(); ++i) {
+      const auto& ev = plan_.omissions[i];
+      ops_.push_back(Op{ev.from, OpKind::kOmitOn, i});
+      if (ev.until != kRoundForever) ops_.push_back(Op{ev.until, OpKind::kOmitOff, i});
+    }
+    for (std::size_t i = 0; i < plan_.links.size(); ++i) {
+      const auto& ev = plan_.links[i];
+      ops_.push_back(Op{ev.from, OpKind::kLinkCut, i});
+      if (ev.until != kRoundForever) ops_.push_back(Op{ev.until, OpKind::kLinkHeal, i});
+    }
+    for (std::size_t i = 0; i < plan_.partitions.size(); ++i) {
+      const auto& ev = plan_.partitions[i];
+      ops_.push_back(Op{ev.from, OpKind::kSplit, i});
+      if (ev.until != kRoundForever) ops_.push_back(Op{ev.until, OpKind::kHeal, i});
+    }
+    for (std::size_t i = 0; i < plan_.takeovers.size(); ++i) {
+      ops_.push_back(Op{plan_.takeovers[i].round, OpKind::kTakeover, i});
+    }
+    std::stable_sort(ops_.begin(), ops_.end(),
+                     [](const Op& a, const Op& b) { return a.round < b.round; });
+  }
+
+  void pre_round(const EngineView& view, FaultController& control) override {
+    while (next_op_ < ops_.size() && ops_[next_op_].round <= view.round()) {
+      apply(ops_[next_op_++], view, control);
+    }
+  }
+
+  void on_round(const EngineView& view, FaultController& control) override {
+    apply_due_crashes(plan_.crashes, next_crash_, rng_, view, control);
+  }
+
+ private:
+  enum class OpKind { kOmitOn, kOmitOff, kLinkCut, kLinkHeal, kSplit, kHeal, kTakeover };
+  struct Op {
+    Round round;
+    OpKind kind;
+    std::size_t index;
+  };
+
+  // Overlapping windows compose by reference counting: a flag (or link cut)
+  // stays active until *every* window that raised it has closed, and the
+  // active partition is the latest-started open spec — an inner window's
+  // heal restores the enclosing one instead of clearing everything.
+
+  void set_omission(const OmissionEvent& ev, NodeId node, bool on,
+                    FaultController& control) {
+    auto& counts = omit_counts_[node];
+    if (ev.send) {
+      counts.send += on ? 1 : -1;
+      control.set_send_omission(node, counts.send > 0);
+    }
+    if (ev.recv) {
+      counts.recv += on ? 1 : -1;
+      control.set_recv_omission(node, counts.recv > 0);
+    }
+  }
+
+  void set_link(NodeId a, NodeId b, bool cut, FaultController& control) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+        static_cast<std::uint32_t>(b);
+    auto& count = link_counts_[key];
+    count += cut ? 1 : -1;
+    if (count > 0) {
+      control.cut_link(a, b);
+    } else {
+      control.heal_link(a, b);
+    }
+  }
+
+  void apply_top_partition(FaultController& control) {
+    if (active_partitions_.empty()) {
+      control.clear_partition();
+    } else {
+      control.set_partition(plan_.partitions[active_partitions_.back()].group_of);
+    }
+  }
+
+  void apply(const Op& op, const EngineView& view, FaultController& control) {
+    switch (op.kind) {
+      case OpKind::kOmitOn:
+      case OpKind::kOmitOff: {
+        const auto& ev = plan_.omissions[op.index];
+        if (!view.alive(ev.node)) return;  // crashed nodes stay crashed
+        set_omission(ev, ev.node, op.kind == OpKind::kOmitOn, control);
+        return;
+      }
+      case OpKind::kLinkCut:
+      case OpKind::kLinkHeal: {
+        const auto& ev = plan_.links[op.index];
+        const bool cut = op.kind == OpKind::kLinkCut;
+        set_link(ev.a, ev.b, cut, control);
+        if (ev.symmetric) set_link(ev.b, ev.a, cut, control);
+        return;
+      }
+      case OpKind::kSplit:
+        active_partitions_.push_back(op.index);
+        apply_top_partition(control);
+        return;
+      case OpKind::kHeal:
+        std::erase(active_partitions_, op.index);
+        apply_top_partition(control);
+        return;
+      case OpKind::kTakeover: {
+        const auto& ev = plan_.takeovers[op.index];
+        if (!view.alive(ev.node)) return;
+        control.takeover(ev.node, byz_(ev.node, ev.kind));
+        return;
+      }
+    }
+  }
+
+  struct OmitCounts {
+    int send = 0;
+    int recv = 0;
+  };
+
+  FaultPlan plan_;
+  BehaviorFactory byz_;
+  Rng rng_;
+  std::vector<Op> ops_;
+  std::size_t next_op_ = 0;
+  std::size_t next_crash_ = 0;
+  std::map<NodeId, OmitCounts> omit_counts_;
+  std::map<std::uint64_t, int> link_counts_;
+  std::vector<std::size_t> active_partitions_;  // open specs, by start order
+};
+
+}  // namespace
+
+std::unique_ptr<FaultInjector> make_plan_injector(FaultPlan plan, BehaviorFactory byz) {
+  return std::make_unique<PlanInjector>(std::move(plan), std::move(byz));
+}
+
+}  // namespace lft::sim

@@ -123,6 +123,11 @@ void SinglePortEngine::set_adversary(std::unique_ptr<SpAdversary> adversary) {
   adversary_ = std::move(adversary);
 }
 
+void SinglePortEngine::mark_byzantine(NodeId v) {
+  LFT_ASSERT(v >= 0 && v < n_);
+  status_[static_cast<std::size_t>(v)].byzantine = true;
+}
+
 SinglePortProcess& SinglePortEngine::process(NodeId v) {
   LFT_ASSERT(v >= 0 && v < n_);
   LFT_ASSERT(processes_[static_cast<std::size_t>(v)] != nullptr);
@@ -181,8 +186,12 @@ Report SinglePortEngine::run() {
       LFT_ASSERT(send.to >= 0 && send.to < n_);
       metrics_.messages_total += 1;
       metrics_.bits_total += static_cast<std::int64_t>(send.bits);
-      metrics_.messages_honest += 1;
-      metrics_.bits_honest += static_cast<std::int64_t>(send.bits);
+      // Nodes marked Byzantine are excluded from the honest counters, as in
+      // the multi-port engine's delivery sweep.
+      if (!s.byzantine) {
+        metrics_.messages_honest += 1;
+        metrics_.bits_honest += static_cast<std::int64_t>(send.bits);
+      }
       s.sends += 1;
       const auto ti = static_cast<std::size_t>(send.to);
       if (status_[ti].crashed || status_[ti].halted) continue;  // never retrievable

@@ -105,6 +105,10 @@ class SinglePortEngine {
 
   void set_process(NodeId v, std::unique_ptr<SinglePortProcess> process);
   void set_adversary(std::unique_ptr<SpAdversary> adversary);
+  /// Marks v Byzantine for accounting: its sends are excluded from the
+  /// honest counters, mirroring the multi-port engine (the adapter path must
+  /// report the same Theorem 11 measure).
+  void mark_byzantine(NodeId v);
 
   Report run();
 

@@ -22,7 +22,7 @@ std::vector<int> random_inputs(NodeId n, std::uint64_t seed) {
   return inputs;
 }
 
-std::unique_ptr<sim::CrashAdversary> crash(const std::string& kind, NodeId n, std::int64_t t,
+std::unique_ptr<sim::FaultInjector> crash(const std::string& kind, NodeId n, std::int64_t t,
                                            std::uint64_t seed) {
   if (kind == "none" || t == 0) return nullptr;
   if (kind == "burst0") return sim::make_scheduled(sim::burst_crash_schedule(n, t, 0, seed));

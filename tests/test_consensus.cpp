@@ -21,7 +21,7 @@
 namespace lft::core {
 namespace {
 
-using sim::CrashAdversary;
+using sim::FaultInjector;
 
 std::vector<int> make_inputs(NodeId n, const std::string& pattern, std::uint64_t seed) {
   std::vector<int> inputs(static_cast<std::size_t>(n), 0);
@@ -39,7 +39,7 @@ std::vector<int> make_inputs(NodeId n, const std::string& pattern, std::uint64_t
   return inputs;
 }
 
-std::unique_ptr<CrashAdversary> make_adversary(const std::string& kind, NodeId n,
+std::unique_ptr<FaultInjector> make_adversary(const std::string& kind, NodeId n,
                                                std::int64_t t, std::uint64_t seed) {
   if (kind == "none" || t == 0) return nullptr;
   if (kind == "burst0") return sim::make_scheduled(sim::burst_crash_schedule(n, t, 0, seed));

@@ -71,7 +71,7 @@ TEST(BatchedEngine, MetricsRoundsMirrorsReport) {
 
 // ---- message conservation ------------------------------------------------------
 
-TEST(BatchedEngine, MessageConservationUnderCrashAdversary) {
+TEST(BatchedEngine, MessageConservationUnderCrashFaults) {
   // Every node sends 3 messages per round for 20 rounds while the adversary
   // crashes t nodes (half of them partially). Every accounted message must
   // trace back to a sender send-count, and nothing can be received that was
@@ -96,7 +96,7 @@ TEST(BatchedEngine, MessageConservationUnderCrashAdversary) {
                          }
                        }));
   }
-  engine.set_adversary(make_scheduled(random_crash_schedule(n, t, 1, 15, 0.5, 7)));
+  engine.add_fault_injector(make_scheduled(random_crash_schedule(n, t, 1, 15, 0.5, 7)));
   const Report report = engine.run();
 
   std::int64_t sends_sum = 0;
@@ -218,7 +218,7 @@ TEST(BatchedEngine, SleepingNodeCanBeCrashed) {
   engine.set_process(1, lambda_process([](Context& ctx, const Inbox&) {
                        if (ctx.round() >= 3) ctx.halt();
                      }));
-  engine.set_adversary(make_scheduled({CrashEvent{2, 0, 0.0}}));
+  engine.add_fault_injector(make_scheduled({CrashEvent{2, 0, 0.0}}));
   const Report report = engine.run();
   EXPECT_EQ(activations, 1);
   EXPECT_TRUE(report.nodes[0].crashed);
@@ -243,7 +243,7 @@ TEST(BatchedEngine, AllAsleepStillTicksAdversarySchedule) {
                          ctx.halt();
                        }));
   }
-  engine.set_adversary(make_scheduled({CrashEvent{4, 1, 0.0}}));
+  engine.add_fault_injector(make_scheduled({CrashEvent{4, 1, 0.0}}));
   const Report report = engine.run();
   EXPECT_TRUE(report.nodes[1].crashed);
   EXPECT_EQ(report.nodes[1].crash_round, 4);

@@ -58,7 +58,7 @@ TEST_P(MajoritySweep, AgreementAndSaneCountsUnderCrashes) {
   const auto& c = GetParam();
   const auto params = CheckpointParams::practical(c.n, c.t);
   const auto inputs = inputs_with_ones(c.n, c.ones, 7);
-  std::unique_ptr<sim::CrashAdversary> adversary;
+  std::unique_ptr<sim::FaultInjector> adversary;
   if (c.adversary == "burst0") {
     adversary = sim::make_scheduled(sim::burst_crash_schedule(c.n, c.t, 0, 9));
   } else if (c.adversary == "random") {

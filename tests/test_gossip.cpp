@@ -110,7 +110,7 @@ struct GossipCase {
   std::string adversary;
 };
 
-std::unique_ptr<sim::CrashAdversary> gossip_adversary(const std::string& kind, NodeId n,
+std::unique_ptr<sim::FaultInjector> gossip_adversary(const std::string& kind, NodeId n,
                                                       std::int64_t t, std::uint64_t seed) {
   if (kind == "none" || t == 0) return nullptr;
   if (kind == "burst0") return sim::make_scheduled(sim::burst_crash_schedule(n, t, 0, seed));

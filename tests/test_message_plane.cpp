@@ -256,6 +256,8 @@ void expect_reports_identical(const Report& a, const Report& b) {
     EXPECT_EQ(a.nodes[v].halted, b.nodes[v].halted) << "node " << v;
     EXPECT_EQ(a.nodes[v].decided, b.nodes[v].decided) << "node " << v;
     EXPECT_EQ(a.nodes[v].decision, b.nodes[v].decision) << "node " << v;
+    EXPECT_EQ(a.nodes[v].byzantine, b.nodes[v].byzantine) << "node " << v;
+    EXPECT_EQ(a.nodes[v].omission, b.nodes[v].omission) << "node " << v;
     EXPECT_EQ(a.nodes[v].sends, b.nodes[v].sends) << "node " << v;
   }
 }

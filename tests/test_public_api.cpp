@@ -52,6 +52,23 @@ TEST(PublicApi, EveryProblemFamilySolvesAMinimalInstance) {
   // A baseline for comparison.
   const auto baseline = baselines::run_floodset(n, t, inputs, nullptr);
   EXPECT_TRUE(baseline.all_good());
+
+  // The fault plane's declarative layer: a mixed plan through the same
+  // public entry point.
+  sim::FaultPlan plan;
+  plan.burst_crashes(n, t - 1, 1, 99).split_at(n / 2, n, 2, 4);
+  const auto faulted = core::run_few_crashes_consensus(
+      core::ConsensusParams::practical(n, t), inputs,
+      sim::make_plan_injector(std::move(plan)));
+  EXPECT_TRUE(faulted.all_good());
+}
+
+TEST(PublicApi, ScenarioRegistryReachable) {
+  EXPECT_GE(scenarios::all_scenarios().size(), 12u);
+  const auto* scenario = scenarios::find_scenario("crash_staggered_drip");
+  ASSERT_NE(scenario, nullptr);
+  const auto result = scenario->run(/*seed=*/2, /*threads=*/1);
+  EXPECT_TRUE(result.ok) << result.detail;
 }
 
 TEST(PublicApi, GraphToolingReachable) {

@@ -1,0 +1,67 @@
+// The scenario registry is a contract shared by tests, benches, the CLI
+// runner, and CI: every named scenario must hold its stated invariant and be
+// a deterministic function of (seed, threads) — same seed gives bit-identical
+// Reports, including with the engine's parallel stepper.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "scenarios/scenarios.hpp"
+#include "test_util.hpp"
+
+namespace lft::scenarios {
+namespace {
+
+TEST(ScenarioRegistry, AtLeastTwelveScenariosSpanningAllFaultClasses) {
+  const auto& all = all_scenarios();
+  EXPECT_GE(all.size(), 12u);
+  std::set<std::string> kinds;
+  std::set<std::string> names;
+  for (const auto& s : all) {
+    kinds.insert(s.fault_kind);
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate scenario name " << s.name;
+    EXPECT_GT(s.n, 0);
+    EXPECT_TRUE(s.run != nullptr) << s.name;
+  }
+  EXPECT_TRUE(kinds.count("crash")) << "registry must cover the crash model";
+  EXPECT_TRUE(kinds.count("omission"));
+  EXPECT_TRUE(kinds.count("partition"));
+  EXPECT_TRUE(kinds.count("byzantine"));
+}
+
+TEST(ScenarioRegistry, FindByName) {
+  EXPECT_NE(find_scenario("crash_burst_flood"), nullptr);
+  EXPECT_EQ(find_scenario("no_such_scenario"), nullptr);
+}
+
+class ScenarioSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScenarioSweep, InvariantHoldsAndSeedIsDeterministic) {
+  const auto& s = all_scenarios()[static_cast<std::size_t>(GetParam())];
+  const auto first = s.run(/*seed=*/1, /*threads=*/1);
+  EXPECT_TRUE(first.ok) << s.name << ": " << first.detail;
+  // Same seed, fresh run: bit-identical Report.
+  const auto second = s.run(/*seed=*/1, /*threads=*/1);
+  EXPECT_EQ(fingerprint(first.report), fingerprint(second.report)) << s.name;
+  // Another seed must still satisfy the invariant.
+  const auto other = s.run(/*seed=*/7, /*threads=*/1);
+  EXPECT_TRUE(other.ok) << s.name << " seed 7: " << other.detail;
+}
+
+TEST_P(ScenarioSweep, ParallelStepperIsBitIdentical) {
+  const auto& s = all_scenarios()[static_cast<std::size_t>(GetParam())];
+  const auto serial = s.run(/*seed=*/3, /*threads=*/1);
+  const auto parallel = s.run(/*seed=*/3, /*threads=*/4);
+  EXPECT_EQ(fingerprint(serial.report), fingerprint(parallel.report)) << s.name;
+  EXPECT_EQ(serial.ok, parallel.ok) << s.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ScenarioSweep,
+                         ::testing::Range(0, static_cast<int>(all_scenarios().size())),
+                         [](const auto& info) {
+                           return all_scenarios()[static_cast<std::size_t>(info.param)].name;
+                         });
+
+}  // namespace
+}  // namespace lft::scenarios

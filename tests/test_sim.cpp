@@ -125,7 +125,7 @@ TEST(Engine, CleanCrashDropsAllSendsAndFutureActivity) {
                          if (ctx.round() >= 2) ctx.halt();
                        }));
   }
-  engine.set_adversary(make_scheduled({CrashEvent{0, 0, 0.0}}));
+  engine.add_fault_injector(make_scheduled({CrashEvent{0, 0, 0.0}}));
   const Report report = engine.run();
   EXPECT_EQ(acted, 1);  // acted only in round 0
   EXPECT_TRUE(report.nodes[0].crashed);
@@ -150,15 +150,15 @@ TEST(Engine, PartialCrashKeepsSelectedSends) {
                        }));
   }
 
-  class KeepToOne final : public CrashAdversary {
+  class KeepToOne final : public FaultInjector {
    public:
-    void on_round(const EngineView& view, CrashController& control) override {
+    void on_round(const EngineView& view, FaultController& control) override {
       if (view.round() == 0) {
         control.crash_partial(0, [](const Message& m) { return m.to == 1; });
       }
     }
   };
-  engine.set_adversary(std::make_unique<KeepToOne>());
+  engine.add_fault_injector(std::make_unique<KeepToOne>());
   const Report report = engine.run();
   EXPECT_EQ(receivers, (std::vector<NodeId>{1}));
   EXPECT_EQ(report.metrics.messages_total, 1);  // only the kept message counts
@@ -177,7 +177,7 @@ TEST(Engine, CrashedNodeDoesNotReceive) {
                        received += static_cast<int>(inbox.size());
                      }));
   // Node 1 crashes in round 0, before delivery of node 0's round-0 send.
-  engine.set_adversary(make_scheduled({CrashEvent{0, 1, 0.0}}));
+  engine.add_fault_injector(make_scheduled({CrashEvent{0, 1, 0.0}}));
   const Report report = engine.run();
   EXPECT_EQ(received, 0);
   EXPECT_TRUE(report.completed);
@@ -285,7 +285,7 @@ TEST(Adversary, BudgetOverdraftAborts) {
                          if (ctx.round() >= 3) ctx.halt();
                        }));
   }
-  engine.set_adversary(make_scheduled({CrashEvent{0, 0, 0.0}, CrashEvent{0, 1, 0.0}}));
+  engine.add_fault_injector(make_scheduled({CrashEvent{0, 0, 0.0}, CrashEvent{0, 1, 0.0}}));
   EXPECT_DEATH(engine.run(), "crash budget exceeded");
 }
 
@@ -301,7 +301,7 @@ TEST(Adversary, CrashingHaltedNodeIsFreeNoOp) {
                      }));
   // Round 1: try to crash the halted node 0 and then node 1; only node 1's
   // crash should consume budget, so no overdraft occurs.
-  engine.set_adversary(make_scheduled({CrashEvent{1, 0, 0.0}, CrashEvent{1, 1, 0.0}}));
+  engine.add_fault_injector(make_scheduled({CrashEvent{1, 0, 0.0}, CrashEvent{1, 1, 0.0}}));
   const Report report = engine.run();
   EXPECT_FALSE(report.nodes[0].crashed);
   EXPECT_TRUE(report.nodes[0].halted);
@@ -324,7 +324,7 @@ TEST(Adversary, ProbeDisruptorCrashesBusiestSender) {
   engine.set_process(2, lambda_process([](Context& ctx, const Inbox&) {
                        if (ctx.round() >= 1) ctx.halt();
                      }));
-  engine.set_adversary(std::make_unique<ProbeDisruptorAdversary>(1, 1));
+  engine.add_fault_injector(std::make_unique<ProbeDisruptorAdversary>(1, 1));
   const Report report = engine.run();
   EXPECT_TRUE(report.nodes[0].crashed);
   EXPECT_FALSE(report.nodes[1].crashed);

@@ -255,5 +255,36 @@ TEST(SinglePort, MaxRoundsCap) {
   EXPECT_EQ(report.rounds, 4);
 }
 
+TEST(SinglePort, ByzantineSendsExcludedFromHonestCounters) {
+  // mark_byzantine must affect the honest counters exactly as in the
+  // multi-port engine: total counts everything, honest excludes the marked
+  // node (the Theorem 11 measure must agree between both engine paths).
+  SinglePortEngine engine(3, {});
+  auto sender = [](NodeId to) {
+    return sp_lambda([to](SpContext& ctx, const std::optional<Message>&) {
+      if (ctx.round() >= 4) {
+        ctx.halt();
+        return SpAction{};
+      }
+      SpAction a;
+      a.send = SpSend{to, 0, 1, 8, {}};
+      return a;
+    });
+  };
+  engine.set_process(0, sender(2));  // honest
+  engine.set_process(1, sender(2));  // Byzantine
+  engine.set_process(2, sp_lambda([](SpContext& ctx, const std::optional<Message>&) {
+                       if (ctx.round() >= 5) ctx.halt();
+                       return poll_from(ctx.round() % 2 == 0 ? 0 : 1);
+                     }));
+  engine.mark_byzantine(1);
+  const Report report = engine.run();
+  EXPECT_TRUE(report.nodes[1].byzantine);
+  EXPECT_EQ(report.metrics.messages_total, 8);   // 4 sends from each sender
+  EXPECT_EQ(report.metrics.messages_honest, 4);  // only node 0's
+  EXPECT_EQ(report.metrics.bits_total, 64);
+  EXPECT_EQ(report.metrics.bits_honest, 32);
+}
+
 }  // namespace
 }  // namespace lft::sim

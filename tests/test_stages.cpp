@@ -67,7 +67,7 @@ class StageHarness {
   template <typename MakeStage>
   static std::vector<BinaryState> run(NodeId n, std::span<const int> candidates,
                                       MakeStage make_stage,
-                                      std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
+                                      std::unique_ptr<sim::FaultInjector> adversary = nullptr,
                                       std::int64_t budget = 0) {
     sim::EngineConfig config;
     config.crash_budget = budget;
@@ -80,7 +80,7 @@ class StageHarness {
       procs.push_back(proc.get());
       engine.set_process(v, std::move(proc));
     }
-    if (adversary) engine.set_adversary(std::move(adversary));
+    if (adversary) engine.add_fault_injector(std::move(adversary));
     engine.run();
     std::vector<BinaryState> states;
     states.reserve(static_cast<std::size_t>(n));
