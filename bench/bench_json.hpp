@@ -69,6 +69,22 @@ class JsonRows {
   std::vector<std::vector<std::pair<std::string, Value>>> rows_;
 };
 
+/// Splits a comma-separated CLI value into its non-empty parts (shared by
+/// the lft_scenarios --run= and lft_fleet --scenario=/--sizes= parsers).
+inline std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string part =
+        s.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!part.empty()) parts.push_back(part);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return parts;
+}
+
 /// Returns the PATH of a `--json=PATH` argument, or "" if absent. Leaves
 /// argv untouched (google-benchmark ignores flags it does not recognize
 /// when ReportUnrecognizedArguments is not called).

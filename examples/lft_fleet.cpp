@@ -1,0 +1,285 @@
+// Fleet sweep driver: expands registered scenarios across seed and size axes
+// and executes the resulting instances over the instance-multiplexed
+// FleetRunner (src/sim/fleet.hpp).
+//
+//   lft_fleet --list
+//   lft_fleet (--scenario=name[,name...] | --all)
+//             [--seeds=N] [--seed-base=B] [--sizes=a,b,c] [--threads=T]
+//             [--verify-serial=K] [--json=PATH]
+//
+// Every (scenario, seed, size) instance runs serially on one fleet worker,
+// so its Report is bit-identical to running it alone; --verify-serial=K
+// re-runs K spot-check instances one-at-a-time and fails on any fingerprint
+// mismatch. The summary aggregates per scenario (p50/p95 rounds, messages,
+// per-instance wall time) plus fleet totals (instances/sec, work steals);
+// --json=PATH writes one "fleet" row, one "aggregate" row per scenario, and
+// one "instance" row per execution (with its fingerprint) in the
+// BENCH_*.json artifact schema. Exit code is nonzero if any instance's
+// invariant (or the serial spot check) fails.
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "scenarios/scenarios.hpp"
+#include "sim/fleet.hpp"
+
+namespace {
+
+using lft::NodeId;
+using lft::bench::JsonRows;
+using lft::bench::WallTimer;
+using lft::scenarios::all_scenarios;
+using lft::scenarios::Scenario;
+using lft::scenarios::SweepItem;
+using lft::scenarios::SweepOutcome;
+
+void print_usage() {
+  std::printf(
+      "usage: lft_fleet --list\n"
+      "       lft_fleet (--scenario=name[,name...] | --all)\n"
+      "                 [--seeds=N] [--seed-base=B] [--sizes=a,b,c] [--threads=T]\n"
+      "                 [--verify-serial=K] [--json=PATH]\n");
+}
+
+void list_scenarios() {
+  std::printf("%-28s %-14s %-10s %6s %5s  %s\n", "name", "protocol", "fault", "n", "t",
+              "description");
+  for (const auto& s : all_scenarios()) {
+    std::printf("%-28s %-14s %-10s %6d %5lld  %s\n", s.name.c_str(), s.protocol.c_str(),
+                s.fault_kind.c_str(), s.n, static_cast<long long>(s.t),
+                s.description.c_str());
+  }
+}
+
+struct Options {
+  bool list = false;
+  bool all = false;
+  std::int64_t seeds = 8;
+  std::uint64_t seed_base = 1;
+  int threads = 4;
+  std::int64_t verify_serial = 0;
+  std::vector<std::string> names;
+  std::vector<NodeId> sizes;
+  std::string json_path;
+};
+
+using lft::bench::split_csv;
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg == "--list") {
+      opt.list = true;
+    } else if (arg == "--all") {
+      opt.all = true;
+    } else if (arg.rfind("--scenario=", 0) == 0) {
+      for (auto& name : split_csv(value_of("--scenario="))) {
+        opt.names.push_back(std::move(name));
+      }
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      opt.seeds = std::strtoll(value_of("--seeds=").c_str(), nullptr, 10);
+      if (opt.seeds < 1) opt.seeds = 1;
+    } else if (arg.rfind("--seed-base=", 0) == 0) {
+      opt.seed_base = std::strtoull(value_of("--seed-base=").c_str(), nullptr, 10);
+    } else if (arg.rfind("--sizes=", 0) == 0) {
+      for (const auto& part : split_csv(value_of("--sizes="))) {
+        const long size = std::strtol(part.c_str(), nullptr, 10);
+        if (size < 8) {
+          std::fprintf(stderr, "bad --sizes entry: %s\n", part.c_str());
+          return false;
+        }
+        opt.sizes.push_back(static_cast<NodeId>(size));
+      }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opt.threads = static_cast<int>(std::strtol(value_of("--threads=").c_str(), nullptr, 10));
+      if (opt.threads < 1) opt.threads = 1;
+    } else if (arg.rfind("--verify-serial=", 0) == 0) {
+      opt.verify_serial = std::strtoll(value_of("--verify-serial=").c_str(), nullptr, 10);
+    } else if (arg == "--verify-serial") {
+      opt.verify_serial = 8;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opt.json_path = value_of("--json=");
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Nearest-rank percentile of a sorted sample: the smallest element with at
+/// least p% of the sample at or below it (p in [0, 100]).
+template <class T>
+T percentile(const std::vector<T>& sorted, double p) {
+  if (sorted.empty()) return T{};
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size())) - 1.0;
+  const auto index = static_cast<std::size_t>(std::max(0.0, rank));
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    print_usage();
+    return 2;
+  }
+  if (opt.list) {
+    list_scenarios();
+    return 0;
+  }
+  std::vector<const Scenario*> selected;
+  if (opt.all) {
+    for (const auto& s : all_scenarios()) selected.push_back(&s);
+  } else {
+    for (const auto& name : opt.names) {
+      const Scenario* s = lft::scenarios::find_scenario(name);
+      if (s == nullptr) {
+        std::fprintf(stderr, "unknown scenario: %s (see --list)\n", name.c_str());
+        return 2;
+      }
+      // Dedupe repeated names (first mention wins) so the per-scenario
+      // aggregation below counts every instance exactly once.
+      if (std::find(selected.begin(), selected.end(), s) == selected.end()) {
+        selected.push_back(s);
+      }
+    }
+  }
+  if (selected.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  // Expand the seed x size grid for every selected scenario into one mixed
+  // instance queue.
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(opt.seeds));
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    seeds[i] = opt.seed_base + static_cast<std::uint64_t>(i);
+  }
+  std::vector<SweepItem> items;
+  for (const Scenario* s : selected) {
+    auto expanded = lft::scenarios::sweep(s->name, seeds, opt.sizes);
+    items.insert(items.end(), expanded.begin(), expanded.end());
+  }
+
+  std::printf("fleet: %zu instances (%zu scenarios x %lld seeds x %zu sizes) on %d threads\n",
+              items.size(), selected.size(), static_cast<long long>(opt.seeds),
+              std::max<std::size_t>(1, opt.sizes.size()), opt.threads);
+
+  lft::sim::FleetRunner fleet(lft::sim::FleetConfig{opt.threads, /*reuse_scratch=*/true});
+  const WallTimer fleet_timer;
+  const auto outcomes = lft::scenarios::run_sweep(fleet, items);
+  const double fleet_wall_ms = fleet_timer.ms();
+  const double instances_per_sec =
+      fleet_wall_ms > 0.0 ? 1000.0 * static_cast<double>(items.size()) / fleet_wall_ms : 0.0;
+
+  bool all_ok = true;
+
+  // Per-scenario aggregates, in selection order.
+  JsonRows rows;
+  rows.begin_row();
+  rows.field("kind", std::string("fleet"));
+  rows.field("instances", static_cast<std::int64_t>(items.size()));
+  rows.field("threads", static_cast<std::int64_t>(fleet.threads()));
+  rows.field("wall_ms", fleet_wall_ms);
+  rows.field("instances_per_sec", instances_per_sec);
+  rows.field("stolen", fleet.stolen());
+
+  std::printf("%-28s %9s %4s %10s %10s %12s %12s %10s %10s\n", "scenario", "instances", "ok",
+              "p50_rnds", "p95_rnds", "p50_msgs", "p95_msgs", "p50_ms", "p95_ms");
+  for (const Scenario* s : selected) {
+    std::vector<std::int64_t> rounds;
+    std::vector<std::int64_t> messages;
+    std::vector<double> wall;
+    std::int64_t ok_count = 0;
+    std::int64_t count = 0;
+    for (const auto& out : outcomes) {
+      if (out.item.scenario != s) continue;
+      ++count;
+      ok_count += out.ok ? 1 : 0;
+      rounds.push_back(static_cast<std::int64_t>(out.report.rounds));
+      messages.push_back(out.report.metrics.messages_total);
+      wall.push_back(out.wall_ms);
+    }
+    std::sort(rounds.begin(), rounds.end());
+    std::sort(messages.begin(), messages.end());
+    std::sort(wall.begin(), wall.end());
+    const bool scenario_ok = ok_count == count;
+    all_ok = all_ok && scenario_ok;
+    std::printf("%-28s %9lld %4s %10lld %10lld %12lld %12lld %10.2f %10.2f\n", s->name.c_str(),
+                static_cast<long long>(count), scenario_ok ? "yes" : "NO",
+                static_cast<long long>(percentile(rounds, 50)),
+                static_cast<long long>(percentile(rounds, 95)),
+                static_cast<long long>(percentile(messages, 50)),
+                static_cast<long long>(percentile(messages, 95)), percentile(wall, 50),
+                percentile(wall, 95));
+
+    rows.begin_row();
+    rows.field("kind", std::string("aggregate"));
+    rows.field("scenario", s->name);
+    rows.field("fault", s->fault_kind);
+    rows.field("instances", count);
+    rows.field("ok_instances", ok_count);
+    rows.field("p50_rounds", percentile(rounds, 50));
+    rows.field("p95_rounds", percentile(rounds, 95));
+    rows.field("p50_messages", percentile(messages, 50));
+    rows.field("p95_messages", percentile(messages, 95));
+    rows.field("p50_wall_ms", percentile(wall, 50));
+    rows.field("p95_wall_ms", percentile(wall, 95));
+    rows.field("ok", std::string(scenario_ok ? "yes" : "NO"));
+  }
+  std::printf("fleet wall: %.1f ms, %.1f instances/sec, %lld steals\n", fleet_wall_ms,
+              instances_per_sec, static_cast<long long>(fleet.stolen()));
+
+  // Per-instance rows: the fingerprint trail that certifies determinism
+  // across fleet runs (equal seeds => equal fingerprints, any thread count).
+  for (const auto& out : outcomes) {
+    all_ok = all_ok && out.ok;
+    rows.begin_row();
+    rows.field("kind", std::string("instance"));
+    rows.field("scenario", out.item.scenario->name);
+    rows.field("seed", static_cast<std::int64_t>(out.item.seed));
+    rows.field("n", static_cast<std::int64_t>(out.item.n));
+    rows.field("t", out.item.t);
+    rows.field("rounds", static_cast<std::int64_t>(out.report.rounds));
+    rows.field("messages", out.report.metrics.messages_total);
+    rows.field("wall_ms", out.wall_ms);
+    rows.field("fingerprint", static_cast<std::int64_t>(out.fingerprint));
+    rows.field("ok", std::string(out.ok ? "yes" : "NO"));
+  }
+
+  // Serial spot check: K instances sampled at a deterministic stride across
+  // the whole queue (items are grouped scenario-by-scenario, so a stride —
+  // unlike a prefix — covers every scenario) re-run one-at-a-time must be
+  // bit-identical to their fleet runs.
+  if (opt.verify_serial > 0) {
+    const auto k = std::min<std::size_t>(static_cast<std::size_t>(opt.verify_serial),
+                                         outcomes.size());
+    std::int64_t mismatches = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::size_t i = j * outcomes.size() / k;
+      const auto& out = outcomes[i];
+      const auto serial = out.item.scenario->run_at(out.item.seed, /*threads=*/1, out.item.n,
+                                                    out.item.t, /*scratch=*/nullptr);
+      if (lft::scenarios::fingerprint(serial.report) != out.fingerprint) ++mismatches;
+    }
+    std::printf("verify-serial: %zu instances re-run serially, %lld fingerprint mismatches\n",
+                k, static_cast<long long>(mismatches));
+    if (mismatches != 0) all_ok = false;
+  }
+
+  if (!opt.json_path.empty() && !rows.write_file(opt.json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", opt.json_path.c_str());
+    return 1;
+  }
+  return all_ok ? 0 : 1;
+}

@@ -73,15 +73,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (arg.rfind("--json=", 0) == 0) {
       opt.json_path = value_of("--json=");
     } else if (arg.rfind("--run=", 0) == 0) {
-      std::string rest = value_of("--run=");
-      std::size_t pos = 0;
-      while (pos <= rest.size()) {
-        const std::size_t comma = rest.find(',', pos);
-        const std::string name =
-            rest.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
-        if (!name.empty()) opt.names.push_back(name);
-        if (comma == std::string::npos) break;
-        pos = comma + 1;
+      for (auto& name : lft::bench::split_csv(value_of("--run="))) {
+        opt.names.push_back(std::move(name));
       }
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());

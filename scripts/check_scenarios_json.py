@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Schema + determinism check for the scenario runner's --json output.
+
+Runs the `lft_scenarios` binary twice with the same seed over a scenario
+selection, then validates the emitted JSON:
+  * every row carries the full schema (scenario, protocol, fault, n, t,
+    seed, rounds, messages, bits, wall_ms, fingerprint, ok) with sane types
+    and positive counts;
+  * every row reports ok == "yes" (the scenario invariant held);
+  * the (scenario -> fingerprint) map is identical across the two runs —
+    same seed must give bit-identical Reports (wall_ms may differ).
+
+Registered as a CTest (`scenarios_json_schema`) so the JSON artifact schema
+CI archives cannot drift silently.
+
+Usage: check_scenarios_json.py LFT_SCENARIOS_BINARY [--scenarios a,b,c]
+                               [--seed N] [--workdir DIR]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REQUIRED_FIELDS = {
+    "scenario": str,
+    "protocol": str,
+    "fault": str,
+    "n": int,
+    "t": int,
+    "seed": int,
+    "rounds": int,
+    "messages": int,
+    "bits": int,
+    "wall_ms": (int, float),
+    "fingerprint": int,
+    "ok": str,
+}
+
+DEFAULT_SCENARIOS = "crash_staggered_drip,omission_send_quorum,byz_silent_little"
+
+
+def run_once(binary: str, scenarios: str, seed: int, json_path: str) -> None:
+    cmd = [binary, f"--run={scenarios}", f"--seed={seed}", f"--json={json_path}"]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=600)
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    if proc.returncode != 0:
+        raise SystemExit(f"FAIL: {' '.join(cmd)} exited {proc.returncode}")
+
+
+def load_rows(json_path: str, scenario_count: int) -> list:
+    with open(json_path, encoding="utf-8") as f:
+        rows = json.load(f)
+    if not isinstance(rows, list):
+        raise SystemExit(f"FAIL: {json_path} is not a JSON array")
+    if len(rows) != scenario_count:
+        raise SystemExit(
+            f"FAIL: {json_path} has {len(rows)} rows, expected {scenario_count}")
+    return rows
+
+
+def check_schema(rows: list) -> None:
+    for row in rows:
+        for field, types in REQUIRED_FIELDS.items():
+            if field not in row:
+                raise SystemExit(f"FAIL: row {row.get('scenario', '?')} lacks '{field}'")
+            if not isinstance(row[field], types):
+                raise SystemExit(
+                    f"FAIL: row {row['scenario']} field '{field}' has type "
+                    f"{type(row[field]).__name__}")
+        if row["ok"] != "yes":
+            raise SystemExit(f"FAIL: scenario {row['scenario']} reported ok={row['ok']}")
+        for positive in ("n", "rounds", "messages", "bits"):
+            if row[positive] <= 0:
+                raise SystemExit(
+                    f"FAIL: scenario {row['scenario']} has {positive}={row[positive]}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("binary", help="path to the built lft_scenarios binary")
+    parser.add_argument("--scenarios", default=DEFAULT_SCENARIOS,
+                        help="comma-separated scenario names to run")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workdir", default=None,
+                        help="directory for the JSON outputs (default: temp dir)")
+    args = parser.parse_args()
+
+    scenario_count = len([s for s in args.scenarios.split(",") if s])
+    workdir = args.workdir or tempfile.mkdtemp(prefix="lft_scenarios_json_")
+
+    fingerprints = []
+    for attempt in (1, 2):
+        json_path = os.path.join(workdir, f"scenarios_{attempt}.json")
+        run_once(args.binary, args.scenarios, args.seed, json_path)
+        rows = load_rows(json_path, scenario_count)
+        check_schema(rows)
+        fingerprints.append({row["scenario"]: row["fingerprint"] for row in rows})
+
+    if fingerprints[0] != fingerprints[1]:
+        diff = {
+            name: (fingerprints[0].get(name), fingerprints[1].get(name))
+            for name in set(fingerprints[0]) | set(fingerprints[1])
+            if fingerprints[0].get(name) != fingerprints[1].get(name)
+        }
+        raise SystemExit(f"FAIL: same-seed fingerprints differ between runs: {diff}")
+
+    print(f"OK: {scenario_count} scenarios, schema valid, "
+          f"fingerprints stable across two seed-{args.seed} runs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

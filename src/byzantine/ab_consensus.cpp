@@ -368,7 +368,8 @@ AbOutcome run_ab_consensus(const AbParams& params, std::span<const std::uint64_t
 }
 
 AbOutcome run_ab_consensus_plan(const AbParams& params, std::span<const std::uint64_t> inputs,
-                                sim::FaultPlan plan, int threads) {
+                                sim::FaultPlan plan, int threads,
+                                sim::EngineScratch* scratch) {
   LFT_ASSERT(static_cast<NodeId>(inputs.size()) == params.n);
   auto cfg = AbConfig::build(params);
 
@@ -378,6 +379,7 @@ AbOutcome run_ab_consensus_plan(const AbParams& params, std::span<const std::uin
   engine_config.omission_budget = params.t;
   engine_config.byzantine_budget = params.t;
   engine_config.threads = threads;
+  engine_config.scratch = scratch;
   sim::Engine engine(params.n, engine_config);
 
   for (NodeId v = 0; v < params.n; ++v) {

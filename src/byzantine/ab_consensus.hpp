@@ -101,6 +101,7 @@ struct AbOutcome {
 /// parallel stepper (bit-identical Reports for every value).
 [[nodiscard]] AbOutcome run_ab_consensus_plan(const AbParams& params,
                                               std::span<const std::uint64_t> inputs,
-                                              sim::FaultPlan plan, int threads = 1);
+                                              sim::FaultPlan plan, int threads = 1,
+                                              sim::EngineScratch* scratch = nullptr);
 
 }  // namespace lft::byzantine

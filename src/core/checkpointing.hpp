@@ -60,6 +60,7 @@ struct CheckpointOutcome {
 /// (bit-identical Reports for every value).
 [[nodiscard]] CheckpointOutcome run_checkpointing(const CheckpointParams& params,
                                                   std::unique_ptr<sim::FaultInjector> adversary,
-                                                  int threads = 1);
+                                                  int threads = 1,
+                                                  sim::EngineScratch* scratch = nullptr);
 
 }  // namespace lft::core

@@ -61,11 +61,14 @@ struct ConsensusOutcome {
 /// evaluates. The adversary may be null.
 using ProcessFactory = std::function<std::unique_ptr<sim::Process>(NodeId)>;
 /// `threads` > 1 opts into the engine's deterministic parallel stepper
-/// (bit-identical Reports for every value).
+/// (bit-identical Reports for every value). `scratch` optionally recycles
+/// engine buffers across back-to-back executions (fleet mode); it never
+/// changes any Report bit.
 [[nodiscard]] sim::Report run_system(NodeId n, std::int64_t crash_budget,
                                      const ProcessFactory& factory,
                                      std::unique_ptr<sim::FaultInjector> adversary,
-                                     Round max_rounds = Round{1} << 22, int threads = 1);
+                                     Round max_rounds = Round{1} << 22, int threads = 1,
+                                     sim::EngineScratch* scratch = nullptr);
 
 [[nodiscard]] ConsensusOutcome run_few_crashes_consensus(
     const ConsensusParams& params, std::span<const int> inputs,

@@ -339,7 +339,8 @@ void GossipProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
 // ---- runner -------------------------------------------------------------------------
 
 GossipOutcome run_gossip(const GossipParams& params, std::span<const std::uint64_t> rumors,
-                         std::unique_ptr<sim::FaultInjector> adversary, int engine_threads) {
+                         std::unique_ptr<sim::FaultInjector> adversary, int engine_threads,
+                         sim::EngineScratch* scratch) {
   LFT_ASSERT(static_cast<NodeId>(rumors.size()) == params.n);
   auto cfg = GossipConfig::build(params);
 
@@ -347,6 +348,7 @@ GossipOutcome run_gossip(const GossipParams& params, std::span<const std::uint64
   engine_config.crash_budget = params.t;
   engine_config.omission_budget = params.t;
   engine_config.threads = engine_threads;
+  engine_config.scratch = scratch;
   sim::Engine engine(params.n, engine_config);
   for (NodeId v = 0; v < params.n; ++v) {
     engine.set_process(

@@ -157,6 +157,7 @@ struct GossipOutcome {
 [[nodiscard]] GossipOutcome run_gossip(const GossipParams& params,
                                        std::span<const std::uint64_t> rumors,
                                        std::unique_ptr<sim::FaultInjector> adversary,
-                                       int engine_threads = 1);
+                                       int engine_threads = 1,
+                                       sim::EngineScratch* scratch = nullptr);
 
 }  // namespace lft::core

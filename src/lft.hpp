@@ -16,6 +16,8 @@
 //                                singleport::run_divergence_experiment
 //   baselines .................. baselines::run_floodset, ...
 //   fault scenarios ............ scenarios::all_scenarios, find_scenario
+//   fleet sweeps ............... sim::FleetRunner, scenarios::sweep,
+//                                scenarios::run_sweep
 // Parameters come from the *Params::practical / ::single_port factories;
 // fault plans and injectors from sim/faults.hpp (declarative FaultPlan,
 // ScheduledAdversary) and sim/adversary.hpp (graph-aware / adaptive
@@ -36,6 +38,7 @@
 #include "sim/adversary.hpp"
 #include "sim/engine.hpp"
 #include "sim/faults.hpp"
+#include "sim/fleet.hpp"
 #include "sim/single_port.hpp"
 #include "singleport/gossip_sp.hpp"
 #include "singleport/linear_consensus.hpp"

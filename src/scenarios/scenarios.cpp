@@ -1,10 +1,12 @@
 #include "scenarios/scenarios.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <utility>
 
 #include "byzantine/ab_consensus.hpp"
+#include "common/assert.hpp"
 #include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "core/checkpointing.hpp"
@@ -56,7 +58,8 @@ ScenarioResult eval_consensus(core::ConsensusOutcome outcome, const Expect& expe
 
 /// Runs Few- or Many-Crashes-Consensus under `plan` with random inputs.
 ScenarioResult run_consensus(const ConsensusParams& params, bool many, sim::FaultPlan plan,
-                             std::uint64_t seed, int threads, const Expect& expect) {
+                             std::uint64_t seed, int threads, const Expect& expect,
+                             sim::EngineScratch* scratch = nullptr) {
   const auto inputs = random_inputs(params.n, seed);
   auto factory = [&](NodeId v) {
     const int input = inputs[static_cast<std::size_t>(v)];
@@ -65,7 +68,7 @@ ScenarioResult run_consensus(const ConsensusParams& params, bool many, sim::Faul
   };
   auto report = core::run_system(params.n, params.t, factory,
                                  sim::make_plan_injector(std::move(plan)),
-                                 Round{1} << 22, threads);
+                                 Round{1} << 22, threads, scratch);
   return eval_consensus(core::evaluate_consensus(std::move(report), inputs), expect);
 }
 
@@ -107,54 +110,61 @@ std::vector<std::uint64_t> ab_inputs(NodeId n, std::uint64_t seed) {
   return inputs;
 }
 
+std::vector<std::uint64_t> gossip_rumors(NodeId n, std::uint64_t seed) {
+  std::vector<std::uint64_t> rumors(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) rumors[static_cast<std::size_t>(v)] = seed * 1000 + v;
+  return rumors;
+}
+
 std::vector<Scenario> build_registry() {
   std::vector<Scenario> list;
+
+  // Every runner below is a pure function of (seed, threads, n, t, scratch):
+  // the registered (n, t) is only the default shape, and `sweep` re-invokes
+  // the same lambda at scaled sizes. Ratios are chosen so every 5t < n /
+  // little-group constraint still holds after proportional scaling.
 
   // ---- crash plans (the paper's model: full theorem guarantees) ------------
 
   list.push_back(Scenario{
       "crash_burst_flood", "few_crashes", "crash", 600, 100,
       "all t crash in one burst at flood start; n=600 engages the parallel stepper",
-      [](std::uint64_t seed, int threads) {
-        const NodeId n = 600;
-        const std::int64_t t = 100;
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+         sim::EngineScratch* scratch) {
         sim::FaultPlan plan;
         plan.burst_crashes(n, t, 1, seed * 31 + 1);
         return run_consensus(ConsensusParams::practical(n, t), false, std::move(plan), seed,
-                             threads, Expect{});
+                             threads, Expect{}, scratch);
       }});
 
   list.push_back(Scenario{
       "crash_staggered_drip", "few_crashes", "crash", 160, 31,
       "one crash every 5 rounds through the whole execution",
-      [](std::uint64_t seed, int threads) {
-        const NodeId n = 160;
-        const std::int64_t t = 31;
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+         sim::EngineScratch* scratch) {
         sim::FaultPlan plan;
         plan.staggered_crashes(n, t, 0, 5, seed * 31 + 2);
         return run_consensus(ConsensusParams::practical(n, t), false, std::move(plan), seed,
-                             threads, Expect{});
+                             threads, Expect{}, scratch);
       }});
 
   list.push_back(Scenario{
       "crash_partial_sends", "many_crashes", "crash", 96, 60,
       "many-crashes regime (t near n); every victim keeps ~30% of its last sends",
-      [](std::uint64_t seed, int threads) {
-        const NodeId n = 96;
-        const std::int64_t t = 60;
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+         sim::EngineScratch* scratch) {
         sim::FaultPlan plan;
         plan.random_crashes(n, t, 0, n / 2, 0.3, seed * 31 + 3);
         return run_consensus(ConsensusParams::practical(n, t), true, std::move(plan), seed,
-                             threads, Expect{});
+                             threads, Expect{}, scratch);
       }});
 
   list.push_back(Scenario{
       "crash_isolate_little", "few_crashes", "crash", 200, 30,
       "crashes every little-overlay neighbor of little node 1 at round 0 "
       "(phase-graph diversity keeps the victim deciding)",
-      [](std::uint64_t seed, int threads) {
-        const NodeId n = 200;
-        const std::int64_t t = 30;
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+         sim::EngineScratch* scratch) {
         const auto params = ConsensusParams::practical(n, t);
         const auto little_g = graph::shared_overlay(
             params.little_count,
@@ -162,7 +172,8 @@ std::vector<Scenario> build_registry() {
             params.overlay_tag ^ core::kOverlayLittleG);
         sim::FaultPlan plan;
         plan.crash(sim::isolation_crash_schedule(*little_g, 1, t));
-        auto result = run_consensus(params, false, std::move(plan), seed, threads, Expect{});
+        auto result =
+            run_consensus(params, false, std::move(plan), seed, threads, Expect{}, scratch);
         const auto& victim = result.report.nodes[1];
         result.ok = result.ok && !victim.crashed && victim.decided;
         result.detail += " victim_decided=" + yn(victim.decided);
@@ -172,9 +183,8 @@ std::vector<Scenario> build_registry() {
   list.push_back(Scenario{
       "crash_probe_hubs", "few_crashes", "crash", 200, 30,
       "adaptive ProbeDisruptor: crashes the 2 busiest senders per round until the budget",
-      [](std::uint64_t seed, int threads) {
-        const NodeId n = 200;
-        const std::int64_t t = 30;
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+         sim::EngineScratch* scratch) {
         const auto params = ConsensusParams::practical(n, t);
         const auto inputs = random_inputs(n, seed);
         auto factory = [&](NodeId v) {
@@ -183,23 +193,21 @@ std::vector<Scenario> build_registry() {
         };
         auto report = core::run_system(n, t, factory,
                                        std::make_unique<sim::ProbeDisruptorAdversary>(t, 2),
-                                       Round{1} << 22, threads);
+                                       Round{1} << 22, threads, scratch);
         return eval_consensus(core::evaluate_consensus(std::move(report), inputs), Expect{});
       }});
 
   list.push_back(Scenario{
       "crash_gossip_window", "gossip", "crash", 110, 14,
       "gossip with t partial-send crashes inside the first probing window",
-      [](std::uint64_t seed, int threads) {
-        const NodeId n = 110;
-        const std::int64_t t = 14;
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+         sim::EngineScratch* scratch) {
         const auto params = core::GossipParams::practical(n, t);
-        std::vector<std::uint64_t> rumors(static_cast<std::size_t>(n));
-        for (NodeId v = 0; v < n; ++v) rumors[static_cast<std::size_t>(v)] = seed * 1000 + v;
         sim::FaultPlan plan;
         plan.random_crashes(n, t, 0, 4 * t, 0.5, seed * 31 + 4);
-        return eval_gossip(core::run_gossip(params, rumors,
-                                            sim::make_plan_injector(std::move(plan)), threads));
+        return eval_gossip(core::run_gossip(params, gossip_rumors(n, seed),
+                                            sim::make_plan_injector(std::move(plan)), threads,
+                                            scratch));
       }});
 
   // ---- omission plans (Dwork-Halpern-Waarts regimes) -----------------------
@@ -208,18 +216,17 @@ std::vector<Scenario> build_registry() {
       "omission_send_quorum", "few_crashes", "omission", 200, 30,
       "t nodes are send-omission faulty for the whole run: to everyone else they look "
       "crashed, but they keep receiving, so even the faulty nodes decide the common value",
-      [](std::uint64_t seed, int threads) {
-        const NodeId n = 200;
-        const std::int64_t t = 30;
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+         sim::EngineScratch* scratch) {
         sim::FaultPlan plan;
         plan.random_omissions(n, t, 0, sim::kRoundForever, /*send=*/true, /*recv=*/false,
                               seed * 31 + 5);
         auto result = run_consensus(ConsensusParams::practical(n, t), false, std::move(plan),
-                                    seed, threads, Expect{});
+                                    seed, threads, Expect{}, scratch);
         // Stronger than the crash theorem: every node decided, faulty included.
-        const bool everyone = result.report.decided_count() == 200;
+        const bool everyone = result.report.decided_count() == n;
         result.ok = result.ok && everyone;
-        result.detail += " all_200_decided=" + yn(everyone);
+        result.detail += " all_decided=" + yn(everyone);
         return result;
       }});
 
@@ -227,53 +234,50 @@ std::vector<Scenario> build_registry() {
       "omission_recv_blackout", "few_crashes", "omission", 200, 30,
       "t nodes are receive-omission faulty for the whole run; safety (agreement + "
       "validity) must survive even though the deaf nodes may not decide",
-      [](std::uint64_t seed, int threads) {
-        const NodeId n = 200;
-        const std::int64_t t = 30;
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+         sim::EngineScratch* scratch) {
         sim::FaultPlan plan;
         plan.random_omissions(n, t, 0, sim::kRoundForever, /*send=*/false, /*recv=*/true,
                               seed * 31 + 6);
         Expect expect;
         expect.termination = true;  // non-faulty nodes must all decide
         return run_consensus(ConsensusParams::practical(n, t), false, std::move(plan), seed,
-                             threads, expect);
+                             threads, expect, scratch);
       }});
 
   list.push_back(Scenario{
       "omission_flood_window", "few_crashes", "omission", 200, 30,
       "t nodes lose both directions during the first half of the flood window, then "
       "recover; the protocol must absorb the re-merge and deliver full guarantees",
-      [](std::uint64_t seed, int threads) {
-        const NodeId n = 200;
-        const std::int64_t t = 30;
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+         sim::EngineScratch* scratch) {
         const auto params = ConsensusParams::practical(n, t);
         sim::FaultPlan plan;
         plan.random_omissions(n, t, 0, params.flood_rounds_little / 2, /*send=*/true,
                               /*recv=*/true, seed * 31 + 7);
-        auto result = run_consensus(params, false, std::move(plan), seed, threads, Expect{});
-        const bool everyone = result.report.decided_count() == 200;
+        auto result =
+            run_consensus(params, false, std::move(plan), seed, threads, Expect{}, scratch);
+        const bool everyone = result.report.decided_count() == n;
         result.ok = result.ok && everyone;
-        result.detail += " all_200_decided=" + yn(everyone);
+        result.detail += " all_decided=" + yn(everyone);
         return result;
       }});
 
   list.push_back(Scenario{
       "omission_gossip_mixed", "gossip", "omission", 110, 14,
       "gossip with t/2 send-omission and t/2 receive-omission nodes during part 1",
-      [](std::uint64_t seed, int threads) {
-        const NodeId n = 110;
-        const std::int64_t t = 14;
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+         sim::EngineScratch* scratch) {
         const auto params = core::GossipParams::practical(n, t);
-        std::vector<std::uint64_t> rumors(static_cast<std::size_t>(n));
-        for (NodeId v = 0; v < n; ++v) rumors[static_cast<std::size_t>(v)] = seed * 1000 + v;
         const Round part1 = params.phases * (params.probe_gamma + 3);
         sim::FaultPlan plan;
         plan.random_omissions(n, t / 2, 0, part1, /*send=*/true, /*recv=*/false,
                               seed * 31 + 8);
         plan.random_omissions(n, t - t / 2, 0, part1, /*send=*/false, /*recv=*/true,
                               seed * 31 + 9);
-        auto outcome = core::run_gossip(params, rumors,
-                                        sim::make_plan_injector(std::move(plan)), threads);
+        auto outcome = core::run_gossip(params, gossip_rumors(n, seed),
+                                        sim::make_plan_injector(std::move(plan)), threads,
+                                        scratch);
         return eval_gossip(std::move(outcome));
       }});
 
@@ -283,16 +287,15 @@ std::vector<Scenario> build_registry() {
       "partition_split_heal", "few_crashes", "partition", 200, 30,
       "an eighth of the nodes are split off during early flood rounds [1, 9), then the "
       "partition heals; the re-merged nodes must catch up to full guarantees",
-      [](std::uint64_t seed, int threads) {
-        const NodeId n = 200;
-        const std::int64_t t = 30;
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+         sim::EngineScratch* scratch) {
         sim::FaultPlan plan;
         plan.split_at(n - n / 8, n, 1, 9);
         auto result = run_consensus(ConsensusParams::practical(n, t), false, std::move(plan),
-                                    seed, threads, Expect{});
-        const bool everyone = result.report.decided_count() == 200;
+                                    seed, threads, Expect{}, scratch);
+        const bool everyone = result.report.decided_count() == n;
         result.ok = result.ok && everyone;
-        result.detail += " all_200_decided=" + yn(everyone);
+        result.detail += " all_decided=" + yn(everyone);
         return result;
       }});
 
@@ -300,9 +303,8 @@ std::vector<Scenario> build_registry() {
       "partition_little_halves", "few_crashes", "partition", 200, 30,
       "the little group is split into halves for 6 flood rounds (cross-half floods are "
       "dropped), then re-merged",
-      [](std::uint64_t seed, int threads) {
-        const NodeId n = 200;
-        const std::int64_t t = 30;
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+         sim::EngineScratch* scratch) {
         const auto params = ConsensusParams::practical(n, t);
         std::vector<std::uint32_t> groups(static_cast<std::size_t>(n), 0);
         for (NodeId v = 0; v < params.little_count / 2; ++v) {
@@ -310,15 +312,15 @@ std::vector<Scenario> build_registry() {
         }
         sim::FaultPlan plan;
         plan.split(std::move(groups), 2, 8);
-        return run_consensus(params, false, std::move(plan), seed, threads, Expect{});
+        return run_consensus(params, false, std::move(plan), seed, threads, Expect{},
+                             scratch);
       }});
 
   list.push_back(Scenario{
       "link_flaky_mesh", "few_crashes", "link", 200, 30,
       "60 random node pairs lose their (symmetric) links for the first 20 rounds",
-      [](std::uint64_t seed, int threads) {
-        const NodeId n = 200;
-        const std::int64_t t = 30;
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+         sim::EngineScratch* scratch) {
         sim::FaultPlan plan;
         Rng rng(seed * 31 + 10);
         for (int i = 0; i < 60; ++i) {
@@ -328,7 +330,7 @@ std::vector<Scenario> build_registry() {
           plan.cut_link(a, b, 0, 20);
         }
         return run_consensus(ConsensusParams::practical(n, t), false, std::move(plan), seed,
-                             threads, Expect{});
+                             threads, Expect{}, scratch);
       }});
 
   // ---- Byzantine takeovers (Theorem 11 model) ------------------------------
@@ -336,9 +338,8 @@ std::vector<Scenario> build_registry() {
   list.push_back(Scenario{
       "byz_silent_little", "ab_consensus", "byzantine", 120, 11,
       "t little nodes are taken over with the silent behavior at round 0",
-      [](std::uint64_t seed, int threads) {
-        const NodeId n = 120;
-        const std::int64_t t = 11;
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+         sim::EngineScratch* scratch) {
         const auto params = byzantine::AbParams::practical(n, t);
         sim::FaultPlan plan;
         Rng rng(seed * 31 + 11);
@@ -349,39 +350,37 @@ std::vector<Scenario> build_registry() {
           plan.takeover(little[static_cast<std::size_t>(i)], 0, "silent");
         }
         return eval_ab(byzantine::run_ab_consensus_plan(params, ab_inputs(n, seed),
-                                                        std::move(plan), threads),
+                                                        std::move(plan), threads, scratch),
                        /*expect_max_rule=*/false);
       }});
 
   list.push_back(Scenario{
       "byz_equivocators", "ab_consensus", "byzantine", 120, 11,
       "t little nodes equivocate (sign 0 to odd peers, 1 to even) in DS round 0",
-      [](std::uint64_t seed, int threads) {
-        const NodeId n = 120;
-        const std::int64_t t = 11;
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+         sim::EngineScratch* scratch) {
         const auto params = byzantine::AbParams::practical(n, t);
         sim::FaultPlan plan;
         for (std::int64_t i = 0; i < t; ++i) {
           plan.takeover(static_cast<NodeId>(i * 3 % params.little_count), 0, "equivocate");
         }
         return eval_ab(byzantine::run_ab_consensus_plan(params, ab_inputs(n, seed),
-                                                        std::move(plan), threads),
+                                                        std::move(plan), threads, scratch),
                        /*expect_max_rule=*/false);
       }});
 
   list.push_back(Scenario{
       "byz_flooders", "ab_consensus", "byzantine", 120, 11,
       "t nodes flood forged chains, bogus certificates, and garbage bodies",
-      [](std::uint64_t seed, int threads) {
-        const NodeId n = 120;
-        const std::int64_t t = 11;
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+         sim::EngineScratch* scratch) {
         const auto params = byzantine::AbParams::practical(n, t);
         sim::FaultPlan plan;
         for (std::int64_t i = 0; i < t; ++i) {
           plan.takeover(static_cast<NodeId>((i * 7 + 1) % n), 0, "flood");
         }
         return eval_ab(byzantine::run_ab_consensus_plan(params, ab_inputs(n, seed),
-                                                        std::move(plan), threads),
+                                                        std::move(plan), threads, scratch),
                        /*expect_max_rule=*/false);
       }});
 
@@ -389,16 +388,15 @@ std::vector<Scenario> build_registry() {
       "byz_midrun_takeover", "ab_consensus", "byzantine", 120, 11,
       "the adversary adaptively takes over t honest little nodes mid-Dolev-Strong "
       "(round 3): their earlier honest relays are already in flight",
-      [](std::uint64_t seed, int threads) {
-        const NodeId n = 120;
-        const std::int64_t t = 11;
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+         sim::EngineScratch* scratch) {
         const auto params = byzantine::AbParams::practical(n, t);
         sim::FaultPlan plan;
         for (std::int64_t i = 0; i < t; ++i) {
           plan.takeover(static_cast<NodeId>(i * 2 % params.little_count), 3, "silent");
         }
         return eval_ab(byzantine::run_ab_consensus_plan(params, ab_inputs(n, seed),
-                                                        std::move(plan), threads),
+                                                        std::move(plan), threads, scratch),
                        /*expect_max_rule=*/false);
       }});
 
@@ -408,9 +406,8 @@ std::vector<Scenario> build_registry() {
       "mixed_crash_omission_split", "few_crashes", "mixed", 200, 30,
       "one plan composes all crash-model-compatible fault classes: a third of t crashes "
       "in a burst, a third gets omission windows, plus an early partition",
-      [](std::uint64_t seed, int threads) {
-        const NodeId n = 200;
-        const std::int64_t t = 30;
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+         sim::EngineScratch* scratch) {
         const auto params = ConsensusParams::practical(n, t);
         sim::FaultPlan plan;
         // Disjoint victim pools: crashes among [0, n/2), omissions among [n/2, n).
@@ -420,16 +417,16 @@ std::vector<Scenario> build_registry() {
                         /*send=*/true, /*recv=*/true);
         }
         plan.split_at(n - n / 10, n, 4, 10);
-        return run_consensus(params, false, std::move(plan), seed, threads, Expect{});
+        return run_consensus(params, false, std::move(plan), seed, threads, Expect{},
+                             scratch);
       }});
 
   list.push_back(Scenario{
       "mixed_byz_crash_ab", "ab_consensus", "mixed", 120, 11,
       "authenticated consensus under a Byzantine + crash mixture: t/2 takeovers at "
       "round 0 and t/2 crashes during Dolev-Strong",
-      [](std::uint64_t seed, int threads) {
-        const NodeId n = 120;
-        const std::int64_t t = 11;
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+         sim::EngineScratch* scratch) {
         const auto params = byzantine::AbParams::practical(n, t);
         sim::FaultPlan plan;
         for (std::int64_t i = 0; i < t / 2; ++i) {
@@ -439,45 +436,48 @@ std::vector<Scenario> build_registry() {
           plan.crash_at(static_cast<NodeId>(params.little_count + i), 2 + i, 0.5);
         }
         return eval_ab(byzantine::run_ab_consensus_plan(params, ab_inputs(n, seed),
-                                                        std::move(plan), threads),
+                                                        std::move(plan), threads, scratch),
                        /*expect_max_rule=*/false);
       }});
 
   list.push_back(Scenario{
       "checkpoint_crash_boundary", "checkpointing", "crash", 150, 20,
       "checkpointing with a crash burst at the gossip/consensus boundary",
-      [](std::uint64_t seed, int threads) {
-        const NodeId n = 150;
-        const std::int64_t t = 20;
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+         sim::EngineScratch* scratch) {
         const auto params = core::CheckpointParams::practical(n, t);
         const Round boundary =
             2 * params.gossip.phases * (params.gossip.probe_gamma + 3) + 3;
         sim::FaultPlan plan;
         plan.burst_crashes(n, t, boundary, seed * 31 + 13);
-        return eval_checkpointing(
-            core::run_checkpointing(params, sim::make_plan_injector(std::move(plan)), threads));
+        return eval_checkpointing(core::run_checkpointing(
+            params, sim::make_plan_injector(std::move(plan)), threads, scratch));
       }});
 
   list.push_back(Scenario{
       "checkpoint_omission_gossip", "checkpointing", "omission", 150, 20,
       "checkpointing with t send-omission nodes during the gossip part",
-      [](std::uint64_t seed, int threads) {
-        const NodeId n = 150;
-        const std::int64_t t = 20;
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+         sim::EngineScratch* scratch) {
         const auto params = core::CheckpointParams::practical(n, t);
         const Round gossip_end =
             2 * params.gossip.phases * (params.gossip.probe_gamma + 3) + 3;
         sim::FaultPlan plan;
         plan.random_omissions(n, t, 0, gossip_end, /*send=*/true, /*recv=*/false,
                               seed * 31 + 14);
-        return eval_checkpointing(
-            core::run_checkpointing(params, sim::make_plan_injector(std::move(plan)), threads));
+        return eval_checkpointing(core::run_checkpointing(
+            params, sim::make_plan_injector(std::move(plan)), threads, scratch));
       }});
 
   return list;
 }
 
 }  // namespace
+
+std::int64_t Scenario::scaled_t(NodeId size) const {
+  LFT_ASSERT(n > 0);
+  return std::max<std::int64_t>(1, t * size / n);
+}
 
 std::uint64_t fingerprint(const sim::Report& report) {
   std::uint64_t h = 0x4c46545343454e41ULL;  // "LFTSCENA"
@@ -517,6 +517,59 @@ const Scenario* find_scenario(const std::string& name) {
     if (s.name == name) return &s;
   }
   return nullptr;
+}
+
+// ---- fleet sweeps ----------------------------------------------------------
+
+std::vector<SweepItem> sweep(const std::string& name, std::span<const std::uint64_t> seeds,
+                             std::span<const NodeId> sizes) {
+  const Scenario* scenario = find_scenario(name);
+  LFT_ASSERT_MSG(scenario != nullptr, "sweep: unknown scenario name");
+  std::vector<SweepItem> items;
+  items.reserve(seeds.size() * std::max<std::size_t>(1, sizes.size()));
+  for (const std::uint64_t seed : seeds) {
+    if (sizes.empty()) {
+      items.push_back(SweepItem{scenario, seed, scenario->n, scenario->t});
+      continue;
+    }
+    for (const NodeId size : sizes) {
+      items.push_back(SweepItem{scenario, seed, size, scenario->scaled_t(size)});
+    }
+  }
+  return items;
+}
+
+std::vector<SweepOutcome> run_sweep(sim::FleetRunner& fleet, std::span<const SweepItem> items) {
+  // Jobs write into a shared slot array (one distinct slot each, so no
+  // locking); shared ownership keeps the slots alive even if this frame
+  // unwinds while queued jobs are still running.
+  auto slots = std::make_shared<std::vector<SweepOutcome>>(items.size());
+  std::vector<sim::FleetRunner::Handle> handles;
+  handles.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const SweepItem item = items[i];
+    // Filled before the job is queued: a job that throws (the runner
+    // fulfills its handle with a default Report) still leaves a slot whose
+    // item is valid and whose ok stays false.
+    (*slots)[i].item = item;
+    handles.push_back(fleet.submit([item, slots, i](sim::EngineScratch* scratch) {
+      const auto start = std::chrono::steady_clock::now();
+      ScenarioResult result =
+          item.scenario->run_at(item.seed, /*threads=*/1, item.n, item.t, scratch);
+      SweepOutcome& out = (*slots)[i];
+      out.ok = result.ok;
+      out.detail = std::move(result.detail);
+      out.fingerprint = fingerprint(result.report);
+      out.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+      return std::move(result.report);
+    }));
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    (*slots)[i].report = handles[i].take();
+  }
+  return std::move(*slots);
 }
 
 }  // namespace lft::scenarios

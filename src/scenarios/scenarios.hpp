@@ -1,42 +1,71 @@
 // Named fault scenarios: (protocol × fault plan × size) triples registered
 // in one place and reused by tests (determinism + invariant coverage),
-// benches, CI (scenario-smoke), and the `lft_scenarios` CLI runner.
+// benches, CI (scenario-smoke), the `lft_scenarios` CLI runner, and the
+// fleet sweep driver (`lft_fleet`).
 //
-// Every scenario is a deterministic function of (seed, threads): same seed
-// gives a bit-identical sim::Report — including with the engine's parallel
-// stepper enabled — which `fingerprint` certifies with one 64-bit digest.
-// Each scenario also states the invariant it checks. Scenarios in the
-// paper's crash model assert the full theorem guarantees (termination,
+// Every scenario is a deterministic function of (seed, threads, n, t): same
+// inputs give a bit-identical sim::Report — including with the engine's
+// parallel stepper enabled — which `fingerprint` certifies with one 64-bit
+// digest. Each scenario also states the invariant it checks. Scenarios in
+// the paper's crash model assert the full theorem guarantees (termination,
 // agreement, validity / the gossip and checkpointing conditions); scenarios
 // in regimes beyond the theorems (omission, partition, Byzantine mixtures)
 // assert the strongest invariant that provably-or-empirically holds, and say
 // so in their description.
+//
+// Scenarios are size-parameterized: the registered (n, t) is the default
+// shape, and `run_at` re-instantiates the same protocol + fault plan at any
+// size honoring the registry ratio (use `scaled_t`). `sweep` expands a
+// scenario across seed and size axes into SweepItems, and `run_sweep`
+// executes the items over a sim::FleetRunner, preserving per-instance
+// bit-identity to serial one-at-a-time execution.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/types.hpp"
 #include "sim/engine.hpp"
+#include "sim/fleet.hpp"
 
 namespace lft::scenarios {
 
+/// Outcome of one scenario execution: the engine Report plus the verdict of
+/// the scenario's stated invariant.
 struct ScenarioResult {
   sim::Report report;
-  bool ok = false;     // the scenario's stated invariant held
-  std::string detail;  // human-readable invariant summary (shown by the CLI)
+  bool ok = false;     ///< the scenario's stated invariant held
+  std::string detail;  ///< human-readable invariant summary (shown by the CLI)
 };
 
+/// One registered (protocol × fault plan × size) triple.
 struct Scenario {
+  /// Size-parameterized runner: executes the scenario's protocol + fault
+  /// plan at an arbitrary (n, t) honoring the registry ratio. `scratch`
+  /// optionally recycles engine buffers (fleet mode); pass nullptr for cold
+  /// buffers — the Report is bit-identical either way.
+  using RunFn = std::function<ScenarioResult(std::uint64_t seed, int threads, NodeId n,
+                                             std::int64_t t, sim::EngineScratch* scratch)>;
+
   std::string name;
-  std::string protocol;    // few_crashes | many_crashes | gossip | checkpointing | ab_consensus
-  std::string fault_kind;  // crash | omission | partition | link | byzantine | mixed
-  NodeId n = 0;
-  std::int64_t t = 0;
+  std::string protocol;    ///< few_crashes | many_crashes | gossip | checkpointing | ab_consensus
+  std::string fault_kind;  ///< crash | omission | partition | link | byzantine | mixed
+  NodeId n = 0;            ///< default size
+  std::int64_t t = 0;      ///< default fault budget
   std::string description;
-  std::function<ScenarioResult(std::uint64_t seed, int threads)> run;
+  RunFn run_at;
+
+  /// Runs at the registered default (n, t) with cold buffers.
+  [[nodiscard]] ScenarioResult run(std::uint64_t seed, int threads) const {
+    return run_at(seed, threads, n, t, nullptr);
+  }
+
+  /// The fault budget for an alternative size: the registered t/n ratio
+  /// scaled to `size`, floored at 1 (so every scaled shape keeps faults).
+  [[nodiscard]] std::int64_t scaled_t(NodeId size) const;
 };
 
 /// Stable 64-bit digest over every Report field (rounds, completion, all
@@ -50,5 +79,41 @@ struct Scenario {
 
 /// Looks a scenario up by name; nullptr if unknown.
 [[nodiscard]] const Scenario* find_scenario(const std::string& name);
+
+// ---- fleet sweeps ----------------------------------------------------------
+
+/// One queued sweep instance: a scenario at a concrete (seed, n, t).
+struct SweepItem {
+  const Scenario* scenario = nullptr;
+  std::uint64_t seed = 0;
+  NodeId n = 0;
+  std::int64_t t = 0;
+};
+
+/// Expands scenario `name` across the seed × size grid: one SweepItem per
+/// (seed, size), with the fault budget scaled via Scenario::scaled_t. An
+/// empty `sizes` means the registered default size. Aborts on an unknown
+/// name (resolve with find_scenario first for graceful CLI errors).
+[[nodiscard]] std::vector<SweepItem> sweep(const std::string& name,
+                                           std::span<const std::uint64_t> seeds,
+                                           std::span<const NodeId> sizes = {});
+
+/// Result of one sweep instance, with the fields aggregate consumers need
+/// (fingerprint, wall time) precomputed.
+struct SweepOutcome {
+  SweepItem item;
+  bool ok = false;
+  std::string detail;
+  std::uint64_t fingerprint = 0;
+  double wall_ms = 0.0;  ///< this instance's execution time on its worker
+  sim::Report report;
+};
+
+/// Executes `items` over the fleet (each instance serial on one worker) and
+/// blocks until all complete. Outcomes are in item order regardless of
+/// completion order, and each Report is bit-identical to running that item
+/// alone: `items[i].scenario->run_at(seed, 1, n, t, nullptr)`.
+[[nodiscard]] std::vector<SweepOutcome> run_sweep(sim::FleetRunner& fleet,
+                                                  std::span<const SweepItem> items);
 
 }  // namespace lft::scenarios

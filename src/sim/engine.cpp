@@ -225,6 +225,20 @@ Engine::Engine(NodeId n, EngineConfig config)
   config_.threads = workers;
   sinks_.resize(static_cast<std::size_t>(workers));
   shard_begin_.assign(static_cast<std::size_t>(workers) + 1, 0);
+  if (config_.scratch != nullptr) {
+    // Adopt the recycled buffers: contents are cleared, but vector capacity
+    // and arena chunks carry over from the previous execution in this slot.
+    EngineScratch& scratch = *config_.scratch;
+    sinks_[0] = std::move(scratch.sink);
+    sinks_[0].msgs.clear();
+    sinks_[0].arena[0].clear();
+    sinks_[0].arena[1].clear();
+    sinks_[0].fallback_pulls = 0;
+    outbox_ = std::move(scratch.outbox);
+    outbox_.clear();
+    inbox_ = std::move(scratch.inbox);
+    inbox_.clear();
+  }
   // The active set never exceeds n, so a small engine can never engage the
   // pool — skip creating threads it would only park and join.
   if (workers > 1 && static_cast<std::size_t>(n_) >= kParallelMinActive) {
@@ -232,7 +246,16 @@ Engine::Engine(NodeId n, EngineConfig config)
   }
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  if (config_.scratch != nullptr) {
+    // Release the buffers (capacity and arena chunks intact) back to the
+    // scratch so the next execution in this slot can adopt them.
+    EngineScratch& scratch = *config_.scratch;
+    scratch.sink = std::move(sinks_[0]);
+    scratch.outbox = std::move(outbox_);
+    scratch.inbox = std::move(inbox_);
+  }
+}
 
 void Engine::set_process(NodeId v, std::unique_ptr<Process> process) {
   LFT_ASSERT(v >= 0 && v < n_);

@@ -65,12 +65,16 @@ class Inbox {
   /// inboxes without an engine.
   explicit Inbox(std::span<const Message> sorted) : messages_(sorted) {}
 
+  /// The whole delivered batch for this node, in normal-form order.
   [[nodiscard]] std::span<const Message> all() const noexcept { return messages_; }
   /// The contiguous run of messages carrying `tag` (binary search).
   [[nodiscard]] std::span<const Message> with_tag(std::uint32_t tag) const noexcept;
 
+  /// Number of messages delivered this round.
   [[nodiscard]] std::size_t size() const noexcept { return messages_.size(); }
+  /// True iff nothing was delivered this round.
   [[nodiscard]] bool empty() const noexcept { return messages_.empty(); }
+  /// Range-for support over the delivered batch.
   [[nodiscard]] const Message* begin() const noexcept { return messages_.data(); }
   [[nodiscard]] const Message* end() const noexcept {
     return messages_.data() + messages_.size();
@@ -83,8 +87,11 @@ class Inbox {
 /// Per-node handle the engine passes to Process::on_round.
 class Context {
  public:
+  /// This node's id.
   [[nodiscard]] NodeId self() const noexcept { return self_; }
+  /// System size n.
   [[nodiscard]] NodeId num_nodes() const noexcept;
+  /// The current round (0-based).
   [[nodiscard]] Round round() const noexcept;
 
   /// Queues a message for delivery at the start of the next round. The
@@ -96,7 +103,9 @@ class Context {
   /// Irrevocably decides on a value; deciding twice on different values is a
   /// protocol bug and aborts.
   void decide(std::uint64_t value);
+  /// True once this node decided (in this or an earlier round).
   [[nodiscard]] bool has_decided() const noexcept;
+  /// The decided value; meaningful only when has_decided().
   [[nodiscard]] std::uint64_t decision() const noexcept;
 
   /// Voluntarily stops participating from the next round on.
@@ -140,18 +149,29 @@ class Process {
 class EngineView {
  public:
   explicit EngineView(const Engine& engine) : engine_(&engine) {}
+  /// System size n.
   [[nodiscard]] NodeId num_nodes() const noexcept;
+  /// The current round (0-based).
   [[nodiscard]] Round round() const noexcept;
+  /// True iff v has not crashed.
   [[nodiscard]] bool alive(NodeId v) const noexcept;
+  /// True iff v voluntarily halted.
   [[nodiscard]] bool halted(NodeId v) const noexcept;
+  /// True iff v has decided.
   [[nodiscard]] bool decided(NodeId v) const noexcept;
+  /// True iff v is marked Byzantine (setup or takeover).
   [[nodiscard]] bool byzantine(NodeId v) const noexcept;
+  /// True iff v currently has a send-omission fault.
   [[nodiscard]] bool send_omission(NodeId v) const noexcept;
+  /// True iff v currently has a receive-omission fault.
   [[nodiscard]] bool recv_omission(NodeId v) const noexcept;
+  /// Crashes charged so far / the crash budget t.
   [[nodiscard]] std::int64_t crashes_used() const noexcept;
   [[nodiscard]] std::int64_t crash_budget() const noexcept;
+  /// Distinct omission-faulty nodes charged so far / the omission budget.
   [[nodiscard]] std::int64_t omissions_used() const noexcept;
   [[nodiscard]] std::int64_t omission_budget() const noexcept;
+  /// Byzantine takeovers charged so far / the Byzantine budget.
   [[nodiscard]] std::int64_t takeovers_used() const noexcept;
   [[nodiscard]] std::int64_t byzantine_budget() const noexcept;
   /// All messages produced this round, before crash filtering (arena order:
@@ -166,29 +186,24 @@ class EngineView {
   const Engine* engine_;
 };
 
-/// Transitional aliases from the crash-only adversary API. The fault plane
-/// subsumes them: FaultInjector::on_round has the exact signature
-/// CrashAdversary::on_round had, so downstream subclasses keep compiling.
-using CrashAdversary [[deprecated("use sim::FaultInjector")]] = FaultInjector;
-using CrashController [[deprecated("use sim::FaultController")]] = FaultController;
-
+/// Per-node terminal state recorded in the Report.
 struct NodeStatus {
-  bool crashed = false;
-  Round crash_round = -1;
-  bool halted = false;
-  bool decided = false;
-  std::uint64_t decision = 0;
-  bool byzantine = false;
-  bool omission = false;  // ever given a send/receive-omission fault
-  std::int64_t sends = 0;
+  bool crashed = false;         ///< the fault plane crashed this node
+  Round crash_round = -1;       ///< round of the crash (-1 if never)
+  bool halted = false;          ///< voluntarily stopped participating
+  bool decided = false;         ///< irrevocably decided a value
+  std::uint64_t decision = 0;   ///< the decided value (when decided)
+  bool byzantine = false;       ///< marked Byzantine (setup or takeover)
+  bool omission = false;        ///< ever given a send/receive-omission fault
+  std::int64_t sends = 0;       ///< messages this node sent (accounted)
 };
 
 /// Result of an execution.
 struct Report {
-  Round rounds = 0;       // rounds executed until every non-faulty node halted
-  bool completed = false; // false iff the max_rounds safety cap was hit
-  Metrics metrics;
-  std::vector<NodeStatus> nodes;
+  Round rounds = 0;        ///< rounds executed until every non-faulty node halted
+  bool completed = false;  ///< false iff the max_rounds safety cap was hit
+  Metrics metrics;                 ///< communication accounting
+  std::vector<NodeStatus> nodes;   ///< per-node terminal states (size n)
 
   [[nodiscard]] std::int64_t decided_count() const noexcept;
   [[nodiscard]] std::int64_t crashed_count() const noexcept;
@@ -201,9 +216,25 @@ struct Report {
   [[nodiscard]] bool all_nonfaulty_decided() const noexcept;
 };
 
+/// Recyclable engine buffers for back-to-back executions (fleet mode): the
+/// message outbox/inbox vectors and the serial send sink with its two
+/// payload arenas — the storage whose capacity dominates an execution's
+/// allocation profile. An Engine constructed with EngineConfig::scratch
+/// adopts these buffers (contents cleared, capacity and arena chunks
+/// retained) and releases them back on destruction, so the k-th execution in
+/// a fleet slot reaches steady state without re-growing them. Purely a
+/// capacity cache: adopting scratch never changes any Report bit.
+struct EngineScratch {
+  StepSink sink;               ///< serial sink 0: message vector + arenas
+  std::vector<Message> outbox; ///< round send arena
+  std::vector<Message> inbox;  ///< delivered-batch arena
+};
+
+/// Construction-time engine configuration.
 struct EngineConfig {
+  /// Safety cap on executed rounds; Report::completed is false when hit.
   Round max_rounds = Round{1} << 22;
-  std::int64_t crash_budget = 0;  // the paper's t (for the crash model)
+  std::int64_t crash_budget = 0;  ///< the paper's t (for the crash model)
   /// Nodes the fault plane may give send/receive-omission faults (charged
   /// once per node, on the first flag it receives).
   std::int64_t omission_budget = 0;
@@ -213,24 +244,30 @@ struct EngineConfig {
   /// Worker threads for the deterministic parallel stepper; 1 = serial.
   /// Results are bit-identical for every value (see the file comment).
   int threads = 1;
+  /// Optional recycled buffers (see EngineScratch). Non-owning: the scratch
+  /// must outlive the engine, and one scratch may back at most one live
+  /// engine at a time. nullptr = allocate fresh.
+  EngineScratch* scratch = nullptr;
 };
 
+/// One execution: n nodes driven in lock-step rounds under the fault plane.
+/// Construct, install a Process per node (plus injectors), then run() once.
 class Engine {
  public:
+  /// Builds an engine for n nodes; `config` is fixed for the execution.
   Engine(NodeId n, EngineConfig config);
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  /// Installs node v's protocol logic; every node needs one before run().
   void set_process(NodeId v, std::unique_ptr<Process> process);
   /// Appends an injector to the fault plane (injectors fire in insertion
   /// order within each phase).
   void add_fault_injector(std::unique_ptr<FaultInjector> injector);
+  /// The engine's fault plane (for introspection; prefer add_fault_injector
+  /// for installing strategies).
   [[nodiscard]] FaultPlane& faults() noexcept { return fault_plane_; }
-  [[deprecated("use add_fault_injector")]] void set_adversary(
-      std::unique_ptr<FaultInjector> adversary) {
-    add_fault_injector(std::move(adversary));
-  }
   /// Marks v Byzantine for accounting (its sends are excluded from the
   /// honest counters). The Byzantine behavior itself is the installed
   /// Process.

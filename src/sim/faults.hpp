@@ -120,11 +120,16 @@ class FaultController {
 /// is deterministic: injectors fire in insertion order within each phase.
 class FaultPlane {
  public:
+  /// Appends an injector (fires after previously added ones in each phase).
   FaultPlane& add(std::unique_ptr<FaultInjector> injector);
+  /// True iff no injector is installed (the engine skips both phases).
   [[nodiscard]] bool empty() const noexcept { return injectors_.empty(); }
+  /// Number of installed injectors.
   [[nodiscard]] std::size_t size() const noexcept { return injectors_.size(); }
 
+  /// Drives every injector's pre-round hook, in insertion order.
   void pre_round(const EngineView& view, FaultController& control);
+  /// Drives every injector's post-step hook, in insertion order.
   void on_round(const EngineView& view, FaultController& control);
 
  private:

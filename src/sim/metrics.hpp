@@ -8,15 +8,16 @@
 
 namespace lft::sim {
 
+/// Communication accounting for one execution.
 struct Metrics {
-  std::int64_t messages_total = 0;
-  std::int64_t bits_total = 0;
-  std::int64_t messages_honest = 0;  // sent by non-Byzantine nodes
-  std::int64_t bits_honest = 0;
-  std::int64_t max_sends_per_node = 0;
-  std::int64_t fallback_pulls = 0;  // activations of the certified-pull epilogue
-  std::int64_t rounds = 0;          // rounds executed (mirrors Report::rounds)
-  std::int64_t peak_round_messages = 0;  // largest delivered batch in one round
+  std::int64_t messages_total = 0;   ///< point-to-point messages sent
+  std::int64_t bits_total = 0;       ///< accounted bits across all messages
+  std::int64_t messages_honest = 0;  ///< sent by non-Byzantine nodes
+  std::int64_t bits_honest = 0;      ///< bits sent by non-Byzantine nodes
+  std::int64_t max_sends_per_node = 0;  ///< largest per-node send count
+  std::int64_t fallback_pulls = 0;  ///< activations of the certified-pull epilogue
+  std::int64_t rounds = 0;          ///< rounds executed (mirrors Report::rounds)
+  std::int64_t peak_round_messages = 0;  ///< largest delivered batch in one round
 };
 
 }  // namespace lft::sim

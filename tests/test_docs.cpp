@@ -1,0 +1,126 @@
+// The documentation plane is part of the contract: docs/scenarios.md's
+// catalogue table must mirror the live scenario registry (name, protocol,
+// fault class, default n, default t — in registry order), and the docs the
+// README links to must exist. These tests read the markdown from the source
+// tree (LFT_SOURCE_DIR is injected by CMake), so a registry change that
+// forgets the catalogue — or a doc rename that breaks links — fails CTest.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenarios/scenarios.hpp"
+
+namespace lft {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string docs_path(const char* name) {
+  return std::string(LFT_SOURCE_DIR) + "/docs/" + name;
+}
+
+/// One parsed row of the scenarios.md catalogue table.
+struct DocRow {
+  std::string name;
+  std::string protocol;
+  std::string fault;
+  NodeId n = 0;
+  std::int64_t t = 0;
+};
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t`");
+  const auto end = s.find_last_not_of(" \t`");
+  if (begin == std::string::npos) return "";
+  return s.substr(begin, end - begin + 1);
+}
+
+/// Extracts the catalogue rows: markdown table lines whose first cell is a
+/// `code`-quoted scenario name.
+std::vector<DocRow> parse_catalogue(const std::string& markdown) {
+  std::vector<DocRow> rows;
+  std::istringstream lines(markdown);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("| `", 0) != 0) continue;
+    std::vector<std::string> cells;
+    std::size_t pos = 1;  // skip the leading '|'
+    while (pos < line.size()) {
+      const std::size_t bar = line.find('|', pos);
+      if (bar == std::string::npos) break;
+      cells.push_back(trim(line.substr(pos, bar - pos)));
+      pos = bar + 1;
+    }
+    if (cells.size() < 5) continue;
+    DocRow row;
+    row.name = cells[0];
+    row.protocol = cells[1];
+    row.fault = cells[2];
+    row.n = static_cast<NodeId>(std::stol(cells[3]));
+    row.t = std::stoll(cells[4]);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+TEST(DocsScenarioCatalogue, MatchesLiveRegistryExactly) {
+  const auto markdown = read_file(docs_path("scenarios.md"));
+  const auto rows = parse_catalogue(markdown);
+  const auto& registry = scenarios::all_scenarios();
+
+  ASSERT_EQ(rows.size(), registry.size())
+      << "docs/scenarios.md lists " << rows.size() << " scenarios, the registry has "
+      << registry.size() << " — update the catalogue table";
+
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const auto& s = registry[i];
+    const auto& row = rows[i];
+    EXPECT_EQ(row.name, s.name) << "catalogue row " << i << " out of registry order";
+    EXPECT_EQ(row.protocol, s.protocol) << s.name;
+    EXPECT_EQ(row.fault, s.fault_kind) << s.name;
+    EXPECT_EQ(row.n, s.n) << s.name;
+    EXPECT_EQ(row.t, s.t) << s.name;
+  }
+}
+
+TEST(DocsScenarioCatalogue, EveryFaultClassAppears) {
+  const auto markdown = read_file(docs_path("scenarios.md"));
+  for (const char* kind : {"crash", "omission", "partition", "link", "byzantine", "mixed"}) {
+    bool found = false;
+    for (const auto& row : parse_catalogue(markdown)) found = found || row.fault == kind;
+    EXPECT_TRUE(found) << "no catalogue row with fault class " << kind;
+  }
+}
+
+TEST(Docs, ArchitectureDocCoversTheContracts) {
+  const auto markdown = read_file(docs_path("architecture.md"));
+  // Section anchors the README and other docs rely on.
+  for (const char* needle :
+       {"round pipeline", "PayloadArena lifetime", "FaultInjector contract",
+        "fleet scheduling model", "pre_round", "on_round", "EngineScratch",
+        "normal form"}) {
+    EXPECT_NE(markdown.find(needle), std::string::npos)
+        << "docs/architecture.md lacks '" << needle << "'";
+  }
+}
+
+TEST(Docs, ReadmeLinksTheDocsPlane) {
+  const auto readme = read_file(std::string(LFT_SOURCE_DIR) + "/README.md");
+  EXPECT_NE(readme.find("docs/architecture.md"), std::string::npos);
+  EXPECT_NE(readme.find("docs/scenarios.md"), std::string::npos);
+  EXPECT_NE(readme.find("lft_fleet"), std::string::npos)
+      << "README must document the fleet quickstart";
+}
+
+}  // namespace
+}  // namespace lft

@@ -22,7 +22,7 @@ TEST(ScenarioRegistry, AtLeastTwelveScenariosSpanningAllFaultClasses) {
     kinds.insert(s.fault_kind);
     EXPECT_TRUE(names.insert(s.name).second) << "duplicate scenario name " << s.name;
     EXPECT_GT(s.n, 0);
-    EXPECT_TRUE(s.run != nullptr) << s.name;
+    EXPECT_TRUE(s.run_at != nullptr) << s.name;
   }
   EXPECT_TRUE(kinds.count("crash")) << "registry must cover the crash model";
   EXPECT_TRUE(kinds.count("omission"));
