@@ -40,7 +40,8 @@ double run_serial_ms(const std::vector<SweepItem>& items) {
   const WallTimer timer;
   for (const auto& item : items) {
     const auto result =
-        item.scenario->run_at(item.seed, /*threads=*/1, item.n, item.t, /*scratch=*/nullptr);
+        item.scenario->run_at(item.seed, /*threads=*/1, item.n, item.t, /*scratch=*/nullptr,
+                              /*trace=*/nullptr);
     benchmark::DoNotOptimize(result.report.rounds);
   }
   return timer.ms();

@@ -10,12 +10,15 @@
 // Every (scenario, seed, size) instance runs serially on one fleet worker,
 // so its Report is bit-identical to running it alone; --verify-serial=K
 // re-runs K spot-check instances one-at-a-time and fails on any fingerprint
-// mismatch. The summary aggregates per scenario (p50/p95 rounds, messages,
-// per-instance wall time) plus fleet totals (instances/sec, work steals);
-// --json=PATH writes one "fleet" row, one "aggregate" row per scenario, and
-// one "instance" row per execution (with its fingerprint) in the
-// BENCH_*.json artifact schema. Exit code is nonzero if any instance's
-// invariant (or the serial spot check) fails.
+// mismatch — and on a mismatch it re-runs the instance twice under trace
+// recording and reports the first divergent round and digest component
+// (forensics::diff) instead of only the failing fingerprint. The summary
+// aggregates per scenario (p50/p95 rounds, messages, per-instance wall
+// time) plus fleet totals (instances/sec, work steals, scratch
+// adoption/recycle counts); --json=PATH writes one "fleet" row, one
+// "aggregate" row per scenario, and one "instance" row per execution (with
+// its fingerprint) in the BENCH_*.json artifact schema. Exit code is
+// nonzero if any instance's invariant (or the serial spot check) fails.
 #include <algorithm>
 #include <cinttypes>
 #include <cmath>
@@ -25,6 +28,7 @@
 #include <vector>
 
 #include "bench_json.hpp"
+#include "forensics/replay.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/fleet.hpp"
 
@@ -178,6 +182,7 @@ int main(int argc, char** argv) {
   lft::sim::FleetRunner fleet(lft::sim::FleetConfig{opt.threads, /*reuse_scratch=*/true});
   const WallTimer fleet_timer;
   const auto outcomes = lft::scenarios::run_sweep(fleet, items);
+  fleet.wait_all();  // stats (steals, scratch counters) are exact after this
   const double fleet_wall_ms = fleet_timer.ms();
   const double instances_per_sec =
       fleet_wall_ms > 0.0 ? 1000.0 * static_cast<double>(items.size()) / fleet_wall_ms : 0.0;
@@ -193,6 +198,8 @@ int main(int argc, char** argv) {
   rows.field("wall_ms", fleet_wall_ms);
   rows.field("instances_per_sec", instances_per_sec);
   rows.field("stolen", fleet.stolen());
+  rows.field("scratch_adoptions", fleet.scratch_adoptions());
+  rows.field("scratch_recycles", fleet.scratch_recycles());
 
   std::printf("%-28s %9s %4s %10s %10s %12s %12s %10s %10s\n", "scenario", "instances", "ok",
               "p50_rnds", "p95_rnds", "p50_msgs", "p95_msgs", "p50_ms", "p95_ms");
@@ -237,8 +244,12 @@ int main(int argc, char** argv) {
     rows.field("p95_wall_ms", percentile(wall, 95));
     rows.field("ok", std::string(scenario_ok ? "yes" : "NO"));
   }
-  std::printf("fleet wall: %.1f ms, %.1f instances/sec, %lld steals\n", fleet_wall_ms,
-              instances_per_sec, static_cast<long long>(fleet.stolen()));
+  std::printf(
+      "fleet wall: %.1f ms, %.1f instances/sec, %lld steals, %lld scratch adoptions "
+      "(%lld warm recycles)\n",
+      fleet_wall_ms, instances_per_sec, static_cast<long long>(fleet.stolen()),
+      static_cast<long long>(fleet.scratch_adoptions()),
+      static_cast<long long>(fleet.scratch_recycles()));
 
   // Per-instance rows: the fingerprint trail that certifies determinism
   // across fleet runs (equal seeds => equal fingerprints, any thread count).
@@ -268,9 +279,31 @@ int main(int argc, char** argv) {
     for (std::size_t j = 0; j < k; ++j) {
       const std::size_t i = j * outcomes.size() / k;
       const auto& out = outcomes[i];
-      const auto serial = out.item.scenario->run_at(out.item.seed, /*threads=*/1, out.item.n,
-                                                    out.item.t, /*scratch=*/nullptr);
-      if (lft::scenarios::fingerprint(serial.report) != out.fingerprint) ++mismatches;
+      const auto serial =
+          out.item.scenario->run_at(out.item.seed, /*threads=*/1, out.item.n, out.item.t,
+                                    /*scratch=*/nullptr, /*trace=*/nullptr);
+      if (lft::scenarios::fingerprint(serial.report) == out.fingerprint) continue;
+      ++mismatches;
+      // Localize: re-run the instance under trace recording with cold
+      // buffers vs. a *warm* recycled scratch — the two configurations a
+      // fleet slot can differ in — and report the first divergent
+      // round/component. The scratch is warmed by a throwaway first run;
+      // a freshly constructed scratch would just be another cold run.
+      const auto cold =
+          lft::forensics::record(*out.item.scenario, out.item.seed, 1, out.item.n, out.item.t);
+      lft::sim::EngineScratch scratch;
+      (void)out.item.scenario->run_at(out.item.seed, 1, out.item.n, out.item.t, &scratch,
+                                      /*trace=*/nullptr);  // warm the buffers
+      lft::forensics::TraceRecorder warm_recorder;
+      (void)out.item.scenario->run_at(out.item.seed, 1, out.item.n, out.item.t, &scratch,
+                                      &warm_recorder);
+      const auto divergence = lft::forensics::diff(cold.trace, warm_recorder.trace());
+      std::printf("verify-serial MISMATCH %s seed %llu n %d: %s\n",
+                  out.item.scenario->name.c_str(),
+                  static_cast<unsigned long long>(out.item.seed), out.item.n,
+                  divergence.diverged
+                      ? divergence.detail.c_str()
+                      : "divergence did not reproduce under tracing (fleet-run-only)");
     }
     std::printf("verify-serial: %zu instances re-run serially, %lld fingerprint mismatches\n",
                 k, static_cast<long long>(mismatches));

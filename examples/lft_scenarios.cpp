@@ -6,16 +6,20 @@
 //   lft_scenarios --run=name[,name...] [...]
 //
 // --verify-determinism re-runs every scenario with the same seed (serial and
-// with the parallel stepper) and fails unless the Report fingerprints are
-// bit-identical. --json=PATH writes one row per scenario in the BENCH_*.json
-// artifact schema (bench/bench_json.hpp). Exit code is nonzero if any
-// scenario's invariant (or the determinism check) fails.
+// with the parallel stepper) under trace recording and fails unless the
+// executions are bit-identical — and when they are not, it uses
+// forensics::diff to report the *first divergent round and digest component*
+// instead of only the mismatched final fingerprints. --json=PATH writes one
+// row per scenario in the BENCH_*.json artifact schema
+// (bench/bench_json.hpp). Exit code is nonzero if any scenario's invariant
+// (or the determinism check) fails.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench_json.hpp"
+#include "forensics/replay.hpp"
 #include "scenarios/scenarios.hpp"
 
 namespace {
@@ -126,12 +130,19 @@ int main(int argc, char** argv) {
 
     bool deterministic = true;
     if (opt.verify_determinism) {
-      // Same seed, serial: must be bit-identical. Same seed, parallel
-      // stepper: must also be bit-identical (the engine guarantees it).
-      deterministic =
-          lft::scenarios::fingerprint(s->run(opt.seed, 1).report) == digest &&
-          lft::scenarios::fingerprint(s->run(opt.seed, 4).report) == digest;
-      if (!deterministic) result.detail += " DETERMINISM-MISMATCH";
+      // Same seed, serial vs. parallel stepper: the recorded traces (and
+      // with them the Reports) must be bit-identical. On a mismatch the
+      // forensics diff names the first divergent round and component.
+      const auto serial = lft::forensics::record(*s, opt.seed, /*threads=*/1);
+      const auto parallel = lft::forensics::record(*s, opt.seed, /*threads=*/4);
+      const auto divergence = lft::forensics::diff(serial.trace, parallel.trace);
+      deterministic = !divergence.diverged &&
+                      serial.trace.report_fingerprint == digest;
+      if (divergence.diverged) {
+        result.detail += " DETERMINISM-MISMATCH[" + divergence.detail + "]";
+      } else if (!deterministic) {
+        result.detail += " DETERMINISM-MISMATCH[primary run differs from serial re-run]";
+      }
     }
 
     const bool ok = result.ok && deterministic;

@@ -62,6 +62,15 @@ def load_rows(json_path: str, scenario_count: int) -> list:
     return rows
 
 
+def check_row_order(rows: list, scenarios: str) -> None:
+    """A comma-separated --run must produce one row per name, in CSV order."""
+    requested = [s for s in scenarios.split(",") if s]
+    emitted = [row.get("scenario") for row in rows]
+    if emitted != requested:
+        raise SystemExit(
+            f"FAIL: --run={scenarios} emitted rows {emitted}, expected {requested}")
+
+
 def check_schema(rows: list) -> None:
     for row in rows:
         for field, types in REQUIRED_FIELDS.items():
@@ -97,6 +106,7 @@ def main() -> int:
         json_path = os.path.join(workdir, f"scenarios_{attempt}.json")
         run_once(args.binary, args.scenarios, args.seed, json_path)
         rows = load_rows(json_path, scenario_count)
+        check_row_order(rows, args.scenarios)
         check_schema(rows)
         fingerprints.append({row["scenario"]: row["fingerprint"] for row in rows})
 

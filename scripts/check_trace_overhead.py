@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Recorder-overhead gate for the forensics trace hook.
+
+Reads a google-benchmark JSON output of bench/bench_trace.cpp and compares
+each BM_TraceOn*/N rate against its paired BM_TraceOff*/N baseline from the
+same run (same binary, same machine, back-to-back — so no checked-in
+baseline is needed). Fails when the traced rate drops below
+(1 - threshold) of the untraced rate; the TraceSink contract is <= 5%.
+
+Usage: check_trace_overhead.py RESULTS_JSON [--threshold 0.05]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", help="google-benchmark --benchmark_out JSON")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="maximum allowed relative slowdown (default 0.05)")
+    args = parser.parse_args()
+
+    with open(args.results, encoding="utf-8") as f:
+        results = json.load(f)
+
+    # Prefer the median aggregate (run with --benchmark_repetitions and
+    # --benchmark_enable_random_interleaving so noise hits both sides):
+    # single-run rates on shared CI machines are too noisy for a 5% gate.
+    rates = {}
+    medians = {}
+    for bench in results.get("benchmarks", []):
+        ips = bench.get("items_per_second")
+        if ips is None:
+            continue
+        if bench.get("run_type") == "aggregate":
+            if bench.get("aggregate_name") == "median":
+                medians[bench["run_name"]] = ips
+        else:
+            rates[bench["name"]] = ips
+    if medians:
+        rates = medians
+
+    failures = []
+    checked = 0
+    for name, on_rate in sorted(rates.items()):
+        if "/" not in name:
+            continue
+        prefix, arg = name.rsplit("/", 1)
+        if not prefix.startswith("BM_TraceOn"):
+            continue
+        off_name = prefix.replace("BM_TraceOn", "BM_TraceOff", 1) + "/" + arg
+        off_rate = rates.get(off_name)
+        if off_rate is None:
+            print(f"note: no {off_name} pair for {name}, skipped")
+            continue
+        checked += 1
+        overhead = 1.0 - on_rate / off_rate
+        status = "OK " if overhead <= args.threshold else "FAIL"
+        print(f"{status} {name}: {on_rate:,.0f} vs {off_name}: {off_rate:,.0f} "
+              f"items/s (overhead {overhead * 100:+.1f}%)")
+        if overhead > args.threshold:
+            failures.append(name)
+
+    if checked == 0:
+        print("error: no BM_TraceOn/BM_TraceOff pairs in the results", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"trace-recorder overhead above {args.threshold * 100:.0f}%: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"trace overhead gate passed ({checked} pairs within "
+          f"{args.threshold * 100:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

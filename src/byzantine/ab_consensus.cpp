@@ -369,7 +369,7 @@ AbOutcome run_ab_consensus(const AbParams& params, std::span<const std::uint64_t
 
 AbOutcome run_ab_consensus_plan(const AbParams& params, std::span<const std::uint64_t> inputs,
                                 sim::FaultPlan plan, int threads,
-                                sim::EngineScratch* scratch) {
+                                sim::EngineScratch* scratch, sim::TraceSink* trace) {
   LFT_ASSERT(static_cast<NodeId>(inputs.size()) == params.n);
   auto cfg = AbConfig::build(params);
 
@@ -380,6 +380,7 @@ AbOutcome run_ab_consensus_plan(const AbParams& params, std::span<const std::uin
   engine_config.byzantine_budget = params.t;
   engine_config.threads = threads;
   engine_config.scratch = scratch;
+  engine_config.trace = trace;
   sim::Engine engine(params.n, engine_config);
 
   for (NodeId v = 0; v < params.n; ++v) {

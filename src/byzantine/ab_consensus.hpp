@@ -102,6 +102,7 @@ struct AbOutcome {
 [[nodiscard]] AbOutcome run_ab_consensus_plan(const AbParams& params,
                                               std::span<const std::uint64_t> inputs,
                                               sim::FaultPlan plan, int threads = 1,
-                                              sim::EngineScratch* scratch = nullptr);
+                                              sim::EngineScratch* scratch = nullptr,
+                                              sim::TraceSink* trace = nullptr);
 
 }  // namespace lft::byzantine

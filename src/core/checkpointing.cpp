@@ -43,7 +43,8 @@ const DynamicBitset& CheckpointProcess::decided_set() const {
 
 CheckpointOutcome run_checkpointing(const CheckpointParams& params,
                                     std::unique_ptr<sim::FaultInjector> adversary,
-                                    int threads, sim::EngineScratch* scratch) {
+                                    int threads, sim::EngineScratch* scratch,
+                                    sim::TraceSink* trace) {
   auto gossip_cfg = GossipConfig::build(params.gossip);
   auto vec_cfg = VectorConsensusConfig::build(params.consensus);
 
@@ -52,6 +53,7 @@ CheckpointOutcome run_checkpointing(const CheckpointParams& params,
   engine_config.omission_budget = params.consensus.t;
   engine_config.threads = threads;
   engine_config.scratch = scratch;
+  engine_config.trace = trace;
   sim::Engine engine(params.consensus.n, engine_config);
   for (NodeId v = 0; v < params.consensus.n; ++v) {
     engine.set_process(v, std::make_unique<CheckpointProcess>(gossip_cfg, vec_cfg, v));

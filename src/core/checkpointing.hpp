@@ -57,10 +57,12 @@ struct CheckpointOutcome {
 };
 
 /// `threads` > 1 opts into the engine's deterministic parallel stepper
-/// (bit-identical Reports for every value).
+/// (bit-identical Reports for every value). `trace` optionally records
+/// per-round digests for the forensics plane.
 [[nodiscard]] CheckpointOutcome run_checkpointing(const CheckpointParams& params,
                                                   std::unique_ptr<sim::FaultInjector> adversary,
                                                   int threads = 1,
-                                                  sim::EngineScratch* scratch = nullptr);
+                                                  sim::EngineScratch* scratch = nullptr,
+                                                  sim::TraceSink* trace = nullptr);
 
 }  // namespace lft::core

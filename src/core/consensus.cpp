@@ -142,7 +142,7 @@ std::unique_ptr<StageProcess> make_many_crashes_process(const ConsensusParams& p
 
 sim::Report run_system(NodeId n, std::int64_t crash_budget, const ProcessFactory& factory,
                        std::unique_ptr<sim::FaultInjector> adversary, Round max_rounds,
-                       int threads, sim::EngineScratch* scratch) {
+                       int threads, sim::EngineScratch* scratch, sim::TraceSink* trace) {
   sim::EngineConfig config;
   config.crash_budget = crash_budget;
   // Each fault class gets the same budget t: omission faults are node faults
@@ -151,6 +151,7 @@ sim::Report run_system(NodeId n, std::int64_t crash_budget, const ProcessFactory
   config.max_rounds = max_rounds;
   config.threads = threads;
   config.scratch = scratch;
+  config.trace = trace;
   sim::Engine engine(n, config);
   for (NodeId v = 0; v < n; ++v) engine.set_process(v, factory(v));
   if (adversary != nullptr) engine.add_fault_injector(std::move(adversary));

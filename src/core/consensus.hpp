@@ -63,12 +63,14 @@ using ProcessFactory = std::function<std::unique_ptr<sim::Process>(NodeId)>;
 /// `threads` > 1 opts into the engine's deterministic parallel stepper
 /// (bit-identical Reports for every value). `scratch` optionally recycles
 /// engine buffers across back-to-back executions (fleet mode); it never
-/// changes any Report bit.
+/// changes any Report bit. `trace` optionally records per-round digests for
+/// the forensics plane (see sim/trace.hpp); nullptr records nothing.
 [[nodiscard]] sim::Report run_system(NodeId n, std::int64_t crash_budget,
                                      const ProcessFactory& factory,
                                      std::unique_ptr<sim::FaultInjector> adversary,
                                      Round max_rounds = Round{1} << 22, int threads = 1,
-                                     sim::EngineScratch* scratch = nullptr);
+                                     sim::EngineScratch* scratch = nullptr,
+                                     sim::TraceSink* trace = nullptr);
 
 [[nodiscard]] ConsensusOutcome run_few_crashes_consensus(
     const ConsensusParams& params, std::span<const int> inputs,

@@ -340,7 +340,7 @@ void GossipProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
 
 GossipOutcome run_gossip(const GossipParams& params, std::span<const std::uint64_t> rumors,
                          std::unique_ptr<sim::FaultInjector> adversary, int engine_threads,
-                         sim::EngineScratch* scratch) {
+                         sim::EngineScratch* scratch, sim::TraceSink* trace) {
   LFT_ASSERT(static_cast<NodeId>(rumors.size()) == params.n);
   auto cfg = GossipConfig::build(params);
 
@@ -349,6 +349,7 @@ GossipOutcome run_gossip(const GossipParams& params, std::span<const std::uint64
   engine_config.omission_budget = params.t;
   engine_config.threads = engine_threads;
   engine_config.scratch = scratch;
+  engine_config.trace = trace;
   sim::Engine engine(params.n, engine_config);
   for (NodeId v = 0; v < params.n; ++v) {
     engine.set_process(

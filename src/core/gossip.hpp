@@ -153,11 +153,13 @@ struct GossipOutcome {
 };
 
 /// `engine_threads` > 1 opts into the engine's deterministic parallel
-/// stepper (bit-identical Reports for every value).
+/// stepper (bit-identical Reports for every value). `trace` optionally
+/// records per-round digests for the forensics plane.
 [[nodiscard]] GossipOutcome run_gossip(const GossipParams& params,
                                        std::span<const std::uint64_t> rumors,
                                        std::unique_ptr<sim::FaultInjector> adversary,
                                        int engine_threads = 1,
-                                       sim::EngineScratch* scratch = nullptr);
+                                       sim::EngineScratch* scratch = nullptr,
+                                       sim::TraceSink* trace = nullptr);
 
 }  // namespace lft::core

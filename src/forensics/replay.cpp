@@ -1,0 +1,171 @@
+#include "forensics/replay.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace lft::forensics {
+
+namespace {
+
+std::string u64_str(std::uint64_t v) { return std::to_string(v); }
+
+Divergence component_divergence(Round round, Component component, std::uint64_t expected,
+                                std::uint64_t actual) {
+  Divergence d;
+  d.diverged = true;
+  d.round = round;
+  d.component = component;
+  d.expected = expected;
+  d.actual = actual;
+  d.detail = "round " + std::to_string(round) + ": " + component_name(component) +
+             " expected " + u64_str(expected) + ", got " + u64_str(actual);
+  return d;
+}
+
+/// Compares the five per-class action counters; on a mismatch returns a
+/// kFaultActions divergence whose expected/actual are the first differing
+/// counter's values and whose detail names the class.
+std::optional<Divergence> diff_fault_actions(Round round, const sim::RoundDigest& e,
+                                             const sim::RoundDigest& a) {
+  const std::pair<const char*, std::pair<std::uint32_t, std::uint32_t>> classes[] = {
+      {"crashes", {e.crashes, a.crashes}},
+      {"omissions", {e.omissions, a.omissions}},
+      {"links", {e.links, a.links}},
+      {"partitions", {e.partitions, a.partitions}},
+      {"takeovers", {e.takeovers, a.takeovers}},
+  };
+  for (const auto& [name, counts] : classes) {
+    if (counts.first == counts.second) continue;
+    Divergence d =
+        component_divergence(round, Component::kFaultActions, counts.first, counts.second);
+    d.detail = "round " + std::to_string(round) + ": fault_actions (" + name +
+               ") expected " + u64_str(counts.first) + ", got " + u64_str(counts.second);
+    return d;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* component_name(Component component) {
+  switch (component) {
+    case Component::kFaultActions: return "fault_actions";
+    case Component::kSent: return "sent";
+    case Component::kLostCrash: return "lost_crash";
+    case Component::kLostFault: return "lost_fault";
+    case Component::kLostDead: return "lost_dead";
+    case Component::kDelivered: return "delivered";
+    case Component::kActiveSet: return "active_set";
+    case Component::kPayload: return "payload";
+    case Component::kBodies: return "bodies";
+    case Component::kRoundCount: return "round_count";
+    case Component::kFingerprint: return "fingerprint";
+    case Component::kNone: return "none";
+  }
+  return "unknown";
+}
+
+Divergence diff(const Trace& expected, const Trace& actual) {
+  const std::size_t common = std::min(expected.rounds.size(), actual.rounds.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    const sim::RoundDigest& e = expected.rounds[i];
+    const sim::RoundDigest& a = actual.rounds[i];
+    const Round round = e.round;
+    // Pipeline order: the fault plane acts first each round, then sends are
+    // collected and filtered into fates, then the batch lands in inboxes.
+    if (auto d = diff_fault_actions(round, e, a)) return *d;
+    if (e.sent != a.sent) {
+      return component_divergence(round, Component::kSent, e.sent, a.sent);
+    }
+    if (e.lost_crash != a.lost_crash) {
+      return component_divergence(round, Component::kLostCrash, e.lost_crash, a.lost_crash);
+    }
+    if (e.lost_fault != a.lost_fault) {
+      return component_divergence(round, Component::kLostFault, e.lost_fault, a.lost_fault);
+    }
+    if (e.lost_dead != a.lost_dead) {
+      return component_divergence(round, Component::kLostDead, e.lost_dead, a.lost_dead);
+    }
+    if (e.delivered != a.delivered) {
+      return component_divergence(round, Component::kDelivered, e.delivered, a.delivered);
+    }
+    if (e.active_hash != a.active_hash) {
+      return component_divergence(round, Component::kActiveSet, e.active_hash, a.active_hash);
+    }
+    if (e.payload_hash != a.payload_hash) {
+      return component_divergence(round, Component::kPayload, e.payload_hash, a.payload_hash);
+    }
+    if (e.body_hash != a.body_hash) {
+      return component_divergence(round, Component::kBodies, e.body_hash, a.body_hash);
+    }
+  }
+  if (expected.rounds.size() != actual.rounds.size()) {
+    Divergence d = component_divergence(static_cast<Round>(common), Component::kRoundCount,
+                                        expected.rounds.size(), actual.rounds.size());
+    d.detail = "executions agree through round " + std::to_string(common) +
+               " but ran for " + std::to_string(expected.rounds.size()) + " vs " +
+               std::to_string(actual.rounds.size()) + " rounds";
+    return d;
+  }
+  if (expected.report_fingerprint != actual.report_fingerprint) {
+    // Every per-round digest matched: the difference is confined to Report
+    // fields the digests do not cover (e.g. decisions never sent anywhere).
+    Divergence d = component_divergence(
+        expected.rounds.empty() ? 0 : expected.rounds.back().round, Component::kFingerprint,
+        expected.report_fingerprint, actual.report_fingerprint);
+    d.detail = "every round digest matches but the final Report fingerprints differ";
+    return d;
+  }
+  return Divergence{};
+}
+
+RecordedRun record(const scenarios::Scenario& scenario, std::uint64_t seed, int threads,
+                   NodeId n, std::int64_t t) {
+  if (n < 0) n = scenario.n;
+  if (t < 0) t = n == scenario.n ? scenario.t : scenario.scaled_t(n);
+  TraceRecorder recorder;
+  RecordedRun run;
+  run.result = scenario.run_at(seed, threads, n, t, /*scratch=*/nullptr, &recorder);
+  run.trace = recorder.take();
+  run.trace.meta.scenario = scenario.name;
+  run.trace.meta.seed = seed;
+  run.trace.meta.n = n;
+  run.trace.meta.t = t;
+  run.trace.meta.threads = threads;
+  run.trace.report_fingerprint = scenarios::fingerprint(run.result.report);
+  return run;
+}
+
+ReplayResult replay(const Trace& recorded, int threads) {
+  const scenarios::Scenario* scenario = scenarios::find_scenario(recorded.meta.scenario);
+  LFT_ASSERT_MSG(scenario != nullptr, "replay: trace names an unknown scenario");
+  RecordedRun fresh =
+      record(*scenario, recorded.meta.seed, threads, recorded.meta.n, recorded.meta.t);
+  ReplayResult result;
+  result.divergence = diff(recorded, fresh.trace);
+  result.trace = std::move(fresh.trace);
+  result.result = std::move(fresh.result);
+  return result;
+}
+
+ReplayResult replay_plan(const scenarios::Scenario& scenario, const Trace& recorded,
+                         sim::FaultPlan plan, int threads) {
+  LFT_ASSERT_MSG(scenario.run_plan != nullptr,
+                 "replay_plan: scenario has no plan-parameterized runner");
+  TraceRecorder recorder;
+  ReplayResult result;
+  result.result = scenario.run_plan(recorded.meta.seed, threads, recorded.meta.n,
+                                    recorded.meta.t, std::move(plan), /*scratch=*/nullptr,
+                                    &recorder);
+  result.trace = recorder.take();
+  result.trace.meta = recorded.meta;
+  result.trace.meta.threads = threads;
+  result.trace.report_fingerprint = scenarios::fingerprint(result.result.report);
+  result.divergence = diff(recorded, result.trace);
+  return result;
+}
+
+}  // namespace lft::forensics

@@ -1,0 +1,91 @@
+// Replay verification: re-execute a recorded run and localize the *first
+// divergent round and digest component* instead of reporting only that the
+// final fingerprints differ. `diff` compares two traces; `replay` re-runs a
+// scenario from a trace's metadata (optionally under a perturbed or shrunk
+// fault plan via Scenario::run_plan) and diffs the fresh trace against the
+// recording. Components within a round are compared in pipeline order —
+// fault actions (the pre-round/post-step causes) before message fates
+// (their effects) before the active-set and payload hashes — so the
+// reported component is the earliest observable difference in the round
+// pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "forensics/trace.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace lft::forensics {
+
+/// The digest component a divergence was localized to, in comparison order.
+enum class Component : std::uint8_t {
+  kFaultActions,  ///< crash/omission/link/partition/takeover action counts
+  kSent,          ///< messages produced this round
+  kLostCrash,     ///< messages lost to sender crashes
+  kLostFault,     ///< messages lost in transit (omission/partition/link)
+  kLostDead,      ///< messages dropped at a crashed/halted receiver
+  kDelivered,     ///< messages that reached an inbox
+  kActiveSet,     ///< hash of the stepped active set
+  kPayload,       ///< commutative digest of the delivered batch's headers
+  kBodies,        ///< store-time hash of the round's sent message bodies
+  kRoundCount,    ///< one trace has more rounds than the other
+  kFingerprint,   ///< every round matches but the final Report digest differs
+  kNone,          ///< no divergence
+};
+
+/// Stable lower_snake_case name for a component (used by the CLI, JSON
+/// output, and the docs cross-check).
+[[nodiscard]] const char* component_name(Component component);
+
+/// The localization result: the first round whose digests differ and the
+/// first differing component within it (see Component order). For
+/// kRoundCount, `round` is the common prefix length (the first round only
+/// one execution reached); -1 only in the no-divergence default.
+struct Divergence {
+  bool diverged = false;
+  Round round = -1;
+  Component component = Component::kNone;
+  std::uint64_t expected = 0;              ///< the recorded value
+  std::uint64_t actual = 0;                ///< the re-executed value
+  std::string detail;                      ///< human-readable one-liner
+};
+
+/// Compares two traces digest-by-digest; `expected` is the recording,
+/// `actual` the re-execution. Metadata is not compared — callers replay on
+/// purpose with different thread counts.
+[[nodiscard]] Divergence diff(const Trace& expected, const Trace& actual);
+
+/// A freshly recorded execution: the trace (metadata + fingerprint filled
+/// in) and the scenario outcome it came from.
+struct RecordedRun {
+  Trace trace;
+  scenarios::ScenarioResult result;
+};
+
+/// Runs `scenario` at (seed, n, t) with a recorder attached and returns the
+/// complete trace. Negative n/t mean "the registered default".
+[[nodiscard]] RecordedRun record(const scenarios::Scenario& scenario, std::uint64_t seed,
+                                 int threads, NodeId n = -1, std::int64_t t = -1);
+
+/// Replay outcome: where (if anywhere) the re-execution diverged from the
+/// recording, plus the fresh trace and scenario outcome for inspection.
+struct ReplayResult {
+  Divergence divergence;
+  Trace trace;                       ///< the re-executed run's trace
+  scenarios::ScenarioResult result;  ///< the re-executed run's outcome
+};
+
+/// Re-executes `recorded.meta`'s scenario shape and localizes any
+/// divergence. The scenario is looked up by the recorded name; aborts if it
+/// is not in the registry (resolve first for graceful CLI errors).
+[[nodiscard]] ReplayResult replay(const Trace& recorded, int threads);
+
+/// Replays against an explicit plan instead of the scenario's registered
+/// one (the perturbation path: flip one fault event, find the first round
+/// where the executions part ways). Requires scenario.run_plan.
+[[nodiscard]] ReplayResult replay_plan(const scenarios::Scenario& scenario,
+                                       const Trace& recorded, sim::FaultPlan plan,
+                                       int threads);
+
+}  // namespace lft::forensics

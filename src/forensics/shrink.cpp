@@ -1,0 +1,543 @@
+#include "forensics/shrink.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "core/consensus.hpp"
+#include "core/tags.hpp"
+#include "sim/engine.hpp"
+#include "sim/fleet.hpp"
+
+namespace lft::forensics {
+
+namespace {
+
+using scenarios::ScenarioResult;
+using sim::FaultPlan;
+
+// ---- plan event indexing ---------------------------------------------------
+
+/// Flattened event order: crashes, omissions, links, partitions, takeovers
+/// (matching FaultPlan's member order). `keep` masks this flat index space.
+FaultPlan plan_subset(const FaultPlan& plan, const std::vector<char>& keep) {
+  FaultPlan out;
+  out.seed = plan.seed;
+  std::size_t i = 0;
+  for (const auto& e : plan.crashes) {
+    if (keep[i++] != 0) out.crashes.push_back(e);
+  }
+  for (const auto& e : plan.omissions) {
+    if (keep[i++] != 0) out.omissions.push_back(e);
+  }
+  for (const auto& e : plan.links) {
+    if (keep[i++] != 0) out.links.push_back(e);
+  }
+  for (const auto& e : plan.partitions) {
+    if (keep[i++] != 0) out.partitions.push_back(e);
+  }
+  for (const auto& e : plan.takeovers) {
+    if (keep[i++] != 0) out.takeovers.push_back(e);
+  }
+  return out;
+}
+
+/// The plan re-shaped for a smaller system, or nullopt if any event
+/// references a node that would no longer exist. Partition group maps are
+/// truncated to the new size (every candidate is re-verified to violate, so
+/// a semantic change from truncation can only be accepted if it still
+/// reproduces).
+std::optional<FaultPlan> resize_plan(const FaultPlan& plan, NodeId new_n) {
+  FaultPlan out = plan;
+  for (const auto& e : out.crashes) {
+    if (e.node >= new_n) return std::nullopt;
+  }
+  for (const auto& e : out.omissions) {
+    if (e.node >= new_n) return std::nullopt;
+  }
+  for (const auto& e : out.links) {
+    if (e.a >= new_n || e.b >= new_n) return std::nullopt;
+  }
+  for (const auto& e : out.takeovers) {
+    if (e.node >= new_n) return std::nullopt;
+  }
+  for (auto& p : out.partitions) {
+    if (static_cast<NodeId>(p.group_of.size()) < new_n) return std::nullopt;
+    p.group_of.resize(static_cast<std::size_t>(new_n));
+  }
+  return out;
+}
+
+// ---- the shrinking engine --------------------------------------------------
+
+class Shrinker {
+ public:
+  Shrinker(const ShrinkProblem& problem, const ShrinkOptions& options)
+      : problem_(problem),
+        options_(options),
+        fleet_(sim::FleetConfig{options.workers, /*reuse_scratch=*/true}) {}
+
+  [[nodiscard]] std::int64_t evaluations() const noexcept { return evaluations_; }
+
+  [[nodiscard]] bool violates(const ScenarioResult& result) const {
+    return problem_.violates ? problem_.violates(result) : !result.ok;
+  }
+
+  /// One serial oracle run (counts against the budget).
+  [[nodiscard]] bool evaluate(const FaultPlan& plan, NodeId n, std::int64_t t) {
+    ++evaluations_;
+    return violates(problem_.run(plan, problem_.seed, options_.threads, n, t,
+                                 /*scratch=*/nullptr, /*trace=*/nullptr));
+  }
+
+  [[nodiscard]] bool budget_left(std::size_t upcoming) const {
+    return evaluations_ + static_cast<std::int64_t>(upcoming) <= options_.max_evaluations;
+  }
+
+  /// Evaluates every candidate on the fleet and returns the index of the
+  /// first (lowest-index, not first-completed) violating one, or -1. The
+  /// index rule keeps the shrink result independent of worker timing.
+  [[nodiscard]] int first_violating(const std::vector<FaultPlan>& candidates, NodeId n,
+                                    std::int64_t t) {
+    if (!budget_left(candidates.size())) return -1;
+    evaluations_ += static_cast<std::int64_t>(candidates.size());
+    auto flags = std::make_shared<std::vector<char>>(candidates.size(), 0);
+    std::vector<sim::FleetRunner::Handle> handles;
+    handles.reserve(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      handles.push_back(
+          fleet_.submit([this, plan = candidates[i], n, t, flags, i](
+                            sim::EngineScratch* scratch) {
+            ScenarioResult result = problem_.run(plan, problem_.seed, options_.threads, n, t,
+                                                 scratch, /*trace=*/nullptr);
+            (*flags)[i] = violates(result) ? 1 : 0;
+            return std::move(result.report);
+          }));
+    }
+    for (auto& h : handles) (void)h.wait();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if ((*flags)[i] != 0) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Classic ddmin over `item_count` abstract items: candidates are built by
+  /// `without(drop_begin, drop_end)` (the plan minus that index chunk) and
+  /// `shrunk(kept_count)` commits. Returns the 1-minimal kept mask.
+  template <typename WithoutFn>
+  std::vector<char> ddmin(std::size_t item_count, NodeId n, std::int64_t t,
+                          const WithoutFn& without) {
+    std::vector<char> keep(item_count, 1);
+    std::size_t live = item_count;
+    if (live <= 1) return keep;
+    std::size_t granularity = 2;
+    while (true) {
+      granularity = std::min(granularity, live);
+      // Live indices, in flat order.
+      std::vector<std::size_t> indices;
+      indices.reserve(live);
+      for (std::size_t i = 0; i < item_count; ++i) {
+        if (keep[i] != 0) indices.push_back(i);
+      }
+      // Candidate c = the plan minus chunk c of the live items.
+      std::vector<std::vector<char>> masks;
+      std::vector<FaultPlan> candidates;
+      for (std::size_t c = 0; c < granularity; ++c) {
+        const std::size_t begin = c * live / granularity;
+        const std::size_t end = (c + 1) * live / granularity;
+        if (begin == end) continue;
+        std::vector<char> mask = keep;
+        for (std::size_t k = begin; k < end; ++k) mask[indices[k]] = 0;
+        candidates.push_back(without(mask));
+        masks.push_back(std::move(mask));
+      }
+      const int hit = first_violating(candidates, n, t);
+      if (hit >= 0) {
+        keep = std::move(masks[static_cast<std::size_t>(hit)]);
+        live = static_cast<std::size_t>(std::count(keep.begin(), keep.end(), char{1}));
+        if (live <= 1) break;
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        continue;
+      }
+      if (granularity >= live || !budget_left(2 * granularity)) break;
+      granularity = std::min(live, granularity * 2);
+    }
+    return keep;
+  }
+
+  /// Pass 1: ddmin over the plan's flattened events.
+  void shrink_events(FaultPlan& plan, NodeId n, std::int64_t t) {
+    const auto count = static_cast<std::size_t>(plan_event_count(plan));
+    const auto keep =
+        ddmin(count, n, t, [&plan](const std::vector<char>& mask) {
+          return plan_subset(plan, mask);
+        });
+    plan = plan_subset(plan, keep);
+  }
+
+  /// Pass 2: narrow every remaining [from, until) window by repeated
+  /// halving — first pull `until` down, then push `from` up — until a full
+  /// sweep over the plan's windowed events changes nothing.
+  void shrink_windows(FaultPlan& plan, NodeId n, std::int64_t t, Round total_rounds) {
+    auto narrow = [&](Round& from, Round& until) {
+      bool changed = false;
+      if (until > total_rounds) {
+        // Clamp open-ended windows to the recorded run length — but like
+        // every other narrowing step, only if the clamped plan still
+        // violates (a shrunk plan can run longer than the baseline, making
+        // the tail rounds load-bearing).
+        const Round saved = until;
+        until = total_rounds;
+        if (evaluate(plan, n, t)) {
+          changed = true;
+        } else {
+          until = saved;
+          return false;  // the whole window is needed; nothing to narrow
+        }
+      }
+      // The from/until references point into `plan`, so each probe mutates
+      // the window in place, evaluates, and rolls back on failure.
+      while (until - from > 1 && budget_left(1)) {
+        const Round mid = from + (until - from) / 2;
+        const Round saved = until;
+        until = mid;
+        if (evaluate(plan, n, t)) {
+          changed = true;
+        } else {
+          until = saved;
+          break;
+        }
+      }
+      while (until - from > 1 && budget_left(1)) {
+        const Round mid = from + (until - from) / 2;
+        const Round saved = from;
+        from = mid;
+        if (evaluate(plan, n, t)) {
+          changed = true;
+        } else {
+          from = saved;
+          break;
+        }
+      }
+      return changed;
+    };
+    bool changed = true;
+    while (changed && budget_left(1)) {
+      changed = false;
+      for (auto& e : plan.omissions) changed = narrow(e.from, e.until) || changed;
+      for (auto& e : plan.links) changed = narrow(e.from, e.until) || changed;
+      for (auto& e : plan.partitions) changed = narrow(e.from, e.until) || changed;
+    }
+  }
+
+  /// Pass 3: for each partition, ddmin the nodes it displaces from the
+  /// majority group back into it.
+  void shrink_partitions(FaultPlan& plan, NodeId n, std::int64_t t) {
+    for (std::size_t p = 0; p < plan.partitions.size(); ++p) {
+      auto& spec = plan.partitions[p];
+      if (spec.group_of.empty()) continue;
+      // The majority group id (ties broken toward the smaller id).
+      std::vector<std::size_t> count;
+      for (const std::uint32_t g : spec.group_of) {
+        if (g >= count.size()) count.resize(g + 1, 0);
+        ++count[g];
+      }
+      const auto majority = static_cast<std::uint32_t>(
+          std::max_element(count.begin(), count.end()) - count.begin());
+      std::vector<std::size_t> displaced;
+      for (std::size_t v = 0; v < spec.group_of.size(); ++v) {
+        if (spec.group_of[v] != majority) displaced.push_back(v);
+      }
+      if (displaced.size() <= 1) continue;
+      const auto keep = ddmin(
+          displaced.size(), n, t, [&](const std::vector<char>& mask) {
+            FaultPlan candidate = plan;
+            auto& groups = candidate.partitions[p].group_of;
+            for (std::size_t k = 0; k < displaced.size(); ++k) {
+              if (mask[k] == 0) groups[displaced[k]] = majority;
+            }
+            return candidate;
+          });
+      for (std::size_t k = 0; k < displaced.size(); ++k) {
+        if (keep[k] == 0) spec.group_of[displaced[k]] = majority;
+      }
+    }
+  }
+
+  /// Pass 4: shrink n itself while the repro still fits and still fails.
+  void shrink_size(FaultPlan& plan, NodeId& n, std::int64_t& t) {
+    const auto t_for = [this](NodeId size, std::int64_t current) {
+      return problem_.t_of ? problem_.t_of(size) : current;
+    };
+    bool improved = true;
+    while (improved && n > options_.min_n && budget_left(1)) {
+      improved = false;
+      for (const auto& [num, den] : {std::pair{1, 2}, std::pair{3, 4}, std::pair{7, 8}}) {
+        const NodeId candidate_n = std::max(options_.min_n, n * num / den);
+        if (candidate_n >= n) continue;
+        const auto resized = resize_plan(plan, candidate_n);
+        if (!resized) continue;
+        const std::int64_t candidate_t = t_for(candidate_n, t);
+        if (evaluate(*resized, candidate_n, candidate_t)) {
+          plan = *resized;
+          n = candidate_n;
+          t = candidate_t;
+          improved = true;
+          break;
+        }
+        if (!budget_left(1)) break;
+      }
+    }
+  }
+
+ private:
+  const ShrinkProblem& problem_;
+  const ShrinkOptions& options_;
+  sim::FleetRunner fleet_;
+  std::int64_t evaluations_ = 0;
+};
+
+}  // namespace
+
+std::int64_t plan_event_count(const FaultPlan& plan) {
+  return static_cast<std::int64_t>(plan.crashes.size() + plan.omissions.size() +
+                                   plan.links.size() + plan.partitions.size() +
+                                   plan.takeovers.size());
+}
+
+ShrinkProblem scenario_problem(const scenarios::Scenario& scenario, sim::FaultPlan plan,
+                               std::uint64_t seed, NodeId n, std::int64_t t) {
+  LFT_ASSERT_MSG(scenario.run_plan != nullptr,
+                 "scenario_problem: scenario has no plan-parameterized runner");
+  ShrinkProblem problem;
+  const scenarios::Scenario* s = &scenario;  // registry scenarios are static
+  problem.run = [s](const FaultPlan& candidate, std::uint64_t run_seed, int threads,
+                    NodeId size, std::int64_t budget, sim::EngineScratch* scratch,
+                    sim::TraceSink* trace) {
+    return s->run_plan(run_seed, threads, size, budget, candidate, scratch, trace);
+  };
+  problem.plan = std::move(plan);
+  problem.seed = seed;
+  problem.n = n < 0 ? scenario.n : n;
+  problem.t = t < 0 ? (problem.n == scenario.n ? scenario.t : scenario.scaled_t(problem.n))
+                    : t;
+  problem.t_of = [s](NodeId size) { return s->scaled_t(size); };
+  return problem;
+}
+
+ShrinkResult shrink(const ShrinkProblem& problem, const ShrinkOptions& options) {
+  LFT_ASSERT_MSG(problem.run != nullptr, "shrink: a PlanRunner is required");
+  ShrinkResult result;
+  result.plan = problem.plan;
+  result.n = problem.n;
+  result.t = problem.t;
+  result.initial_events = plan_event_count(problem.plan);
+
+  Shrinker shrinker(problem, options);
+
+  // The input must reproduce before there is anything to minimize; record a
+  // trace of it while checking (its length also clamps open-ended windows).
+  TraceRecorder baseline;
+  ScenarioResult first = problem.run(problem.plan, problem.seed, options.threads, problem.n,
+                                     problem.t, /*scratch=*/nullptr, &baseline);
+  if (!(problem.violates ? problem.violates(first) : !first.ok)) {
+    result.violating = false;
+    result.final_events = result.initial_events;
+    result.trace = baseline.take();
+    result.trace.meta.seed = problem.seed;
+    result.trace.meta.n = problem.n;
+    result.trace.meta.t = problem.t;
+    result.trace.meta.threads = options.threads;
+    result.trace.report_fingerprint = scenarios::fingerprint(first.report);
+    result.result = std::move(first);
+    result.evaluations = 1;
+    return result;
+  }
+  const auto total_rounds = static_cast<Round>(baseline.trace().rounds.size());
+
+  FaultPlan plan = problem.plan;
+  NodeId n = problem.n;
+  std::int64_t t = problem.t;
+
+  shrinker.shrink_events(plan, n, t);
+  if (options.shrink_windows) shrinker.shrink_windows(plan, n, t, total_rounds);
+  if (options.shrink_partitions) shrinker.shrink_partitions(plan, n, t);
+  if (options.shrink_size) shrinker.shrink_size(plan, n, t);
+  // The window/partition/size passes can make further events redundant;
+  // one more (cheap — the plan is small now) event pass restores
+  // 1-minimality.
+  shrinker.shrink_events(plan, n, t);
+
+  // Re-verify the minimal repro serially with a recorder, then once more
+  // through the parallel stepper: the traces must be bit-identical.
+  TraceRecorder serial;
+  result.result =
+      problem.run(plan, problem.seed, /*threads=*/1, n, t, /*scratch=*/nullptr, &serial);
+  result.violating =
+      problem.violates ? problem.violates(result.result) : !result.result.ok;
+  result.trace = serial.take();
+  result.trace.meta.seed = problem.seed;
+  result.trace.meta.n = n;
+  result.trace.meta.t = t;
+  result.trace.meta.threads = 1;
+  result.trace.report_fingerprint = scenarios::fingerprint(result.result.report);
+
+  TraceRecorder parallel;
+  ScenarioResult parallel_result =
+      problem.run(plan, problem.seed, /*threads=*/4, n, t, /*scratch=*/nullptr, &parallel);
+  Trace parallel_trace = parallel.take();
+  parallel_trace.report_fingerprint = scenarios::fingerprint(parallel_result.report);
+  result.parallel_divergence = diff(result.trace, parallel_trace);
+
+  result.plan = std::move(plan);
+  result.n = n;
+  result.t = t;
+  result.final_events = plan_event_count(result.plan);
+  result.evaluations = shrinker.evaluations() + 3;  // + baseline + two verifies
+  result.budget_exhausted = shrinker.evaluations() >= options.max_evaluations;
+  return result;
+}
+
+// ---- built-in shrink cases -------------------------------------------------
+
+namespace {
+
+// A deliberately fragile rotating-coordinator consensus (the classical
+// baseline shape): t+1 phases, the phase-p coordinator broadcasts its
+// current value, everyone adopts what they hear, and all nodes decide after
+// phase t. It tolerates exactly t crashes — silence all t+1 coordinators
+// and the mixed inputs never converge, which is precisely the kind of
+// over-budget counterexample the shrinker exists to minimize.
+constexpr std::uint32_t kTagFragileCoord = core::kTagBaseline + 32;
+
+class FragileCoordinator final : public sim::Process {
+ public:
+  FragileCoordinator(NodeId n, std::int64_t t, int input)
+      : n_(n), t_(t), value_(static_cast<std::uint64_t>(input)) {}
+
+  void on_round(sim::Context& ctx, const sim::Inbox& inbox) override {
+    for (const auto& m : inbox) {
+      if (m.tag == kTagFragileCoord) value_ = m.value;
+    }
+    const Round phase = ctx.round();
+    if (phase <= t_) {
+      if (ctx.self() == static_cast<NodeId>(phase % n_)) {
+        for (NodeId v = 0; v < n_; ++v) {
+          if (v != ctx.self()) ctx.send(v, kTagFragileCoord, value_, 1);
+        }
+      }
+      return;
+    }
+    ctx.decide(value_);
+    ctx.halt();
+  }
+
+ private:
+  NodeId n_;
+  std::int64_t t_;
+  std::uint64_t value_;
+};
+
+/// Runs the fragile coordinator under an arbitrary plan with adversary
+/// budgets opened up to n (the "over-budget adversary": the protocol is
+/// built for t faults, the plan may spend many more). The oracle invariant
+/// is agreement alone — termination is unconditional in this protocol.
+ScenarioResult run_fragile_coordinator(const FaultPlan& plan, std::uint64_t seed, int threads,
+                                       NodeId n, std::int64_t t, sim::EngineScratch* scratch,
+                                       sim::TraceSink* trace) {
+  std::vector<int> inputs(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) inputs[static_cast<std::size_t>(v)] = v % 2;
+
+  sim::EngineConfig config;
+  config.max_rounds = static_cast<Round>(t) + 8;
+  config.crash_budget = n;
+  config.omission_budget = n;
+  config.threads = threads;
+  config.scratch = scratch;
+  config.trace = trace;
+  sim::Engine engine(n, config);
+  for (NodeId v = 0; v < n; ++v) {
+    engine.set_process(v, std::make_unique<FragileCoordinator>(
+                              n, t, inputs[static_cast<std::size_t>(v)]));
+  }
+  FaultPlan seeded = plan;
+  seeded.with_seed(seed);
+  if (plan_event_count(seeded) > 0) {
+    engine.add_fault_injector(sim::make_plan_injector(std::move(seeded)));
+  }
+  auto outcome = core::evaluate_consensus(engine.run(), inputs);
+  ScenarioResult result;
+  result.ok = outcome.agreement;
+  result.detail = std::string("agreement=") + (outcome.agreement ? "yes" : "NO") +
+                  " termination=" + (outcome.termination ? "yes" : "NO");
+  result.report = std::move(outcome.report);
+  return result;
+}
+
+std::vector<ShrinkCase> build_cases() {
+  std::vector<ShrinkCase> cases;
+
+  cases.push_back(ShrinkCase{
+      "coordinator_collapse",
+      "rotating coordinator (n=32, t=2) under 12 crash events; the minimal core is the 3 "
+      "clean coordinator crashes at round 0",
+      [](std::uint64_t seed) {
+        ShrinkProblem problem;
+        problem.run = run_fragile_coordinator;
+        problem.seed = seed;
+        problem.n = 32;
+        problem.t = 2;
+        // The violating core: silence every coordinator before it speaks.
+        problem.plan.crash_at(0, 0, 0.0).crash_at(1, 0, 0.0).crash_at(2, 0, 0.0);
+        // Nine decoys — non-coordinator crashes that change nothing about
+        // agreement but quadruple the counterexample's size.
+        for (int i = 0; i < 9; ++i) {
+          problem.plan.crash_at(static_cast<NodeId>(5 + 2 * i),
+                                static_cast<Round>(i % 3), 0.5);
+        }
+        return problem;
+      }});
+
+  cases.push_back(ShrinkCase{
+      "coordinator_blackout",
+      "rotating coordinator (n=32, t=2) under 12 send-omission windows; the minimal core "
+      "is 3 windows narrowed to the coordinators' broadcast rounds",
+      [](std::uint64_t seed) {
+        ShrinkProblem problem;
+        problem.run = run_fragile_coordinator;
+        problem.seed = seed;
+        problem.n = 32;
+        problem.t = 2;
+        // The violating core: black out each coordinator's sends across a
+        // window far wider than the one round that matters.
+        for (NodeId v = 0; v < 3; ++v) {
+          problem.plan.omission(v, 0, 24, /*send=*/true, /*recv=*/false);
+        }
+        // Nine decoy windows on non-coordinators.
+        for (int i = 0; i < 9; ++i) {
+          problem.plan.omission(static_cast<NodeId>(5 + 2 * i), 0, 16, /*send=*/true,
+                                /*recv=*/false);
+        }
+        return problem;
+      }});
+
+  return cases;
+}
+
+}  // namespace
+
+const std::vector<ShrinkCase>& shrink_cases() {
+  static const std::vector<ShrinkCase> registry = build_cases();
+  return registry;
+}
+
+const ShrinkCase* find_shrink_case(const std::string& name) {
+  for (const auto& c : shrink_cases()) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace lft::forensics

@@ -1,0 +1,125 @@
+// Automatic fault-plan shrinking: given a protocol runner, a FaultPlan that
+// makes its invariant fail, and the violation predicate, delta-debug the
+// plan down to a minimal counterexample that still fails — then emit the
+// minimal plan together with its recorded trace so the repro is replayable.
+//
+// The shrinker runs four passes:
+//   1. event ddmin — classic delta debugging over the plan's flattened event
+//      list (crashes, omissions, links, partitions, takeovers), with every
+//      candidate subset of a granularity level evaluated IN PARALLEL over a
+//      sim::FleetRunner; the surviving plan is 1-minimal (dropping any
+//      single remaining event restores the invariant) unless the evaluation
+//      budget ran out mid-pass — observable as ShrinkResult::budget_exhausted;
+//   2. window narrowing — each remaining round-ranged event's [from, until)
+//      window is halved toward the rounds that matter (infinite windows are
+//      first clamped to the execution's recorded length);
+//   3. partition-set shrinking — nodes a PartitionSpec displaces from the
+//      majority group are ddmin'd back into it;
+//   4. size shrinking — n is reduced (t rescaled via `t_of`) while every
+//      remaining event still fits and the invariant still fails.
+// Every pass only ever commits candidates re-verified to violate, and
+// candidate selection is by index order (not completion order), so the
+// result is deterministic for a given problem regardless of worker count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "forensics/replay.hpp"
+#include "forensics/trace.hpp"
+#include "scenarios/scenarios.hpp"
+#include "sim/faults.hpp"
+
+namespace lft::forensics {
+
+/// Executes a protocol + invariant under an arbitrary candidate plan (the
+/// shrinker's oracle). Must be a pure function of its arguments — candidate
+/// evaluations run concurrently on fleet workers.
+using PlanRunner = std::function<scenarios::ScenarioResult(
+    const sim::FaultPlan& plan, std::uint64_t seed, int threads, NodeId n, std::int64_t t,
+    sim::EngineScratch* scratch, sim::TraceSink* trace)>;
+
+/// One shrink instance: the runner, the violating plan, and the shape it
+/// violates at.
+struct ShrinkProblem {
+  PlanRunner run;
+  sim::FaultPlan plan;
+  std::uint64_t seed = 1;
+  NodeId n = 0;
+  std::int64_t t = 0;
+  /// True iff the outcome still violates (the repro reproduces). Defaults
+  /// to `!result.ok` — the scenario's own invariant as the oracle.
+  std::function<bool(const scenarios::ScenarioResult&)> violates;
+  /// Fault budget for a shrunk size (pass 4); defaults to keeping `t`.
+  std::function<std::int64_t(NodeId)> t_of;
+};
+
+/// Builds a ShrinkProblem from a plan-driven registry scenario (requires
+/// scenario.run_plan): the scenario's invariant is the oracle and its
+/// scaled_t rescales the budget when n shrinks. Negative n/t mean "the
+/// registered default".
+[[nodiscard]] ShrinkProblem scenario_problem(const scenarios::Scenario& scenario,
+                                             sim::FaultPlan plan, std::uint64_t seed,
+                                             NodeId n = -1, std::int64_t t = -1);
+
+struct ShrinkOptions {
+  int workers = 4;        ///< fleet workers evaluating candidate plans
+  int threads = 1;        ///< engine threads inside each candidate run
+  NodeId min_n = 8;       ///< floor for the size-shrinking pass
+  bool shrink_windows = true;
+  bool shrink_partitions = true;
+  bool shrink_size = true;
+  std::int64_t max_evaluations = 4096;  ///< global candidate budget
+};
+
+/// The minimal repro plus its provenance.
+struct ShrinkResult {
+  sim::FaultPlan plan;   ///< minimal plan that still violates
+  NodeId n = 0;          ///< possibly shrunk size
+  std::int64_t t = 0;    ///< budget matching `n`
+  std::int64_t evaluations = 0;     ///< candidate runs spent
+  std::int64_t initial_events = 0;  ///< events in the input plan
+  std::int64_t final_events = 0;    ///< events in the minimal plan
+  bool violating = false;  ///< the returned plan was re-verified to violate
+  /// True iff max_evaluations ran out mid-shrink: the plan still violates
+  /// but may not be 1-minimal (unremoved decoys possible).
+  bool budget_exhausted = false;
+  Trace trace;             ///< serial trace of the minimal repro
+  scenarios::ScenarioResult result;  ///< outcome of the minimal repro
+  /// diff between the minimal repro's serial and 4-thread traces; must
+  /// report no divergence (the engine's determinism bar).
+  Divergence parallel_divergence;
+};
+
+/// Shrinks `problem.plan` (see the file comment for the passes). If the
+/// input plan does not violate, returns immediately with violating == false
+/// and the plan untouched.
+[[nodiscard]] ShrinkResult shrink(const ShrinkProblem& problem,
+                                  const ShrinkOptions& options = {});
+
+/// Total number of typed events a plan carries (the quantity the shrinker
+/// minimizes first).
+[[nodiscard]] std::int64_t plan_event_count(const sim::FaultPlan& plan);
+
+// ---- built-in shrink cases -------------------------------------------------
+
+/// A named, self-contained shrink demo: a deliberately fragile protocol and
+/// an over-budget fault plan that breaks it, with a small known-minimal
+/// core buried in decoy events. Used by the lft_forensics CLI, the CI
+/// forensics-smoke step, and the tests.
+struct ShrinkCase {
+  std::string name;
+  std::string description;
+  std::function<ShrinkProblem(std::uint64_t seed)> make;
+};
+
+/// The case registry: `coordinator_collapse` (12 crash events whose minimal
+/// core is the 3 coordinator crashes) and `coordinator_blackout` (12
+/// omission windows whose minimal core is 3 windows narrowed to the
+/// coordinators' broadcast rounds).
+[[nodiscard]] const std::vector<ShrinkCase>& shrink_cases();
+[[nodiscard]] const ShrinkCase* find_shrink_case(const std::string& name);
+
+}  // namespace lft::forensics

@@ -1,0 +1,157 @@
+#include "forensics/trace.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/codec.hpp"
+
+namespace lft::forensics {
+
+namespace {
+// "LFTTRACE" as a little-endian u64, followed by the format version. Bump
+// the version on any layout change; decode_trace rejects unknown versions
+// instead of guessing.
+constexpr std::uint64_t kTraceMagic = 0x4543415254544c46ULL;
+constexpr std::uint32_t kTraceVersion = 1;
+}  // namespace
+
+bool Trace::operator==(const Trace& other) const {
+  if (meta.scenario != other.meta.scenario || meta.seed != other.meta.seed ||
+      meta.n != other.meta.n || meta.t != other.meta.t ||
+      meta.threads != other.meta.threads ||
+      report_fingerprint != other.report_fingerprint ||
+      rounds.size() != other.rounds.size()) {
+    return false;
+  }
+  return rounds == other.rounds;  // memberwise via RoundDigest::operator==
+}
+
+std::vector<std::byte> encode_trace(const Trace& trace) {
+  ByteWriter w;
+  w.put_u64(kTraceMagic);
+  w.put_u32(kTraceVersion);
+  w.put_varint(trace.meta.scenario.size());
+  w.put_bytes(std::as_bytes(std::span<const char>(trace.meta.scenario.data(),
+                                                  trace.meta.scenario.size())));
+  w.put_u64(trace.meta.seed);
+  w.put_u32(static_cast<std::uint32_t>(trace.meta.n));
+  w.put_varint(static_cast<std::uint64_t>(trace.meta.t));
+  w.put_u32(static_cast<std::uint32_t>(trace.meta.threads));
+  w.put_u64(trace.report_fingerprint);
+  w.put_varint(trace.rounds.size());
+  for (const auto& d : trace.rounds) {
+    w.put_varint(static_cast<std::uint64_t>(d.round));
+    w.put_varint(d.sent);
+    w.put_varint(d.delivered);
+    w.put_varint(d.lost_crash);
+    w.put_varint(d.lost_fault);
+    w.put_varint(d.lost_dead);
+    w.put_varint(d.crashes);
+    w.put_varint(d.omissions);
+    w.put_varint(d.links);
+    w.put_varint(d.partitions);
+    w.put_varint(d.takeovers);
+    w.put_u64(d.active_hash);
+    w.put_u64(d.payload_hash);
+    w.put_u64(d.body_hash);
+  }
+  return w.take();
+}
+
+std::optional<Trace> decode_trace(std::span<const std::byte> bytes) {
+  ByteReader r(bytes);
+  const auto magic = r.get_u64();
+  if (!magic || *magic != kTraceMagic) return std::nullopt;
+  const auto version = r.get_u32();
+  if (!version || *version != kTraceVersion) return std::nullopt;
+
+  Trace trace;
+  const auto name_len = r.get_varint();
+  if (!name_len) return std::nullopt;
+  const auto name = r.get_bytes(static_cast<std::size_t>(*name_len));
+  if (!name) return std::nullopt;
+  trace.meta.scenario.assign(reinterpret_cast<const char*>(name->data()), name->size());
+
+  const auto seed = r.get_u64();
+  const auto n = r.get_u32();
+  const auto t = r.get_varint();
+  const auto threads = r.get_u32();
+  const auto fingerprint = r.get_u64();
+  const auto round_count = r.get_varint();
+  if (!seed || !n || !t || !threads || !fingerprint || !round_count) return std::nullopt;
+  trace.meta.seed = *seed;
+  trace.meta.n = static_cast<NodeId>(*n);
+  trace.meta.t = static_cast<std::int64_t>(*t);
+  trace.meta.threads = static_cast<std::int32_t>(*threads);
+  trace.report_fingerprint = *fingerprint;
+
+  // A digest costs >= 35 bytes (11 varints of >= 1 byte + three u64
+  // hashes); reject counts the remaining bytes cannot possibly hold, so a
+  // corrupt count cannot amplify a small file into a huge reserve().
+  if (*round_count > r.remaining() / 35) return std::nullopt;
+  trace.rounds.reserve(static_cast<std::size_t>(*round_count));
+  for (std::uint64_t i = 0; i < *round_count; ++i) {
+    sim::RoundDigest d;
+    const auto round = r.get_varint();
+    const auto sent = r.get_varint();
+    const auto delivered = r.get_varint();
+    const auto lost_crash = r.get_varint();
+    const auto lost_fault = r.get_varint();
+    const auto lost_dead = r.get_varint();
+    const auto crashes = r.get_varint();
+    const auto omissions = r.get_varint();
+    const auto links = r.get_varint();
+    const auto partitions = r.get_varint();
+    const auto takeovers = r.get_varint();
+    const auto active_hash = r.get_u64();
+    const auto payload_hash = r.get_u64();
+    const auto body_hash = r.get_u64();
+    if (!round || !sent || !delivered || !lost_crash || !lost_fault || !lost_dead ||
+        !crashes || !omissions || !links || !partitions || !takeovers || !active_hash ||
+        !payload_hash || !body_hash) {
+      return std::nullopt;
+    }
+    d.round = static_cast<Round>(*round);
+    d.sent = *sent;
+    d.delivered = *delivered;
+    d.lost_crash = *lost_crash;
+    d.lost_fault = *lost_fault;
+    d.lost_dead = *lost_dead;
+    d.crashes = static_cast<std::uint32_t>(*crashes);
+    d.omissions = static_cast<std::uint32_t>(*omissions);
+    d.links = static_cast<std::uint32_t>(*links);
+    d.partitions = static_cast<std::uint32_t>(*partitions);
+    d.takeovers = static_cast<std::uint32_t>(*takeovers);
+    d.active_hash = *active_hash;
+    d.payload_hash = *payload_hash;
+    d.body_hash = *body_hash;
+    trace.rounds.push_back(d);
+  }
+  if (!r.exhausted()) return std::nullopt;  // trailing garbage is malformed
+  return trace;
+}
+
+bool save_trace(const Trace& trace, const std::string& path) {
+  const auto bytes = encode_trace(trace);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::optional<Trace> load_trace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::vector<std::byte> bytes;
+  std::byte buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + got);
+  }
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) return std::nullopt;
+  return decode_trace(bytes);
+}
+
+}  // namespace lft::forensics

@@ -59,7 +59,8 @@ ScenarioResult eval_consensus(core::ConsensusOutcome outcome, const Expect& expe
 /// Runs Few- or Many-Crashes-Consensus under `plan` with random inputs.
 ScenarioResult run_consensus(const ConsensusParams& params, bool many, sim::FaultPlan plan,
                              std::uint64_t seed, int threads, const Expect& expect,
-                             sim::EngineScratch* scratch = nullptr) {
+                             sim::EngineScratch* scratch = nullptr,
+                             sim::TraceSink* trace = nullptr) {
   const auto inputs = random_inputs(params.n, seed);
   auto factory = [&](NodeId v) {
     const int input = inputs[static_cast<std::size_t>(v)];
@@ -68,7 +69,7 @@ ScenarioResult run_consensus(const ConsensusParams& params, bool many, sim::Faul
   };
   auto report = core::run_system(params.n, params.t, factory,
                                  sim::make_plan_injector(std::move(plan)),
-                                 Round{1} << 22, threads, scratch);
+                                 Round{1} << 22, threads, scratch, trace);
   return eval_consensus(core::evaluate_consensus(std::move(report), inputs), expect);
 }
 
@@ -116,55 +117,89 @@ std::vector<std::uint64_t> gossip_rumors(NodeId n, std::uint64_t seed) {
   return rumors;
 }
 
+/// Assembles a plan-driven scenario from its two halves: `plan_of` rebuilds
+/// the registered fault plan, `run_plan` executes the protocol + invariant
+/// under any plan, and `run_at` is their composition. Keeping the halves
+/// separately addressable is what the forensics plane replays and shrinks
+/// against.
+Scenario make_planned(std::string name, std::string protocol, std::string fault_kind,
+                      NodeId n, std::int64_t t, std::string description,
+                      Scenario::PlanFn plan_of, Scenario::RunPlanFn run_plan) {
+  Scenario s;
+  s.name = std::move(name);
+  s.protocol = std::move(protocol);
+  s.fault_kind = std::move(fault_kind);
+  s.n = n;
+  s.t = t;
+  s.description = std::move(description);
+  s.plan_of = std::move(plan_of);
+  s.run_plan = std::move(run_plan);
+  s.run_at = [plan = s.plan_of, run = s.run_plan](std::uint64_t seed, int threads, NodeId size,
+                                                  std::int64_t budget,
+                                                  sim::EngineScratch* scratch,
+                                                  sim::TraceSink* trace) {
+    return run(seed, threads, size, budget, plan(seed, size, budget), scratch, trace);
+  };
+  return s;
+}
+
 std::vector<Scenario> build_registry() {
   std::vector<Scenario> list;
 
-  // Every runner below is a pure function of (seed, threads, n, t, scratch):
-  // the registered (n, t) is only the default shape, and `sweep` re-invokes
-  // the same lambda at scaled sizes. Ratios are chosen so every 5t < n /
-  // little-group constraint still holds after proportional scaling.
+  // Every runner below is a pure function of (seed, threads, n, t, scratch,
+  // trace): the registered (n, t) is only the default shape, and `sweep`
+  // re-invokes the same lambda at scaled sizes. Ratios are chosen so every
+  // 5t < n / little-group constraint still holds after proportional scaling.
 
   // ---- crash plans (the paper's model: full theorem guarantees) ------------
 
-  list.push_back(Scenario{
+  list.push_back(make_planned(
       "crash_burst_flood", "few_crashes", "crash", 600, 100,
       "all t crash in one burst at flood start; n=600 engages the parallel stepper",
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t) {
         sim::FaultPlan plan;
         plan.burst_crashes(n, t, 1, seed * 31 + 1);
+        return plan;
+      },
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         sim::EngineScratch* scratch, sim::TraceSink* trace) {
         return run_consensus(ConsensusParams::practical(n, t), false, std::move(plan), seed,
-                             threads, Expect{}, scratch);
-      }});
+                             threads, Expect{}, scratch, trace);
+      }));
 
-  list.push_back(Scenario{
+  list.push_back(make_planned(
       "crash_staggered_drip", "few_crashes", "crash", 160, 31,
       "one crash every 5 rounds through the whole execution",
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t) {
         sim::FaultPlan plan;
         plan.staggered_crashes(n, t, 0, 5, seed * 31 + 2);
+        return plan;
+      },
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         sim::EngineScratch* scratch, sim::TraceSink* trace) {
         return run_consensus(ConsensusParams::practical(n, t), false, std::move(plan), seed,
-                             threads, Expect{}, scratch);
-      }});
+                             threads, Expect{}, scratch, trace);
+      }));
 
-  list.push_back(Scenario{
+  list.push_back(make_planned(
       "crash_partial_sends", "many_crashes", "crash", 96, 60,
       "many-crashes regime (t near n); every victim keeps ~30% of its last sends",
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t) {
         sim::FaultPlan plan;
         plan.random_crashes(n, t, 0, n / 2, 0.3, seed * 31 + 3);
+        return plan;
+      },
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         sim::EngineScratch* scratch, sim::TraceSink* trace) {
         return run_consensus(ConsensusParams::practical(n, t), true, std::move(plan), seed,
-                             threads, Expect{}, scratch);
-      }});
+                             threads, Expect{}, scratch, trace);
+      }));
 
-  list.push_back(Scenario{
+  list.push_back(make_planned(
       "crash_isolate_little", "few_crashes", "crash", 200, 30,
       "crashes every little-overlay neighbor of little node 1 at round 0 "
       "(phase-graph diversity keeps the victim deciding)",
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch) {
+      [](std::uint64_t, NodeId n, std::int64_t t) {
         const auto params = ConsensusParams::practical(n, t);
         const auto little_g = graph::shared_overlay(
             params.little_count,
@@ -172,19 +207,23 @@ std::vector<Scenario> build_registry() {
             params.overlay_tag ^ core::kOverlayLittleG);
         sim::FaultPlan plan;
         plan.crash(sim::isolation_crash_schedule(*little_g, 1, t));
-        auto result =
-            run_consensus(params, false, std::move(plan), seed, threads, Expect{}, scratch);
+        return plan;
+      },
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+        auto result = run_consensus(ConsensusParams::practical(n, t), false, std::move(plan),
+                                    seed, threads, Expect{}, scratch, trace);
         const auto& victim = result.report.nodes[1];
         result.ok = result.ok && !victim.crashed && victim.decided;
         result.detail += " victim_decided=" + yn(victim.decided);
         return result;
-      }});
+      }));
 
   list.push_back(Scenario{
       "crash_probe_hubs", "few_crashes", "crash", 200, 30,
       "adaptive ProbeDisruptor: crashes the 2 busiest senders per round until the budget",
       [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch) {
+         sim::EngineScratch* scratch, sim::TraceSink* trace) {
         const auto params = ConsensusParams::practical(n, t);
         const auto inputs = random_inputs(n, seed);
         auto factory = [&](NodeId v) {
@@ -193,81 +232,93 @@ std::vector<Scenario> build_registry() {
         };
         auto report = core::run_system(n, t, factory,
                                        std::make_unique<sim::ProbeDisruptorAdversary>(t, 2),
-                                       Round{1} << 22, threads, scratch);
+                                       Round{1} << 22, threads, scratch, trace);
         return eval_consensus(core::evaluate_consensus(std::move(report), inputs), Expect{});
-      }});
+      },
+      nullptr, nullptr});
 
-  list.push_back(Scenario{
+  list.push_back(make_planned(
       "crash_gossip_window", "gossip", "crash", 110, 14,
       "gossip with t partial-send crashes inside the first probing window",
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch) {
-        const auto params = core::GossipParams::practical(n, t);
+      [](std::uint64_t seed, NodeId n, std::int64_t t) {
         sim::FaultPlan plan;
         plan.random_crashes(n, t, 0, 4 * t, 0.5, seed * 31 + 4);
+        return plan;
+      },
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+        const auto params = core::GossipParams::practical(n, t);
         return eval_gossip(core::run_gossip(params, gossip_rumors(n, seed),
                                             sim::make_plan_injector(std::move(plan)), threads,
-                                            scratch));
-      }});
+                                            scratch, trace));
+      }));
 
   // ---- omission plans (Dwork-Halpern-Waarts regimes) -----------------------
 
-  list.push_back(Scenario{
+  list.push_back(make_planned(
       "omission_send_quorum", "few_crashes", "omission", 200, 30,
       "t nodes are send-omission faulty for the whole run: to everyone else they look "
       "crashed, but they keep receiving, so even the faulty nodes decide the common value",
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t) {
         sim::FaultPlan plan;
         plan.random_omissions(n, t, 0, sim::kRoundForever, /*send=*/true, /*recv=*/false,
                               seed * 31 + 5);
+        return plan;
+      },
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         sim::EngineScratch* scratch, sim::TraceSink* trace) {
         auto result = run_consensus(ConsensusParams::practical(n, t), false, std::move(plan),
-                                    seed, threads, Expect{}, scratch);
+                                    seed, threads, Expect{}, scratch, trace);
         // Stronger than the crash theorem: every node decided, faulty included.
         const bool everyone = result.report.decided_count() == n;
         result.ok = result.ok && everyone;
         result.detail += " all_decided=" + yn(everyone);
         return result;
-      }});
+      }));
 
-  list.push_back(Scenario{
+  list.push_back(make_planned(
       "omission_recv_blackout", "few_crashes", "omission", 200, 30,
       "t nodes are receive-omission faulty for the whole run; safety (agreement + "
       "validity) must survive even though the deaf nodes may not decide",
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t) {
         sim::FaultPlan plan;
         plan.random_omissions(n, t, 0, sim::kRoundForever, /*send=*/false, /*recv=*/true,
                               seed * 31 + 6);
+        return plan;
+      },
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         sim::EngineScratch* scratch, sim::TraceSink* trace) {
         Expect expect;
         expect.termination = true;  // non-faulty nodes must all decide
         return run_consensus(ConsensusParams::practical(n, t), false, std::move(plan), seed,
-                             threads, expect, scratch);
-      }});
+                             threads, expect, scratch, trace);
+      }));
 
-  list.push_back(Scenario{
+  list.push_back(make_planned(
       "omission_flood_window", "few_crashes", "omission", 200, 30,
       "t nodes lose both directions during the first half of the flood window, then "
       "recover; the protocol must absorb the re-merge and deliver full guarantees",
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t) {
         const auto params = ConsensusParams::practical(n, t);
         sim::FaultPlan plan;
         plan.random_omissions(n, t, 0, params.flood_rounds_little / 2, /*send=*/true,
                               /*recv=*/true, seed * 31 + 7);
-        auto result =
-            run_consensus(params, false, std::move(plan), seed, threads, Expect{}, scratch);
+        return plan;
+      },
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+        auto result = run_consensus(ConsensusParams::practical(n, t), false, std::move(plan),
+                                    seed, threads, Expect{}, scratch, trace);
         const bool everyone = result.report.decided_count() == n;
         result.ok = result.ok && everyone;
         result.detail += " all_decided=" + yn(everyone);
         return result;
-      }});
+      }));
 
-  list.push_back(Scenario{
+  list.push_back(make_planned(
       "omission_gossip_mixed", "gossip", "omission", 110, 14,
       "gossip with t/2 send-omission and t/2 receive-omission nodes during part 1",
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t) {
         const auto params = core::GossipParams::practical(n, t);
         const Round part1 = params.phases * (params.probe_gamma + 3);
         sim::FaultPlan plan;
@@ -275,36 +326,43 @@ std::vector<Scenario> build_registry() {
                               seed * 31 + 8);
         plan.random_omissions(n, t - t / 2, 0, part1, /*send=*/false, /*recv=*/true,
                               seed * 31 + 9);
+        return plan;
+      },
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+        const auto params = core::GossipParams::practical(n, t);
         auto outcome = core::run_gossip(params, gossip_rumors(n, seed),
                                         sim::make_plan_injector(std::move(plan)), threads,
-                                        scratch);
+                                        scratch, trace);
         return eval_gossip(std::move(outcome));
-      }});
+      }));
 
   // ---- partitions and link faults ------------------------------------------
 
-  list.push_back(Scenario{
+  list.push_back(make_planned(
       "partition_split_heal", "few_crashes", "partition", 200, 30,
       "an eighth of the nodes are split off during early flood rounds [1, 9), then the "
       "partition heals; the re-merged nodes must catch up to full guarantees",
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch) {
+      [](std::uint64_t, NodeId n, std::int64_t) {
         sim::FaultPlan plan;
         plan.split_at(n - n / 8, n, 1, 9);
+        return plan;
+      },
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         sim::EngineScratch* scratch, sim::TraceSink* trace) {
         auto result = run_consensus(ConsensusParams::practical(n, t), false, std::move(plan),
-                                    seed, threads, Expect{}, scratch);
+                                    seed, threads, Expect{}, scratch, trace);
         const bool everyone = result.report.decided_count() == n;
         result.ok = result.ok && everyone;
         result.detail += " all_decided=" + yn(everyone);
         return result;
-      }});
+      }));
 
-  list.push_back(Scenario{
+  list.push_back(make_planned(
       "partition_little_halves", "few_crashes", "partition", 200, 30,
       "the little group is split into halves for 6 flood rounds (cross-half floods are "
       "dropped), then re-merged",
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch) {
+      [](std::uint64_t, NodeId n, std::int64_t t) {
         const auto params = ConsensusParams::practical(n, t);
         std::vector<std::uint32_t> groups(static_cast<std::size_t>(n), 0);
         for (NodeId v = 0; v < params.little_count / 2; ++v) {
@@ -312,15 +370,18 @@ std::vector<Scenario> build_registry() {
         }
         sim::FaultPlan plan;
         plan.split(std::move(groups), 2, 8);
-        return run_consensus(params, false, std::move(plan), seed, threads, Expect{},
-                             scratch);
-      }});
+        return plan;
+      },
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+        return run_consensus(ConsensusParams::practical(n, t), false, std::move(plan), seed,
+                             threads, Expect{}, scratch, trace);
+      }));
 
-  list.push_back(Scenario{
+  list.push_back(make_planned(
       "link_flaky_mesh", "few_crashes", "link", 200, 30,
       "60 random node pairs lose their (symmetric) links for the first 20 rounds",
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch) {
+      [](std::uint64_t seed, NodeId n, std::int64_t) {
         sim::FaultPlan plan;
         Rng rng(seed * 31 + 10);
         for (int i = 0; i < 60; ++i) {
@@ -329,85 +390,109 @@ std::vector<Scenario> build_registry() {
           if (a == b) continue;
           plan.cut_link(a, b, 0, 20);
         }
+        return plan;
+      },
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         sim::EngineScratch* scratch, sim::TraceSink* trace) {
         return run_consensus(ConsensusParams::practical(n, t), false, std::move(plan), seed,
-                             threads, Expect{}, scratch);
-      }});
+                             threads, Expect{}, scratch, trace);
+      }));
 
   // ---- Byzantine takeovers (Theorem 11 model) ------------------------------
 
-  list.push_back(Scenario{
+  list.push_back(make_planned(
       "byz_silent_little", "ab_consensus", "byzantine", 120, 11,
       "t little nodes are taken over with the silent behavior at round 0",
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t) {
         const auto params = byzantine::AbParams::practical(n, t);
         sim::FaultPlan plan;
         Rng rng(seed * 31 + 11);
         std::vector<NodeId> little(static_cast<std::size_t>(params.little_count));
-        for (NodeId v = 0; v < params.little_count; ++v) little[static_cast<std::size_t>(v)] = v;
+        for (NodeId v = 0; v < params.little_count; ++v) {
+          little[static_cast<std::size_t>(v)] = v;
+        }
         rng.shuffle(std::span<NodeId>(little));
         for (std::int64_t i = 0; i < t; ++i) {
           plan.takeover(little[static_cast<std::size_t>(i)], 0, "silent");
         }
+        return plan;
+      },
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+        const auto params = byzantine::AbParams::practical(n, t);
         return eval_ab(byzantine::run_ab_consensus_plan(params, ab_inputs(n, seed),
-                                                        std::move(plan), threads, scratch),
+                                                        std::move(plan), threads, scratch,
+                                                        trace),
                        /*expect_max_rule=*/false);
-      }});
+      }));
 
-  list.push_back(Scenario{
+  list.push_back(make_planned(
       "byz_equivocators", "ab_consensus", "byzantine", 120, 11,
       "t little nodes equivocate (sign 0 to odd peers, 1 to even) in DS round 0",
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch) {
+      [](std::uint64_t, NodeId n, std::int64_t t) {
         const auto params = byzantine::AbParams::practical(n, t);
         sim::FaultPlan plan;
         for (std::int64_t i = 0; i < t; ++i) {
           plan.takeover(static_cast<NodeId>(i * 3 % params.little_count), 0, "equivocate");
         }
+        return plan;
+      },
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+        const auto params = byzantine::AbParams::practical(n, t);
         return eval_ab(byzantine::run_ab_consensus_plan(params, ab_inputs(n, seed),
-                                                        std::move(plan), threads, scratch),
+                                                        std::move(plan), threads, scratch,
+                                                        trace),
                        /*expect_max_rule=*/false);
-      }});
+      }));
 
-  list.push_back(Scenario{
+  list.push_back(make_planned(
       "byz_flooders", "ab_consensus", "byzantine", 120, 11,
       "t nodes flood forged chains, bogus certificates, and garbage bodies",
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch) {
-        const auto params = byzantine::AbParams::practical(n, t);
+      [](std::uint64_t, NodeId n, std::int64_t t) {
         sim::FaultPlan plan;
         for (std::int64_t i = 0; i < t; ++i) {
           plan.takeover(static_cast<NodeId>((i * 7 + 1) % n), 0, "flood");
         }
+        return plan;
+      },
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+        const auto params = byzantine::AbParams::practical(n, t);
         return eval_ab(byzantine::run_ab_consensus_plan(params, ab_inputs(n, seed),
-                                                        std::move(plan), threads, scratch),
+                                                        std::move(plan), threads, scratch,
+                                                        trace),
                        /*expect_max_rule=*/false);
-      }});
+      }));
 
-  list.push_back(Scenario{
+  list.push_back(make_planned(
       "byz_midrun_takeover", "ab_consensus", "byzantine", 120, 11,
       "the adversary adaptively takes over t honest little nodes mid-Dolev-Strong "
       "(round 3): their earlier honest relays are already in flight",
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch) {
+      [](std::uint64_t, NodeId n, std::int64_t t) {
         const auto params = byzantine::AbParams::practical(n, t);
         sim::FaultPlan plan;
         for (std::int64_t i = 0; i < t; ++i) {
           plan.takeover(static_cast<NodeId>(i * 2 % params.little_count), 3, "silent");
         }
+        return plan;
+      },
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+        const auto params = byzantine::AbParams::practical(n, t);
         return eval_ab(byzantine::run_ab_consensus_plan(params, ab_inputs(n, seed),
-                                                        std::move(plan), threads, scratch),
+                                                        std::move(plan), threads, scratch,
+                                                        trace),
                        /*expect_max_rule=*/false);
-      }});
+      }));
 
   // ---- mixed regimes -------------------------------------------------------
 
-  list.push_back(Scenario{
+  list.push_back(make_planned(
       "mixed_crash_omission_split", "few_crashes", "mixed", 200, 30,
       "one plan composes all crash-model-compatible fault classes: a third of t crashes "
       "in a burst, a third gets omission windows, plus an early partition",
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t) {
         const auto params = ConsensusParams::practical(n, t);
         sim::FaultPlan plan;
         // Disjoint victim pools: crashes among [0, n/2), omissions among [n/2, n).
@@ -417,16 +502,19 @@ std::vector<Scenario> build_registry() {
                         /*send=*/true, /*recv=*/true);
         }
         plan.split_at(n - n / 10, n, 4, 10);
-        return run_consensus(params, false, std::move(plan), seed, threads, Expect{},
-                             scratch);
-      }});
+        return plan;
+      },
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+        return run_consensus(ConsensusParams::practical(n, t), false, std::move(plan), seed,
+                             threads, Expect{}, scratch, trace);
+      }));
 
-  list.push_back(Scenario{
+  list.push_back(make_planned(
       "mixed_byz_crash_ab", "ab_consensus", "mixed", 120, 11,
       "authenticated consensus under a Byzantine + crash mixture: t/2 takeovers at "
       "round 0 and t/2 crashes during Dolev-Strong",
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch) {
+      [](std::uint64_t, NodeId n, std::int64_t t) {
         const auto params = byzantine::AbParams::practical(n, t);
         sim::FaultPlan plan;
         for (std::int64_t i = 0; i < t / 2; ++i) {
@@ -435,39 +523,55 @@ std::vector<Scenario> build_registry() {
         for (std::int64_t i = 0; i < t - t / 2; ++i) {
           plan.crash_at(static_cast<NodeId>(params.little_count + i), 2 + i, 0.5);
         }
+        return plan;
+      },
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+        const auto params = byzantine::AbParams::practical(n, t);
         return eval_ab(byzantine::run_ab_consensus_plan(params, ab_inputs(n, seed),
-                                                        std::move(plan), threads, scratch),
+                                                        std::move(plan), threads, scratch,
+                                                        trace),
                        /*expect_max_rule=*/false);
-      }});
+      }));
 
-  list.push_back(Scenario{
+  list.push_back(make_planned(
       "checkpoint_crash_boundary", "checkpointing", "crash", 150, 20,
       "checkpointing with a crash burst at the gossip/consensus boundary",
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t) {
         const auto params = core::CheckpointParams::practical(n, t);
         const Round boundary =
             2 * params.gossip.phases * (params.gossip.probe_gamma + 3) + 3;
         sim::FaultPlan plan;
         plan.burst_crashes(n, t, boundary, seed * 31 + 13);
+        return plan;
+      },
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+        (void)seed;
+        const auto params = core::CheckpointParams::practical(n, t);
         return eval_checkpointing(core::run_checkpointing(
-            params, sim::make_plan_injector(std::move(plan)), threads, scratch));
-      }});
+            params, sim::make_plan_injector(std::move(plan)), threads, scratch, trace));
+      }));
 
-  list.push_back(Scenario{
+  list.push_back(make_planned(
       "checkpoint_omission_gossip", "checkpointing", "omission", 150, 20,
       "checkpointing with t send-omission nodes during the gossip part",
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t) {
         const auto params = core::CheckpointParams::practical(n, t);
         const Round gossip_end =
             2 * params.gossip.phases * (params.gossip.probe_gamma + 3) + 3;
         sim::FaultPlan plan;
         plan.random_omissions(n, t, 0, gossip_end, /*send=*/true, /*recv=*/false,
                               seed * 31 + 14);
+        return plan;
+      },
+      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+        (void)seed;
+        const auto params = core::CheckpointParams::practical(n, t);
         return eval_checkpointing(core::run_checkpointing(
-            params, sim::make_plan_injector(std::move(plan)), threads, scratch));
-      }});
+            params, sim::make_plan_injector(std::move(plan)), threads, scratch, trace));
+      }));
 
   return list;
 }
@@ -554,8 +658,8 @@ std::vector<SweepOutcome> run_sweep(sim::FleetRunner& fleet, std::span<const Swe
     (*slots)[i].item = item;
     handles.push_back(fleet.submit([item, slots, i](sim::EngineScratch* scratch) {
       const auto start = std::chrono::steady_clock::now();
-      ScenarioResult result =
-          item.scenario->run_at(item.seed, /*threads=*/1, item.n, item.t, scratch);
+      ScenarioResult result = item.scenario->run_at(item.seed, /*threads=*/1, item.n, item.t,
+                                                    scratch, /*trace=*/nullptr);
       SweepOutcome& out = (*slots)[i];
       out.ok = result.ok;
       out.detail = std::move(result.detail);

@@ -19,6 +19,16 @@
 // scenario across seed and size axes into SweepItems, and `run_sweep`
 // executes the items over a sim::FleetRunner, preserving per-instance
 // bit-identity to serial one-at-a-time execution.
+//
+// Plan-driven scenarios (every entry whose adversary is a declarative
+// FaultPlan — all but the adaptive ones) additionally expose the
+// plan/protocol split the forensics plane builds on: `plan_of` rebuilds the
+// registered fault plan for a (seed, n, t), and `run_plan` executes the
+// scenario's protocol + invariant under an *arbitrary* plan — which is what
+// lets forensics::replay re-execute perturbed plans and forensics::shrink
+// delta-debug a counterexample plan while keeping the scenario's invariant
+// as the oracle. Every runner accepts an optional sim::TraceSink so the
+// forensics plane can record per-round digests of any scenario execution.
 #pragma once
 
 #include <cstdint>
@@ -46,9 +56,18 @@ struct Scenario {
   /// Size-parameterized runner: executes the scenario's protocol + fault
   /// plan at an arbitrary (n, t) honoring the registry ratio. `scratch`
   /// optionally recycles engine buffers (fleet mode); pass nullptr for cold
-  /// buffers — the Report is bit-identical either way.
+  /// buffers — the Report is bit-identical either way. `trace` optionally
+  /// records per-round digests (forensics plane); nullptr records nothing.
   using RunFn = std::function<ScenarioResult(std::uint64_t seed, int threads, NodeId n,
-                                             std::int64_t t, sim::EngineScratch* scratch)>;
+                                             std::int64_t t, sim::EngineScratch* scratch,
+                                             sim::TraceSink* trace)>;
+  /// Rebuilds the scenario's registered fault plan for a (seed, n, t).
+  using PlanFn = std::function<sim::FaultPlan(std::uint64_t seed, NodeId n, std::int64_t t)>;
+  /// Runs the scenario's protocol and evaluates its invariant under an
+  /// arbitrary fault plan (the forensics replay/shrink entry point).
+  using RunPlanFn = std::function<ScenarioResult(
+      std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
+      sim::EngineScratch* scratch, sim::TraceSink* trace)>;
 
   std::string name;
   std::string protocol;    ///< few_crashes | many_crashes | gossip | checkpointing | ab_consensus
@@ -57,10 +76,15 @@ struct Scenario {
   std::int64_t t = 0;      ///< default fault budget
   std::string description;
   RunFn run_at;
+  /// Null for scenarios whose adversary is adaptive rather than plan-driven
+  /// (`run_at` is then the only entry point). For plan-driven scenarios,
+  /// run_at(seed, ...) == run_plan(seed, ..., plan_of(seed, n, t), ...).
+  PlanFn plan_of;
+  RunPlanFn run_plan;
 
   /// Runs at the registered default (n, t) with cold buffers.
   [[nodiscard]] ScenarioResult run(std::uint64_t seed, int threads) const {
-    return run_at(seed, threads, n, t, nullptr);
+    return run_at(seed, threads, n, t, nullptr, nullptr);
   }
 
   /// The fault budget for an alternative size: the registered t/n ratio
@@ -112,7 +136,7 @@ struct SweepOutcome {
 /// Executes `items` over the fleet (each instance serial on one worker) and
 /// blocks until all complete. Outcomes are in item order regardless of
 /// completion order, and each Report is bit-identical to running that item
-/// alone: `items[i].scenario->run_at(seed, 1, n, t, nullptr)`.
+/// alone: `items[i].scenario->run_at(seed, 1, n, t, nullptr, nullptr)`.
 [[nodiscard]] std::vector<SweepOutcome> run_sweep(sim::FleetRunner& fleet,
                                                   std::span<const SweepItem> items);
 

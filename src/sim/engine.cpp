@@ -229,6 +229,11 @@ Engine::Engine(NodeId n, EngineConfig config)
     // Adopt the recycled buffers: contents are cleared, but vector capacity
     // and arena chunks carry over from the previous execution in this slot.
     EngineScratch& scratch = *config_.scratch;
+    ++scratch.adoptions;
+    if (scratch.outbox.capacity() != 0 || scratch.inbox.capacity() != 0 ||
+        scratch.sink.msgs.capacity() != 0) {
+      ++scratch.recycles;  // warm buffers left by a previous execution
+    }
     sinks_[0] = std::move(scratch.sink);
     sinks_[0].msgs.clear();
     sinks_[0].arena[0].clear();
@@ -296,6 +301,14 @@ void Engine::do_send(StepSink& sink, NodeId from, NodeId to, std::uint32_t tag,
   if (!body.empty()) {
     m.set_body(sink.arena[static_cast<std::size_t>(round_) & 1].store(body));
   }
+  // Trace digests happen at send time, while the message and its body bytes
+  // are cache-hot; both accumulators are worker-local and commutative, so
+  // the round digest is identical across serial and parallel stepping.
+  if (config_.trace != nullptr) {
+    const std::uint64_t w = digest_header(m);
+    sink.header_sum += w;
+    if (!body.empty()) sink.body_hash ^= digest_body(w, body);
+  }
   sink.msgs.push_back(m);
 }
 
@@ -338,6 +351,7 @@ void Engine::do_crash(NodeId v, std::function<bool(const Message&)> keep) {
   s.crashed = true;
   s.crash_round = round_;
   crashed_this_round_.push_back(v);
+  if (config_.trace != nullptr) ++digest_.crashes;
   if (keep) {
     // Reuse a high-water slot instead of growing/clearing the vector each
     // round: live slots are [0, keep_filters_used_).
@@ -362,6 +376,7 @@ void Engine::do_set_omission(NodeId v, std::uint8_t flag, bool enabled) {
   // faulty mark — the node's decisions were made while it was non-faulty).
   // Disabling still proceeds so windowed plans keep their counters balanced.
   if (enabled && status_[static_cast<std::size_t>(v)].halted) return;
+  if (config_.trace != nullptr) ++digest_.omissions;
   if (omit_state_.empty()) omit_state_.assign(static_cast<std::size_t>(n_), 0);
   auto& state = omit_state_[static_cast<std::size_t>(v)];
   const std::uint8_t before = state;
@@ -386,6 +401,7 @@ void Engine::do_set_omission(NodeId v, std::uint8_t flag, bool enabled) {
 
 void Engine::do_set_link(NodeId a, NodeId b, bool cut) {
   LFT_ASSERT(a >= 0 && a < n_ && b >= 0 && b < n_);
+  if (config_.trace != nullptr) ++digest_.links;
   const std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
                             static_cast<std::uint32_t>(b);
   if (cut) {
@@ -401,11 +417,13 @@ void Engine::do_set_partition(std::span<const std::uint32_t> group_of) {
                  "partition group map must cover every node");
   partition_group_.assign(group_of.begin(), group_of.end());
   partition_active_ = true;
+  if (config_.trace != nullptr) ++digest_.partitions;
   rearm_fault_filters();
 }
 
 void Engine::do_clear_partition() {
   partition_active_ = false;
+  if (config_.trace != nullptr) ++digest_.partitions;
   rearm_fault_filters();
 }
 
@@ -421,6 +439,7 @@ void Engine::do_takeover(NodeId v, std::unique_ptr<Process> behavior) {
     s.byzantine = true;
   }
   processes_[static_cast<std::size_t>(v)] = std::move(behavior);
+  if (config_.trace != nullptr) ++digest_.takeovers;
   // Reactivate a parked victim: the behavior runs from this round on. A node
   // is in the active set iff it is neither halted nor sleeping.
   const auto vi = static_cast<std::size_t>(v);
@@ -511,6 +530,8 @@ void Engine::step_active() {
   for (auto& sink : sinks_) {
     sink.arena[parity].clear();
     sink.msgs.clear();
+    sink.body_hash = 0;
+    sink.header_sum = 0;
   }
 
   const auto workers = sinks_.size();
@@ -610,6 +631,13 @@ void Engine::deliver_batch() {
   // in place, so the steady state allocates nothing.
   std::size_t kept = 0;
   const bool fault_filters = fault_filters_armed_;
+  // Trace accounting rides the existing drop branches: surviving messages
+  // pay nothing (their header digests were summed at send time; the rare
+  // dropped ones are subtracted below), and with no sink installed only the
+  // predictable `traced` branches remain.
+  const bool traced = config_.trace != nullptr;
+  std::uint64_t dropped_sum = 0;
+  if (traced) digest_.sent = outbox_.size();
   for (std::size_t i = 0; i < outbox_.size(); ++i) {
     const Message& m = outbox_[i];
     const auto from = static_cast<std::size_t>(m.from);
@@ -617,7 +645,13 @@ void Engine::deliver_batch() {
     if (filter != kNotCrashedThisRound) {
       const bool saved =
           filter >= 0 && keep_filters_[static_cast<std::size_t>(filter)](m);
-      if (!saved) continue;  // lost in the crash
+      if (!saved) {  // lost in the crash
+        if (traced) {
+          ++digest_.lost_crash;
+          dropped_sum += digest_header(m);
+        }
+        continue;
+      }
     }
     metrics_.messages_total += 1;
     metrics_.bits_total += static_cast<std::int64_t>(m.bits);
@@ -629,14 +663,34 @@ void Engine::deliver_batch() {
     sender.sends += 1;
     // Omission / partition / link faults lose the message in transit: the
     // sender paid for it (accounted above), the receiver never sees it.
-    if (fault_filters && fault_dropped(m)) continue;
+    if (fault_filters && fault_dropped(m)) {
+      if (traced) {
+        ++digest_.lost_fault;
+        dropped_sum += digest_header(m);
+      }
+      continue;
+    }
     const auto to = static_cast<std::size_t>(m.to);
-    if (status_[to].crashed || status_[to].halted) continue;  // never received
+    if (status_[to].crashed || status_[to].halted) {  // never received
+      if (traced) {
+        ++digest_.lost_dead;
+        dropped_sum += digest_header(m);
+      }
+      continue;
+    }
     wake_by(m.to, round_ + 1);  // delivery always wakes the recipient
     if (kept != i) outbox_[kept] = m;
     ++kept;
   }
   outbox_.resize(kept);
+  if (traced) {
+    // Delivered-header digest = (sum of sent headers) - (sum of dropped
+    // headers): equal to digest_messages over the delivered batch, without
+    // touching any surviving message again.
+    std::uint64_t header_sum = 0;
+    for (const auto& sink : sinks_) header_sum += sink.header_sum;
+    digest_.payload_hash = digest_messages_final(header_sum - dropped_sum, kept);
+  }
   metrics_.peak_round_messages =
       std::max(metrics_.peak_round_messages, static_cast<std::int64_t>(kept));
 
@@ -697,6 +751,17 @@ Report Engine::run() {
 
     // 3. Filter, account, and sort this round's batch for delivery.
     deliver_batch();
+
+    // 3b. Emit this round's trace digest (inbox_ now holds the delivered
+    //     batch in normal form; active_ is still the set that was stepped).
+    if (config_.trace != nullptr) {
+      digest_.round = round_;
+      digest_.delivered = inbox_.size();
+      digest_.active_hash = digest_nodes(active_);
+      for (const auto& sink : sinks_) digest_.body_hash ^= sink.body_hash;
+      config_.trace->on_round(digest_);
+      digest_ = RoundDigest{};
+    }
 
     // Reset only the crash slots touched this round; keep-filter slots are
     // released (captured state freed) but their storage is reused.

@@ -39,6 +39,7 @@
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
 #include "sim/payload.hpp"
+#include "sim/trace.hpp"
 
 namespace lft::sim {
 
@@ -52,6 +53,11 @@ struct StepSink {
   std::vector<Message> msgs;
   PayloadArena arena[2];  // indexed by round parity
   std::int64_t fallback_pulls = 0;
+  /// Trace-hook accumulators for the current round (stay 0 when tracing is
+  /// off): XOR of store-time body digests, and the wrapping sum of sent
+  /// header digests the delivered-batch digest is derived from.
+  std::uint64_t body_hash = 0;
+  std::uint64_t header_sum = 0;
 };
 
 /// Zero-copy view of one node's delivered batch for the current round.
@@ -228,6 +234,12 @@ struct EngineScratch {
   StepSink sink;               ///< serial sink 0: message vector + arenas
   std::vector<Message> outbox; ///< round send arena
   std::vector<Message> inbox;  ///< delivered-batch arena
+  /// Observability counters (surfaced as FleetRunner stats): engines that
+  /// adopted this scratch, and adoptions that found warm buffers left by a
+  /// previous execution in the slot. Maintained by the engine at adoption
+  /// time; purely diagnostic — they never change any Report bit.
+  std::int64_t adoptions = 0;
+  std::int64_t recycles = 0;
 };
 
 /// Construction-time engine configuration.
@@ -248,6 +260,10 @@ struct EngineConfig {
   /// must outlive the engine, and one scratch may back at most one live
   /// engine at a time. nullptr = allocate fresh.
   EngineScratch* scratch = nullptr;
+  /// Optional execution-trace hook (see sim/trace.hpp): when set, the engine
+  /// emits one RoundDigest per executed round. Non-owning; nullptr (the
+  /// default) records nothing and keeps the delivery hot path untouched.
+  TraceSink* trace = nullptr;
 };
 
 /// One execution: n nodes driven in lock-step rounds under the fault plane.
@@ -388,6 +404,11 @@ class Engine {
   std::vector<NodeId> crashed_this_round_;
   std::vector<std::function<bool(const Message&)>> keep_filters_;
   std::size_t keep_filters_used_ = 0;
+
+  // Per-round digest scratch for the trace hook; only touched when
+  // config_.trace is set (loss counters hide behind the existing drop
+  // branches, and the per-round hashes are computed just before emission).
+  RoundDigest digest_;
 
   Metrics metrics_;
 };

@@ -111,6 +111,16 @@ std::int64_t FleetRunner::stolen() const {
   return stolen_;
 }
 
+std::int64_t FleetRunner::scratch_adoptions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scratch_adoptions_;
+}
+
+std::int64_t FleetRunner::scratch_recycles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scratch_recycles_;
+}
+
 bool FleetRunner::pop_task(std::size_t slot, Task& out) {
   auto& own = workers_[slot]->queue;
   if (!own.empty()) {
@@ -163,6 +173,14 @@ void FleetRunner::worker_loop(std::size_t slot) {
       task.state->cv.notify_all();
       task.job = nullptr;  // release captures outside the runner lock
       lock.lock();
+      if (scratch != nullptr) {
+        // Fold the slot's scratch counters (touched only by the thread that
+        // ran the instance) into the runner totals while holding the lock.
+        scratch_adoptions_ += scratch->adoptions;
+        scratch_recycles_ += scratch->recycles;
+        scratch->adoptions = 0;
+        scratch->recycles = 0;
+      }
       ++completed_;
       if (completed_ == submitted_) cv_idle_.notify_all();
       continue;

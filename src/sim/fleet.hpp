@@ -106,6 +106,16 @@ class FleetRunner {
   [[nodiscard]] std::int64_t completed() const;
   /// Instances a worker stole from another worker's queue.
   [[nodiscard]] std::int64_t stolen() const;
+  /// EngineScratch observability across completed instances: engines that
+  /// adopted a slot's scratch, and adoptions that found warm buffers from a
+  /// previous instance in that slot (see EngineScratch counters). Both are 0
+  /// when FleetConfig::reuse_scratch is off or jobs ignore their scratch.
+  /// A slot's counters are folded in just before its instance counts as
+  /// completed, so these are exact after wait_all() (an instance's handle
+  /// becomes ready slightly before its fold — don't read stats off a bare
+  /// handle wait).
+  [[nodiscard]] std::int64_t scratch_adoptions() const;
+  [[nodiscard]] std::int64_t scratch_recycles() const;
 
  private:
   struct Task;
@@ -127,6 +137,8 @@ class FleetRunner {
   std::int64_t submitted_ = 0;
   std::int64_t completed_ = 0;
   std::int64_t stolen_ = 0;
+  std::int64_t scratch_adoptions_ = 0;  // folded from per-slot counters
+  std::int64_t scratch_recycles_ = 0;   // after each completed instance
   bool stop_ = false;
 };
 

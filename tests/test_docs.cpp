@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "forensics/replay.hpp"
+#include "forensics/shrink.hpp"
 #include "scenarios/scenarios.hpp"
 
 namespace lft {
@@ -108,7 +110,8 @@ TEST(Docs, ArchitectureDocCoversTheContracts) {
   for (const char* needle :
        {"round pipeline", "PayloadArena lifetime", "FaultInjector contract",
         "fleet scheduling model", "pre_round", "on_round", "EngineScratch",
-        "normal form"}) {
+        "normal form", "forensics plane", "TraceSink", "RoundDigest",
+        "forensics::shrink"}) {
     EXPECT_NE(markdown.find(needle), std::string::npos)
         << "docs/architecture.md lacks '" << needle << "'";
   }
@@ -118,8 +121,44 @@ TEST(Docs, ReadmeLinksTheDocsPlane) {
   const auto readme = read_file(std::string(LFT_SOURCE_DIR) + "/README.md");
   EXPECT_NE(readme.find("docs/architecture.md"), std::string::npos);
   EXPECT_NE(readme.find("docs/scenarios.md"), std::string::npos);
+  EXPECT_NE(readme.find("docs/forensics.md"), std::string::npos)
+      << "README must link the forensics plane";
   EXPECT_NE(readme.find("lft_fleet"), std::string::npos)
       << "README must document the fleet quickstart";
+  EXPECT_NE(readme.find("lft_forensics"), std::string::npos)
+      << "README must document the forensics quickstart";
+}
+
+TEST(DocsForensics, NamesEveryDigestComponentOfTheLiveApi) {
+  const auto markdown = read_file(docs_path("forensics.md"));
+  // Every component the diff can report must be documented under its stable
+  // name — walking the live enum keeps this in lockstep with the code.
+  using forensics::Component;
+  for (const Component c :
+       {Component::kFaultActions, Component::kSent, Component::kLostCrash,
+        Component::kLostFault, Component::kLostDead, Component::kDelivered,
+        Component::kActiveSet, Component::kPayload, Component::kBodies,
+        Component::kRoundCount, Component::kFingerprint}) {
+    const std::string needle = std::string("`") + forensics::component_name(c) + "`";
+    EXPECT_NE(markdown.find(needle), std::string::npos)
+        << "docs/forensics.md lacks component " << needle;
+  }
+}
+
+TEST(DocsForensics, CoversTheTraceFormatShrinkPassesAndEveryShrinkCase) {
+  const auto markdown = read_file(docs_path("forensics.md"));
+  for (const char* needle :
+       {"LFTTRACE", "version", "Event ddmin", "Window narrowing",
+        "Partition-set shrinking", "Size shrinking", "EngineConfig::trace",
+        "bench_trace", "check_trace_overhead"}) {
+    EXPECT_NE(markdown.find(needle), std::string::npos)
+        << "docs/forensics.md lacks '" << needle << "'";
+  }
+  // Every registered shrink case is documented by name.
+  for (const auto& c : forensics::shrink_cases()) {
+    EXPECT_NE(markdown.find("`" + c.name + "`"), std::string::npos)
+        << "docs/forensics.md lacks shrink case " << c.name;
+  }
 }
 
 }  // namespace

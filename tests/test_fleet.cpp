@@ -145,6 +145,45 @@ TEST(EngineScratch, RecyclesThroughProtocolRunners) {
   }
 }
 
+TEST(EngineScratch, CountsAdoptionsAndRecycles) {
+  EngineScratch scratch;
+  EXPECT_EQ(scratch.adoptions, 0);
+  EXPECT_EQ(scratch.recycles, 0);
+  (void)tiny_fanout_report(&scratch, 10, 2);
+  EXPECT_EQ(scratch.adoptions, 1);
+  EXPECT_EQ(scratch.recycles, 0);  // first adoption found cold buffers
+  (void)tiny_fanout_report(&scratch, 10, 2);
+  (void)tiny_fanout_report(&scratch, 14, 3);
+  EXPECT_EQ(scratch.adoptions, 3);
+  EXPECT_EQ(scratch.recycles, 2);  // later adoptions found warm buffers
+}
+
+TEST(FleetRunner, ScratchStatsCountEveryInstance) {
+  constexpr int kJobs = 48;
+  constexpr int kWorkers = 4;
+  FleetRunner fleet(FleetConfig{kWorkers, /*reuse_scratch=*/true});
+  for (int i = 0; i < kJobs; ++i) {
+    (void)fleet.submit(
+        [i](EngineScratch* scratch) { return tiny_fanout_report(scratch, 8 + (i % 3), 2); });
+  }
+  fleet.wait_all();  // stats are exact only after wait_all (see fleet.hpp)
+  EXPECT_EQ(fleet.scratch_adoptions(), kJobs);
+  // Each worker's first instance finds cold buffers; everything after
+  // recycles. Work stealing decides the split, so only bound it.
+  EXPECT_GE(fleet.scratch_recycles(), kJobs - kWorkers);
+  EXPECT_LT(fleet.scratch_recycles(), kJobs);
+}
+
+TEST(FleetRunner, ScratchStatsZeroWhenReuseDisabled) {
+  FleetRunner fleet(FleetConfig{2, /*reuse_scratch=*/false});
+  for (int i = 0; i < 8; ++i) {
+    (void)fleet.submit([](EngineScratch* scratch) { return tiny_fanout_report(scratch, 8, 2); });
+  }
+  fleet.wait_all();
+  EXPECT_EQ(fleet.scratch_adoptions(), 0);
+  EXPECT_EQ(fleet.scratch_recycles(), 0);
+}
+
 // ---- the acceptance bar: 1000+ mixed instances, bit-identical --------------
 
 std::vector<SweepItem> mixed_thousand() {
@@ -185,7 +224,8 @@ TEST(FleetSweep, ThousandMixedInstancesBitIdenticalToSerial) {
     // The acceptance bar: bit-identical to serial one-at-a-time execution
     // (cold buffers, no fleet, no scratch).
     const auto serial = items[i].scenario->run_at(items[i].seed, /*threads=*/1, items[i].n,
-                                                  items[i].t, /*scratch=*/nullptr);
+                                                  items[i].t, /*scratch=*/nullptr,
+                                                  /*trace=*/nullptr);
     EXPECT_EQ(scenarios::fingerprint(serial.report), out.fingerprint)
         << items[i].scenario->name << " seed " << items[i].seed << " n " << items[i].n;
     // And the full report shipped through the handle matches its digest.
