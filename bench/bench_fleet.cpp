@@ -39,9 +39,7 @@ std::vector<SweepItem> fleet_batch(std::int64_t seeds_per_cell) {
 double run_serial_ms(const std::vector<SweepItem>& items) {
   const WallTimer timer;
   for (const auto& item : items) {
-    const auto result =
-        item.scenario->run_at(item.seed, /*threads=*/1, item.n, item.t, /*scratch=*/nullptr,
-                              /*trace=*/nullptr);
+    const auto result = item.scenario->run_at(item.seed, item.n, item.t, {});
     benchmark::DoNotOptimize(result.report.rounds);
   }
   return timer.ms();

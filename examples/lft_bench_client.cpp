@@ -1,0 +1,260 @@
+// lft_bench_client: closed-loop load generator + correctness auditor for
+// lft_serve. C client threads each keep a window of W pipelined proposals
+// outstanding until the request budget drains, measuring per-request commit
+// latency; afterwards a subscriber replays the whole log and the tool fails
+// (nonzero exit) on any lost, duplicated, or reordered command — the
+// "serve real traffic, lose nothing" gate CI runs as service-smoke.
+//
+//   lft_bench_client [--port=N] [--requests=N] [--clients=C] [--window=W]
+//                    [--sockets] [--trace=PATH] [--json=PATH]
+//
+// Without --port (or with --port=0) an in-process server is spawned and
+// shut down at the end; --sockets/--trace apply to that spawned server.
+// --json writes the run's metrics in the BENCH_*.json artifact schema.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "common/cli.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using lft::service::Client;
+
+std::vector<std::byte> payload_for(std::uint64_t client_id, std::uint64_t request_id) {
+  const std::string s =
+      "c" + std::to_string(client_id) + ":r" + std::to_string(request_id);
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return std::vector<std::byte>(p, p + s.size());
+}
+
+struct WorkerResult {
+  bool ok = true;
+  std::string error;
+  std::uint64_t acked = 0;
+  std::vector<double> latencies_ms;
+};
+
+/// One closed-loop client: keep `window` proposals in flight until
+/// `requests` have been acknowledged, checking the per-session guarantees
+/// on the way (acks in request order, log indices strictly increasing, no
+/// duplicates for fresh request ids).
+void run_worker(std::uint16_t port, std::uint64_t client_id, std::uint64_t requests,
+                std::uint64_t window, WorkerResult& out) {
+  auto fail = [&out](std::string why) {
+    out.ok = false;
+    out.error = std::move(why);
+  };
+  Client client(port, client_id);
+  if (!client.connected()) return fail("connect/handshake failed");
+
+  out.latencies_ms.reserve(static_cast<std::size_t>(requests));
+  std::unordered_map<std::uint64_t, Clock::time_point> inflight;
+  std::uint64_t next_request = 1;
+  std::uint64_t expect_ack = 1;
+  std::uint64_t last_index = 0;
+  bool have_index = false;
+
+  while (out.acked < requests) {
+    while (inflight.size() < window && next_request <= requests) {
+      if (!client.send_propose(next_request, payload_for(client_id, next_request))) {
+        return fail("send_propose failed");
+      }
+      inflight.emplace(next_request, Clock::now());
+      ++next_request;
+    }
+    const auto ack = client.recv_ack();
+    if (!ack) return fail("recv_ack failed");
+    if (ack->request_id != expect_ack) return fail("acks out of request order");
+    ++expect_ack;
+    const auto it = inflight.find(ack->request_id);
+    if (it == inflight.end()) return fail("ack for unknown request");
+    out.latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - it->second).count());
+    inflight.erase(it);
+    if (ack->applied.duplicate) return fail("fresh request acked as duplicate");
+    if (have_index && ack->applied.index <= last_index) {
+      return fail("log indices not increasing within the session");
+    }
+    last_index = ack->applied.index;
+    have_index = true;
+    ++out.acked;
+  }
+}
+
+/// Nearest-rank percentile of a sorted sample (p in [0, 100]).
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size())) - 1.0;
+  const auto index = static_cast<std::size_t>(std::max(0.0, rank));
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+void print_usage() {
+  std::printf(
+      "usage: lft_bench_client [--port=N] [--requests=N] [--clients=C] [--window=W]\n"
+      "                        [--sockets] [--trace=PATH] [--json=PATH]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  std::int64_t requests = 100000;
+  int clients = 4;
+  std::int64_t window = 4;
+  bool sockets = false;
+  std::string trace_path;
+  std::string json_path;
+  const bool parsed = lft::cli::ArgParser(argc, argv)
+                          .on_int("--port", port, 0)
+                          .on_i64("--requests", requests, 1)
+                          .on_int("--clients", clients, 1)
+                          .on_i64("--window", window, 1)
+                          .on_flag("--sockets", sockets)
+                          .on_str("--trace", trace_path)
+                          .on_str("--json", json_path)
+                          .parse();
+  if (!parsed) {
+    print_usage();
+    return 2;
+  }
+
+  // Spawn an in-process server unless pointed at a live one.
+  std::optional<lft::service::Server> server;
+  std::thread server_thread;
+  std::uint16_t target_port = static_cast<std::uint16_t>(port);
+  if (port == 0) {
+    lft::service::ServerOptions options;
+    options.use_sockets = sockets;
+    options.trace_path = trace_path;
+    server.emplace(options);
+    target_port = server->port();
+    server_thread = std::thread([&server] { server->run(); });
+  }
+
+  const auto per_client = static_cast<std::uint64_t>(requests) /
+                          static_cast<std::uint64_t>(clients);
+  const std::uint64_t total = per_client * static_cast<std::uint64_t>(clients);
+  std::printf("lft_bench_client: %llu requests over %d clients (window %lld) -> port %u\n",
+              static_cast<unsigned long long>(total), clients,
+              static_cast<long long>(window), target_port);
+  std::fflush(stdout);
+
+  const auto start = Clock::now();
+  std::vector<WorkerResult> results(static_cast<std::size_t>(clients));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back(run_worker, target_port, static_cast<std::uint64_t>(c + 1),
+                         per_client, static_cast<std::uint64_t>(window),
+                         std::ref(results[static_cast<std::size_t>(c)]));
+  }
+  for (auto& w : workers) w.join();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+
+  bool ok = true;
+  std::vector<double> latencies;
+  latencies.reserve(total);
+  for (int c = 0; c < clients; ++c) {
+    const auto& r = results[static_cast<std::size_t>(c)];
+    if (!r.ok || r.acked != per_client) {
+      ok = false;
+      std::fprintf(stderr, "client %d FAILED after %llu acks: %s\n", c + 1,
+                   static_cast<unsigned long long>(r.acked), r.error.c_str());
+    }
+    latencies.insert(latencies.end(), r.latencies_ms.begin(), r.latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  // Audit the total order: replay the whole log through a subscriber and
+  // demand exactly `total` contiguous entries, each command exactly once
+  // with the payload it was proposed with.
+  std::uint64_t slots = 0;
+  if (ok) {
+    Client auditor(target_port, /*client_id=*/0xa0d17);
+    ok = ok && auditor.connected();
+    if (ok) {
+      const auto state = auditor.read_state();
+      ok = ok && state.has_value() && state->size == total;
+      if (!ok) {
+        std::fprintf(stderr, "log audit FAILED: size %llu != proposed %llu\n",
+                     state ? static_cast<unsigned long long>(state->size) : 0ULL,
+                     static_cast<unsigned long long>(total));
+      } else {
+        slots = state->slots;
+      }
+    }
+    if (ok && !auditor.subscribe(0)) ok = false;
+    std::vector<std::uint64_t> seen_request(static_cast<std::size_t>(clients) + 1, 0);
+    for (std::uint64_t i = 0; ok && i < total; ++i) {
+      const auto e = auditor.next_commit();
+      if (!e || e->index != i) {
+        ok = false;
+        std::fprintf(stderr, "log audit FAILED: commit %llu missing or out of order\n",
+                     static_cast<unsigned long long>(i));
+        break;
+      }
+      if (e->client_id == 0 || e->client_id > static_cast<std::uint64_t>(clients) ||
+          e->request_id != seen_request[e->client_id] + 1 ||
+          e->payload != payload_for(e->client_id, e->request_id)) {
+        ok = false;
+        std::fprintf(stderr,
+                     "log audit FAILED at index %llu: client %llu request %llu "
+                     "(duplicate, gap, or corrupt payload)\n",
+                     static_cast<unsigned long long>(i),
+                     static_cast<unsigned long long>(e->client_id),
+                     static_cast<unsigned long long>(e->request_id));
+        break;
+      }
+      seen_request[e->client_id] = e->request_id;
+    }
+  }
+
+  if (server.has_value()) {
+    Client stopper(target_port, /*client_id=*/0x57c9);
+    if (stopper.connected()) (void)stopper.shutdown_server();
+    server_thread.join();
+  }
+
+  const double rps = wall_ms > 0.0 ? static_cast<double>(total) / (wall_ms / 1000.0) : 0.0;
+  const double p50 = percentile(latencies, 50.0);
+  const double p95 = percentile(latencies, 95.0);
+  std::printf("%12s %8s %8s %12s %12s %10s %10s %6s\n", "requests", "clients", "window",
+              "wall_ms", "req_per_s", "p50_ms", "p95_ms", "ok");
+  std::printf("%12llu %8d %8lld %12.1f %12.0f %10.3f %10.3f %6s\n",
+              static_cast<unsigned long long>(total), clients,
+              static_cast<long long>(window), wall_ms, rps, p50, p95, ok ? "yes" : "NO");
+
+  if (!json_path.empty()) {
+    lft::bench::JsonRows rows;
+    rows.begin_row();
+    rows.field("bench", std::string("service_closed_loop"));
+    rows.field("requests", static_cast<std::int64_t>(total));
+    rows.field("clients", static_cast<std::int64_t>(clients));
+    rows.field("window", static_cast<std::int64_t>(window));
+    rows.field("slots", static_cast<std::int64_t>(slots));
+    rows.field("wall_ms", wall_ms);
+    rows.field("req_per_s", rps);
+    rows.field("p50_ms", p50);
+    rows.field("p95_ms", p95);
+    rows.field("ok", std::string(ok ? "yes" : "NO"));
+    if (!rows.write_file(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return ok ? 0 : 1;
+}

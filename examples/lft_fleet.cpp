@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bench_json.hpp"
+#include "common/cli.hpp"
 #include "forensics/replay.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/fleet.hpp"
@@ -72,51 +73,32 @@ struct Options {
   std::string json_path;
 };
 
-using lft::bench::split_csv;
-
 bool parse_args(int argc, char** argv, Options& opt) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value_of = [&arg](const std::string& prefix) {
-      return arg.substr(prefix.size());
-    };
-    if (arg == "--list") {
-      opt.list = true;
-    } else if (arg == "--all") {
-      opt.all = true;
-    } else if (arg.rfind("--scenario=", 0) == 0) {
-      for (auto& name : split_csv(value_of("--scenario="))) {
-        opt.names.push_back(std::move(name));
-      }
-    } else if (arg.rfind("--seeds=", 0) == 0) {
-      opt.seeds = std::strtoll(value_of("--seeds=").c_str(), nullptr, 10);
-      if (opt.seeds < 1) opt.seeds = 1;
-    } else if (arg.rfind("--seed-base=", 0) == 0) {
-      opt.seed_base = std::strtoull(value_of("--seed-base=").c_str(), nullptr, 10);
-    } else if (arg.rfind("--sizes=", 0) == 0) {
-      for (const auto& part : split_csv(value_of("--sizes="))) {
-        const long size = std::strtol(part.c_str(), nullptr, 10);
-        if (size < 8) {
-          std::fprintf(stderr, "bad --sizes entry: %s\n", part.c_str());
-          return false;
-        }
-        opt.sizes.push_back(static_cast<NodeId>(size));
-      }
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      opt.threads = static_cast<int>(std::strtol(value_of("--threads=").c_str(), nullptr, 10));
-      if (opt.threads < 1) opt.threads = 1;
-    } else if (arg.rfind("--verify-serial=", 0) == 0) {
-      opt.verify_serial = std::strtoll(value_of("--verify-serial=").c_str(), nullptr, 10);
-    } else if (arg == "--verify-serial") {
-      opt.verify_serial = 8;
-    } else if (arg.rfind("--json=", 0) == 0) {
-      opt.json_path = value_of("--json=");
-    } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
-      return false;
-    }
-  }
-  return true;
+  return lft::cli::ArgParser(argc, argv)
+      .on_flag("--list", opt.list)
+      .on_flag("--all", opt.all)
+      .on_csv("--scenario", opt.names)
+      .on_i64("--seeds", opt.seeds, 1)
+      .on_u64("--seed-base", opt.seed_base)
+      .on_value("--sizes",
+                [&opt](const std::string& csv) {
+                  for (const auto& part : lft::cli::split_csv(csv)) {
+                    const long size = std::strtol(part.c_str(), nullptr, 10);
+                    if (size < 8) return false;
+                    opt.sizes.push_back(static_cast<NodeId>(size));
+                  }
+                  return true;
+                })
+      .on_int("--threads", opt.threads, 1)
+      .on_value(
+          "--verify-serial",
+          [&opt](const std::string& value) {
+            opt.verify_serial = value.empty() ? 8 : std::strtoll(value.c_str(), nullptr, 10);
+            return true;
+          },
+          /*allow_bare=*/true)
+      .on_str("--json", opt.json_path)
+      .parse();
 }
 
 /// Nearest-rank percentile of a sorted sample: the smallest element with at
@@ -280,8 +262,7 @@ int main(int argc, char** argv) {
       const std::size_t i = j * outcomes.size() / k;
       const auto& out = outcomes[i];
       const auto serial =
-          out.item.scenario->run_at(out.item.seed, /*threads=*/1, out.item.n, out.item.t,
-                                    /*scratch=*/nullptr, /*trace=*/nullptr);
+          out.item.scenario->run_at(out.item.seed, out.item.n, out.item.t, {});
       if (lft::scenarios::fingerprint(serial.report) == out.fingerprint) continue;
       ++mismatches;
       // Localize: re-run the instance under trace recording with cold
@@ -292,11 +273,13 @@ int main(int argc, char** argv) {
       const auto cold =
           lft::forensics::record(*out.item.scenario, out.item.seed, 1, out.item.n, out.item.t);
       lft::sim::EngineScratch scratch;
-      (void)out.item.scenario->run_at(out.item.seed, 1, out.item.n, out.item.t, &scratch,
-                                      /*trace=*/nullptr);  // warm the buffers
+      lft::core::RunOptions warm_options;
+      warm_options.scratch = &scratch;
+      (void)out.item.scenario->run_at(out.item.seed, out.item.n, out.item.t,
+                                      warm_options);  // warm the buffers
       lft::forensics::TraceRecorder warm_recorder;
-      (void)out.item.scenario->run_at(out.item.seed, 1, out.item.n, out.item.t, &scratch,
-                                      &warm_recorder);
+      warm_options.trace = &warm_recorder;
+      (void)out.item.scenario->run_at(out.item.seed, out.item.n, out.item.t, warm_options);
       const auto divergence = lft::forensics::diff(cold.trace, warm_recorder.trace());
       std::printf("verify-serial MISMATCH %s seed %llu n %d: %s\n",
                   out.item.scenario->name.c_str(),

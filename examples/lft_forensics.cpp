@@ -18,10 +18,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "bench_json.hpp"
+#include "common/cli.hpp"
 #include "forensics/replay.hpp"
 #include "forensics/shrink.hpp"
 #include "forensics/trace.hpp"
@@ -64,39 +66,23 @@ struct Options {
 bool parse_args(int argc, char** argv, Options& opt) {
   if (argc < 2) return false;
   opt.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value_of = [&arg](const std::string& prefix) { return arg.substr(prefix.size()); };
-    if (arg.rfind("--scenario=", 0) == 0) {
-      opt.scenario = value_of("--scenario=");
-    } else if (arg.rfind("--case=", 0) == 0) {
-      opt.shrink_case = value_of("--case=");
-    } else if (arg.rfind("--trace=", 0) == 0) {
-      opt.trace_path = value_of("--trace=");
-    } else if (arg.rfind("--trace2=", 0) == 0) {
-      opt.trace2_path = value_of("--trace2=");
-    } else if (arg.rfind("--out=", 0) == 0) {
-      opt.out_path = value_of("--out=");
-    } else if (arg.rfind("--json=", 0) == 0) {
-      opt.json_path = value_of("--json=");
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      opt.seed = std::strtoull(value_of("--seed=").c_str(), nullptr, 10);
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      opt.threads = static_cast<int>(std::strtol(value_of("--threads=").c_str(), nullptr, 10));
-      if (opt.threads < 1) opt.threads = 1;
-    } else if (arg.rfind("--workers=", 0) == 0) {
-      opt.workers = static_cast<int>(std::strtol(value_of("--workers=").c_str(), nullptr, 10));
-      if (opt.workers < 1) opt.workers = 1;
-    } else if (arg.rfind("--n=", 0) == 0) {
-      opt.n = static_cast<NodeId>(std::strtol(value_of("--n=").c_str(), nullptr, 10));
-    } else if (arg.rfind("--t=", 0) == 0) {
-      opt.t = std::strtoll(value_of("--t=").c_str(), nullptr, 10);
-    } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
-      return false;
-    }
-  }
-  return true;
+  return lft::cli::ArgParser(argc, argv, /*first_arg=*/2)
+      .on_str("--scenario", opt.scenario)
+      .on_str("--case", opt.shrink_case)
+      .on_str("--trace", opt.trace_path)
+      .on_str("--trace2", opt.trace2_path)
+      .on_str("--out", opt.out_path)
+      .on_str("--json", opt.json_path)
+      .on_u64("--seed", opt.seed)
+      .on_int("--threads", opt.threads, 1)
+      .on_int("--workers", opt.workers, 1)
+      .on_value("--n",
+                [&opt](const std::string& v) {
+                  opt.n = static_cast<NodeId>(std::strtol(v.c_str(), nullptr, 10));
+                  return true;
+                })
+      .on_i64("--t", opt.t, std::numeric_limits<std::int64_t>::min())
+      .parse();
 }
 
 void print_trace_summary(const Trace& trace) {

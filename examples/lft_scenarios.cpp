@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_json.hpp"
+#include "common/cli.hpp"
 #include "forensics/replay.hpp"
 #include "scenarios/scenarios.hpp"
 
@@ -58,34 +59,15 @@ struct Options {
 };
 
 bool parse_args(int argc, char** argv, Options& opt) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value_of = [&arg](const std::string& prefix) {
-      return arg.substr(prefix.size());
-    };
-    if (arg == "--list") {
-      opt.list = true;
-    } else if (arg == "--all") {
-      opt.all = true;
-    } else if (arg == "--verify-determinism") {
-      opt.verify_determinism = true;
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      opt.seed = std::strtoull(value_of("--seed=").c_str(), nullptr, 10);
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      opt.threads = static_cast<int>(std::strtol(value_of("--threads=").c_str(), nullptr, 10));
-      if (opt.threads < 1) opt.threads = 1;
-    } else if (arg.rfind("--json=", 0) == 0) {
-      opt.json_path = value_of("--json=");
-    } else if (arg.rfind("--run=", 0) == 0) {
-      for (auto& name : lft::bench::split_csv(value_of("--run="))) {
-        opt.names.push_back(std::move(name));
-      }
-    } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
-      return false;
-    }
-  }
-  return true;
+  return lft::cli::ArgParser(argc, argv)
+      .on_flag("--list", opt.list)
+      .on_flag("--all", opt.all)
+      .on_flag("--verify-determinism", opt.verify_determinism)
+      .on_u64("--seed", opt.seed)
+      .on_int("--threads", opt.threads, 1)
+      .on_str("--json", opt.json_path)
+      .on_csv("--run", opt.names)
+      .parse();
 }
 
 }  // namespace

@@ -1,0 +1,88 @@
+// lft_serve: the replicated coordination service, live. An epoll server
+// multiplexing TCP client sessions over a ReplicaGroup that orders every
+// proposal batch through a Few-Crashes-Consensus slot (the paper's Figure 3
+// assembly) — the same Stage/Process code the simulator runs, behind the
+// core::Transport seam.
+//
+//   lft_serve [--port=N] [--n=N] [--t=N] [--sockets] [--no-shutdown]
+//             [--trace=PATH]
+//
+// --port=0 (default) picks a free port and prints it. --sockets runs each
+// replica on its own thread behind an AF_UNIX socketpair instead of inline.
+// --trace=PATH records the first commit slot as an LFTTRACE file that
+// `lft_forensics replay --trace=PATH` re-executes under the sim engine.
+// --no-shutdown ignores client kShutdown frames (run until killed).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/cli.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: lft_serve [--port=N] [--n=N] [--t=N] [--sockets] [--no-shutdown]\n"
+      "                 [--trace=PATH]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  int n = lft::service::kDefaultGroupSize;
+  std::int64_t t = lft::service::kDefaultFaultBudget;
+  bool sockets = false;
+  bool no_shutdown = false;
+  std::string trace_path;
+  const bool parsed = lft::cli::ArgParser(argc, argv)
+                          .on_int("--port", port, 0)
+                          .on_int("--n", n, 1)
+                          .on_i64("--t", t, 0)
+                          .on_flag("--sockets", sockets)
+                          .on_flag("--no-shutdown", no_shutdown)
+                          .on_str("--trace", trace_path)
+                          .parse();
+  if (!parsed) {
+    print_usage();
+    return 2;
+  }
+  if (t >= n || 5 * t >= n) {
+    std::fprintf(stderr, "lft_serve: need 5t < n (got n=%d t=%lld)\n", n,
+                 static_cast<long long>(t));
+    return 2;
+  }
+
+  lft::service::ServerOptions options;
+  options.port = static_cast<std::uint16_t>(port);
+  options.n = static_cast<lft::NodeId>(n);
+  options.t = t;
+  options.use_sockets = sockets;
+  options.allow_shutdown = !no_shutdown;
+  options.trace_path = trace_path;
+
+  lft::service::Server server(options);
+  std::printf("lft_serve: listening on 127.0.0.1:%u (n=%d t=%lld replicas=%s)\n",
+              server.port(), n, static_cast<long long>(t),
+              sockets ? "socketpair threads" : "inline");
+  if (!trace_path.empty()) {
+    std::printf("lft_serve: first commit slot will be traced to %s\n", trace_path.c_str());
+  }
+  std::fflush(stdout);
+
+  server.run();
+
+  const auto& stats = server.stats();
+  std::printf(
+      "lft_serve: shut down after %llu sessions, %llu proposals (%llu duplicates), "
+      "%llu commit batches, %llu log entries, %llu consensus slots\n",
+      static_cast<unsigned long long>(stats.sessions_accepted),
+      static_cast<unsigned long long>(stats.proposals),
+      static_cast<unsigned long long>(stats.duplicates),
+      static_cast<unsigned long long>(stats.commit_batches),
+      static_cast<unsigned long long>(server.group().machine().size()),
+      static_cast<unsigned long long>(server.group().slots()));
+  return 0;
+}

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Schema check for the lft_bench_client --json artifact (BENCH_service.json).
+
+Validates the single service_closed_loop row CI archives from the
+service-smoke step:
+  * the full schema is present (bench, requests, clients, window, slots,
+    wall_ms, req_per_s, p50_ms, p95_ms, ok) with sane types;
+  * ok == "yes" (the closed loop lost, duplicated, and reordered nothing);
+  * the counters are consistent (requests/clients/slots positive, at least
+    one consensus slot per commit batch is impossible to exceed requests).
+
+Run by the CI service-smoke step after lft_bench_client exits, so the
+artifact schema cannot drift silently.
+
+Usage: check_service_smoke.py BENCH_service.json
+"""
+
+import json
+import sys
+
+REQUIRED_FIELDS = {
+    "bench": str,
+    "requests": int,
+    "clients": int,
+    "window": int,
+    "slots": int,
+    "wall_ms": (int, float),
+    "req_per_s": (int, float),
+    "p50_ms": (int, float),
+    "p95_ms": (int, float),
+    "ok": str,
+}
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        raise SystemExit(f"usage: {sys.argv[0]} BENCH_service.json")
+    path = sys.argv[1]
+    with open(path, encoding="utf-8") as f:
+        rows = json.load(f)
+    if not isinstance(rows, list) or len(rows) != 1:
+        raise SystemExit(f"FAIL: {path} must be a one-row JSON array")
+    row = rows[0]
+
+    for field, types in REQUIRED_FIELDS.items():
+        if field not in row:
+            raise SystemExit(f"FAIL: row lacks '{field}'")
+        if not isinstance(row[field], types):
+            raise SystemExit(
+                f"FAIL: field '{field}' has type {type(row[field]).__name__}")
+
+    if row["bench"] != "service_closed_loop":
+        raise SystemExit(f"FAIL: bench={row['bench']}, expected service_closed_loop")
+    if row["ok"] != "yes":
+        raise SystemExit(f"FAIL: the closed loop reported ok={row['ok']}")
+    for positive in ("requests", "clients", "window", "slots"):
+        if row[positive] <= 0:
+            raise SystemExit(f"FAIL: {positive}={row[positive]}")
+    if row["slots"] > row["requests"]:
+        raise SystemExit(
+            f"FAIL: {row['slots']} slots for {row['requests']} requests — "
+            "group commit must batch at least one command per slot")
+    if row["p50_ms"] > row["p95_ms"]:
+        raise SystemExit(f"FAIL: p50 {row['p50_ms']} > p95 {row['p95_ms']}")
+
+    print(f"OK: {row['requests']} requests over {row['clients']} clients in "
+          f"{row['slots']} slots, {row['req_per_s']:.0f} req/s, schema valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

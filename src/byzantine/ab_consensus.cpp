@@ -69,7 +69,7 @@ bool AbConsensusProcess::is_little() const noexcept {
   return self_ < cfg_->params.little_count;
 }
 
-void AbConsensusProcess::adopt(const sim::Message& m, sim::Context& ctx, bool forward) {
+void AbConsensusProcess::adopt(const sim::Message& m, core::ProtocolIo& io, bool forward) {
   if (certified_.has_value()) return;
   ByteReader reader(m.body());
   auto set = CertifiedSet::decode(reader, cfg_->params.little_count);
@@ -78,22 +78,22 @@ void AbConsensusProcess::adopt(const sim::Message& m, sim::Context& ctx, bool fo
     return;
   }
   certified_ = std::move(*set);
-  ctx.decide(certified_->values.max_value());
-  if (forward) forward_certified(ctx);
+  io.decide(certified_->values.max_value());
+  if (forward) forward_certified(io);
 }
 
-void AbConsensusProcess::forward_certified(sim::Context& ctx) {
+void AbConsensusProcess::forward_certified(core::ProtocolIo& io) {
   if (forwarded_ || !certified_.has_value()) return;
   forwarded_ = true;
   ByteWriter w;
   certified_->encode(w);
   for (NodeId nb : cfg_->spread_h->neighbors(self_)) {
-    ctx.send(nb, kTagAbSpread, 0, std::max<std::uint64_t>(1, w.size() * 8), w.view());
+    io.send(nb, kTagAbSpread, 0, std::max<std::uint64_t>(1, w.size() * 8), w.view());
   }
 }
 
-void AbConsensusProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
-  const Round r = ctx.round();
+void AbConsensusProcess::run_round(Round r, std::span<const sim::Message> inbox,
+                                   core::ProtocolIo& io) {
   const auto& p = cfg_->params;
   const Round ds_end = p.t + 2;              // rounds [0, ds_end): DS
   const Round cert_sign = ds_end;            // sign + broadcast digest sig
@@ -108,11 +108,11 @@ void AbConsensusProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
 
   if (r < ds_end) {
     if (is_little()) {
-      auto combined = ds_.step(r, inbox.all());
+      auto combined = ds_.step(r, inbox);
       if (!combined.empty()) {
         for (NodeId w = 0; w < p.little_count; ++w) {
           if (w != self_) {
-            ctx.send(w, kTagDsRelay, 0,
+            io.send(w, kTagDsRelay, 0,
                      std::max<std::uint64_t>(1, combined.size() * 8), combined);
           }
         }
@@ -130,7 +130,7 @@ void AbConsensusProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
       w.put_varint(static_cast<std::uint64_t>(sig.signer));
       w.put_u64(sig.tag);
       for (NodeId v = 0; v < p.little_count; ++v) {
-        if (v != self_) ctx.send(v, kTagAbCert, 0, 128, w.view());
+        if (v != self_) io.send(v, kTagAbCert, 0, 128, w.view());
       }
     }
     return;
@@ -156,7 +156,7 @@ void AbConsensusProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
       cert_sigs_.erase(std::unique(cert_sigs_.begin(), cert_sigs_.end()), cert_sigs_.end());
       if (static_cast<NodeId>(cert_sigs_.size()) >= p.cert_threshold) {
         certified_ = CertifiedSet{*acs_, cert_sigs_};
-        ctx.decide(certified_->values.max_value());
+        io.decide(certified_->values.max_value());
       }
     }
     return;
@@ -167,7 +167,7 @@ void AbConsensusProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
       ByteWriter w;
       certified_->encode(w);
       for (NodeId j = self_ + p.little_count; j < p.n; j += p.little_count) {
-        ctx.send(j, kTagAbNotify, 0, std::max<std::uint64_t>(1, w.size() * 8), w.view());
+        io.send(j, kTagAbNotify, 0, std::max<std::uint64_t>(1, w.size() * 8), w.view());
       }
     }
     return;
@@ -175,16 +175,16 @@ void AbConsensusProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
 
   if (r == notify_recv) {
     for (const auto& m : inbox) {
-      if (m.tag == kTagAbNotify) adopt(m, ctx, /*forward=*/false);
+      if (m.tag == kTagAbNotify) adopt(m, io, /*forward=*/false);
     }
     return;
   }
 
   if (r >= spread_begin && r <= spread_end) {
     for (const auto& m : inbox) {
-      if (m.tag == kTagAbSpread) adopt(m, ctx, /*forward=*/r < spread_end);
+      if (m.tag == kTagAbSpread) adopt(m, io, /*forward=*/r < spread_end);
     }
-    if (r == spread_begin) forward_certified(ctx);
+    if (r == spread_begin) forward_certified(io);
     return;
   }
 
@@ -195,7 +195,7 @@ void AbConsensusProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
       w.put_varint(static_cast<std::uint64_t>(sig.signer));
       w.put_u64(sig.tag);
       for (NodeId v = 0; v < p.little_count; ++v) {
-        if (v != self_) ctx.send(v, kTagAbInquiry, 0, 128, w.view());
+        if (v != self_) io.send(v, kTagAbInquiry, 0, 128, w.view());
       }
     }
     return;
@@ -216,7 +216,7 @@ void AbConsensusProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
         if (sig.signer != m.from || !cfg_->registry->verify(sig, inquiry_digest(m.from))) {
           continue;
         }
-        ctx.send(m.from, kTagAbReply, 0,
+        io.send(m.from, kTagAbReply, 0,
                  std::max<std::uint64_t>(1, set_bytes.size() * 8), set_bytes.view());
       }
     }
@@ -225,10 +225,14 @@ void AbConsensusProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
 
   if (r >= finish) {
     for (const auto& m : inbox) {
-      if (m.tag == kTagAbReply) adopt(m, ctx, /*forward=*/false);
+      if (m.tag == kTagAbReply) adopt(m, io, /*forward=*/false);
     }
-    ctx.halt();
+    io.halt();
   }
+}
+
+void AbConsensusProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
+  core::drive_on_engine(*this, ctx, inbox);
 }
 
 // ---- Byzantine behaviors -------------------------------------------------------
@@ -368,8 +372,7 @@ AbOutcome run_ab_consensus(const AbParams& params, std::span<const std::uint64_t
 }
 
 AbOutcome run_ab_consensus_plan(const AbParams& params, std::span<const std::uint64_t> inputs,
-                                sim::FaultPlan plan, int threads,
-                                sim::EngineScratch* scratch, sim::TraceSink* trace) {
+                                sim::FaultPlan plan, const core::RunOptions& options) {
   LFT_ASSERT(static_cast<NodeId>(inputs.size()) == params.n);
   auto cfg = AbConfig::build(params);
 
@@ -378,9 +381,9 @@ AbOutcome run_ab_consensus_plan(const AbParams& params, std::span<const std::uin
   engine_config.crash_budget = params.t;
   engine_config.omission_budget = params.t;
   engine_config.byzantine_budget = params.t;
-  engine_config.threads = threads;
-  engine_config.scratch = scratch;
-  engine_config.trace = trace;
+  engine_config.threads = options.threads;
+  engine_config.scratch = options.scratch;
+  engine_config.trace = options.trace;
   sim::Engine engine(params.n, engine_config);
 
   for (NodeId v = 0; v < params.n; ++v) {

@@ -20,6 +20,8 @@
 
 #include "byzantine/acs.hpp"
 #include "byzantine/dolev_strong.hpp"
+#include "core/io.hpp"
+#include "core/run_options.hpp"
 #include "graph/graph.hpp"
 #include "sim/engine.hpp"
 
@@ -47,10 +49,12 @@ struct AbConfig {
   [[nodiscard]] Round duration() const;
 };
 
-/// Honest protocol logic at one node.
-class AbConsensusProcess final : public sim::Process {
+/// Honest protocol logic at one node (a core::Program: engine- and
+/// transport-agnostic, driven through ProtocolIo).
+class AbConsensusProcess final : public sim::Process, public core::Program {
  public:
   AbConsensusProcess(std::shared_ptr<const AbConfig> cfg, NodeId self, std::uint64_t input);
+  void run_round(Round r, std::span<const sim::Message> inbox, core::ProtocolIo& io) override;
   void on_round(sim::Context& ctx, const sim::Inbox& inbox) override;
 
   [[nodiscard]] bool has_certified() const noexcept { return certified_.has_value(); }
@@ -58,8 +62,8 @@ class AbConsensusProcess final : public sim::Process {
 
  private:
   [[nodiscard]] bool is_little() const noexcept;
-  void adopt(const sim::Message& m, sim::Context& ctx, bool forward);
-  void forward_certified(sim::Context& ctx);
+  void adopt(const sim::Message& m, core::ProtocolIo& io, bool forward);
+  void forward_certified(core::ProtocolIo& io);
 
   std::shared_ptr<const AbConfig> cfg_;
   NodeId self_;
@@ -97,12 +101,10 @@ struct AbOutcome {
 /// Runs AB-Consensus against a declarative fault plan. Takeover kinds in the
 /// plan are resolved through make_byzantine_process ("silent", "equivocate",
 /// "flood"); crash/omission/partition/link events apply as scheduled, each
-/// fault class budgeted at t. `threads` opts into the engine's deterministic
-/// parallel stepper (bit-identical Reports for every value).
+/// fault class budgeted at t. Execution knobs travel in core::RunOptions.
 [[nodiscard]] AbOutcome run_ab_consensus_plan(const AbParams& params,
                                               std::span<const std::uint64_t> inputs,
-                                              sim::FaultPlan plan, int threads = 1,
-                                              sim::EngineScratch* scratch = nullptr,
-                                              sim::TraceSink* trace = nullptr);
+                                              sim::FaultPlan plan,
+                                              const core::RunOptions& options = {});
 
 }  // namespace lft::byzantine

@@ -1,0 +1,149 @@
+// Shared `--flag` / `--name=value` parsing for the lft_* CLIs
+// (lft_scenarios, lft_fleet, lft_forensics, lft_serve, lft_bench_client).
+// Declare sinks, then parse(): unknown or malformed arguments print to
+// stderr and fail, so every tool keeps the same strict surface. Header-only
+// on purpose — the CLIs are the only consumers.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lft::cli {
+
+/// Splits "a,b,c" into {"a","b","c"}; empty segments are dropped.
+[[nodiscard]] inline std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) parts.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+class ArgParser {
+ public:
+  /// `first_arg` skips positionals the caller consumed itself (e.g. a
+  /// subcommand in argv[1] — pass 2).
+  ArgParser(int argc, char** argv, int first_arg = 1) {
+    for (int i = first_arg; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  /// `--name` (no value).
+  ArgParser& on_flag(const char* name, bool& out) {
+    handlers_.push_back(Handler{name, /*takes_value=*/false, /*allows_bare=*/true,
+                                [&out](const std::string&) {
+                                  out = true;
+                                  return true;
+                                }});
+    return *this;
+  }
+
+  /// `--name=string`.
+  ArgParser& on_str(const char* name, std::string& out) {
+    handlers_.push_back(Handler{name, true, false, [&out](const std::string& v) {
+                                  out = v;
+                                  return true;
+                                }});
+    return *this;
+  }
+
+  /// `--name=N`, unsigned.
+  ArgParser& on_u64(const char* name, std::uint64_t& out) {
+    handlers_.push_back(Handler{name, true, false, [&out](const std::string& v) {
+                                  out = std::strtoull(v.c_str(), nullptr, 10);
+                                  return true;
+                                }});
+    return *this;
+  }
+
+  /// `--name=N`, signed, clamped below at `min`.
+  ArgParser& on_i64(const char* name, std::int64_t& out, std::int64_t min) {
+    handlers_.push_back(Handler{name, true, false, [&out, min](const std::string& v) {
+                                  out = std::strtoll(v.c_str(), nullptr, 10);
+                                  if (out < min) out = min;
+                                  return true;
+                                }});
+    return *this;
+  }
+
+  /// `--name=N`, int, clamped below at `min`.
+  ArgParser& on_int(const char* name, int& out, int min) {
+    handlers_.push_back(Handler{name, true, false, [&out, min](const std::string& v) {
+                                  out = static_cast<int>(std::strtol(v.c_str(), nullptr, 10));
+                                  if (out < min) out = min;
+                                  return true;
+                                }});
+    return *this;
+  }
+
+  /// `--name=a,b,c` — appends the CSV parts.
+  ArgParser& on_csv(const char* name, std::vector<std::string>& out) {
+    handlers_.push_back(Handler{name, true, false, [&out](const std::string& v) {
+                                  for (auto& part : split_csv(v)) out.push_back(std::move(part));
+                                  return true;
+                                }});
+    return *this;
+  }
+
+  /// Custom sink: `fn` gets the raw value ("" for a bare `--name` when
+  /// `allow_bare`); return false to reject the argument.
+  ArgParser& on_value(const char* name, std::function<bool(const std::string&)> fn,
+                      bool allow_bare = false) {
+    handlers_.push_back(Handler{name, true, allow_bare, std::move(fn)});
+    return *this;
+  }
+
+  /// Applies every argument to its handler; false (with a stderr message)
+  /// on an unknown or rejected argument.
+  [[nodiscard]] bool parse() const {
+    for (const std::string& arg : args_) {
+      bool matched = false;
+      for (const Handler& h : handlers_) {
+        if (h.takes_value && arg.size() > h.name.size() + 1 &&
+            arg.compare(0, h.name.size(), h.name) == 0 && arg[h.name.size()] == '=') {
+          if (!h.apply(arg.substr(h.name.size() + 1))) {
+            std::fprintf(stderr, "bad argument: %s\n", arg.c_str());
+            return false;
+          }
+          matched = true;
+          break;
+        }
+        if (h.allows_bare && arg == h.name) {
+          if (!h.apply(std::string())) {
+            std::fprintf(stderr, "bad argument: %s\n", arg.c_str());
+            return false;
+          }
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  struct Handler {
+    std::string name;
+    bool takes_value = false;
+    bool allows_bare = false;
+    std::function<bool(const std::string&)> apply;
+  };
+
+  std::vector<std::string> args_;
+  std::vector<Handler> handlers_;
+};
+
+}  // namespace lft::cli

@@ -31,9 +31,13 @@ CheckpointProcess::CheckpointProcess(std::shared_ptr<const GossipConfig> gossip_
                               [this]() { return gossip_state_.extant.known(); });
 }
 
+void CheckpointProcess::run_round(Round round, std::span<const sim::Message> inbox,
+                                  ProtocolIo& io) {
+  if (driver_.drive(round, inbox, io)) io.halt();
+}
+
 void CheckpointProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
-  ContextIo io(ctx);
-  if (driver_.drive(ctx.round(), inbox.all(), io)) ctx.halt();
+  drive_on_engine(*this, ctx, inbox);
 }
 
 const DynamicBitset& CheckpointProcess::decided_set() const {
@@ -43,17 +47,16 @@ const DynamicBitset& CheckpointProcess::decided_set() const {
 
 CheckpointOutcome run_checkpointing(const CheckpointParams& params,
                                     std::unique_ptr<sim::FaultInjector> adversary,
-                                    int threads, sim::EngineScratch* scratch,
-                                    sim::TraceSink* trace) {
+                                    const RunOptions& options) {
   auto gossip_cfg = GossipConfig::build(params.gossip);
   auto vec_cfg = VectorConsensusConfig::build(params.consensus);
 
   sim::EngineConfig engine_config;
   engine_config.crash_budget = params.consensus.t;
   engine_config.omission_budget = params.consensus.t;
-  engine_config.threads = threads;
-  engine_config.scratch = scratch;
-  engine_config.trace = trace;
+  engine_config.threads = options.threads;
+  engine_config.scratch = options.scratch;
+  engine_config.trace = options.trace;
   sim::Engine engine(params.consensus.n, engine_config);
   for (NodeId v = 0; v < params.consensus.n; ++v) {
     engine.set_process(v, std::make_unique<CheckpointProcess>(gossip_cfg, vec_cfg, v));

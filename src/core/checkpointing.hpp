@@ -19,11 +19,12 @@ struct CheckpointParams {
   [[nodiscard]] static CheckpointParams practical(NodeId n, std::int64_t t);
 };
 
-class CheckpointProcess final : public sim::Process {
+class CheckpointProcess final : public sim::Process, public Program {
  public:
   CheckpointProcess(std::shared_ptr<const GossipConfig> gossip_cfg,
                     std::shared_ptr<const VectorConsensusConfig> vec_cfg, NodeId self);
 
+  void run_round(Round round, std::span<const sim::Message> inbox, ProtocolIo& io) override;
   void on_round(sim::Context& ctx, const sim::Inbox& inbox) override;
 
   [[nodiscard]] const GossipState& gossip_state() const noexcept { return gossip_state_; }
@@ -56,13 +57,10 @@ struct CheckpointOutcome {
   }
 };
 
-/// `threads` > 1 opts into the engine's deterministic parallel stepper
-/// (bit-identical Reports for every value). `trace` optionally records
-/// per-round digests for the forensics plane.
+/// Execution knobs (parallel stepper, scratch recycling, trace recording)
+/// travel in core::RunOptions; none of them changes any Report bit.
 [[nodiscard]] CheckpointOutcome run_checkpointing(const CheckpointParams& params,
                                                   std::unique_ptr<sim::FaultInjector> adversary,
-                                                  int threads = 1,
-                                                  sim::EngineScratch* scratch = nullptr,
-                                                  sim::TraceSink* trace = nullptr);
+                                                  const RunOptions& options = {});
 
 }  // namespace lft::core

@@ -141,17 +141,17 @@ std::unique_ptr<StageProcess> make_many_crashes_process(const ConsensusParams& p
 }
 
 sim::Report run_system(NodeId n, std::int64_t crash_budget, const ProcessFactory& factory,
-                       std::unique_ptr<sim::FaultInjector> adversary, Round max_rounds,
-                       int threads, sim::EngineScratch* scratch, sim::TraceSink* trace) {
+                       std::unique_ptr<sim::FaultInjector> adversary,
+                       const RunOptions& options) {
   sim::EngineConfig config;
   config.crash_budget = crash_budget;
   // Each fault class gets the same budget t: omission faults are node faults
   // in the same adversary model (Dwork-Halpern-Waarts).
   config.omission_budget = crash_budget;
-  config.max_rounds = max_rounds;
-  config.threads = threads;
-  config.scratch = scratch;
-  config.trace = trace;
+  config.max_rounds = options.max_rounds;
+  config.threads = options.threads;
+  config.scratch = options.scratch;
+  config.trace = options.trace;
   sim::Engine engine(n, config);
   for (NodeId v = 0; v < n; ++v) engine.set_process(v, factory(v));
   if (adversary != nullptr) engine.add_fault_injector(std::move(adversary));

@@ -14,6 +14,7 @@
 
 #include "core/io.hpp"
 #include "core/params.hpp"
+#include "core/run_options.hpp"
 #include "graph/graph.hpp"
 #include "graph/phase_graph.hpp"
 #include "sim/adversary.hpp"
@@ -58,19 +59,14 @@ struct ConsensusOutcome {
                                                   std::span<const int> inputs);
 
 /// Builds the engine, installs processes from `factory(self)`, runs, and
-/// evaluates. The adversary may be null.
+/// evaluates. The adversary may be null. Execution knobs (round cap,
+/// parallel stepper, scratch recycling, trace recording) travel in
+/// core::RunOptions; none of them changes any Report bit.
 using ProcessFactory = std::function<std::unique_ptr<sim::Process>(NodeId)>;
-/// `threads` > 1 opts into the engine's deterministic parallel stepper
-/// (bit-identical Reports for every value). `scratch` optionally recycles
-/// engine buffers across back-to-back executions (fleet mode); it never
-/// changes any Report bit. `trace` optionally records per-round digests for
-/// the forensics plane (see sim/trace.hpp); nullptr records nothing.
 [[nodiscard]] sim::Report run_system(NodeId n, std::int64_t crash_budget,
                                      const ProcessFactory& factory,
                                      std::unique_ptr<sim::FaultInjector> adversary,
-                                     Round max_rounds = Round{1} << 22, int threads = 1,
-                                     sim::EngineScratch* scratch = nullptr,
-                                     sim::TraceSink* trace = nullptr);
+                                     const RunOptions& options = {});
 
 [[nodiscard]] ConsensusOutcome run_few_crashes_consensus(
     const ConsensusParams& params, std::span<const int> inputs,

@@ -8,7 +8,7 @@ namespace {
 
 /// Gossip the inputs as rumors, then vectorized consensus over 2n instances:
 /// [0, n) membership, [n, 2n) membership-with-input-1.
-class AggregateProcess final : public sim::Process {
+class AggregateProcess final : public sim::Process, public Program {
  public:
   AggregateProcess(std::shared_ptr<const GossipConfig> gossip_cfg,
                    std::shared_ptr<const VectorConsensusConfig> vec_cfg, NodeId self,
@@ -32,9 +32,12 @@ class AggregateProcess final : public sim::Process {
     });
   }
 
+  void run_round(Round round, std::span<const sim::Message> inbox, ProtocolIo& io) override {
+    if (driver_.drive(round, inbox, io)) io.halt();
+  }
+
   void on_round(sim::Context& ctx, const sim::Inbox& inbox) override {
-    ContextIo io(ctx);
-    if (driver_.drive(ctx.round(), inbox.all(), io)) ctx.halt();
+    drive_on_engine(*this, ctx, inbox);
   }
 
   [[nodiscard]] const VectorState& vector_state() const noexcept { return vector_state_; }

@@ -331,25 +331,29 @@ GossipProcess::GossipProcess(std::shared_ptr<const GossipConfig> cfg, NodeId sel
   driver_.add(std::make_unique<GossipFinishStage>(cfg, self, state_, /*decide_at_end=*/true));
 }
 
+void GossipProcess::run_round(Round round, std::span<const sim::Message> inbox,
+                              ProtocolIo& io) {
+  if (driver_.drive(round, inbox, io)) io.halt();
+}
+
 void GossipProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
-  ContextIo io(ctx);
-  if (driver_.drive(ctx.round(), inbox.all(), io)) ctx.halt();
+  drive_on_engine(*this, ctx, inbox);
 }
 
 // ---- runner -------------------------------------------------------------------------
 
 GossipOutcome run_gossip(const GossipParams& params, std::span<const std::uint64_t> rumors,
-                         std::unique_ptr<sim::FaultInjector> adversary, int engine_threads,
-                         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+                         std::unique_ptr<sim::FaultInjector> adversary,
+                         const RunOptions& options) {
   LFT_ASSERT(static_cast<NodeId>(rumors.size()) == params.n);
   auto cfg = GossipConfig::build(params);
 
   sim::EngineConfig engine_config;
   engine_config.crash_budget = params.t;
   engine_config.omission_budget = params.t;
-  engine_config.threads = engine_threads;
-  engine_config.scratch = scratch;
-  engine_config.trace = trace;
+  engine_config.threads = options.threads;
+  engine_config.scratch = options.scratch;
+  engine_config.trace = options.trace;
   sim::Engine engine(params.n, engine_config);
   for (NodeId v = 0; v < params.n; ++v) {
     engine.set_process(

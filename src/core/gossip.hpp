@@ -17,6 +17,7 @@
 #include "core/io.hpp"
 #include "core/local_probe.hpp"
 #include "core/params.hpp"
+#include "core/run_options.hpp"
 #include "graph/graph.hpp"
 #include "sim/adversary.hpp"
 
@@ -123,10 +124,12 @@ class GossipFinishStage final : public Stage {
   bool enable_pull_;
 };
 
-/// Full gossip protocol at one node.
-class GossipProcess final : public sim::Process {
+/// Full gossip protocol at one node (a Program: runs under the engine and
+/// under a live core::RoundDriver transport unchanged).
+class GossipProcess final : public sim::Process, public Program {
  public:
   GossipProcess(std::shared_ptr<const GossipConfig> cfg, NodeId self, std::uint64_t rumor);
+  void run_round(Round round, std::span<const sim::Message> inbox, ProtocolIo& io) override;
   void on_round(sim::Context& ctx, const sim::Inbox& inbox) override;
   [[nodiscard]] const GossipState& state() const noexcept { return state_; }
   [[nodiscard]] Round duration() const { return driver_.total_duration(); }
@@ -152,14 +155,11 @@ struct GossipOutcome {
   }
 };
 
-/// `engine_threads` > 1 opts into the engine's deterministic parallel
-/// stepper (bit-identical Reports for every value). `trace` optionally
-/// records per-round digests for the forensics plane.
+/// Execution knobs (parallel stepper, scratch recycling, trace recording)
+/// travel in core::RunOptions; none of them changes any Report bit.
 [[nodiscard]] GossipOutcome run_gossip(const GossipParams& params,
                                        std::span<const std::uint64_t> rumors,
                                        std::unique_ptr<sim::FaultInjector> adversary,
-                                       int engine_threads = 1,
-                                       sim::EngineScratch* scratch = nullptr,
-                                       sim::TraceSink* trace = nullptr);
+                                       const RunOptions& options = {});
 
 }  // namespace lft::core

@@ -31,14 +31,19 @@ bool StageDriver::drive(Round round, std::span<const sim::Message> inbox, Protoc
          round - stage_start_ + 1 >= stages_[current_]->duration();
 }
 
-void StageProcess::on_round(sim::Context& ctx, const sim::Inbox& inbox) {
+void drive_on_engine(Program& program, sim::Context& ctx, const sim::Inbox& inbox) {
   ContextIo io(ctx);
-  if (driver_.drive(ctx.round(), inbox.all(), io)) {
-    ctx.halt();
+  program.run_round(ctx.round(), inbox.all(), io);
+}
+
+void StageProcess::run_round(Round round, std::span<const sim::Message> inbox,
+                             ProtocolIo& io) {
+  if (driver_.drive(round, inbox, io)) {
+    io.halt();
     return;
   }
-  const Round wake = driver_.quiescent_until(ctx.round());
-  if (wake > ctx.round() + 1) ctx.sleep_until(wake);
+  const Round wake = driver_.quiescent_until(round);
+  if (wake > round + 1) io.sleep_until(wake);
 }
 
 }  // namespace lft::core

@@ -5,6 +5,15 @@
 // sim::Engine, and the single-port adapter (src/singleport) expands each
 // stage round into send/poll slots using the stage's declared link plans —
 // the Section 8 construction.
+//
+// ProtocolIo is the transport seam: it carries the complete per-round
+// surface a protocol participant needs (send, decide, halt, sleep,
+// fallback accounting), so protocol code never touches sim::Context
+// directly. A Program is one participant driven round by round through
+// that seam; the same Program object runs under the sim::Engine (via the
+// ContextIo adapter) and under a live core::RoundDriver transport (see
+// core/driver.hpp) — which is what lets the service plane serve real
+// traffic with the identical, unforked protocol implementations.
 #pragma once
 
 #include <cstdint>
@@ -18,7 +27,10 @@
 
 namespace lft::core {
 
-/// What a stage can do to the outside world during a round.
+/// What a protocol participant can do to the outside world during a round.
+/// This is the full per-node surface: both the engine's Context and the live
+/// RoundDriver implement it, so protocol code written against ProtocolIo is
+/// transport-agnostic.
 class ProtocolIo {
  public:
   virtual ~ProtocolIo() = default;
@@ -27,11 +39,34 @@ class ProtocolIo {
   /// storage that is reused right after the call.
   virtual void send(NodeId to, std::uint32_t tag, std::uint64_t value, std::uint64_t bits = 1,
                     sim::PayloadView body = {}) = 0;
-  /// Irrevocable decision (forwarded to the engine's bookkeeping).
+  /// Irrevocable decision (forwarded to the driver's bookkeeping).
   virtual void decide(std::uint64_t value) = 0;
+  /// Voluntarily stops participating from the next round on.
+  virtual void halt() = 0;
+  /// Requests that this node not be stepped again before `wake_round`
+  /// unless a message for it is delivered first (delivery always wakes the
+  /// recipient). Purely a stepping optimization: drivers may ignore it
+  /// only if they step every round anyway.
+  virtual void sleep_until(Round wake_round) = 0;
   /// Marks one activation of a certified-pull epilogue (see DESIGN.md).
   virtual void count_fallback() = 0;
 };
+
+/// One protocol participant, driven round by round through ProtocolIo. The
+/// inbox span is the node's delivered batch in the delivery normal form
+/// (grouped by tag ascending, sorted by sender within each tag group).
+/// Implementations signal completion via io.halt() and may request
+/// event-driven parking via io.sleep_until(); they must not retain the
+/// inbox span or any payload view beyond the call.
+class Program {
+ public:
+  virtual ~Program() = default;
+  virtual void run_round(Round round, std::span<const sim::Message> inbox, ProtocolIo& io) = 0;
+};
+
+/// Bridges a Program to the engine: the one place protocol code meets
+/// sim::Context. Every protocol Process::on_round forwards here.
+void drive_on_engine(Program& program, sim::Context& ctx, const sim::Inbox& inbox);
 
 /// Static per-round link bounds (identical at every node), used by the
 /// single-port adapter to size its send/poll slots.
@@ -116,8 +151,9 @@ class StageDriver {
 };
 
 /// Multi-port driver process for protocols whose shared state is a
-/// BinaryState (AEA, SCV, both consensus algorithms).
-class StageProcess final : public sim::Process {
+/// BinaryState (AEA, SCV, both consensus algorithms). Implements Program,
+/// so the same object runs under the engine and under a live RoundDriver.
+class StageProcess final : public sim::Process, public Program {
  public:
   explicit StageProcess(NodeId self) : self_(self) {}
 
@@ -127,7 +163,10 @@ class StageProcess final : public sim::Process {
   [[nodiscard]] Round total_duration() const { return driver_.total_duration(); }
   [[nodiscard]] StageDriver& driver() noexcept { return driver_; }
 
-  void on_round(sim::Context& ctx, const sim::Inbox& inbox) override;
+  void run_round(Round round, std::span<const sim::Message> inbox, ProtocolIo& io) override;
+  void on_round(sim::Context& ctx, const sim::Inbox& inbox) override {
+    drive_on_engine(*this, ctx, inbox);
+  }
 
   /// Post-run inspection.
   [[nodiscard]] const BinaryState& state() const noexcept { return state_; }
@@ -140,7 +179,11 @@ class StageProcess final : public sim::Process {
   BinaryState state_;
 };
 
-/// Adapts the engine context to ProtocolIo (shared by protocol processes).
+/// Adapts the engine context to ProtocolIo: one of the two transport-seam
+/// implementations (the other is the RoundDriver's buffering io in
+/// core/driver.hpp). A zero-cost forwarding shim — every method inlines to
+/// the corresponding Context call, so driving protocols through the seam
+/// costs nothing on the engine hot path.
 class ContextIo final : public ProtocolIo {
  public:
   explicit ContextIo(sim::Context& ctx) : ctx_(&ctx) {}
@@ -149,6 +192,8 @@ class ContextIo final : public ProtocolIo {
     ctx_->send(to, tag, value, bits, body);
   }
   void decide(std::uint64_t value) override { ctx_->decide(value); }
+  void halt() override { ctx_->halt(); }
+  void sleep_until(Round wake_round) override { ctx_->sleep_until(wake_round); }
   void count_fallback() override { ctx_->count_fallback(); }
 
  private:

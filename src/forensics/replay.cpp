@@ -128,7 +128,10 @@ RecordedRun record(const scenarios::Scenario& scenario, std::uint64_t seed, int 
   if (t < 0) t = n == scenario.n ? scenario.t : scenario.scaled_t(n);
   TraceRecorder recorder;
   RecordedRun run;
-  run.result = scenario.run_at(seed, threads, n, t, /*scratch=*/nullptr, &recorder);
+  core::RunOptions options;
+  options.threads = threads;
+  options.trace = &recorder;
+  run.result = scenario.run_at(seed, n, t, options);
   run.trace = recorder.take();
   run.trace.meta.scenario = scenario.name;
   run.trace.meta.seed = seed;
@@ -157,9 +160,11 @@ ReplayResult replay_plan(const scenarios::Scenario& scenario, const Trace& recor
                  "replay_plan: scenario has no plan-parameterized runner");
   TraceRecorder recorder;
   ReplayResult result;
-  result.result = scenario.run_plan(recorded.meta.seed, threads, recorded.meta.n,
-                                    recorded.meta.t, std::move(plan), /*scratch=*/nullptr,
-                                    &recorder);
+  core::RunOptions options;
+  options.threads = threads;
+  options.trace = &recorder;
+  result.result = scenario.run_plan(recorded.meta.seed, recorded.meta.n, recorded.meta.t,
+                                    std::move(plan), options);
   result.trace = recorder.take();
   result.trace.meta = recorded.meta;
   result.trace.meta.threads = threads;

@@ -88,8 +88,9 @@ class Shrinker {
   /// One serial oracle run (counts against the budget).
   [[nodiscard]] bool evaluate(const FaultPlan& plan, NodeId n, std::int64_t t) {
     ++evaluations_;
-    return violates(problem_.run(plan, problem_.seed, options_.threads, n, t,
-                                 /*scratch=*/nullptr, /*trace=*/nullptr));
+    core::RunOptions run_options;
+    run_options.threads = options_.threads;
+    return violates(problem_.run(plan, problem_.seed, n, t, run_options));
   }
 
   [[nodiscard]] bool budget_left(std::size_t upcoming) const {
@@ -110,8 +111,10 @@ class Shrinker {
       handles.push_back(
           fleet_.submit([this, plan = candidates[i], n, t, flags, i](
                             sim::EngineScratch* scratch) {
-            ScenarioResult result = problem_.run(plan, problem_.seed, options_.threads, n, t,
-                                                 scratch, /*trace=*/nullptr);
+            core::RunOptions run_options;
+            run_options.threads = options_.threads;
+            run_options.scratch = scratch;
+            ScenarioResult result = problem_.run(plan, problem_.seed, n, t, run_options);
             (*flags)[i] = violates(result) ? 1 : 0;
             return std::move(result.report);
           }));
@@ -313,10 +316,9 @@ ShrinkProblem scenario_problem(const scenarios::Scenario& scenario, sim::FaultPl
                  "scenario_problem: scenario has no plan-parameterized runner");
   ShrinkProblem problem;
   const scenarios::Scenario* s = &scenario;  // registry scenarios are static
-  problem.run = [s](const FaultPlan& candidate, std::uint64_t run_seed, int threads,
-                    NodeId size, std::int64_t budget, sim::EngineScratch* scratch,
-                    sim::TraceSink* trace) {
-    return s->run_plan(run_seed, threads, size, budget, candidate, scratch, trace);
+  problem.run = [s](const FaultPlan& candidate, std::uint64_t run_seed, NodeId size,
+                    std::int64_t budget, const core::RunOptions& run_options) {
+    return s->run_plan(run_seed, size, budget, candidate, run_options);
   };
   problem.plan = std::move(plan);
   problem.seed = seed;
@@ -340,8 +342,11 @@ ShrinkResult shrink(const ShrinkProblem& problem, const ShrinkOptions& options) 
   // The input must reproduce before there is anything to minimize; record a
   // trace of it while checking (its length also clamps open-ended windows).
   TraceRecorder baseline;
-  ScenarioResult first = problem.run(problem.plan, problem.seed, options.threads, problem.n,
-                                     problem.t, /*scratch=*/nullptr, &baseline);
+  core::RunOptions baseline_options;
+  baseline_options.threads = options.threads;
+  baseline_options.trace = &baseline;
+  ScenarioResult first =
+      problem.run(problem.plan, problem.seed, problem.n, problem.t, baseline_options);
   if (!(problem.violates ? problem.violates(first) : !first.ok)) {
     result.violating = false;
     result.final_events = result.initial_events;
@@ -373,8 +378,9 @@ ShrinkResult shrink(const ShrinkProblem& problem, const ShrinkOptions& options) 
   // Re-verify the minimal repro serially with a recorder, then once more
   // through the parallel stepper: the traces must be bit-identical.
   TraceRecorder serial;
-  result.result =
-      problem.run(plan, problem.seed, /*threads=*/1, n, t, /*scratch=*/nullptr, &serial);
+  core::RunOptions serial_options;
+  serial_options.trace = &serial;
+  result.result = problem.run(plan, problem.seed, n, t, serial_options);
   result.violating =
       problem.violates ? problem.violates(result.result) : !result.result.ok;
   result.trace = serial.take();
@@ -385,8 +391,10 @@ ShrinkResult shrink(const ShrinkProblem& problem, const ShrinkOptions& options) 
   result.trace.report_fingerprint = scenarios::fingerprint(result.result.report);
 
   TraceRecorder parallel;
-  ScenarioResult parallel_result =
-      problem.run(plan, problem.seed, /*threads=*/4, n, t, /*scratch=*/nullptr, &parallel);
+  core::RunOptions parallel_options;
+  parallel_options.threads = 4;
+  parallel_options.trace = &parallel;
+  ScenarioResult parallel_result = problem.run(plan, problem.seed, n, t, parallel_options);
   Trace parallel_trace = parallel.take();
   parallel_trace.report_fingerprint = scenarios::fingerprint(parallel_result.report);
   result.parallel_divergence = diff(result.trace, parallel_trace);
@@ -444,9 +452,8 @@ class FragileCoordinator final : public sim::Process {
 /// budgets opened up to n (the "over-budget adversary": the protocol is
 /// built for t faults, the plan may spend many more). The oracle invariant
 /// is agreement alone — termination is unconditional in this protocol.
-ScenarioResult run_fragile_coordinator(const FaultPlan& plan, std::uint64_t seed, int threads,
-                                       NodeId n, std::int64_t t, sim::EngineScratch* scratch,
-                                       sim::TraceSink* trace) {
+ScenarioResult run_fragile_coordinator(const FaultPlan& plan, std::uint64_t seed, NodeId n,
+                                       std::int64_t t, const core::RunOptions& options) {
   std::vector<int> inputs(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) inputs[static_cast<std::size_t>(v)] = v % 2;
 
@@ -454,9 +461,9 @@ ScenarioResult run_fragile_coordinator(const FaultPlan& plan, std::uint64_t seed
   config.max_rounds = static_cast<Round>(t) + 8;
   config.crash_budget = n;
   config.omission_budget = n;
-  config.threads = threads;
-  config.scratch = scratch;
-  config.trace = trace;
+  config.threads = options.threads;
+  config.scratch = options.scratch;
+  config.trace = options.trace;
   sim::Engine engine(n, config);
   for (NodeId v = 0; v < n; ++v) {
     engine.set_process(v, std::make_unique<FragileCoordinator>(

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "forensics/replay.hpp"
+#include "core/run_options.hpp"
 #include "forensics/trace.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/faults.hpp"
@@ -38,8 +39,8 @@ namespace lft::forensics {
 /// shrinker's oracle). Must be a pure function of its arguments — candidate
 /// evaluations run concurrently on fleet workers.
 using PlanRunner = std::function<scenarios::ScenarioResult(
-    const sim::FaultPlan& plan, std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-    sim::EngineScratch* scratch, sim::TraceSink* trace)>;
+    const sim::FaultPlan& plan, std::uint64_t seed, NodeId n, std::int64_t t,
+    const core::RunOptions& options)>;
 
 /// One shrink instance: the runner, the violating plan, and the shape it
 /// violates at.

@@ -1,0 +1,61 @@
+#include "net/epoll.hpp"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "common/assert.hpp"
+
+namespace lft::net {
+
+EpollLoop::EpollLoop() : epoll_fd_(::epoll_create1(0)) {
+  LFT_ASSERT_MSG(epoll_fd_ >= 0, "epoll_create1() failed");
+}
+
+EpollLoop::~EpollLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EpollLoop::add(int fd, std::uint32_t events, Callback cb) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  LFT_ASSERT_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0, "epoll add failed");
+  callbacks_[fd] = std::move(cb);
+}
+
+void EpollLoop::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  LFT_ASSERT_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0, "epoll mod failed");
+}
+
+void EpollLoop::remove(int fd) {
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+int EpollLoop::wait(int timeout_ms) {
+  epoll_event events[64];
+  int n = 0;
+  do {
+    n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  LFT_ASSERT_MSG(n >= 0, "epoll_wait failed");
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    // A callback earlier in this batch may have removed this fd.
+    const auto it = callbacks_.find(fd);
+    if (it == callbacks_.end()) continue;
+    // Copy: the callback may remove itself (invalidating the map slot).
+    Callback cb = it->second;
+    cb(events[i].events);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+}  // namespace lft::net

@@ -1,0 +1,41 @@
+// A minimal epoll reactor: register fds with callbacks, dispatch one
+// wait-batch at a time. Single-threaded by design — the service server and
+// the transport hub both run one reactor on one thread, which is what keeps
+// their behavior deterministic enough to twin against the sim engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace lft::net {
+
+class EpollLoop {
+ public:
+  /// Called with the ready event mask (EPOLLIN | EPOLLHUP | ...).
+  using Callback = std::function<void(std::uint32_t events)>;
+
+  EpollLoop();
+  ~EpollLoop();
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  /// Registers `fd` (not owned) for `events` (EPOLLIN etc.).
+  void add(int fd, std::uint32_t events, Callback cb);
+  void modify(int fd, std::uint32_t events);
+  void remove(int fd);
+
+  /// Waits up to `timeout_ms` (-1 blocks) and dispatches every ready
+  /// callback once. Returns the number of events dispatched. Callbacks may
+  /// add/remove fds, including removing themselves.
+  int wait(int timeout_ms);
+
+  [[nodiscard]] std::size_t watched() const noexcept { return callbacks_.size(); }
+
+ private:
+  int epoll_fd_ = -1;
+  std::unordered_map<int, Callback> callbacks_;
+};
+
+}  // namespace lft::net

@@ -1,0 +1,67 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace lft::net {
+
+namespace {
+
+std::uint32_t read_len(const std::byte* p) {
+  std::uint32_t len = 0;
+  std::memcpy(&len, p, sizeof(len));
+  return len;  // little-endian hosts only, like common/codec
+}
+
+}  // namespace
+
+void append_frame(std::vector<std::byte>& out, std::span<const std::byte> payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const auto* p = reinterpret_cast<const std::byte*>(&len);
+  out.insert(out.end(), p, p + sizeof(len));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+bool send_frame(const Fd& fd, std::span<const std::byte> payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::byte prefix[sizeof(len)];
+  std::memcpy(prefix, &len, sizeof(len));
+  return send_all(fd, std::span<const std::byte>(prefix, sizeof(len))) &&
+         send_all(fd, payload);
+}
+
+bool recv_frame(const Fd& fd, std::vector<std::byte>& payload) {
+  std::byte prefix[sizeof(std::uint32_t)];
+  if (!recv_all(fd, std::span<std::byte>(prefix, sizeof(prefix)))) return false;
+  const std::uint32_t len = read_len(prefix);
+  if (len > kMaxFrameBytes) return false;
+  payload.resize(len);
+  return len == 0 || recv_all(fd, std::span<std::byte>(payload.data(), len));
+}
+
+void FrameParser::feed(std::span<const std::byte> bytes) {
+  // Compact once the consumed prefix dominates, keeping feed() amortized
+  // linear without re-copying on every frame.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+bool FrameParser::next(std::vector<std::byte>& payload) {
+  if (corrupt_) return false;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < sizeof(std::uint32_t)) return false;
+  const std::uint32_t len = read_len(buf_.data() + pos_);
+  if (len > kMaxFrameBytes) {
+    corrupt_ = true;
+    return false;
+  }
+  if (avail < sizeof(std::uint32_t) + len) return false;
+  payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + sizeof(std::uint32_t)),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + sizeof(std::uint32_t) + len));
+  pos_ += sizeof(std::uint32_t) + len;
+  return true;
+}
+
+}  // namespace lft::net

@@ -1,0 +1,51 @@
+// Length-prefixed framing over stream sockets: every frame is a u32
+// little-endian payload length followed by the payload bytes. The parser is
+// incremental — feed it whatever the socket produced and drain complete
+// frames — so it composes with both blocking reads (replica endpoints) and
+// epoll-driven nonblocking reads (the service server and the transport hub).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace lft::net {
+
+/// Frames larger than this are treated as protocol corruption (a desynced
+/// or malicious peer), not as a request for a 4 GiB allocation.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 26;  // 64 MiB
+
+/// Appends [u32 len][payload] to `out`.
+void append_frame(std::vector<std::byte>& out, std::span<const std::byte> payload);
+
+/// Blocking whole-frame send/receive for lock-step endpoints. recv_frame
+/// returns false on EOF, error, or an oversized length prefix.
+[[nodiscard]] bool send_frame(const Fd& fd, std::span<const std::byte> payload);
+[[nodiscard]] bool recv_frame(const Fd& fd, std::vector<std::byte>& payload);
+
+/// Incremental frame parser for nonblocking streams.
+class FrameParser {
+ public:
+  /// Appends raw stream bytes to the internal buffer.
+  void feed(std::span<const std::byte> bytes);
+
+  /// Copies the next complete frame's payload into `payload` and consumes
+  /// it; false when no complete frame is buffered.
+  [[nodiscard]] bool next(std::vector<std::byte>& payload);
+
+  /// True when the buffered length prefix exceeds kMaxFrameBytes: the
+  /// stream is desynced and the connection should be dropped.
+  [[nodiscard]] bool corrupt() const noexcept { return corrupt_; }
+
+  [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::byte> buf_;
+  std::size_t pos_ = 0;  // consumed prefix, compacted lazily
+  bool corrupt_ = false;
+};
+
+}  // namespace lft::net

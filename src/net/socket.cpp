@@ -1,0 +1,111 @@
+#include "net/socket.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace lft::net {
+
+void Fd::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Fd listen_tcp(std::uint16_t& port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  LFT_ASSERT_MSG(fd.valid(), "socket() failed");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  LFT_ASSERT_MSG(::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+                 "bind() failed");
+  LFT_ASSERT_MSG(::listen(fd.get(), backlog) == 0, "listen() failed");
+
+  socklen_t len = sizeof(addr);
+  LFT_ASSERT(::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) == 0);
+  port = ntohs(addr.sin_port);
+  return fd;
+}
+
+Fd connect_tcp(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  LFT_ASSERT_MSG(fd.valid(), "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Fd{};
+  }
+  set_nodelay(fd);
+  return fd;
+}
+
+Fd accept_one(const Fd& listener) {
+  const int fd = ::accept(listener.get(), nullptr, nullptr);
+  if (fd < 0) return Fd{};
+  Fd accepted(fd);
+  set_nodelay(accepted);
+  return accepted;
+}
+
+std::pair<Fd, Fd> socket_pair() {
+  int fds[2] = {-1, -1};
+  LFT_ASSERT_MSG(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0, "socketpair() failed");
+  return {Fd(fds[0]), Fd(fds[1])};
+}
+
+void set_nonblocking(const Fd& fd, bool nonblocking) {
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  LFT_ASSERT(flags >= 0);
+  const int updated = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  LFT_ASSERT(::fcntl(fd.get(), F_SETFL, updated) == 0);
+}
+
+void set_nodelay(const Fd& fd) {
+  const int one = 1;
+  // Fails harmlessly on non-TCP sockets (AF_UNIX pairs).
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+bool send_all(const Fd& fd, std::span<const std::byte> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t k =
+        ::send(fd.get(), bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (k == 0) return false;
+    sent += static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+bool recv_all(const Fd& fd, std::span<std::byte> bytes) {
+  std::size_t got = 0;
+  while (got < bytes.size()) {
+    const ssize_t k = ::recv(fd.get(), bytes.data() + got, bytes.size() - got, 0);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (k == 0) return false;
+    got += static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+}  // namespace lft::net

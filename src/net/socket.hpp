@@ -1,0 +1,63 @@
+// Thin POSIX socket layer for the live transport and the service plane:
+// RAII fds, localhost TCP helpers, socketpair endpoints, and whole-buffer
+// send/recv loops. Everything here is Linux-flavored (epoll lives next door
+// in net/epoll.hpp); SIGPIPE is suppressed per send with MSG_NOSIGNAL.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+
+namespace lft::net {
+
+/// RAII file descriptor: closes on destruction, move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset(other.release());
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() { reset(); }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int release() noexcept { return std::exchange(fd_, -1); }
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listens on 127.0.0.1:`port` (0 picks a free port); on return `port` holds
+/// the actual bound port. Aborts on resource exhaustion (these are
+/// fail-fast developer tools, not a hardened server core).
+[[nodiscard]] Fd listen_tcp(std::uint16_t& port, int backlog = 64);
+
+/// Blocking connect to 127.0.0.1:`port`; invalid Fd on refusal.
+[[nodiscard]] Fd connect_tcp(std::uint16_t port);
+
+/// Accepts one pending connection; invalid Fd if none is pending.
+[[nodiscard]] Fd accept_one(const Fd& listener);
+
+/// A connected AF_UNIX stream pair (hub end, replica end).
+[[nodiscard]] std::pair<Fd, Fd> socket_pair();
+
+void set_nonblocking(const Fd& fd, bool nonblocking);
+/// Disables Nagle on TCP sockets (no-op on AF_UNIX): round-trip latency
+/// dominates the lock-step protocol, not throughput.
+void set_nodelay(const Fd& fd);
+
+/// Blocking whole-buffer send; returns false when the peer is gone.
+[[nodiscard]] bool send_all(const Fd& fd, std::span<const std::byte> bytes);
+/// Blocking whole-buffer receive; returns false on EOF or error.
+[[nodiscard]] bool recv_all(const Fd& fd, std::span<std::byte> bytes);
+
+}  // namespace lft::net

@@ -1,0 +1,171 @@
+#include "net/transport.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/codec.hpp"
+#include "net/frame.hpp"
+
+namespace lft::net {
+
+namespace {
+
+// Round request:  [u64 round][u32 count][count x message]
+// Round response: [u64 round][u8 decided][u64 decision][u8 halted]
+//                 [u64 wake_at + 1][u64 fallback_pulls][u32 count][messages]
+// Shutdown: an empty request payload.
+
+void put_message(ByteWriter& w, const sim::Message& m) {
+  w.put_u32(static_cast<std::uint32_t>(m.from));
+  w.put_u32(static_cast<std::uint32_t>(m.to));
+  w.put_u32(m.tag);
+  w.put_u64(m.value);
+  w.put_u64(m.bits);
+  w.put_u32(m.body_len);
+  if (m.body_len != 0) w.put_bytes(m.body());
+}
+
+/// Decodes one message; bodies view `reader`'s backing buffer.
+[[nodiscard]] bool get_message(ByteReader& reader, sim::Message& m) {
+  const auto from = reader.get_u32();
+  const auto to = reader.get_u32();
+  const auto tag = reader.get_u32();
+  const auto value = reader.get_u64();
+  const auto bits = reader.get_u64();
+  const auto body_len = reader.get_u32();
+  if (!from || !to || !tag || !value || !bits || !body_len) return false;
+  m = sim::Message{};
+  m.from = static_cast<NodeId>(*from);
+  m.to = static_cast<NodeId>(*to);
+  m.tag = *tag;
+  m.value = *value;
+  m.bits = *bits;
+  if (*body_len != 0) {
+    const auto body = reader.get_bytes(*body_len);
+    if (!body) return false;
+    m.set_body(*body);
+  }
+  return true;
+}
+
+/// The replica thread: one Program behind one socketpair end, stepped by
+/// round frames until the hub sends the empty shutdown frame.
+void replica_main(Fd fd, std::unique_ptr<core::Program> program, NodeId self) {
+  std::vector<std::byte> payload;
+  std::vector<sim::Message> inbox;
+  std::vector<sim::Message> outbox;
+  sim::PayloadArena arena;  // single-buffered: bodies only live until encode
+  std::vector<std::byte> scratch;
+  for (;;) {
+    if (!recv_frame(fd, payload) || payload.empty()) return;
+    ByteReader reader(payload);
+    const auto round_word = reader.get_u64();
+    const auto count = reader.get_u32();
+    LFT_ASSERT_MSG(round_word && count, "replica: malformed round frame");
+    inbox.clear();
+    inbox.reserve(*count);
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      sim::Message m;
+      LFT_ASSERT_MSG(get_message(reader, m), "replica: malformed message");
+      inbox.push_back(m);
+    }
+
+    outbox.clear();
+    arena.clear();
+    core::StepResult result;
+    core::BatchIo io(self, arena, outbox, result);
+    program->run_round(static_cast<Round>(*round_word), inbox, io);
+
+    ByteWriter writer(scratch);
+    writer.put_u64(*round_word);
+    writer.put_u8(result.decided ? 1 : 0);
+    writer.put_u64(result.decision);
+    writer.put_u8(result.halted ? 1 : 0);
+    writer.put_u64(static_cast<std::uint64_t>(result.wake_at + 1));
+    writer.put_u64(static_cast<std::uint64_t>(result.fallback_pulls));
+    writer.put_u32(static_cast<std::uint32_t>(outbox.size()));
+    for (const sim::Message& m : outbox) put_message(writer, m);
+    if (!send_frame(fd, writer.view())) return;
+  }
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(std::vector<std::unique_ptr<core::Program>> programs) {
+  replicas_.reserve(programs.size());
+  for (std::size_t v = 0; v < programs.size(); ++v) {
+    auto [hub_end, replica_end] = socket_pair();
+    Replica r;
+    r.hub_end = std::move(hub_end);
+    r.thread = std::thread(replica_main, std::move(replica_end), std::move(programs[v]),
+                           static_cast<NodeId>(v));
+    replicas_.push_back(std::move(r));
+  }
+}
+
+SocketTransport::~SocketTransport() {
+  for (auto& r : replicas_) {
+    (void)send_frame(r.hub_end, {});  // empty frame = shutdown
+  }
+  for (auto& r : replicas_) {
+    if (r.thread.joinable()) r.thread.join();
+  }
+}
+
+void SocketTransport::step_round(Round round, std::span<const NodeId> active,
+                                 std::span<const std::span<const sim::Message>> inboxes,
+                                 std::vector<sim::Message>& outbox,
+                                 std::span<core::StepResult> results) {
+  // Phase 1: ship every active node its round frame. Strict lock-step makes
+  // blocking sends deadlock-free: every replica is parked in recv_frame
+  // (its previous response was fully consumed last round), so it drains.
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    ByteWriter writer(request_);
+    writer.put_u64(static_cast<std::uint64_t>(round));
+    writer.put_u32(static_cast<std::uint32_t>(inboxes[i].size()));
+    for (const sim::Message& m : inboxes[i]) put_message(writer, m);
+    LFT_ASSERT_MSG(send_frame(replicas_[static_cast<std::size_t>(active[i])].hub_end,
+                              writer.view()),
+                   "transport: replica hung up");
+  }
+
+  // Phase 2: collect responses in ascending node order — replicas compute
+  // concurrently regardless of read order, and ascending assembly is what
+  // reproduces the engine's ascending-sender batch shape bit for bit.
+  sim::PayloadArena& arena = arena_[static_cast<std::size_t>(round) & 1];
+  arena.clear();
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const Fd& fd = replicas_[static_cast<std::size_t>(active[i])].hub_end;
+    LFT_ASSERT_MSG(recv_frame(fd, response_) && !response_.empty(),
+                   "transport: replica died mid-round");
+    ByteReader reader(response_);
+    const auto round_word = reader.get_u64();
+    LFT_ASSERT_MSG(round_word &&
+                       static_cast<Round>(*round_word) == round,
+                   "transport: response round mismatch");
+    const auto decided = reader.get_u8();
+    const auto decision = reader.get_u64();
+    const auto halted = reader.get_u8();
+    const auto wake_word = reader.get_u64();
+    const auto pulls = reader.get_u64();
+    const auto count = reader.get_u32();
+    LFT_ASSERT_MSG(decided && decision && halted && wake_word && pulls && count,
+                   "transport: malformed response");
+    core::StepResult& r = results[i];
+    r.decided = *decided != 0;
+    r.decision = *decision;
+    r.halted = *halted != 0;
+    r.wake_at = static_cast<Round>(*wake_word) - 1;
+    r.fallback_pulls = static_cast<std::int64_t>(*pulls);
+    for (std::uint32_t k = 0; k < *count; ++k) {
+      sim::Message m;
+      LFT_ASSERT_MSG(get_message(reader, m), "transport: malformed response message");
+      // Re-home the body: the decode buffer is reused for the next replica,
+      // but the batch must survive until the next step_round returns.
+      if (m.has_body()) m.set_body(arena.store(m.body()));
+      outbox.push_back(m);
+    }
+  }
+}
+
+}  // namespace lft::net

@@ -1,0 +1,46 @@
+// SocketTransport: the live implementation of core::Transport. Every node's
+// Program runs on its own replica thread behind an AF_UNIX socketpair and
+// speaks a length-prefixed binary protocol (net/frame.hpp + common/codec)
+// with the hub: one request frame per round carrying the node's delivered
+// batch, one response frame carrying its sends and lifecycle effects. The
+// hub assembles responses in ascending node order, so the batch handed back
+// to the RoundDriver is byte-identical to LoopbackTransport's — same
+// Programs, same Report, same trace digests, different wire.
+#pragma once
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "net/socket.hpp"
+#include "sim/payload.hpp"
+
+namespace lft::net {
+
+class SocketTransport final : public core::Transport {
+ public:
+  /// Takes ownership of the Programs and spawns one replica thread each.
+  explicit SocketTransport(std::vector<std::unique_ptr<core::Program>> programs);
+  ~SocketTransport() override;
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  void step_round(Round round, std::span<const NodeId> active,
+                  std::span<const std::span<const sim::Message>> inboxes,
+                  std::vector<sim::Message>& outbox,
+                  std::span<core::StepResult> results) override;
+
+ private:
+  struct Replica {
+    Fd hub_end;
+    std::thread thread;
+  };
+
+  std::vector<Replica> replicas_;
+  sim::PayloadArena arena_[2];          // bodies for the round's collected batch
+  std::vector<std::byte> request_;      // reused encode buffer
+  std::vector<std::byte> response_;     // reused decode buffer
+};
+
+}  // namespace lft::net

@@ -14,6 +14,7 @@
 #include "core/gossip.hpp"
 #include "core/stages.hpp"
 #include "graph/overlay.hpp"
+#include "service/ordering.hpp"
 #include "sim/adversary.hpp"
 #include "sim/faults.hpp"
 
@@ -58,9 +59,8 @@ ScenarioResult eval_consensus(core::ConsensusOutcome outcome, const Expect& expe
 
 /// Runs Few- or Many-Crashes-Consensus under `plan` with random inputs.
 ScenarioResult run_consensus(const ConsensusParams& params, bool many, sim::FaultPlan plan,
-                             std::uint64_t seed, int threads, const Expect& expect,
-                             sim::EngineScratch* scratch = nullptr,
-                             sim::TraceSink* trace = nullptr) {
+                             std::uint64_t seed, const Expect& expect,
+                             const core::RunOptions& options) {
   const auto inputs = random_inputs(params.n, seed);
   auto factory = [&](NodeId v) {
     const int input = inputs[static_cast<std::size_t>(v)];
@@ -68,8 +68,7 @@ ScenarioResult run_consensus(const ConsensusParams& params, bool many, sim::Faul
                 : core::make_few_crashes_process(params, v, input);
   };
   auto report = core::run_system(params.n, params.t, factory,
-                                 sim::make_plan_injector(std::move(plan)),
-                                 Round{1} << 22, threads, scratch, trace);
+                                 sim::make_plan_injector(std::move(plan)), options);
   return eval_consensus(core::evaluate_consensus(std::move(report), inputs), expect);
 }
 
@@ -134,11 +133,10 @@ Scenario make_planned(std::string name, std::string protocol, std::string fault_
   s.description = std::move(description);
   s.plan_of = std::move(plan_of);
   s.run_plan = std::move(run_plan);
-  s.run_at = [plan = s.plan_of, run = s.run_plan](std::uint64_t seed, int threads, NodeId size,
+  s.run_at = [plan = s.plan_of, run = s.run_plan](std::uint64_t seed, NodeId size,
                                                   std::int64_t budget,
-                                                  sim::EngineScratch* scratch,
-                                                  sim::TraceSink* trace) {
-    return run(seed, threads, size, budget, plan(seed, size, budget), scratch, trace);
+                                                  const core::RunOptions& options) {
+    return run(seed, size, budget, plan(seed, size, budget), options);
   };
   return s;
 }
@@ -146,8 +144,8 @@ Scenario make_planned(std::string name, std::string protocol, std::string fault_
 std::vector<Scenario> build_registry() {
   std::vector<Scenario> list;
 
-  // Every runner below is a pure function of (seed, threads, n, t, scratch,
-  // trace): the registered (n, t) is only the default shape, and `sweep`
+  // Every runner below is a pure function of (seed, n, t) — RunOptions never
+  // changes a bit: the registered (n, t) is only the default shape, and `sweep`
   // re-invokes the same lambda at scaled sizes. Ratios are chosen so every
   // 5t < n / little-group constraint still holds after proportional scaling.
 
@@ -161,10 +159,10 @@ std::vector<Scenario> build_registry() {
         plan.burst_crashes(n, t, 1, seed * 31 + 1);
         return plan;
       },
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
-         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         const core::RunOptions& options) {
         return run_consensus(ConsensusParams::practical(n, t), false, std::move(plan), seed,
-                             threads, Expect{}, scratch, trace);
+                             Expect{}, options);
       }));
 
   list.push_back(make_planned(
@@ -175,10 +173,10 @@ std::vector<Scenario> build_registry() {
         plan.staggered_crashes(n, t, 0, 5, seed * 31 + 2);
         return plan;
       },
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
-         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         const core::RunOptions& options) {
         return run_consensus(ConsensusParams::practical(n, t), false, std::move(plan), seed,
-                             threads, Expect{}, scratch, trace);
+                             Expect{}, options);
       }));
 
   list.push_back(make_planned(
@@ -189,10 +187,10 @@ std::vector<Scenario> build_registry() {
         plan.random_crashes(n, t, 0, n / 2, 0.3, seed * 31 + 3);
         return plan;
       },
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
-         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         const core::RunOptions& options) {
         return run_consensus(ConsensusParams::practical(n, t), true, std::move(plan), seed,
-                             threads, Expect{}, scratch, trace);
+                             Expect{}, options);
       }));
 
   list.push_back(make_planned(
@@ -209,10 +207,10 @@ std::vector<Scenario> build_registry() {
         plan.crash(sim::isolation_crash_schedule(*little_g, 1, t));
         return plan;
       },
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
-         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         const core::RunOptions& options) {
         auto result = run_consensus(ConsensusParams::practical(n, t), false, std::move(plan),
-                                    seed, threads, Expect{}, scratch, trace);
+                                    seed, Expect{}, options);
         const auto& victim = result.report.nodes[1];
         result.ok = result.ok && !victim.crashed && victim.decided;
         result.detail += " victim_decided=" + yn(victim.decided);
@@ -222,8 +220,7 @@ std::vector<Scenario> build_registry() {
   list.push_back(Scenario{
       "crash_probe_hubs", "few_crashes", "crash", 200, 30,
       "adaptive ProbeDisruptor: crashes the 2 busiest senders per round until the budget",
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t,
-         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t, const core::RunOptions& options) {
         const auto params = ConsensusParams::practical(n, t);
         const auto inputs = random_inputs(n, seed);
         auto factory = [&](NodeId v) {
@@ -232,7 +229,7 @@ std::vector<Scenario> build_registry() {
         };
         auto report = core::run_system(n, t, factory,
                                        std::make_unique<sim::ProbeDisruptorAdversary>(t, 2),
-                                       Round{1} << 22, threads, scratch, trace);
+                                       options);
         return eval_consensus(core::evaluate_consensus(std::move(report), inputs), Expect{});
       },
       nullptr, nullptr});
@@ -245,12 +242,12 @@ std::vector<Scenario> build_registry() {
         plan.random_crashes(n, t, 0, 4 * t, 0.5, seed * 31 + 4);
         return plan;
       },
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
-         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         const core::RunOptions& options) {
         const auto params = core::GossipParams::practical(n, t);
         return eval_gossip(core::run_gossip(params, gossip_rumors(n, seed),
-                                            sim::make_plan_injector(std::move(plan)), threads,
-                                            scratch, trace));
+                                            sim::make_plan_injector(std::move(plan)),
+                                            options));
       }));
 
   // ---- omission plans (Dwork-Halpern-Waarts regimes) -----------------------
@@ -265,10 +262,10 @@ std::vector<Scenario> build_registry() {
                               seed * 31 + 5);
         return plan;
       },
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
-         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         const core::RunOptions& options) {
         auto result = run_consensus(ConsensusParams::practical(n, t), false, std::move(plan),
-                                    seed, threads, Expect{}, scratch, trace);
+                                    seed, Expect{}, options);
         // Stronger than the crash theorem: every node decided, faulty included.
         const bool everyone = result.report.decided_count() == n;
         result.ok = result.ok && everyone;
@@ -286,12 +283,12 @@ std::vector<Scenario> build_registry() {
                               seed * 31 + 6);
         return plan;
       },
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
-         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         const core::RunOptions& options) {
         Expect expect;
         expect.termination = true;  // non-faulty nodes must all decide
         return run_consensus(ConsensusParams::practical(n, t), false, std::move(plan), seed,
-                             threads, expect, scratch, trace);
+                             expect, options);
       }));
 
   list.push_back(make_planned(
@@ -305,10 +302,10 @@ std::vector<Scenario> build_registry() {
                               /*recv=*/true, seed * 31 + 7);
         return plan;
       },
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
-         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         const core::RunOptions& options) {
         auto result = run_consensus(ConsensusParams::practical(n, t), false, std::move(plan),
-                                    seed, threads, Expect{}, scratch, trace);
+                                    seed, Expect{}, options);
         const bool everyone = result.report.decided_count() == n;
         result.ok = result.ok && everyone;
         result.detail += " all_decided=" + yn(everyone);
@@ -328,12 +325,11 @@ std::vector<Scenario> build_registry() {
                               seed * 31 + 9);
         return plan;
       },
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
-         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         const core::RunOptions& options) {
         const auto params = core::GossipParams::practical(n, t);
         auto outcome = core::run_gossip(params, gossip_rumors(n, seed),
-                                        sim::make_plan_injector(std::move(plan)), threads,
-                                        scratch, trace);
+                                        sim::make_plan_injector(std::move(plan)), options);
         return eval_gossip(std::move(outcome));
       }));
 
@@ -348,10 +344,10 @@ std::vector<Scenario> build_registry() {
         plan.split_at(n - n / 8, n, 1, 9);
         return plan;
       },
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
-         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         const core::RunOptions& options) {
         auto result = run_consensus(ConsensusParams::practical(n, t), false, std::move(plan),
-                                    seed, threads, Expect{}, scratch, trace);
+                                    seed, Expect{}, options);
         const bool everyone = result.report.decided_count() == n;
         result.ok = result.ok && everyone;
         result.detail += " all_decided=" + yn(everyone);
@@ -372,10 +368,10 @@ std::vector<Scenario> build_registry() {
         plan.split(std::move(groups), 2, 8);
         return plan;
       },
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
-         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         const core::RunOptions& options) {
         return run_consensus(ConsensusParams::practical(n, t), false, std::move(plan), seed,
-                             threads, Expect{}, scratch, trace);
+                             Expect{}, options);
       }));
 
   list.push_back(make_planned(
@@ -392,10 +388,10 @@ std::vector<Scenario> build_registry() {
         }
         return plan;
       },
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
-         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         const core::RunOptions& options) {
         return run_consensus(ConsensusParams::practical(n, t), false, std::move(plan), seed,
-                             threads, Expect{}, scratch, trace);
+                             Expect{}, options);
       }));
 
   // ---- Byzantine takeovers (Theorem 11 model) ------------------------------
@@ -417,12 +413,11 @@ std::vector<Scenario> build_registry() {
         }
         return plan;
       },
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
-         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         const core::RunOptions& options) {
         const auto params = byzantine::AbParams::practical(n, t);
         return eval_ab(byzantine::run_ab_consensus_plan(params, ab_inputs(n, seed),
-                                                        std::move(plan), threads, scratch,
-                                                        trace),
+                                                        std::move(plan), options),
                        /*expect_max_rule=*/false);
       }));
 
@@ -437,12 +432,11 @@ std::vector<Scenario> build_registry() {
         }
         return plan;
       },
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
-         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         const core::RunOptions& options) {
         const auto params = byzantine::AbParams::practical(n, t);
         return eval_ab(byzantine::run_ab_consensus_plan(params, ab_inputs(n, seed),
-                                                        std::move(plan), threads, scratch,
-                                                        trace),
+                                                        std::move(plan), options),
                        /*expect_max_rule=*/false);
       }));
 
@@ -456,12 +450,11 @@ std::vector<Scenario> build_registry() {
         }
         return plan;
       },
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
-         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         const core::RunOptions& options) {
         const auto params = byzantine::AbParams::practical(n, t);
         return eval_ab(byzantine::run_ab_consensus_plan(params, ab_inputs(n, seed),
-                                                        std::move(plan), threads, scratch,
-                                                        trace),
+                                                        std::move(plan), options),
                        /*expect_max_rule=*/false);
       }));
 
@@ -477,12 +470,11 @@ std::vector<Scenario> build_registry() {
         }
         return plan;
       },
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
-         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         const core::RunOptions& options) {
         const auto params = byzantine::AbParams::practical(n, t);
         return eval_ab(byzantine::run_ab_consensus_plan(params, ab_inputs(n, seed),
-                                                        std::move(plan), threads, scratch,
-                                                        trace),
+                                                        std::move(plan), options),
                        /*expect_max_rule=*/false);
       }));
 
@@ -504,10 +496,10 @@ std::vector<Scenario> build_registry() {
         plan.split_at(n - n / 10, n, 4, 10);
         return plan;
       },
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
-         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         const core::RunOptions& options) {
         return run_consensus(ConsensusParams::practical(n, t), false, std::move(plan), seed,
-                             threads, Expect{}, scratch, trace);
+                             Expect{}, options);
       }));
 
   list.push_back(make_planned(
@@ -525,12 +517,11 @@ std::vector<Scenario> build_registry() {
         }
         return plan;
       },
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
-         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         const core::RunOptions& options) {
         const auto params = byzantine::AbParams::practical(n, t);
         return eval_ab(byzantine::run_ab_consensus_plan(params, ab_inputs(n, seed),
-                                                        std::move(plan), threads, scratch,
-                                                        trace),
+                                                        std::move(plan), options),
                        /*expect_max_rule=*/false);
       }));
 
@@ -545,12 +536,12 @@ std::vector<Scenario> build_registry() {
         plan.burst_crashes(n, t, boundary, seed * 31 + 13);
         return plan;
       },
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
-         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         const core::RunOptions& options) {
         (void)seed;
         const auto params = core::CheckpointParams::practical(n, t);
         return eval_checkpointing(core::run_checkpointing(
-            params, sim::make_plan_injector(std::move(plan)), threads, scratch, trace));
+            params, sim::make_plan_injector(std::move(plan)), options));
       }));
 
   list.push_back(make_planned(
@@ -565,13 +556,35 @@ std::vector<Scenario> build_registry() {
                               seed * 31 + 14);
         return plan;
       },
-      [](std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
-         sim::EngineScratch* scratch, sim::TraceSink* trace) {
+      [](std::uint64_t seed, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         const core::RunOptions& options) {
         (void)seed;
         const auto params = core::CheckpointParams::practical(n, t);
         return eval_checkpointing(core::run_checkpointing(
-            params, sim::make_plan_injector(std::move(plan)), threads, scratch, trace));
+            params, sim::make_plan_injector(std::move(plan)), options));
       }));
+
+  // ---- service plane (lft_serve's ordering slot) ---------------------------
+
+  // Fault-free and seed-independent by design: this is the exact execution a
+  // live lft_serve commit slot performs under the RoundDriver, registered so
+  // LFTTRACE files recorded from live traffic replay against the engine
+  // (`lft_forensics replay`). Adaptive-style entry (no plan half): the
+  // scenario has no fault plan to rebuild or perturb.
+  list.push_back(Scenario{
+      "service_slot_commit", "few_crashes", "none", 7, 1,
+      "one lft_serve commit slot: fault-free few-crashes consensus, all inputs 1 — "
+      "the engine twin of a live RoundDriver slot execution",
+      [](std::uint64_t seed, NodeId n, std::int64_t t, const core::RunOptions& options) {
+        (void)seed;
+        auto outcome = service::run_slot_on_engine(n, t, options);
+        ScenarioResult result;
+        result.ok = outcome.committed;
+        result.detail = "committed=" + yn(outcome.committed);
+        result.report = std::move(outcome.report);
+        return result;
+      },
+      nullptr, nullptr});
 
   return list;
 }
@@ -658,8 +671,9 @@ std::vector<SweepOutcome> run_sweep(sim::FleetRunner& fleet, std::span<const Swe
     (*slots)[i].item = item;
     handles.push_back(fleet.submit([item, slots, i](sim::EngineScratch* scratch) {
       const auto start = std::chrono::steady_clock::now();
-      ScenarioResult result = item.scenario->run_at(item.seed, /*threads=*/1, item.n, item.t,
-                                                    scratch, /*trace=*/nullptr);
+      core::RunOptions options;
+      options.scratch = scratch;
+      ScenarioResult result = item.scenario->run_at(item.seed, item.n, item.t, options);
       SweepOutcome& out = (*slots)[i];
       out.ok = result.ok;
       out.detail = std::move(result.detail);

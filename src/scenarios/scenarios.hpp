@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/run_options.hpp"
 #include "sim/engine.hpp"
 #include "sim/fleet.hpp"
 
@@ -54,20 +55,18 @@ struct ScenarioResult {
 /// One registered (protocol × fault plan × size) triple.
 struct Scenario {
   /// Size-parameterized runner: executes the scenario's protocol + fault
-  /// plan at an arbitrary (n, t) honoring the registry ratio. `scratch`
-  /// optionally recycles engine buffers (fleet mode); pass nullptr for cold
-  /// buffers — the Report is bit-identical either way. `trace` optionally
-  /// records per-round digests (forensics plane); nullptr records nothing.
-  using RunFn = std::function<ScenarioResult(std::uint64_t seed, int threads, NodeId n,
-                                             std::int64_t t, sim::EngineScratch* scratch,
-                                             sim::TraceSink* trace)>;
+  /// plan at an arbitrary (n, t) honoring the registry ratio. Execution
+  /// knobs (parallel stepper, scratch recycling, trace recording) travel in
+  /// core::RunOptions; the Report is bit-identical for every option value.
+  using RunFn = std::function<ScenarioResult(std::uint64_t seed, NodeId n, std::int64_t t,
+                                             const core::RunOptions& options)>;
   /// Rebuilds the scenario's registered fault plan for a (seed, n, t).
   using PlanFn = std::function<sim::FaultPlan(std::uint64_t seed, NodeId n, std::int64_t t)>;
   /// Runs the scenario's protocol and evaluates its invariant under an
   /// arbitrary fault plan (the forensics replay/shrink entry point).
-  using RunPlanFn = std::function<ScenarioResult(
-      std::uint64_t seed, int threads, NodeId n, std::int64_t t, sim::FaultPlan plan,
-      sim::EngineScratch* scratch, sim::TraceSink* trace)>;
+  using RunPlanFn = std::function<ScenarioResult(std::uint64_t seed, NodeId n, std::int64_t t,
+                                                 sim::FaultPlan plan,
+                                                 const core::RunOptions& options)>;
 
   std::string name;
   std::string protocol;    ///< few_crashes | many_crashes | gossip | checkpointing | ab_consensus
@@ -84,7 +83,9 @@ struct Scenario {
 
   /// Runs at the registered default (n, t) with cold buffers.
   [[nodiscard]] ScenarioResult run(std::uint64_t seed, int threads) const {
-    return run_at(seed, threads, n, t, nullptr, nullptr);
+    core::RunOptions options;
+    options.threads = threads;
+    return run_at(seed, n, t, options);
   }
 
   /// The fault budget for an alternative size: the registered t/n ratio
@@ -136,7 +137,7 @@ struct SweepOutcome {
 /// Executes `items` over the fleet (each instance serial on one worker) and
 /// blocks until all complete. Outcomes are in item order regardless of
 /// completion order, and each Report is bit-identical to running that item
-/// alone: `items[i].scenario->run_at(seed, 1, n, t, nullptr, nullptr)`.
+/// alone: `items[i].scenario->run_at(seed, n, t, {})`.
 [[nodiscard]] std::vector<SweepOutcome> run_sweep(sim::FleetRunner& fleet,
                                                   std::span<const SweepItem> items);
 

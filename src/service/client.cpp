@@ -1,0 +1,150 @@
+#include "service/client.hpp"
+
+#include "common/codec.hpp"
+#include "net/frame.hpp"
+#include "service/wire.hpp"
+
+namespace lft::service {
+
+Client::Client(std::uint16_t port, std::uint64_t client_id) : client_id_(client_id) {
+  fd_ = net::connect_tcp(port);
+  if (!fd_.valid()) return;
+  ByteWriter w(scratch_);
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kHello));
+  w.put_u64(client_id);
+  std::vector<std::byte> payload;
+  if (!send_payload(w.view()) ||
+      !recv_expect(static_cast<std::uint8_t>(MsgType::kWelcome), payload)) {
+    fd_.reset();
+    return;
+  }
+  ByteReader reader(payload);
+  const auto echoed = reader.get_u64();
+  const auto last = reader.get_u64();
+  if (!echoed || !last || *echoed != client_id) {
+    fd_.reset();
+    return;
+  }
+  welcome_last_request_ = *last;
+}
+
+std::optional<Applied> Client::propose(std::uint64_t request_id,
+                                       std::span<const std::byte> payload) {
+  if (!send_propose(request_id, payload)) return std::nullopt;
+  const auto ack = recv_ack();
+  if (!ack || ack->request_id != request_id) return std::nullopt;
+  return ack->applied;
+}
+
+bool Client::send_propose(std::uint64_t request_id, std::span<const std::byte> payload) {
+  ByteWriter w(scratch_);
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kPropose));
+  w.put_u64(request_id);
+  w.put_u32(static_cast<std::uint32_t>(payload.size()));
+  w.put_bytes(payload);
+  return send_payload(w.view());
+}
+
+std::optional<Client::Ack> Client::recv_ack() {
+  std::vector<std::byte> response;
+  if (!recv_expect(static_cast<std::uint8_t>(MsgType::kAck), response)) return std::nullopt;
+  ByteReader reader(response);
+  const auto echoed = reader.get_u64();
+  const auto index = reader.get_u64();
+  const auto duplicate = reader.get_u8();
+  if (!echoed || !index || !duplicate) return std::nullopt;
+  return Ack{*echoed, Applied{*index, *duplicate != 0}};
+}
+
+std::optional<Client::State> Client::read_state() {
+  ByteWriter w(scratch_);
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kRead));
+  std::vector<std::byte> response;
+  if (!send_payload(w.view()) ||
+      !recv_expect(static_cast<std::uint8_t>(MsgType::kState), response)) {
+    return std::nullopt;
+  }
+  ByteReader reader(response);
+  const auto size = reader.get_u64();
+  const auto digest = reader.get_u64();
+  const auto slots = reader.get_u64();
+  if (!size || !digest || !slots) return std::nullopt;
+  return State{*size, *digest, *slots};
+}
+
+bool Client::subscribe(std::uint64_t from_index) {
+  ByteWriter w(scratch_);
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kSubscribe));
+  w.put_u64(from_index);
+  return send_payload(w.view());
+}
+
+std::optional<Client::CommitEvent> Client::next_commit() {
+  while (commits_.empty()) {
+    if (!fd_.valid() || !net::recv_frame(fd_, frame_)) return std::nullopt;
+    ByteReader reader(frame_);
+    const auto type = reader.get_u8();
+    if (!type || *type != static_cast<std::uint8_t>(MsgType::kCommit)) return std::nullopt;
+    const auto index = reader.get_u64();
+    const auto client = reader.get_u64();
+    const auto request = reader.get_u64();
+    const auto len = reader.get_u32();
+    if (!index || !client || !request || !len) return std::nullopt;
+    const auto body = reader.get_bytes(*len);
+    if (!body) return std::nullopt;
+    CommitEvent e;
+    e.index = *index;
+    e.client_id = *client;
+    e.request_id = *request;
+    e.payload.assign(body->begin(), body->end());
+    commits_.push_back(std::move(e));
+  }
+  CommitEvent e = std::move(commits_.front());
+  commits_.pop_front();
+  return e;
+}
+
+bool Client::shutdown_server() {
+  ByteWriter w(scratch_);
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kShutdown));
+  std::vector<std::byte> response;
+  return send_payload(w.view()) &&
+         recv_expect(static_cast<std::uint8_t>(MsgType::kBye), response);
+}
+
+bool Client::recv_expect(std::uint8_t want, std::vector<std::byte>& out) {
+  for (;;) {
+    if (!fd_.valid() || !net::recv_frame(fd_, frame_)) return false;
+    ByteReader reader(frame_);
+    const auto type = reader.get_u8();
+    if (!type) return false;
+    if (*type == static_cast<std::uint8_t>(MsgType::kCommit)) {
+      // A subscription push interleaved with our response: queue it.
+      const auto index = reader.get_u64();
+      const auto client = reader.get_u64();
+      const auto request = reader.get_u64();
+      const auto len = reader.get_u32();
+      if (!index || !client || !request || !len) return false;
+      const auto body = reader.get_bytes(*len);
+      if (!body) return false;
+      CommitEvent e;
+      e.index = *index;
+      e.client_id = *client;
+      e.request_id = *request;
+      e.payload.assign(body->begin(), body->end());
+      commits_.push_back(std::move(e));
+      continue;
+    }
+    if (*type != want) return false;
+    out.assign(frame_.begin() + 1, frame_.end());
+    return true;
+  }
+}
+
+bool Client::send_payload(std::span<const std::byte> payload) {
+  std::vector<std::byte> framed;
+  net::append_frame(framed, payload);
+  return net::send_all(fd_, framed);
+}
+
+}  // namespace lft::service

@@ -1,0 +1,86 @@
+// Blocking client for the lft_serve wire protocol — the building block of
+// tests/test_service.cpp and the closed-loop load generator
+// (examples/lft_bench_client.cpp). One outstanding request per Client; a
+// connection that also subscribes has kCommit frames interleaved with its
+// responses, which the client transparently queues for next_commit().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "service/state_machine.hpp"
+
+namespace lft::service {
+
+class Client {
+ public:
+  /// Connects to 127.0.0.1:`port` and performs the kHello/kWelcome
+  /// handshake. Check connected() before use.
+  Client(std::uint16_t port, std::uint64_t client_id);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_.valid(); }
+  [[nodiscard]] std::uint64_t client_id() const noexcept { return client_id_; }
+  /// From the kWelcome: the last request the service applied for this
+  /// client (0 if none) — where a reconnecting client resumes.
+  [[nodiscard]] std::uint64_t welcome_last_request() const noexcept {
+    return welcome_last_request_;
+  }
+
+  /// kPropose → kAck round trip; nullopt when the connection died.
+  [[nodiscard]] std::optional<Applied> propose(std::uint64_t request_id,
+                                               std::span<const std::byte> payload);
+
+  /// Pipelined half-calls for windowed closed loops (lft_bench_client):
+  /// send up to W proposes, then collect acks as they arrive. Acks come
+  /// back in request order (the connection is FIFO and the log is total).
+  [[nodiscard]] bool send_propose(std::uint64_t request_id,
+                                  std::span<const std::byte> payload);
+  struct Ack {
+    std::uint64_t request_id = 0;
+    Applied applied;
+  };
+  [[nodiscard]] std::optional<Ack> recv_ack();
+
+  struct State {
+    std::uint64_t size = 0;
+    std::uint64_t digest = 0;
+    std::uint64_t slots = 0;
+  };
+  /// kRead → kState round trip.
+  [[nodiscard]] std::optional<State> read_state();
+
+  /// Registers for kCommit pushes starting at log index `from_index`.
+  [[nodiscard]] bool subscribe(std::uint64_t from_index);
+
+  struct CommitEvent {
+    std::uint64_t index = 0;
+    std::uint64_t client_id = 0;
+    std::uint64_t request_id = 0;
+    std::vector<std::byte> payload;
+  };
+  /// Next committed entry (queued or read from the socket); nullopt on a
+  /// dead connection.
+  [[nodiscard]] std::optional<CommitEvent> next_commit();
+
+  /// kShutdown → kBye; returns false if the server refused or vanished.
+  [[nodiscard]] bool shutdown_server();
+
+ private:
+  /// Reads frames until one of type `want` arrives, queueing kCommit pushes
+  /// encountered on the way; the payload (sans type byte) lands in `out`.
+  [[nodiscard]] bool recv_expect(std::uint8_t want, std::vector<std::byte>& out);
+  [[nodiscard]] bool send_payload(std::span<const std::byte> payload);
+
+  net::Fd fd_;
+  std::uint64_t client_id_ = 0;
+  std::uint64_t welcome_last_request_ = 0;
+  std::deque<CommitEvent> commits_;
+  std::vector<std::byte> frame_;    ///< reused recv payload buffer
+  std::vector<std::byte> scratch_;  ///< reused encode buffer
+};
+
+}  // namespace lft::service

@@ -1,0 +1,43 @@
+#include "service/ordering.hpp"
+
+#include <utility>
+
+#include "core/consensus.hpp"
+#include "core/params.hpp"
+
+namespace lft::service {
+
+std::vector<std::unique_ptr<core::Program>> make_slot_programs(NodeId n, std::int64_t t) {
+  const auto params = core::ConsensusParams::practical(n, t);
+  std::vector<std::unique_ptr<core::Program>> programs;
+  programs.reserve(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    programs.push_back(core::make_few_crashes_process(params, v, /*input=*/1));
+  }
+  return programs;
+}
+
+SlotOutcome evaluate_slot(sim::Report report) {
+  SlotOutcome out;
+  out.committed = report.completed;
+  for (const auto& node : report.nodes) {
+    out.committed = out.committed && node.decided && node.decision == 1;
+  }
+  out.report = std::move(report);
+  return out;
+}
+
+SlotOutcome run_slot(NodeId n, core::Transport& transport, const core::RunOptions& options) {
+  core::RoundDriver driver(n, transport, options);
+  return evaluate_slot(driver.run());
+}
+
+SlotOutcome run_slot_on_engine(NodeId n, std::int64_t t, const core::RunOptions& options) {
+  const auto params = core::ConsensusParams::practical(n, t);
+  auto factory = [&](NodeId v) {
+    return core::make_few_crashes_process(params, v, /*input=*/1);
+  };
+  return evaluate_slot(core::run_system(n, t, factory, /*adversary=*/nullptr, options));
+}
+
+}  // namespace lft::service

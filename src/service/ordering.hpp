@@ -1,0 +1,52 @@
+// The service's ordering engine: each commit slot is one fault-free
+// Few-Crashes-Consensus execution (Figure 3) over the replica group, every
+// input 1 ("commit the pending batch"). The slot is seed-independent by
+// construction, so a trace recorded from a *live* RoundDriver execution
+// replays bit-for-bit against the registered "service_slot_commit" scenario
+// under sim::Engine — the bridge that puts live service bugs in reach of
+// the forensics plane (lft_forensics replay / shrink).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/io.hpp"
+#include "core/run_options.hpp"
+#include "sim/engine.hpp"
+
+namespace lft::service {
+
+/// Default replica group shape: 7 replicas tolerating 1 crash.
+inline constexpr NodeId kDefaultGroupSize = 7;
+inline constexpr std::int64_t kDefaultFaultBudget = 1;
+
+/// The scenario registry name live slot traces carry in their metadata —
+/// what lets `lft_forensics replay` re-execute them under the engine.
+inline constexpr const char* kSlotScenarioName = "service_slot_commit";
+
+/// Builds the consensus Programs for one commit slot: Few-Crashes-Consensus
+/// at ConsensusParams::practical(n, t), every node's input 1.
+[[nodiscard]] std::vector<std::unique_ptr<core::Program>> make_slot_programs(NodeId n,
+                                                                             std::int64_t t);
+
+/// Verdict of one slot.
+struct SlotOutcome {
+  sim::Report report;
+  bool committed = false;  ///< completed and every replica decided 1
+};
+
+[[nodiscard]] SlotOutcome evaluate_slot(sim::Report report);
+
+/// Runs one slot over a live Transport (whose Programs must come from
+/// make_slot_programs at the same shape) under the RoundDriver's lock-step.
+[[nodiscard]] SlotOutcome run_slot(NodeId n, core::Transport& transport,
+                                   const core::RunOptions& options = {});
+
+/// The deterministic twin: the same slot under sim::Engine, fault-free.
+/// Bit-identical Report and trace digests to run_slot — the equivalence the
+/// twin tests pin down and the forensics replay path depends on.
+[[nodiscard]] SlotOutcome run_slot_on_engine(NodeId n, std::int64_t t,
+                                             const core::RunOptions& options = {});
+
+}  // namespace lft::service

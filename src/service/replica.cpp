@@ -1,0 +1,77 @@
+#include "service/replica.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "core/driver.hpp"
+#include "forensics/trace.hpp"
+#include "net/transport.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace lft::service {
+
+ReplicaGroup::ReplicaGroup(ReplicaGroupOptions options) : options_(std::move(options)) {
+  LFT_ASSERT_MSG(options_.n >= 1 && options_.t >= 0 && options_.t < options_.n,
+                 "replica group needs 0 <= t < n");
+  machines_.resize(static_cast<std::size_t>(options_.n));
+}
+
+CommitResult ReplicaGroup::commit(std::span<const Command> batch) {
+  // One consensus slot per batch: fresh Programs, fresh transport. The slot
+  // is the ordering barrier — its unanimous decision 1 is what authorizes
+  // applying the batch at the same log position on every replica.
+  auto programs = make_slot_programs(options_.n, options_.t);
+  std::unique_ptr<core::Transport> transport;
+  if (options_.use_sockets) {
+    transport = std::make_unique<net::SocketTransport>(std::move(programs));
+  } else {
+    transport = std::make_unique<core::LoopbackTransport>(std::move(programs));
+  }
+
+  const bool record = !options_.trace_path.empty() && !trace_saved_;
+  forensics::TraceRecorder recorder;
+  core::RunOptions slot_options;
+  if (record) slot_options.trace = &recorder;
+
+  auto outcome = run_slot(options_.n, *transport, slot_options);
+  LFT_ASSERT_MSG(outcome.committed, "consensus slot failed to commit");
+
+  if (record) {
+    forensics::Trace trace = recorder.take();
+    trace.meta.scenario = kSlotScenarioName;
+    trace.meta.seed = 0;  // the slot is seed-independent
+    trace.meta.n = options_.n;
+    trace.meta.t = options_.t;
+    trace.meta.threads = 1;
+    trace.report_fingerprint = scenarios::fingerprint(outcome.report);
+    trace_saved_ = save_trace(trace, options_.trace_path);
+    LFT_ASSERT_MSG(trace_saved_, "failed to save service slot trace");
+  }
+
+  CommitResult result;
+  result.slot_rounds = outcome.report.rounds;
+  result.slot_messages = outcome.report.metrics.messages_total;
+  result.applied.reserve(batch.size());
+  for (const Command& cmd : batch) {
+    Applied first{};
+    for (std::size_t v = 0; v < machines_.size(); ++v) {
+      const Applied a = machines_[v].apply(cmd);
+      if (v == 0) {
+        first = a;
+      } else {
+        LFT_ASSERT_MSG(a.index == first.index && a.duplicate == first.duplicate,
+                       "replica state machines diverged on apply");
+      }
+    }
+    result.applied.push_back(first);
+  }
+  const std::uint64_t digest = machines_[0].digest();
+  for (const StateMachine& m : machines_) {
+    LFT_ASSERT_MSG(m.digest() == digest, "replica log digests diverged");
+  }
+  ++slots_;
+  return result;
+}
+
+}  // namespace lft::service

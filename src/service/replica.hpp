@@ -1,0 +1,62 @@
+// ReplicaGroup: the service's replication core. Each committed batch runs
+// one consensus slot (service/ordering.hpp) over a live Transport —
+// LoopbackTransport inline, or net::SocketTransport across replica threads —
+// and is then applied to every replica's StateMachine; the group asserts all
+// replicas applied identically (equal log digests) before acknowledging.
+// When `trace_path` is set, the first slot records its per-round digests and
+// saves an LFTTRACE file that `lft_forensics replay` re-executes under the
+// engine: the live service's black box recorder.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "service/ordering.hpp"
+#include "service/state_machine.hpp"
+
+namespace lft::service {
+
+struct ReplicaGroupOptions {
+  NodeId n = kDefaultGroupSize;
+  std::int64_t t = kDefaultFaultBudget;
+  /// false: slot Programs run inline (LoopbackTransport); true: each replica
+  /// runs on its own thread behind a socketpair (net::SocketTransport).
+  bool use_sockets = false;
+  /// When non-empty, the first slot's execution is recorded and saved here
+  /// as an LFTTRACE frame replayable by `lft_forensics replay`.
+  std::string trace_path;
+};
+
+/// Outcome of one committed batch.
+struct CommitResult {
+  std::vector<Applied> applied;    ///< per command, in batch order
+  Round slot_rounds = 0;           ///< rounds the consensus slot took
+  std::int64_t slot_messages = 0;  ///< messages the slot exchanged
+};
+
+class ReplicaGroup {
+ public:
+  explicit ReplicaGroup(ReplicaGroupOptions options = {});
+
+  /// Orders `batch` through one consensus slot and applies it to all n
+  /// replicas. Aborts (assert) if the slot fails to commit or any replica's
+  /// log digest diverges — either means the replication core is broken.
+  CommitResult commit(std::span<const Command> batch);
+
+  /// Replica 0's state machine (identical to every other replica's).
+  [[nodiscard]] const StateMachine& machine() const noexcept { return machines_[0]; }
+  [[nodiscard]] std::uint64_t slots() const noexcept { return slots_; }
+  [[nodiscard]] NodeId n() const noexcept { return options_.n; }
+  [[nodiscard]] bool trace_saved() const noexcept { return trace_saved_; }
+
+ private:
+  ReplicaGroupOptions options_;
+  std::vector<StateMachine> machines_;
+  std::uint64_t slots_ = 0;
+  bool trace_saved_ = false;
+};
+
+}  // namespace lft::service

@@ -1,0 +1,235 @@
+#include "service/server.hpp"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/codec.hpp"
+#include "service/wire.hpp"
+
+namespace lft::service {
+
+namespace {
+
+/// One recv per EPOLLIN event: level-triggered epoll re-arms while bytes
+/// remain buffered, so a single bounded read per dispatch keeps every
+/// session making progress without starving the rest.
+constexpr std::size_t kRecvChunk = 64 * 1024;
+
+void put_commit(ByteWriter& w, std::uint64_t index, const Command& cmd) {
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kCommit));
+  w.put_u64(index);
+  w.put_u64(cmd.client_id);
+  w.put_u64(cmd.request_id);
+  w.put_u32(static_cast<std::uint32_t>(cmd.payload.size()));
+  w.put_bytes(cmd.payload);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      group_(ReplicaGroupOptions{options_.n, options_.t, options_.use_sockets,
+                                 options_.trace_path}) {
+  port_ = options_.port;
+  listener_ = net::listen_tcp(port_);
+  net::set_nonblocking(listener_, true);
+  loop_.add(listener_.get(), EPOLLIN, [this](std::uint32_t) { accept_ready(); });
+}
+
+void Server::run() {
+  while (!stop_) {
+    (void)loop_.wait(/*timeout_ms=*/-1);
+    // Group commit: every proposal that arrived in this dispatch batch
+    // shares one consensus slot.
+    if (!pending_.empty()) flush_pending();
+  }
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    net::Fd fd = net::accept_one(listener_);
+    if (!fd.valid()) return;
+    net::set_nodelay(fd);
+    const int raw = fd.get();
+    Session session;
+    session.fd = std::move(fd);
+    sessions_.emplace(raw, std::move(session));
+    loop_.add(raw, EPOLLIN, [this, raw](std::uint32_t) { session_ready(raw); });
+    ++stats_.sessions_accepted;
+  }
+}
+
+void Server::session_ready(int fd) {
+  const auto it = sessions_.find(fd);
+  if (it == sessions_.end()) return;
+  Session& session = it->second;
+
+  std::byte buf[kRecvChunk];
+  ssize_t r = 0;
+  do {
+    r = ::recv(fd, buf, sizeof buf, 0);
+  } while (r < 0 && errno == EINTR);
+  if (r <= 0) {
+    drop_session(fd);
+    return;
+  }
+  session.parser.feed(std::span<const std::byte>(buf, static_cast<std::size_t>(r)));
+  if (session.parser.corrupt()) {
+    drop_session(fd);
+    return;
+  }
+  std::vector<std::byte> payload;
+  while (session.parser.next(payload)) {
+    handle_frame(session, payload);
+    // The frame may have dropped its own session (protocol error).
+    if (sessions_.find(fd) == sessions_.end()) return;
+  }
+}
+
+void Server::handle_frame(Session& session, std::span<const std::byte> payload) {
+  ByteReader reader(payload);
+  const auto type = reader.get_u8();
+  if (!type) {
+    send_error(session, "empty frame");
+    return;
+  }
+  switch (static_cast<MsgType>(*type)) {
+    case MsgType::kHello: {
+      const auto client_id = reader.get_u64();
+      if (!client_id) {
+        send_error(session, "malformed hello");
+        return;
+      }
+      session.client_id = *client_id;
+      session.hello_done = true;
+      ByteWriter w(scratch_);
+      w.put_u8(static_cast<std::uint8_t>(MsgType::kWelcome));
+      w.put_u64(*client_id);
+      w.put_u64(group_.machine().last_request_of(*client_id));
+      send_to(session, w.view());
+      return;
+    }
+    case MsgType::kPropose: {
+      const auto request_id = reader.get_u64();
+      const auto len = reader.get_u32();
+      if (!session.hello_done || !request_id || !len) {
+        send_error(session, "propose before hello or malformed propose");
+        return;
+      }
+      const auto body = reader.get_bytes(*len);
+      if (!body) {
+        send_error(session, "malformed propose payload");
+        return;
+      }
+      Pending p;
+      p.fd = session.fd.get();
+      p.cmd.client_id = session.client_id;
+      p.cmd.request_id = *request_id;
+      p.cmd.payload.assign(body->begin(), body->end());
+      pending_.push_back(std::move(p));
+      ++stats_.proposals;
+      return;
+    }
+    case MsgType::kRead: {
+      ByteWriter w(scratch_);
+      w.put_u8(static_cast<std::uint8_t>(MsgType::kState));
+      w.put_u64(group_.machine().size());
+      w.put_u64(group_.machine().digest());
+      w.put_u64(group_.slots());
+      send_to(session, w.view());
+      return;
+    }
+    case MsgType::kSubscribe: {
+      const auto from_index = reader.get_u64();
+      if (!from_index) {
+        send_error(session, "malformed subscribe");
+        return;
+      }
+      session.subscribed = true;
+      session.next_commit_index = *from_index;
+      push_commits(session);  // catch up on already-committed entries
+      return;
+    }
+    case MsgType::kShutdown: {
+      if (!options_.allow_shutdown) {
+        send_error(session, "shutdown disabled");
+        return;
+      }
+      ByteWriter w(scratch_);
+      w.put_u8(static_cast<std::uint8_t>(MsgType::kBye));
+      send_to(session, w.view());
+      stop_ = true;
+      return;
+    }
+    default:
+      send_error(session, "unknown message type");
+      return;
+  }
+}
+
+void Server::flush_pending() {
+  std::vector<Pending> batch;
+  batch.swap(pending_);
+  std::vector<Command> commands;
+  commands.reserve(batch.size());
+  for (const Pending& p : batch) commands.push_back(p.cmd);
+
+  const CommitResult result = group_.commit(commands);
+  ++stats_.commit_batches;
+  stats_.commit_entries += commands.size();
+
+  // Acks to each proposer still connected.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto it = sessions_.find(batch[i].fd);
+    if (it == sessions_.end()) continue;  // proposer left; the commit stands
+    const Applied& a = result.applied[i];
+    if (a.duplicate) ++stats_.duplicates;
+    ByteWriter w(scratch_);
+    w.put_u8(static_cast<std::uint8_t>(MsgType::kAck));
+    w.put_u64(batch[i].cmd.request_id);
+    w.put_u64(a.index);
+    w.put_u8(a.duplicate ? 1 : 0);
+    send_to(it->second, w.view());
+  }
+
+  // New log entries to every subscriber.
+  for (auto& [fd, session] : sessions_) {
+    if (session.subscribed) push_commits(session);
+  }
+}
+
+void Server::push_commits(Session& session) {
+  const StateMachine& machine = group_.machine();
+  while (session.next_commit_index < machine.size()) {
+    const std::uint64_t index = session.next_commit_index++;
+    ByteWriter w(scratch_);
+    put_commit(w, index, machine.entry(index));
+    send_to(session, w.view());
+  }
+}
+
+void Server::drop_session(int fd) {
+  loop_.remove(fd);
+  sessions_.erase(fd);  // Fd RAII closes the socket
+}
+
+void Server::send_to(Session& session, std::span<const std::byte> payload) {
+  std::vector<std::byte> frame;
+  net::append_frame(frame, payload);
+  // Blocking write; a vanished peer surfaces on its next EPOLLIN as EOF.
+  (void)net::send_all(session.fd, frame);
+}
+
+void Server::send_error(Session& session, const std::string& message) {
+  ByteWriter w(scratch_);
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kError));
+  w.put_u32(static_cast<std::uint32_t>(message.size()));
+  w.put_bytes(std::as_bytes(std::span<const char>(message.data(), message.size())));
+  send_to(session, w.view());
+}
+
+}  // namespace lft::service

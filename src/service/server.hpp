@@ -1,0 +1,92 @@
+// lft_serve's server: a single-threaded epoll reactor multiplexing client
+// sessions over TCP, group-committing proposals through the ReplicaGroup.
+// All proposals that arrive within one epoll dispatch batch ride the same
+// consensus slot (one slot per batch, not per request), then each proposer
+// gets its kAck and every subscriber the new kCommit entries — the wire
+// protocol is src/service/wire.hpp over net/frame.hpp frames.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/epoll.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "service/replica.hpp"
+
+namespace lft::service {
+
+struct ServerOptions {
+  std::uint16_t port = 0;  ///< 0 picks a free port; see Server::port()
+  NodeId n = kDefaultGroupSize;
+  std::int64_t t = kDefaultFaultBudget;
+  /// Replica Programs behind socketpair threads (net::SocketTransport)
+  /// instead of inline (core::LoopbackTransport).
+  bool use_sockets = false;
+  /// Honor kShutdown frames (tests and benches stop the server this way).
+  bool allow_shutdown = true;
+  /// When set, the first commit slot is recorded as an LFTTRACE file.
+  std::string trace_path;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+
+  /// The bound port (useful with options.port = 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Serves until a kShutdown frame arrives (allow_shutdown) — the epoll
+  /// loop, typically run on its own thread by tests and lft_serve.
+  void run();
+
+  [[nodiscard]] const ReplicaGroup& group() const noexcept { return group_; }
+
+  struct Stats {
+    std::uint64_t sessions_accepted = 0;
+    std::uint64_t proposals = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t commit_batches = 0;
+    std::uint64_t commit_entries = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Session {
+    net::Fd fd;
+    net::FrameParser parser;
+    std::uint64_t client_id = 0;
+    bool hello_done = false;
+    bool subscribed = false;
+    std::uint64_t next_commit_index = 0;  ///< subscription push cursor
+  };
+  struct Pending {
+    int fd = -1;  ///< proposer's session (may have closed by commit time)
+    Command cmd;
+  };
+
+  void accept_ready();
+  void session_ready(int fd);
+  void handle_frame(Session& session, std::span<const std::byte> payload);
+  void flush_pending();
+  void push_commits(Session& session);
+  void drop_session(int fd);
+  void send_to(Session& session, std::span<const std::byte> payload);
+  void send_error(Session& session, const std::string& message);
+
+  ServerOptions options_;
+  ReplicaGroup group_;
+  net::Fd listener_;
+  std::uint16_t port_ = 0;
+  net::EpollLoop loop_;
+  std::unordered_map<int, Session> sessions_;
+  std::vector<Pending> pending_;
+  std::vector<std::byte> scratch_;  ///< reused frame encode buffer
+  Stats stats_;
+  bool stop_ = false;
+};
+
+}  // namespace lft::service

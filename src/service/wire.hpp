@@ -1,0 +1,35 @@
+// lft_serve client wire protocol: length-prefixed frames (net/frame.hpp)
+// whose payload is [u8 MsgType][codec fields]. Documented field by field in
+// docs/service.md — keep the two in sync (tests/test_docs.cpp spot-checks
+// the doc against this header's enumerators).
+//
+//   client -> server            server -> client
+//   kHello [client_id]          kWelcome [client_id][last_request_id]
+//   kPropose [request_id]       kAck [request_id][log_index][duplicate]
+//            [len][payload]
+//   kRead                       kState [size][digest][slots]
+//   kSubscribe [from_index]     kCommit [index][client_id][request_id]
+//                                       [len][payload]   (one per entry)
+//   kShutdown                   kBye
+//                               kError [len][message]
+#pragma once
+
+#include <cstdint>
+
+namespace lft::service {
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kWelcome = 2,
+  kPropose = 3,
+  kAck = 4,
+  kRead = 5,
+  kState = 6,
+  kSubscribe = 7,
+  kCommit = 8,
+  kShutdown = 9,
+  kBye = 10,
+  kError = 11,
+};
+
+}  // namespace lft::service

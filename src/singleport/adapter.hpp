@@ -54,6 +54,11 @@ class SinglePortStageProcess final : public sim::SinglePortProcess {
     void send(NodeId to, std::uint32_t tag, std::uint64_t value, std::uint64_t bits,
               sim::PayloadView body) override;
     void decide(std::uint64_t value) override { ctx_->decide(value); }
+    // Lifecycle control stays with the adapter: stages only send/decide
+    // (halting and parking are Program-wrapper concerns), so these are
+    // unreachable from the wrapped stage and deliberately inert.
+    void halt() override {}
+    void sleep_until(Round /*wake_round*/) override {}
     void count_fallback() override { ctx_->count_fallback(); }
 
    private:

@@ -15,6 +15,7 @@
 #include "forensics/replay.hpp"
 #include "forensics/shrink.hpp"
 #include "scenarios/scenarios.hpp"
+#include "service/wire.hpp"
 
 namespace lft {
 namespace {
@@ -117,16 +118,77 @@ TEST(Docs, ArchitectureDocCoversTheContracts) {
   }
 }
 
+TEST(Docs, ArchitectureDocCoversTheTransportSeam) {
+  const auto markdown = read_file(docs_path("architecture.md"));
+  for (const char* needle :
+       {"transport seam", "Transport", "RoundDriver", "LoopbackTransport",
+        "SocketTransport", "step_round", "twin property", "service_slot_commit",
+        "docs/service.md"}) {
+    EXPECT_NE(markdown.find(needle), std::string::npos)
+        << "docs/architecture.md lacks '" << needle << "'";
+  }
+}
+
 TEST(Docs, ReadmeLinksTheDocsPlane) {
   const auto readme = read_file(std::string(LFT_SOURCE_DIR) + "/README.md");
   EXPECT_NE(readme.find("docs/architecture.md"), std::string::npos);
   EXPECT_NE(readme.find("docs/scenarios.md"), std::string::npos);
   EXPECT_NE(readme.find("docs/forensics.md"), std::string::npos)
       << "README must link the forensics plane";
+  EXPECT_NE(readme.find("docs/service.md"), std::string::npos)
+      << "README must link the service plane";
   EXPECT_NE(readme.find("lft_fleet"), std::string::npos)
       << "README must document the fleet quickstart";
   EXPECT_NE(readme.find("lft_forensics"), std::string::npos)
       << "README must document the forensics quickstart";
+  EXPECT_NE(readme.find("lft_serve"), std::string::npos)
+      << "README must document the service quickstart";
+}
+
+/// Stable doc name of a wire message type. The switch has no default on
+/// purpose: a new enumerator breaks the build here (-Werror=switch) until
+/// it is named — and the test below demands docs/service.md documents it.
+const char* msg_type_name(service::MsgType type) {
+  using service::MsgType;
+  switch (type) {
+    case MsgType::kHello: return "kHello";
+    case MsgType::kWelcome: return "kWelcome";
+    case MsgType::kPropose: return "kPropose";
+    case MsgType::kAck: return "kAck";
+    case MsgType::kRead: return "kRead";
+    case MsgType::kState: return "kState";
+    case MsgType::kSubscribe: return "kSubscribe";
+    case MsgType::kCommit: return "kCommit";
+    case MsgType::kShutdown: return "kShutdown";
+    case MsgType::kBye: return "kBye";
+    case MsgType::kError: return "kError";
+  }
+  return nullptr;
+}
+
+TEST(DocsService, NamesEveryWireMessageType) {
+  const auto markdown = read_file(docs_path("service.md"));
+  using service::MsgType;
+  for (const MsgType type :
+       {MsgType::kHello, MsgType::kWelcome, MsgType::kPropose, MsgType::kAck,
+        MsgType::kRead, MsgType::kState, MsgType::kSubscribe, MsgType::kCommit,
+        MsgType::kShutdown, MsgType::kBye, MsgType::kError}) {
+    const std::string needle = std::string("`") + msg_type_name(type) + "`";
+    EXPECT_NE(markdown.find(needle), std::string::npos)
+        << "docs/service.md lacks wire message " << needle;
+  }
+}
+
+TEST(DocsService, CoversTheServicePlaneContracts) {
+  const auto markdown = read_file(docs_path("service.md"));
+  for (const char* needle :
+       {"StateMachine", "dedup", "chained digest", "ReplicaGroup", "consensus slot",
+        "RoundDriver", "LoopbackTransport", "SocketTransport", "service_slot_commit",
+        "LFTTRACE", "lft_forensics replay", "lft_serve", "lft_bench_client",
+        "5t < n", "BENCH_service"}) {
+    EXPECT_NE(markdown.find(needle), std::string::npos)
+        << "docs/service.md lacks '" << needle << "'";
+  }
 }
 
 TEST(DocsForensics, NamesEveryDigestComponentOfTheLiveApi) {

@@ -580,7 +580,9 @@ TEST(Takeover, MidrunTakeoverIsDeterministicAcrossRunsAndThreads) {
     for (std::int64_t i = 0; i < 11; ++i) {
       plan.takeover(static_cast<NodeId>(i * 2 % params.little_count), 3, "silent");
     }
-    return byzantine::run_ab_consensus_plan(params, inputs, std::move(plan), threads);
+    core::RunOptions options;
+    options.threads = threads;
+    return byzantine::run_ab_consensus_plan(params, inputs, std::move(plan), options);
   };
   const auto a = run_once(1);
   const auto b = run_once(1);
@@ -621,8 +623,9 @@ TEST(FaultPlaneThreads, MixedPlanReportBitIdenticalAcrossThreadCounts) {
     auto factory = [&](NodeId v) {
       return make_few_crashes_process(params, v, inputs[static_cast<std::size_t>(v)]);
     };
-    return run_system(n, t, factory, sim::make_plan_injector(std::move(plan)),
-                      Round{1} << 22, threads);
+    core::RunOptions options;
+    options.threads = threads;
+    return run_system(n, t, factory, sim::make_plan_injector(std::move(plan)), options);
   };
   const auto serial = run_once(1);
   const auto parallel = run_once(4);

@@ -139,8 +139,10 @@ TEST(EngineScratch, RecyclesThroughProtocolRunners) {
     auto factory = [&](NodeId v) {
       return core::make_few_crashes_process(params, v, inputs[static_cast<std::size_t>(v)]);
     };
-    const auto cold = core::run_system(n, t, factory, nullptr, Round{1} << 22, 1, nullptr);
-    const auto warm = core::run_system(n, t, factory, nullptr, Round{1} << 22, 1, &scratch);
+    core::RunOptions warm_options;
+    warm_options.scratch = &scratch;
+    const auto cold = core::run_system(n, t, factory, nullptr, {});
+    const auto warm = core::run_system(n, t, factory, nullptr, warm_options);
     EXPECT_EQ(scenarios::fingerprint(cold), scenarios::fingerprint(warm)) << "n=" << n;
   }
 }
@@ -223,9 +225,7 @@ TEST(FleetSweep, ThousandMixedInstancesBitIdenticalToSerial) {
                         << out.item.n << ": " << out.detail;
     // The acceptance bar: bit-identical to serial one-at-a-time execution
     // (cold buffers, no fleet, no scratch).
-    const auto serial = items[i].scenario->run_at(items[i].seed, /*threads=*/1, items[i].n,
-                                                  items[i].t, /*scratch=*/nullptr,
-                                                  /*trace=*/nullptr);
+    const auto serial = items[i].scenario->run_at(items[i].seed, items[i].n, items[i].t, {});
     EXPECT_EQ(scenarios::fingerprint(serial.report), out.fingerprint)
         << items[i].scenario->name << " seed " << items[i].seed << " n " << items[i].n;
     // And the full report shipped through the handle matches its digest.

@@ -405,8 +405,8 @@ TEST(ScenarioPlans, PlanDrivenScenariosComposeBackToRunAt) {
     // Scaled-down shapes keep the sweep fast.
     const NodeId n = std::max<NodeId>(48, s.n / 4);
     const std::int64_t t = s.scaled_t(n);
-    const auto direct = s.run_at(9, 1, n, t, nullptr, nullptr);
-    const auto composed = s.run_plan(9, 1, n, t, s.plan_of(9, n, t), nullptr, nullptr);
+    const auto direct = s.run_at(9, n, t, {});
+    const auto composed = s.run_plan(9, n, t, s.plan_of(9, n, t), {});
     EXPECT_EQ(scenarios::fingerprint(direct.report),
               scenarios::fingerprint(composed.report))
         << s.name;

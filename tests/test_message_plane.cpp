@@ -306,14 +306,15 @@ TEST(MessagePlane, ParallelSteppingBitIdenticalCrashConsensus) {
   std::vector<int> inputs(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) inputs[static_cast<std::size_t>(v)] = (v * 3 + 1) % 2;
   auto run_with_threads = [&](int threads) {
+    core::RunOptions options;
+    options.threads = threads;
     return core::run_system(
         n, t,
         [&](NodeId v) {
           return core::make_few_crashes_process(params, v,
                                                 inputs[static_cast<std::size_t>(v)]);
         },
-        make_scheduled(random_crash_schedule(n, t, 0, 4 * t, 0.5, 99)),
-        Round{1} << 22, threads);
+        make_scheduled(random_crash_schedule(n, t, 0, 4 * t, 0.5, 99)), options);
   };
   const Report serial = run_with_threads(1);
   const Report parallel = run_with_threads(3);
@@ -328,9 +329,11 @@ TEST(MessagePlane, ParallelSteppingBitIdenticalGossip) {
   std::vector<std::uint64_t> rumors(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) rumors[static_cast<std::size_t>(v)] = 1000u + v;
   auto run_with_threads = [&](int threads) {
+    core::RunOptions options;
+    options.threads = threads;
     return core::run_gossip(params, rumors,
                             make_scheduled(random_crash_schedule(n, t, 0, 40, 0.5, 7)),
-                            threads);
+                            options);
   };
   const auto serial = run_with_threads(1);
   const auto parallel = run_with_threads(4);

@@ -1,0 +1,360 @@
+// The service plane: replicated state machine semantics (dedup, digests),
+// the transport seam's twin property (identical Programs under sim::Engine,
+// LoopbackTransport, and SocketTransport produce bit-identical Reports and
+// trace digests), live-trace forensics replay, and the lft_serve server /
+// client loop over real TCP sockets.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/run_options.hpp"
+#include "forensics/replay.hpp"
+#include "forensics/trace.hpp"
+#include "net/transport.hpp"
+#include "scenarios/scenarios.hpp"
+#include "service/client.hpp"
+#include "service/ordering.hpp"
+#include "service/replica.hpp"
+#include "service/server.hpp"
+#include "service/state_machine.hpp"
+
+namespace lft::service {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return std::vector<std::byte>(p, p + s.size());
+}
+
+// ---- state machine ---------------------------------------------------------
+
+TEST(StateMachine, AppendsAndDedupsPerClient) {
+  StateMachine sm;
+  const auto a = sm.apply(Command{1, 1, bytes_of("a")});
+  EXPECT_EQ(a.index, 0u);
+  EXPECT_FALSE(a.duplicate);
+  const auto b = sm.apply(Command{2, 1, bytes_of("b")});
+  EXPECT_EQ(b.index, 1u);
+  EXPECT_FALSE(b.duplicate);
+
+  // Replay of client 1's last request: original index, nothing appended.
+  const auto a2 = sm.apply(Command{1, 1, bytes_of("a")});
+  EXPECT_TRUE(a2.duplicate);
+  EXPECT_EQ(a2.index, 0u);
+  EXPECT_EQ(sm.size(), 2u);
+
+  // A fresh request from client 1 appends.
+  const auto c = sm.apply(Command{1, 2, bytes_of("c")});
+  EXPECT_FALSE(c.duplicate);
+  EXPECT_EQ(c.index, 2u);
+  EXPECT_EQ(sm.last_request_of(1), 2u);
+  EXPECT_EQ(sm.last_request_of(99), 0u);
+}
+
+TEST(StateMachine, DigestIsOrderSensitiveAndDeterministic) {
+  StateMachine x, y, z;
+  (void)x.apply(Command{1, 1, bytes_of("a")});
+  (void)x.apply(Command{1, 2, bytes_of("b")});
+  (void)y.apply(Command{1, 1, bytes_of("a")});
+  (void)y.apply(Command{1, 2, bytes_of("b")});
+  EXPECT_EQ(x.digest(), y.digest());
+  (void)z.apply(Command{1, 1, bytes_of("b")});
+  (void)z.apply(Command{1, 2, bytes_of("a")});
+  EXPECT_NE(x.digest(), z.digest());
+  // Duplicates do not perturb the digest.
+  const auto before = x.digest();
+  (void)x.apply(Command{1, 2, bytes_of("b")});
+  EXPECT_EQ(x.digest(), before);
+}
+
+// ---- the twin property -----------------------------------------------------
+
+struct TwinRun {
+  SlotOutcome outcome;
+  forensics::Trace trace;
+};
+
+TwinRun run_on_engine(NodeId n, std::int64_t t) {
+  forensics::TraceRecorder recorder;
+  core::RunOptions options;
+  options.trace = &recorder;
+  TwinRun r;
+  r.outcome = run_slot_on_engine(n, t, options);
+  r.trace = recorder.take();
+  return r;
+}
+
+TwinRun run_on_transport(NodeId n, std::int64_t t, bool sockets) {
+  forensics::TraceRecorder recorder;
+  core::RunOptions options;
+  options.trace = &recorder;
+  TwinRun r;
+  if (sockets) {
+    net::SocketTransport transport(make_slot_programs(n, t));
+    r.outcome = run_slot(n, transport, options);
+  } else {
+    core::LoopbackTransport transport(make_slot_programs(n, t));
+    r.outcome = run_slot(n, transport, options);
+  }
+  r.trace = recorder.take();
+  return r;
+}
+
+void expect_twin(const TwinRun& engine, const TwinRun& live, const char* label) {
+  EXPECT_TRUE(engine.outcome.committed) << label;
+  EXPECT_TRUE(live.outcome.committed) << label;
+  EXPECT_EQ(scenarios::fingerprint(engine.outcome.report),
+            scenarios::fingerprint(live.outcome.report))
+      << label << ": Report fingerprints diverge";
+  ASSERT_EQ(engine.trace.rounds.size(), live.trace.rounds.size()) << label;
+  for (std::size_t i = 0; i < engine.trace.rounds.size(); ++i) {
+    EXPECT_EQ(engine.trace.rounds[i], live.trace.rounds[i])
+        << label << ": round digest " << i << " diverges";
+  }
+}
+
+TEST(TransportSeam, LoopbackDriverIsBitIdenticalToEngine) {
+  const auto engine = run_on_engine(7, 1);
+  const auto live = run_on_transport(7, 1, /*sockets=*/false);
+  expect_twin(engine, live, "loopback n=7");
+  EXPECT_EQ(engine.outcome.report.rounds, live.outcome.report.rounds);
+}
+
+TEST(TransportSeam, SocketTransportIsBitIdenticalToEngine) {
+  const auto engine = run_on_engine(7, 1);
+  const auto live = run_on_transport(7, 1, /*sockets=*/true);
+  expect_twin(engine, live, "sockets n=7");
+}
+
+TEST(TransportSeam, TwinHoldsAcrossShapes) {
+  // Shapes honoring Few-Crashes-Consensus's 5t < n requirement.
+  for (const auto& [n, t] : {std::pair<NodeId, std::int64_t>{6, 1}, {12, 2}, {25, 4}}) {
+    const auto engine = run_on_engine(n, t);
+    const auto live = run_on_transport(n, t, /*sockets=*/false);
+    expect_twin(engine, live, ("loopback n=" + std::to_string(n)).c_str());
+  }
+}
+
+// ---- replica group + forensics bridge --------------------------------------
+
+TEST(ReplicaGroup, CommitsBatchesToAllReplicasIdentically) {
+  ReplicaGroup group(ReplicaGroupOptions{});
+  std::vector<Command> batch;
+  batch.push_back(Command{1, 1, bytes_of("set x 1")});
+  batch.push_back(Command{2, 1, bytes_of("set y 2")});
+  const auto first = group.commit(batch);
+  ASSERT_EQ(first.applied.size(), 2u);
+  EXPECT_EQ(first.applied[0].index, 0u);
+  EXPECT_EQ(first.applied[1].index, 1u);
+  EXPECT_GT(first.slot_rounds, 0);
+  EXPECT_GT(first.slot_messages, 0);
+
+  // Second batch, with one duplicate riding along.
+  std::vector<Command> second;
+  second.push_back(Command{1, 1, bytes_of("set x 1")});  // replay
+  second.push_back(Command{1, 2, bytes_of("set x 3")});
+  const auto r = group.commit(second);
+  EXPECT_TRUE(r.applied[0].duplicate);
+  EXPECT_EQ(r.applied[0].index, 0u);
+  EXPECT_FALSE(r.applied[1].duplicate);
+  EXPECT_EQ(r.applied[1].index, 2u);
+  EXPECT_EQ(group.machine().size(), 3u);
+  EXPECT_EQ(group.slots(), 2u);
+}
+
+TEST(ReplicaGroup, LiveSlotTraceReplaysUnderTheEngine) {
+  const std::string path = ::testing::TempDir() + "lft_service_slot.trace";
+  ReplicaGroupOptions options;
+  options.trace_path = path;
+  ReplicaGroup group(options);
+  std::vector<Command> batch{Command{1, 1, bytes_of("hello")}};
+  (void)group.commit(batch);
+  ASSERT_TRUE(group.trace_saved());
+
+  // The live trace must replay cleanly against the registered scenario —
+  // the forensics plane accepts live service executions as first-class.
+  const auto trace = forensics::load_trace(path);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->meta.scenario, kSlotScenarioName);
+  const auto replayed = forensics::replay(*trace, /*threads=*/1);
+  EXPECT_FALSE(replayed.divergence.diverged)
+      << "live slot trace diverged from engine replay: " << replayed.divergence.detail;
+  std::remove(path.c_str());
+}
+
+// ---- server + client over real TCP -----------------------------------------
+
+/// Server on its own thread; the destructor shuts it down through the wire
+/// (kShutdown) if a test did not already.
+struct RunningServer {
+  Server server;
+  std::thread thread;
+
+  explicit RunningServer(ServerOptions options = {}) : server(std::move(options)) {
+    thread = std::thread([this] { server.run(); });
+  }
+  ~RunningServer() {
+    Client stopper(server.port(), /*client_id=*/0xdeadbeef);
+    if (stopper.connected()) (void)stopper.shutdown_server();
+    thread.join();
+  }
+};
+
+TEST(ServiceServer, ProposeAckAndRead) {
+  RunningServer rs;
+  Client client(rs.server.port(), /*client_id=*/1);
+  ASSERT_TRUE(client.connected());
+  EXPECT_EQ(client.welcome_last_request(), 0u);
+
+  const auto a = client.propose(1, bytes_of("set x 1"));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->index, 0u);
+  EXPECT_FALSE(a->duplicate);
+
+  const auto b = client.propose(2, bytes_of("set y 2"));
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->index, 1u);
+
+  const auto state = client.read_state();
+  ASSERT_TRUE(state.has_value());
+  EXPECT_EQ(state->size, 2u);
+  EXPECT_GE(state->slots, 1u);
+}
+
+TEST(ServiceServer, SessionReconnectDedupsReplayedRequest) {
+  RunningServer rs;
+  std::uint64_t first_index = 0;
+  {
+    Client client(rs.server.port(), /*client_id=*/42);
+    ASSERT_TRUE(client.connected());
+    const auto a = client.propose(7, bytes_of("payment"));
+    ASSERT_TRUE(a.has_value());
+    first_index = a->index;
+  }  // connection dies with the ack possibly unseen by the application
+
+  // Reconnect: the welcome reports the last applied request, and replaying
+  // it acks the original log index without a second append.
+  Client again(rs.server.port(), /*client_id=*/42);
+  ASSERT_TRUE(again.connected());
+  EXPECT_EQ(again.welcome_last_request(), 7u);
+  const auto replay = again.propose(7, bytes_of("payment"));
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_TRUE(replay->duplicate);
+  EXPECT_EQ(replay->index, first_index);
+  const auto state = again.read_state();
+  ASSERT_TRUE(state.has_value());
+  EXPECT_EQ(state->size, 1u);
+
+  const auto fresh = again.propose(8, bytes_of("refund"));
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_FALSE(fresh->duplicate);
+}
+
+TEST(ServiceServer, SubscriberSeesEveryCommitInLogOrder) {
+  RunningServer rs;
+  Client subscriber(rs.server.port(), /*client_id=*/100);
+  ASSERT_TRUE(subscriber.connected());
+  ASSERT_TRUE(subscriber.subscribe(0));
+
+  Client writer(rs.server.port(), /*client_id=*/1);
+  ASSERT_TRUE(writer.connected());
+  constexpr int kCommands = 20;
+  for (int i = 1; i <= kCommands; ++i) {
+    const auto a = writer.propose(static_cast<std::uint64_t>(i),
+                                  bytes_of("cmd " + std::to_string(i)));
+    ASSERT_TRUE(a.has_value());
+  }
+
+  for (int i = 0; i < kCommands; ++i) {
+    const auto e = subscriber.next_commit();
+    ASSERT_TRUE(e.has_value()) << "commit " << i;
+    EXPECT_EQ(e->index, static_cast<std::uint64_t>(i)) << "commits out of order";
+    EXPECT_EQ(e->client_id, 1u);
+    EXPECT_EQ(e->request_id, static_cast<std::uint64_t>(i + 1));
+    EXPECT_EQ(e->payload, bytes_of("cmd " + std::to_string(i + 1)));
+  }
+}
+
+TEST(ServiceServer, LinearizabilitySmokeAcrossConcurrentClients) {
+  RunningServer rs;
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 25;
+
+  std::vector<std::vector<std::uint64_t>> indices(kClients);
+  std::vector<std::thread> workers;
+  workers.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    workers.emplace_back([&, c] {
+      Client client(rs.server.port(), static_cast<std::uint64_t>(c + 1));
+      ASSERT_TRUE(client.connected());
+      for (int i = 1; i <= kPerClient; ++i) {
+        const auto a = client.propose(static_cast<std::uint64_t>(i),
+                                      bytes_of(std::to_string(c) + ":" + std::to_string(i)));
+        ASSERT_TRUE(a.has_value());
+        ASSERT_FALSE(a->duplicate);
+        indices[static_cast<std::size_t>(c)].push_back(a->index);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // Every command landed exactly once, and each client's commands appear in
+  // its submission order — the per-session guarantee a total order plus one
+  // outstanding request per client implies.
+  std::vector<bool> seen(kClients * kPerClient, false);
+  for (const auto& per_client : indices) {
+    ASSERT_EQ(per_client.size(), static_cast<std::size_t>(kPerClient));
+    for (std::size_t i = 0; i + 1 < per_client.size(); ++i) {
+      EXPECT_LT(per_client[i], per_client[i + 1]) << "session order not preserved";
+    }
+    for (const auto index : per_client) {
+      ASSERT_LT(index, seen.size());
+      EXPECT_FALSE(seen[index]) << "two commands share log index " << index;
+      seen[index] = true;
+    }
+  }
+  Client reader(rs.server.port(), /*client_id=*/999);
+  ASSERT_TRUE(reader.connected());
+  const auto state = reader.read_state();
+  ASSERT_TRUE(state.has_value());
+  EXPECT_EQ(state->size, static_cast<std::uint64_t>(kClients * kPerClient));
+}
+
+TEST(ServiceServer, ServesOverSocketTransportReplicas) {
+  ServerOptions options;
+  options.use_sockets = true;
+  RunningServer rs(options);
+  Client client(rs.server.port(), /*client_id=*/5);
+  ASSERT_TRUE(client.connected());
+  const auto a = client.propose(1, bytes_of("over sockets"));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->index, 0u);
+  const auto state = client.read_state();
+  ASSERT_TRUE(state.has_value());
+  EXPECT_EQ(state->size, 1u);
+}
+
+TEST(ServiceServer, LiveServerTraceReplaysUnderTheEngine) {
+  const std::string path = ::testing::TempDir() + "lft_serve_live.trace";
+  {
+    ServerOptions options;
+    options.trace_path = path;
+    RunningServer rs(options);
+    Client client(rs.server.port(), /*client_id=*/1);
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.propose(1, bytes_of("traced")).has_value());
+  }
+  const auto trace = forensics::load_trace(path);
+  ASSERT_TRUE(trace.has_value());
+  const auto replayed = forensics::replay(*trace, /*threads=*/1);
+  EXPECT_FALSE(replayed.divergence.diverged)
+      << "live server trace diverged: " << replayed.divergence.detail;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lft::service
