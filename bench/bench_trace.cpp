@@ -1,10 +1,13 @@
 // Recorder-overhead gate for the forensics plane: the same engine-hotpath
 // fanout workload (bench/engine_hotpath.cpp) with tracing off vs. a
-// TraceRecorder installed. The TraceSink contract is <= 5% overhead on the
-// hot path when enabled (and zero when disabled — loss counters hide behind
-// the drop branches); scripts/check_trace_overhead.py compares the paired
-// BM_TraceOff/BM_TraceOn items_per_second rates and fails CI past the
-// threshold (advisory under ASan, like the hotpath gate).
+// TraceRecorder installed. The TraceSink contract is <= 5% overhead or
+// <= 5 ns per message on the hot path when enabled, whichever allows more
+// (and zero when disabled — loss counters hide behind the drop branches);
+// scripts/check_trace_overhead.py compares the paired BM_TraceOff/BM_TraceOn
+// items_per_second rates and fails CI past both bounds (advisory under
+// ASan, like the hotpath gate). The absolute budget is what keeps the gate
+// stable as the untraced baseline speeds up: the recorder's digest work is
+// a fixed per-message cost, not a fraction of delivery time.
 #include <benchmark/benchmark.h>
 
 #include <cstddef>

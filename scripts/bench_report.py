@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Perf-history dashboard for the engine hot path.
+
+Reads the checked-in measurement points under bench/history/ (one JSON file
+per recorded point, lexicographic file order = chronological order), plus an
+optional just-measured rows file, and renders a per-benchmark trend table:
+p50/p95 items/s per point and tier, the delta against the previous point of
+the same (benchmark, tier) series, and a regression flag when a series drops
+more than --tolerance below its predecessor.
+
+History point schema (see bench/history/README.md):
+  {
+    "label": "...",            # short name shown in the table
+    "date": "YYYY-MM-DD",
+    "commit": "...",           # abbreviated hash the point was measured at
+    "machine": "...",
+    "rows": [ {"bench": ..., "simd": ..., "items_per_second": ...}, ... ]
+  }
+Rows repeat per benchmark repetition; the report reduces them to p50/p95.
+The rows array is exactly what engine_hotpath --json emits, so recording a
+new point is: run the bench, wrap the rows, drop the file in bench/history/.
+
+Usage: bench_report.py [--history DIR] [--latest ROWS_JSON --label NAME]
+           [--out PATH] [--check] [--tolerance 0.25]
+
+--check exits nonzero when any series regresses beyond the tolerance —
+CI runs the script in this mode over history + the fresh measurement, then
+archives the rendered report as a build artifact.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def percentile(values, fraction):
+    """Nearest-rank percentile; robust for the tiny rep counts we record."""
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def load_points(history_dir):
+    points = []
+    for name in sorted(os.listdir(history_dir)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(history_dir, name)
+        with open(path, encoding="utf-8") as f:
+            point = json.load(f)
+        point.setdefault("label", os.path.splitext(name)[0])
+        points.append(point)
+    return points
+
+
+def reduce_point(point):
+    """{(bench, simd) -> {"p50": ..., "p95": ..., "reps": N}}."""
+    samples = {}
+    for row in point.get("rows", []):
+        ips = row.get("items_per_second")
+        if ips is None:
+            continue
+        samples.setdefault((row["bench"], row.get("simd", "?")), []).append(ips)
+    return {
+        key: {
+            "p50": percentile(vals, 0.50),
+            "p95": percentile(vals, 0.95),
+            "reps": len(vals),
+        }
+        for key, vals in samples.items()
+    }
+
+
+def fmt_mps(value):
+    return f"{value / 1e6:8.2f}M"
+
+
+def render(points, tolerance):
+    """Returns (report lines, regression flags)."""
+    reduced = [reduce_point(p) for p in points]
+    benches = sorted({bench for stats in reduced for (bench, _) in stats})
+    lines = ["# Engine hot-path perf history", ""]
+    lines.append("Points (oldest first):")
+    for point in points:
+        lines.append(
+            f"  * {point['label']}: {point.get('date', '?')}"
+            f" @ {point.get('commit', '?')} on {point.get('machine', '?')}")
+    lines.append("")
+
+    flags = []
+    for bench in benches:
+        lines.append(f"## {bench}")
+        lines.append(f"{'point':<24} {'tier':<8} {'p50':>10} {'p95':>10} "
+                     f"{'vs prev':>8}  flag")
+        previous = {}  # tier -> p50 of the last point carrying this series
+        for point, stats in zip(points, reduced):
+            for (b, tier), s in sorted(stats.items()):
+                if b != bench:
+                    continue
+                delta = ""
+                flag = ""
+                if tier in previous:
+                    ratio = s["p50"] / previous[tier]
+                    delta = f"{(ratio - 1) * 100:+7.1f}%"
+                    if ratio < 1 - tolerance:
+                        flag = "REGRESSION"
+                        flags.append(f"{bench} [{tier}] at {point['label']}: "
+                                     f"{fmt_mps(previous[tier]).strip()} -> "
+                                     f"{fmt_mps(s['p50']).strip()} items/s")
+                previous[tier] = s["p50"]
+                lines.append(f"{point['label']:<24} {tier:<8} {fmt_mps(s['p50'])} "
+                             f"{fmt_mps(s['p95'])} {delta:>8}  {flag}")
+        lines.append("")
+    return lines, flags
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--history", default="bench/history",
+                        help="directory of history point JSON files")
+    parser.add_argument("--latest", default=None,
+                        help="fresh engine_hotpath --json rows to append as a "
+                             "trailing unrecorded point")
+    parser.add_argument("--label", default="latest (uncommitted)",
+                        help="label for the --latest point")
+    parser.add_argument("--out", default=None, help="also write the report here")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 when any series regresses beyond tolerance")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="fractional p50 drop that counts as a regression "
+                             "(default 0.25)")
+    args = parser.parse_args()
+
+    points = load_points(args.history)
+    if args.latest:
+        with open(args.latest, encoding="utf-8") as f:
+            points.append({"label": args.label, "rows": json.load(f)})
+    if not points:
+        print(f"error: no history points under {args.history}", file=sys.stderr)
+        return 2
+
+    lines, flags = render(points, args.tolerance)
+    report = "\n".join(lines) + "\n"
+    sys.stdout.write(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(report)
+
+    if flags:
+        for flag in flags:
+            print(f"regression: {flag}", file=sys.stderr)
+        if args.check:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

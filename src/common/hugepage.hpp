@@ -1,0 +1,59 @@
+// Transparent huge-page advice for large hot buffers. The delivery sweep
+// scatters 40-byte records at random offsets into arenas tens to hundreds of
+// megabytes large; with 4 KiB pages that walk thrashes the DTLB, and backing
+// the arenas with 2 MiB pages recovers most of it. This header is advice
+// only: madvise(MADV_HUGEPAGE) asks the kernel to use (or collapse to) huge
+// pages where it can — allocation never fails because of it, non-Linux
+// builds compile to a no-op, and LFT_HUGEPAGES=0 switches it off at runtime.
+// Page size never changes observable behavior, only speed, so Reports stay
+// bit-identical either way.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace lft {
+
+/// Runtime kill switch: true unless the environment sets LFT_HUGEPAGES=0.
+/// Latched on first use (the engine consults it on the delivery path).
+[[nodiscard]] inline bool hugepages_enabled() noexcept {
+  static const bool enabled = [] {
+    const char* env = std::getenv("LFT_HUGEPAGES");
+    return env == nullptr || env[0] != '0';
+  }();
+  return enabled;
+}
+
+/// Minimum buffer size worth advising: below ~2 huge pages the kernel has
+/// nothing to collapse and the syscall is pure overhead.
+inline constexpr std::size_t kHugeAdviseMinBytes = std::size_t{4} << 20;
+
+/// Advises the kernel to back `[ptr, ptr + bytes)` with transparent huge
+/// pages. The range is shrunk inward to 4 KiB page boundaries (madvise
+/// requires aligned addresses, and the buffer may start mid-page inside a
+/// malloc'd block); failures — THP disabled system-wide, old kernels — are
+/// deliberately ignored. Safe to call repeatedly on the same region: the
+/// per-VMA flag is idempotent and the syscall costs microseconds against
+/// the multi-millisecond rounds that reach the size gate.
+inline void advise_hugepages(void* ptr, std::size_t bytes) noexcept {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  if (ptr == nullptr || bytes < kHugeAdviseMinBytes || !hugepages_enabled()) return;
+  constexpr std::uintptr_t kPage = 4096;
+  const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+  const std::uintptr_t begin = (addr + kPage - 1) & ~(kPage - 1);
+  const std::uintptr_t end = (addr + bytes) & ~(kPage - 1);
+  if (end > begin) {
+    (void)::madvise(reinterpret_cast<void*>(begin), end - begin, MADV_HUGEPAGE);
+  }
+#else
+  (void)ptr;
+  (void)bytes;
+#endif
+}
+
+}  // namespace lft

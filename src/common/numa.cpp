@@ -1,0 +1,89 @@
+#include "common/numa.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace lft {
+namespace {
+
+// Parses a kernel cpulist ("0-3,8,10-11") into cpu ids appended to `out`.
+// Returns false on malformed input (then the whole discovery is abandoned —
+// a partially mapped topology is worse than none).
+bool parse_cpulist(const std::string& list, int node, std::vector<int>& out_node_of_cpu) {
+  std::size_t i = 0;
+  const auto read_int = [&](int& value) {
+    if (i >= list.size() || list[i] < '0' || list[i] > '9') return false;
+    long v = 0;
+    while (i < list.size() && list[i] >= '0' && list[i] <= '9') {
+      v = v * 10 + (list[i] - '0');
+      if (v > 1 << 20) return false;  // absurd cpu id: refuse
+      ++i;
+    }
+    value = static_cast<int>(v);
+    return true;
+  };
+  while (i < list.size()) {
+    int lo = 0;
+    if (!read_int(lo)) return false;
+    int hi = lo;
+    if (i < list.size() && list[i] == '-') {
+      ++i;
+      if (!read_int(hi) || hi < lo) return false;
+    }
+    for (int cpu = lo; cpu <= hi; ++cpu) {
+      if (static_cast<std::size_t>(cpu) >= out_node_of_cpu.size()) {
+        out_node_of_cpu.resize(static_cast<std::size_t>(cpu) + 1, -1);
+      }
+      out_node_of_cpu[static_cast<std::size_t>(cpu)] = node;
+    }
+    if (i < list.size()) {
+      if (list[i] != ',') return false;
+      ++i;
+    }
+  }
+  return true;
+}
+
+NumaTopology discover() {
+  NumaTopology topo;
+  const char* env = std::getenv("LFT_NUMA");
+  if (env != nullptr && env[0] == '0') return topo;  // forced single-node
+#if defined(__linux__)
+  std::vector<int> node_of_cpu;
+  int nodes = 0;
+  // Populated nodes are dense in practice; scan node0..node255 and stop at
+  // the first gap. A host with holes in its node numbering just loses the
+  // nodes past the hole — placement is only a hint.
+  for (int node = 0; node < 256; ++node) {
+    std::ifstream f("/sys/devices/system/node/node" + std::to_string(node) + "/cpulist");
+    if (!f.is_open()) break;
+    std::string list;
+    std::getline(f, list);
+    if (!list.empty() && !parse_cpulist(list, node, node_of_cpu)) return topo;
+    ++nodes;
+  }
+  if (nodes > 1) {
+    topo.nodes = nodes;
+    topo.node_of_cpu = std::move(node_of_cpu);
+  }
+#endif
+  return topo;
+}
+
+}  // namespace
+
+std::vector<int> NumaTopology::cpus_of_node(int node) const {
+  std::vector<int> cpus;
+  for (std::size_t cpu = 0; cpu < node_of_cpu.size(); ++cpu) {
+    if (node_of_cpu[cpu] == node) cpus.push_back(static_cast<int>(cpu));
+  }
+  return cpus;
+}
+
+const NumaTopology& numa_topology() {
+  static const NumaTopology topo = discover();
+  return topo;
+}
+
+}  // namespace lft

@@ -1,0 +1,37 @@
+// Minimal NUMA topology discovery for the fleet pool. Reads the sysfs node
+// directories once (no libnuma dependency — the container toolchain is all we
+// assume) and exposes a cpu -> node map plus per-node cpu lists. Fleet
+// workers use it to (a) pin themselves to the cpus of one node so an
+// instance's EngineScratch — message vectors and payload-arena chunks, tens
+// to hundreds of MB warm — stays on the memory controller that faulted it,
+// and (b) prefer stealing work from same-node peers, so a stolen instance
+// adopts scratch whose pages are local. On single-node hosts (laptops, most
+// CI, this dev container) discovery returns one node and everything
+// degrades to exactly the old behavior: no pinning, flat stealing.
+//
+// Placement is a performance hint only; Reports are bit-identical regardless
+// of which node (or core) ran an instance. LFT_NUMA=0 forces the single-node
+// path at runtime.
+#pragma once
+
+#include <vector>
+
+namespace lft {
+
+/// Immutable snapshot of the host's NUMA layout.
+struct NumaTopology {
+  /// Number of populated nodes (>= 1; exactly 1 when discovery is
+  /// unavailable, disabled via LFT_NUMA=0, or the host is UMA).
+  int nodes = 1;
+  /// node_of_cpu[cpu] = NUMA node owning that cpu id, for every cpu id the
+  /// kernel lists. Empty when nodes == 1 (nothing to look up).
+  std::vector<int> node_of_cpu;
+
+  /// All cpu ids belonging to `node` (ascending). Empty when unknown.
+  [[nodiscard]] std::vector<int> cpus_of_node(int node) const;
+};
+
+/// The host topology, discovered once on first use (thread-safe latch).
+[[nodiscard]] const NumaTopology& numa_topology();
+
+}  // namespace lft

@@ -1,0 +1,233 @@
+// AVX2 tier of the SIMD message-plane kernels (see common/simd.hpp). This TU
+// is compiled with -mavx2 when the compiler supports it; otherwise it
+// degrades to an empty table and dispatch clamps to scalar. Every kernel is
+// an exact integer restatement of the scalar reference in simd.cpp —
+// wrapping adds/multiplies and XOR folds are associative/commutative over
+// the lane regrouping done here, so results are bit-identical by
+// construction (and asserted in tests/test_simd.cpp).
+#include "common/simd.hpp"
+
+#if defined(__AVX2__) && defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace lft::simd {
+namespace {
+
+// Exact 64-bit low-half product per lane (AVX2 has no vpmullq): split into
+// 32-bit halves, lo*lo + ((lo*hi + hi*lo) << 32), all mod 2^64.
+inline __m256i mullo_epi64(__m256i a, __m256i b) {
+  const __m256i bswap = _mm256_shuffle_epi32(b, 0xB1);   // b hi<->lo per 64
+  const __m256i prodlh = _mm256_mullo_epi32(a, bswap);   // a.lo*b.hi, a.hi*b.lo
+  const __m256i prodlh2 = _mm256_srli_epi64(prodlh, 32);
+  const __m256i prodlh3 = _mm256_add_epi32(prodlh2, prodlh);
+  const __m256i cross = _mm256_slli_epi64(prodlh3, 32);  // (cross sums) << 32
+  const __m256i prodll = _mm256_mul_epu32(a, b);         // a.lo*b.lo (full 64)
+  return _mm256_add_epi64(prodll, cross);
+}
+
+void histogram_u32_avx2(const std::uint32_t* keys, std::size_t n,
+                        std::uint32_t* counts) {
+  // Counting into one shared array is inherently serial per key; AVX2 has
+  // neither scatter nor conflict detection, so this tier keeps the scalar
+  // loop (the tier's wins are in scan/scatter/keys/digests).
+  for (std::size_t i = 0; i < n; ++i) ++counts[keys[i]];
+}
+
+std::uint32_t exclusive_scan_u32_avx2(std::uint32_t* a, std::size_t n) {
+  std::uint32_t running = 0;
+  std::size_t i = 0;
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i rot1 = _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6);
+  for (; i + 8 <= n; i += 8) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    // Inclusive scan of 8 lanes: within-128 shifts, then carry the low
+    // half's total into the high half.
+    x = _mm256_add_epi32(x, _mm256_slli_si256(x, 4));
+    x = _mm256_add_epi32(x, _mm256_slli_si256(x, 8));
+    const __m256i lane3 = _mm256_permutevar8x32_epi32(x, _mm256_set1_epi32(3));
+    x = _mm256_add_epi32(x, _mm256_blend_epi32(zero, lane3, 0xF0));
+    // Exclusive = running + (inclusive shifted right one lane, 0 in lane 0).
+    __m256i shifted = _mm256_permutevar8x32_epi32(x, rot1);
+    shifted = _mm256_blend_epi32(shifted, zero, 0x01);
+    const __m256i out = _mm256_add_epi32(shifted, _mm256_set1_epi32(static_cast<int>(running)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i), out);
+    running += static_cast<std::uint32_t>(
+        _mm256_extract_epi32(x, 7));  // inclusive total of this block
+  }
+  for (; i < n; ++i) {
+    const std::uint32_t count = a[i];
+    a[i] = running;
+    running += count;
+  }
+  return running;
+}
+
+void scatter_records40_avx2(const std::byte* src, std::size_t n,
+                            const std::uint32_t* keys, std::uint32_t* next_slot,
+                            std::byte* dst) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t slot = next_slot[keys[i]]++;
+    const std::byte* s = src + std::size_t{40} * i;
+    std::byte* d = dst + std::size_t{40} * slot;
+    const __m256i head = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s));
+    std::uint64_t tail;
+    std::memcpy(&tail, s + 32, 8);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d), head);
+    std::memcpy(d + 32, &tail, 8);
+  }
+}
+
+std::uint32_t build_keys40_avx2(const std::byte* records, std::size_t n,
+                                unsigned tag_bits, std::uint32_t* keys) {
+  const __m256i stride = _mm256_setr_epi64x(0, 40, 80, 120);
+  const __m256i lo32 = _mm256_set1_epi64x(0xFFFFFFFFll);
+  __m256i max_tag_v = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // One 8-byte gather per record covers {to @+4, tag @+8}.
+    const auto* base =
+        reinterpret_cast<const long long*>(records + std::size_t{40} * i + 4);
+    const __m256i to_tag = _mm256_i64gather_epi64(base, stride, 1);
+    const __m256i to = _mm256_and_si256(to_tag, lo32);
+    const __m256i tag = _mm256_srli_epi64(to_tag, 32);
+    max_tag_v = _mm256_max_epu32(max_tag_v, tag);  // upper 32s are zero
+    const __m256i key = _mm256_or_si256(
+        _mm256_slli_epi64(to, static_cast<int>(tag_bits)), tag);
+    // Pack the four u64 lanes (each < 2^32) down to u32 and store 16 bytes.
+    const __m256i packed = _mm256_permutevar8x32_epi32(
+        key, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(keys + i),
+                     _mm256_castsi256_si128(packed));
+  }
+  // Horizontal max of the tag accumulator (lanes 0,2,4,6 hold tags).
+  alignas(32) std::uint32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), max_tag_v);
+  std::uint32_t max_tag = 0;
+  for (int k = 0; k < 8; k += 2) max_tag = lanes[k] > max_tag ? lanes[k] : max_tag;
+  for (; i < n; ++i) {
+    std::uint64_t to_tag;
+    std::memcpy(&to_tag, records + std::size_t{40} * i + 4, 8);
+    const auto to = static_cast<std::uint32_t>(to_tag);
+    const auto tag = static_cast<std::uint32_t>(to_tag >> 32);
+    if (tag > max_tag) max_tag = tag;
+    keys[i] = (to << tag_bits) | tag;
+  }
+  return max_tag;
+}
+
+std::uint64_t xor_mul_words_avx2(std::uint64_t seed, const std::byte* bytes,
+                                 std::size_t len, std::uint64_t salt0) {
+  std::uint64_t acc = seed;
+  std::uint64_t salt = salt0;
+  std::size_t left = len;
+  const std::byte* p = bytes;
+  if (left >= 32) {
+    __m256i accv = _mm256_setzero_si256();
+    __m256i saltv = _mm256_setr_epi64x(
+        static_cast<long long>(salt0), static_cast<long long>(salt0 + 2),
+        static_cast<long long>(salt0 + 4), static_cast<long long>(salt0 + 6));
+    const __m256i step = _mm256_set1_epi64x(8);
+    do {
+      const __m256i words = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+      accv = _mm256_xor_si256(accv, mullo_epi64(words, saltv));
+      saltv = _mm256_add_epi64(saltv, step);
+      p += 32;
+      left -= 32;
+      salt += 8;
+    } while (left >= 32);
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), accv);
+    acc ^= lanes[0] ^ lanes[1] ^ lanes[2] ^ lanes[3];
+  }
+  while (left >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    acc ^= word * salt;
+    salt += 2;
+    p += 8;
+    left -= 8;
+  }
+  if (left != 0) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, p, left);
+    acc ^= word * salt;
+  }
+  return acc;
+}
+
+std::uint64_t sum_headers40_avx2(const std::byte* records, std::size_t n) {
+  using namespace detail;
+  const __m256i stride = _mm256_setr_epi64x(0, 40, 80, 120);
+  const __m256i mul_addr = _mm256_set1_epi64x(static_cast<long long>(kMulAddr));
+  const __m256i mul_value = _mm256_set1_epi64x(static_cast<long long>(kMulValue));
+  const __m256i mul_tag = _mm256_set1_epi64x(static_cast<long long>(kMulTag));
+  const __m256i mul_bits = _mm256_set1_epi64x(static_cast<long long>(kMulBits));
+  __m256i sumv = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const std::byte* r = records + std::size_t{40} * i;
+    const __m256i from_to =
+        _mm256_i64gather_epi64(reinterpret_cast<const long long*>(r), stride, 1);
+    const __m256i tag_len =
+        _mm256_i64gather_epi64(reinterpret_cast<const long long*>(r + 8), stride, 1);
+    const __m256i value =
+        _mm256_i64gather_epi64(reinterpret_cast<const long long*>(r + 16), stride, 1);
+    const __m256i bits =
+        _mm256_i64gather_epi64(reinterpret_cast<const long long*>(r + 24), stride, 1);
+    // 32-bit rotate turns the little-endian loads into (from << 32) | to and
+    // (tag << 32) | body_len, matching digest_header.
+    const __m256i addr = _mm256_shuffle_epi32(from_to, 0xB1);
+    const __m256i tagw = _mm256_shuffle_epi32(tag_len, 0xB1);
+    __m256i w = mullo_epi64(addr, mul_addr);
+    w = _mm256_xor_si256(w, mullo_epi64(value, mul_value));
+    w = _mm256_xor_si256(w, mullo_epi64(tagw, mul_tag));
+    w = _mm256_xor_si256(w, mullo_epi64(bits, mul_bits));
+    sumv = _mm256_add_epi64(sumv, w);
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), sumv);
+  std::uint64_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) {
+    const std::byte* r = records + std::size_t{40} * i;
+    std::uint64_t from_to;
+    std::uint64_t tag_len;
+    std::uint64_t value;
+    std::uint64_t bits;
+    std::memcpy(&from_to, r, 8);
+    std::memcpy(&tag_len, r + 8, 8);
+    std::memcpy(&value, r + 16, 8);
+    std::memcpy(&bits, r + 24, 8);
+    const std::uint64_t addr = (from_to << 32) | (from_to >> 32);
+    const std::uint64_t tagw = (tag_len << 32) | (tag_len >> 32);
+    std::uint64_t w = addr * kMulAddr;
+    w ^= value * kMulValue;
+    w ^= tagw * kMulTag;
+    w ^= bits * kMulBits;
+    sum += w;
+  }
+  return sum;
+}
+
+constexpr detail::KernelTable kAvx2Kernels = {
+    histogram_u32_avx2,  exclusive_scan_u32_avx2, scatter_records40_avx2,
+    build_keys40_avx2,   xor_mul_words_avx2,      sum_headers40_avx2,
+};
+
+}  // namespace
+
+namespace detail {
+const KernelTable* avx2_kernels() noexcept { return &kAvx2Kernels; }
+}  // namespace detail
+
+}  // namespace lft::simd
+
+#else  // !(__AVX2__ && __x86_64__)
+
+namespace lft::simd::detail {
+const KernelTable* avx2_kernels() noexcept { return nullptr; }
+}  // namespace lft::simd::detail
+
+#endif

@@ -1,0 +1,274 @@
+// AVX-512 tier of the SIMD message-plane kernels (see common/simd.hpp).
+// Compiled with -mavx512{f,bw,dq,vl,cd} when the compiler supports them;
+// otherwise degrades to an empty table and dispatch clamps to AVX2/scalar.
+// Same determinism contract as the AVX2 TU: exact integer restatements of
+// the scalar reference kernels, bit-identical on all inputs.
+#include "common/simd.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512CD__) && defined(__AVX512DQ__) && \
+    defined(__AVX512BW__) && defined(__AVX512VL__) && defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+// GCC's unmasked gather/reduce intrinsics seed their result from
+// _mm512_undefined_epi32() in avx512fintrin.h, which -Wall flags as
+// (maybe-)uninitialized at every inline expansion site. The value is fully
+// overwritten (mask = all lanes); silence the header noise for this TU.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace lft::simd {
+namespace {
+
+// SWAR popcount of each 32-bit lane (conflict masks only use the low 16
+// bits). Avoids requiring AVX512_VPOPCNTDQ on top of the base feature set.
+inline __m512i popcnt_epi32_swar(__m512i v) {
+  const __m512i m1 = _mm512_set1_epi32(0x55555555);
+  const __m512i m2 = _mm512_set1_epi32(0x33333333);
+  const __m512i m4 = _mm512_set1_epi32(0x0F0F0F0F);
+  v = _mm512_sub_epi32(v, _mm512_and_si512(_mm512_srli_epi32(v, 1), m1));
+  v = _mm512_add_epi32(_mm512_and_si512(v, m2),
+                       _mm512_and_si512(_mm512_srli_epi32(v, 2), m2));
+  v = _mm512_and_si512(_mm512_add_epi32(v, _mm512_srli_epi32(v, 4)), m4);
+  return _mm512_srli_epi32(_mm512_mullo_epi32(v, _mm512_set1_epi32(0x01010101)), 24);
+}
+
+void histogram_u32_avx512(const std::uint32_t* keys, std::size_t n,
+                          std::uint32_t* counts) {
+  // Conflict-detected vector histogram: per 16-key block, gather the current
+  // counts, add each lane's duplicate rank + 1, and scatter only the last
+  // occurrence of each distinct key (vpconflictd gives, per lane, the mask
+  // of earlier lanes holding the same key; the OR of those masks marks lanes
+  // that have a later duplicate). Exact integer adds, so bit-identical to
+  // the scalar loop.
+  const __m512i ones = _mm512_set1_epi32(1);
+  std::size_t i = 0;
+  auto* counts_i = reinterpret_cast<int*>(counts);
+  for (; i + 16 <= n; i += 16) {
+    const __m512i k =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(keys + i));
+    const __m512i conf = _mm512_conflict_epi32(k);
+    const __m512i prior = popcnt_epi32_swar(conf);
+    const __m512i cur = _mm512_i32gather_epi32(k, counts_i, 4);
+    const __m512i updated =
+        _mm512_add_epi32(cur, _mm512_add_epi32(prior, ones));
+    // OR of the conflict masks across lanes = lanes that have a later
+    // duplicate. (Explicit reduction: GCC's _mm512_reduce_or_epi32 trips
+    // -Wmaybe-uninitialized via _mm256_undefined_si256 in its header.)
+    const __m256i or256 =
+        _mm256_or_si256(_mm512_castsi512_si256(conf),
+                        _mm512_extracti64x4_epi64(conf, 1));
+    __m128i or128 = _mm_or_si128(_mm256_castsi256_si128(or256),
+                                 _mm256_extracti128_si256(or256, 1));
+    or128 = _mm_or_si128(or128, _mm_shuffle_epi32(or128, 0x4E));
+    or128 = _mm_or_si128(or128, _mm_shuffle_epi32(or128, 0xB1));
+    const auto later = static_cast<std::uint32_t>(_mm_cvtsi128_si32(or128));
+    const __mmask16 is_last = static_cast<__mmask16>(~later & 0xFFFFu);
+    _mm512_mask_i32scatter_epi32(counts_i, is_last, k, updated, 4);
+  }
+  for (; i < n; ++i) ++counts[keys[i]];
+}
+
+std::uint32_t exclusive_scan_u32_avx512(std::uint32_t* a, std::size_t n) {
+  std::uint32_t running = 0;
+  std::size_t i = 0;
+  const __m512i idx1 = _mm512_setr_epi32(0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14);
+  const __m512i idx2 = _mm512_setr_epi32(0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13);
+  const __m512i idx4 = _mm512_setr_epi32(0, 0, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11);
+  const __m512i idx8 = _mm512_setr_epi32(0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7);
+  for (; i + 16 <= n; i += 16) {
+    __m512i x = _mm512_loadu_si512(reinterpret_cast<const void*>(a + i));
+    // Inclusive scan via log2(16) shifted adds (lanes below the shift get 0).
+    x = _mm512_add_epi32(x, _mm512_maskz_permutexvar_epi32(0xFFFE, idx1, x));
+    x = _mm512_add_epi32(x, _mm512_maskz_permutexvar_epi32(0xFFFC, idx2, x));
+    x = _mm512_add_epi32(x, _mm512_maskz_permutexvar_epi32(0xFFF0, idx4, x));
+    x = _mm512_add_epi32(x, _mm512_maskz_permutexvar_epi32(0xFF00, idx8, x));
+    // Exclusive = running + (inclusive shifted right one lane).
+    const __m512i shifted = _mm512_maskz_permutexvar_epi32(0xFFFE, idx1, x);
+    const __m512i out =
+        _mm512_add_epi32(shifted, _mm512_set1_epi32(static_cast<int>(running)));
+    _mm512_storeu_si512(reinterpret_cast<void*>(a + i), out);
+    running += static_cast<std::uint32_t>(_mm_extract_epi32(
+        _mm512_extracti32x4_epi32(x, 3), 3));  // inclusive total of the block
+  }
+  for (; i < n; ++i) {
+    const std::uint32_t count = a[i];
+    a[i] = running;
+    running += count;
+  }
+  return running;
+}
+
+void scatter_records40_avx512(const std::byte* src, std::size_t n,
+                              const std::uint32_t* keys,
+                              std::uint32_t* next_slot, std::byte* dst) {
+  // One masked 40-byte (five u64 lanes) load/store per record. Record
+  // destinations are effectively random across a buffer far larger than the
+  // caches on big rounds, and the hardware prefetcher cannot track one
+  // stream per (receiver, tag) run — without help every store is a demand
+  // RFO at memory latency. Prefetching the destination of record i + kAhead
+  // with write intent hides that: the cursor value read early is exact
+  // unless the same key repeats inside the window (then it is a near miss
+  // that still warms the line's neighborhood), and the lead is long enough
+  // to cover DRAM. Prefetch never changes stored bytes, so tiers stay bit
+  // for bit identical.
+  constexpr __mmask8 k40 = 0x1F;
+  constexpr std::size_t kAhead = 24;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kAhead < n) {
+      _mm_prefetch(dst + std::size_t{40} * next_slot[keys[i + kAhead]],
+                   _MM_HINT_ET0);
+    }
+    const std::uint32_t slot = next_slot[keys[i]]++;
+    const __m512i rec =
+        _mm512_maskz_loadu_epi64(k40, src + std::size_t{40} * i);
+    _mm512_mask_storeu_epi64(dst + std::size_t{40} * slot, k40, rec);
+  }
+}
+
+std::uint32_t build_keys40_avx512(const std::byte* records, std::size_t n,
+                                  unsigned tag_bits, std::uint32_t* keys) {
+  const __m512i stride =
+      _mm512_setr_epi64(0, 40, 80, 120, 160, 200, 240, 280);
+  const __m512i lo32 = _mm512_set1_epi64(0xFFFFFFFFll);
+  __m512i max_tag_v = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const void* base = records + std::size_t{40} * i + 4;
+    const __m512i to_tag = _mm512_i64gather_epi64(stride, base, 1);
+    const __m512i to = _mm512_and_si512(to_tag, lo32);
+    const __m512i tag = _mm512_srli_epi64(to_tag, 32);
+    max_tag_v = _mm512_max_epu32(max_tag_v, tag);  // upper 32s are zero
+    const __m512i key = _mm512_or_si512(
+        _mm512_slli_epi64(to, static_cast<int>(tag_bits)), tag);
+    // Each key fits u32: narrow the eight u64 lanes and store 32 bytes.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(keys + i),
+                        _mm512_cvtepi64_epi32(key));
+  }
+  std::uint32_t max_tag = _mm512_reduce_max_epu32(max_tag_v);
+  for (; i < n; ++i) {
+    std::uint64_t to_tag;
+    std::memcpy(&to_tag, records + std::size_t{40} * i + 4, 8);
+    const auto to = static_cast<std::uint32_t>(to_tag);
+    const auto tag = static_cast<std::uint32_t>(to_tag >> 32);
+    if (tag > max_tag) max_tag = tag;
+    keys[i] = (to << tag_bits) | tag;
+  }
+  return max_tag;
+}
+
+std::uint64_t xor_mul_words_avx512(std::uint64_t seed, const std::byte* bytes,
+                                   std::size_t len, std::uint64_t salt0) {
+  std::uint64_t acc = seed;
+  std::uint64_t salt = salt0;
+  std::size_t left = len;
+  const std::byte* p = bytes;
+  if (left >= 64) {
+    __m512i accv = _mm512_setzero_si512();
+    __m512i saltv = _mm512_setr_epi64(
+        static_cast<long long>(salt0), static_cast<long long>(salt0 + 2),
+        static_cast<long long>(salt0 + 4), static_cast<long long>(salt0 + 6),
+        static_cast<long long>(salt0 + 8), static_cast<long long>(salt0 + 10),
+        static_cast<long long>(salt0 + 12), static_cast<long long>(salt0 + 14));
+    const __m512i step = _mm512_set1_epi64(16);
+    do {
+      const __m512i words = _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+      accv = _mm512_xor_si512(accv, _mm512_mullo_epi64(words, saltv));
+      saltv = _mm512_add_epi64(saltv, step);
+      p += 64;
+      left -= 64;
+      salt += 16;
+    } while (left >= 64);
+    alignas(64) std::uint64_t lanes[8];
+    _mm512_store_si512(reinterpret_cast<void*>(lanes), accv);
+    for (const std::uint64_t lane : lanes) acc ^= lane;
+  }
+  while (left >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    acc ^= word * salt;
+    salt += 2;
+    p += 8;
+    left -= 8;
+  }
+  if (left != 0) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, p, left);
+    acc ^= word * salt;
+  }
+  return acc;
+}
+
+std::uint64_t sum_headers40_avx512(const std::byte* records, std::size_t n) {
+  using namespace detail;
+  const __m512i stride =
+      _mm512_setr_epi64(0, 40, 80, 120, 160, 200, 240, 280);
+  const __m512i mul_addr = _mm512_set1_epi64(static_cast<long long>(kMulAddr));
+  const __m512i mul_value = _mm512_set1_epi64(static_cast<long long>(kMulValue));
+  const __m512i mul_tag = _mm512_set1_epi64(static_cast<long long>(kMulTag));
+  const __m512i mul_bits = _mm512_set1_epi64(static_cast<long long>(kMulBits));
+  __m512i sumv = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::byte* r = records + std::size_t{40} * i;
+    const __m512i from_to = _mm512_i64gather_epi64(stride, r, 1);
+    const __m512i tag_len = _mm512_i64gather_epi64(stride, r + 8, 1);
+    const __m512i value = _mm512_i64gather_epi64(stride, r + 16, 1);
+    const __m512i bits = _mm512_i64gather_epi64(stride, r + 24, 1);
+    // 32-bit rotate: little-endian load -> (from << 32) | to, as in
+    // digest_header.
+    const __m512i addr = _mm512_rol_epi64(from_to, 32);
+    const __m512i tagw = _mm512_rol_epi64(tag_len, 32);
+    __m512i w = _mm512_mullo_epi64(addr, mul_addr);
+    w = _mm512_xor_si512(w, _mm512_mullo_epi64(value, mul_value));
+    w = _mm512_xor_si512(w, _mm512_mullo_epi64(tagw, mul_tag));
+    w = _mm512_xor_si512(w, _mm512_mullo_epi64(bits, mul_bits));
+    sumv = _mm512_add_epi64(sumv, w);
+  }
+  std::uint64_t sum =
+      static_cast<std::uint64_t>(_mm512_reduce_add_epi64(sumv));
+  for (; i < n; ++i) {
+    const std::byte* r = records + std::size_t{40} * i;
+    std::uint64_t from_to;
+    std::uint64_t tag_len;
+    std::uint64_t value;
+    std::uint64_t bits;
+    std::memcpy(&from_to, r, 8);
+    std::memcpy(&tag_len, r + 8, 8);
+    std::memcpy(&value, r + 16, 8);
+    std::memcpy(&bits, r + 24, 8);
+    const std::uint64_t addr = (from_to << 32) | (from_to >> 32);
+    const std::uint64_t tagw = (tag_len << 32) | (tag_len >> 32);
+    std::uint64_t w = addr * kMulAddr;
+    w ^= value * kMulValue;
+    w ^= tagw * kMulTag;
+    w ^= bits * kMulBits;
+    sum += w;
+  }
+  return sum;
+}
+
+constexpr detail::KernelTable kAvx512Kernels = {
+    histogram_u32_avx512,  exclusive_scan_u32_avx512, scatter_records40_avx512,
+    build_keys40_avx512,   xor_mul_words_avx512,      sum_headers40_avx512,
+};
+
+}  // namespace
+
+namespace detail {
+const KernelTable* avx512_kernels() noexcept { return &kAvx512Kernels; }
+}  // namespace detail
+
+}  // namespace lft::simd
+
+#else  // missing AVX-512 feature macros
+
+namespace lft::simd::detail {
+const KernelTable* avx512_kernels() noexcept { return nullptr; }
+}  // namespace lft::simd::detail
+
+#endif

@@ -126,6 +126,7 @@ class RoundDriver {
   NodeId n_;
   Transport* transport_;
   RunOptions options_;
+  simd::Tier tier_ = simd::Tier::kScalar;  // resolved from options_.simd
   Round round_ = 0;
   std::vector<sim::NodeStatus> status_;
   std::vector<NodeId> active_;  // ascending

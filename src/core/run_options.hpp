@@ -9,6 +9,7 @@
 // recording), never what it computes.
 #pragma once
 
+#include "common/simd.hpp"
 #include "common/types.hpp"
 
 namespace lft::sim {
@@ -31,6 +32,11 @@ struct RunOptions {
   /// Optional per-round digest hook (forensics plane); non-owning. nullptr
   /// records nothing and keeps the delivery hot path untouched.
   sim::TraceSink* trace = nullptr;
+  /// SIMD dispatch tier for the engine's delivery sweep and digest kernels
+  /// (forwarded to EngineConfig::simd). kAuto = best supported tier, after
+  /// the LFT_SIMD environment override; explicit tiers are clamped to what
+  /// the CPU can execute. Bit-identical Reports on every tier — speed only.
+  simd::Tier simd = simd::Tier::kAuto;
 };
 
 }  // namespace lft::core

@@ -1,11 +1,14 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
 
 #include "common/assert.hpp"
+#include "common/hugepage.hpp"
 
 namespace lft::sim {
 
@@ -19,6 +22,17 @@ constexpr std::uint32_t kMaxCountingTag = 1u << 16;
 // worker pool: the barrier handshake would dominate. Purely a latency knob —
 // results are bit-identical either way.
 constexpr std::size_t kParallelMinActive = 256;
+// Cap on the fused delivery sweep's key domain (n << tag_bits): bounds the
+// dense histogram at 16 MiB of u32 counts and keeps the key in 32 bits. The
+// gate is a function of (n, tag_bits, m) only — never of the SIMD tier — so
+// sort algorithm selection, and with it every Report bit, is tier-independent.
+constexpr std::uint64_t kMaxFusedDomain = 1u << 22;
+
+// Batch size past which the fused sweep's scatter goes two-level (cache-
+// blocked): 40-byte records times this is ~10 MB, past any L2. Depends only
+// on m, never on the SIMD tier — both strategies produce the identical
+// stable permutation.
+constexpr std::size_t kTwoLevelMinM = std::size_t{1} << 18;
 }  // namespace
 
 // ---- Inbox -----------------------------------------------------------------
@@ -34,14 +48,6 @@ std::span<const Message> Inbox::with_tag(std::uint32_t tag) const noexcept {
 
 // ---- Context ---------------------------------------------------------------
 
-NodeId Context::num_nodes() const noexcept { return engine_->n_; }
-Round Context::round() const noexcept { return engine_->round_; }
-
-void Context::send(NodeId to, std::uint32_t tag, std::uint64_t value, std::uint64_t bits,
-                   PayloadView body) {
-  engine_->do_send(*sink_, self_, to, tag, value, bits, body);
-}
-
 void Context::decide(std::uint64_t value) { engine_->do_decide(self_, value); }
 
 bool Context::has_decided() const noexcept {
@@ -52,9 +58,21 @@ std::uint64_t Context::decision() const noexcept {
   return engine_->status_[static_cast<std::size_t>(self_)].decision;
 }
 
-void Context::halt() { engine_->status_[static_cast<std::size_t>(self_)].halted = true; }
+void Context::halt() {
+  auto& s = engine_->status_[static_cast<std::size_t>(self_)];
+  if (!s.halted) {
+    s.halted = true;
+    ++sink_->halts;  // folded into Engine::dead_count_ after the step barrier
+  }
+}
 
-void Context::sleep_until(Round wake_round) { engine_->do_sleep(self_, wake_round); }
+void Context::sleep_until(Round wake_round) {
+  // A node parking itself past the next round disables the clean-round
+  // delivery fast path for this round (a message to it must wake it before
+  // the end-of-round compaction parks it). Worker-local flag, folded later.
+  if (wake_round > engine_->round_ + 1) sink_->slept = true;
+  engine_->do_sleep(self_, wake_round);
+}
 
 void Context::count_fallback() { ++sink_->fallback_pulls; }
 
@@ -217,8 +235,10 @@ Engine::Engine(NodeId n, EngineConfig config)
       wake_at_(static_cast<std::size_t>(n), 0),
       sleeping_(static_cast<std::size_t>(n), 0),
       recv_count_(static_cast<std::size_t>(n), 0),
+      round_sends_(static_cast<std::size_t>(n), 0),
       crash_filter_(static_cast<std::size_t>(n), kNotCrashedThisRound) {
   LFT_ASSERT(n > 0);
+  tier_ = simd::resolve_tier(config_.simd);
   active_.reserve(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) active_.push_back(v);
   const int workers = std::clamp(config_.threads, 1, 64);
@@ -290,24 +310,32 @@ const Process& Engine::process(NodeId v) const {
 
 void Engine::do_send(StepSink& sink, NodeId from, NodeId to, std::uint32_t tag,
                      std::uint64_t value, std::uint64_t bits, PayloadView body) {
+  // The out-of-line half of Context::send: sends carrying a body (the
+  // bodyless case inlines at the call site — see engine.hpp).
   LFT_ASSERT(to >= 0 && to < n_);
   LFT_ASSERT(bits >= 1);
+  sink.bits_sum += static_cast<std::int64_t>(bits);
+  if (!status_[static_cast<std::size_t>(from)].byzantine) {
+    ++sink.honest_msgs;
+    sink.honest_bits += static_cast<std::int64_t>(bits);
+  }
+  sink.keys.push_back((static_cast<std::uint32_t>(to) << tag_bits_) | tag);
+  if (tag > sink.max_tag) sink.max_tag = tag;
   Message m;
   m.from = from;
   m.to = to;
   m.tag = tag;
   m.value = value;
   m.bits = bits;
-  if (!body.empty()) {
-    m.set_body(sink.arena[static_cast<std::size_t>(round_) & 1].store(body));
-  }
-  // Trace digests happen at send time, while the message and its body bytes
-  // are cache-hot; both accumulators are worker-local and commutative, so
-  // the round digest is identical across serial and parallel stepping.
+  m.set_body(sink.arena[static_cast<std::size_t>(round_) & 1].store(body));
+  // Trace digests happen at send time, while the message fields are in
+  // registers and the body bytes are cache-hot; both accumulators are
+  // worker-local and commutative, so the round digest is identical across
+  // serial and parallel stepping.
   if (config_.trace != nullptr) {
     const std::uint64_t w = digest_header(m);
     sink.header_sum += w;
-    if (!body.empty()) sink.body_hash ^= digest_body(w, body);
+    sink.body_hash ^= digest_body(tier_, w, body);
   }
   sink.msgs.push_back(m);
 }
@@ -349,6 +377,7 @@ void Engine::do_crash(NodeId v, std::function<bool(const Message&)> keep) {
   ++crashes_used_;
   LFT_ASSERT_MSG(crashes_used_ <= config_.crash_budget, "crash budget exceeded");
   s.crashed = true;
+  ++dead_count_;  // halted nodes returned above are already counted
   s.crash_round = round_;
   crashed_this_round_.push_back(v);
   if (config_.trace != nullptr) ++digest_.crashes;
@@ -448,6 +477,7 @@ void Engine::do_takeover(NodeId v, std::unique_ptr<Process> behavior) {
       sleeping_[vi] = 0;
       --sleeping_count_;
     }
+    if (s.halted) --dead_count_;  // un-halt: the node can receive again
     s.halted = false;
     reactivated_.push_back(v);
   }
@@ -503,6 +533,23 @@ void Engine::step_shard(std::size_t k) {
   const std::size_t end = shard_begin_[k + 1];
   if (begin >= end) return;
   StepSink& sink = sinks_[k];
+  if (recv_bounds_valid_) {
+    // The fused sweep that sorted inbox_ also recorded every receiver's
+    // slice bounds; no scanning needed.
+    for (std::size_t i = begin; i < end; ++i) {
+      const NodeId v = active_[i];
+      const std::size_t lo = recv_bounds_[static_cast<std::size_t>(v)];
+      const std::size_t hi = recv_bounds_[static_cast<std::size_t>(v) + 1];
+      Context ctx(*this, v, sink, !status_[static_cast<std::size_t>(v)].byzantine, tag_bits_,
+                  config_.trace != nullptr);
+      const Inbox inbox(std::span<const Message>(inbox_.data() + lo, hi - lo));
+      const std::size_t before = sink.msgs.size();
+      processes_[static_cast<std::size_t>(v)]->on_round(ctx, inbox);
+      round_sends_[static_cast<std::size_t>(v)] =
+          static_cast<std::uint32_t>(sink.msgs.size() - before);
+    }
+    return;
+  }
   // First delivered message of this shard's first node: inbox_ ascends by
   // receiver, active_ ascends by id, so one cursor pairs them up.
   const NodeId first = active_[begin];
@@ -517,9 +564,13 @@ void Engine::step_shard(std::size_t k) {
     std::size_t hi = lo;
     while (hi < inbox_.size() && inbox_[hi].to == v) ++hi;
     cursor = hi;
-    Context ctx(*this, v, sink);
+    Context ctx(*this, v, sink, !status_[static_cast<std::size_t>(v)].byzantine, tag_bits_,
+                config_.trace != nullptr);
     const Inbox inbox(std::span<const Message>(inbox_.data() + lo, hi - lo));
+    const std::size_t before = sink.msgs.size();
     processes_[static_cast<std::size_t>(v)]->on_round(ctx, inbox);
+    round_sends_[static_cast<std::size_t>(v)] =
+        static_cast<std::uint32_t>(sink.msgs.size() - before);
   }
 }
 
@@ -530,8 +581,14 @@ void Engine::step_active() {
   for (auto& sink : sinks_) {
     sink.arena[parity].clear();
     sink.msgs.clear();
+    sink.keys.clear();
+    sink.max_tag = 0;
     sink.body_hash = 0;
     sink.header_sum = 0;
+    sink.bits_sum = 0;
+    sink.honest_msgs = 0;
+    sink.honest_bits = 0;
+    sink.slept = false;
   }
 
   const auto workers = sinks_.size();
@@ -540,6 +597,7 @@ void Engine::step_active() {
     for (std::size_t k = 1; k <= workers; ++k) shard_begin_[k] = active_.size();
     step_shard(0);
     outbox_.swap(sinks_[0].msgs);
+    keys_.swap(sinks_[0].keys);
   } else {
     for (std::size_t k = 0; k < workers; ++k) {
       shard_begin_[k] = k * active_.size() / workers;
@@ -550,24 +608,188 @@ void Engine::step_active() {
     // byte-identical to what the serial path appends.
     std::size_t total = 0;
     for (const auto& sink : sinks_) total += sink.msgs.size();
-    outbox_.reserve(total);
+    if (outbox_.capacity() < total) {
+      outbox_.reserve(total);
+      advise_hugepages(outbox_.data(), outbox_.capacity() * sizeof(Message));
+    }
     for (auto& sink : sinks_) {
       outbox_.insert(outbox_.end(), sink.msgs.begin(), sink.msgs.end());
     }
+    if (keys_.capacity() < total) {
+      keys_.clear();
+      keys_.reserve(total);
+      advise_hugepages(keys_.data(), keys_.capacity() * sizeof(std::uint32_t));
+    }
+    keys_.clear();
+    for (auto& sink : sinks_) {
+      keys_.insert(keys_.end(), sink.keys.begin(), sink.keys.end());
+    }
   }
 
+  std::uint32_t max_tag = 0;
   for (auto& sink : sinks_) {
     metrics_.fallback_pulls += sink.fallback_pulls;
     sink.fallback_pulls = 0;
+    dead_count_ += sink.halts;  // worker halts, folded after the barrier
+    sink.halts = 0;
+    max_tag = std::max(max_tag, sink.max_tag);
   }
+  // keys_ now mirrors outbox_ 1:1; the sort consumes (and re-validates) it.
+  sent_max_tag_ = max_tag;
+  sent_keys_valid_ = true;
 }
 
 void Engine::sort_batch_normal_form() {
   const std::size_t m = outbox_.size();
+  recv_bounds_valid_ = false;
+  // Send-path-built keys are usable only when the batch reached us intact
+  // (compaction rounds cleared the flag; the size check guards adapters that
+  // sort a hand-built batch). One-shot: consumed here either way.
+  const bool sent_keys = sent_keys_valid_ && keys_.size() == m;
+  sent_keys_valid_ = false;
   if (m <= 1) return;
 
-  std::uint32_t max_tag = 0;
-  for (const Message& msg : outbox_) max_tag = std::max(max_tag, msg.tag);
+  // Fused single-pass counting sort on the combined key
+  // (to << tag_bits_) | tag: one histogram + scan + stable 40-byte scatter
+  // replaces the two LSD passes below (half the scatter traffic), and the
+  // scattered histogram doubles as the per-receiver inbox bounds step_shard
+  // slices by. Engaged when the dense key domain is affordable (bounded
+  // absolutely and relative to m, so the per-round memset stays amortized);
+  // the result is bit-identical to the two-pass sort — both are stable
+  // sorts by (to, tag) — and every gate below depends only on
+  // (n, tag_bits, m, max_tag), never on the SIMD tier.
+  const auto n64 = static_cast<std::uint64_t>(static_cast<std::uint32_t>(n_));
+  std::uint32_t max_tag = sent_keys ? sent_max_tag_ : 0;
+  bool have_max_tag = sent_keys;
+  if (m < static_cast<std::size_t>(UINT32_MAX) && (n64 << tag_bits_) <= kMaxFusedDomain) {
+    const auto* bytes = reinterpret_cast<const std::byte*>(outbox_.data());
+    if (!sent_keys) {
+      // Million-message rounds scatter across tens of MB; 2 MiB pages keep
+      // the random 40-byte stores from thrashing the DTLB. The advice must
+      // land between allocation and first touch to take effect at fault time
+      // (khugepaged collapses already-faulted 4 KiB pages far too slowly), so
+      // each buffer is reserved, advised, then sized. Advice only, size-gated
+      // inside — see common/hugepage.hpp.
+      if (keys_.capacity() < m) {
+        keys_.clear();  // stale contents; don't let reserve's copy fault pages
+        keys_.reserve(m);
+        advise_hugepages(keys_.data(), keys_.capacity() * sizeof(std::uint32_t));
+      }
+      keys_.resize(m);
+      max_tag = simd::build_keys40(tier_, bytes, m, tag_bits_, keys_.data());
+      have_max_tag = true;
+    }
+    if (max_tag >= (1u << tag_bits_) && max_tag < kMaxCountingTag) {
+      // Tag outgrew the high-water key width: widen and rebuild once.
+      tag_bits_ = static_cast<unsigned>(std::bit_width(max_tag));
+      if ((n64 << tag_bits_) <= kMaxFusedDomain) {
+        (void)simd::build_keys40(tier_, bytes, m, tag_bits_, keys_.data());
+      }
+    }
+    const std::uint64_t domain = n64 << tag_bits_;
+    if (max_tag < (1u << tag_bits_) && domain <= kMaxFusedDomain &&
+        domain <= 4 * static_cast<std::uint64_t>(m) + 1024) {
+      if (counts_.capacity() < static_cast<std::size_t>(domain)) {
+        counts_.clear();
+        counts_.reserve(static_cast<std::size_t>(domain));
+        advise_hugepages(counts_.data(), counts_.capacity() * sizeof(std::uint32_t));
+      }
+      counts_.assign(static_cast<std::size_t>(domain), 0);
+      simd::histogram_u32(tier_, keys_.data(), m, counts_.data());
+      const std::uint32_t total =
+          simd::exclusive_scan_u32(tier_, counts_.data(), counts_.size());
+      LFT_ASSERT(total == m);
+      if (inbox_.capacity() < m) {
+        inbox_.clear();  // last round's batch, already consumed by the step
+        inbox_.reserve(m);
+        advise_hugepages(inbox_.data(), inbox_.capacity() * sizeof(Message));
+      }
+      inbox_.resize(m);
+      auto* inbox_bytes = reinterpret_cast<std::byte*>(inbox_.data());
+      // Large batches over a large key domain take the scatter in two
+      // cache-blocked levels: a stable partition by the keys' high bits into
+      // bucket-sequential streams, then a per-bucket scatter whose source
+      // slice and destination window are both L2-resident. The direct
+      // scatter keeps one open write cursor per distinct (receiver, tag);
+      // once that cursor set outgrows L2 (domain beyond ~32k keys at a
+      // cache line each) every record store misses, and paying one extra
+      // sequential pass to shrink the live cursor set wins. Below that the
+      // direct scatter is already cache-resident and strictly cheaper. Same
+      // stable permutation either way — MSD partition + stable in-bucket
+      // sort by the full key — so the result is bit-identical; the cutover
+      // depends only on (m, domain), never on the tier.
+      const bool two_level = m >= kTwoLevelMinM && domain >= 32768;
+      if (!two_level) {
+        simd::scatter_records40(tier_, bytes, m, keys_.data(), counts_.data(),
+                                inbox_bytes);
+      } else {
+        // Bucket count scales so each output window is ~1-2 MiB, capped so
+        // the partition cursors stay within one page of L1 lines.
+        const auto want = static_cast<std::uint32_t>(
+            std::min<std::size_t>(256, m * sizeof(Message) >> 20));
+        const std::uint32_t target = std::bit_ceil(std::max(16u, want));
+        const auto dbits = static_cast<unsigned>(std::bit_width(domain - 1));
+        const unsigned tbits = static_cast<unsigned>(std::countr_zero(target));
+        const unsigned shift = dbits > tbits ? dbits - tbits : 0;
+        const auto nbuckets =
+            static_cast<std::uint32_t>((domain + (std::uint64_t{1} << shift) - 1) >> shift);
+        if (keys_hi_.capacity() < m) {
+          keys_hi_.clear();
+          keys_hi_.reserve(m);
+          advise_hugepages(keys_hi_.data(), keys_hi_.capacity() * sizeof(std::uint32_t));
+        }
+        keys_hi_.resize(m);
+        for (std::size_t i = 0; i < m; ++i) keys_hi_[i] = keys_[i] >> shift;
+        std::array<std::uint32_t, 257> bcur{};
+        for (std::size_t i = 0; i < m; ++i) ++bcur[keys_hi_[i]];
+        std::uint32_t bsum = 0;
+        for (std::uint32_t k = 0; k < nbuckets; ++k) {
+          const std::uint32_t c = bcur[k];
+          bcur[k] = bsum;
+          bsum += c;
+        }
+        // Level 1: stable partition outbox -> inbox by bucket id.
+        simd::scatter_records40(tier_, bytes, m, keys_hi_.data(), bcur.data(),
+                                inbox_bytes);
+        // Level 2: per bucket, rebuild the full keys from the (L2-hot)
+        // partitioned slice and scatter into the final positions — the
+        // global cursors in counts_ already point at each key's run. The
+        // destination is outbox_ itself: its records were just copied out,
+        // so the sorted batch lands where the direct path's swap would put
+        // it.
+        auto* outbox_bytes = reinterpret_cast<std::byte*>(outbox_.data());
+        std::uint32_t start = 0;
+        for (std::uint32_t k = 0; k < nbuckets; ++k) {
+          const std::uint32_t end = bcur[k];  // post-scatter: end of bucket k
+          const std::uint32_t cnt = end - start;
+          if (cnt != 0) {
+            (void)simd::build_keys40(tier_, inbox_bytes + std::size_t{start} * sizeof(Message),
+                                     cnt, tag_bits_, keys_hi_.data() + start);
+            simd::scatter_records40(tier_, inbox_bytes + std::size_t{start} * sizeof(Message),
+                                    cnt, keys_hi_.data() + start, counts_.data(),
+                                    outbox_bytes);
+          }
+          start = end;
+        }
+      }
+      // Post-scatter, counts_[k] is the end offset of key k's run, so the
+      // end of receiver v's slice is the end of its last tag run.
+      recv_bounds_.resize(static_cast<std::size_t>(n_) + 1);
+      recv_bounds_[0] = 0;
+      for (std::size_t v = 0; v < static_cast<std::size_t>(n_); ++v) {
+        recv_bounds_[v + 1] = counts_[((v + 1) << tag_bits_) - 1];
+      }
+      recv_bounds_valid_ = true;
+      // Leave the result where the caller expects it (it swaps the arenas);
+      // the two-level path already sorted back into outbox_.
+      if (!two_level) outbox_.swap(inbox_);
+      return;
+    }
+  }
+
+  if (!have_max_tag) {
+    for (const Message& msg : outbox_) max_tag = std::max(max_tag, msg.tag);
+  }
   if (max_tag >= kMaxCountingTag || m >= static_cast<std::size_t>(UINT32_MAX)) {
     std::stable_sort(outbox_.begin(), outbox_.end(), [](const Message& a, const Message& b) {
       return a.to != b.to ? a.to < b.to : a.tag < b.tag;
@@ -625,19 +847,72 @@ void Engine::sort_batch_normal_form() {
 }
 
 void Engine::deliver_batch() {
+  const bool traced = config_.trace != nullptr;
+
+  // Clean-round fast path: when nobody crashed this round, no fault filter
+  // is armed, no node is crashed/halted, and nobody is (going) sleeping, no
+  // message can drop and no receiver needs waking — the entire per-message
+  // filter pass collapses to O(active) accounting: the send path already
+  // accumulated bits, honest counts, and (when traced) header digests per
+  // sink, and step_shard recorded each stepped node's send count. The
+  // header sum is commutative, so folding the worker-local accumulators
+  // equals what any per-message order would give. The condition is a pure
+  // function of the execution, so taking this path never changes a Report
+  // or RoundDigest bit.
+  bool slept = false;
+  for (const auto& sink : sinks_) slept = slept || sink.slept;
+  if (crashed_this_round_.empty() && !fault_filters_armed_ && dead_count_ == 0 &&
+      sleeping_count_ == 0 && !slept) {
+    const std::size_t m = outbox_.size();
+    if (traced) {
+      digest_.sent = m;
+      std::uint64_t header_sum = 0;
+      for (const auto& sink : sinks_) header_sum += sink.header_sum;
+      digest_.payload_hash = digest_messages_final(header_sum, m);
+    }
+    std::int64_t bits_sum = 0;
+    std::int64_t honest_msgs = 0;
+    std::int64_t honest_bits = 0;
+    for (const auto& sink : sinks_) {
+      bits_sum += sink.bits_sum;
+      honest_msgs += sink.honest_msgs;
+      honest_bits += sink.honest_bits;
+    }
+    metrics_.messages_total += static_cast<std::int64_t>(m);
+    metrics_.bits_total += bits_sum;
+    metrics_.messages_honest += honest_msgs;
+    metrics_.bits_honest += honest_bits;
+    // active_ is exactly the stepped set here (compaction happens after
+    // delivery, and a round that halted or crashed anyone took the slow
+    // path), so every entry's round_sends_ slot is fresh.
+    for (const NodeId v : active_) {
+      status_[static_cast<std::size_t>(v)].sends += round_sends_[static_cast<std::size_t>(v)];
+    }
+    metrics_.peak_round_messages =
+        std::max(metrics_.peak_round_messages, static_cast<std::int64_t>(m));
+    sort_batch_normal_form();
+    inbox_.swap(outbox_);
+    outbox_.clear();
+    return;
+  }
+
   // One compaction pass over the arena: drop crashed senders' messages (minus
   // the ones their keep-filter saves), account the survivors, and drop
   // messages whose receiver can no longer accept them. Survivors shift left
   // in place, so the steady state allocates nothing.
   std::size_t kept = 0;
+  sent_keys_valid_ = false;  // compaction breaks the keys_/outbox_ alignment
   const bool fault_filters = fault_filters_armed_;
-  // Trace accounting rides the existing drop branches: surviving messages
-  // pay nothing (their header digests were summed at send time; the rare
-  // dropped ones are subtracted below), and with no sink installed only the
-  // predictable `traced` branches remain.
-  const bool traced = config_.trace != nullptr;
+  // Trace accounting rides the existing drop branches: the sent-batch header
+  // sum was accumulated at send time (fields in registers, no extra DRAM
+  // pass), the rare dropped messages are subtracted below, and with no sink
+  // installed only the predictable `traced` branches remain.
   std::uint64_t dropped_sum = 0;
-  if (traced) digest_.sent = outbox_.size();
+  std::uint64_t sent_sum = 0;
+  if (traced) {
+    digest_.sent = outbox_.size();
+    for (const auto& sink : sinks_) sent_sum += sink.header_sum;
+  }
   for (std::size_t i = 0; i < outbox_.size(); ++i) {
     const Message& m = outbox_[i];
     const auto from = static_cast<std::size_t>(m.from);
@@ -687,9 +962,7 @@ void Engine::deliver_batch() {
     // Delivered-header digest = (sum of sent headers) - (sum of dropped
     // headers): equal to digest_messages over the delivered batch, without
     // touching any surviving message again.
-    std::uint64_t header_sum = 0;
-    for (const auto& sink : sinks_) header_sum += sink.header_sum;
-    digest_.payload_hash = digest_messages_final(header_sum - dropped_sum, kept);
+    digest_.payload_hash = digest_messages_final(sent_sum - dropped_sum, kept);
   }
   metrics_.peak_round_messages =
       std::max(metrics_.peak_round_messages, static_cast<std::int64_t>(kept));

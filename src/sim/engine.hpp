@@ -33,7 +33,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/flat_set64.hpp"
+#include "common/simd.hpp"
 #include "common/types.hpp"
 #include "sim/faults.hpp"
 #include "sim/message.hpp"
@@ -51,13 +53,40 @@ class Engine;
 /// concatenates in shard (= ascending sender) order.
 struct StepSink {
   std::vector<Message> msgs;
+  /// Delivery sort keys built on the send path, 1:1 with msgs: the fused
+  /// counting-sort key (to << tag_bits) | tag under the tag width latched
+  /// when the step began. Shipping the key next to the record saves the
+  /// delivery sweep a full gather pass over the batch (clean rounds consume
+  /// these directly); rounds that compact the batch or outgrow the latched
+  /// tag width rebuild from the records instead.
+  std::vector<std::uint32_t> keys;
+  std::uint32_t max_tag = 0;
   PayloadArena arena[2];  // indexed by round parity
   std::int64_t fallback_pulls = 0;
-  /// Trace-hook accumulators for the current round (stay 0 when tracing is
-  /// off): XOR of store-time body digests, and the wrapping sum of sent
-  /// header digests the delivered-batch digest is derived from.
+  /// Trace-hook accumulators for the current round (both stay 0 when
+  /// tracing is off): XOR of store-time body digests, and the sum of
+  /// send-time header digests. Both ride the send path while the message
+  /// fields are still in registers — re-streaming the multi-hundred-MiB
+  /// batch at delivery time just for a digest would cost a full DRAM pass —
+  /// and both are worker-local and commutative, so the folded round digest
+  /// is identical across serial and parallel stepping.
   std::uint64_t body_hash = 0;
   std::uint64_t header_sum = 0;
+  /// Per-round communication accounting, accumulated on the send path and
+  /// consumed by the clean-round delivery fast path (which then never has to
+  /// re-stream the batch): total accounted bits, and the honest (non-
+  /// Byzantine sender) message/bit counts. Rounds that take the compaction
+  /// path ignore these — dropped messages make per-message accounting
+  /// authoritative there.
+  std::int64_t bits_sum = 0;
+  std::int64_t honest_msgs = 0;
+  std::int64_t honest_bits = 0;
+  /// Worker-local per-round flags folded by the coordinator after the step
+  /// barrier (workers may not touch shared engine counters): nodes that
+  /// halted this round, and whether any node parked itself past the next
+  /// round. Both feed the clean-round delivery fast path.
+  std::int64_t halts = 0;
+  bool slept = false;
 };
 
 /// Zero-copy view of one node's delivered batch for the current round.
@@ -95,14 +124,18 @@ class Context {
  public:
   /// This node's id.
   [[nodiscard]] NodeId self() const noexcept { return self_; }
-  /// System size n.
+  /// System size n. Inline below the Engine class: protocols read these
+  /// inside their per-message send loops.
   [[nodiscard]] NodeId num_nodes() const noexcept;
   /// The current round (0-based).
   [[nodiscard]] Round round() const noexcept;
 
   /// Queues a message for delivery at the start of the next round. The
   /// payload bytes are copied into the engine's round arena immediately, so
-  /// `body` may reference any storage that outlives the call.
+  /// `body` may reference any storage that outlives the call. Defined inline
+  /// below the Engine class: the bodyless case is the engine's single
+  /// hottest operation and compiles down to accounting plus one 40-byte
+  /// append when inlined into the caller's round loop.
   void send(NodeId to, std::uint32_t tag, std::uint64_t value, std::uint64_t bits = 1,
             PayloadView body = {});
 
@@ -131,11 +164,16 @@ class Context {
 
  private:
   friend class Engine;
-  Context(Engine& engine, NodeId self, StepSink& sink)
-      : engine_(&engine), self_(self), sink_(&sink) {}
+  Context(Engine& engine, NodeId self, StepSink& sink, bool honest, unsigned tag_bits,
+          bool traced)
+      : engine_(&engine), self_(self), sink_(&sink), honest_(honest), tag_bits_(tag_bits),
+        traced_(traced) {}
   Engine* engine_;
   NodeId self_;
   StepSink* sink_;
+  bool honest_;        // !byzantine, latched at step time for the send fast path
+  unsigned tag_bits_;  // engine sort-key tag width, latched at step time
+  bool traced_;        // a TraceSink is installed: send accumulates digests
 };
 
 /// Protocol logic for one node. Implementations are installed per node and
@@ -264,6 +302,12 @@ struct EngineConfig {
   /// emits one RoundDigest per executed round. Non-owning; nullptr (the
   /// default) records nothing and keeps the delivery hot path untouched.
   TraceSink* trace = nullptr;
+  /// SIMD dispatch tier for the delivery sweep and digest kernels. kAuto
+  /// (the default) uses the best tier the CPU supports, clamped by the
+  /// LFT_SIMD environment override; an explicit tier is clamped to what the
+  /// machine can execute. Every tier produces bit-identical Reports and
+  /// RoundDigests (see common/simd.hpp) — this knob trades speed only.
+  simd::Tier simd = simd::Tier::kAuto;
 };
 
 /// One execution: n nodes driven in lock-step rounds under the fault plane.
@@ -393,6 +437,46 @@ class Engine {
   std::vector<std::uint32_t> recv_count_;  // n entries, all zero between rounds
   std::vector<NodeId> touched_receivers_;
 
+  // Fused single-pass sweep scratch (the SIMD fast path of
+  // sort_batch_normal_form): per-message sort keys (to << tag_bits_) | tag,
+  // the dense key histogram, and per-receiver inbox bounds derived from the
+  // scattered histogram. recv_bounds_ is valid only for rounds the fused
+  // sweep sorted (recv_bounds_valid_); step_shard then slices inboxes by
+  // lookup instead of scanning inbox_ for receiver boundaries. tag_bits_ is
+  // a high-water mark: it grows when a round's max tag outgrows it and the
+  // keys are rebuilt (rare — tags are small protocol enumerators).
+  std::vector<std::uint32_t> keys_;
+  std::vector<std::uint32_t> keys_hi_;  // two-level scatter: bucket ids, then per-bucket keys
+  std::vector<std::uint32_t> counts_;
+  std::vector<std::uint32_t> recv_bounds_;  // n + 1 entries when valid
+  bool recv_bounds_valid_ = false;
+  unsigned tag_bits_ = 4;
+  // Set by step_active when keys_ holds send-path-built keys aligned 1:1
+  // with outbox_ (and sent_max_tag_ the batch's max tag); consumed — and
+  // cleared — by the next sort_batch_normal_form. Compaction rounds clear it
+  // before sorting: dropped records break the 1:1 alignment.
+  bool sent_keys_valid_ = false;
+  std::uint32_t sent_max_tag_ = 0;
+
+  // Per-node send counts for the round being stepped, recorded as vector-
+  // length deltas around each on_round call. The clean-round delivery fast
+  // path charges NodeStatus::sends from these in O(active) instead of
+  // re-streaming the batch; compaction rounds count per surviving message
+  // and ignore them. Entries of nodes not stepped this round are stale by
+  // design — consumers only read the stepped set.
+  std::vector<std::uint32_t> round_sends_;
+
+  // Resolved SIMD dispatch tier for this engine (never kAuto).
+  simd::Tier tier_ = simd::Tier::kScalar;
+
+  // Nodes currently crashed or halted. When zero (and no crash / fault
+  // filter / sleep activity this round), no delivered message can drop and
+  // deliver_batch takes the clean-round fast path: run-length sender
+  // accounting over the ascending-sender outbox instead of per-message
+  // status checks and compaction. Maintained by the coordinator only
+  // (worker halts are folded from StepSink::halts after the step barrier).
+  std::int64_t dead_count_ = 0;
+
   // Per-round crash bookkeeping. `crash_filter_` maps a node crashed this
   // round to its keep-filter slot (or -1 for a clean crash); only the entries
   // named in `crashed_this_round_` are live, and only those are reset at the
@@ -412,5 +496,43 @@ class Engine {
 
   Metrics metrics_;
 };
+
+inline NodeId Context::num_nodes() const noexcept { return engine_->n_; }
+inline Round Context::round() const noexcept { return engine_->round_; }
+
+// ---- Inline send fast path -------------------------------------------------
+// The bodyless send — the overwhelmingly common case across the shipped
+// protocols and the engine's single hottest operation — inlines into the
+// caller's round loop: two asserts, the per-sink accounting adds, and one
+// 40-byte vector append. No trace work lives here: traced runs digest the
+// round's headers with one batch SIMD pass at delivery time, which is how
+// the traced and untraced send paths stay within the <= 5% recorder-overhead
+// gate of each other. Sends with bodies take the out-of-line Engine::do_send
+// (arena store + store-time body digest).
+inline void Context::send(NodeId to, std::uint32_t tag, std::uint64_t value,
+                          std::uint64_t bits, PayloadView body) {
+  if (!body.empty()) [[unlikely]] {
+    engine_->do_send(*sink_, self_, to, tag, value, bits, body);
+    return;
+  }
+  LFT_ASSERT(to >= 0 && to < engine_->n_);
+  LFT_ASSERT(bits >= 1);
+  StepSink& sink = *sink_;
+  sink.bits_sum += static_cast<std::int64_t>(bits);
+  if (honest_) [[likely]] {
+    ++sink.honest_msgs;
+    sink.honest_bits += static_cast<std::int64_t>(bits);
+  }
+  sink.keys.push_back((static_cast<std::uint32_t>(to) << tag_bits_) | tag);
+  if (tag > sink.max_tag) sink.max_tag = tag;
+  Message m;
+  m.from = self_;
+  m.to = to;
+  m.tag = tag;
+  m.value = value;
+  m.bits = bits;
+  if (traced_) sink.header_sum += digest_header(m);
+  sink.msgs.push_back(m);
+}
 
 }  // namespace lft::sim

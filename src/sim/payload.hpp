@@ -14,6 +14,8 @@
 #include <span>
 #include <vector>
 
+#include "common/hugepage.hpp"
+
 namespace lft::sim {
 
 /// Non-owning read-only view of a message payload. Producers hand one to
@@ -27,7 +29,13 @@ using PayloadView = std::span<const std::byte>;
 /// allocates nothing in steady state.
 class PayloadArena {
  public:
+  /// First-chunk size; subsequent chunks double (stable addresses make
+  /// growth-by-new-chunk free) so a body-heavy round reaches huge-page-sized
+  /// chunks in a few allocations instead of thousands of 64 KiB ones.
   static constexpr std::size_t kChunkBytes = std::size_t{1} << 16;
+  /// Chunk-size growth cap: big enough that the chunk count stays O(log) in
+  /// the round's body volume, small enough to not strand memory.
+  static constexpr std::size_t kMaxChunkBytes = std::size_t{1} << 23;
 
   /// Returns `len` stable writable bytes (nullptr for len == 0).
   std::byte* alloc(std::size_t len) {
@@ -37,8 +45,13 @@ class PayloadArena {
       used_ = 0;
     }
     if (current_ >= chunks_.size()) {
-      const std::size_t capacity = len > kChunkBytes ? len : kChunkBytes;
+      std::size_t capacity = next_chunk_bytes_;
+      if (next_chunk_bytes_ < kMaxChunkBytes) next_chunk_bytes_ *= 2;
+      if (len > capacity) capacity = len;
       chunks_.push_back(Chunk{std::make_unique<std::byte[]>(capacity), capacity});
+      // Large chunks carry the delivery working set; ask for 2 MiB backing
+      // (advice only — see common/hugepage.hpp; small chunks are skipped).
+      advise_hugepages(chunks_.back().data.get(), capacity);
       used_ = 0;
     }
     std::byte* p = chunks_[current_].data.get() + used_;
@@ -75,6 +88,7 @@ class PayloadArena {
   std::size_t current_ = 0;  // chunk the cursor is in
   std::size_t used_ = 0;     // bytes used in chunks_[current_]
   std::size_t total_ = 0;    // bytes stored since the last clear()
+  std::size_t next_chunk_bytes_ = kChunkBytes;  // doubling, capped
 };
 
 }  // namespace lft::sim

@@ -11,7 +11,10 @@
 // Cost contract: with no sink installed the engine pays nothing on the
 // delivery hot path (the loss-class counters hide behind the existing drop
 // branches, and the per-round hashing is skipped entirely). With a sink
-// installed the recorder budget is <= 5% of the engine hot path, held by
+// installed the recorder budget is <= 5% of the engine hot path or <= 5 ns
+// per message (whichever allows more — the digest work is a fixed absolute
+// cost, so the relative bound alone would tighten every time the untraced
+// path gets faster), held by
 // bench/bench_trace.cpp + scripts/check_trace_overhead.py in CI; the hashes
 // below are therefore multiply-accumulate folds (one multiply + add per
 // 64-bit word) finalized through mix64 once per round, not per-message
@@ -23,6 +26,7 @@
 #include <span>
 
 #include "common/hash.hpp"
+#include "common/simd.hpp"
 #include "common/types.hpp"
 #include "sim/message.hpp"
 
@@ -71,15 +75,16 @@ class TraceSink {
 };
 
 namespace detail {
-// Odd multipliers for the per-field mixes below (golden ratio + the
-// SplitMix64/Murmur finalizer constants — any set of distinct odd 64-bit
-// constants with good bit dispersion works).
-inline constexpr std::uint64_t kMulChain = 0x9e3779b97f4a7c15ULL;
-inline constexpr std::uint64_t kMulAddr = 0xbf58476d1ce4e5b9ULL;
-inline constexpr std::uint64_t kMulValue = 0x94d049bb133111ebULL;
-inline constexpr std::uint64_t kMulTag = 0x2545f4914f6cdd1dULL;
-inline constexpr std::uint64_t kMulBits = 0xff51afd7ed558ccdULL;
-inline constexpr std::uint64_t kMulBody = 0xc4ceb9fe1a85ec53ULL;
+// Odd multipliers for the per-field mixes below. Canonical home is
+// common/simd.hpp: the SIMD batch kernels (sum_headers40, xor_mul_words)
+// restate the digest formulas below on wider lanes and must share one
+// definition. Aliased here so the scalar formulas keep reading naturally.
+using simd::detail::kMulChain;
+using simd::detail::kMulAddr;
+using simd::detail::kMulValue;
+using simd::detail::kMulTag;
+using simd::detail::kMulBits;
+using simd::detail::kMulBody;
 }  // namespace detail
 
 /// Mixes one message's header fields into a single word through independent
@@ -104,21 +109,30 @@ inline constexpr std::uint64_t kMulBody = 0xc4ceb9fe1a85ec53ULL;
 /// Accumulation is a commutative wrapping SUM of per-message header words,
 /// not an ordered chain. Three reasons: (1) batch order in the engine is a
 /// deterministic function of batch content, so order carries no extra
-/// information; (2) commutativity is what lets the engine build the digest
-/// from per-worker partial sums at *send* time — where the message is
-/// cache-hot — and subtract the rare dropped messages during delivery,
-/// instead of re-streaming the whole delivered batch from memory (which
-/// blew the <= 5% recorder-overhead gate, bench/bench_trace.cpp, on
-/// million-message rounds); (3) unlike XOR, a sum does not cancel identical
-/// duplicate messages (legal in the model) pairwise.
+/// information; (2) commutativity is what lets the engine accumulate the
+/// sum on the send path while the fields are still in registers (worker-
+/// local partials folded at delivery, rare dropped messages subtracted
+/// during compaction) instead of re-streaming the reordered delivered batch
+/// from DRAM — a full extra memory pass that blew the recorder-overhead
+/// gate (bench/bench_trace.cpp) on million-message rounds; it is also what
+/// lets batch consumers (core::RoundDriver, digest_messages below) use the
+/// vectorized sum_headers40 kernel over flat record arrays; (3) unlike XOR,
+/// a sum does not cancel identical duplicate messages (legal in the model)
+/// pairwise.
 [[nodiscard]] inline std::uint64_t digest_messages_final(std::uint64_t header_sum,
                                                          std::uint64_t count) noexcept {
   return mix64(header_sum + count * detail::kMulChain);
 }
 
-[[nodiscard]] inline std::uint64_t digest_messages(std::span<const Message> batch) noexcept {
-  std::uint64_t sum = 0;
-  for (const Message& m : batch) sum += digest_header(m);
+[[nodiscard]] inline std::uint64_t digest_messages(
+    std::span<const Message> batch,
+    simd::Tier tier = simd::Tier::kAuto) noexcept {
+  // Message is a 40-byte POD, so a batch is exactly the flat record array
+  // the SIMD header-sum kernel wants; every tier returns the same sum bit
+  // for bit (see common/simd.hpp), so the digest stays tier-independent.
+  static_assert(sizeof(Message) == 40);
+  const std::uint64_t sum = simd::sum_headers40(
+      tier, reinterpret_cast<const std::byte*>(batch.data()), batch.size());
   return digest_messages_final(sum, batch.size());
 }
 
@@ -139,6 +153,21 @@ inline constexpr std::uint64_t kMulBody = 0xc4ceb9fe1a85ec53ULL;
   const std::byte* body = bytes.data();
   std::size_t left = bytes.size();
   std::uint64_t salt = kMulBody;
+  // Four words per step with independent salts: the products have no
+  // dependency on each other, so the CPU overlaps the multiplies instead of
+  // serializing on one salt/accumulator chain (same per-word salts, XOR is
+  // commutative — the digest value is unchanged).
+  while (left >= 32) {
+    std::uint64_t w0, w1, w2, w3;
+    std::memcpy(&w0, body, 8);
+    std::memcpy(&w1, body + 8, 8);
+    std::memcpy(&w2, body + 16, 8);
+    std::memcpy(&w3, body + 24, 8);
+    bw ^= (w0 * salt) ^ (w1 * (salt + 2)) ^ (w2 * (salt + 4)) ^ (w3 * (salt + 6));
+    salt += 8;
+    body += 32;
+    left -= 32;
+  }
   while (left >= 8) {
     std::uint64_t word;
     std::memcpy(&word, body, 8);
@@ -156,6 +185,19 @@ inline constexpr std::uint64_t kMulBody = 0xc4ceb9fe1a85ec53ULL;
   // odd constants; per-message avalanche buys nothing the accumulator's
   // final mix64 (in the Report/trace consumer) wouldn't.
   return bw;
+}
+
+/// Dispatched form of digest_body: identical result on every tier (the
+/// kernel is the same exact integer fold), vectorized for bodies long
+/// enough to fill vector lanes. Short bodies keep the inline scalar loop —
+/// the cutover is by length only, never by tier, so digests stay
+/// tier-independent.
+[[nodiscard]] inline std::uint64_t digest_body(simd::Tier tier,
+                                               std::uint64_t header_word,
+                                               PayloadView bytes) noexcept {
+  if (bytes.size() < 64) return digest_body(header_word, bytes);
+  return simd::xor_mul_words(tier, header_word, bytes.data(), bytes.size(),
+                             detail::kMulBody);
 }
 
 /// Order-sensitive digest of a node-id set (the engine hashes the stepped

@@ -118,6 +118,18 @@ TEST(Docs, ArchitectureDocCoversTheContracts) {
   }
 }
 
+TEST(Docs, ArchitectureDocCoversTheSimdMessagePlane) {
+  const auto markdown = read_file(docs_path("architecture.md"));
+  for (const char* needle :
+       {"SIMD message plane", "LFT_SIMD", "EngineConfig::simd", "RunOptions::simd",
+        "detect_tier", "scalar tier is the reference", "huge page", "LFT_HUGEPAGES",
+        "NUMA", "LFT_NUMA", "stolen_remote", "hotpath_baseline.json",
+        "check_hotpath_regression", "bench_report", "bench/history"}) {
+    EXPECT_NE(markdown.find(needle), std::string::npos)
+        << "docs/architecture.md lacks '" << needle << "'";
+  }
+}
+
 TEST(Docs, ArchitectureDocCoversTheTransportSeam) {
   const auto markdown = read_file(docs_path("architecture.md"));
   for (const char* needle :
@@ -143,6 +155,10 @@ TEST(Docs, ReadmeLinksTheDocsPlane) {
       << "README must document the forensics quickstart";
   EXPECT_NE(readme.find("lft_serve"), std::string::npos)
       << "README must document the service quickstart";
+  EXPECT_NE(readme.find("LFT_SIMD"), std::string::npos)
+      << "README must document the SIMD dispatch override";
+  EXPECT_NE(readme.find("bench_report.py"), std::string::npos)
+      << "README must document the perf-history dashboard";
 }
 
 /// Stable doc name of a wire message type. The switch has no default on
