@@ -1,0 +1,166 @@
+// Service commit-path bench: in-process loopback throughput of the
+// ReplicaGroup slot pipeline, no sockets and no client threads — the
+// server-side ceiling the service plane can reach once network I/O is off
+// the table. The table sweeps pipeline depth D (1/2/4) against batch size
+// and reports commands/sec plus the per-slot consensus cost; depth 1 is the
+// strictly serial commit path, so the D>1 rows isolate what slot pooling
+// plus pipelined stepping buys. Every cell asserts the log digest matches
+// the depth-1 reference — pipelining must change throughput, never the log.
+// --json=PATH captures the rows in the BENCH_*.json artifact schema.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "service/replica.hpp"
+#include "table_main.hpp"
+
+namespace lft::bench {
+namespace {
+
+using service::Command;
+using service::ReplicaGroup;
+using service::ReplicaGroupOptions;
+
+std::vector<Command> make_batch(std::uint64_t& next_request, std::size_t batch_size) {
+  std::vector<Command> batch;
+  batch.reserve(batch_size);
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    Command cmd;
+    cmd.client_id = 1 + (next_request % 8);
+    cmd.request_id = 1 + next_request / 8;
+    cmd.payload.resize(16, std::byte{0x5a});
+    batch.push_back(std::move(cmd));
+    ++next_request;
+  }
+  return batch;
+}
+
+struct CellResult {
+  double wall_ms = 0.0;
+  double commands_per_s = 0.0;
+  double slot_us = 0.0;  ///< mean wall time per consensus slot
+  std::uint64_t digest = 0;
+  std::uint64_t slots = 0;
+};
+
+/// Pushes `commands` commands through the pipeline in batches of
+/// `batch_size`, keeping the pipeline as full as depth permits.
+CellResult run_cell(int pipeline, std::size_t batch_size, std::uint64_t commands) {
+  ReplicaGroupOptions options;
+  options.pipeline = pipeline;
+  ReplicaGroup group(options);
+  std::uint64_t next_request = 0;
+  std::uint64_t enqueued = 0;
+  const WallTimer timer;
+  while (enqueued < commands || group.in_flight() > 0) {
+    while (enqueued < commands && group.can_enqueue()) {
+      group.enqueue(make_batch(next_request, batch_size));
+      enqueued += batch_size;
+    }
+    group.step();
+    while (group.head_ready()) {
+      const auto result = group.take_head();
+      benchmark::DoNotOptimize(result.applied.size());
+    }
+  }
+  CellResult cell;
+  cell.wall_ms = timer.ms();
+  cell.commands_per_s =
+      cell.wall_ms > 0.0 ? static_cast<double>(commands) / (cell.wall_ms / 1000.0) : 0.0;
+  cell.slots = group.slots();
+  cell.slot_us = group.slots() > 0
+                     ? cell.wall_ms * 1000.0 / static_cast<double>(group.slots())
+                     : 0.0;
+  cell.digest = group.machine().digest();
+  return cell;
+}
+
+void print_service_table(JsonRows* json) {
+  banner("service commit pipeline",
+         "loopback ReplicaGroup throughput (commands/sec) by pipeline depth and batch "
+         "size; every cell must reproduce the depth-1 log digest");
+  static const int kDepths[] = {1, 2, 4};
+  static const std::size_t kBatches[] = {64, 256, 1024};
+  const std::uint64_t commands = 1 << 16;
+
+  Table table({"depth", "batch", "slots", "wall_ms", "cmds_per_s", "slot_us", "digest_ok"});
+  table.print_header();
+  for (const std::size_t batch : kBatches) {
+    std::uint64_t reference_digest = 0;
+    for (const int depth : kDepths) {
+      const CellResult cell = run_cell(depth, batch, commands);
+      if (depth == 1) reference_digest = cell.digest;
+      const bool digest_ok = cell.digest == reference_digest;
+      table.cell(static_cast<std::int64_t>(depth));
+      table.cell(static_cast<std::int64_t>(batch));
+      table.cell(static_cast<std::int64_t>(cell.slots));
+      table.cell(cell.wall_ms);
+      table.cell(cell.commands_per_s);
+      table.cell(cell.slot_us);
+      table.cell(std::string(digest_ok ? "yes" : "NO"));
+      table.end_row();
+      if (json != nullptr) {
+        json->begin_row();
+        // Per-cell bench name + items_per_second keep the rows renderable as
+        // a bench/history/ series by scripts/bench_report.py.
+        json->field("bench", std::string("service_commit_pipeline/d") +
+                                 std::to_string(depth) + "/b" + std::to_string(batch));
+        json->field("simd", std::string("service"));
+        json->field("depth", static_cast<std::int64_t>(depth));
+        json->field("batch", static_cast<std::int64_t>(batch));
+        json->field("commands", static_cast<std::int64_t>(commands));
+        json->field("slots", static_cast<std::int64_t>(cell.slots));
+        json->field("wall_ms", cell.wall_ms);
+        json->field("cmds_per_s", cell.commands_per_s);
+        json->field("items_per_second", cell.commands_per_s);
+        json->field("slot_us", cell.slot_us);
+        json->field("ok", std::string(digest_ok ? "yes" : "NO"));
+      }
+      if (!digest_ok) {
+        std::fprintf(stderr, "digest mismatch at depth %d batch %zu\n", depth, batch);
+        std::exit(1);
+      }
+    }
+  }
+}
+
+/// google-benchmark twin of the table: one 256-command batch per iteration,
+/// pipeline kept full at the requested depth.
+void bm_commit_pipeline(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  constexpr std::size_t kBatch = 256;
+  service::ReplicaGroupOptions options;
+  options.pipeline = depth;
+  service::ReplicaGroup group(options);
+  std::uint64_t next_request = 0;
+  for (auto _ : state) {
+    while (!group.can_enqueue()) {
+      group.step();
+      while (group.head_ready()) {
+        benchmark::DoNotOptimize(group.take_head().applied.size());
+      }
+    }
+    group.enqueue(make_batch(next_request, kBatch));
+  }
+  while (group.in_flight() > 0) {
+    group.step();
+    while (group.head_ready()) {
+      benchmark::DoNotOptimize(group.take_head().applied.size());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+  state.counters["depth"] = static_cast<double>(depth);
+}
+BENCHMARK(bm_commit_pipeline)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lft::bench
+
+int main(int argc, char** argv) {
+  return lft::bench::table_main(argc, argv,
+                                [](lft::bench::JsonRows* json) {
+                                  lft::bench::print_service_table(json);
+                                });
+}

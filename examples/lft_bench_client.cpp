@@ -1,16 +1,23 @@
-// lft_bench_client: closed-loop load generator + correctness auditor for
-// lft_serve. C client threads each keep a window of W pipelined proposals
-// outstanding until the request budget drains, measuring per-request commit
-// latency; afterwards a subscriber replays the whole log and the tool fails
-// (nonzero exit) on any lost, duplicated, or reordered command — the
-// "serve real traffic, lose nothing" gate CI runs as service-smoke.
+// lft_bench_client: load generator + correctness auditor for lft_serve.
+// Closed loop (default): C client threads each keep a window of W pipelined
+// proposals outstanding until the request budget drains — the window is
+// corked into one write per refill. Open loop (--open-loop=RATE): proposals
+// are sent on a fixed aggregate schedule of RATE requests/second regardless
+// of ack progress, and latency is measured from each request's *scheduled*
+// send time, so queueing delay is not hidden (no coordinated omission).
+// Afterwards a subscriber replays the whole log and the tool fails (nonzero
+// exit) on any lost, duplicated, or reordered command — the "serve real
+// traffic, lose nothing" gate CI runs as service-smoke.
 //
 //   lft_bench_client [--port=N] [--requests=N] [--clients=C] [--window=W]
-//                    [--sockets] [--trace=PATH] [--json=PATH]
+//                    [--open-loop=RATE] [--sockets] [--trace=PATH]
+//                    [--backend=auto|epoll|io_uring] [--pipeline=D]
+//                    [--json=PATH]
 //
 // Without --port (or with --port=0) an in-process server is spawned and
-// shut down at the end; --sockets/--trace apply to that spawned server.
-// --json writes the run's metrics in the BENCH_*.json artifact schema.
+// shut down at the end; --sockets/--trace/--backend/--pipeline apply to
+// that spawned server. --json writes the run's metrics (req/s, p50/p95/p99
+// ack latency) in the BENCH_*.json artifact schema.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -24,6 +31,7 @@
 
 #include "bench_json.hpp"
 #include "common/cli.hpp"
+#include "net/reactor.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
 
@@ -49,7 +57,8 @@ struct WorkerResult {
 /// One closed-loop client: keep `window` proposals in flight until
 /// `requests` have been acknowledged, checking the per-session guarantees
 /// on the way (acks in request order, log indices strictly increasing, no
-/// duplicates for fresh request ids).
+/// duplicates for fresh request ids). Each window refill is corked into a
+/// single write (Client::queue_propose + flush).
 void run_worker(std::uint16_t port, std::uint64_t client_id, std::uint64_t requests,
                 std::uint64_t window, WorkerResult& out) {
   auto fail = [&out](std::string why) {
@@ -67,13 +76,14 @@ void run_worker(std::uint16_t port, std::uint64_t client_id, std::uint64_t reque
   bool have_index = false;
 
   while (out.acked < requests) {
+    bool queued = false;
     while (inflight.size() < window && next_request <= requests) {
-      if (!client.send_propose(next_request, payload_for(client_id, next_request))) {
-        return fail("send_propose failed");
-      }
+      client.queue_propose(next_request, payload_for(client_id, next_request));
       inflight.emplace(next_request, Clock::now());
       ++next_request;
+      queued = true;
     }
+    if (queued && !client.flush()) return fail("flush failed");
     const auto ack = client.recv_ack();
     if (!ack) return fail("recv_ack failed");
     if (ack->request_id != expect_ack) return fail("acks out of request order");
@@ -93,6 +103,62 @@ void run_worker(std::uint16_t port, std::uint64_t client_id, std::uint64_t reque
   }
 }
 
+/// One open-loop client: send proposal r at start + (r-1)/rate no matter how
+/// far acks lag; a receiver thread collects acks concurrently. The Client's
+/// send and recv paths touch disjoint state, so one sender plus one receiver
+/// thread per connection is safe. Latency is measured against the scheduled
+/// send time.
+void run_open_worker(std::uint16_t port, std::uint64_t client_id, std::uint64_t requests,
+                     double rate_per_client, WorkerResult& out) {
+  auto fail = [&out](std::string why) {
+    out.ok = false;
+    out.error = std::move(why);
+  };
+  Client client(port, client_id);
+  if (!client.connected()) return fail("connect/handshake failed");
+
+  out.latencies_ms.reserve(static_cast<std::size_t>(requests));
+  const auto start = Clock::now();
+  const std::chrono::duration<double> interval(1.0 / rate_per_client);
+  auto scheduled_at = [&](std::uint64_t request_id) {
+    return start + std::chrono::duration_cast<Clock::duration>(
+                       interval * static_cast<double>(request_id - 1));
+  };
+
+  std::thread receiver([&] {
+    std::uint64_t expect_ack = 1;
+    std::uint64_t last_index = 0;
+    bool have_index = false;
+    while (out.acked < requests) {
+      const auto ack = client.recv_ack();
+      if (!ack) return fail("recv_ack failed");
+      if (ack->request_id != expect_ack) return fail("acks out of request order");
+      ++expect_ack;
+      out.latencies_ms.push_back(std::chrono::duration<double, std::milli>(
+                                     Clock::now() - scheduled_at(ack->request_id))
+                                     .count());
+      if (ack->applied.duplicate) return fail("fresh request acked as duplicate");
+      if (have_index && ack->applied.index <= last_index) {
+        return fail("log indices not increasing within the session");
+      }
+      last_index = ack->applied.index;
+      have_index = true;
+      ++out.acked;
+    }
+  });
+
+  bool send_failed = false;
+  for (std::uint64_t r = 1; r <= requests; ++r) {
+    std::this_thread::sleep_until(scheduled_at(r));
+    if (!client.send_propose(r, payload_for(client_id, r))) {
+      send_failed = true;  // the broken socket unblocks the receiver too
+      break;
+    }
+  }
+  receiver.join();
+  if (send_failed && out.ok) fail("send_propose failed");
+}
+
 /// Nearest-rank percentile of a sorted sample (p in [0, 100]).
 double percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
@@ -104,7 +170,9 @@ double percentile(const std::vector<double>& sorted, double p) {
 void print_usage() {
   std::printf(
       "usage: lft_bench_client [--port=N] [--requests=N] [--clients=C] [--window=W]\n"
-      "                        [--sockets] [--trace=PATH] [--json=PATH]\n");
+      "                        [--open-loop=RATE] [--sockets] [--trace=PATH]\n"
+      "                        [--backend=auto|epoll|io_uring] [--pipeline=D]\n"
+      "                        [--json=PATH]\n");
 }
 
 }  // namespace
@@ -114,52 +182,88 @@ int main(int argc, char** argv) {
   std::int64_t requests = 100000;
   int clients = 4;
   std::int64_t window = 4;
+  std::int64_t open_rate = 0;
   bool sockets = false;
   std::string trace_path;
+  std::string backend_name = "auto";
+  int pipeline = 4;
   std::string json_path;
   const bool parsed = lft::cli::ArgParser(argc, argv)
                           .on_int("--port", port, 0)
                           .on_i64("--requests", requests, 1)
                           .on_int("--clients", clients, 1)
                           .on_i64("--window", window, 1)
+                          .on_i64("--open-loop", open_rate, 0)
                           .on_flag("--sockets", sockets)
                           .on_str("--trace", trace_path)
+                          .on_str("--backend", backend_name)
+                          .on_int("--pipeline", pipeline, 1)
                           .on_str("--json", json_path)
                           .parse();
   if (!parsed) {
     print_usage();
     return 2;
   }
+  lft::net::ReactorBackend backend = lft::net::ReactorBackend::kAuto;
+  if (!lft::net::parse_backend(backend_name, backend)) {
+    std::fprintf(stderr, "lft_bench_client: unknown backend '%s'\n", backend_name.c_str());
+    print_usage();
+    return 2;
+  }
+  const bool open_loop = open_rate > 0;
 
   // Spawn an in-process server unless pointed at a live one.
   std::optional<lft::service::Server> server;
   std::thread server_thread;
   std::uint16_t target_port = static_cast<std::uint16_t>(port);
+  std::string backend_used = "external";
   if (port == 0) {
     lft::service::ServerOptions options;
     options.use_sockets = sockets;
     options.trace_path = trace_path;
+    options.backend = backend;
+    options.pipeline = pipeline;
     server.emplace(options);
     target_port = server->port();
+    backend_used = server->backend();
     server_thread = std::thread([&server] { server->run(); });
   }
 
   const auto per_client = static_cast<std::uint64_t>(requests) /
                           static_cast<std::uint64_t>(clients);
   const std::uint64_t total = per_client * static_cast<std::uint64_t>(clients);
-  std::printf("lft_bench_client: %llu requests over %d clients (window %lld) -> port %u\n",
-              static_cast<unsigned long long>(total), clients,
-              static_cast<long long>(window), target_port);
+  if (open_loop) {
+    std::printf(
+        "lft_bench_client: %llu requests over %d clients (open loop, %lld req/s) "
+        "-> port %u (backend %s)\n",
+        static_cast<unsigned long long>(total), clients,
+        static_cast<long long>(open_rate), target_port, backend_used.c_str());
+  } else {
+    std::printf(
+        "lft_bench_client: %llu requests over %d clients (window %lld) -> port %u "
+        "(backend %s)\n",
+        static_cast<unsigned long long>(total), clients, static_cast<long long>(window),
+        target_port, backend_used.c_str());
+  }
   std::fflush(stdout);
 
   const auto start = Clock::now();
   std::vector<WorkerResult> results(static_cast<std::size_t>(clients));
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(clients));
+  const double rate_per_client =
+      static_cast<double>(open_rate) / static_cast<double>(clients);
   for (int c = 0; c < clients; ++c) {
-    workers.emplace_back(run_worker, target_port, static_cast<std::uint64_t>(c + 1),
-                         per_client, static_cast<std::uint64_t>(window),
-                         std::ref(results[static_cast<std::size_t>(c)]));
+    WorkerResult& result = results[static_cast<std::size_t>(c)];
+    if (open_loop) {
+      workers.emplace_back(run_open_worker, target_port,
+                           static_cast<std::uint64_t>(c + 1), per_client,
+                           rate_per_client, std::ref(result));
+    } else {
+      workers.emplace_back(run_worker, target_port, static_cast<std::uint64_t>(c + 1),
+                           per_client, static_cast<std::uint64_t>(window),
+                           std::ref(result));
+    }
   }
   for (auto& w : workers) w.join();
   const double wall_ms =
@@ -232,24 +336,35 @@ int main(int argc, char** argv) {
   const double rps = wall_ms > 0.0 ? static_cast<double>(total) / (wall_ms / 1000.0) : 0.0;
   const double p50 = percentile(latencies, 50.0);
   const double p95 = percentile(latencies, 95.0);
-  std::printf("%12s %8s %8s %12s %12s %10s %10s %6s\n", "requests", "clients", "window",
-              "wall_ms", "req_per_s", "p50_ms", "p95_ms", "ok");
-  std::printf("%12llu %8d %8lld %12.1f %12.0f %10.3f %10.3f %6s\n",
+  const double p99 = percentile(latencies, 99.0);
+  std::printf("%12s %8s %8s %12s %12s %10s %10s %10s %6s\n", "requests", "clients",
+              "window", "wall_ms", "req_per_s", "p50_ms", "p95_ms", "p99_ms", "ok");
+  std::printf("%12llu %8d %8lld %12.1f %12.0f %10.3f %10.3f %10.3f %6s\n",
               static_cast<unsigned long long>(total), clients,
-              static_cast<long long>(window), wall_ms, rps, p50, p95, ok ? "yes" : "NO");
+              static_cast<long long>(open_loop ? 0 : window), wall_ms, rps, p50, p95, p99,
+              ok ? "yes" : "NO");
 
   if (!json_path.empty()) {
     lft::bench::JsonRows rows;
     rows.begin_row();
     rows.field("bench", std::string("service_closed_loop"));
+    rows.field("mode", std::string(open_loop ? "open" : "closed"));
+    rows.field("backend", backend_used);
+    rows.field("pipeline", static_cast<std::int64_t>(pipeline));
     rows.field("requests", static_cast<std::int64_t>(total));
     rows.field("clients", static_cast<std::int64_t>(clients));
-    rows.field("window", static_cast<std::int64_t>(window));
+    rows.field("window", static_cast<std::int64_t>(open_loop ? 0 : window));
+    rows.field("open_rate", static_cast<std::int64_t>(open_rate));
     rows.field("slots", static_cast<std::int64_t>(slots));
     rows.field("wall_ms", wall_ms);
     rows.field("req_per_s", rps);
+    // bench_report.py series key: lets a smoke-run row double as a
+    // bench/history/ point row alongside the engine_hotpath series.
+    rows.field("simd", std::string("service"));
+    rows.field("items_per_second", rps);
     rows.field("p50_ms", p50);
     rows.field("p95_ms", p95);
+    rows.field("p99_ms", p99);
     rows.field("ok", std::string(ok ? "yes" : "NO"));
     if (!rows.write_file(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());

@@ -1,22 +1,27 @@
-// lft_serve: the replicated coordination service, live. An epoll server
-// multiplexing TCP client sessions over a ReplicaGroup that orders every
-// proposal batch through a Few-Crashes-Consensus slot (the paper's Figure 3
-// assembly) — the same Stage/Process code the simulator runs, behind the
-// core::Transport seam.
+// lft_serve: the replicated coordination service, live. A reactor server
+// (epoll or io_uring) multiplexing TCP client sessions over a ReplicaGroup
+// that orders every proposal batch through a Few-Crashes-Consensus slot (the
+// paper's Figure 3 assembly) — the same Stage/Process code the simulator
+// runs, behind the core::Transport seam. Consensus slots run through a
+// pipeline so rounds overlap network I/O.
 //
 //   lft_serve [--port=N] [--n=N] [--t=N] [--sockets] [--no-shutdown]
-//             [--trace=PATH]
+//             [--trace=PATH] [--backend=auto|epoll|io_uring] [--pipeline=D]
 //
 // --port=0 (default) picks a free port and prints it. --sockets runs each
 // replica on its own thread behind an AF_UNIX socketpair instead of inline.
 // --trace=PATH records the first commit slot as an LFTTRACE file that
 // `lft_forensics replay --trace=PATH` re-executes under the sim engine.
 // --no-shutdown ignores client kShutdown frames (run until killed).
+// --backend picks the readiness backend; auto (default) uses io_uring when
+// the kernel supports it and falls back to epoll. --pipeline sets the slot
+// pipeline depth D (how many consensus slots may be in flight at once).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "common/cli.hpp"
+#include "net/reactor.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
 
@@ -25,7 +30,7 @@ namespace {
 void print_usage() {
   std::printf(
       "usage: lft_serve [--port=N] [--n=N] [--t=N] [--sockets] [--no-shutdown]\n"
-      "                 [--trace=PATH]\n");
+      "                 [--trace=PATH] [--backend=auto|epoll|io_uring] [--pipeline=D]\n");
 }
 
 }  // namespace
@@ -37,6 +42,8 @@ int main(int argc, char** argv) {
   bool sockets = false;
   bool no_shutdown = false;
   std::string trace_path;
+  std::string backend_name = "auto";
+  int pipeline = 4;
   const bool parsed = lft::cli::ArgParser(argc, argv)
                           .on_int("--port", port, 0)
                           .on_int("--n", n, 1)
@@ -44,6 +51,8 @@ int main(int argc, char** argv) {
                           .on_flag("--sockets", sockets)
                           .on_flag("--no-shutdown", no_shutdown)
                           .on_str("--trace", trace_path)
+                          .on_str("--backend", backend_name)
+                          .on_int("--pipeline", pipeline, 1)
                           .parse();
   if (!parsed) {
     print_usage();
@@ -54,6 +63,12 @@ int main(int argc, char** argv) {
                  static_cast<long long>(t));
     return 2;
   }
+  lft::net::ReactorBackend backend = lft::net::ReactorBackend::kAuto;
+  if (!lft::net::parse_backend(backend_name, backend)) {
+    std::fprintf(stderr, "lft_serve: unknown backend '%s'\n", backend_name.c_str());
+    print_usage();
+    return 2;
+  }
 
   lft::service::ServerOptions options;
   options.port = static_cast<std::uint16_t>(port);
@@ -62,11 +77,15 @@ int main(int argc, char** argv) {
   options.use_sockets = sockets;
   options.allow_shutdown = !no_shutdown;
   options.trace_path = trace_path;
+  options.backend = backend;
+  options.pipeline = pipeline;
 
   lft::service::Server server(options);
-  std::printf("lft_serve: listening on 127.0.0.1:%u (n=%d t=%lld replicas=%s)\n",
-              server.port(), n, static_cast<long long>(t),
-              sockets ? "socketpair threads" : "inline");
+  std::printf(
+      "lft_serve: listening on 127.0.0.1:%u (n=%d t=%lld replicas=%s backend=%s "
+      "pipeline=%d)\n",
+      server.port(), n, static_cast<long long>(t),
+      sockets ? "socketpair threads" : "inline", server.backend(), pipeline);
   if (!trace_path.empty()) {
     std::printf("lft_serve: first commit slot will be traced to %s\n", trace_path.c_str());
   }
@@ -77,12 +96,14 @@ int main(int argc, char** argv) {
   const auto& stats = server.stats();
   std::printf(
       "lft_serve: shut down after %llu sessions, %llu proposals (%llu duplicates), "
-      "%llu commit batches, %llu log entries, %llu consensus slots\n",
+      "%llu commit batches, %llu log entries, %llu consensus slots, "
+      "%llu session pauses\n",
       static_cast<unsigned long long>(stats.sessions_accepted),
       static_cast<unsigned long long>(stats.proposals),
       static_cast<unsigned long long>(stats.duplicates),
       static_cast<unsigned long long>(stats.commit_batches),
       static_cast<unsigned long long>(server.group().machine().size()),
-      static_cast<unsigned long long>(server.group().slots()));
+      static_cast<unsigned long long>(server.group().slots()),
+      static_cast<unsigned long long>(stats.session_pauses));
   return 0;
 }

@@ -1,47 +1,57 @@
 #!/usr/bin/env python3
-"""Schema check for the lft_bench_client --json artifact (BENCH_service.json).
+"""Gate + schema check for the lft_bench_client --json artifact.
 
-Validates the single service_closed_loop row CI archives from the
-service-smoke step:
-  * the full schema is present (bench, requests, clients, window, slots,
-    wall_ms, req_per_s, p50_ms, p95_ms, ok) with sane types;
+Validates the single service row CI archives from the service-smoke step:
+  * the full schema is present (bench, mode, backend, pipeline, requests,
+    clients, window, open_rate, slots, wall_ms, req_per_s, p50/p95/p99_ms,
+    ok) with sane types;
   * ok == "yes" (the closed loop lost, duplicated, and reordered nothing);
-  * the counters are consistent (requests/clients/slots positive, at least
-    one consensus slot per commit batch is impossible to exceed requests).
+  * the counters are consistent (requests/clients/slots positive, more
+    consensus slots than requests is impossible under group commit).
 
-Run by the CI service-smoke step after lft_bench_client exits, so the
-artifact schema cannot drift silently.
+With --baseline it additionally enforces the checked-in req/s floor
+(bench/service_baseline.json): the row must meet every floor entry whose
+backend/pipeline/mode it matches. With --expect-backend NAME it logs a
+notice when the run degraded to a different backend (an io_uring request
+on a kernel without io_uring falls back to epoll) — a notice, not a
+failure, because the fallback is the designed behavior.
+
+With --append-history DIR the row is wrapped into a bench/history/ point
+(NNNN-label.json, the schema scripts/bench_report.py renders) so service
+throughput joins the perf-history dashboard.
 
 Usage: check_service_smoke.py BENCH_service.json
+           [--baseline bench/service_baseline.json]
+           [--expect-backend auto|epoll|io_uring]
+           [--append-history DIR --label NAME --commit HASH --machine DESC]
 """
 
+import argparse
+import datetime
 import json
+import os
 import sys
 
 REQUIRED_FIELDS = {
     "bench": str,
+    "mode": str,
+    "backend": str,
+    "pipeline": int,
     "requests": int,
     "clients": int,
     "window": int,
+    "open_rate": int,
     "slots": int,
     "wall_ms": (int, float),
     "req_per_s": (int, float),
     "p50_ms": (int, float),
     "p95_ms": (int, float),
+    "p99_ms": (int, float),
     "ok": str,
 }
 
 
-def main() -> int:
-    if len(sys.argv) != 2:
-        raise SystemExit(f"usage: {sys.argv[0]} BENCH_service.json")
-    path = sys.argv[1]
-    with open(path, encoding="utf-8") as f:
-        rows = json.load(f)
-    if not isinstance(rows, list) or len(rows) != 1:
-        raise SystemExit(f"FAIL: {path} must be a one-row JSON array")
-    row = rows[0]
-
+def check_schema(row, path):
     for field, types in REQUIRED_FIELDS.items():
         if field not in row:
             raise SystemExit(f"FAIL: row lacks '{field}'")
@@ -51,20 +61,110 @@ def main() -> int:
 
     if row["bench"] != "service_closed_loop":
         raise SystemExit(f"FAIL: bench={row['bench']}, expected service_closed_loop")
+    if row["mode"] not in ("closed", "open"):
+        raise SystemExit(f"FAIL: mode={row['mode']}")
     if row["ok"] != "yes":
-        raise SystemExit(f"FAIL: the closed loop reported ok={row['ok']}")
-    for positive in ("requests", "clients", "window", "slots"):
+        raise SystemExit(f"FAIL: the load loop reported ok={row['ok']}")
+    for positive in ("requests", "clients", "slots"):
         if row[positive] <= 0:
             raise SystemExit(f"FAIL: {positive}={row[positive]}")
+    if row["mode"] == "closed" and row["window"] <= 0:
+        raise SystemExit(f"FAIL: closed loop with window={row['window']}")
+    if row["mode"] == "open" and row["open_rate"] <= 0:
+        raise SystemExit(f"FAIL: open loop with open_rate={row['open_rate']}")
     if row["slots"] > row["requests"]:
         raise SystemExit(
             f"FAIL: {row['slots']} slots for {row['requests']} requests — "
             "group commit must batch at least one command per slot")
-    if row["p50_ms"] > row["p95_ms"]:
-        raise SystemExit(f"FAIL: p50 {row['p50_ms']} > p95 {row['p95_ms']}")
+    if not row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]:
+        raise SystemExit(
+            f"FAIL: percentiles not monotonic: p50 {row['p50_ms']} "
+            f"p95 {row['p95_ms']} p99 {row['p99_ms']}")
+
+
+def check_floor(row, baseline_path):
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+    matched = False
+    for floor in baseline.get("floors", []):
+        if floor.get("backend") != row["backend"]:
+            continue
+        if floor.get("pipeline") not in (None, row["pipeline"]):
+            continue
+        if floor.get("mode", "closed") != row["mode"]:
+            continue
+        matched = True
+        minimum = floor["min_req_per_s"]
+        if row["req_per_s"] < minimum:
+            raise SystemExit(
+                f"FAIL: {row['req_per_s']:.0f} req/s on {row['backend']} "
+                f"(pipeline {row['pipeline']}) is below the checked-in floor "
+                f"of {minimum} req/s ({baseline_path})")
+        print(f"floor: {row['req_per_s']:.0f} req/s >= {minimum} "
+              f"({row['backend']}, pipeline {row['pipeline']})")
+    if not matched:
+        print(f"floor: no entry in {baseline_path} matches backend="
+              f"{row['backend']} pipeline={row['pipeline']} mode={row['mode']}; "
+              "nothing gated")
+
+
+def append_history(row, directory, label, commit, machine):
+    existing = [name for name in os.listdir(directory)
+                if name.endswith(".json") and name[:4].isdigit()]
+    next_seq = 1 + max((int(name[:4]) for name in existing), default=0)
+    point = {
+        "label": label,
+        "date": datetime.date.today().isoformat(),
+        "commit": commit,
+        "machine": machine,
+        "rows": [row],
+    }
+    path = os.path.join(directory, f"{next_seq:04d}-{label}.json")
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(point, f, indent=2)
+        f.write("\n")
+    print(f"history: appended {path}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifact", help="BENCH_service.json from lft_bench_client")
+    parser.add_argument("--baseline", default=None,
+                        help="service_baseline.json with req/s floor entries")
+    parser.add_argument("--expect-backend", default=None,
+                        help="backend the run was configured for; a mismatch "
+                             "logs a fallback notice")
+    parser.add_argument("--append-history", default=None, metavar="DIR",
+                        help="wrap the row into a bench/history/ point")
+    parser.add_argument("--label", default="service-smoke")
+    parser.add_argument("--commit", default="?")
+    parser.add_argument("--machine", default="?")
+    args = parser.parse_args()
+
+    with open(args.artifact, encoding="utf-8") as f:
+        rows = json.load(f)
+    if not isinstance(rows, list) or len(rows) != 1:
+        raise SystemExit(f"FAIL: {args.artifact} must be a one-row JSON array")
+    row = rows[0]
+
+    check_schema(row, args.artifact)
+
+    if args.expect_backend and args.expect_backend != row["backend"]:
+        print(f"NOTICE: requested backend '{args.expect_backend}' but the run "
+              f"used '{row['backend']}' — the kernel lacks the requested "
+              "backend and the reactor fell back (designed degradation)")
+
+    if args.baseline:
+        check_floor(row, args.baseline)
+
+    if args.append_history:
+        append_history(row, args.append_history, args.label, args.commit,
+                       args.machine)
 
     print(f"OK: {row['requests']} requests over {row['clients']} clients in "
-          f"{row['slots']} slots, {row['req_per_s']:.0f} req/s, schema valid")
+          f"{row['slots']} slots, {row['req_per_s']:.0f} req/s on "
+          f"{row['backend']} (pipeline {row['pipeline']}, {row['mode']} loop), "
+          "schema valid")
     return 0
 
 

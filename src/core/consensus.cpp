@@ -119,6 +119,14 @@ std::unique_ptr<StageProcess> make_few_crashes_process(const ConsensusParams& p,
   return proc;
 }
 
+bool reset_few_crashes_process(StageProcess& proc, const ConsensusParams& p, int input) {
+  LFT_ASSERT(input == 0 || input == 1);
+  BinaryState initial{};
+  initial.candidate = input;
+  initial.is_little = proc.self() < p.little_count;
+  return proc.reset(initial);
+}
+
 std::unique_ptr<StageProcess> make_many_crashes_process(const ConsensusParams& p, NodeId self,
                                                         int input) {
   LFT_ASSERT(input == 0 || input == 1);

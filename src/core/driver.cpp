@@ -124,10 +124,18 @@ void RoundDriver::deliver_batch() {
 }
 
 sim::Report RoundDriver::run() {
-  sim::Report report;
-  bool completed = false;
+  while (step()) {
+  }
+  return finish();
+}
 
-  for (round_ = 0; round_ < options_.max_rounds; ++round_) {
+bool RoundDriver::step() {
+  if (finished_) return false;
+  if (round_ >= options_.max_rounds) {
+    finished_ = true;
+    return false;
+  }
+  {
     // 0. Wake sleepers whose timer (or a message) is due; heap entries are
     //    lazily invalidated.
     woken_.clear();
@@ -212,21 +220,52 @@ sim::Report RoundDriver::run() {
       return false;
     });
     if (active_.empty() && sleeping_count_ == 0) {
-      completed = true;
+      completed_ = true;
       ++round_;  // this round still counts
-      break;
+      finished_ = true;
+      return false;
     }
   }
-
-  for (const auto& s : status_) {
-    metrics_.max_sends_per_node = std::max(metrics_.max_sends_per_node, s.sends);
+  ++round_;
+  if (round_ >= options_.max_rounds) {
+    finished_ = true;
+    return false;
   }
-  metrics_.rounds = round_;
+  return true;
+}
+
+sim::Report RoundDriver::finish() const {
+  sim::Report report;
+  sim::Metrics metrics = metrics_;
+  for (const auto& s : status_) {
+    metrics.max_sends_per_node = std::max(metrics.max_sends_per_node, s.sends);
+  }
+  metrics.rounds = round_;
   report.rounds = round_;
-  report.completed = completed;
-  report.metrics = metrics_;
+  report.completed = completed_;
+  report.metrics = metrics;
   report.nodes = status_;
   return report;
+}
+
+void RoundDriver::reset() {
+  round_ = 0;
+  finished_ = false;
+  completed_ = false;
+  std::fill(status_.begin(), status_.end(), sim::NodeStatus{});
+  active_.resize(static_cast<std::size_t>(n_));
+  for (NodeId v = 0; v < n_; ++v) active_[static_cast<std::size_t>(v)] = v;
+  woken_.clear();
+  std::fill(sleeping_.begin(), sleeping_.end(), std::uint8_t{0});
+  std::fill(wake_at_.begin(), wake_at_.end(), Round{0});
+  sleeping_count_ = 0;
+  while (!sleep_heap_.empty()) sleep_heap_.pop();
+  inbox_.clear();
+  outbox_.clear();
+  inbox_spans_.clear();
+  results_.clear();
+  metrics_ = sim::Metrics{};
+  digest_ = sim::RoundDigest{};
 }
 
 }  // namespace lft::core

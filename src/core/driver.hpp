@@ -118,7 +118,29 @@ class RoundDriver {
  public:
   RoundDriver(NodeId n, Transport& transport, const RunOptions& options = {});
 
+  /// Runs to completion: while (step()) {} then finish().
   [[nodiscard]] sim::Report run();
+
+  /// Incremental execution for slot pipelining: advances one lock-step
+  /// round per call; returns false once the execution finished (every node
+  /// halted or the round cap hit) — the finishing round still executes on
+  /// the call that returns false. run() is exactly this loop, so stepping
+  /// produces bit-identical Reports and digest streams.
+  [[nodiscard]] bool step();
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  /// The final Report; call after step() returns false. Idempotent.
+  [[nodiscard]] sim::Report finish() const;
+
+  /// Rewinds all bookkeeping for a fresh execution over the same transport,
+  /// keeping allocated buffers — the pooled-scratch path of the service
+  /// plane's slot pipeline. The transport's Programs must be reset (or
+  /// rebuilt) by the caller.
+  void reset();
+
+  /// Swaps the trace sink for the next execution (a pooled slot records
+  /// only when asked to).
+  void set_trace(sim::TraceSink* trace) noexcept { options_.trace = trace; }
 
  private:
   void deliver_batch();
@@ -128,6 +150,8 @@ class RoundDriver {
   RunOptions options_;
   simd::Tier tier_ = simd::Tier::kScalar;  // resolved from options_.simd
   Round round_ = 0;
+  bool finished_ = false;
+  bool completed_ = false;
   std::vector<sim::NodeStatus> status_;
   std::vector<NodeId> active_;  // ascending
   std::vector<NodeId> woken_;

@@ -109,6 +109,14 @@ class Stage {
   /// provably have no spontaneous action AND the stage's on_round tolerates
   /// round jumps.
   [[nodiscard]] virtual Round quiescent_until(Round r) const { return r + 1; }
+
+  /// Pooling support: restores the stage to its freshly-constructed state so
+  /// the same object can run another execution without reallocation. Returns
+  /// false when unsupported (the default) — callers must then rebuild the
+  /// process instead. Overrides must leave the stage indistinguishable from
+  /// a new construction with the same arguments (shared immutable graphs are
+  /// kept; only per-execution scratch rewinds).
+  [[nodiscard]] virtual bool reset() { return false; }
 };
 
 /// Shared per-node protocol state threaded through consecutive stages.
@@ -143,6 +151,17 @@ class StageDriver {
   /// execution.
   [[nodiscard]] Round quiescent_until(Round round) const;
 
+  /// Rewinds the round cursor and resets every stage; false when any stage
+  /// declines (the driver is then in a torn state and must be discarded).
+  [[nodiscard]] bool reset_stages() {
+    current_ = 0;
+    stage_start_ = 0;
+    for (auto& stage : stages_) {
+      if (!stage->reset()) return false;
+    }
+    return true;
+  }
+
  private:
   std::vector<std::unique_ptr<Stage>> stages_;
   std::size_t current_ = 0;
@@ -172,6 +191,15 @@ class StageProcess final : public sim::Process, public Program {
   [[nodiscard]] const BinaryState& state() const noexcept { return state_; }
   [[nodiscard]] BinaryState& state() noexcept { return state_; }
   [[nodiscard]] const Stage& stage(std::size_t i) const { return driver_.stage(i); }
+
+  /// Pooling support: rewinds the process for a fresh execution — stage
+  /// cursor to 0, every stage reset, shared state to `initial`. False when
+  /// any stage lacks reset support; the process must then be rebuilt.
+  [[nodiscard]] bool reset(const BinaryState& initial) {
+    if (!driver_.reset_stages()) return false;
+    state_ = initial;
+    return true;
+  }
 
  private:
   NodeId self_;

@@ -41,6 +41,10 @@ class FloodRumorStage final : public Stage {
   [[nodiscard]] LinkPlan link_plan(Round r) const override;
   /// Flooding acts only on receipt (message wake) or at round 0.
   [[nodiscard]] Round quiescent_until(Round /*r*/) const override { return duration(); }
+  [[nodiscard]] bool reset() override {
+    sent_ = false;
+    return true;
+  }
 
  private:
   [[nodiscard]] bool is_member() const noexcept { return self_ < members_; }
@@ -69,6 +73,10 @@ class ProbeStage final : public Stage {
   [[nodiscard]] Round quiescent_until(Round r) const override {
     return is_member() ? r + 1 : duration();
   }
+  [[nodiscard]] bool reset() override {
+    probe_.reset();
+    return true;
+  }
 
  private:
   [[nodiscard]] bool is_member() const noexcept { return self_ < members_; }
@@ -92,6 +100,8 @@ class NotifyRelatedStage final : public Stage {
   [[nodiscard]] LinkPlan link_plan(Round r) const override;
   /// Notifications go out at round 0 only; adoption rides the message wake.
   [[nodiscard]] Round quiescent_until(Round /*r*/) const override { return duration(); }
+  /// All state lives in the shared BinaryState, which the process resets.
+  [[nodiscard]] bool reset() override { return true; }
 
  private:
   NodeId self_;
@@ -114,6 +124,10 @@ class SpreadFloodStage final : public Stage {
   [[nodiscard]] LinkPlan link_plan(Round r) const override;
   /// Spreads only on acquiring the value (message wake) or at round 0.
   [[nodiscard]] Round quiescent_until(Round /*r*/) const override { return duration(); }
+  [[nodiscard]] bool reset() override {
+    forwarded_ = false;
+    return true;
+  }
 
  private:
   NodeId self_;
@@ -141,6 +155,8 @@ class InquiryPhasesStage final : public Stage {
   /// Undecided nodes inquire at every even round; decided nodes only answer
   /// inquiries, which arrive as message wakes.
   [[nodiscard]] Round quiescent_until(Round r) const override;
+  /// All state lives in the shared BinaryState, which the process resets.
+  [[nodiscard]] bool reset() override { return true; }
 
  private:
   NodeId self_;
@@ -161,6 +177,8 @@ class PullStage final : public Stage {
   void on_round(Round r, std::span<const sim::Message> inbox, ProtocolIo& io) override;
   /// Pulls go out at round 0; replies and adoption ride the message wakes.
   [[nodiscard]] Round quiescent_until(Round /*r*/) const override { return duration(); }
+  /// All state lives in the shared BinaryState, which the process resets.
+  [[nodiscard]] bool reset() override { return true; }
 
  private:
   NodeId self_;

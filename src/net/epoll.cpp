@@ -9,6 +9,10 @@
 
 namespace lft::net {
 
+namespace {
+constexpr int kWaitBatch = 64;
+}  // namespace
+
 EpollLoop::EpollLoop() : epoll_fd_(::epoll_create1(0)) {
   LFT_ASSERT_MSG(epoll_fd_ >= 0, "epoll_create1() failed");
 }
@@ -38,22 +42,29 @@ void EpollLoop::remove(int fd) {
 }
 
 int EpollLoop::wait(int timeout_ms) {
-  epoll_event events[64];
-  int n = 0;
-  do {
-    n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
-  } while (n < 0 && errno == EINTR);
-  LFT_ASSERT_MSG(n >= 0, "epoll_wait failed");
   int dispatched = 0;
-  for (int i = 0; i < n; ++i) {
-    const int fd = events[i].data.fd;
-    // A callback earlier in this batch may have removed this fd.
-    const auto it = callbacks_.find(fd);
-    if (it == callbacks_.end()) continue;
-    // Copy: the callback may remove itself (invalidating the map slot).
-    Callback cb = it->second;
-    cb(events[i].events);
-    ++dispatched;
+  int wait_ms = timeout_ms;
+  for (;;) {
+    epoll_event events[kWaitBatch];
+    int n = 0;
+    do {
+      n = ::epoll_wait(epoll_fd_, events, kWaitBatch, wait_ms);
+    } while (n < 0 && errno == EINTR);
+    LFT_ASSERT_MSG(n >= 0, "epoll_wait failed");
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      // A callback earlier in this batch may have removed this fd.
+      const auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) continue;
+      // Copy: the callback may remove itself (invalidating the map slot).
+      Callback cb = it->second;
+      cb(events[i].events);
+      ++dispatched;
+    }
+    // A short batch means the ready list is drained; a full batch may have
+    // left ready fds behind, so poll again without blocking.
+    if (n < kWaitBatch) break;
+    wait_ms = 0;
   }
   return dispatched;
 }

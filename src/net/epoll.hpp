@@ -1,37 +1,40 @@
-// A minimal epoll reactor: register fds with callbacks, dispatch one
-// wait-batch at a time. Single-threaded by design — the service server and
-// the transport hub both run one reactor on one thread, which is what keeps
-// their behavior deterministic enough to twin against the sim engine.
+// The epoll implementation of net::Reactor: register fds with callbacks,
+// dispatch one wait-batch at a time. Single-threaded by design — the service
+// server and the transport hub both run one reactor on one thread, which is
+// what keeps their behavior deterministic enough to twin against the sim
+// engine.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
-#include <vector>
+
+#include "net/reactor.hpp"
 
 namespace lft::net {
 
-class EpollLoop {
+class EpollLoop final : public Reactor {
  public:
-  /// Called with the ready event mask (EPOLLIN | EPOLLHUP | ...).
-  using Callback = std::function<void(std::uint32_t events)>;
-
   EpollLoop();
-  ~EpollLoop();
+  ~EpollLoop() override;
   EpollLoop(const EpollLoop&) = delete;
   EpollLoop& operator=(const EpollLoop&) = delete;
 
-  /// Registers `fd` (not owned) for `events` (EPOLLIN etc.).
-  void add(int fd, std::uint32_t events, Callback cb);
-  void modify(int fd, std::uint32_t events);
-  void remove(int fd);
+  void add(int fd, std::uint32_t events, Callback cb) override;
+  void modify(int fd, std::uint32_t events) override;
+  void remove(int fd) override;
 
   /// Waits up to `timeout_ms` (-1 blocks) and dispatches every ready
-  /// callback once. Returns the number of events dispatched. Callbacks may
-  /// add/remove fds, including removing themselves.
-  int wait(int timeout_ms);
+  /// callback once. The ready list is drained fully — when a wait-batch
+  /// comes back at capacity, epoll_wait is polled again (timeout 0) until
+  /// the batch is short, so a burst of >64 ready sessions can't starve
+  /// late-registered fds for a dispatch cycle.
+  int wait(int timeout_ms) override;
 
-  [[nodiscard]] std::size_t watched() const noexcept { return callbacks_.size(); }
+  [[nodiscard]] std::size_t watched() const noexcept override {
+    return callbacks_.size();
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "epoll"; }
 
  private:
   int epoll_fd_ = -1;

@@ -1,6 +1,9 @@
 #include "net/frame.hpp"
 
+#include <algorithm>
 #include <cstring>
+
+#include "common/assert.hpp"
 
 namespace lft::net {
 
@@ -38,28 +41,61 @@ bool recv_frame(const Fd& fd, std::vector<std::byte>& payload) {
   return len == 0 || recv_all(fd, std::span<std::byte>(payload.data(), len));
 }
 
-void FrameParser::feed(std::span<const std::byte> bytes) {
-  // Compact once the consumed prefix dominates, keeping feed() amortized
+void FrameParser::compact_or_grow(std::size_t tail_needed) {
+  // Compact once the consumed prefix dominates, keeping fills amortized
   // linear without re-copying on every frame.
-  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
-    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+  if (pos_ > 0 && (pos_ >= end_ - pos_ || buf_.size() - end_ < tail_needed)) {
+    std::memmove(buf_.data(), buf_.data() + pos_, end_ - pos_);
+    end_ -= pos_;
     pos_ = 0;
   }
-  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  if (buf_.size() - end_ < tail_needed) {
+    buf_.resize(std::max(buf_.size() * 2, end_ + tail_needed));
+  }
 }
 
-bool FrameParser::next(std::vector<std::byte>& payload) {
+void FrameParser::feed(std::span<const std::byte> bytes) {
+  if (bytes.empty()) return;
+  compact_or_grow(bytes.size());
+  std::memcpy(buf_.data() + end_, bytes.data(), bytes.size());
+  end_ += bytes.size();
+}
+
+std::span<std::byte> FrameParser::writable(std::size_t min_bytes) {
+  compact_or_grow(min_bytes);
+  return {buf_.data() + end_, buf_.size() - end_};
+}
+
+void FrameParser::commit(std::size_t n) {
+  end_ += n;
+  LFT_ASSERT_MSG(end_ <= buf_.size(), "commit() past the writable() span");
+}
+
+bool FrameParser::frame_ready(std::uint32_t& len) {
   if (corrupt_) return false;
-  const std::size_t avail = buf_.size() - pos_;
+  const std::size_t avail = end_ - pos_;
   if (avail < sizeof(std::uint32_t)) return false;
-  const std::uint32_t len = read_len(buf_.data() + pos_);
+  len = read_len(buf_.data() + pos_);
   if (len > kMaxFrameBytes) {
     corrupt_ = true;
     return false;
   }
-  if (avail < sizeof(std::uint32_t) + len) return false;
-  payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + sizeof(std::uint32_t)),
-                 buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + sizeof(std::uint32_t) + len));
+  return avail >= sizeof(std::uint32_t) + len;
+}
+
+bool FrameParser::next(std::vector<std::byte>& payload) {
+  std::uint32_t len = 0;
+  if (!frame_ready(len)) return false;
+  const std::byte* body = buf_.data() + pos_ + sizeof(std::uint32_t);
+  payload.assign(body, body + len);
+  pos_ += sizeof(std::uint32_t) + len;
+  return true;
+}
+
+bool FrameParser::next_view(std::span<const std::byte>& payload) {
+  std::uint32_t len = 0;
+  if (!frame_ready(len)) return false;
+  payload = {buf_.data() + pos_ + sizeof(std::uint32_t), len};
   pos_ += sizeof(std::uint32_t) + len;
   return true;
 }

@@ -26,25 +26,47 @@ void append_frame(std::vector<std::byte>& out, std::span<const std::byte> payloa
 [[nodiscard]] bool send_frame(const Fd& fd, std::span<const std::byte> payload);
 [[nodiscard]] bool recv_frame(const Fd& fd, std::vector<std::byte>& payload);
 
-/// Incremental frame parser for nonblocking streams.
+/// Incremental frame parser for nonblocking streams. Two fill paths:
+/// feed() copies bytes in, or writable()/commit() exposes the buffer tail
+/// so the socket read lands directly in the parser (one copy fewer on the
+/// hot path). Two drain paths: next() copies the payload out, next_view()
+/// hands back a view into the buffer.
 class FrameParser {
  public:
   /// Appends raw stream bytes to the internal buffer.
   void feed(std::span<const std::byte> bytes);
 
+  /// Direct-fill: returns a writable tail span of at least `min_bytes`
+  /// (compacting/growing as needed). Read from the socket into it, then
+  /// commit() however many bytes actually arrived. Invalidates next_view()
+  /// spans.
+  [[nodiscard]] std::span<std::byte> writable(std::size_t min_bytes);
+  void commit(std::size_t n);
+
   /// Copies the next complete frame's payload into `payload` and consumes
   /// it; false when no complete frame is buffered.
   [[nodiscard]] bool next(std::vector<std::byte>& payload);
+
+  /// Zero-copy variant: `payload` views the internal buffer and stays
+  /// valid until the next feed()/writable() call.
+  [[nodiscard]] bool next_view(std::span<const std::byte>& payload);
 
   /// True when the buffered length prefix exceeds kMaxFrameBytes: the
   /// stream is desynced and the connection should be dropped.
   [[nodiscard]] bool corrupt() const noexcept { return corrupt_; }
 
-  [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+  [[nodiscard]] std::size_t buffered() const noexcept { return end_ - pos_; }
 
  private:
+  void compact_or_grow(std::size_t tail_needed);
+  [[nodiscard]] bool frame_ready(std::uint32_t& len);
+
+  // Manual size/capacity management: the vector's size would have to be
+  // extended (zero-filling the tail) before every direct socket read, so
+  // the valid region is tracked explicitly instead.
   std::vector<std::byte> buf_;
   std::size_t pos_ = 0;  // consumed prefix, compacted lazily
+  std::size_t end_ = 0;  // valid bytes: buf_[pos_, end_)
   bool corrupt_ = false;
 };
 

@@ -1,0 +1,307 @@
+#include "net/iouring.hpp"
+
+#include <linux/io_uring.h>
+#include <linux/time_types.h>
+#include <sys/epoll.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "net/epoll.hpp"
+
+namespace lft::net {
+
+namespace {
+
+constexpr unsigned kEntries = 256;  // SQ slots; CQ defaults to 2x
+
+// user_data for cancel SQEs: never matches a (gen << 32 | fd) watch tag
+// because fds are nonnegative.
+constexpr std::uint64_t kCancelTag = ~std::uint64_t{0};
+
+// epoll mode bits that poll masks must not carry. Oneshot polls re-armed
+// per wait are edge-like already, so dropping EPOLLET/EPOLLONESHOT
+// preserves the caller-visible contract.
+constexpr std::uint32_t kEpollModeBits =
+    (1u << 31) | (1u << 30) | (1u << 29) | (1u << 28);  // ET|ONESHOT|WAKEUP|EXCLUSIVE
+
+std::uint64_t watch_tag(int fd, std::uint32_t gen) {
+  return (std::uint64_t{gen} << 32) | static_cast<std::uint32_t>(fd);
+}
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+long sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                        unsigned flags, const void* arg, std::size_t argsz) {
+  return ::syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags, arg,
+                   argsz);
+}
+
+}  // namespace
+
+bool io_uring_available() {
+  static const bool available = [] {
+    // Kill switch: LFT_IOURING=0 force-disables the backend even when the
+    // kernel supports it.
+    if (const char* env = std::getenv("LFT_IOURING");
+        env != nullptr && std::strcmp(env, "0") == 0) {
+      return false;
+    }
+    io_uring_params params{};
+    const int fd = sys_io_uring_setup(8, &params);
+    if (fd < 0) return false;
+    ::close(fd);
+    // NODROP (5.5+) guarantees overflowed CQEs are queued, never dropped —
+    // the reactor counts on completions being lossless.
+    return (params.features & IORING_FEAT_NODROP) != 0;
+  }();
+  return available;
+}
+
+std::unique_ptr<Reactor> make_reactor(ReactorBackend backend) {
+  const bool want_uring =
+      backend == ReactorBackend::kAuto || backend == ReactorBackend::kIoUring;
+  if (want_uring && io_uring_available()) return std::make_unique<IoUringReactor>();
+  return std::make_unique<EpollLoop>();
+}
+
+bool parse_backend(std::string_view name, ReactorBackend& out) {
+  if (name == "auto") {
+    out = ReactorBackend::kAuto;
+    return true;
+  }
+  if (name == "epoll") {
+    out = ReactorBackend::kEpoll;
+    return true;
+  }
+  if (name == "io_uring" || name == "iouring") {
+    out = ReactorBackend::kIoUring;
+    return true;
+  }
+  return false;
+}
+
+IoUringReactor::IoUringReactor() {
+  io_uring_params params{};
+  ring_fd_ = sys_io_uring_setup(kEntries, &params);
+  LFT_ASSERT_MSG(ring_fd_ >= 0,
+                 "io_uring_setup failed — gate construction on io_uring_available()");
+  features_ = params.features;
+  sq_entries_ = params.sq_entries;
+
+  sq_ring_bytes_ = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  cq_ring_bytes_ = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  if ((features_ & IORING_FEAT_SINGLE_MMAP) != 0) {
+    sq_ring_bytes_ = cq_ring_bytes_ = std::max(sq_ring_bytes_, cq_ring_bytes_);
+  }
+  sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+  LFT_ASSERT_MSG(sq_ring_ != MAP_FAILED, "io_uring SQ ring mmap failed");
+  if ((features_ & IORING_FEAT_SINGLE_MMAP) != 0) {
+    cq_ring_ = sq_ring_;
+  } else {
+    cq_ring_ = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+    LFT_ASSERT_MSG(cq_ring_ != MAP_FAILED, "io_uring CQ ring mmap failed");
+  }
+
+  auto* sqb = static_cast<unsigned char*>(sq_ring_);
+  sq_head_ = reinterpret_cast<unsigned*>(sqb + params.sq_off.head);
+  sq_tail_ = reinterpret_cast<unsigned*>(sqb + params.sq_off.tail);
+  sq_mask_ = *reinterpret_cast<unsigned*>(sqb + params.sq_off.ring_mask);
+  sq_array_ = reinterpret_cast<unsigned*>(sqb + params.sq_off.array);
+
+  auto* cqb = static_cast<unsigned char*>(cq_ring_);
+  cq_head_ = reinterpret_cast<unsigned*>(cqb + params.cq_off.head);
+  cq_tail_ = reinterpret_cast<unsigned*>(cqb + params.cq_off.tail);
+  cq_mask_ = *reinterpret_cast<unsigned*>(cqb + params.cq_off.ring_mask);
+  cqes_ = reinterpret_cast<io_uring_cqe*>(cqb + params.cq_off.cqes);
+
+  sqes_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+  sqes_ = static_cast<io_uring_sqe*>(::mmap(nullptr, sqes_bytes_,
+                                            PROT_READ | PROT_WRITE,
+                                            MAP_SHARED | MAP_POPULATE, ring_fd_,
+                                            IORING_OFF_SQES));
+  LFT_ASSERT_MSG(sqes_ != reinterpret_cast<io_uring_sqe*>(MAP_FAILED),
+                 "io_uring SQE array mmap failed");
+}
+
+IoUringReactor::~IoUringReactor() {
+  if (sqes_ != nullptr) ::munmap(sqes_, sqes_bytes_);
+  if (cq_ring_ != nullptr && cq_ring_ != sq_ring_) ::munmap(cq_ring_, cq_ring_bytes_);
+  if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_bytes_);
+  if (ring_fd_ >= 0) ::close(ring_fd_);  // in-flight polls die with the ring
+}
+
+io_uring_sqe* IoUringReactor::stage_sqe() {
+  if (staged_ == sq_entries_) enter(0, 0);  // SQ full: flush a batch early
+  const unsigned tail = *sq_tail_;  // single-threaded: we are the only writer
+  const unsigned idx = tail & sq_mask_;
+  io_uring_sqe* sqe = &sqes_[idx];
+  std::memset(sqe, 0, sizeof(*sqe));
+  sq_array_[idx] = idx;
+  __atomic_store_n(sq_tail_, tail + 1, __ATOMIC_RELEASE);
+  ++staged_;
+  return sqe;
+}
+
+void IoUringReactor::stage_poll(int fd, Watch& w) {
+  io_uring_sqe* sqe = stage_sqe();
+  sqe->opcode = IORING_OP_POLL_ADD;
+  sqe->fd = fd;
+  // Oneshot poll is level-triggered at arm time: an fd with bytes already
+  // pending completes on the next enter, so lazily armed watches never miss
+  // buffered data.
+  sqe->poll32_events = w.events & ~kEpollModeBits;
+  sqe->user_data = watch_tag(fd, w.gen);
+  w.armed = true;
+}
+
+void IoUringReactor::stage_cancel(std::uint64_t target_user_data) {
+  io_uring_sqe* sqe = stage_sqe();
+  sqe->opcode = IORING_OP_ASYNC_CANCEL;
+  sqe->fd = -1;
+  sqe->addr = target_user_data;
+  sqe->user_data = kCancelTag;
+}
+
+void IoUringReactor::enter(unsigned min_complete, int timeout_ms) {
+  for (;;) {
+    long ret = 0;
+    if (min_complete > 0 && timeout_ms > 0 &&
+        (features_ & IORING_FEAT_EXT_ARG) != 0) {
+      __kernel_timespec ts{};
+      ts.tv_sec = timeout_ms / 1000;
+      ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1000000;
+      io_uring_getevents_arg arg{};
+      arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+      ret = sys_io_uring_enter(ring_fd_, staged_, min_complete,
+                               IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG,
+                               &arg, sizeof(arg));
+    } else {
+      ret = sys_io_uring_enter(ring_fd_, staged_, min_complete,
+                               IORING_ENTER_GETEVENTS, nullptr, 0);
+    }
+    if (ret >= 0) {
+      staged_ -= static_cast<unsigned>(ret);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == ETIME) return;  // bounded wait expired (nothing was staged)
+    if (errno == EBUSY || errno == EAGAIN) {
+      // CQ backpressure: collect completions (dispatch happens in wait())
+      // and retry the submission.
+      collect_cqes();
+      continue;
+    }
+    LFT_ASSERT_MSG(false, "io_uring_enter failed");
+  }
+}
+
+void IoUringReactor::collect_cqes() {
+  unsigned head = *cq_head_;  // single-threaded: we are the only reader
+  const unsigned tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+  while (head != tail) {
+    const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+    ready_.push_back(Completion{cqe.user_data, cqe.res});
+    ++head;
+  }
+  __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
+}
+
+int IoUringReactor::dispatch_ready() {
+  int dispatched = 0;
+  // Index loop: callbacks may stage SQEs whose flush collects more CQEs
+  // into ready_ (and may reallocate it).
+  for (std::size_t i = 0; i < ready_.size(); ++i) {
+    const Completion c = ready_[i];
+    if (c.user_data == kCancelTag) continue;  // cancel SQE's own completion
+    const int fd = static_cast<int>(c.user_data & 0xffffffffu);
+    const auto gen = static_cast<std::uint32_t>(c.user_data >> 32);
+    const auto it = watches_.find(fd);
+    if (it == watches_.end() || it->second.gen != gen) continue;  // stale
+    it->second.armed = false;
+    if (c.res < 0) {
+      // A failed poll with a live generation (not a filtered cancel):
+      // surface it once as EPOLLERR and leave the watch un-armed so a
+      // broken fd can't spin the re-arm loop.
+      Callback cb = it->second.cb;
+      cb(EPOLLERR);
+      ++dispatched;
+      continue;
+    }
+    rearm_.push_back(fd);
+    // Copy: the callback may remove its own watch (invalidating the slot).
+    Callback cb = it->second.cb;
+    cb(static_cast<std::uint32_t>(c.res));
+    ++dispatched;
+  }
+  ready_.clear();
+  return dispatched;
+}
+
+void IoUringReactor::add(int fd, std::uint32_t events, Callback cb) {
+  Watch& w = watches_[fd];
+  w.events = events;
+  w.cb = std::move(cb);
+  w.gen = next_gen_++;  // orphans any poll in flight for a recycled fd
+  w.armed = false;
+  rearm_.push_back(fd);
+}
+
+void IoUringReactor::modify(int fd, std::uint32_t events) {
+  const auto it = watches_.find(fd);
+  LFT_ASSERT_MSG(it != watches_.end(), "modify() on unwatched fd");
+  Watch& w = it->second;
+  w.events = events;
+  if (w.armed) {
+    // The old-mask poll may complete concurrently; the generation bump
+    // stale-filters its CQE either way.
+    stage_cancel(watch_tag(fd, w.gen));
+    w.gen = next_gen_++;
+    w.armed = false;
+  }
+  rearm_.push_back(fd);
+}
+
+void IoUringReactor::remove(int fd) {
+  const auto it = watches_.find(fd);
+  if (it == watches_.end()) return;
+  if (it->second.armed) stage_cancel(watch_tag(fd, it->second.gen));
+  watches_.erase(it);  // rearm_/ready_ leftovers are filtered by lookup
+}
+
+int IoUringReactor::wait(int timeout_ms) {
+  // Re-arm every watch whose oneshot poll fired since the last wait (or
+  // that was just added/modified). Duplicates in rearm_ collapse via the
+  // armed flag.
+  for (const int fd : rearm_) {
+    const auto it = watches_.find(fd);
+    if (it == watches_.end() || it->second.armed) continue;
+    stage_poll(fd, it->second);
+  }
+  rearm_.clear();
+
+  // One batched submission; reap whatever already completed.
+  enter(0, 0);
+  collect_cqes();
+  int dispatched = dispatch_ready();
+  if (dispatched > 0 || timeout_ms == 0) return dispatched;
+
+  // Nothing ready and the caller wants to block: wait in the kernel for the
+  // first completion (bounded by timeout_ms when EXT_ARG is supported; the
+  // server only ever blocks unbounded or polls).
+  enter(1, timeout_ms);
+  collect_cqes();
+  return dispatch_ready();
+}
+
+}  // namespace lft::net

@@ -1,0 +1,64 @@
+// The reactor seam: readiness multiplexing behind one interface so the
+// service server (and anything else that watches fds) runs unchanged over
+// either backend. Two implementations exist — the epoll reactor
+// (net/epoll.hpp) and a liburing-free io_uring reactor (net/iouring.hpp)
+// that batches poll submissions through raw io_uring_setup/io_uring_enter
+// syscalls. Event masks use the EPOLL* constants in both cases (poll and
+// epoll share bit values for IN/OUT/ERR/HUP/RDHUP); mode bits like EPOLLET
+// are honored by epoll and harmlessly stripped by io_uring, whose oneshot
+// re-arm discipline is edge-like by construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+namespace lft::net {
+
+/// Single-threaded readiness reactor: register fds with callbacks, dispatch
+/// one wait-batch at a time.
+class Reactor {
+ public:
+  /// Called with the ready event mask (EPOLLIN | EPOLLHUP | ...).
+  using Callback = std::function<void(std::uint32_t events)>;
+
+  virtual ~Reactor() = default;
+
+  /// Registers `fd` (not owned) for `events` (EPOLLIN etc.).
+  virtual void add(int fd, std::uint32_t events, Callback cb) = 0;
+  virtual void modify(int fd, std::uint32_t events) = 0;
+  virtual void remove(int fd) = 0;
+
+  /// Waits up to `timeout_ms` (-1 blocks, 0 polls) and dispatches every
+  /// ready callback once. Returns the number of callbacks dispatched.
+  /// Callbacks may add/remove fds, including removing themselves.
+  virtual int wait(int timeout_ms) = 0;
+
+  [[nodiscard]] virtual std::size_t watched() const noexcept = 0;
+
+  /// Backend identifier: "epoll" or "io_uring".
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+enum class ReactorBackend {
+  kAuto,     // io_uring when the kernel supports it, else epoll
+  kEpoll,    // always epoll
+  kIoUring,  // io_uring if available, graceful fallback to epoll
+};
+
+/// Runtime probe: true when the kernel accepts io_uring_setup with the
+/// features this reactor needs (NODROP). Cached after the first call.
+/// `LFT_IOURING=0` in the environment force-disables it (kill switch).
+[[nodiscard]] bool io_uring_available();
+
+/// Builds the requested reactor. kAuto and kIoUring degrade to epoll when
+/// io_uring_available() is false — callers can check `name()` to see which
+/// backend actually serves.
+[[nodiscard]] std::unique_ptr<Reactor> make_reactor(
+    ReactorBackend backend = ReactorBackend::kAuto);
+
+/// Parses "auto" | "epoll" | "io_uring"; false on anything else.
+[[nodiscard]] bool parse_backend(std::string_view name, ReactorBackend& out);
+
+}  // namespace lft::net

@@ -1,0 +1,72 @@
+// A growable byte ring buffer for per-session output queues: frames are
+// appended at the tail, the kernel drains from the head, and the two
+// readable spans (the wrap) map straight onto one writev/sendmsg call.
+// Power-of-two capacity; grows by re-linearizing, which only happens while
+// a session is backlogged.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace lft::net {
+
+class ByteRing {
+ public:
+  void append(std::span<const std::byte> bytes) {
+    if (bytes.empty()) return;
+    reserve(size_ + bytes.size());
+    const std::size_t cap = buf_.size();
+    const std::size_t tail = (head_ + size_) & (cap - 1);
+    const std::size_t first = std::min(bytes.size(), cap - tail);
+    std::memcpy(buf_.data() + tail, bytes.data(), first);
+    if (first < bytes.size()) {
+      std::memcpy(buf_.data(), bytes.data() + first, bytes.size() - first);
+    }
+    size_ += bytes.size();
+  }
+
+  /// The readable bytes as at most two spans (second is the wrapped part);
+  /// valid until the next append()/consume().
+  [[nodiscard]] std::array<std::span<const std::byte>, 2> readable() const {
+    if (size_ == 0) return {};
+    const std::size_t cap = buf_.size();
+    const std::size_t first = std::min(size_, cap - head_);
+    return {std::span<const std::byte>(buf_.data() + head_, first),
+            std::span<const std::byte>(buf_.data(), size_ - first)};
+  }
+
+  void consume(std::size_t n) {
+    head_ = buf_.empty() ? 0 : (head_ + n) & (buf_.size() - 1);
+    size_ -= n;
+    if (size_ == 0) head_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+ private:
+  void reserve(std::size_t need) {
+    if (need <= buf_.size()) return;
+    std::size_t cap = buf_.empty() ? 4096 : buf_.size();
+    while (cap < need) cap *= 2;
+    std::vector<std::byte> grown(cap);
+    const auto spans = readable();
+    std::size_t at = 0;
+    for (const auto& s : spans) {
+      if (s.empty()) continue;
+      std::memcpy(grown.data() + at, s.data(), s.size());
+      at += s.size();
+    }
+    buf_ = std::move(grown);
+    head_ = 0;
+  }
+
+  std::vector<std::byte> buf_;  // power-of-two capacity
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lft::net

@@ -94,6 +94,44 @@ bool send_all(const Fd& fd, std::span<const std::byte> bytes) {
   return true;
 }
 
+IoResult recv_some(const Fd& fd, std::span<std::byte> buf) {
+  for (;;) {
+    const ssize_t k = ::recv(fd.get(), buf.data(), buf.size(), MSG_DONTWAIT);
+    if (k > 0) return {static_cast<std::size_t>(k), false};
+    if (k == 0) return {0, true};  // orderly EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return {0, false};
+    return {0, true};
+  }
+}
+
+IoResult writev_some(const Fd& fd, std::span<const std::byte> a,
+                     std::span<const std::byte> b) {
+  iovec iov[2];
+  int iovcnt = 0;
+  if (!a.empty()) {
+    iov[iovcnt].iov_base = const_cast<std::byte*>(a.data());
+    iov[iovcnt].iov_len = a.size();
+    ++iovcnt;
+  }
+  if (!b.empty()) {
+    iov[iovcnt].iov_base = const_cast<std::byte*>(b.data());
+    iov[iovcnt].iov_len = b.size();
+    ++iovcnt;
+  }
+  if (iovcnt == 0) return {0, false};
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+  for (;;) {
+    const ssize_t k = ::sendmsg(fd.get(), &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (k >= 0) return {static_cast<std::size_t>(k), false};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return {0, false};
+    return {0, true};
+  }
+}
+
 bool recv_all(const Fd& fd, std::span<std::byte> bytes) {
   std::size_t got = 0;
   while (got < bytes.size()) {

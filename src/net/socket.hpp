@@ -60,4 +60,20 @@ void set_nodelay(const Fd& fd);
 /// Blocking whole-buffer receive; returns false on EOF or error.
 [[nodiscard]] bool recv_all(const Fd& fd, std::span<std::byte> bytes);
 
+/// Result of one nonblocking I/O attempt: `n` bytes moved (0 when the
+/// socket would block) or closed/error.
+struct IoResult {
+  std::size_t n = 0;
+  bool closed = false;  // EOF or hard error: drop the connection
+};
+
+/// One nonblocking recv into `buf`; n == 0 with !closed means EAGAIN.
+[[nodiscard]] IoResult recv_some(const Fd& fd, std::span<std::byte> buf);
+
+/// One nonblocking vectored send of up to two spans (a wrapped ring
+/// buffer's readable halves) in a single syscall; may write fewer bytes
+/// than offered. SIGPIPE suppressed via MSG_NOSIGNAL.
+[[nodiscard]] IoResult writev_some(const Fd& fd, std::span<const std::byte> a,
+                                   std::span<const std::byte> b = {});
+
 }  // namespace lft::net

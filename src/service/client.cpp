@@ -1,10 +1,19 @@
 #include "service/client.hpp"
 
-#include "common/codec.hpp"
-#include "net/frame.hpp"
+#include <sys/socket.h>
+
+#include <cerrno>
+
 #include "service/wire.hpp"
 
 namespace lft::service {
+
+namespace {
+
+/// Blocking recv budget per refill of the frame parser.
+constexpr std::size_t kRecvChunk = 64 * 1024;
+
+}  // namespace
 
 Client::Client(std::uint16_t port, std::uint64_t client_id) : client_id_(client_id) {
   fd_ = net::connect_tcp(port);
@@ -37,12 +46,24 @@ std::optional<Applied> Client::propose(std::uint64_t request_id,
 }
 
 bool Client::send_propose(std::uint64_t request_id, std::span<const std::byte> payload) {
+  queue_propose(request_id, payload);
+  return flush();
+}
+
+void Client::queue_propose(std::uint64_t request_id, std::span<const std::byte> payload) {
   ByteWriter w(scratch_);
   w.put_u8(static_cast<std::uint8_t>(MsgType::kPropose));
   w.put_u64(request_id);
   w.put_u32(static_cast<std::uint32_t>(payload.size()));
   w.put_bytes(payload);
-  return send_payload(w.view());
+  net::append_frame(out_, w.view());
+}
+
+bool Client::flush() {
+  if (out_.empty()) return fd_.valid();
+  const bool ok = fd_.valid() && net::send_all(fd_, out_);
+  out_.clear();
+  return ok;
 }
 
 std::optional<Client::Ack> Client::recv_ack() {
@@ -81,23 +102,12 @@ bool Client::subscribe(std::uint64_t from_index) {
 
 std::optional<Client::CommitEvent> Client::next_commit() {
   while (commits_.empty()) {
-    if (!fd_.valid() || !net::recv_frame(fd_, frame_)) return std::nullopt;
-    ByteReader reader(frame_);
+    std::span<const std::byte> frame;
+    if (!next_frame(frame)) return std::nullopt;
+    ByteReader reader(frame);
     const auto type = reader.get_u8();
     if (!type || *type != static_cast<std::uint8_t>(MsgType::kCommit)) return std::nullopt;
-    const auto index = reader.get_u64();
-    const auto client = reader.get_u64();
-    const auto request = reader.get_u64();
-    const auto len = reader.get_u32();
-    if (!index || !client || !request || !len) return std::nullopt;
-    const auto body = reader.get_bytes(*len);
-    if (!body) return std::nullopt;
-    CommitEvent e;
-    e.index = *index;
-    e.client_id = *client;
-    e.request_id = *request;
-    e.payload.assign(body->begin(), body->end());
-    commits_.push_back(std::move(e));
+    if (!parse_commit(reader)) return std::nullopt;
   }
   CommitEvent e = std::move(commits_.front());
   commits_.pop_front();
@@ -112,31 +122,51 @@ bool Client::shutdown_server() {
          recv_expect(static_cast<std::uint8_t>(MsgType::kBye), response);
 }
 
+bool Client::next_frame(std::span<const std::byte>& payload) {
+  for (;;) {
+    if (parser_.next_view(payload)) return true;
+    if (parser_.corrupt() || !fd_.valid()) return false;
+    const std::span<std::byte> buf = parser_.writable(kRecvChunk);
+    ssize_t r = 0;
+    do {
+      r = ::recv(fd_.get(), buf.data(), buf.size(), 0);
+    } while (r < 0 && errno == EINTR);
+    if (r <= 0) return false;  // EOF or error
+    parser_.commit(static_cast<std::size_t>(r));
+  }
+}
+
+bool Client::parse_commit(ByteReader& reader) {
+  const auto index = reader.get_u64();
+  const auto client = reader.get_u64();
+  const auto request = reader.get_u64();
+  const auto len = reader.get_u32();
+  if (!index || !client || !request || !len) return false;
+  const auto body = reader.get_bytes(*len);
+  if (!body) return false;
+  CommitEvent e;
+  e.index = *index;
+  e.client_id = *client;
+  e.request_id = *request;
+  e.payload.assign(body->begin(), body->end());
+  commits_.push_back(std::move(e));
+  return true;
+}
+
 bool Client::recv_expect(std::uint8_t want, std::vector<std::byte>& out) {
   for (;;) {
-    if (!fd_.valid() || !net::recv_frame(fd_, frame_)) return false;
-    ByteReader reader(frame_);
+    std::span<const std::byte> frame;
+    if (!next_frame(frame)) return false;
+    ByteReader reader(frame);
     const auto type = reader.get_u8();
     if (!type) return false;
     if (*type == static_cast<std::uint8_t>(MsgType::kCommit)) {
       // A subscription push interleaved with our response: queue it.
-      const auto index = reader.get_u64();
-      const auto client = reader.get_u64();
-      const auto request = reader.get_u64();
-      const auto len = reader.get_u32();
-      if (!index || !client || !request || !len) return false;
-      const auto body = reader.get_bytes(*len);
-      if (!body) return false;
-      CommitEvent e;
-      e.index = *index;
-      e.client_id = *client;
-      e.request_id = *request;
-      e.payload.assign(body->begin(), body->end());
-      commits_.push_back(std::move(e));
+      if (!parse_commit(reader)) return false;
       continue;
     }
     if (*type != want) return false;
-    out.assign(frame_.begin() + 1, frame_.end());
+    out.assign(frame.begin() + 1, frame.end());
     return true;
   }
 }

@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "common/codec.hpp"
+#include "net/frame.hpp"
 #include "net/socket.hpp"
 #include "service/state_machine.hpp"
 
@@ -39,6 +41,12 @@ class Client {
   /// back in request order (the connection is FIFO and the log is total).
   [[nodiscard]] bool send_propose(std::uint64_t request_id,
                                   std::span<const std::byte> payload);
+
+  /// Corked variant: queues the propose frame in a local buffer instead of
+  /// writing it. flush() sends everything queued in one vectored-size write —
+  /// a pipelined window of W proposes costs one syscall, not W.
+  void queue_propose(std::uint64_t request_id, std::span<const std::byte> payload);
+  [[nodiscard]] bool flush();
   struct Ack {
     std::uint64_t request_id = 0;
     Applied applied;
@@ -70,16 +78,21 @@ class Client {
   [[nodiscard]] bool shutdown_server();
 
  private:
+  /// Next whole frame payload out of the buffered parser, blocking on the
+  /// socket as needed. The span is valid until the next next_frame() call.
+  [[nodiscard]] bool next_frame(std::span<const std::byte>& payload);
   /// Reads frames until one of type `want` arrives, queueing kCommit pushes
   /// encountered on the way; the payload (sans type byte) lands in `out`.
   [[nodiscard]] bool recv_expect(std::uint8_t want, std::vector<std::byte>& out);
+  [[nodiscard]] bool parse_commit(ByteReader& reader);
   [[nodiscard]] bool send_payload(std::span<const std::byte> payload);
 
   net::Fd fd_;
   std::uint64_t client_id_ = 0;
   std::uint64_t welcome_last_request_ = 0;
   std::deque<CommitEvent> commits_;
-  std::vector<std::byte> frame_;    ///< reused recv payload buffer
+  net::FrameParser parser_;         ///< buffered inbound bytes
+  std::vector<std::byte> out_;      ///< corked outbound frames (flush())
   std::vector<std::byte> scratch_;  ///< reused encode buffer
 };
 

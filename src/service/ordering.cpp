@@ -2,8 +2,10 @@
 
 #include <utility>
 
+#include "common/assert.hpp"
 #include "core/consensus.hpp"
 #include "core/params.hpp"
+#include "net/transport.hpp"
 
 namespace lft::service {
 
@@ -38,6 +40,55 @@ SlotOutcome run_slot_on_engine(NodeId n, std::int64_t t, const core::RunOptions&
     return core::make_few_crashes_process(params, v, /*input=*/1);
   };
   return evaluate_slot(core::run_system(n, t, factory, /*adversary=*/nullptr, options));
+}
+
+SlotContext::SlotContext(NodeId n, std::int64_t t, bool use_sockets)
+    : n_(n), t_(t), use_sockets_(use_sockets) {
+  rebuild();
+}
+
+void SlotContext::rebuild() {
+  const auto params = core::ConsensusParams::practical(n_, t_);
+  processes_.clear();
+  std::vector<std::unique_ptr<core::Program>> programs;
+  programs.reserve(static_cast<std::size_t>(n_));
+  for (NodeId v = 0; v < n_; ++v) {
+    auto proc = core::make_few_crashes_process(params, v, /*input=*/1);
+    if (!use_sockets_) processes_.push_back(proc.get());
+    programs.push_back(std::move(proc));
+  }
+  if (use_sockets_) {
+    transport_ = std::make_unique<net::SocketTransport>(std::move(programs));
+  } else {
+    transport_ = std::make_unique<core::LoopbackTransport>(std::move(programs));
+  }
+  driver_ = std::make_unique<core::RoundDriver>(n_, *transport_);
+}
+
+void SlotContext::begin(sim::TraceSink* trace) {
+  if (!fresh_) {
+    // Reuse path: rewind the pooled Programs and driver scratch in place.
+    // Sockets mode rebuilds — its Programs were moved into replica threads —
+    // as does the (currently unreachable) case of a stage without reset
+    // support.
+    bool reusable = !use_sockets_;
+    if (reusable) {
+      const auto params = core::ConsensusParams::practical(n_, t_);
+      for (core::StageProcess* proc : processes_) {
+        if (!core::reset_few_crashes_process(*proc, params, /*input=*/1)) {
+          reusable = false;
+          break;
+        }
+      }
+    }
+    if (reusable) {
+      driver_->reset();
+    } else {
+      rebuild();
+    }
+  }
+  driver_->set_trace(trace);
+  fresh_ = false;
 }
 
 }  // namespace lft::service

@@ -49,4 +49,39 @@ struct SlotOutcome {
 [[nodiscard]] SlotOutcome run_slot_on_engine(NodeId n, std::int64_t t,
                                              const core::RunOptions& options = {});
 
+/// A pooled slot execution context: the consensus Programs, the Transport,
+/// and the RoundDriver scratch for one slot, reusable across slots. This is
+/// what makes the slot pipeline cheap — begin() *resets* the pooled
+/// StageProcesses and rewinds the driver instead of reconstructing them
+/// (loopback; the sockets transport pins its Programs to replica threads,
+/// so that path rebuilds per slot). A reset context executes bit-identically
+/// to a freshly built one — the pipelined twin tests pin this down.
+class SlotContext {
+ public:
+  SlotContext(NodeId n, std::int64_t t, bool use_sockets);
+
+  /// Prepares a fresh slot execution, recording digests into `trace` when
+  /// non-null. Must be called before the first step() of every slot.
+  void begin(sim::TraceSink* trace = nullptr);
+
+  /// Advances one lock-step consensus round; false once the slot finished.
+  [[nodiscard]] bool step() { return driver_->step(); }
+
+  /// Evaluates the finished slot. Call after step() returns false.
+  [[nodiscard]] SlotOutcome finish() { return evaluate_slot(driver_->finish()); }
+
+ private:
+  void rebuild();
+
+  NodeId n_;
+  std::int64_t t_;
+  bool use_sockets_;
+  bool fresh_ = true;
+  /// Borrowed views into the loopback transport's Programs, for reset();
+  /// empty in sockets mode.
+  std::vector<core::StageProcess*> processes_;
+  std::unique_ptr<core::Transport> transport_;
+  std::unique_ptr<core::RoundDriver> driver_;
+};
+
 }  // namespace lft::service

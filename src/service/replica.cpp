@@ -1,15 +1,24 @@
 #include "service/replica.hpp"
 
-#include <memory>
 #include <utility>
 
 #include "common/assert.hpp"
-#include "core/driver.hpp"
 #include "forensics/trace.hpp"
-#include "net/transport.hpp"
 #include "scenarios/scenarios.hpp"
 
 namespace lft::service {
+
+/// One in-flight commit slot: a pooled execution context plus the batch it
+/// orders and the optional black-box recorder.
+struct ReplicaGroup::Slot {
+  Slot(NodeId n, std::int64_t t, bool use_sockets) : ctx(n, t, use_sockets) {}
+
+  SlotContext ctx;
+  std::vector<Command> batch;
+  forensics::TraceRecorder recorder;
+  bool record = false;
+  bool done = false;
+};
 
 ReplicaGroup::ReplicaGroup(ReplicaGroupOptions options) : options_(std::move(options)) {
   LFT_ASSERT_MSG(options_.n >= 1 && options_.t >= 0 && options_.t < options_.n,
@@ -17,28 +26,55 @@ ReplicaGroup::ReplicaGroup(ReplicaGroupOptions options) : options_(std::move(opt
   machines_.resize(static_cast<std::size_t>(options_.n));
 }
 
-CommitResult ReplicaGroup::commit(std::span<const Command> batch) {
-  // One consensus slot per batch: fresh Programs, fresh transport. The slot
-  // is the ordering barrier — its unanimous decision 1 is what authorizes
-  // applying the batch at the same log position on every replica.
-  auto programs = make_slot_programs(options_.n, options_.t);
-  std::unique_ptr<core::Transport> transport;
-  if (options_.use_sockets) {
-    transport = std::make_unique<net::SocketTransport>(std::move(programs));
-  } else {
-    transport = std::make_unique<core::LoopbackTransport>(std::move(programs));
+ReplicaGroup::~ReplicaGroup() = default;
+
+std::unique_ptr<ReplicaGroup::Slot> ReplicaGroup::acquire_slot() {
+  if (!pool_.empty()) {
+    auto slot = std::move(pool_.back());
+    pool_.pop_back();
+    return slot;
   }
+  return std::make_unique<Slot>(options_.n, options_.t, options_.use_sockets);
+}
 
-  const bool record = !options_.trace_path.empty() && !trace_saved_;
-  forensics::TraceRecorder recorder;
-  core::RunOptions slot_options;
-  if (record) slot_options.trace = &recorder;
+void ReplicaGroup::enqueue(std::vector<Command> batch) {
+  LFT_ASSERT_MSG(can_enqueue(), "slot pipeline is full");
+  auto slot = acquire_slot();
+  slot->batch = std::move(batch);
+  slot->done = false;
+  // The black box records the first slot only; while that slot is still in
+  // flight no other slot may start recording.
+  slot->record = !options_.trace_path.empty() && !trace_saved_ && !trace_pending_;
+  if (slot->record) {
+    trace_pending_ = true;
+    slot->recorder = forensics::TraceRecorder{};
+  }
+  slot->ctx.begin(slot->record ? &slot->recorder : nullptr);
+  live_.push_back(std::move(slot));
+}
 
-  auto outcome = run_slot(options_.n, *transport, slot_options);
+bool ReplicaGroup::head_ready() const noexcept {
+  return !live_.empty() && live_.front()->done;
+}
+
+void ReplicaGroup::step() {
+  for (auto& slot : live_) {
+    if (!slot->done) slot->done = !slot->ctx.step();
+  }
+}
+
+CommitResult ReplicaGroup::take_head() {
+  LFT_ASSERT_MSG(head_ready(), "take_head() without a finished head slot");
+  auto slot = std::move(live_.front());
+  live_.pop_front();
+
+  auto outcome = slot->ctx.finish();
+  // The slot is the ordering barrier — its unanimous decision 1 is what
+  // authorizes applying the batch at the same log position on every replica.
   LFT_ASSERT_MSG(outcome.committed, "consensus slot failed to commit");
 
-  if (record) {
-    forensics::Trace trace = recorder.take();
+  if (slot->record) {
+    forensics::Trace trace = slot->recorder.take();
     trace.meta.scenario = kSlotScenarioName;
     trace.meta.seed = 0;  // the slot is seed-independent
     trace.meta.n = options_.n;
@@ -47,31 +83,46 @@ CommitResult ReplicaGroup::commit(std::span<const Command> batch) {
     trace.report_fingerprint = scenarios::fingerprint(outcome.report);
     trace_saved_ = save_trace(trace, options_.trace_path);
     LFT_ASSERT_MSG(trace_saved_, "failed to save service slot trace");
+    trace_pending_ = false;
+    slot->record = false;
   }
 
   CommitResult result;
   result.slot_rounds = outcome.report.rounds;
   result.slot_messages = outcome.report.metrics.messages_total;
-  result.applied.reserve(batch.size());
-  for (const Command& cmd : batch) {
-    Applied first{};
-    for (std::size_t v = 0; v < machines_.size(); ++v) {
-      const Applied a = machines_[v].apply(cmd);
-      if (v == 0) {
-        first = a;
-      } else {
-        LFT_ASSERT_MSG(a.index == first.index && a.duplicate == first.duplicate,
-                       "replica state machines diverged on apply");
-      }
+  result.slot_fingerprint = scenarios::fingerprint(outcome.report);
+  // Machine-major apply order: each replica's log and dedup map stay hot
+  // across the whole batch (command-major order bounces all n working sets
+  // per command). The cross-replica agreement check is unchanged.
+  result.applied.reserve(slot->batch.size());
+  for (const Command& cmd : slot->batch) {
+    result.applied.push_back(machines_[0].apply(cmd));
+  }
+  for (std::size_t v = 1; v < machines_.size(); ++v) {
+    StateMachine& m = machines_[v];
+    for (std::size_t i = 0; i < slot->batch.size(); ++i) {
+      const Applied a = m.apply(slot->batch[i]);
+      LFT_ASSERT_MSG(a.index == result.applied[i].index &&
+                         a.duplicate == result.applied[i].duplicate,
+                     "replica state machines diverged on apply");
     }
-    result.applied.push_back(first);
   }
   const std::uint64_t digest = machines_[0].digest();
   for (const StateMachine& m : machines_) {
     LFT_ASSERT_MSG(m.digest() == digest, "replica log digests diverged");
   }
   ++slots_;
+
+  slot->batch.clear();
+  pool_.push_back(std::move(slot));
   return result;
+}
+
+CommitResult ReplicaGroup::commit(std::span<const Command> batch) {
+  LFT_ASSERT_MSG(live_.empty(), "commit() requires an idle pipeline");
+  enqueue(std::vector<Command>(batch.begin(), batch.end()));
+  while (!head_ready()) step();
+  return take_head();
 }
 
 }  // namespace lft::service

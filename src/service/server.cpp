@@ -1,9 +1,8 @@
 #include "service/server.hpp"
 
 #include <sys/epoll.h>
-#include <sys/socket.h>
 
-#include <cerrno>
+#include <cstring>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -14,9 +13,9 @@ namespace lft::service {
 
 namespace {
 
-/// One recv per EPOLLIN event: level-triggered epoll re-arms while bytes
-/// remain buffered, so a single bounded read per dispatch keeps every
-/// session making progress without starving the rest.
+/// Per-recv budget. Edge-triggered sessions drain the socket in chunks of
+/// this size until EAGAIN (a short read on a stream socket means the buffer
+/// is empty, so the next edge re-arms us).
 constexpr std::size_t kRecvChunk = 64 * 1024;
 
 void put_commit(ByteWriter& w, std::uint64_t index, const Command& cmd) {
@@ -33,19 +32,79 @@ void put_commit(ByteWriter& w, std::uint64_t index, const Command& cmd) {
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       group_(ReplicaGroupOptions{options_.n, options_.t, options_.use_sockets,
-                                 options_.trace_path}) {
+                                 options_.trace_path, options_.pipeline}),
+      reactor_(net::make_reactor(options_.backend)) {
   port_ = options_.port;
   listener_ = net::listen_tcp(port_);
   net::set_nonblocking(listener_, true);
-  loop_.add(listener_.get(), EPOLLIN, [this](std::uint32_t) { accept_ready(); });
+  reactor_->add(listener_.get(), EPOLLIN, [this](std::uint32_t) { accept_ready(); });
 }
 
 void Server::run() {
   while (!stop_) {
-    (void)loop_.wait(/*timeout_ms=*/-1);
-    // Group commit: every proposal that arrived in this dispatch batch
-    // shares one consensus slot.
-    if (!pending_.empty()) flush_pending();
+    // Block only when the pipeline is idle; while slots are in flight, poll
+    // so consensus rounds overlap network I/O.
+    const bool busy = group_.in_flight() > 0 || !pending_.empty();
+    (void)reactor_->wait(busy ? 0 : -1);
+    pump();
+  }
+  drain_shutdown();
+}
+
+void Server::pump() {
+  while (!pending_.empty() && group_.can_enqueue()) enqueue_batch();
+  if (group_.in_flight() > 0) group_.step();
+  while (group_.head_ready()) {
+    retire_head();
+    if (!pending_.empty() && group_.can_enqueue()) enqueue_batch();
+  }
+  if (pending_.size() < options_.max_pending) resume_paused();
+  // Resumed sessions may have refilled the queue with pipeline room left.
+  while (!pending_.empty() && group_.can_enqueue()) enqueue_batch();
+  flush_dirty();
+}
+
+void Server::enqueue_batch() {
+  // Group commit: everything queued right now shares one consensus slot.
+  std::vector<Command> commands;
+  commands.reserve(pending_.size());
+  std::vector<PendingMeta> metas;
+  metas.reserve(pending_.size());
+  for (Pending& p : pending_) {
+    metas.push_back(PendingMeta{p.fd, p.cmd.request_id});
+    commands.push_back(std::move(p.cmd));
+  }
+  pending_.clear();
+  inflight_.push_back(std::move(metas));
+  group_.enqueue(std::move(commands));
+}
+
+void Server::retire_head() {
+  const CommitResult result = group_.take_head();
+  LFT_ASSERT_MSG(!inflight_.empty(), "retired a slot with no pending metadata");
+  std::vector<PendingMeta> metas = std::move(inflight_.front());
+  inflight_.pop_front();
+  ++stats_.commit_batches;
+  stats_.commit_entries += metas.size();
+
+  // Acks to each proposer still connected — coalesced into its session ring,
+  // so the whole batch reaches the kernel in one vectored write per session.
+  for (std::size_t i = 0; i < metas.size(); ++i) {
+    const Applied& a = result.applied[i];
+    if (a.duplicate) ++stats_.duplicates;
+    const auto it = sessions_.find(metas[i].fd);
+    if (it == sessions_.end()) continue;  // proposer left; the commit stands
+    ByteWriter w(scratch_);
+    w.put_u8(static_cast<std::uint8_t>(MsgType::kAck));
+    w.put_u64(metas[i].request_id);
+    w.put_u64(a.index);
+    w.put_u8(a.duplicate ? 1 : 0);
+    queue_frame(metas[i].fd, it->second, w.view());
+  }
+
+  // New log entries to every subscriber.
+  for (auto& [fd, session] : sessions_) {
+    if (session.subscribed) push_commits(session);
   }
 }
 
@@ -54,54 +113,81 @@ void Server::accept_ready() {
     net::Fd fd = net::accept_one(listener_);
     if (!fd.valid()) return;
     net::set_nodelay(fd);
+    net::set_nonblocking(fd, true);
     const int raw = fd.get();
     Session session;
     session.fd = std::move(fd);
     sessions_.emplace(raw, std::move(session));
-    loop_.add(raw, EPOLLIN, [this, raw](std::uint32_t) { session_ready(raw); });
+    reactor_->add(raw, EPOLLIN | EPOLLET,
+                  [this, raw](std::uint32_t events) { session_event(raw, events); });
     ++stats_.sessions_accepted;
   }
 }
 
-void Server::session_ready(int fd) {
-  const auto it = sessions_.find(fd);
-  if (it == sessions_.end()) return;
-  Session& session = it->second;
-
-  std::byte buf[kRecvChunk];
-  ssize_t r = 0;
-  do {
-    r = ::recv(fd, buf, sizeof buf, 0);
-  } while (r < 0 && errno == EINTR);
-  if (r <= 0) {
-    drop_session(fd);
-    return;
-  }
-  session.parser.feed(std::span<const std::byte>(buf, static_cast<std::size_t>(r)));
-  if (session.parser.corrupt()) {
-    drop_session(fd);
-    return;
-  }
-  std::vector<std::byte> payload;
-  while (session.parser.next(payload)) {
-    handle_frame(session, payload);
-    // The frame may have dropped its own session (protocol error).
+void Server::session_event(int fd, std::uint32_t events) {
+  if ((events & EPOLLIN) != 0) {
+    session_readable(fd);
     if (sessions_.find(fd) == sessions_.end()) return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    flush_session(fd);
+    if (sessions_.find(fd) == sessions_.end()) return;
+  }
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0 && (events & EPOLLIN) == 0) {
+    drop_session(fd);
   }
 }
 
+void Server::session_readable(int fd) {
+  const auto it = sessions_.find(fd);
+  if (it == sessions_.end()) return;
+  Session& session = it->second;
+  if (session.paused) return;  // backpressure: leave bytes in the kernel
+
+  // Frames parsed before a pause may still be buffered (resume path).
+  if (!process_frames(fd, session)) return;
+
+  while (!session.paused) {
+    const std::span<std::byte> buf = session.parser.writable(kRecvChunk);
+    const net::IoResult r = net::recv_some(session.fd, buf);
+    if (r.closed) {
+      drop_session(fd);
+      return;
+    }
+    if (r.n == 0) break;  // EAGAIN: drained
+    session.parser.commit(r.n);
+    if (!process_frames(fd, session)) return;
+    if (r.n < buf.size()) break;  // short read: socket buffer is empty
+  }
+}
+
+bool Server::process_frames(int fd, Session& session) {
+  std::span<const std::byte> payload;
+  while (!session.paused && session.parser.next_view(payload)) {
+    handle_frame(session, payload);
+    // The frame may have dropped its own session (protocol error).
+    if (sessions_.find(fd) == sessions_.end()) return false;
+  }
+  if (session.parser.corrupt()) {
+    drop_session(fd);
+    return false;
+  }
+  return true;
+}
+
 void Server::handle_frame(Session& session, std::span<const std::byte> payload) {
+  const int fd = session.fd.get();
   ByteReader reader(payload);
   const auto type = reader.get_u8();
   if (!type) {
-    send_error(session, "empty frame");
+    queue_error(fd, session, "empty frame");
     return;
   }
   switch (static_cast<MsgType>(*type)) {
     case MsgType::kHello: {
       const auto client_id = reader.get_u64();
       if (!client_id) {
-        send_error(session, "malformed hello");
+        queue_error(fd, session, "malformed hello");
         return;
       }
       session.client_id = *client_id;
@@ -110,28 +196,29 @@ void Server::handle_frame(Session& session, std::span<const std::byte> payload) 
       w.put_u8(static_cast<std::uint8_t>(MsgType::kWelcome));
       w.put_u64(*client_id);
       w.put_u64(group_.machine().last_request_of(*client_id));
-      send_to(session, w.view());
+      queue_frame(fd, session, w.view());
       return;
     }
     case MsgType::kPropose: {
       const auto request_id = reader.get_u64();
       const auto len = reader.get_u32();
       if (!session.hello_done || !request_id || !len) {
-        send_error(session, "propose before hello or malformed propose");
+        queue_error(fd, session, "propose before hello or malformed propose");
         return;
       }
       const auto body = reader.get_bytes(*len);
       if (!body) {
-        send_error(session, "malformed propose payload");
+        queue_error(fd, session, "malformed propose payload");
         return;
       }
       Pending p;
-      p.fd = session.fd.get();
+      p.fd = fd;
       p.cmd.client_id = session.client_id;
       p.cmd.request_id = *request_id;
       p.cmd.payload.assign(body->begin(), body->end());
       pending_.push_back(std::move(p));
       ++stats_.proposals;
+      if (pending_.size() >= options_.max_pending) pause(fd, session);
       return;
     }
     case MsgType::kRead: {
@@ -140,13 +227,13 @@ void Server::handle_frame(Session& session, std::span<const std::byte> payload) 
       w.put_u64(group_.machine().size());
       w.put_u64(group_.machine().digest());
       w.put_u64(group_.slots());
-      send_to(session, w.view());
+      queue_frame(fd, session, w.view());
       return;
     }
     case MsgType::kSubscribe: {
       const auto from_index = reader.get_u64();
       if (!from_index) {
-        send_error(session, "malformed subscribe");
+        queue_error(fd, session, "malformed subscribe");
         return;
       }
       session.subscribed = true;
@@ -156,80 +243,141 @@ void Server::handle_frame(Session& session, std::span<const std::byte> payload) 
     }
     case MsgType::kShutdown: {
       if (!options_.allow_shutdown) {
-        send_error(session, "shutdown disabled");
+        queue_error(fd, session, "shutdown disabled");
         return;
       }
       ByteWriter w(scratch_);
       w.put_u8(static_cast<std::uint8_t>(MsgType::kBye));
-      send_to(session, w.view());
+      queue_frame(fd, session, w.view());
       stop_ = true;
       return;
     }
     default:
-      send_error(session, "unknown message type");
+      queue_error(fd, session, "unknown message type");
       return;
-  }
-}
-
-void Server::flush_pending() {
-  std::vector<Pending> batch;
-  batch.swap(pending_);
-  std::vector<Command> commands;
-  commands.reserve(batch.size());
-  for (const Pending& p : batch) commands.push_back(p.cmd);
-
-  const CommitResult result = group_.commit(commands);
-  ++stats_.commit_batches;
-  stats_.commit_entries += commands.size();
-
-  // Acks to each proposer still connected.
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const auto it = sessions_.find(batch[i].fd);
-    if (it == sessions_.end()) continue;  // proposer left; the commit stands
-    const Applied& a = result.applied[i];
-    if (a.duplicate) ++stats_.duplicates;
-    ByteWriter w(scratch_);
-    w.put_u8(static_cast<std::uint8_t>(MsgType::kAck));
-    w.put_u64(batch[i].cmd.request_id);
-    w.put_u64(a.index);
-    w.put_u8(a.duplicate ? 1 : 0);
-    send_to(it->second, w.view());
-  }
-
-  // New log entries to every subscriber.
-  for (auto& [fd, session] : sessions_) {
-    if (session.subscribed) push_commits(session);
   }
 }
 
 void Server::push_commits(Session& session) {
   const StateMachine& machine = group_.machine();
+  const int fd = session.fd.get();
   while (session.next_commit_index < machine.size()) {
     const std::uint64_t index = session.next_commit_index++;
     ByteWriter w(scratch_);
     put_commit(w, index, machine.entry(index));
-    send_to(session, w.view());
+    queue_frame(fd, session, w.view());
   }
 }
 
-void Server::drop_session(int fd) {
-  loop_.remove(fd);
-  sessions_.erase(fd);  // Fd RAII closes the socket
+void Server::pause(int fd, Session& session) {
+  if (session.paused) return;
+  session.paused = true;
+  paused_.push_back(fd);
+  ++stats_.session_pauses;
 }
 
-void Server::send_to(Session& session, std::span<const std::byte> payload) {
-  std::vector<std::byte> frame;
-  net::append_frame(frame, payload);
-  // Blocking write; a vanished peer surfaces on its next EPOLLIN as EOF.
-  (void)net::send_all(session.fd, frame);
+void Server::resume_paused() {
+  if (paused_.empty()) return;
+  std::vector<int> paused;
+  paused.swap(paused_);  // pause() re-adds anyone who fills the queue again
+  for (const int fd : paused) {
+    const auto it = sessions_.find(fd);
+    if (it == sessions_.end()) continue;
+    it->second.paused = false;
+    session_readable(fd);
+    if (pending_.size() >= options_.max_pending) break;  // queue is full again
+  }
 }
 
-void Server::send_error(Session& session, const std::string& message) {
+void Server::queue_frame(int fd, Session& session, std::span<const std::byte> payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::byte hdr[sizeof(len)];
+  std::memcpy(hdr, &len, sizeof(len));  // little-endian hosts, like common/codec
+  session.out.append(std::span<const std::byte>(hdr, sizeof(hdr)));
+  session.out.append(payload);
+  if (!session.dirty) {
+    session.dirty = true;
+    dirty_.push_back(fd);
+  }
+}
+
+void Server::queue_error(int fd, Session& session, const std::string& message) {
   ByteWriter w(scratch_);
   w.put_u8(static_cast<std::uint8_t>(MsgType::kError));
   w.put_u32(static_cast<std::uint32_t>(message.size()));
   w.put_bytes(std::as_bytes(std::span<const char>(message.data(), message.size())));
-  send_to(session, w.view());
+  queue_frame(fd, session, w.view());
+}
+
+void Server::flush_session(int fd) {
+  const auto it = sessions_.find(fd);
+  if (it == sessions_.end()) return;
+  Session& session = it->second;
+  while (!session.out.empty()) {
+    const auto spans = session.out.readable();
+    const net::IoResult w = net::writev_some(session.fd, spans[0], spans[1]);
+    if (w.closed) {
+      drop_session(fd);
+      return;
+    }
+    if (w.n == 0) break;  // kernel buffer full: wait for EPOLLOUT
+    session.out.consume(w.n);
+  }
+  const std::uint32_t want =
+      session.out.empty() ? (EPOLLIN | EPOLLET) : (EPOLLIN | EPOLLOUT | EPOLLET);
+  const bool want_write = !session.out.empty();
+  if (want_write != session.want_write) {
+    session.want_write = want_write;
+    reactor_->modify(fd, want);
+  }
+}
+
+void Server::flush_dirty() {
+  if (dirty_.empty()) return;
+  std::vector<int> dirty;
+  dirty.swap(dirty_);
+  for (const int fd : dirty) {
+    const auto it = sessions_.find(fd);
+    if (it == sessions_.end()) continue;
+    it->second.dirty = false;
+    flush_session(fd);
+  }
+}
+
+void Server::drain_shutdown() {
+  // Run the pipeline dry: frames parsed on paused sessions still commit, but
+  // no new bytes are read off any socket once stop_ is set.
+  for (;;) {
+    if (!paused_.empty() && pending_.size() < options_.max_pending) {
+      std::vector<int> paused;
+      paused.swap(paused_);
+      for (const int fd : paused) {
+        const auto it = sessions_.find(fd);
+        if (it == sessions_.end()) continue;
+        it->second.paused = false;
+        (void)process_frames(fd, it->second);
+      }
+    }
+    if (group_.in_flight() == 0 && pending_.empty()) break;
+    while (!pending_.empty() && group_.can_enqueue()) enqueue_batch();
+    group_.step();
+    while (group_.head_ready()) retire_head();
+  }
+  // Final flush: blocking sends so the last acks and the kBye reach peers.
+  for (auto& [fd, session] : sessions_) {
+    if (session.out.empty()) continue;
+    net::set_nonblocking(session.fd, false);
+    const auto spans = session.out.readable();
+    if (net::send_all(session.fd, spans[0]) && !spans[1].empty()) {
+      (void)net::send_all(session.fd, spans[1]);
+    }
+    session.out.consume(session.out.size());
+  }
+}
+
+void Server::drop_session(int fd) {
+  reactor_->remove(fd);
+  sessions_.erase(fd);  // Fd RAII closes the socket
 }
 
 }  // namespace lft::service

@@ -1,19 +1,27 @@
-// lft_serve's server: a single-threaded epoll reactor multiplexing client
-// sessions over TCP, group-committing proposals through the ReplicaGroup.
-// All proposals that arrive within one epoll dispatch batch ride the same
-// consensus slot (one slot per batch, not per request), then each proposer
-// gets its kAck and every subscriber the new kCommit entries — the wire
-// protocol is src/service/wire.hpp over net/frame.hpp frames.
+// lft_serve's server: a single-threaded reactor (net::Reactor — epoll or
+// io_uring) multiplexing client sessions over TCP, group-committing
+// proposals through the ReplicaGroup's slot pipeline. Proposals that arrive
+// while the pipeline has room ride the next consensus slot (one slot per
+// dispatch batch, not per request); while a slot's acks are being flushed,
+// the next slot is already running its consensus rounds. Sessions are
+// nonblocking and edge-triggered: input lands directly in each session's
+// FrameParser, output coalesces into a per-session ring buffer flushed with
+// one vectored write (EPOLLOUT re-arms on partial writes), and a bounded
+// pending-proposal queue pauses sessions when the service falls behind —
+// the wire protocol is src/service/wire.hpp over net/frame.hpp frames.
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
-#include "net/epoll.hpp"
 #include "net/frame.hpp"
+#include "net/reactor.hpp"
+#include "net/ring.hpp"
 #include "net/socket.hpp"
 #include "service/replica.hpp"
 
@@ -30,6 +38,14 @@ struct ServerOptions {
   bool allow_shutdown = true;
   /// When set, the first commit slot is recorded as an LFTTRACE file.
   std::string trace_path;
+  /// Readiness backend; kAuto picks io_uring when the kernel supports it.
+  net::ReactorBackend backend = net::ReactorBackend::kAuto;
+  /// Slot pipeline depth D (ReplicaGroupOptions::pipeline).
+  int pipeline = 4;
+  /// Backpressure bound: once this many proposals are queued ahead of the
+  /// pipeline, proposing sessions are paused (their bytes stay in the
+  /// kernel socket buffer) until the pipeline catches up.
+  std::size_t max_pending = 16384;
 };
 
 class Server {
@@ -39,11 +55,15 @@ class Server {
   /// The bound port (useful with options.port = 0).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
-  /// Serves until a kShutdown frame arrives (allow_shutdown) — the epoll
+  /// Serves until a kShutdown frame arrives (allow_shutdown) — the reactor
   /// loop, typically run on its own thread by tests and lft_serve.
   void run();
 
   [[nodiscard]] const ReplicaGroup& group() const noexcept { return group_; }
+
+  /// The readiness backend actually serving ("epoll" or "io_uring") — kAuto
+  /// and kIoUring degrade to epoll on kernels without io_uring.
+  [[nodiscard]] const char* backend() const noexcept { return reactor_->name(); }
 
   struct Stats {
     std::uint64_t sessions_accepted = 0;
@@ -51,6 +71,7 @@ class Server {
     std::uint64_t duplicates = 0;
     std::uint64_t commit_batches = 0;
     std::uint64_t commit_entries = 0;
+    std::uint64_t session_pauses = 0;  ///< backpressure activations
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -58,32 +79,57 @@ class Server {
   struct Session {
     net::Fd fd;
     net::FrameParser parser;
+    net::ByteRing out;
     std::uint64_t client_id = 0;
     bool hello_done = false;
     bool subscribed = false;
+    bool want_write = false;  ///< EPOLLOUT armed (ring flushed partially)
+    bool paused = false;      ///< backpressure: input processing suspended
+    bool dirty = false;       ///< queued output not yet offered to the kernel
     std::uint64_t next_commit_index = 0;  ///< subscription push cursor
   };
   struct Pending {
     int fd = -1;  ///< proposer's session (may have closed by commit time)
     Command cmd;
   };
+  /// What retire_head() needs to ack a command — the payload itself moved
+  /// into the slot's batch.
+  struct PendingMeta {
+    int fd = -1;
+    std::uint64_t request_id = 0;
+  };
 
   void accept_ready();
-  void session_ready(int fd);
+  void session_event(int fd, std::uint32_t events);
+  void session_readable(int fd);
+  /// Drains parsed frames; false when the session was dropped.
+  [[nodiscard]] bool process_frames(int fd, Session& session);
   void handle_frame(Session& session, std::span<const std::byte> payload);
-  void flush_pending();
+  /// Overlap engine: admit pending batches, advance in-flight slots one
+  /// round, retire finished heads, resume paused sessions, flush output.
+  void pump();
+  void enqueue_batch();
+  void retire_head();
+  void resume_paused();
+  void drain_shutdown();
   void push_commits(Session& session);
+  void pause(int fd, Session& session);
   void drop_session(int fd);
-  void send_to(Session& session, std::span<const std::byte> payload);
-  void send_error(Session& session, const std::string& message);
+  void queue_frame(int fd, Session& session, std::span<const std::byte> payload);
+  void queue_error(int fd, Session& session, const std::string& message);
+  void flush_session(int fd);
+  void flush_dirty();
 
   ServerOptions options_;
   ReplicaGroup group_;
   net::Fd listener_;
   std::uint16_t port_ = 0;
-  net::EpollLoop loop_;
+  std::unique_ptr<net::Reactor> reactor_;
   std::unordered_map<int, Session> sessions_;
-  std::vector<Pending> pending_;
+  std::vector<Pending> pending_;                  // waiting for a pipeline slot
+  std::deque<std::vector<PendingMeta>> inflight_;  // parallel to the group's slots
+  std::vector<int> paused_;  // sessions suspended by backpressure
+  std::vector<int> dirty_;   // sessions with queued output to flush
   std::vector<std::byte> scratch_;  ///< reused frame encode buffer
   Stats stats_;
   bool stop_ = false;

@@ -207,6 +207,29 @@ TEST(DocsService, CoversTheServicePlaneContracts) {
   }
 }
 
+TEST(DocsService, CoversThePipelinedReactorServicePlane) {
+  const auto markdown = read_file(docs_path("service.md"));
+  for (const char* needle :
+       {"slot pipeline", "pipeline of depth", "take_head", "net::Reactor",
+        "EpollLoop", "IoUringReactor", "LFT_IOURING", "falls back to epoll",
+        "ByteRing", "writev", "EPOLLOUT", "backpressure", "max_pending",
+        "--backend", "--pipeline", "--open-loop", "p99",
+        "check_service_smoke.py", "service_baseline.json", "bench_service"}) {
+    EXPECT_NE(markdown.find(needle), std::string::npos)
+        << "docs/service.md lacks '" << needle << "'";
+  }
+}
+
+TEST(Docs, ArchitectureDocCoversTheServiceSeams) {
+  const auto markdown = read_file(docs_path("architecture.md"));
+  for (const char* needle :
+       {"slot pipeline", "reactor seam", "net::Reactor", "EpollLoop",
+        "IoUringReactor", "LFT_IOURING", "ByteRing", "FrameParser", "writev"}) {
+    EXPECT_NE(markdown.find(needle), std::string::npos)
+        << "docs/architecture.md lacks '" << needle << "'";
+  }
+}
+
 TEST(DocsForensics, NamesEveryDigestComponentOfTheLiveApi) {
   const auto markdown = read_file(docs_path("forensics.md"));
   // Every component the diff can report must be documented under its stable

@@ -6,9 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/codec.hpp"
+#include "net/frame.hpp"
+#include "net/reactor.hpp"
+#include "net/socket.hpp"
 
 #include "core/driver.hpp"
 #include "core/run_options.hpp"
@@ -21,6 +27,7 @@
 #include "service/replica.hpp"
 #include "service/server.hpp"
 #include "service/state_machine.hpp"
+#include "service/wire.hpp"
 
 namespace lft::service {
 namespace {
@@ -336,6 +343,351 @@ TEST(ServiceServer, ServesOverSocketTransportReplicas) {
   const auto state = client.read_state();
   ASSERT_TRUE(state.has_value());
   EXPECT_EQ(state->size, 1u);
+}
+
+// ---- frame delivery at adversarial granularity ------------------------------
+
+std::vector<std::vector<std::byte>> sample_payloads() {
+  // Sizes chosen to straddle the u32 length prefix and chunk boundaries;
+  // includes an empty payload (legal at the framing layer).
+  std::vector<std::vector<std::byte>> payloads;
+  for (const std::size_t size : {0u, 1u, 2u, 3u, 4u, 5u, 13u, 64u, 1000u, 4096u}) {
+    std::vector<std::byte> p(size);
+    for (std::size_t j = 0; j < size; ++j) {
+      p[j] = std::byte{static_cast<unsigned char>(size + 31 * j)};
+    }
+    payloads.push_back(std::move(p));
+  }
+  return payloads;
+}
+
+std::vector<std::byte> stream_of(const std::vector<std::vector<std::byte>>& payloads) {
+  std::vector<std::byte> stream;
+  for (const auto& p : payloads) net::append_frame(stream, p);
+  return stream;
+}
+
+TEST(FrameParser, ReassemblesFramesFedByteByByte) {
+  const auto payloads = sample_payloads();
+  const auto stream = stream_of(payloads);
+  net::FrameParser parser;
+  std::vector<std::vector<std::byte>> got;
+  for (const std::byte b : stream) {
+    parser.feed(std::span<const std::byte>(&b, 1));
+    std::vector<std::byte> payload;
+    while (parser.next(payload)) got.push_back(payload);
+  }
+  EXPECT_EQ(got, payloads);
+  EXPECT_EQ(parser.buffered(), 0u);
+  EXPECT_FALSE(parser.corrupt());
+}
+
+TEST(FrameParser, DirectFillReassemblesAtAdversarialSplits) {
+  // The writable()/commit() path the nonblocking sessions use, with the
+  // stream chopped at every prime-ish granularity: frames land split across
+  // the length prefix, across payload boundaries, and many per chunk.
+  const auto payloads = sample_payloads();
+  const auto stream = stream_of(payloads);
+  for (const std::size_t split : {1u, 2u, 3u, 4u, 5u, 7u, 13u, 64u, 1021u}) {
+    net::FrameParser parser;
+    std::vector<std::vector<std::byte>> got;
+    std::size_t at = 0;
+    while (at < stream.size()) {
+      const std::size_t n = std::min(split, stream.size() - at);
+      const std::span<std::byte> buf = parser.writable(n);
+      ASSERT_GE(buf.size(), n);
+      std::memcpy(buf.data(), stream.data() + at, n);
+      parser.commit(n);
+      at += n;
+      std::span<const std::byte> view;
+      while (parser.next_view(view)) got.emplace_back(view.begin(), view.end());
+    }
+    EXPECT_EQ(got, payloads) << "split " << split;
+    EXPECT_FALSE(parser.corrupt());
+  }
+}
+
+TEST(FrameParser, OversizedLengthPrefixIsCorruptionNotAnAllocation) {
+  net::FrameParser parser;
+  const std::uint32_t len = net::kMaxFrameBytes + 1;
+  std::byte prefix[4];
+  std::memcpy(prefix, &len, sizeof prefix);
+  // Byte by byte: corruption must latch once the prefix completes, without
+  // waiting for (or allocating) the advertised body.
+  for (const std::byte b : prefix) parser.feed(std::span<const std::byte>(&b, 1));
+  std::span<const std::byte> view;
+  EXPECT_FALSE(parser.next_view(view));
+  EXPECT_TRUE(parser.corrupt());
+}
+
+// ---- client demux under adversarial delivery --------------------------------
+
+void send_in_chunks(const net::Fd& fd, std::span<const std::byte> bytes,
+                    std::size_t chunk) {
+  for (std::size_t at = 0; at < bytes.size(); at += chunk) {
+    ASSERT_TRUE(net::send_all(fd, bytes.subspan(at, std::min(chunk, bytes.size() - at))));
+  }
+}
+
+/// A scripted raw-TCP peer speaking the server's side of the wire protocol,
+/// delivering every response byte by byte: the client must demux a pipelined
+/// window's kAck stream from interleaved kCommit pushes however the bytes
+/// arrive.
+TEST(ClientDemux, SplitsAcksAndCommitsAcrossAPipelinedWindow) {
+  constexpr std::uint64_t kClientId = 77;
+  constexpr int kWindow = 8;
+  std::uint16_t port = 0;
+  net::Fd listener = net::listen_tcp(port);
+
+  std::thread peer([&] {
+    net::Fd conn = net::accept_one(listener);
+    ASSERT_TRUE(conn.valid());
+    std::vector<std::byte> scratch;
+
+    std::vector<std::byte> hello;
+    ASSERT_TRUE(net::recv_frame(conn, hello));
+    ByteReader hr(hello);
+    const auto hello_type = hr.get_u8();
+    const auto hello_client = hr.get_u64();
+    ASSERT_TRUE(hello_type && hello_client);
+    ASSERT_EQ(*hello_type, static_cast<std::uint8_t>(MsgType::kHello));
+    ASSERT_EQ(*hello_client, kClientId);
+    {
+      ByteWriter w(scratch);
+      w.put_u8(static_cast<std::uint8_t>(MsgType::kWelcome));
+      w.put_u64(kClientId);
+      w.put_u64(0);
+      std::vector<std::byte> framed;
+      net::append_frame(framed, w.view());
+      send_in_chunks(conn, framed, 1);  // even the handshake arrives in drips
+    }
+
+    std::vector<std::uint64_t> requests;
+    for (int i = 0; i < kWindow; ++i) {
+      std::vector<std::byte> frame;
+      ASSERT_TRUE(net::recv_frame(conn, frame));
+      ByteReader r(frame);
+      const auto type = r.get_u8();
+      const auto request = r.get_u64();
+      ASSERT_TRUE(type && request);
+      ASSERT_EQ(*type, static_cast<std::uint8_t>(MsgType::kPropose));
+      requests.push_back(*request);
+    }
+
+    // One burst holding the whole window's worth of kCommit pushes
+    // interleaved before each kAck, then delivered a byte at a time.
+    std::vector<std::byte> burst;
+    for (int i = 0; i < kWindow; ++i) {
+      const auto index = static_cast<std::uint64_t>(i);
+      {
+        ByteWriter c(scratch);
+        c.put_u8(static_cast<std::uint8_t>(MsgType::kCommit));
+        c.put_u64(index);
+        c.put_u64(kClientId);
+        c.put_u64(requests[static_cast<std::size_t>(i)]);
+        const auto entry = bytes_of("entry " + std::to_string(i + 1));
+        c.put_u32(static_cast<std::uint32_t>(entry.size()));
+        c.put_bytes(entry);
+        net::append_frame(burst, c.view());
+      }
+      {
+        ByteWriter a(scratch);
+        a.put_u8(static_cast<std::uint8_t>(MsgType::kAck));
+        a.put_u64(requests[static_cast<std::size_t>(i)]);
+        a.put_u64(index);
+        a.put_u8(0);
+        net::append_frame(burst, a.view());
+      }
+    }
+    send_in_chunks(conn, burst, 1);
+  });
+
+  Client client(port, kClientId);
+  ASSERT_TRUE(client.connected());
+  EXPECT_EQ(client.welcome_last_request(), 0u);
+  for (int i = 1; i <= kWindow; ++i) {
+    client.queue_propose(static_cast<std::uint64_t>(i),
+                         bytes_of("req " + std::to_string(i)));
+  }
+  ASSERT_TRUE(client.flush());
+
+  for (int i = 1; i <= kWindow; ++i) {
+    const auto ack = client.recv_ack();
+    ASSERT_TRUE(ack.has_value()) << "ack " << i;
+    EXPECT_EQ(ack->request_id, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(ack->applied.index, static_cast<std::uint64_t>(i - 1));
+    EXPECT_FALSE(ack->applied.duplicate);
+  }
+  // The commits interleaved into the ack stream were demuxed aside, in order.
+  for (int i = 1; i <= kWindow; ++i) {
+    const auto e = client.next_commit();
+    ASSERT_TRUE(e.has_value()) << "commit " << i;
+    EXPECT_EQ(e->index, static_cast<std::uint64_t>(i - 1));
+    EXPECT_EQ(e->client_id, kClientId);
+    EXPECT_EQ(e->request_id, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(e->payload, bytes_of("entry " + std::to_string(i)));
+  }
+  peer.join();
+}
+
+// ---- the pipelined group across depths --------------------------------------
+
+TEST(ReplicaGroup, PipelineDepthsRetireFifoAndBitIdentical) {
+  // Every slot at every depth must be the engine twin's consensus execution
+  // (equal Report fingerprints), retire in FIFO order (log indices are the
+  // submission order), and leave an identical log digest — depth changes
+  // throughput, never the log. Depths > 1 also exercise pooled SlotContext
+  // reuse: a reset context must execute bit-identically to a fresh one.
+  constexpr int kBatches = 6;
+  constexpr int kPerBatch = 5;
+  const std::uint64_t engine_fp = scenarios::fingerprint(
+      run_slot_on_engine(kDefaultGroupSize, kDefaultFaultBudget).report);
+
+  std::uint64_t ref_digest = 0;
+  for (const int depth : {1, 2, 4}) {
+    ReplicaGroupOptions options;
+    options.pipeline = depth;
+    ReplicaGroup group(options);
+    std::vector<std::uint64_t> fingerprints;
+    std::vector<Applied> applied;
+    int enqueued = 0;
+    while (applied.size() < static_cast<std::size_t>(kBatches * kPerBatch)) {
+      while (enqueued < kBatches && group.can_enqueue()) {
+        std::vector<Command> batch;
+        for (int j = 0; j < kPerBatch; ++j) {
+          batch.push_back(Command{static_cast<std::uint64_t>(j + 1),
+                                  static_cast<std::uint64_t>(enqueued + 1),
+                                  bytes_of(std::to_string(enqueued) + ":" + std::to_string(j))});
+        }
+        group.enqueue(std::move(batch));
+        ++enqueued;
+      }
+      group.step();
+      while (group.head_ready()) {
+        auto r = group.take_head();
+        fingerprints.push_back(r.slot_fingerprint);
+        applied.insert(applied.end(), r.applied.begin(), r.applied.end());
+      }
+    }
+    EXPECT_EQ(group.in_flight(), 0u) << "depth " << depth;
+    ASSERT_EQ(fingerprints.size(), static_cast<std::size_t>(kBatches));
+    for (const auto fp : fingerprints) {
+      EXPECT_EQ(fp, engine_fp) << "depth " << depth << ": slot is not the engine twin";
+    }
+    for (std::size_t i = 0; i < applied.size(); ++i) {
+      EXPECT_EQ(applied[i].index, i) << "depth " << depth << ": not FIFO";
+      EXPECT_FALSE(applied[i].duplicate);
+    }
+    if (depth == 1) {
+      ref_digest = group.machine().digest();
+    } else {
+      EXPECT_EQ(group.machine().digest(), ref_digest)
+          << "depth " << depth << " left a different log than depth 1";
+    }
+  }
+}
+
+// ---- the server across reactor backends -------------------------------------
+
+class ServerBackends : public ::testing::TestWithParam<net::ReactorBackend> {
+ protected:
+  [[nodiscard]] bool available() const {
+    return GetParam() != net::ReactorBackend::kIoUring || net::io_uring_available();
+  }
+};
+
+TEST_P(ServerBackends, PipelinedWindowAcksInOrder) {
+  if (!available()) GTEST_SKIP() << "io_uring unavailable on this kernel";
+  ServerOptions options;
+  options.backend = GetParam();
+  options.pipeline = 4;
+  RunningServer rs(options);
+  EXPECT_STREQ(rs.server.backend(),
+               GetParam() == net::ReactorBackend::kEpoll ? "epoll" : "io_uring");
+
+  Client client(rs.server.port(), /*client_id=*/1);
+  ASSERT_TRUE(client.connected());
+  constexpr int kRequests = 200;
+  constexpr int kWindow = 16;
+  int sent = 0;
+  int acked = 0;
+  while (acked < kRequests) {
+    while (sent < kRequests && sent - acked < kWindow) {
+      ++sent;
+      client.queue_propose(static_cast<std::uint64_t>(sent),
+                           bytes_of("w " + std::to_string(sent)));
+    }
+    ASSERT_TRUE(client.flush());
+    const auto ack = client.recv_ack();
+    ASSERT_TRUE(ack.has_value()) << "after " << acked << " acks";
+    ++acked;
+    EXPECT_EQ(ack->request_id, static_cast<std::uint64_t>(acked));
+    EXPECT_EQ(ack->applied.index, static_cast<std::uint64_t>(acked - 1));
+    EXPECT_FALSE(ack->applied.duplicate);
+  }
+  const auto state = client.read_state();
+  ASSERT_TRUE(state.has_value());
+  EXPECT_EQ(state->size, static_cast<std::uint64_t>(kRequests));
+}
+
+std::string server_backend_name(
+    const ::testing::TestParamInfo<net::ReactorBackend>& info) {
+  return info.param == net::ReactorBackend::kEpoll ? "epoll" : "io_uring";
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ServerBackends,
+                         ::testing::Values(net::ReactorBackend::kEpoll,
+                                           net::ReactorBackend::kIoUring),
+                         server_backend_name);
+
+TEST(ServiceServer, LogDigestIsIdenticalAcrossBackendsAndDepths) {
+  // The same single-session workload must leave a bit-identical log —
+  // equal digest — whatever the reactor backend or pipeline depth, and the
+  // digest must match a direct StateMachine replay of the same commands.
+  constexpr int kRequests = 60;
+  constexpr int kWindow = 8;
+  StateMachine expect;
+  for (int i = 1; i <= kRequests; ++i) {
+    (void)expect.apply(Command{1, static_cast<std::uint64_t>(i),
+                               bytes_of("op " + std::to_string(i))});
+  }
+
+  struct Config {
+    net::ReactorBackend backend;
+    int pipeline;
+  };
+  for (const auto& config : {Config{net::ReactorBackend::kEpoll, 1},
+                             Config{net::ReactorBackend::kEpoll, 4},
+                             Config{net::ReactorBackend::kIoUring, 2},
+                             Config{net::ReactorBackend::kIoUring, 4}}) {
+    if (config.backend == net::ReactorBackend::kIoUring && !net::io_uring_available()) {
+      continue;
+    }
+    ServerOptions options;
+    options.backend = config.backend;
+    options.pipeline = config.pipeline;
+    RunningServer rs(options);
+    Client client(rs.server.port(), /*client_id=*/1);
+    ASSERT_TRUE(client.connected());
+    int sent = 0;
+    int acked = 0;
+    while (acked < kRequests) {
+      while (sent < kRequests && sent - acked < kWindow) {
+        ++sent;
+        client.queue_propose(static_cast<std::uint64_t>(sent),
+                             bytes_of("op " + std::to_string(sent)));
+      }
+      ASSERT_TRUE(client.flush());
+      ASSERT_TRUE(client.recv_ack().has_value());
+      ++acked;
+    }
+    const auto state = client.read_state();
+    ASSERT_TRUE(state.has_value());
+    EXPECT_EQ(state->size, static_cast<std::uint64_t>(kRequests));
+    EXPECT_EQ(state->digest, expect.digest())
+        << rs.server.backend() << " depth " << config.pipeline
+        << " produced a different log";
+  }
 }
 
 TEST(ServiceServer, LiveServerTraceReplaysUnderTheEngine) {
