@@ -25,7 +25,7 @@ Divergence component_divergence(Round round, Component component, std::uint64_t 
   return d;
 }
 
-/// Compares the five per-class action counters; on a mismatch returns a
+/// Compares the six per-class action counters; on a mismatch returns a
 /// kFaultActions divergence whose expected/actual are the first differing
 /// counter's values and whose detail names the class.
 std::optional<Divergence> diff_fault_actions(Round round, const sim::RoundDigest& e,
@@ -36,6 +36,7 @@ std::optional<Divergence> diff_fault_actions(Round round, const sim::RoundDigest
       {"links", {e.links, a.links}},
       {"partitions", {e.partitions, a.partitions}},
       {"takeovers", {e.takeovers, a.takeovers}},
+      {"delays", {e.delays, a.delays}},
   };
   for (const auto& [name, counts] : classes) {
     if (counts.first == counts.second) continue;
@@ -57,6 +58,7 @@ const char* component_name(Component component) {
     case Component::kLostCrash: return "lost_crash";
     case Component::kLostFault: return "lost_fault";
     case Component::kLostDead: return "lost_dead";
+    case Component::kDelayed: return "delayed";
     case Component::kDelivered: return "delivered";
     case Component::kActiveSet: return "active_set";
     case Component::kPayload: return "payload";
@@ -88,6 +90,9 @@ Divergence diff(const Trace& expected, const Trace& actual) {
     }
     if (e.lost_dead != a.lost_dead) {
       return component_divergence(round, Component::kLostDead, e.lost_dead, a.lost_dead);
+    }
+    if (e.delayed != a.delayed) {
+      return component_divergence(round, Component::kDelayed, e.delayed, a.delayed);
     }
     if (e.delivered != a.delivered) {
       return component_divergence(round, Component::kDelivered, e.delivered, a.delivered);

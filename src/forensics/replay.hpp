@@ -20,11 +20,12 @@ namespace lft::forensics {
 
 /// The digest component a divergence was localized to, in comparison order.
 enum class Component : std::uint8_t {
-  kFaultActions,  ///< crash/omission/link/partition/takeover action counts
+  kFaultActions,  ///< crash/omission/link/partition/takeover/delay action counts
   kSent,          ///< messages produced this round
   kLostCrash,     ///< messages lost to sender crashes
   kLostFault,     ///< messages lost in transit (omission/partition/link)
   kLostDead,      ///< messages dropped at a crashed/halted receiver
+  kDelayed,       ///< messages parked in the due-round delay queue (timing faults)
   kDelivered,     ///< messages that reached an inbox
   kActiveSet,     ///< hash of the stepped active set
   kPayload,       ///< commutative digest of the delivered batch's headers

@@ -20,8 +20,9 @@ using sim::FaultPlan;
 
 // ---- plan event indexing ---------------------------------------------------
 
-/// Flattened event order: crashes, omissions, links, partitions, takeovers
-/// (matching FaultPlan's member order). `keep` masks this flat index space.
+/// Flattened event order: crashes, omissions, links, partitions, takeovers,
+/// delays, gsts (matching FaultPlan's member order). `keep` masks this flat
+/// index space.
 FaultPlan plan_subset(const FaultPlan& plan, const std::vector<char>& keep) {
   FaultPlan out;
   out.seed = plan.seed;
@@ -40,6 +41,12 @@ FaultPlan plan_subset(const FaultPlan& plan, const std::vector<char>& keep) {
   }
   for (const auto& e : plan.takeovers) {
     if (keep[i++] != 0) out.takeovers.push_back(e);
+  }
+  for (const auto& e : plan.delays) {
+    if (keep[i++] != 0) out.delays.push_back(e);
+  }
+  for (const auto& e : plan.gsts) {
+    if (keep[i++] != 0) out.gsts.push_back(e);
   }
   return out;
 }
@@ -66,6 +73,13 @@ std::optional<FaultPlan> resize_plan(const FaultPlan& plan, NodeId new_n) {
   for (auto& p : out.partitions) {
     if (static_cast<NodeId>(p.group_of.size()) < new_n) return std::nullopt;
     p.group_of.resize(static_cast<std::size_t>(new_n));
+  }
+  // Delay rules survive a resize unless they pin a node that would no
+  // longer exist; wildcard (kNoNode) endpoints and GST events are
+  // size-independent.
+  for (const auto& e : out.delays) {
+    if (e.src != kNoNode && e.src >= new_n) return std::nullopt;
+    if (e.dst != kNoNode && e.dst >= new_n) return std::nullopt;
   }
   return out;
 }
@@ -232,6 +246,10 @@ class Shrinker {
       for (auto& e : plan.omissions) changed = narrow(e.from, e.until) || changed;
       for (auto& e : plan.links) changed = narrow(e.from, e.until) || changed;
       for (auto& e : plan.partitions) changed = narrow(e.from, e.until) || changed;
+      // Delay coins are salted by (src, dst, min, max) only — never by the
+      // window — so narrowing a delay window cannot reshuffle the lags of
+      // the rounds that remain inside it.
+      for (auto& e : plan.delays) changed = narrow(e.from, e.until) || changed;
     }
   }
 
@@ -307,7 +325,8 @@ class Shrinker {
 std::int64_t plan_event_count(const FaultPlan& plan) {
   return static_cast<std::int64_t>(plan.crashes.size() + plan.omissions.size() +
                                    plan.links.size() + plan.partitions.size() +
-                                   plan.takeovers.size());
+                                   plan.takeovers.size() + plan.delays.size() +
+                                   plan.gsts.size());
 }
 
 ShrinkProblem scenario_problem(const scenarios::Scenario& scenario, sim::FaultPlan plan,
@@ -526,6 +545,34 @@ std::vector<ShrinkCase> build_cases() {
         for (int i = 0; i < 9; ++i) {
           problem.plan.omission(static_cast<NodeId>(5 + 2 * i), 0, 16, /*send=*/true,
                                 /*recv=*/false);
+        }
+        return problem;
+      }});
+
+  cases.push_back(ShrinkCase{
+      "coordinator_lag",
+      "rotating coordinator (n=32, t=2) under 10 delay events; the minimal core is one "
+      "all-links delay window that lags every coordinator broadcast past the decide round",
+      [](std::uint64_t seed) {
+        ShrinkProblem problem;
+        problem.run = run_fragile_coordinator;
+        problem.seed = seed;
+        problem.n = 32;
+        problem.t = 2;
+        // The violating core: one wildcard rule lagging every message by 6
+        // rounds. Broadcasts from phases 0..2 become readable only after
+        // everyone has decided at round 3 and halted, so the mixed inputs
+        // never converge. The window [0, 8) is deliberately wider than the
+        // 3 broadcast rounds that matter — narrowing should pull it in.
+        problem.plan.delay_all(/*from=*/0, /*until=*/8, /*min_delay=*/6,
+                               /*max_delay=*/6);
+        // Nine decoy per-link rules pinned to sources that never send
+        // (non-coordinators stay silent in this protocol), so they are
+        // dead weight the event ddmin must strip.
+        for (int i = 0; i < 9; ++i) {
+          problem.plan.delay(/*src=*/static_cast<NodeId>(10 + i), /*dst=*/kNoNode,
+                             /*from=*/0, /*until=*/6, /*min_delay=*/1,
+                             /*max_delay=*/1);
         }
         return problem;
       }});

@@ -5,7 +5,8 @@
 //
 // The shrinker runs four passes:
 //   1. event ddmin — classic delta debugging over the plan's flattened event
-//      list (crashes, omissions, links, partitions, takeovers), with every
+//      list (crashes, omissions, links, partitions, takeovers, delays,
+//      gsts), with every
 //      candidate subset of a granularity level evaluated IN PARALLEL over a
 //      sim::FleetRunner; the surviving plan is 1-minimal (dropping any
 //      single remaining event restores the invariant) unless the evaluation
@@ -117,9 +118,11 @@ struct ShrinkCase {
 };
 
 /// The case registry: `coordinator_collapse` (12 crash events whose minimal
-/// core is the 3 coordinator crashes) and `coordinator_blackout` (12
+/// core is the 3 coordinator crashes), `coordinator_blackout` (12
 /// omission windows whose minimal core is 3 windows narrowed to the
-/// coordinators' broadcast rounds).
+/// coordinators' broadcast rounds), and `coordinator_lag` (10 delay events
+/// whose minimal core is a single delay window narrowed to the broadcast
+/// phases — the timing-fault ddmin demo).
 [[nodiscard]] const std::vector<ShrinkCase>& shrink_cases();
 [[nodiscard]] const ShrinkCase* find_shrink_case(const std::string& name);
 

@@ -10,9 +10,12 @@ namespace lft::forensics {
 namespace {
 // "LFTTRACE" as a little-endian u64, followed by the format version. Bump
 // the version on any layout change; decode_trace rejects unknown versions
-// instead of guessing.
+// instead of guessing. v1 -> v2 appended the timing-fault digest fields
+// (`delayed` after lost_dead, `delays` after takeovers); v1 traces still
+// decode, with both fields zero.
 constexpr std::uint64_t kTraceMagic = 0x4543415254544c46ULL;
-constexpr std::uint32_t kTraceVersion = 1;
+constexpr std::uint32_t kTraceVersionV1 = 1;
+constexpr std::uint32_t kTraceVersion = 2;
 }  // namespace
 
 bool Trace::operator==(const Trace& other) const {
@@ -46,11 +49,13 @@ std::vector<std::byte> encode_trace(const Trace& trace) {
     w.put_varint(d.lost_crash);
     w.put_varint(d.lost_fault);
     w.put_varint(d.lost_dead);
+    w.put_varint(d.delayed);
     w.put_varint(d.crashes);
     w.put_varint(d.omissions);
     w.put_varint(d.links);
     w.put_varint(d.partitions);
     w.put_varint(d.takeovers);
+    w.put_varint(d.delays);
     w.put_u64(d.active_hash);
     w.put_u64(d.payload_hash);
     w.put_u64(d.body_hash);
@@ -63,7 +68,10 @@ std::optional<Trace> decode_trace(std::span<const std::byte> bytes) {
   const auto magic = r.get_u64();
   if (!magic || *magic != kTraceMagic) return std::nullopt;
   const auto version = r.get_u32();
-  if (!version || *version != kTraceVersion) return std::nullopt;
+  if (!version || (*version != kTraceVersionV1 && *version != kTraceVersion)) {
+    return std::nullopt;
+  }
+  const bool v2 = *version == kTraceVersion;
 
   Trace trace;
   const auto name_len = r.get_varint();
@@ -85,10 +93,11 @@ std::optional<Trace> decode_trace(std::span<const std::byte> bytes) {
   trace.meta.threads = static_cast<std::int32_t>(*threads);
   trace.report_fingerprint = *fingerprint;
 
-  // A digest costs >= 35 bytes (11 varints of >= 1 byte + three u64
-  // hashes); reject counts the remaining bytes cannot possibly hold, so a
-  // corrupt count cannot amplify a small file into a huge reserve().
-  if (*round_count > r.remaining() / 35) return std::nullopt;
+  // A digest costs >= 35 bytes in v1 (11 varints of >= 1 byte + three u64
+  // hashes) and >= 37 in v2 (two extra varints); reject counts the remaining
+  // bytes cannot possibly hold, so a corrupt count cannot amplify a small
+  // file into a huge reserve().
+  if (*round_count > r.remaining() / (v2 ? 37 : 35)) return std::nullopt;
   trace.rounds.reserve(static_cast<std::size_t>(*round_count));
   for (std::uint64_t i = 0; i < *round_count; ++i) {
     sim::RoundDigest d;
@@ -98,17 +107,19 @@ std::optional<Trace> decode_trace(std::span<const std::byte> bytes) {
     const auto lost_crash = r.get_varint();
     const auto lost_fault = r.get_varint();
     const auto lost_dead = r.get_varint();
+    const auto delayed = v2 ? r.get_varint() : std::optional<std::uint64_t>{0};
     const auto crashes = r.get_varint();
     const auto omissions = r.get_varint();
     const auto links = r.get_varint();
     const auto partitions = r.get_varint();
     const auto takeovers = r.get_varint();
+    const auto delays = v2 ? r.get_varint() : std::optional<std::uint64_t>{0};
     const auto active_hash = r.get_u64();
     const auto payload_hash = r.get_u64();
     const auto body_hash = r.get_u64();
     if (!round || !sent || !delivered || !lost_crash || !lost_fault || !lost_dead ||
-        !crashes || !omissions || !links || !partitions || !takeovers || !active_hash ||
-        !payload_hash || !body_hash) {
+        !delayed || !crashes || !omissions || !links || !partitions || !takeovers ||
+        !delays || !active_hash || !payload_hash || !body_hash) {
       return std::nullopt;
     }
     d.round = static_cast<Round>(*round);
@@ -117,11 +128,13 @@ std::optional<Trace> decode_trace(std::span<const std::byte> bytes) {
     d.lost_crash = *lost_crash;
     d.lost_fault = *lost_fault;
     d.lost_dead = *lost_dead;
+    d.delayed = *delayed;
     d.crashes = static_cast<std::uint32_t>(*crashes);
     d.omissions = static_cast<std::uint32_t>(*omissions);
     d.links = static_cast<std::uint32_t>(*links);
     d.partitions = static_cast<std::uint32_t>(*partitions);
     d.takeovers = static_cast<std::uint32_t>(*takeovers);
+    d.delays = static_cast<std::uint32_t>(*delays);
     d.active_hash = *active_hash;
     d.payload_hash = *payload_hash;
     d.body_hash = *body_hash;

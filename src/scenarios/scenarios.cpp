@@ -13,6 +13,7 @@
 #include "core/consensus.hpp"
 #include "core/gossip.hpp"
 #include "core/stages.hpp"
+#include "core/tags.hpp"
 #include "graph/overlay.hpp"
 #include "service/ordering.hpp"
 #include "sim/adversary.hpp"
@@ -116,6 +117,105 @@ std::vector<std::uint64_t> gossip_rumors(NodeId n, std::uint64_t seed) {
   return rumors;
 }
 
+// ---- timing-fault harness: min-flood consensus -----------------------------
+
+/// The timing-fault scenarios run a deliberately simple full-information
+/// protocol so that every invariant verdict is attributable to *when*
+/// messages arrive rather than to protocol-internal schedule structure:
+/// every round below the horizon each node broadcasts its current minimum
+/// and adopts the minimum of its inbox; at the horizon it decides and halts.
+/// The horizon is fixed (independent of the fault plan), so the decision
+/// round never moves — a delay either beats the horizon or loses to it.
+/// With `early_decide`, a node decides as soon as it has heard from every
+/// peer at least once: since a holder of the global minimum carries it from
+/// round 0, hearing every peer implies having seen the global minimum (safe
+/// only when no sender can be silenced — the pure delay/GST scenarios).
+constexpr std::uint32_t kTagMinFlood = core::kTagBaseline + 40;
+constexpr Round kMinFloodHorizon = 12;
+
+class MinFloodProcess final : public sim::Process {
+ public:
+  MinFloodProcess(NodeId n, Round horizon, std::uint64_t input, bool early_decide)
+      : n_(n), horizon_(horizon), min_(input), early_(early_decide) {
+    if (early_) heard_.assign(static_cast<std::size_t>(n), 0);
+  }
+
+  void on_round(sim::Context& ctx, const sim::Inbox& inbox) override {
+    for (const auto& m : inbox) {
+      if (m.tag != kTagMinFlood) continue;
+      min_ = std::min(min_, m.value);
+      if (early_ && heard_[static_cast<std::size_t>(m.from)] == 0) {
+        heard_[static_cast<std::size_t>(m.from)] = 1;
+        ++heard_count_;
+      }
+    }
+    if (ctx.round() >= horizon_ ||
+        (early_ && heard_count_ == static_cast<std::size_t>(n_) - 1)) {
+      ctx.decide(min_);
+      ctx.halt();
+      return;
+    }
+    for (NodeId v = 0; v < n_; ++v) {
+      if (v != ctx.self()) ctx.send(v, kTagMinFlood, min_, 1);
+    }
+  }
+
+ private:
+  NodeId n_;
+  Round horizon_;
+  std::uint64_t min_;
+  bool early_;
+  std::vector<char> heard_;
+  std::size_t heard_count_ = 0;
+};
+
+/// The behavior planned takeovers install in the min-flood scenarios: total
+/// silence (the strongest sender-side fault the protocol's invariants can
+/// attribute to timing). Halts at the horizon so the taken-over node does
+/// not keep the engine alive after every honest node has decided.
+class SilentBehavior final : public sim::Process {
+ public:
+  void on_round(sim::Context& ctx, const sim::Inbox&) override {
+    if (ctx.round() >= kMinFloodHorizon) ctx.halt();
+  }
+};
+
+/// Runs min-flood under `plan` with distinct random inputs (drawn from a
+/// wide range so the global minimum is held by one specific node, not by a
+/// bit value half the system starts with). Budgets for every node-fault
+/// class are opened to t so mixed plans can compose crashes, omissions and
+/// takeovers with the (unbudgeted) timing faults.
+ScenarioResult run_min_flood(std::uint64_t seed, NodeId n, std::int64_t t,
+                             sim::FaultPlan plan, const Expect& expect, bool early_decide,
+                             const core::RunOptions& options) {
+  Rng rng(seed * 977 + 11);
+  std::vector<int> inputs(static_cast<std::size_t>(n));
+  for (auto& b : inputs) b = static_cast<int>(1 + rng.uniform(1'000'000));
+  sim::EngineConfig config;
+  // Enough headroom past the horizon for every parked message to come due
+  // (GST plans can lag a round-0 send by stabilization + delta rounds).
+  config.max_rounds = kMinFloodHorizon + 80;
+  config.crash_budget = t;
+  config.omission_budget = t;
+  config.byzantine_budget = t;
+  config.threads = options.threads;
+  config.scratch = options.scratch;
+  config.trace = options.trace;
+  config.simd = options.simd;
+  sim::Engine engine(n, config);
+  for (NodeId v = 0; v < n; ++v) {
+    engine.set_process(
+        v, std::make_unique<MinFloodProcess>(
+               n, kMinFloodHorizon,
+               static_cast<std::uint64_t>(inputs[static_cast<std::size_t>(v)]),
+               early_decide));
+  }
+  engine.add_fault_injector(sim::make_plan_injector(
+      std::move(plan),
+      [](NodeId, const std::string&) { return std::make_unique<SilentBehavior>(); }));
+  return eval_consensus(core::evaluate_consensus(engine.run(), inputs), expect);
+}
+
 /// Assembles a plan-driven scenario from its two halves: `plan_of` rebuilds
 /// the registered fault plan, `run_plan` executes the protocol + invariant
 /// under any plan, and `run_at` is their composition. Keeping the halves
@@ -139,6 +239,21 @@ Scenario make_planned(std::string name, std::string protocol, std::string fault_
     return run(seed, size, budget, plan(seed, size, budget), options);
   };
   return s;
+}
+
+/// Shorthand for a min-flood timing-fault scenario: same protocol half every
+/// time, so each entry is just (plan, expectations, decide mode).
+Scenario make_min_flood(std::string name, std::string fault_kind, NodeId n, std::int64_t t,
+                        std::string description, Scenario::PlanFn plan_of,
+                        Expect expect = {}, bool early_decide = false) {
+  return make_planned(
+      std::move(name), "min_flood", std::move(fault_kind), n, t, std::move(description),
+      std::move(plan_of),
+      [expect, early_decide](std::uint64_t seed, NodeId size, std::int64_t budget,
+                             sim::FaultPlan plan, const core::RunOptions& options) {
+        return run_min_flood(seed, size, budget, std::move(plan), expect, early_decide,
+                             options);
+      });
 }
 
 std::vector<Scenario> build_registry() {
@@ -562,6 +677,352 @@ std::vector<Scenario> build_registry() {
         const auto params = core::CheckpointParams::practical(n, t);
         return eval_checkpointing(core::run_checkpointing(
             params, sim::make_plan_injector(std::move(plan)), options));
+      }));
+
+  // ---- timing faults: deterministic delays ---------------------------------
+
+  // All min_flood entries share one protocol half (see run_min_flood); the
+  // horizon is fixed at 12 rounds, so every verdict below is a statement
+  // about whether the plan's delays beat or lose to the decide round.
+
+  list.push_back(make_min_flood(
+      "delay_fixed_pipe", "delay", 64, 8,
+      "every message lags exactly 2 rounds (a uniform pipeline delay); all guarantees "
+      "survive because the lag is far inside the horizon",
+      [](std::uint64_t seed, NodeId, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 15).delay_all(0, sim::kRoundForever, 2, 2);
+        return plan;
+      }));
+
+  list.push_back(make_min_flood(
+      "delay_uniform_jitter", "delay", 64, 8,
+      "per-message uniform jitter in [0, 3] on every link for the whole run",
+      [](std::uint64_t seed, NodeId, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 16).delay_all(0, sim::kRoundForever, 0, 3);
+        return plan;
+      }));
+
+  list.push_back(make_min_flood(
+      "delay_burst_window", "delay", 64, 8,
+      "a 3-round congestion burst (lag 4) in rounds [3, 6) after the minimum has "
+      "already flooded once",
+      [](std::uint64_t seed, NodeId, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 17).delay_all(3, 6, 4, 4);
+        return plan;
+      }));
+
+  list.push_back(make_min_flood(
+      "delay_per_link_mesh", "delay", 64, 8,
+      "40 random directed links each get an independent [1, 4] delay rule; undelayed "
+      "links keep the flood fast",
+      [](std::uint64_t seed, NodeId n, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 18);
+        Rng rng(seed * 31 + 18);
+        for (int i = 0; i < 40; ++i) {
+          const auto a = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n)));
+          const auto b = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n)));
+          if (a == b) continue;
+          plan.delay(a, b, 0, sim::kRoundForever, 1, 4);
+        }
+        return plan;
+      }));
+
+  list.push_back(make_min_flood(
+      "delay_asym_halves", "delay", 64, 8,
+      "asymmetric lag: everything the lower half sends is held 3 rounds (one wildcard-"
+      "destination rule per source), the upper half sends at full speed",
+      [](std::uint64_t seed, NodeId n, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 19);
+        for (NodeId src = 0; src < n / 2; ++src) {
+          plan.delay(src, kNoNode, 0, sim::kRoundForever, 3, 3);
+        }
+        return plan;
+      }));
+
+  list.push_back(make_min_flood(
+      "delay_horizon_edge", "delay", 64, 8,
+      "lag 9 against horizon 12: only the round-0 broadcasts arrive before the decide "
+      "round, and they alone carry every input",
+      [](std::uint64_t seed, NodeId, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 20).delay_all(0, sim::kRoundForever, 9, 9);
+        return plan;
+      }));
+
+  list.push_back(make_min_flood(
+      "delay_parallel_flood", "delay", 600, 75,
+      "n=600 engages the parallel stepper with every message jittered in [1, 2]; the "
+      "delay queue must stay bit-identical across thread counts",
+      [](std::uint64_t seed, NodeId, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 21).delay_all(0, sim::kRoundForever, 1, 2);
+        return plan;
+      }));
+
+  list.push_back(make_min_flood(
+      "delay_zero_noop", "delay", 64, 8,
+      "an armed all-links rule whose lag is always 0: the delay plumbing is exercised "
+      "but no message is ever parked",
+      [](std::uint64_t seed, NodeId, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 22).delay_all(0, sim::kRoundForever, 0, 0);
+        return plan;
+      }));
+
+  // ---- timing faults: GST partial synchrony --------------------------------
+
+  list.push_back(make_min_flood(
+      "gst_early_stabilize", "gst", 64, 8,
+      "adversarial delays until GST=4, then delta=2: pre-GST sends are readable by "
+      "GST+delta, far inside the horizon",
+      [](std::uint64_t seed, NodeId, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 23).gst(4, 2);
+        return plan;
+      }));
+
+  list.push_back(make_min_flood(
+      "gst_late_stabilize", "gst", 64, 8,
+      "GST=10 lands just before the horizon: every pre-GST send is readable by round "
+      "12, the last round that still counts",
+      [](std::uint64_t seed, NodeId, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 24).gst(10, 2);
+        return plan;
+      }));
+
+  list.push_back(make_min_flood(
+      "gst_tight_delta", "gst", 64, 8,
+      "delta=1 after GST=6: the network is bit-for-bit synchronous once stabilized",
+      [](std::uint64_t seed, NodeId, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 25).gst(6, 1);
+        return plan;
+      }));
+
+  list.push_back(make_min_flood(
+      "gst_wide_delta", "gst", 64, 8,
+      "GST=2 with a loose delta=6: stabilization comes early but every delivery may "
+      "still lag up to 5 rounds",
+      [](std::uint64_t seed, NodeId, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 26).gst(2, 6);
+        return plan;
+      }));
+
+  list.push_back(make_min_flood(
+      "gst_beyond_horizon", "gst", 64, 8,
+      "GST=40 is after every node has decided: the whole run is adversarially "
+      "asynchronous, so only termination and validity are promised",
+      [](std::uint64_t seed, NodeId, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 27).gst(40, 4);
+        return plan;
+      },
+      Expect{/*termination=*/true, /*agreement=*/false, /*validity=*/true}));
+
+  list.push_back(make_min_flood(
+      "gst_decide_boundary", "gst", 64, 8,
+      "GST lands exactly on the decide round: pre-GST sends may be readable one round "
+      "too late, so agreement is not promised (termination + validity are)",
+      [](std::uint64_t seed, NodeId, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 28).gst(kMinFloodHorizon, 2);
+        return plan;
+      },
+      Expect{/*termination=*/true, /*agreement=*/false, /*validity=*/true}));
+
+  // ---- timing faults: early-deciding variant -------------------------------
+
+  list.push_back(make_min_flood(
+      "early_decide_fastpath", "delay", 64, 8,
+      "early-deciding min-flood under [0, 1] jitter: nodes decide as soon as they have "
+      "heard every peer, rounds ahead of the horizon",
+      [](std::uint64_t seed, NodeId, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 29).delay_all(0, sim::kRoundForever, 0, 1);
+        return plan;
+      },
+      Expect{}, /*early_decide=*/true));
+
+  list.push_back(make_min_flood(
+      "early_decide_staggered", "delay", 64, 8,
+      "early deciders must wait out 8 slow sources (lag 2 on everything they send) "
+      "before the heard-from-everyone bar is met",
+      [](std::uint64_t seed, NodeId, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 30);
+        for (NodeId src = 0; src < 8; ++src) {
+          plan.delay(src, kNoNode, 0, sim::kRoundForever, 2, 2);
+        }
+        return plan;
+      },
+      Expect{}, /*early_decide=*/true));
+
+  list.push_back(make_min_flood(
+      "early_decide_gst", "gst", 64, 8,
+      "early-deciding min-flood under GST=5, delta=2: decisions spread across rounds "
+      "as peers stabilize at different times",
+      [](std::uint64_t seed, NodeId, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 31).gst(5, 2);
+        return plan;
+      },
+      Expect{}, /*early_decide=*/true));
+
+  // ---- timing faults composed with the classic fault classes ---------------
+
+  list.push_back(make_min_flood(
+      "delay_crash_burst", "mixed", 64, 8,
+      "t crashes in a round-1 burst on top of a uniform lag of 1; the victims' round-0 "
+      "broadcasts are already in flight and still deliver",
+      [](std::uint64_t seed, NodeId n, std::int64_t t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 32);
+        plan.burst_crashes(n, t, 1, seed * 31 + 32);
+        plan.delay_all(0, sim::kRoundForever, 1, 1);
+        return plan;
+      }));
+
+  list.push_back(make_min_flood(
+      "delay_crash_staggered", "mixed", 64, 8,
+      "one crash every 2 rounds from round 1 under [0, 2] jitter: relays are redundant "
+      "in a full broadcast, so agreement survives every loss/lag interleaving",
+      [](std::uint64_t seed, NodeId n, std::int64_t t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 33);
+        plan.staggered_crashes(n, t, 1, 2, seed * 31 + 33);
+        plan.delay_all(0, sim::kRoundForever, 0, 2);
+        return plan;
+      }));
+
+  list.push_back(make_min_flood(
+      "delay_partition_overlap", "mixed", 64, 8,
+      "a quarter of the nodes are split off for rounds [2, 6) while every message lags "
+      "1: messages parked before the split outrun the partition",
+      [](std::uint64_t seed, NodeId n, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 34);
+        plan.split_at(n - n / 4, n, 2, 6);
+        plan.delay_all(0, sim::kRoundForever, 1, 1);
+        return plan;
+      }));
+
+  list.push_back(make_min_flood(
+      "delay_link_storm", "mixed", 64, 8,
+      "30 random symmetric link cuts for the first 10 rounds plus [0, 2] jitter "
+      "everywhere; the flood routes around both",
+      [](std::uint64_t seed, NodeId n, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 35);
+        Rng rng(seed * 31 + 35);
+        for (int i = 0; i < 30; ++i) {
+          const auto a = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n)));
+          const auto b = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n)));
+          if (a == b) continue;
+          plan.cut_link(a, b, 0, 10);
+        }
+        plan.delay_all(0, sim::kRoundForever, 0, 2);
+        return plan;
+      }));
+
+  list.push_back(make_min_flood(
+      "delay_omission_mix", "mixed", 64, 8,
+      "t send-omission nodes for rounds [0, 6) plus a uniform lag of 1: the silenced "
+      "inputs surface at round 6 and still beat the horizon",
+      [](std::uint64_t seed, NodeId n, std::int64_t t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 36);
+        plan.random_omissions(n, t, 0, 6, /*send=*/true, /*recv=*/false, seed * 31 + 36);
+        plan.delay_all(0, sim::kRoundForever, 1, 1);
+        return plan;
+      }));
+
+  list.push_back(make_min_flood(
+      "gst_crash_compose", "mixed", 64, 8,
+      "a round-1 crash burst under GST=6, delta=2: every surviving round-0 broadcast "
+      "is readable by round 8",
+      [](std::uint64_t seed, NodeId n, std::int64_t t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 37);
+        plan.burst_crashes(n, t, 1, seed * 31 + 37);
+        plan.gst(6, 2);
+        return plan;
+      }));
+
+  list.push_back(make_min_flood(
+      "gst_partition_compose", "mixed", 64, 8,
+      "an eighth of the nodes split off for rounds [1, 4) under GST=5, delta=2",
+      [](std::uint64_t seed, NodeId n, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 38);
+        plan.split_at(n - n / 8, n, 1, 4);
+        plan.gst(5, 2);
+        return plan;
+      }));
+
+  list.push_back(make_min_flood(
+      "gst_omission_compose", "mixed", 64, 8,
+      "t send-omission nodes for rounds [0, 5) under GST=6, delta=2: the late inputs "
+      "ride the stabilized network",
+      [](std::uint64_t seed, NodeId n, std::int64_t t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 39);
+        plan.random_omissions(n, t, 0, 5, /*send=*/true, /*recv=*/false, seed * 31 + 39);
+        plan.gst(6, 2);
+        return plan;
+      }));
+
+  list.push_back(make_min_flood(
+      "delay_takeover_silence", "mixed", 64, 8,
+      "t nodes go Byzantine-silent at round 2 while every message lags [1, 2]; their "
+      "round-0 and round-1 broadcasts are already parked and still deliver",
+      [](std::uint64_t seed, NodeId n, std::int64_t t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 40);
+        for (std::int64_t i = 0; i < t; ++i) {
+          plan.takeover(static_cast<NodeId>((i * 5 + 3) % n), 2, "silent");
+        }
+        plan.delay_all(0, sim::kRoundForever, 1, 2);
+        return plan;
+      }));
+
+  list.push_back(make_min_flood(
+      "gst_churn_everything", "mixed", 64, 8,
+      "every fault class at once under GST=7, delta=2: 2 crashes, 2 send-omission "
+      "windows, a cut link, and 2 silent takeovers",
+      [](std::uint64_t seed, NodeId n, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 41);
+        plan.gst(7, 2);
+        plan.crash_at(n - 1, 1, 0.0).crash_at(n - 2, 1, 0.0);
+        plan.omission(1, 0, 5, /*send=*/true, /*recv=*/false);
+        plan.omission(2, 0, 5, /*send=*/true, /*recv=*/false);
+        plan.cut_link(4, 5, 0, 8);
+        plan.takeover(6, 3, "silent").takeover(7, 3, "silent");
+        return plan;
+      }));
+
+  list.push_back(make_planned(
+      "delay_gossip_window", "gossip", "delay", 110, 14,
+      "the paper's gossip protocol under [0, 1] jitter on every link: empirically the "
+      "two gossip conditions and rumor integrity survive one round of slack",
+      [](std::uint64_t seed, NodeId, std::int64_t) {
+        sim::FaultPlan plan;
+        plan.with_seed(seed * 31 + 42).delay_all(0, sim::kRoundForever, 0, 1);
+        return plan;
+      },
+      [](std::uint64_t seed, NodeId n, std::int64_t t, sim::FaultPlan plan,
+         const core::RunOptions& options) {
+        const auto params = core::GossipParams::practical(n, t);
+        return eval_gossip(core::run_gossip(params, gossip_rumors(n, seed),
+                                            sim::make_plan_injector(std::move(plan)),
+                                            options));
       }));
 
   // ---- service plane (lft_serve's ordering slot) ---------------------------

@@ -69,8 +69,8 @@ struct Scenario {
                                                  const core::RunOptions& options)>;
 
   std::string name;
-  std::string protocol;    ///< few_crashes | many_crashes | gossip | checkpointing | ab_consensus
-  std::string fault_kind;  ///< crash | omission | partition | link | byzantine | mixed
+  std::string protocol;    ///< few_crashes | many_crashes | gossip | checkpointing | ab_consensus | min_flood
+  std::string fault_kind;  ///< crash | omission | partition | link | byzantine | delay | gst | mixed
   NodeId n = 0;            ///< default size
   std::int64_t t = 0;      ///< default fault budget
   std::string description;
@@ -99,7 +99,8 @@ struct Scenario {
 [[nodiscard]] std::uint64_t fingerprint(const sim::Report& report);
 
 /// The registry, in a fixed presentation order (crash, omission, partition,
-/// link, byzantine, mixed).
+/// link, byzantine, mixed, then the timing-fault catalogue: delay, gst,
+/// early-deciding, and timing-mixed compositions).
 [[nodiscard]] const std::vector<Scenario>& all_scenarios();
 
 /// Looks a scenario up by name; nullptr if unknown.

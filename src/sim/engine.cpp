@@ -484,6 +484,89 @@ void Engine::do_takeover(NodeId v, std::unique_ptr<Process> behavior) {
   wake_at_[vi] = round_;
 }
 
+std::size_t Engine::do_add_delay_rule(NodeId src, NodeId dst, Round min_delay, Round max_delay,
+                                      std::uint64_t salt) {
+  LFT_ASSERT(src == kNoNode || (src >= 0 && src < n_));
+  LFT_ASSERT(dst == kNoNode || (dst >= 0 && dst < n_));
+  LFT_ASSERT_MSG(min_delay >= 0 && min_delay <= max_delay, "delay bounds must be ordered");
+  if (config_.trace != nullptr) ++digest_.delays;
+  delay_rules_.push_back(DelayRule{src, dst, min_delay, max_delay, salt, true});
+  ++delay_rules_active_;
+  rearm_delays();
+  return delay_rules_.size() - 1;
+}
+
+void Engine::do_remove_delay_rule(std::size_t id) {
+  LFT_ASSERT(id < delay_rules_.size());
+  if (!delay_rules_[id].active) return;
+  if (config_.trace != nullptr) ++digest_.delays;
+  delay_rules_[id].active = false;
+  --delay_rules_active_;
+  rearm_delays();
+}
+
+void Engine::do_set_gst(Round stabilization, Round delta, std::uint64_t salt) {
+  LFT_ASSERT_MSG(delta >= 1, "the post-GST delivery bound must be >= 1");
+  if (config_.trace != nullptr) ++digest_.delays;
+  gst_armed_ = true;
+  gst_round_ = stabilization;
+  gst_delta_ = delta;
+  gst_salt_ = salt;
+  rearm_delays();
+}
+
+void Engine::rearm_delays() noexcept {
+  delays_armed_ = delay_rules_active_ > 0 || gst_armed_ || pending_delayed_count_ > 0;
+}
+
+Round Engine::delay_for(const Message& m) const noexcept {
+  // The lag is a pure hash of (salt, link, tag, send round): no RNG state is
+  // consumed, so the coins are identical across serial/parallel stepping and
+  // independent of how many other rules or messages exist.
+  const std::uint64_t link =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.from)) << 32) |
+      static_cast<std::uint32_t>(m.to);
+  const std::uint64_t when = (static_cast<std::uint64_t>(m.tag) << 32) |
+                             static_cast<std::uint32_t>(round_);
+  for (const DelayRule& rule : delay_rules_) {
+    if (!rule.active) continue;
+    if (rule.src != kNoNode && rule.src != m.from) continue;
+    if (rule.dst != kNoNode && rule.dst != m.to) continue;
+    const auto span = static_cast<std::uint64_t>(rule.max_delay - rule.min_delay) + 1;
+    const std::uint64_t h = mix64(mix64(rule.salt ^ link) ^ when);
+    return rule.min_delay + static_cast<Round>(h % span);
+  }
+  if (gst_armed_) {
+    // DLS partial synchrony: a message sent at round r < GST may lag up to
+    // GST - r - 1 + Δ rounds (readable by GST + Δ); after GST the lag is
+    // < Δ (readable within Δ rounds of the send).
+    const Round bound = round_ >= gst_round_ ? gst_delta_ - 1
+                                             : gst_round_ - round_ - 1 + gst_delta_;
+    if (bound <= 0) return 0;
+    const std::uint64_t h = mix64(mix64(gst_salt_ ^ link) ^ when);
+    return static_cast<Round>(h % (static_cast<std::uint64_t>(bound) + 1));
+  }
+  return 0;
+}
+
+void Engine::park_delayed(const Message& m, Round due) {
+  auto it = pending_delayed_.find(due);
+  if (it == pending_delayed_.end()) {
+    DelayedBatch bucket;
+    if (!delayed_pool_.empty()) {
+      bucket = std::move(delayed_pool_.back());
+      delayed_pool_.pop_back();
+    }
+    it = pending_delayed_.emplace(due, std::move(bucket)).first;
+  }
+  DelayedBatch& bucket = it->second;
+  Message copy = m;
+  if (m.body_len != 0) copy.set_body(bucket.arena.store(m.body()));
+  bucket.msgs.push_back(copy);
+  ++pending_delayed_count_;
+  delays_armed_ = true;  // a nonempty queue keeps the delay plane engaged
+}
+
 void Engine::rearm_fault_filters() noexcept {
   fault_filters_armed_ =
       omit_active_count_ > 0 || partition_active_ || !link_cuts_.empty();
@@ -849,20 +932,30 @@ void Engine::sort_batch_normal_form() {
 void Engine::deliver_batch() {
   const bool traced = config_.trace != nullptr;
 
+  // Recycle the delayed bucket injected last round: its arena backed inbox
+  // views through the step that just consumed them. One predictable
+  // empty-check on delay-free runs.
+  if (!draining_delayed_.msgs.empty()) {
+    draining_delayed_.msgs.clear();
+    draining_delayed_.arena.clear();
+    delayed_pool_.push_back(std::move(draining_delayed_));
+    draining_delayed_ = DelayedBatch{};  // moved-from arena cursors are stale
+  }
+
   // Clean-round fast path: when nobody crashed this round, no fault filter
-  // is armed, no node is crashed/halted, and nobody is (going) sleeping, no
-  // message can drop and no receiver needs waking — the entire per-message
-  // filter pass collapses to O(active) accounting: the send path already
-  // accumulated bits, honest counts, and (when traced) header digests per
-  // sink, and step_shard recorded each stepped node's send count. The
-  // header sum is commutative, so folding the worker-local accumulators
-  // equals what any per-message order would give. The condition is a pure
-  // function of the execution, so taking this path never changes a Report
-  // or RoundDigest bit.
+  // is armed, no node is crashed/halted, nobody is (going) sleeping, and no
+  // timing fault is armed or in flight, no message can drop, delay, or need
+  // waking — the entire per-message filter pass collapses to O(active)
+  // accounting: the send path already accumulated bits, honest counts, and
+  // (when traced) header digests per sink, and step_shard recorded each
+  // stepped node's send count. The header sum is commutative, so folding the
+  // worker-local accumulators equals what any per-message order would give.
+  // The condition is a pure function of the execution, so taking this path
+  // never changes a Report or RoundDigest bit.
   bool slept = false;
   for (const auto& sink : sinks_) slept = slept || sink.slept;
   if (crashed_this_round_.empty() && !fault_filters_armed_ && dead_count_ == 0 &&
-      sleeping_count_ == 0 && !slept) {
+      sleeping_count_ == 0 && !slept && !delays_armed_) {
     const std::size_t m = outbox_.size();
     if (traced) {
       digest_.sent = m;
@@ -945,6 +1038,22 @@ void Engine::deliver_batch() {
       }
       continue;
     }
+    // Timing faults hold the message in transit instead of losing it: the
+    // sender paid for it above, and the whole record (body bytes copied)
+    // parks in the bucket injected into round (round_ + lag)'s sweep, so it
+    // becomes readable exactly lag rounds late. Receiver liveness is judged
+    // at delivery time, not here.
+    if (delays_armed_) {
+      const Round lag = delay_for(m);
+      if (lag > 0) {
+        if (traced) {
+          ++digest_.delayed;
+          dropped_sum += digest_header(m);
+        }
+        park_delayed(m, round_ + lag);
+        continue;
+      }
+    }
     const auto to = static_cast<std::size_t>(m.to);
     if (status_[to].crashed || status_[to].halted) {  // never received
       if (traced) {
@@ -958,14 +1067,45 @@ void Engine::deliver_batch() {
     ++kept;
   }
   outbox_.resize(kept);
+  // Inject the messages whose due round is now: they join the batch after
+  // this round's own survivors (the stable sort below groups them by
+  // (receiver, tag), late arrivals after on-time ones within a group) and
+  // become readable next round. A receiver that crashed or halted while the
+  // message was in transit never sees it (lost_dead); live recipients are
+  // woken exactly as for on-time delivery.
+  std::uint64_t injected_sum = 0;
+  if (delays_armed_) {
+    const auto due = pending_delayed_.find(round_);
+    if (due != pending_delayed_.end()) {
+      for (const Message& m : due->second.msgs) {
+        --pending_delayed_count_;
+        const auto to = static_cast<std::size_t>(m.to);
+        if (status_[to].crashed || status_[to].halted) {
+          if (traced) ++digest_.lost_dead;
+          continue;
+        }
+        wake_by(m.to, round_ + 1);
+        if (traced) injected_sum += digest_header(m);
+        outbox_.push_back(m);
+      }
+      // The bucket's arena backs the injected bodies until next round's step
+      // has read them; recycled one round from now (see the top).
+      draining_delayed_ = std::move(due->second);
+      pending_delayed_.erase(due);
+      rearm_delays();
+    }
+  }
+  const std::size_t kept_total = outbox_.size();
   if (traced) {
-    // Delivered-header digest = (sum of sent headers) - (sum of dropped
-    // headers): equal to digest_messages over the delivered batch, without
-    // touching any surviving message again.
-    digest_.payload_hash = digest_messages_final(sent_sum - dropped_sum, kept);
+    // Delivered-header digest = (sum of sent headers) - (sum of dropped and
+    // parked headers) + (sum of injected due headers): equal to
+    // digest_messages over the delivered batch, without touching any
+    // surviving message again.
+    digest_.payload_hash =
+        digest_messages_final(sent_sum - dropped_sum + injected_sum, kept_total);
   }
   metrics_.peak_round_messages =
-      std::max(metrics_.peak_round_messages, static_cast<std::int64_t>(kept));
+      std::max(metrics_.peak_round_messages, static_cast<std::int64_t>(kept_total));
 
   // Two-pass counting/radix sweep into delivery normal form: group by
   // (receiver, tag). The arena is appended in ascending sender order and
@@ -1059,7 +1199,10 @@ Report Engine::run() {
       }
       return false;
     });
-    if (active_.empty() && sleeping_count_ == 0) {
+    // Messages still in transit keep the engine ticking (a delivery may wake
+    // a sleeping or future receiver; undeliverable ones resolve to lost_dead
+    // at their due round), so conservation holds over the whole trace.
+    if (active_.empty() && sleeping_count_ == 0 && pending_delayed_count_ == 0) {
       completed = true;
       ++round_;  // this round still counts
       break;

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <queue>
@@ -361,6 +362,18 @@ class Engine {
   void do_set_partition(std::span<const std::uint32_t> group_of);
   void do_clear_partition();
   void do_takeover(NodeId v, std::unique_ptr<Process> behavior);
+  std::size_t do_add_delay_rule(NodeId src, NodeId dst, Round min_delay, Round max_delay,
+                                std::uint64_t salt);
+  void do_remove_delay_rule(std::size_t id);
+  void do_set_gst(Round stabilization, Round delta, std::uint64_t salt);
+  /// Recomputes delays_armed_ after a timing-fault state change.
+  void rearm_delays() noexcept;
+  /// Extra in-transit rounds for message m sent this round: the first
+  /// matching delay rule's hash-drawn lag, else the GST regime's, else 0.
+  [[nodiscard]] Round delay_for(const Message& m) const noexcept;
+  /// Moves m into the bucket injected at `due` (body bytes copied — the
+  /// send-time round arenas recycle too soon) and counts it as in transit.
+  void park_delayed(const Message& m, Round due);
   /// Recomputes fault_filters_armed_ after a fault-state change.
   void rearm_fault_filters() noexcept;
   /// True iff the armed fault filters (omission / partition / link cuts)
@@ -403,6 +416,40 @@ class Engine {
   std::int64_t takeovers_used_ = 0;
   bool in_pre_round_ = false;           // gates takeover to the pre phase
   std::vector<NodeId> reactivated_;     // takeover scratch (halted/sleeping victims)
+
+  // Timing-fault state: delay rules, the GST knob, and the due-round queue
+  // of in-flight delayed messages. Everything here stays empty/false until a
+  // timing fault is armed, and the delivery sweep consults only
+  // delays_armed_ — zero-delay executions take the exact pre-existing code
+  // path, bit for bit. Delayed messages are *moved*, never dropped: the
+  // bucket keyed by round D is injected into round D's delivery sweep (so
+  // its messages become readable at D + 1), each message's body copied into
+  // the bucket's own arena because the send-round arenas recycle too soon.
+  struct DelayRule {
+    NodeId src;        // kNoNode = every sender
+    NodeId dst;        // kNoNode = every receiver
+    Round min_delay;
+    Round max_delay;
+    std::uint64_t salt;  // seeds the per-message lag coins
+    bool active;
+  };
+  struct DelayedBatch {
+    std::vector<Message> msgs;
+    PayloadArena arena;
+  };
+  std::vector<DelayRule> delay_rules_;      // slot index = rule id
+  std::int64_t delay_rules_active_ = 0;
+  bool gst_armed_ = false;
+  Round gst_round_ = 0;                     // global stabilization time
+  Round gst_delta_ = 1;                     // post-GST delivery bound Δ
+  std::uint64_t gst_salt_ = 0;
+  bool delays_armed_ = false;               // rules/GST armed or queue nonempty
+  std::map<Round, DelayedBatch> pending_delayed_;  // due round -> bucket
+  std::int64_t pending_delayed_count_ = 0;  // messages across all buckets
+  // Bucket injected last round: its arena backs inbox views until the step
+  // that consumes them finishes, then the storage is recycled via the pool.
+  DelayedBatch draining_delayed_;
+  std::vector<DelayedBatch> delayed_pool_;
 
   // Nodes stepped each round (alive, not halted, not sleeping), ascending
   // id; compacted in place after each round.

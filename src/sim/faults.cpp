@@ -38,6 +38,17 @@ void FaultController::takeover(NodeId v, std::unique_ptr<Process> behavior) {
   engine_->do_takeover(v, std::move(behavior));
 }
 
+std::size_t FaultController::add_delay_rule(NodeId src, NodeId dst, Round min_delay,
+                                            Round max_delay, std::uint64_t salt) {
+  return engine_->do_add_delay_rule(src, dst, min_delay, max_delay, salt);
+}
+
+void FaultController::remove_delay_rule(std::size_t id) { engine_->do_remove_delay_rule(id); }
+
+void FaultController::set_gst(Round stabilization, Round delta, std::uint64_t salt) {
+  engine_->do_set_gst(stabilization, delta, salt);
+}
+
 // ---- FaultPlane ------------------------------------------------------------
 
 FaultPlane& FaultPlane::add(std::unique_ptr<FaultInjector> injector) {
@@ -126,6 +137,26 @@ void apply_due_crashes(const std::vector<CrashEvent>& events, std::size_t& next,
 void sort_by_round(std::vector<CrashEvent>& events) {
   std::stable_sort(events.begin(), events.end(),
                    [](const CrashEvent& a, const CrashEvent& b) { return a.round < b.round; });
+}
+
+/// Per-event lag-coin salt: a hash of the plan seed and the event's link and
+/// lag bounds — deliberately *not* its window or position in the plan, so
+/// ddmin dropping sibling events (or the shrinker narrowing this window)
+/// never reshuffles the lags of messages the event still covers.
+std::uint64_t delay_event_salt(std::uint64_t seed, const DelayEvent& ev) {
+  std::uint64_t h = mix64(seed ^ 0x44454c4159ULL);  // "DELAY"
+  h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ev.src)) << 32) ^
+            static_cast<std::uint32_t>(ev.dst));
+  h = mix64(h ^ (static_cast<std::uint64_t>(ev.max_delay) << 32) ^
+            static_cast<std::uint64_t>(ev.min_delay));
+  return h;
+}
+
+std::uint64_t gst_event_salt(std::uint64_t seed, const GstEvent& ev) {
+  std::uint64_t h = mix64(seed ^ 0x475354ULL);  // "GST"
+  h = mix64(h ^ (static_cast<std::uint64_t>(ev.delta) << 32) ^
+            static_cast<std::uint64_t>(ev.stabilization));
+  return h;
 }
 
 }  // namespace
@@ -221,6 +252,23 @@ FaultPlan& FaultPlan::takeover(NodeId node, Round round, std::string kind) {
   return *this;
 }
 
+FaultPlan& FaultPlan::delay(NodeId src, NodeId dst, Round from, Round until, Round min_delay,
+                            Round max_delay) {
+  LFT_ASSERT(min_delay >= 0 && min_delay <= max_delay);
+  delays.push_back(DelayEvent{from, until, src, dst, min_delay, max_delay});
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay_all(Round from, Round until, Round min_delay, Round max_delay) {
+  return delay(kNoNode, kNoNode, from, until, min_delay, max_delay);
+}
+
+FaultPlan& FaultPlan::gst(Round stabilization, Round delta) {
+  LFT_ASSERT(delta >= 1);
+  gsts.push_back(GstEvent{stabilization, delta});
+  return *this;
+}
+
 std::int64_t FaultPlan::faulty_nodes() const {
   std::vector<NodeId> nodes;
   for (const auto& ev : crashes) nodes.push_back(ev.node);
@@ -265,6 +313,15 @@ class PlanInjector final : public FaultInjector {
     for (std::size_t i = 0; i < plan_.takeovers.size(); ++i) {
       ops_.push_back(Op{plan_.takeovers[i].round, OpKind::kTakeover, i});
     }
+    for (std::size_t i = 0; i < plan_.delays.size(); ++i) {
+      const auto& ev = plan_.delays[i];
+      ops_.push_back(Op{ev.from, OpKind::kDelayOn, i});
+      if (ev.until != kRoundForever) ops_.push_back(Op{ev.until, OpKind::kDelayOff, i});
+    }
+    // The GST knob describes the whole execution; it arms at round 0.
+    for (std::size_t i = 0; i < plan_.gsts.size(); ++i) {
+      ops_.push_back(Op{0, OpKind::kGst, i});
+    }
     std::stable_sort(ops_.begin(), ops_.end(),
                      [](const Op& a, const Op& b) { return a.round < b.round; });
   }
@@ -280,7 +337,18 @@ class PlanInjector final : public FaultInjector {
   }
 
  private:
-  enum class OpKind { kOmitOn, kOmitOff, kLinkCut, kLinkHeal, kSplit, kHeal, kTakeover };
+  enum class OpKind {
+    kOmitOn,
+    kOmitOff,
+    kLinkCut,
+    kLinkHeal,
+    kSplit,
+    kHeal,
+    kTakeover,
+    kDelayOn,
+    kDelayOff,
+    kGst,
+  };
   struct Op {
     Round round;
     OpKind kind;
@@ -357,6 +425,22 @@ class PlanInjector final : public FaultInjector {
         control.takeover(ev.node, byz_(ev.node, ev.kind));
         return;
       }
+      case OpKind::kDelayOn: {
+        const auto& ev = plan_.delays[op.index];
+        delay_rule_ids_[op.index] = control.add_delay_rule(
+            ev.src, ev.dst, ev.min_delay, ev.max_delay, delay_event_salt(plan_.seed, ev));
+        return;
+      }
+      case OpKind::kDelayOff: {
+        const auto it = delay_rule_ids_.find(op.index);
+        if (it != delay_rule_ids_.end()) control.remove_delay_rule(it->second);
+        return;
+      }
+      case OpKind::kGst: {
+        const auto& ev = plan_.gsts[op.index];
+        control.set_gst(ev.stabilization, ev.delta, gst_event_salt(plan_.seed, ev));
+        return;
+      }
     }
   }
 
@@ -374,6 +458,7 @@ class PlanInjector final : public FaultInjector {
   std::map<NodeId, OmitCounts> omit_counts_;
   std::map<std::uint64_t, int> link_counts_;
   std::vector<std::size_t> active_partitions_;  // open specs, by start order
+  std::map<std::size_t, std::size_t> delay_rule_ids_;  // delay event -> engine rule id
 };
 
 }  // namespace

@@ -17,6 +17,12 @@
 //   * Byzantine takeover — the node's Process is swapped for an injected
 //     behavior and the node is marked Byzantine for the honest-communication
 //     accounting (Theorem 11's measure).
+//   * timing faults — delay rules and the GST knob: matched messages are
+//     held in transit and delivered whole at a later round (never lost), the
+//     per-message lag drawn from a deterministic content hash. `set_gst`
+//     expresses the DLS partially synchronous regime: before the global
+//     stabilization time the adversary may hold any message up to GST + Δ,
+//     after it every message arrives within Δ rounds.
 //
 // Injectors fire in two phases each round. `pre_round` runs before nodes are
 // stepped: state changes (omission flags, partitions, link cuts, takeovers)
@@ -110,6 +116,28 @@ class FaultController {
   /// round on. Charges the Byzantine budget.
   void takeover(NodeId v, std::unique_ptr<Process> behavior);
 
+  /// Installs a timing-fault rule: messages src -> dst (kNoNode = wildcard)
+  /// sent while the rule is active are delivered `min_delay..max_delay`
+  /// rounds later than normal, the exact lag drawn per message from a
+  /// deterministic hash seeded by `salt`. Lag 0 means normal next-round
+  /// delivery. Delayed messages are never lost in transit — they arrive
+  /// whole at their due round, or count as `lost_dead` if the receiver has
+  /// crashed or halted by then. Unbudgeted (network fault). Returns a rule
+  /// id for `remove_delay_rule`; earlier-installed rules match first.
+  std::size_t add_delay_rule(NodeId src, NodeId dst, Round min_delay, Round max_delay,
+                             std::uint64_t salt);
+  /// Retires a delay rule; messages already in transit keep their due round.
+  void remove_delay_rule(std::size_t id);
+
+  /// Arms the GST partial-synchrony knob: a message sent at round r gets a
+  /// hash-drawn lag of up to `stabilization - r - 1 + delta` rounds while
+  /// r < stabilization (so everything sent before GST is readable by round
+  /// stabilization + delta), and up to `delta - 1` rounds after (readable
+  /// within Δ = delta rounds of the send). delta must be >= 1; delta == 1
+  /// is fully synchronous delivery. Explicit delay rules take precedence on
+  /// the links they match. Unbudgeted.
+  void set_gst(Round stabilization, Round delta, std::uint64_t salt);
+
  private:
   friend class Engine;
   explicit FaultController(Engine& engine) : engine_(&engine) {}
@@ -184,6 +212,27 @@ struct ByzantineEvent {
   std::string kind;
 };
 
+/// Timing-fault window: messages src -> dst (kNoNode = every sender /
+/// receiver) sent during rounds [from, until) are delivered
+/// `min_delay..max_delay` rounds late, the exact lag drawn per message from
+/// a deterministic hash of the plan seed and the event's own content — so
+/// dropping sibling events (ddmin) never reshuffles this event's coins.
+struct DelayEvent {
+  Round from = 0;
+  Round until = kRoundForever;
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  Round min_delay = 1;
+  Round max_delay = 1;
+};
+
+/// GST switch, armed from round 0: adversarial (hash-drawn, bounded only by
+/// GST + delta) lags before round `stabilization`, lags < `delta` after.
+struct GstEvent {
+  Round stabilization = 0;
+  Round delta = 1;
+};
+
 /// Builds the Process installed by a planned Byzantine takeover.
 using BehaviorFactory =
     std::function<std::unique_ptr<Process>(NodeId node, const std::string& kind)>;
@@ -218,6 +267,8 @@ struct FaultPlan {
   std::vector<LinkEvent> links;
   std::vector<PartitionSpec> partitions;
   std::vector<ByzantineEvent> takeovers;
+  std::vector<DelayEvent> delays;  // appended after takeovers: the shrinker's
+  std::vector<GstEvent> gsts;      // flat event order depends on member order
 
   FaultPlan& with_seed(std::uint64_t s);
   /// Appends pre-built crash events (e.g. isolation_crash_schedule).
@@ -237,6 +288,16 @@ struct FaultPlan {
   FaultPlan& split_at(NodeId boundary, NodeId n, Round from, Round until);
   FaultPlan& split(std::vector<std::uint32_t> group_of, Round from, Round until);
   FaultPlan& takeover(NodeId node, Round round, std::string kind);
+  /// Delays messages src -> dst (kNoNode wildcards) sent during [from,
+  /// until) by a hash-drawn lag in [min_delay, max_delay].
+  FaultPlan& delay(NodeId src, NodeId dst, Round from, Round until, Round min_delay,
+                   Round max_delay);
+  /// Delays every message sent during [from, until).
+  FaultPlan& delay_all(Round from, Round until, Round min_delay, Round max_delay);
+  /// Arms the DLS partial-synchrony regime: adversarial lags before round
+  /// `stabilization` (everything sent pre-GST readable by stabilization +
+  /// delta), lags < delta after. delta >= 1; delta == 1 is synchronous.
+  FaultPlan& gst(Round stabilization, Round delta);
 
   /// Distinct faulty *nodes* the plan names (crash + omission + Byzantine
   /// victims; link/partition faults are network faults). Budget-sizing aid.

@@ -42,11 +42,16 @@ struct RoundDigest {
   std::uint64_t lost_crash = 0;  ///< dropped: sender crashed this round (keep-filter misses)
   std::uint64_t lost_fault = 0;  ///< dropped in transit: omission / partition / link
   std::uint64_t lost_dead = 0;   ///< dropped: receiver already crashed or halted
+  /// Messages that entered the due-round delay queue this round (timing
+  /// faults hold, never lose: each resolves to delivered or lost_dead at its
+  /// due round). Trace codec v2; absent (zero) in v1 traces.
+  std::uint64_t delayed = 0;
   std::uint32_t crashes = 0;     ///< crash actions applied this round
   std::uint32_t omissions = 0;   ///< omission flag changes (enable + disable)
   std::uint32_t links = 0;       ///< link cut / heal actions
   std::uint32_t partitions = 0;  ///< partition install / clear actions
   std::uint32_t takeovers = 0;   ///< Byzantine takeovers applied this round
+  std::uint32_t delays = 0;      ///< delay-rule installs/retires + GST arms (codec v2)
   std::uint64_t active_hash = 0;  ///< hash over the stepped active set
   /// Digest of the delivered batch's headers: a commutative (order-free)
   /// sum over per-message header words plus the delivered count — it

@@ -98,7 +98,8 @@ TEST(DocsScenarioCatalogue, MatchesLiveRegistryExactly) {
 
 TEST(DocsScenarioCatalogue, EveryFaultClassAppears) {
   const auto markdown = read_file(docs_path("scenarios.md"));
-  for (const char* kind : {"crash", "omission", "partition", "link", "byzantine", "mixed"}) {
+  for (const char* kind :
+       {"crash", "omission", "partition", "link", "byzantine", "delay", "gst", "mixed"}) {
     bool found = false;
     for (const auto& row : parse_catalogue(markdown)) found = found || row.fault == kind;
     EXPECT_TRUE(found) << "no catalogue row with fault class " << kind;
@@ -113,6 +114,17 @@ TEST(Docs, ArchitectureDocCoversTheContracts) {
         "fleet scheduling model", "pre_round", "on_round", "EngineScratch",
         "normal form", "forensics plane", "TraceSink", "RoundDigest",
         "forensics::shrink"}) {
+    EXPECT_NE(markdown.find(needle), std::string::npos)
+        << "docs/architecture.md lacks '" << needle << "'";
+  }
+}
+
+TEST(Docs, ArchitectureDocCoversTheTimingFaultPlane) {
+  const auto markdown = read_file(docs_path("architecture.md"));
+  for (const char* needle :
+       {"due-round delay queue", "FaultPlan::gst", "delay_all", "pure-hash",
+        "held, never lost", "delays_armed_", "coordinator_lag",
+        "RoundDigest::delayed"}) {
     EXPECT_NE(markdown.find(needle), std::string::npos)
         << "docs/architecture.md lacks '" << needle << "'";
   }
@@ -237,9 +249,9 @@ TEST(DocsForensics, NamesEveryDigestComponentOfTheLiveApi) {
   using forensics::Component;
   for (const Component c :
        {Component::kFaultActions, Component::kSent, Component::kLostCrash,
-        Component::kLostFault, Component::kLostDead, Component::kDelivered,
-        Component::kActiveSet, Component::kPayload, Component::kBodies,
-        Component::kRoundCount, Component::kFingerprint}) {
+        Component::kLostFault, Component::kLostDead, Component::kDelayed,
+        Component::kDelivered, Component::kActiveSet, Component::kPayload,
+        Component::kBodies, Component::kRoundCount, Component::kFingerprint}) {
     const std::string needle = std::string("`") + forensics::component_name(c) + "`";
     EXPECT_NE(markdown.find(needle), std::string::npos)
         << "docs/forensics.md lacks component " << needle;

@@ -19,6 +19,7 @@
 #include "core/gossip.hpp"
 #include "graph/overlay.hpp"
 #include "core/stages.hpp"
+#include "forensics/trace.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/adversary.hpp"
 #include "sim/faults.hpp"
@@ -641,6 +642,106 @@ TEST(FaultPlaneThreads, MixedPlanReportBitIdenticalAcrossThreadCounts) {
   const auto outcome = evaluate_consensus(serial, inputs);
   EXPECT_TRUE(outcome.agreement);
   EXPECT_TRUE(outcome.validity);
+}
+
+// ---- timing faults: message conservation + the zero-lag noop ---------------------------
+
+/// Traced n=300 workload under `plan` (large enough to engage the parallel
+/// stepper): every node fans out two messages per round for six rounds;
+/// every fifth node halts at round 3, so messages parked for it past that
+/// point must resolve as lost_dead, while everyone else stays up well past
+/// the longest lag so their parked messages resolve as delivered.
+forensics::Trace traced_delay_fanout(sim::FaultPlan plan, int threads,
+                                     sim::EngineScratch* scratch = nullptr) {
+  const NodeId n = 300;
+  forensics::TraceRecorder recorder;
+  sim::EngineConfig config;
+  config.threads = threads;
+  config.scratch = scratch;
+  config.trace = &recorder;
+  sim::Engine engine(n, config);
+  for (NodeId v = 0; v < n; ++v) {
+    engine.set_process(v, test::lambda_process([n](sim::Context& ctx, const sim::Inbox&) {
+                         const Round halt_at = ctx.self() % 5 == 0 ? 3 : 16;
+                         if (ctx.round() >= halt_at) {
+                           ctx.halt();
+                           return;
+                         }
+                         if (ctx.round() >= 6) return;
+                         for (int i = 0; i < 2; ++i) {
+                           const auto to =
+                               static_cast<NodeId>((ctx.self() * 7 + i * 3 + 1) % n);
+                           ctx.send(to, static_cast<std::uint32_t>(i),
+                                    static_cast<std::uint64_t>(ctx.round()));
+                         }
+                       }));
+  }
+  engine.add_fault_injector(sim::make_plan_injector(std::move(plan)));
+  const sim::Report report = engine.run();
+  forensics::Trace trace = recorder.take();
+  trace.report_fingerprint = scenarios::fingerprint(report);
+  return trace;
+}
+
+TEST(TimingFaults, DelayedMessagesConserveAcrossSteppersAndScratch) {
+  // Conservation: a delayed message is held, never lost — each parked
+  // message resolves to delivered or lost_dead at its due round, so over a
+  // whole trace the send total equals the fate total exactly (the `delayed`
+  // column nets out). This must hold identically at 1, 2, and 4 threads and
+  // under scratch adoption.
+  auto make_plan = [] {
+    sim::FaultPlan plan;
+    plan.delay_all(0, sim::kRoundForever, 1, 3);
+    return plan;
+  };
+  sim::EngineScratch scratch;
+  const forensics::Trace reference = traced_delay_fanout(make_plan(), 1);
+  const forensics::Trace runs[] = {
+      traced_delay_fanout(make_plan(), 2),
+      traced_delay_fanout(make_plan(), 4),
+      traced_delay_fanout(make_plan(), 1, &scratch),
+      traced_delay_fanout(make_plan(), 4, &scratch),  // recycled buffers
+  };
+  std::uint64_t sent = 0, fated = 0, parked = 0, dead = 0;
+  for (const auto& d : reference.rounds) {
+    sent += d.sent;
+    fated += d.delivered + d.lost_crash + d.lost_fault + d.lost_dead;
+    parked += d.delayed;
+    dead += d.lost_dead;
+  }
+  EXPECT_GT(sent, 0u);
+  EXPECT_GT(parked, 0u) << "the plan parked nothing — dead test";
+  EXPECT_GT(dead, 0u) << "no parked message outlived its receiver — weak test";
+  EXPECT_EQ(sent, fated);
+  for (const auto& run : runs) {
+    EXPECT_EQ(run.report_fingerprint, reference.report_fingerprint);
+    ASSERT_EQ(run.rounds.size(), reference.rounds.size());
+    for (std::size_t r = 0; r < run.rounds.size(); ++r) {
+      EXPECT_TRUE(run.rounds[r] == reference.rounds[r]) << "round " << r;
+    }
+  }
+}
+
+TEST(TimingFaults, ZeroLagRuleIsBitIdenticalToNoRule) {
+  // A [0, 0] delay rule arms the delay plane (disabling the synchronous
+  // fast path) but every coin comes up lag 0, so nothing is ever parked and
+  // the execution must match the unarmed run bit for bit — same fingerprint,
+  // same digests. The only permitted difference is the `delays` action
+  // counter recording the rule install.
+  sim::FaultPlan armed;
+  armed.delay_all(0, sim::kRoundForever, 0, 0);
+  const forensics::Trace with_rule = traced_delay_fanout(std::move(armed), 1);
+  const forensics::Trace without = traced_delay_fanout(sim::FaultPlan{}, 1);
+  EXPECT_EQ(with_rule.report_fingerprint, without.report_fingerprint);
+  ASSERT_EQ(with_rule.rounds.size(), without.rounds.size());
+  for (std::size_t r = 0; r < with_rule.rounds.size(); ++r) {
+    sim::RoundDigest a = with_rule.rounds[r];
+    sim::RoundDigest b = without.rounds[r];
+    EXPECT_EQ(a.delayed, 0u) << "round " << r << ": a zero-lag rule parked a message";
+    a.delays = 0;
+    b.delays = 0;
+    EXPECT_TRUE(a == b) << "round " << r;
+  }
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "core/gossip.hpp"
 #include "sim/adversary.hpp"
 #include "sim/engine.hpp"
+#include "sim/faults.hpp"
 #include "sim/single_port.hpp"
 #include "test_util.hpp"
 
@@ -187,6 +188,49 @@ TEST(MessagePlane, PayloadBytesSurviveDelivery) {
                          ctx.send((ctx.self() + 1) % n, 1, len, 1 + 8 * len, body);
                        }));
   }
+  const Report report = engine.run();
+  EXPECT_EQ(checked, static_cast<std::int64_t>(n) * rounds);
+  EXPECT_TRUE(report.completed);
+}
+
+TEST(MessagePlane, PayloadBytesSurviveDelayedDelivery) {
+  // Same pattern as above, but every message rides the due-round delay
+  // queue (lag 1..3): bodies are copied into the per-bucket arena at park
+  // time and must read back exactly at injection, including oversize bodies
+  // spanning arena chunks. Receivers stay up well past the longest lag, so
+  // every parked message must eventually deliver — none may vanish.
+  const NodeId n = 4;
+  const Round rounds = 6;
+  EngineConfig config;
+  Engine engine(n, config);
+  std::int64_t checked = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    engine.set_process(v, lambda_process([&checked, n, rounds](Context& ctx,
+                                                               const Inbox& inbox) {
+                         for (const auto& m : inbox) {
+                           const auto body = m.body();
+                           ASSERT_EQ(body.size(), m.value);
+                           const auto fill = static_cast<std::byte>(m.from * 16 + 1);
+                           for (const std::byte b : body) ASSERT_EQ(b, fill);
+                           ++checked;
+                         }
+                         if (ctx.round() >= rounds + 8) {
+                           ctx.halt();
+                           return;
+                         }
+                         if (ctx.round() >= rounds) return;
+                         const std::size_t len =
+                             ctx.round() % 2 == 0
+                                 ? 64u * static_cast<std::size_t>(ctx.self() + 1)
+                                 : PayloadArena::kChunkBytes + 7;
+                         const std::vector<std::byte> body(
+                             len, static_cast<std::byte>(ctx.self() * 16 + 1));
+                         ctx.send((ctx.self() + 1) % n, 1, len, 1 + 8 * len, body);
+                       }));
+  }
+  FaultPlan plan;
+  plan.delay_all(0, kRoundForever, 1, 3);
+  engine.add_fault_injector(make_plan_injector(std::move(plan)));
   const Report report = engine.run();
   EXPECT_EQ(checked, static_cast<std::int64_t>(n) * rounds);
   EXPECT_TRUE(report.completed);

@@ -1,21 +1,25 @@
 // The scenario registry is a contract shared by tests, benches, the CLI
 // runner, and CI: every named scenario must hold its stated invariant and be
 // a deterministic function of (seed, threads) — same seed gives bit-identical
-// Reports, including with the engine's parallel stepper.
+// Reports, including with the engine's parallel stepper. The timing-fault
+// catalogue additionally holds the stronger digest-stream bar: every
+// delay/GST scenario's full per-round RoundDigest sequence is bit-identical
+// at 1, 2, and 4 engine threads.
 #include <gtest/gtest.h>
 
 #include <set>
 #include <string>
 
+#include "forensics/replay.hpp"
 #include "scenarios/scenarios.hpp"
 #include "test_util.hpp"
 
 namespace lft::scenarios {
 namespace {
 
-TEST(ScenarioRegistry, AtLeastTwelveScenariosSpanningAllFaultClasses) {
+TEST(ScenarioRegistry, AtLeastFiftyScenariosSpanningAllFaultClasses) {
   const auto& all = all_scenarios();
-  EXPECT_GE(all.size(), 12u);
+  EXPECT_GE(all.size(), 50u);
   std::set<std::string> kinds;
   std::set<std::string> names;
   for (const auto& s : all) {
@@ -28,10 +32,13 @@ TEST(ScenarioRegistry, AtLeastTwelveScenariosSpanningAllFaultClasses) {
   EXPECT_TRUE(kinds.count("omission"));
   EXPECT_TRUE(kinds.count("partition"));
   EXPECT_TRUE(kinds.count("byzantine"));
+  EXPECT_TRUE(kinds.count("delay")) << "registry must cover timing faults";
+  EXPECT_TRUE(kinds.count("gst")) << "registry must cover GST partial synchrony";
 }
 
 TEST(ScenarioRegistry, FindByName) {
   EXPECT_NE(find_scenario("crash_burst_flood"), nullptr);
+  EXPECT_NE(find_scenario("gst_early_stabilize"), nullptr);
   EXPECT_EQ(find_scenario("no_such_scenario"), nullptr);
 }
 
@@ -62,6 +69,58 @@ INSTANTIATE_TEST_SUITE_P(All, ScenarioSweep,
                          [](const auto& info) {
                            return all_scenarios()[static_cast<std::size_t>(info.param)].name;
                          });
+
+// ---- timing-fault catalogue: digest-stream determinism ---------------------
+
+/// Whether a scenario belongs to the timing-fault catalogue (delay/GST fault
+/// class or the min-flood harness the catalogue is built on).
+bool is_timing_scenario(const Scenario& s) {
+  return s.fault_kind == "delay" || s.fault_kind == "gst" || s.protocol == "min_flood";
+}
+
+TEST(TimingFaults, DigestStreamBitIdenticalAtOneTwoAndFourThreads) {
+  // The fingerprint sweep above certifies the final Report; the timing
+  // catalogue also holds the per-round bar: the full RoundDigest stream —
+  // including the v2 `delayed` and `delays` fields — must be bit-identical
+  // across thread counts, because delayed injection participates in the
+  // deterministic delivery sort.
+  int covered = 0;
+  for (const auto& s : all_scenarios()) {
+    if (!is_timing_scenario(s)) continue;
+    ++covered;
+    const auto serial = forensics::record(s, /*seed=*/3, /*threads=*/1);
+    EXPECT_TRUE(serial.result.ok) << s.name << ": " << serial.result.detail;
+    for (const int threads : {2, 4}) {
+      const auto threaded = forensics::record(s, /*seed=*/3, threads);
+      const auto divergence = forensics::diff(serial.trace, threaded.trace);
+      EXPECT_FALSE(divergence.diverged)
+          << s.name << " at " << threads << " threads: " << divergence.detail;
+      EXPECT_EQ(threaded.trace.report_fingerprint, serial.trace.report_fingerprint)
+          << s.name;
+    }
+  }
+  // The catalogue this PR ships: 28 delay/GST/min-flood scenarios.
+  EXPECT_GE(covered, 28);
+}
+
+TEST(TimingFaults, DelayScenariosParkTrafficAndTheNoopParksNone) {
+  // Sanity on the digest semantics: a real delay rule parks messages
+  // (delayed > 0 somewhere), while the armed-but-zero-lag rule of
+  // delay_zero_noop must never park anything — its executions take the
+  // delay plane's code path but stay round-synchronous.
+  const auto parked_total = [](const std::string& name) {
+    const auto* s = find_scenario(name);
+    EXPECT_NE(s, nullptr) << name;
+    const auto run = forensics::record(*s, /*seed=*/1, /*threads=*/1);
+    EXPECT_TRUE(run.result.ok) << name << ": " << run.result.detail;
+    std::uint64_t parked = 0;
+    for (const auto& d : run.trace.rounds) parked += d.delayed;
+    return parked;
+  };
+  EXPECT_GT(parked_total("delay_fixed_pipe"), 0u);
+  EXPECT_GT(parked_total("gst_late_stabilize"), 0u);
+  EXPECT_EQ(parked_total("delay_zero_noop"), 0u);
+}
 
 }  // namespace
 }  // namespace lft::scenarios

@@ -443,6 +443,35 @@ TEST(SimdEngineIdentity, ByzantineTiersSteppersScratch) {
   });
 }
 
+TEST(SimdEngineIdentity, DelayedDeliveryTiersSteppersScratch) {
+  // Timing faults route messages through the due-round delay queue (park in
+  // the bucket arena, inject rounds later into the delivery sort) — a code
+  // path the other identity workloads never touch. Both a fixed-jitter plan
+  // and a GST plan must give the same fingerprint and digest stream on every
+  // tier, stepper, and scratch mode; the digests include the v2 `delayed`
+  // counter, so a tier- or thread-dependent parking decision cannot hide.
+  for (const char* name : {"delay_uniform_jitter", "gst_early_stabilize"}) {
+    const auto* scenario = scenarios::find_scenario(name);
+    ASSERT_NE(scenario, nullptr) << name;
+    check_identity(name, [scenario](const Combo& c) {
+      DigestLog log;
+      sim::EngineScratch scratch;
+      core::RunOptions options;
+      options.threads = c.threads;
+      options.scratch = c.scratch ? &scratch : nullptr;
+      options.trace = &log;
+      options.simd = c.tier;
+      const auto result =
+          scenario->run_at(/*seed=*/9, scenario->n, scenario->t, options);
+      EXPECT_TRUE(result.ok) << scenario->name << ": " << result.detail;
+      std::uint64_t parked = 0;
+      for (const auto& d : log.rounds) parked += d.delayed;
+      EXPECT_GT(parked, 0u) << scenario->name << " parked nothing — dead workload";
+      return Capture{scenarios::fingerprint(result.report), std::move(log.rounds)};
+    });
+  }
+}
+
 TEST(SimdEngineIdentity, TwoLevelScatterPathMatchesAcrossTiers) {
   // Large-domain large-batch delivery: n = 4096 and m = n * 64 = 262144 per
   // round clears both two-level gates (m >= 1<<18, domain = n << tag_bits =
