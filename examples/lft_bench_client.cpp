@@ -12,17 +12,23 @@
 //   lft_bench_client [--port=N] [--requests=N] [--clients=C] [--window=W]
 //                    [--open-loop=RATE] [--sockets] [--trace=PATH]
 //                    [--backend=auto|epoll|io_uring] [--pipeline=D]
-//                    [--json=PATH]
+//                    [--json=PATH] [--server-stats] [--stats-json=PATH]
 //
 // Without --port (or with --port=0) an in-process server is spawned and
 // shut down at the end; --sockets/--trace/--backend/--pipeline apply to
 // that spawned server. --json writes the run's metrics (req/s, p50/p95/p99
-// ack latency) in the BENCH_*.json artifact schema.
+// ack latency) in the BENCH_*.json artifact schema. --server-stats fetches
+// the server's telemetry snapshot over the wire (kStatsRequest) after the
+// audit and prints its request-latency histogram — the server-side view of
+// the same traffic, measured frame-arrival to ack-enqueue; --stats-json
+// writes that full snapshot as JSON (the BENCH_service_stats.json artifact
+// CI archives), and the --json row gains server_* latency fields.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <thread>
@@ -32,6 +38,7 @@
 #include "bench_json.hpp"
 #include "common/cli.hpp"
 #include "net/reactor.hpp"
+#include "obs/obs.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
 
@@ -167,12 +174,38 @@ double percentile(const std::vector<double>& sorted, double p) {
   return sorted[std::min(index, sorted.size() - 1)];
 }
 
+/// Prints the server's request-latency histogram from a fetched telemetry
+/// snapshot: every populated bucket plus the percentile summary, ns -> ms.
+void print_server_histogram(const lft::obs::Snapshot& snapshot) {
+  const auto* row = snapshot.find_histogram("lft_service_request_ns");
+  if (row == nullptr || row->data.count() == 0) {
+    std::printf("server stats: no lft_service_request_ns samples\n");
+    return;
+  }
+  const auto& h = row->data;
+  const auto ms = [](std::uint64_t ns) { return static_cast<double>(ns) / 1e6; };
+  std::printf("server request latency (frame arrival -> ack enqueue, %llu samples):\n",
+              static_cast<unsigned long long>(h.count()));
+  for (int b = 0; b < lft::obs::Histogram::kBuckets; ++b) {
+    const std::uint64_t n = h.bucket_count(b);
+    if (n == 0) continue;
+    std::printf("  [%10.4f ms, %10.4f ms)  %llu\n", ms(lft::obs::Histogram::bucket_lower(b)),
+                b == lft::obs::Histogram::kBuckets - 1
+                    ? ms(h.max())
+                    : ms(lft::obs::Histogram::bucket_upper(b)),
+                static_cast<unsigned long long>(n));
+  }
+  std::printf("  server p50=%.4f ms p90=%.4f ms p99=%.4f ms max=%.4f ms mean=%.4f ms\n",
+              ms(h.percentile(50.0)), ms(h.percentile(90.0)), ms(h.percentile(99.0)),
+              ms(h.max()), h.mean() / 1e6);
+}
+
 void print_usage() {
   std::printf(
       "usage: lft_bench_client [--port=N] [--requests=N] [--clients=C] [--window=W]\n"
       "                        [--open-loop=RATE] [--sockets] [--trace=PATH]\n"
       "                        [--backend=auto|epoll|io_uring] [--pipeline=D]\n"
-      "                        [--json=PATH]\n");
+      "                        [--json=PATH] [--server-stats] [--stats-json=PATH]\n");
 }
 
 }  // namespace
@@ -188,6 +221,8 @@ int main(int argc, char** argv) {
   std::string backend_name = "auto";
   int pipeline = 4;
   std::string json_path;
+  bool server_stats = false;
+  std::string stats_json_path;
   const bool parsed = lft::cli::ArgParser(argc, argv)
                           .on_int("--port", port, 0)
                           .on_i64("--requests", requests, 1)
@@ -199,6 +234,8 @@ int main(int argc, char** argv) {
                           .on_str("--backend", backend_name)
                           .on_int("--pipeline", pipeline, 1)
                           .on_str("--json", json_path)
+                          .on_flag("--server-stats", server_stats)
+                          .on_str("--stats-json", stats_json_path)
                           .parse();
   if (!parsed) {
     print_usage();
@@ -327,6 +364,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Fetch the server's own telemetry snapshot (kStatsRequest) while it is
+  // still up — its request-latency histogram is the server-side view of the
+  // run we just measured from the client side.
+  std::optional<lft::obs::Snapshot> server_snapshot;
+  if (server_stats || !stats_json_path.empty()) {
+    Client stats_client(target_port, /*client_id=*/0x0b5);
+    if (stats_client.connected()) server_snapshot = stats_client.server_stats();
+    if (!server_snapshot) {
+      ok = false;
+      std::fprintf(stderr, "server stats fetch FAILED\n");
+    }
+  }
+
   if (server.has_value()) {
     Client stopper(target_port, /*client_id=*/0x57c9);
     if (stopper.connected()) (void)stopper.shutdown_server();
@@ -343,6 +393,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total), clients,
               static_cast<long long>(open_loop ? 0 : window), wall_ms, rps, p50, p95, p99,
               ok ? "yes" : "NO");
+  if (server_stats && server_snapshot) print_server_histogram(*server_snapshot);
+  if (!stats_json_path.empty() && server_snapshot) {
+    std::ofstream out(stats_json_path, std::ios::trunc);
+    out << server_snapshot->to_json();
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", stats_json_path.c_str());
+      return 1;
+    }
+  }
 
   if (!json_path.empty()) {
     lft::bench::JsonRows rows;
@@ -365,6 +424,18 @@ int main(int argc, char** argv) {
     rows.field("p50_ms", p50);
     rows.field("p95_ms", p95);
     rows.field("p99_ms", p99);
+    if (server_snapshot != std::nullopt) {
+      // Server-side latency (frame arrival -> ack enqueue) from the fetched
+      // telemetry snapshot, for side-by-side comparison with the client view.
+      if (const auto* row = server_snapshot->find_histogram("lft_service_request_ns");
+          row != nullptr && row->data.count() > 0) {
+        rows.field("server_samples", static_cast<std::int64_t>(row->data.count()));
+        rows.field("server_p50_ms", static_cast<double>(row->data.percentile(50.0)) / 1e6);
+        rows.field("server_p95_ms", static_cast<double>(row->data.percentile(95.0)) / 1e6);
+        rows.field("server_p99_ms", static_cast<double>(row->data.percentile(99.0)) / 1e6);
+        rows.field("server_max_ms", static_cast<double>(row->data.max()) / 1e6);
+      }
+    }
     rows.field("ok", std::string(ok ? "yes" : "NO"));
     if (!rows.write_file(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());

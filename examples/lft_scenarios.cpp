@@ -2,8 +2,15 @@
 // scenarios from the registry in src/scenarios/.
 //
 //   lft_scenarios --list
-//   lft_scenarios --all [--seed=N] [--threads=N] [--verify-determinism] [--json=PATH]
+//   lft_scenarios --all [--seed=N] [--threads=N] [--verify-determinism]
+//                 [--telemetry] [--json=PATH]
 //   lft_scenarios --run=name[,name...] [...]
+//
+// --telemetry runs each scenario with an obs::Registry attached
+// (core::RunOptions::telemetry) and prints its engine round-time
+// percentiles (lft_engine_step_ns) plus per-round delivery stats —
+// strictly out-of-band: the Reports and fingerprints are bit-identical
+// with and without it.
 //
 // --verify-determinism re-runs every scenario with the same seed (serial and
 // with the parallel stepper) under trace recording and fails unless the
@@ -21,6 +28,7 @@
 #include "bench_json.hpp"
 #include "common/cli.hpp"
 #include "forensics/replay.hpp"
+#include "obs/obs.hpp"
 #include "scenarios/scenarios.hpp"
 
 namespace {
@@ -35,7 +43,8 @@ void print_usage() {
   std::printf(
       "usage: lft_scenarios --list\n"
       "       lft_scenarios (--all | --run=name[,name...])\n"
-      "                     [--seed=N] [--threads=N] [--verify-determinism] [--json=PATH]\n");
+      "                     [--seed=N] [--threads=N] [--verify-determinism]\n"
+      "                     [--telemetry] [--json=PATH]\n");
 }
 
 void list_scenarios() {
@@ -52,6 +61,7 @@ struct Options {
   bool list = false;
   bool all = false;
   bool verify_determinism = false;
+  bool telemetry = false;
   std::uint64_t seed = 1;
   int threads = 1;
   std::vector<std::string> names;
@@ -63,11 +73,37 @@ bool parse_args(int argc, char** argv, Options& opt) {
       .on_flag("--list", opt.list)
       .on_flag("--all", opt.all)
       .on_flag("--verify-determinism", opt.verify_determinism)
+      .on_flag("--telemetry", opt.telemetry)
       .on_u64("--seed", opt.seed)
       .on_int("--threads", opt.threads, 1)
       .on_str("--json", opt.json_path)
       .on_csv("--run", opt.names)
       .parse();
+}
+
+/// Round-time + delivery summary from one scenario's engine telemetry.
+void print_scenario_telemetry(const lft::obs::Snapshot& snapshot) {
+  const auto* step = snapshot.find_histogram("lft_engine_step_ns");
+  if (step == nullptr || step->data.count() == 0) {
+    std::printf("    telemetry: no engine rounds recorded\n");
+    return;
+  }
+  const auto us = [](std::uint64_t ns) { return static_cast<double>(ns) / 1e3; };
+  std::printf("    round time: p50=%.1fus p90=%.1fus p99=%.1fus max=%.1fus (%llu rounds)",
+              us(step->data.percentile(50.0)), us(step->data.percentile(90.0)),
+              us(step->data.percentile(99.0)), us(step->data.max()),
+              static_cast<unsigned long long>(step->data.count()));
+  if (const auto* delivered = snapshot.find_histogram("lft_engine_round_delivered");
+      delivered != nullptr && delivered->data.count() > 0) {
+    std::printf("  delivered/round: p50=%llu max=%llu",
+                static_cast<unsigned long long>(delivered->data.percentile(50.0)),
+                static_cast<unsigned long long>(delivered->data.max()));
+  }
+  if (const auto* lost = snapshot.find_counter("lft_engine_lost_total");
+      lost != nullptr && lost->value > 0) {
+    std::printf("  lost=%llu", static_cast<unsigned long long>(lost->value));
+  }
+  std::printf("\n");
 }
 
 }  // namespace
@@ -105,8 +141,12 @@ int main(int argc, char** argv) {
   std::printf("%-28s %-10s %8s %12s %6s %10s  %s\n", "name", "fault", "rounds", "messages",
               "ok", "wall_ms", "detail");
   for (const Scenario* s : selected) {
+    lft::obs::Registry registry;
+    lft::core::RunOptions run_options;
+    run_options.threads = opt.threads;
+    if (opt.telemetry) run_options.telemetry = &registry;
     const WallTimer timer;
-    ScenarioResult result = s->run(opt.seed, opt.threads);
+    ScenarioResult result = s->run_at(opt.seed, s->n, s->t, run_options);
     const double wall_ms = timer.ms();
     const std::uint64_t digest = lft::scenarios::fingerprint(result.report);
 
@@ -133,6 +173,7 @@ int main(int argc, char** argv) {
                 s->fault_kind.c_str(), static_cast<long long>(result.report.rounds),
                 static_cast<long long>(result.report.metrics.messages_total),
                 ok ? "yes" : "NO", wall_ms, result.detail.c_str());
+    if (opt.telemetry) print_scenario_telemetry(registry.snapshot());
 
     rows.begin_row();
     rows.field("scenario", s->name);

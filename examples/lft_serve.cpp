@@ -7,6 +7,7 @@
 //
 //   lft_serve [--port=N] [--n=N] [--t=N] [--sockets] [--no-shutdown]
 //             [--trace=PATH] [--backend=auto|epoll|io_uring] [--pipeline=D]
+//             [--stats-dump=PATH] [--stats-interval-ms=MS]
 //
 // --port=0 (default) picks a free port and prints it. --sockets runs each
 // replica on its own thread behind an AF_UNIX socketpair instead of inline.
@@ -16,6 +17,11 @@
 // --backend picks the readiness backend; auto (default) uses io_uring when
 // the kernel supports it and falls back to epoll. --pipeline sets the slot
 // pipeline depth D (how many consensus slots may be in flight at once).
+// --stats-dump=PATH periodically overwrites PATH with the live telemetry
+// snapshot (JSON rows for .json, Prometheus text exposition otherwise);
+// --stats-interval-ms sets the cadence. The same snapshot is served live
+// over the wire to any client sending kStatsRequest
+// (`lft_bench_client --server-stats` prints it).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -30,7 +36,8 @@ namespace {
 void print_usage() {
   std::printf(
       "usage: lft_serve [--port=N] [--n=N] [--t=N] [--sockets] [--no-shutdown]\n"
-      "                 [--trace=PATH] [--backend=auto|epoll|io_uring] [--pipeline=D]\n");
+      "                 [--trace=PATH] [--backend=auto|epoll|io_uring] [--pipeline=D]\n"
+      "                 [--stats-dump=PATH] [--stats-interval-ms=MS]\n");
 }
 
 }  // namespace
@@ -44,6 +51,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string backend_name = "auto";
   int pipeline = 4;
+  std::string stats_dump;
+  std::int64_t stats_interval_ms = 1000;
   const bool parsed = lft::cli::ArgParser(argc, argv)
                           .on_int("--port", port, 0)
                           .on_int("--n", n, 1)
@@ -53,6 +62,8 @@ int main(int argc, char** argv) {
                           .on_str("--trace", trace_path)
                           .on_str("--backend", backend_name)
                           .on_int("--pipeline", pipeline, 1)
+                          .on_str("--stats-dump", stats_dump)
+                          .on_i64("--stats-interval-ms", stats_interval_ms, 1)
                           .parse();
   if (!parsed) {
     print_usage();
@@ -79,6 +90,8 @@ int main(int argc, char** argv) {
   options.trace_path = trace_path;
   options.backend = backend;
   options.pipeline = pipeline;
+  options.stats_dump_path = stats_dump;
+  options.stats_dump_interval_ms = stats_interval_ms;
 
   lft::service::Server server(options);
   std::printf(
@@ -88,6 +101,10 @@ int main(int argc, char** argv) {
       sockets ? "socketpair threads" : "inline", server.backend(), pipeline);
   if (!trace_path.empty()) {
     std::printf("lft_serve: first commit slot will be traced to %s\n", trace_path.c_str());
+  }
+  if (!stats_dump.empty()) {
+    std::printf("lft_serve: telemetry snapshot every %lldms to %s\n",
+                static_cast<long long>(stats_interval_ms), stats_dump.c_str());
   }
   std::fflush(stdout);
 

@@ -20,6 +20,13 @@ Rows repeat per benchmark repetition; the report reduces them to p50/p95.
 The rows array is exactly what engine_hotpath --json emits, so recording a
 new point is: run the bench, wrap the rows, drop the file in bench/history/.
 
+Rows that additionally carry request-latency fields (p50_ms/p95_ms/p99_ms,
+as lft_bench_client --json emits — optionally with the server-side
+server_p50_ms/server_p99_ms fields from --server-stats) also render a
+"request latency" section: the latency trend per (benchmark, tier) series
+alongside the throughput trend. Latency is report-only, never a regression
+gate.
+
 Usage: bench_report.py [--history DIR] [--latest ROWS_JSON --label NAME]
            [--out PATH] [--check] [--tolerance 0.25]
 
@@ -72,6 +79,43 @@ def reduce_point(point):
     }
 
 
+def reduce_latency(point):
+    """{(bench, simd) -> {field -> median}} for rows carrying latency fields."""
+    samples = {}
+    fields = ("p50_ms", "p95_ms", "p99_ms", "server_p50_ms", "server_p99_ms")
+    for row in point.get("rows", []):
+        if row.get("p50_ms") is None:
+            continue
+        key = (row.get("bench", "?"), row.get("simd", "?"))
+        per_field = samples.setdefault(key, {})
+        for field in fields:
+            if row.get(field) is not None:
+                per_field.setdefault(field, []).append(row[field])
+    return {
+        key: {field: percentile(vals, 0.50) for field, vals in per_field.items()}
+        for key, per_field in samples.items()
+    }
+
+
+def render_latency(points, lines):
+    """Appends the request-latency trend section (report-only, no gating)."""
+    reduced = [reduce_latency(p) for p in points]
+    series = sorted({key for stats in reduced for key in stats})
+    if not series:
+        return
+    lines.append("## request latency (ms, report-only)")
+    lines.append(f"{'point':<24} {'bench':<24} {'p50':>8} {'p95':>8} {'p99':>8} "
+                 f"{'srv p50':>8} {'srv p99':>8}")
+    for point, stats in zip(points, reduced):
+        for (bench, _tier), s in sorted(stats.items()):
+            def cell(field):
+                return f"{s[field]:8.3f}" if field in s else f"{'-':>8}"
+            lines.append(f"{point['label']:<24} {bench:<24} {cell('p50_ms')} "
+                         f"{cell('p95_ms')} {cell('p99_ms')} "
+                         f"{cell('server_p50_ms')} {cell('server_p99_ms')}")
+    lines.append("")
+
+
 def fmt_mps(value):
     return f"{value / 1e6:8.2f}M"
 
@@ -112,6 +156,7 @@ def render(points, tolerance):
                 lines.append(f"{point['label']:<24} {tier:<8} {fmt_mps(s['p50'])} "
                              f"{fmt_mps(s['p95'])} {delta:>8}  {flag}")
         lines.append("")
+    render_latency(points, lines)
     return lines, flags
 
 

@@ -20,9 +20,17 @@ With --append-history DIR the row is wrapped into a bench/history/ point
 (NNNN-label.json, the schema scripts/bench_report.py renders) so service
 throughput joins the perf-history dashboard.
 
+With --server-stats BENCH_service_stats.json it additionally prints an
+advisory report from the server's own telemetry snapshot (the --stats-json
+artifact of lft_bench_client --server-stats): server-side request-latency
+p50/p99, pump-phase p99s, and the reactor batch profile. Report-only —
+server-side latency has no hard gate; the gates stay on the client-measured
+closed-loop numbers above.
+
 Usage: check_service_smoke.py BENCH_service.json
            [--baseline bench/service_baseline.json]
            [--expect-backend auto|epoll|io_uring]
+           [--server-stats BENCH_service_stats.json]
            [--append-history DIR --label NAME --commit HASH --machine DESC]
 """
 
@@ -108,6 +116,42 @@ def check_floor(row, baseline_path):
               "nothing gated")
 
 
+def report_server_stats(path):
+    """Advisory print of the server-side telemetry snapshot (never fails)."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            rows = json.load(f)
+    except (OSError, ValueError) as error:
+        print(f"server stats: unreadable ({error}) — advisory only, continuing")
+        return
+    by_name = {row.get("metric"): row for row in rows if isinstance(row, dict)}
+
+    def ms(metric, field):
+        row = by_name.get(metric)
+        if row is None or field not in row:
+            return None
+        return row[field] / 1e6
+
+    latency_p50 = ms("lft_service_request_ns", "p50")
+    latency_p99 = ms("lft_service_request_ns", "p99")
+    if latency_p50 is None:
+        print(f"server stats: no lft_service_request_ns row in {path}")
+        return
+    print(f"server stats (advisory): request latency p50={latency_p50:.3f}ms "
+          f"p99={latency_p99:.3f}ms "
+          f"({by_name['lft_service_request_ns'].get('count', '?')} samples)")
+    phases = ", ".join(
+        f"{phase}={ms(f'lft_service_pump_{phase}_ns', 'p99'):.3f}ms"
+        for phase in ("enqueue", "step", "retire", "flush")
+        if ms(f"lft_service_pump_{phase}_ns", "p99") is not None)
+    if phases:
+        print(f"server stats (advisory): pump phase p99 {phases}")
+    batch = by_name.get("lft_service_reactor_batch")
+    if batch is not None:
+        print(f"server stats (advisory): reactor batch p50={batch.get('p50', '?')} "
+              f"max={batch.get('max', '?')} over {batch.get('count', '?')} wakes")
+
+
 def append_history(row, directory, label, commit, machine):
     existing = [name for name in os.listdir(directory)
                 if name.endswith(".json") and name[:4].isdigit()]
@@ -134,6 +178,9 @@ def main() -> int:
     parser.add_argument("--expect-backend", default=None,
                         help="backend the run was configured for; a mismatch "
                              "logs a fallback notice")
+    parser.add_argument("--server-stats", default=None, metavar="STATS_JSON",
+                        help="server telemetry snapshot (--stats-json artifact) "
+                             "to report on; advisory only, never gates")
     parser.add_argument("--append-history", default=None, metavar="DIR",
                         help="wrap the row into a bench/history/ point")
     parser.add_argument("--label", default="service-smoke")
@@ -156,6 +203,9 @@ def main() -> int:
 
     if args.baseline:
         check_floor(row, args.baseline)
+
+    if args.server_stats:
+        report_server_stats(args.server_stats)
 
     if args.append_history:
         append_history(row, args.append_history, args.label, args.commit,

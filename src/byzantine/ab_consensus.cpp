@@ -385,6 +385,7 @@ AbOutcome run_ab_consensus_plan(const AbParams& params, std::span<const std::uin
   engine_config.scratch = options.scratch;
   engine_config.trace = options.trace;
   engine_config.simd = options.simd;
+  engine_config.telemetry = options.telemetry;
   sim::Engine engine(params.n, engine_config);
 
   for (NodeId v = 0; v < params.n; ++v) {

@@ -58,6 +58,7 @@ CheckpointOutcome run_checkpointing(const CheckpointParams& params,
   engine_config.scratch = options.scratch;
   engine_config.trace = options.trace;
   engine_config.simd = options.simd;
+  engine_config.telemetry = options.telemetry;
   sim::Engine engine(params.consensus.n, engine_config);
   for (NodeId v = 0; v < params.consensus.n; ++v) {
     engine.set_process(v, std::make_unique<CheckpointProcess>(gossip_cfg, vec_cfg, v));

@@ -161,6 +161,7 @@ sim::Report run_system(NodeId n, std::int64_t crash_budget, const ProcessFactory
   config.scratch = options.scratch;
   config.trace = options.trace;
   config.simd = options.simd;
+  config.telemetry = options.telemetry;
   sim::Engine engine(n, config);
   for (NodeId v = 0; v < n; ++v) engine.set_process(v, factory(v));
   if (adversary != nullptr) engine.add_fault_injector(std::move(adversary));

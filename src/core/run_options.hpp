@@ -12,6 +12,10 @@
 #include "common/simd.hpp"
 #include "common/types.hpp"
 
+namespace lft::obs {
+class Registry;
+}  // namespace lft::obs
+
 namespace lft::sim {
 struct EngineScratch;
 class TraceSink;
@@ -37,6 +41,11 @@ struct RunOptions {
   /// the LFT_SIMD environment override; explicit tiers are clamped to what
   /// the CPU can execute. Bit-identical Reports on every tier — speed only.
   simd::Tier simd = simd::Tier::kAuto;
+  /// Optional telemetry registry (forwarded to EngineConfig::telemetry):
+  /// when set, the engine records per-round `lft_engine_*` metrics into it,
+  /// strictly out-of-band. Like every other option, it never changes a
+  /// Report bit. Non-owning; nullptr records nothing.
+  obs::Registry* telemetry = nullptr;
 };
 
 }  // namespace lft::core

@@ -483,6 +483,7 @@ ScenarioResult run_fragile_coordinator(const FaultPlan& plan, std::uint64_t seed
   config.threads = options.threads;
   config.scratch = options.scratch;
   config.trace = options.trace;
+  config.telemetry = options.telemetry;
   sim::Engine engine(n, config);
   for (NodeId v = 0; v < n; ++v) {
     engine.set_process(v, std::make_unique<FragileCoordinator>(

@@ -202,6 +202,7 @@ ScenarioResult run_min_flood(std::uint64_t seed, NodeId n, std::int64_t t,
   config.scratch = options.scratch;
   config.trace = options.trace;
   config.simd = options.simd;
+  config.telemetry = options.telemetry;
   sim::Engine engine(n, config);
   for (NodeId v = 0; v < n; ++v) {
     engine.set_process(
@@ -1130,10 +1131,12 @@ std::vector<SweepOutcome> run_sweep(sim::FleetRunner& fleet, std::span<const Swe
     // fulfills its handle with a default Report) still leaves a slot whose
     // item is valid and whose ok stays false.
     (*slots)[i].item = item;
-    handles.push_back(fleet.submit([item, slots, i](sim::EngineScratch* scratch) {
+    handles.push_back(fleet.submit(sim::FleetJobObs([item, slots, i](
+                                       sim::EngineScratch* scratch, obs::Registry* telemetry) {
       const auto start = std::chrono::steady_clock::now();
       core::RunOptions options;
       options.scratch = scratch;
+      options.telemetry = telemetry;
       ScenarioResult result = item.scenario->run_at(item.seed, item.n, item.t, options);
       SweepOutcome& out = (*slots)[i];
       out.ok = result.ok;
@@ -1143,7 +1146,7 @@ std::vector<SweepOutcome> run_sweep(sim::FleetRunner& fleet, std::span<const Swe
                         std::chrono::steady_clock::now() - start)
                         .count();
       return std::move(result.report);
-    }));
+    })));
   }
   for (std::size_t i = 0; i < items.size(); ++i) {
     (*slots)[i].report = handles[i].take();

@@ -114,6 +114,18 @@ std::optional<Client::CommitEvent> Client::next_commit() {
   return e;
 }
 
+std::optional<obs::Snapshot> Client::server_stats() {
+  ByteWriter w(scratch_);
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kStatsRequest));
+  std::vector<std::byte> response;
+  if (!send_payload(w.view()) ||
+      !recv_expect(static_cast<std::uint8_t>(MsgType::kStatsReply), response)) {
+    return std::nullopt;
+  }
+  ByteReader reader(response);
+  return obs::Snapshot::decode(reader);
+}
+
 bool Client::shutdown_server() {
   ByteWriter w(scratch_);
   w.put_u8(static_cast<std::uint8_t>(MsgType::kShutdown));

@@ -14,6 +14,7 @@
 #include "common/codec.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "obs/obs.hpp"
 #include "service/state_machine.hpp"
 
 namespace lft::service {
@@ -73,6 +74,12 @@ class Client {
   /// Next committed entry (queued or read from the socket); nullopt on a
   /// dead connection.
   [[nodiscard]] std::optional<CommitEvent> next_commit();
+
+  /// kStatsRequest → kStatsReply: the server's live telemetry snapshot
+  /// (request-latency histograms, pump timings, counters — see
+  /// docs/observability.md). nullopt on a dead connection or a reply this
+  /// client's codec version cannot decode.
+  [[nodiscard]] std::optional<obs::Snapshot> server_stats();
 
   /// kShutdown → kBye; returns false if the server refused or vanished.
   [[nodiscard]] bool shutdown_server();

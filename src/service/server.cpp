@@ -3,6 +3,7 @@
 #include <sys/epoll.h>
 
 #include <cstring>
+#include <fstream>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -29,11 +30,25 @@ void put_commit(ByteWriter& w, std::uint64_t index, const Command& cmd) {
 
 }  // namespace
 
+Server::Instruments::Instruments(obs::Registry& registry)
+    : request_ns(registry.histogram("lft_service_request_ns")),
+      pump_enqueue_ns(registry.histogram("lft_service_pump_enqueue_ns")),
+      pump_step_ns(registry.histogram("lft_service_pump_step_ns")),
+      pump_retire_ns(registry.histogram("lft_service_pump_retire_ns")),
+      pump_flush_ns(registry.histogram("lft_service_pump_flush_ns")),
+      pipeline_depth(registry.histogram("lft_service_pipeline_depth")),
+      pause_ns(registry.histogram("lft_service_pause_ns")),
+      reactor_wait_ns(registry.histogram("lft_service_reactor_wait_ns")),
+      reactor_batch(registry.histogram("lft_service_reactor_batch")),
+      ring_high_water(registry.gauge("lft_service_ring_high_water")),
+      stats_requests(registry.counter("lft_service_stats_requests_total")) {}
+
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       group_(ReplicaGroupOptions{options_.n, options_.t, options_.use_sockets,
                                  options_.trace_path, options_.pipeline}),
-      reactor_(net::make_reactor(options_.backend)) {
+      reactor_(net::make_reactor(options_.backend)),
+      obs_(registry_) {
   port_ = options_.port;
   listener_ = net::listen_tcp(port_);
   net::set_nonblocking(listener_, true);
@@ -41,19 +56,42 @@ Server::Server(ServerOptions options)
 }
 
 void Server::run() {
+  const bool dumping = !options_.stats_dump_path.empty();
+  const auto interval_ns =
+      static_cast<std::uint64_t>(options_.stats_dump_interval_ms) * 1000000u;
+  std::uint64_t next_dump_ns = dumping ? obs::now_ns() + interval_ns : 0;
   while (!stop_) {
     // Block only when the pipeline is idle; while slots are in flight, poll
-    // so consensus rounds overlap network I/O.
+    // so consensus rounds overlap network I/O. A stats-dumping server never
+    // blocks forever — it wakes each interval to keep the dump current.
     const bool busy = group_.in_flight() > 0 || !pending_.empty();
-    (void)reactor_->wait(busy ? 0 : -1);
+    int timeout_ms = busy ? 0 : -1;
+    if (dumping && !busy) timeout_ms = static_cast<int>(options_.stats_dump_interval_ms);
+    const std::uint64_t wait_start = obs::now_ns();
+    const int dispatched = reactor_->wait(timeout_ms);
+    obs_.reactor_wait_ns.record(obs::now_ns() - wait_start);
+    obs_.reactor_batch.record(static_cast<std::uint64_t>(dispatched));
     pump();
+    if (dumping && obs::now_ns() >= next_dump_ns) {
+      write_stats_dump();
+      next_dump_ns = obs::now_ns() + interval_ns;
+    }
   }
   drain_shutdown();
+  if (dumping) write_stats_dump();
 }
 
 void Server::pump() {
+  std::uint64_t mark = obs::now_ns();
   while (!pending_.empty() && group_.can_enqueue()) enqueue_batch();
+  obs_.pipeline_depth.record(static_cast<std::uint64_t>(group_.in_flight()));
+  obs_.pump_enqueue_ns.record(obs::now_ns() - mark);
+
+  mark = obs::now_ns();
   if (group_.in_flight() > 0) group_.step();
+  obs_.pump_step_ns.record(obs::now_ns() - mark);
+
+  mark = obs::now_ns();
   while (group_.head_ready()) {
     retire_head();
     if (!pending_.empty() && group_.can_enqueue()) enqueue_batch();
@@ -61,7 +99,11 @@ void Server::pump() {
   if (pending_.size() < options_.max_pending) resume_paused();
   // Resumed sessions may have refilled the queue with pipeline room left.
   while (!pending_.empty() && group_.can_enqueue()) enqueue_batch();
+  obs_.pump_retire_ns.record(obs::now_ns() - mark);
+
+  mark = obs::now_ns();
   flush_dirty();
+  obs_.pump_flush_ns.record(obs::now_ns() - mark);
 }
 
 void Server::enqueue_batch() {
@@ -71,7 +113,7 @@ void Server::enqueue_batch() {
   std::vector<PendingMeta> metas;
   metas.reserve(pending_.size());
   for (Pending& p : pending_) {
-    metas.push_back(PendingMeta{p.fd, p.cmd.request_id});
+    metas.push_back(PendingMeta{p.fd, p.cmd.request_id, p.arrival_ns});
     commands.push_back(std::move(p.cmd));
   }
   pending_.clear();
@@ -89,9 +131,11 @@ void Server::retire_head() {
 
   // Acks to each proposer still connected — coalesced into its session ring,
   // so the whole batch reaches the kernel in one vectored write per session.
+  const std::uint64_t ack_ns = obs::now_ns();
   for (std::size_t i = 0; i < metas.size(); ++i) {
     const Applied& a = result.applied[i];
     if (a.duplicate) ++stats_.duplicates;
+    obs_.request_ns.record(ack_ns - metas[i].arrival_ns);
     const auto it = sessions_.find(metas[i].fd);
     if (it == sessions_.end()) continue;  // proposer left; the commit stands
     ByteWriter w(scratch_);
@@ -213,6 +257,7 @@ void Server::handle_frame(Session& session, std::span<const std::byte> payload) 
       }
       Pending p;
       p.fd = fd;
+      p.arrival_ns = obs::now_ns();
       p.cmd.client_id = session.client_id;
       p.cmd.request_id = *request_id;
       p.cmd.payload.assign(body->begin(), body->end());
@@ -239,6 +284,16 @@ void Server::handle_frame(Session& session, std::span<const std::byte> payload) 
       session.subscribed = true;
       session.next_commit_index = *from_index;
       push_commits(session);  // catch up on already-committed entries
+      return;
+    }
+    case MsgType::kStatsRequest: {
+      // Read-only and allowed before kHello: monitoring shouldn't need a
+      // client identity.
+      obs_.stats_requests.inc();
+      ByteWriter w(scratch_);
+      w.put_u8(static_cast<std::uint8_t>(MsgType::kStatsReply));
+      telemetry().encode(w);
+      queue_frame(fd, session, w.view());
       return;
     }
     case MsgType::kShutdown: {
@@ -272,8 +327,14 @@ void Server::push_commits(Session& session) {
 void Server::pause(int fd, Session& session) {
   if (session.paused) return;
   session.paused = true;
+  session.paused_at_ns = obs::now_ns();
   paused_.push_back(fd);
   ++stats_.session_pauses;
+}
+
+void Server::resume_session(Session& session) {
+  session.paused = false;
+  obs_.pause_ns.record(obs::now_ns() - session.paused_at_ns);
 }
 
 void Server::resume_paused() {
@@ -283,7 +344,7 @@ void Server::resume_paused() {
   for (const int fd : paused) {
     const auto it = sessions_.find(fd);
     if (it == sessions_.end()) continue;
-    it->second.paused = false;
+    resume_session(it->second);
     session_readable(fd);
     if (pending_.size() >= options_.max_pending) break;  // queue is full again
   }
@@ -295,6 +356,7 @@ void Server::queue_frame(int fd, Session& session, std::span<const std::byte> pa
   std::memcpy(hdr, &len, sizeof(len));  // little-endian hosts, like common/codec
   session.out.append(std::span<const std::byte>(hdr, sizeof(hdr)));
   session.out.append(payload);
+  obs_.ring_high_water.set_max(static_cast<std::int64_t>(session.out.size()));
   if (!session.dirty) {
     session.dirty = true;
     dirty_.push_back(fd);
@@ -354,7 +416,7 @@ void Server::drain_shutdown() {
       for (const int fd : paused) {
         const auto it = sessions_.find(fd);
         if (it == sessions_.end()) continue;
-        it->second.paused = false;
+        resume_session(it->second);
         (void)process_frames(fd, it->second);
       }
     }
@@ -378,6 +440,26 @@ void Server::drain_shutdown() {
 void Server::drop_session(int fd) {
   reactor_->remove(fd);
   sessions_.erase(fd);  // Fd RAII closes the socket
+}
+
+obs::Snapshot Server::telemetry() const {
+  obs::Snapshot snap = registry_.snapshot();
+  snap.counters.push_back({"lft_service_sessions_accepted_total", stats_.sessions_accepted});
+  snap.counters.push_back({"lft_service_proposals_total", stats_.proposals});
+  snap.counters.push_back({"lft_service_duplicates_total", stats_.duplicates});
+  snap.counters.push_back({"lft_service_commit_batches_total", stats_.commit_batches});
+  snap.counters.push_back({"lft_service_commit_entries_total", stats_.commit_entries});
+  snap.counters.push_back({"lft_service_session_pauses_total", stats_.session_pauses});
+  snap.gauges.push_back({"lft_service_sessions", static_cast<std::int64_t>(sessions_.size())});
+  return snap;
+}
+
+void Server::write_stats_dump() const {
+  const std::string& path = options_.stats_dump_path;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) return;  // dump is best-effort; serving goes on
+  const obs::Snapshot snap = telemetry();
+  out << (path.ends_with(".json") ? snap.to_json() : snap.to_prometheus());
 }
 
 }  // namespace lft::service

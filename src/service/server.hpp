@@ -23,6 +23,7 @@
 #include "net/reactor.hpp"
 #include "net/ring.hpp"
 #include "net/socket.hpp"
+#include "obs/obs.hpp"
 #include "service/replica.hpp"
 
 namespace lft::service {
@@ -46,6 +47,12 @@ struct ServerOptions {
   /// pipeline, proposing sessions are paused (their bytes stay in the
   /// kernel socket buffer) until the pipeline catches up.
   std::size_t max_pending = 16384;
+  /// When set, the server periodically writes its telemetry snapshot to
+  /// this path (overwritten in place): JSON rows for a `.json` path,
+  /// Prometheus text exposition otherwise. A final dump happens at
+  /// shutdown. An idle server wakes every interval to stay current.
+  std::string stats_dump_path;
+  std::int64_t stats_dump_interval_ms = 1000;
 };
 
 class Server {
@@ -75,6 +82,11 @@ class Server {
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  /// The telemetry registry's snapshot plus the Stats counters as
+  /// `lft_service_*_total` rows — what a kStatsReply frame carries and what
+  /// --stats-dump writes. See docs/observability.md for the catalogue.
+  [[nodiscard]] obs::Snapshot telemetry() const;
+
  private:
   struct Session {
     net::Fd fd;
@@ -87,9 +99,11 @@ class Server {
     bool paused = false;      ///< backpressure: input processing suspended
     bool dirty = false;       ///< queued output not yet offered to the kernel
     std::uint64_t next_commit_index = 0;  ///< subscription push cursor
+    std::uint64_t paused_at_ns = 0;       ///< backpressure pause start (telemetry)
   };
   struct Pending {
     int fd = -1;  ///< proposer's session (may have closed by commit time)
+    std::uint64_t arrival_ns = 0;  ///< frame-arrival stamp (request latency)
     Command cmd;
   };
   /// What retire_head() needs to ack a command — the payload itself moved
@@ -97,6 +111,7 @@ class Server {
   struct PendingMeta {
     int fd = -1;
     std::uint64_t request_id = 0;
+    std::uint64_t arrival_ns = 0;
   };
 
   void accept_ready();
@@ -119,6 +134,25 @@ class Server {
   void queue_error(int fd, Session& session, const std::string& message);
   void flush_session(int fd);
   void flush_dirty();
+  void resume_session(Session& session);
+  void write_stats_dump() const;
+
+  /// Hot-path instrument handles, resolved once at construction so no
+  /// record ever looks a metric up by name.
+  struct Instruments {
+    explicit Instruments(obs::Registry& registry);
+    obs::Histogram& request_ns;       ///< kPropose arrival -> ack enqueue
+    obs::Histogram& pump_enqueue_ns;  ///< pump phase timings
+    obs::Histogram& pump_step_ns;
+    obs::Histogram& pump_retire_ns;
+    obs::Histogram& pump_flush_ns;
+    obs::Histogram& pipeline_depth;   ///< slots in flight, sampled per pump
+    obs::Histogram& pause_ns;         ///< backpressure pause durations
+    obs::Histogram& reactor_wait_ns;  ///< time inside Reactor::wait
+    obs::Histogram& reactor_batch;    ///< callbacks dispatched per wait
+    obs::Gauge& ring_high_water;      ///< max queued output bytes, any session
+    obs::Counter& stats_requests;     ///< kStatsRequest frames served
+  };
 
   ServerOptions options_;
   ReplicaGroup group_;
@@ -132,6 +166,8 @@ class Server {
   std::vector<int> dirty_;   // sessions with queued output to flush
   std::vector<std::byte> scratch_;  ///< reused frame encode buffer
   Stats stats_;
+  obs::Registry registry_;  ///< single-writer: the reactor thread
+  Instruments obs_;         ///< references into registry_ (declared after it)
   bool stop_ = false;
 };
 

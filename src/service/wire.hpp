@@ -11,6 +11,7 @@
 //   kSubscribe [from_index]     kCommit [index][client_id][request_id]
 //                                       [len][payload]   (one per entry)
 //   kShutdown                   kBye
+//   kStatsRequest               kStatsReply [obs::Snapshot binary codec]
 //                               kError [len][message]
 #pragma once
 
@@ -30,6 +31,8 @@ enum class MsgType : std::uint8_t {
   kShutdown = 9,
   kBye = 10,
   kError = 11,
+  kStatsRequest = 12,
+  kStatsReply = 13,
 };
 
 }  // namespace lft::service

@@ -9,6 +9,7 @@
 
 #include "common/assert.hpp"
 #include "common/hugepage.hpp"
+#include "obs/obs.hpp"
 
 namespace lft::sim {
 
@@ -34,6 +35,38 @@ constexpr std::uint64_t kMaxFusedDomain = 1u << 22;
 // stable permutation.
 constexpr std::size_t kTwoLevelMinM = std::size_t{1} << 18;
 }  // namespace
+
+// ---- Telemetry -------------------------------------------------------------
+
+/// The engine's metric catalogue (docs/observability.md), resolved once at
+/// construction. Recording reads engine state and the clock; it never feeds
+/// a value back into the execution.
+struct Engine::Telemetry {
+  explicit Telemetry(obs::Registry& registry)
+      : rounds(registry.counter("lft_engine_rounds_total")),
+        sent_total(registry.counter("lft_engine_sent_total")),
+        delivered_total(registry.counter("lft_engine_delivered_total")),
+        delayed_total(registry.counter("lft_engine_delayed_total")),
+        lost_total(registry.counter("lft_engine_lost_total")),
+        round_delivered(registry.histogram("lft_engine_round_delivered")),
+        round_delayed(registry.histogram("lft_engine_round_delayed")),
+        round_lost(registry.histogram("lft_engine_round_lost")),
+        round_active(registry.histogram("lft_engine_round_active")),
+        step_ns(registry.histogram("lft_engine_step_ns")),
+        arena_bytes(registry.gauge("lft_engine_arena_bytes")) {}
+
+  obs::Counter& rounds;
+  obs::Counter& sent_total;
+  obs::Counter& delivered_total;
+  obs::Counter& delayed_total;
+  obs::Counter& lost_total;
+  obs::Histogram& round_delivered;
+  obs::Histogram& round_delayed;
+  obs::Histogram& round_lost;
+  obs::Histogram& round_active;
+  obs::Histogram& step_ns;
+  obs::Gauge& arena_bytes;
+};
 
 // ---- Inbox -----------------------------------------------------------------
 
@@ -239,6 +272,9 @@ Engine::Engine(NodeId n, EngineConfig config)
       crash_filter_(static_cast<std::size_t>(n), kNotCrashedThisRound) {
   LFT_ASSERT(n > 0);
   tier_ = simd::resolve_tier(config_.simd);
+  if (config_.telemetry != nullptr) {
+    tele_ = std::make_unique<Telemetry>(*config_.telemetry);
+  }
   active_.reserve(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) active_.push_back(v);
   const int workers = std::clamp(config_.threads, 1, 64);
@@ -564,6 +600,7 @@ void Engine::park_delayed(const Message& m, Round due) {
   if (m.body_len != 0) copy.set_body(bucket.arena.store(m.body()));
   bucket.msgs.push_back(copy);
   ++pending_delayed_count_;
+  ++total_delayed_;  // lifetime count, read (never branched on) by telemetry
   delays_armed_ = true;  // a nonempty queue keeps the delay plane engaged
 }
 
@@ -1155,7 +1192,12 @@ Report Engine::run() {
     // 1. Step every active node in id order (serially or sharded across the
     //    worker pool — bit-identical either way), filling outbox_ with the
     //    round's sends in ascending sender order.
+    const std::uint64_t step_start = tele_ != nullptr ? obs::now_ns() : 0;
     step_active();
+    if (tele_ != nullptr) {
+      tele_->step_ns.record(obs::now_ns() - step_start);
+      tele_->round_active.record(active_.size());
+    }
 
     // 2. Fault plane, post-step phase: the adaptive adversary inspects this
     //    round's pending sends and node states (crashes classically land
@@ -1163,7 +1205,32 @@ Report Engine::run() {
     if (!fault_plane_.empty()) run_fault_phase(/*pre_round=*/false);
 
     // 3. Filter, account, and sort this round's batch for delivery.
+    //    Telemetry brackets the batch with message conservation: everything
+    //    entering the round (in-flight delayed + fresh sends) leaves it as
+    //    delivered, still-delayed, or lost (crash/fault/dead).
+    const std::int64_t tele_pending_before = pending_delayed_count_;
+    const std::uint64_t tele_delayed_before = total_delayed_;
+    const std::uint64_t tele_sent = tele_ != nullptr ? outbox_.size() : 0;
     deliver_batch();
+    if (tele_ != nullptr) {
+      const auto delivered = static_cast<std::uint64_t>(inbox_.size());
+      const std::uint64_t newly_delayed = total_delayed_ - tele_delayed_before;
+      const std::int64_t lost = tele_pending_before + static_cast<std::int64_t>(tele_sent) -
+                                static_cast<std::int64_t>(delivered) - pending_delayed_count_;
+      tele_->rounds.inc();
+      tele_->sent_total.add(tele_sent);
+      tele_->delivered_total.add(delivered);
+      tele_->delayed_total.add(newly_delayed);
+      tele_->lost_total.add(static_cast<std::uint64_t>(std::max<std::int64_t>(lost, 0)));
+      tele_->round_delivered.record(delivered);
+      tele_->round_delayed.record(newly_delayed);
+      tele_->round_lost.record(static_cast<std::uint64_t>(std::max<std::int64_t>(lost, 0)));
+      std::size_t arena_bytes = 0;
+      for (const auto& sink : sinks_) {
+        arena_bytes += sink.arena[0].bytes_stored() + sink.arena[1].bytes_stored();
+      }
+      tele_->arena_bytes.set_max(static_cast<std::int64_t>(arena_bytes));
+    }
 
     // 3b. Emit this round's trace digest (inbox_ now holds the delivered
     //     batch in normal form; active_ is still the set that was stepped).

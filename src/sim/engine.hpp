@@ -44,6 +44,10 @@
 #include "sim/payload.hpp"
 #include "sim/trace.hpp"
 
+namespace lft::obs {
+class Registry;
+}  // namespace lft::obs
+
 namespace lft::sim {
 
 class Engine;
@@ -309,6 +313,14 @@ struct EngineConfig {
   /// machine can execute. Every tier produces bit-identical Reports and
   /// RoundDigests (see common/simd.hpp) — this knob trades speed only.
   simd::Tier simd = simd::Tier::kAuto;
+  /// Optional telemetry registry (obs/obs.hpp): when set, the engine records
+  /// per-round delivered/delayed/lost message counts, active-set size, step
+  /// wall time, and arena bytes as `lft_engine_*` metrics. Strictly
+  /// out-of-band — telemetry reads engine state and the clock but never
+  /// feeds anything back, so Reports and RoundDigests are bit-identical
+  /// with telemetry on or off (asserted in the determinism suites).
+  /// Non-owning; single-writer (the thread calling run()).
+  obs::Registry* telemetry = nullptr;
 };
 
 /// One execution: n nodes driven in lock-step rounds under the fault plane.
@@ -446,6 +458,7 @@ class Engine {
   bool delays_armed_ = false;               // rules/GST armed or queue nonempty
   std::map<Round, DelayedBatch> pending_delayed_;  // due round -> bucket
   std::int64_t pending_delayed_count_ = 0;  // messages across all buckets
+  std::uint64_t total_delayed_ = 0;  // lifetime park_delayed count (telemetry)
   // Bucket injected last round: its arena backs inbox views until the step
   // that consumes them finishes, then the storage is recycled via the pool.
   DelayedBatch draining_delayed_;
@@ -542,6 +555,12 @@ class Engine {
   RoundDigest digest_;
 
   Metrics metrics_;
+
+  // Telemetry instrument handles (engine.cpp), resolved once from
+  // config_.telemetry at construction; nullptr when telemetry is off. All
+  // recording is out-of-band: it never changes a Report or digest bit.
+  struct Telemetry;
+  std::unique_ptr<Telemetry> tele_;
 };
 
 inline NodeId Context::num_nodes() const noexcept { return engine_->n_; }

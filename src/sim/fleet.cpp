@@ -45,16 +45,19 @@ Report FleetRunner::Handle::take() {
 // ---- FleetRunner -----------------------------------------------------------
 
 struct FleetRunner::Task {
-  FleetJob job;
+  FleetJobObs job;
   std::shared_ptr<Handle::State> state;
 };
 
-/// One execution slot: its run queue (guarded by the runner's mutex) and the
-/// scratch its instances recycle (touched only by the thread running the
-/// slot's current instance, outside the lock).
+/// One execution slot: its run queue (guarded by the runner's mutex), the
+/// scratch its instances recycle, and the metric registry its instances
+/// record into (both touched only by the thread running the slot's current
+/// instance, outside the lock; the registry is read by telemetry() once the
+/// fleet has drained).
 struct FleetRunner::Worker {
   std::deque<Task> queue;
   EngineScratch scratch;
+  obs::Registry registry;
   int node = 0;  // NUMA node this slot is pinned to (0 in flat mode)
 };
 
@@ -111,6 +114,12 @@ FleetRunner::~FleetRunner() {
 
 FleetRunner::Handle FleetRunner::submit(FleetJob job) {
   LFT_ASSERT(job != nullptr);
+  return submit(FleetJobObs(
+      [job = std::move(job)](EngineScratch* scratch, obs::Registry*) { return job(scratch); }));
+}
+
+FleetRunner::Handle FleetRunner::submit(FleetJobObs job) {
+  LFT_ASSERT(job != nullptr);
   Handle handle;
   handle.state_ = std::make_shared<Handle::State>();
   {
@@ -165,6 +174,15 @@ std::int64_t FleetRunner::scratch_recycles() const {
   return scratch_recycles_;
 }
 
+obs::Snapshot FleetRunner::telemetry() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LFT_ASSERT_MSG(completed_ == submitted_,
+                 "telemetry() while instances are running — call wait_all() first");
+  obs::Snapshot merged;
+  for (const auto& worker : workers_) merged.merge_from(worker->registry.snapshot());
+  return merged;
+}
+
 bool FleetRunner::pop_task(std::size_t slot, Task& out) {
   auto& own = workers_[slot]->queue;
   if (!own.empty()) {
@@ -207,6 +225,7 @@ bool FleetRunner::pop_task(std::size_t slot, Task& out) {
 void FleetRunner::worker_loop(std::size_t slot) {
   if (numa_nodes_ > 1) pin_to_node(workers_[slot]->node);
   EngineScratch* scratch = config_.reuse_scratch ? &workers_[slot]->scratch : nullptr;
+  obs::Registry* registry = config_.telemetry ? &workers_[slot]->registry : nullptr;
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     Task task;
@@ -214,7 +233,7 @@ void FleetRunner::worker_loop(std::size_t slot) {
       lock.unlock();
       Report report;
       try {
-        report = task.job(scratch);
+        report = task.job(scratch, registry);
       } catch (...) {
         // A throwing job yields a default Report (completed == false); the
         // pool and every other instance keep running, and the handle is

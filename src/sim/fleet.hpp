@@ -45,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/engine.hpp"
 
 namespace lft::sim {
@@ -58,6 +59,11 @@ struct FleetConfig {
   /// (pass the slot's scratch to each job). Purely a capacity cache;
   /// disable to give every instance cold buffers.
   bool reuse_scratch = true;
+  /// Hand each telemetry-aware job (the two-argument submit overload) its
+  /// slot's obs::Registry; FleetRunner::telemetry() merges the per-slot
+  /// registries after the fleet drains. Off (nullptr handed out) by
+  /// default — telemetry never changes a Report bit either way.
+  bool telemetry = false;
 };
 
 /// One queued execution. The job builds, runs, and evaluates a complete
@@ -69,6 +75,12 @@ struct FleetConfig {
 /// that throws yields a default Report (completed == false) through its
 /// handle; the pool keeps running.
 using FleetJob = std::function<Report(EngineScratch* scratch)>;
+
+/// Telemetry-aware job: additionally receives the executing slot's metric
+/// registry (single-writer: only the instance currently running on that
+/// slot records into it), or nullptr when FleetConfig::telemetry is off.
+/// Hand it to core::RunOptions::telemetry / EngineConfig::telemetry.
+using FleetJobObs = std::function<Report(EngineScratch* scratch, obs::Registry* telemetry)>;
 
 /// Runs queued instances over a shared worker pool (see file comment).
 /// Thread-safe: submit/wait may be called from any thread. The destructor
@@ -104,8 +116,16 @@ class FleetRunner {
 
   /// Enqueues one instance; it starts as soon as a worker frees up.
   Handle submit(FleetJob job);
+  /// Telemetry-aware overload (see FleetJobObs).
+  Handle submit(FleetJobObs job);
   /// Blocks until every instance submitted so far has completed.
   void wait_all();
+
+  /// Merge of every slot's metric registry (counter add, gauge max,
+  /// histogram merge) — per-instance engine telemetry aggregated across the
+  /// whole fleet. Call after wait_all(): slots record outside the runner
+  /// lock while instances run. Empty when FleetConfig::telemetry is off.
+  [[nodiscard]] obs::Snapshot telemetry() const;
 
   /// Actual worker count (config clamped).
   [[nodiscard]] int threads() const noexcept;

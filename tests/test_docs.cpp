@@ -190,6 +190,8 @@ const char* msg_type_name(service::MsgType type) {
     case MsgType::kShutdown: return "kShutdown";
     case MsgType::kBye: return "kBye";
     case MsgType::kError: return "kError";
+    case MsgType::kStatsRequest: return "kStatsRequest";
+    case MsgType::kStatsReply: return "kStatsReply";
   }
   return nullptr;
 }
@@ -200,7 +202,8 @@ TEST(DocsService, NamesEveryWireMessageType) {
   for (const MsgType type :
        {MsgType::kHello, MsgType::kWelcome, MsgType::kPropose, MsgType::kAck,
         MsgType::kRead, MsgType::kState, MsgType::kSubscribe, MsgType::kCommit,
-        MsgType::kShutdown, MsgType::kBye, MsgType::kError}) {
+        MsgType::kShutdown, MsgType::kBye, MsgType::kError, MsgType::kStatsRequest,
+        MsgType::kStatsReply}) {
     const std::string needle = std::string("`") + msg_type_name(type) + "`";
     EXPECT_NE(markdown.find(needle), std::string::npos)
         << "docs/service.md lacks wire message " << needle;
@@ -238,6 +241,34 @@ TEST(Docs, ArchitectureDocCoversTheServiceSeams) {
        {"slot pipeline", "reactor seam", "net::Reactor", "EpollLoop",
         "IoUringReactor", "LFT_IOURING", "ByteRing", "FrameParser", "writev"}) {
     EXPECT_NE(markdown.find(needle), std::string::npos)
+        << "docs/architecture.md lacks '" << needle << "'";
+  }
+}
+
+TEST(DocsObservability, CoversTheTelemetryPlane) {
+  const auto markdown = read_file(docs_path("observability.md"));
+  for (const char* needle :
+       {"obs::Registry", "Counter", "Gauge", "Histogram", "log-linear",
+        "single-writer", "merge", "Snapshot", "Prometheus", "`kStatsRequest`",
+        "`kStatsReply`", "--stats-dump", "--server-stats", "--telemetry",
+        "lft_service_request_ns", "lft_engine_step_ns", "lft_engine_lost_total",
+        "bit-identical", "FleetRunner::telemetry", "EngineConfig::telemetry",
+        "RunOptions::telemetry", "never changes a Report bit"}) {
+    EXPECT_NE(markdown.find(needle), std::string::npos)
+        << "docs/observability.md lacks '" << needle << "'";
+  }
+}
+
+TEST(DocsObservability, ReadmeAndArchitectureLinkTheTelemetryPlane) {
+  const auto readme = read_file(std::string(LFT_SOURCE_DIR) + "/README.md");
+  EXPECT_NE(readme.find("docs/observability.md"), std::string::npos)
+      << "README must link the observability plane";
+  EXPECT_NE(readme.find("--server-stats"), std::string::npos)
+      << "README must document the live stats fetch";
+  const auto architecture = read_file(docs_path("architecture.md"));
+  for (const char* needle :
+       {"telemetry plane", "obs::Registry", "kStatsRequest", "out-of-band"}) {
+    EXPECT_NE(architecture.find(needle), std::string::npos)
         << "docs/architecture.md lacks '" << needle << "'";
   }
 }

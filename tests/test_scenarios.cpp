@@ -7,10 +7,14 @@
 // at 1, 2, and 4 engine threads.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "forensics/replay.hpp"
+#include "forensics/trace.hpp"
+#include "obs/obs.hpp"
 #include "scenarios/scenarios.hpp"
 #include "test_util.hpp"
 
@@ -120,6 +124,116 @@ TEST(TimingFaults, DelayScenariosParkTrafficAndTheNoopParksNone) {
   EXPECT_GT(parked_total("delay_fixed_pipe"), 0u);
   EXPECT_GT(parked_total("gst_late_stabilize"), 0u);
   EXPECT_EQ(parked_total("delay_zero_noop"), 0u);
+}
+
+// ---- telemetry plane: strictly out-of-band ---------------------------------
+
+/// Records one execution with a trace sink and (optionally) a telemetry
+/// registry attached, returning the full digest stream + fingerprint.
+forensics::RecordedRun record_with_telemetry(const Scenario& s, std::uint64_t seed,
+                                             int threads, obs::Registry* registry) {
+  forensics::TraceRecorder recorder;
+  core::RunOptions options;
+  options.threads = threads;
+  options.trace = &recorder;
+  options.telemetry = registry;
+  forensics::RecordedRun run;
+  run.result = s.run_at(seed, s.n, s.t, options);
+  run.trace = recorder.take();
+  run.trace.report_fingerprint = fingerprint(run.result.report);
+  return run;
+}
+
+TEST(Telemetry, AttachingARegistryNeverChangesAReportBit) {
+  // The observability contract: EngineConfig::telemetry is strictly
+  // out-of-band. For one scenario per protocol (covering every runner that
+  // plumbs RunOptions::telemetry into the engine), the full RoundDigest
+  // stream and Report fingerprint must be bit-identical with telemetry off,
+  // on, and on-with-parallel-stepper — while the registry itself proves the
+  // instrumentation actually ran.
+  std::set<std::string> protocols_seen;
+  for (const auto& s : all_scenarios()) {
+    if (!protocols_seen.insert(s.protocol).second) continue;  // first per protocol
+    const auto baseline = record_with_telemetry(s, /*seed=*/5, /*threads=*/1, nullptr);
+    EXPECT_TRUE(baseline.result.ok) << s.name << ": " << baseline.result.detail;
+
+    obs::Registry serial_registry;
+    const auto with_tele =
+        record_with_telemetry(s, /*seed=*/5, /*threads=*/1, &serial_registry);
+    const auto divergence = forensics::diff(baseline.trace, with_tele.trace);
+    EXPECT_FALSE(divergence.diverged)
+        << s.name << " diverged with telemetry on: " << divergence.detail;
+    EXPECT_EQ(with_tele.trace.report_fingerprint, baseline.trace.report_fingerprint)
+        << s.name;
+
+    // The registry really recorded: one step_ns sample per executed round,
+    // and the rounds counter matches the Report exactly.
+    const auto snapshot = serial_registry.snapshot();
+    const auto* rounds = snapshot.find_counter("lft_engine_rounds_total");
+    ASSERT_NE(rounds, nullptr) << s.name;
+    EXPECT_EQ(rounds->value,
+              static_cast<std::uint64_t>(baseline.result.report.rounds))
+        << s.name;
+    const auto* step = snapshot.find_histogram("lft_engine_step_ns");
+    ASSERT_NE(step, nullptr) << s.name;
+    EXPECT_EQ(step->data.count(), rounds->value) << s.name;
+
+    obs::Registry parallel_registry;
+    const auto parallel =
+        record_with_telemetry(s, /*seed=*/5, /*threads=*/4, &parallel_registry);
+    const auto parallel_divergence = forensics::diff(baseline.trace, parallel.trace);
+    EXPECT_FALSE(parallel_divergence.diverged)
+        << s.name << " diverged with telemetry + parallel stepper: "
+        << parallel_divergence.detail;
+    EXPECT_EQ(parallel.trace.report_fingerprint, baseline.trace.report_fingerprint)
+        << s.name;
+  }
+  EXPECT_GE(protocols_seen.size(), 5u) << "protocol coverage shrank";
+}
+
+TEST(Telemetry, FleetAggregationIsOutOfBandToo) {
+  // Fleet mode: instances run with per-slot registries handed out by the
+  // runner; every fingerprint must match the serial telemetry-free run, and
+  // the merged fleet snapshot must account for every executed round.
+  const auto* s = find_scenario("crash_gossip_window");
+  ASSERT_NE(s, nullptr);
+  const std::vector<std::uint64_t> seeds{1, 2, 3, 4, 5, 6};
+
+  std::vector<std::uint64_t> expected_fingerprints;
+  std::uint64_t expected_rounds = 0;
+  for (const auto seed : seeds) {
+    const auto solo = s->run(seed, /*threads=*/1);
+    EXPECT_TRUE(solo.ok) << solo.detail;
+    expected_fingerprints.push_back(fingerprint(solo.report));
+    expected_rounds += static_cast<std::uint64_t>(solo.report.rounds);
+  }
+
+  sim::FleetConfig config;
+  config.threads = 4;
+  config.telemetry = true;
+  sim::FleetRunner fleet(config);
+  std::vector<sim::FleetRunner::Handle> handles;
+  for (const auto seed : seeds) {
+    handles.push_back(fleet.submit(sim::FleetJobObs(
+        [s, seed](sim::EngineScratch* scratch, obs::Registry* registry) {
+          core::RunOptions options;
+          options.scratch = scratch;
+          options.telemetry = registry;
+          return s->run_at(seed, s->n, s->t, options).report;
+        })));
+  }
+  fleet.wait_all();
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    EXPECT_EQ(fingerprint(handles[i].wait()), expected_fingerprints[i])
+        << "seed " << seeds[i];
+  }
+  const auto merged = fleet.telemetry();
+  const auto* rounds = merged.find_counter("lft_engine_rounds_total");
+  ASSERT_NE(rounds, nullptr);
+  EXPECT_EQ(rounds->value, expected_rounds);
+  const auto* step = merged.find_histogram("lft_engine_step_ns");
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->data.count(), expected_rounds);
 }
 
 }  // namespace

@@ -232,6 +232,40 @@ TEST(ServiceServer, ProposeAckAndRead) {
   EXPECT_GE(state->slots, 1u);
 }
 
+TEST(ServiceServer, StatsRequestReturnsLiveTelemetrySnapshot) {
+  RunningServer rs;
+  Client client(rs.server.port(), /*client_id=*/1);
+  ASSERT_TRUE(client.connected());
+  for (std::uint64_t r = 1; r <= 5; ++r) {
+    ASSERT_TRUE(client.propose(r, bytes_of("cmd")).has_value());
+  }
+
+  const auto snapshot = client.server_stats();
+  ASSERT_TRUE(snapshot.has_value());
+  // The request-latency histogram saw every proposal, with sane bounds and
+  // nonzero percentiles (steady_clock deltas through a real commit path).
+  const auto* latency = snapshot->find_histogram("lft_service_request_ns");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->data.count(), 5u);
+  EXPECT_GT(latency->data.percentile(50.0), 0u);
+  EXPECT_GT(latency->data.percentile(99.0), 0u);
+  EXPECT_LE(latency->data.min(), latency->data.max());
+  // Stats fold in the serving counters; the stats request itself was counted.
+  const auto* proposals = snapshot->find_counter("lft_service_proposals_total");
+  ASSERT_NE(proposals, nullptr);
+  EXPECT_EQ(proposals->value, 5u);
+  const auto* stats_requests = snapshot->find_counter("lft_service_stats_requests_total");
+  ASSERT_NE(stats_requests, nullptr);
+  EXPECT_EQ(stats_requests->value, 1u);
+
+  // A second fetch sees strictly newer state (monotonic counters).
+  const auto again = client.server_stats();
+  ASSERT_TRUE(again.has_value());
+  const auto* again_requests = again->find_counter("lft_service_stats_requests_total");
+  ASSERT_NE(again_requests, nullptr);
+  EXPECT_EQ(again_requests->value, 2u);
+}
+
 TEST(ServiceServer, SessionReconnectDedupsReplayedRequest) {
   RunningServer rs;
   std::uint64_t first_index = 0;
